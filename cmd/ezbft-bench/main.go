@@ -1,0 +1,77 @@
+// Command ezbft-bench regenerates the paper's evaluation artifacts (Table
+// I, Table II, and Figures 4–7) on the deterministic WAN simulator and
+// prints them as text tables.
+//
+// Usage:
+//
+//	ezbft-bench [-e table1|table2|fig4|fig5a|fig5b|fig6|fig7|all]
+//	            [-duration 30s] [-warmup 2s] [-clients 3] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"ezbft/internal/bench"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ezbft-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("ezbft-bench", flag.ContinueOnError)
+	experiment := fs.String("e", "all", "experiment: table1, table2, fig4, fig5a, fig5b, fig6, fig7, ablation, or all")
+	duration := fs.Duration("duration", 30*time.Second, "simulated measurement window")
+	warmup := fs.Duration("warmup", 2*time.Second, "simulated warmup (discarded)")
+	clients := fs.Int("clients", 3, "closed-loop clients per region (latency experiments)")
+	seed := fs.Int64("seed", 1, "simulation seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	p := bench.Params{
+		Duration:         *duration,
+		Warmup:           *warmup,
+		ClientsPerRegion: *clients,
+		Seed:             *seed,
+	}
+
+	type renderer interface{ Render() string }
+	experiments := []struct {
+		name string
+		run  func() (renderer, error)
+	}{
+		{"table1", func() (renderer, error) { return bench.Table1(p) }},
+		{"fig4", func() (renderer, error) { return bench.Fig4(p) }},
+		{"fig5a", func() (renderer, error) { return bench.Fig5a(p) }},
+		{"fig5b", func() (renderer, error) { return bench.Fig5b(p) }},
+		{"fig6", func() (renderer, error) { return bench.Fig6(p, nil) }},
+		{"fig7", func() (renderer, error) { return bench.Fig7(p) }},
+		{"table2", func() (renderer, error) { return bench.Table2(p) }},
+		{"ablation", func() (renderer, error) { return bench.AblationSpeculation(p) }},
+	}
+
+	ran := false
+	for _, e := range experiments {
+		if *experiment != "all" && *experiment != e.name {
+			continue
+		}
+		ran = true
+		start := time.Now()
+		res, err := e.run()
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.name, err)
+		}
+		fmt.Println(res.Render())
+		fmt.Printf("(%s simulated in %.1fs wall time)\n\n", e.name, time.Since(start).Seconds())
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q", *experiment)
+	}
+	return nil
+}

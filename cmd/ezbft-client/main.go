@@ -1,0 +1,174 @@
+// Command ezbft-client drives a live ezBFT cluster over TCP.
+//
+// Examples (against the cluster from the ezbft-server docs):
+//
+//	ezbft-client -replicas 0=localhost:7000,1=localhost:7001,2=localhost:7002,3=localhost:7003 -secret demo put greeting hello
+//	ezbft-client -replicas ... -secret demo get greeting
+//	ezbft-client -replicas ... -secret demo incr counter
+//	ezbft-client -replicas ... -secret demo bench -count 200
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"ezbft/internal/auth"
+	"ezbft/internal/codec"
+	"ezbft/internal/core"
+	"ezbft/internal/proc"
+	"ezbft/internal/transport"
+	"ezbft/internal/types"
+	"ezbft/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ezbft-client:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("ezbft-client", flag.ContinueOnError)
+	id := fs.Int("id", 0, "client id")
+	n := fs.Int("n", 4, "cluster size")
+	leader := fs.Int("leader", 0, "replica to submit to (the closest)")
+	replicas := fs.String("replicas", "", "comma-separated id=host:port for every replica")
+	secret := fs.String("secret", "", "shared HMAC secret (required)")
+	timeout := fs.Duration("timeout", 10*time.Second, "per-command timeout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *secret == "" {
+		return fmt.Errorf("-secret is required")
+	}
+	rest := fs.Args()
+	if len(rest) == 0 {
+		return fmt.Errorf("missing command: put|get|incr|bench")
+	}
+
+	addrs := make(map[types.NodeID]string)
+	for _, part := range strings.Split(*replicas, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 {
+			return fmt.Errorf("bad replica entry %q", part)
+		}
+		var rid int
+		if _, err := fmt.Sscanf(kv[0], "%d", &rid); err != nil {
+			return err
+		}
+		addrs[types.ReplicaNode(types.ReplicaID(rid))] = kv[1]
+	}
+
+	cid := types.ClientID(*id)
+	ring := auth.NewHMACKeyring([]byte(*secret))
+	results := make(chan workload.Completion, 1)
+	bridge := &cliDriver{results: results}
+	client, err := core.NewClient(core.ClientConfig{
+		ID: cid, N: *n, Leader: types.ReplicaID(*leader),
+		Auth: ring.ForNode(types.ClientNode(cid)), Driver: bridge,
+		SlowPathTimeout: 500 * time.Millisecond,
+		RetryTimeout:    3 * time.Second,
+	})
+	if err != nil {
+		return err
+	}
+	node := transport.NewLiveNode(client, nil, int64(*id)+1000)
+	peer, err := transport.NewTCPPeer(types.ClientNode(cid), "127.0.0.1:0", addrs,
+		func(from types.NodeID, msg codec.Message) { node.Deliver(from, msg) })
+	if err != nil {
+		return err
+	}
+	defer peer.Close()
+	node.SetSender(peer)
+	node.Start()
+	defer node.Stop()
+
+	execute := func(cmd types.Command) (types.Result, time.Duration, error) {
+		start := time.Now()
+		if err := node.Inject(func(ctx proc.Context) { client.Submit(ctx, cmd) }); err != nil {
+			return types.Result{}, 0, err
+		}
+		select {
+		case comp := <-results:
+			return comp.Result, time.Since(start), nil
+		case <-time.After(*timeout):
+			return types.Result{}, 0, fmt.Errorf("timed out after %v", *timeout)
+		}
+	}
+
+	switch rest[0] {
+	case "put":
+		if len(rest) != 3 {
+			return fmt.Errorf("usage: put <key> <value>")
+		}
+		res, lat, err := execute(types.Command{Op: types.OpPut, Key: rest[1], Value: []byte(rest[2])})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("OK=%v (%.1fms)\n", res.OK, float64(lat)/float64(time.Millisecond))
+	case "get":
+		if len(rest) != 2 {
+			return fmt.Errorf("usage: get <key>")
+		}
+		res, lat, err := execute(types.Command{Op: types.OpGet, Key: rest[1]})
+		if err != nil {
+			return err
+		}
+		if res.OK {
+			fmt.Printf("%q (%.1fms)\n", res.Value, float64(lat)/float64(time.Millisecond))
+		} else {
+			fmt.Printf("(not found) (%.1fms)\n", float64(lat)/float64(time.Millisecond))
+		}
+	case "incr":
+		if len(rest) != 2 {
+			return fmt.Errorf("usage: incr <key>")
+		}
+		res, lat, err := execute(types.Command{Op: types.OpIncr, Key: rest[1]})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("OK=%v (%.1fms)\n", res.OK, float64(lat)/float64(time.Millisecond))
+	case "bench":
+		bfs := flag.NewFlagSet("bench", flag.ContinueOnError)
+		count := bfs.Int("count", 100, "number of requests")
+		if err := bfs.Parse(rest[1:]); err != nil {
+			return err
+		}
+		var total time.Duration
+		start := time.Now()
+		for i := 0; i < *count; i++ {
+			key := fmt.Sprintf("bench-%d-%d", *id, i%64)
+			_, lat, err := execute(types.Command{Op: types.OpPut, Key: key, Value: []byte("x")})
+			if err != nil {
+				return fmt.Errorf("request %d: %w", i, err)
+			}
+			total += lat
+		}
+		elapsed := time.Since(start)
+		fmt.Printf("%d requests in %.2fs: %.0f req/s, mean latency %.2fms\n",
+			*count, elapsed.Seconds(), float64(*count)/elapsed.Seconds(),
+			float64(total)/float64(*count)/float64(time.Millisecond))
+	default:
+		return fmt.Errorf("unknown command %q (want put|get|incr|bench)", rest[0])
+	}
+	st := client.Stats()
+	fmt.Printf("client stats: fast=%d slow=%d retries=%d\n", st.FastDecisions, st.SlowDecisions, st.Retries)
+	return nil
+}
+
+// cliDriver bridges completions to the blocking CLI.
+type cliDriver struct {
+	results chan workload.Completion
+}
+
+var _ workload.Driver = (*cliDriver)(nil)
+
+func (d *cliDriver) Start(proc.Context, workload.Submitter) {}
+func (d *cliDriver) Completed(_ proc.Context, _ workload.Submitter, c workload.Completion) {
+	d.results <- c
+}
+func (d *cliDriver) OnTimer(proc.Context, workload.Submitter, proc.TimerID) {}

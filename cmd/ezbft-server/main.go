@@ -1,0 +1,101 @@
+// Command ezbft-server runs one live ezBFT replica over TCP.
+//
+// A four-replica local cluster:
+//
+//	ezbft-server -id 0 -n 4 -listen :7000 -peers 0=localhost:7000,1=localhost:7001,2=localhost:7002,3=localhost:7003 -secret demo &
+//	ezbft-server -id 1 -n 4 -listen :7001 -peers ... -secret demo &
+//	ezbft-server -id 2 -n 4 -listen :7002 -peers ... -secret demo &
+//	ezbft-server -id 3 -n 4 -listen :7003 -peers ... -secret demo &
+//
+// then drive it with ezbft-client. All nodes must share -secret (HMAC key
+// material).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"ezbft/internal/auth"
+	"ezbft/internal/codec"
+	"ezbft/internal/core"
+	"ezbft/internal/kvstore"
+	"ezbft/internal/transport"
+	"ezbft/internal/types"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ezbft-server:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("ezbft-server", flag.ContinueOnError)
+	id := fs.Int("id", 0, "replica id (0..n-1)")
+	n := fs.Int("n", 4, "cluster size (3f+1)")
+	listen := fs.String("listen", ":7000", "listen address")
+	peers := fs.String("peers", "", "comma-separated id=host:port for every replica")
+	secret := fs.String("secret", "", "shared HMAC secret (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *secret == "" {
+		return fmt.Errorf("-secret is required")
+	}
+	addrs, err := parsePeers(*peers)
+	if err != nil {
+		return err
+	}
+
+	self := types.ReplicaID(*id)
+	ring := auth.NewHMACKeyring([]byte(*secret))
+	rep, err := core.NewReplica(core.ReplicaConfig{
+		Self: self,
+		N:    *n,
+		App:  kvstore.New(),
+		Auth: ring.ForNode(types.ReplicaNode(self)),
+	})
+	if err != nil {
+		return err
+	}
+
+	node := transport.NewLiveNode(rep, nil, int64(*id)+1)
+	peer, err := transport.NewTCPPeer(types.ReplicaNode(self), *listen, addrs,
+		func(from types.NodeID, msg codec.Message) { node.Deliver(from, msg) })
+	if err != nil {
+		return err
+	}
+	node.SetSender(peer)
+	node.Start()
+	fmt.Printf("ezbft-server: replica %s listening on %s (cluster n=%d)\n", self, peer.Addr(), *n)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	node.Stop()
+	return peer.Close()
+}
+
+func parsePeers(s string) (map[types.NodeID]string, error) {
+	out := make(map[types.NodeID]string)
+	if s == "" {
+		return out, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 {
+			return nil, fmt.Errorf("bad peer entry %q (want id=host:port)", part)
+		}
+		var id int
+		if _, err := fmt.Sscanf(kv[0], "%d", &id); err != nil {
+			return nil, fmt.Errorf("bad peer id %q: %w", kv[0], err)
+		}
+		out[types.ReplicaNode(types.ReplicaID(id))] = kv[1]
+	}
+	return out, nil
+}

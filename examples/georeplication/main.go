@@ -1,0 +1,51 @@
+// Geo-replication: the paper's Experiment 1 in miniature. Deploys ezBFT
+// and Zyzzyva on the simulated four-region WAN (Virginia, Japan, Mumbai,
+// Australia — latencies calibrated against the paper's Table I) and prints
+// the per-region client latency side by side: leaderless ezBFT serves every
+// region at local-replica distance, while Zyzzyva's remote clients pay the
+// trip to the Virginia primary.
+//
+//	go run ./examples/georeplication
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"ezbft"
+)
+
+func main() {
+	run := func(proto ezbft.Protocol) map[ezbft.Region]time.Duration {
+		cluster, err := ezbft.NewSimCluster(ezbft.SimConfig{
+			Protocol:         proto,
+			ClientsPerRegion: 2,
+			Seed:             1,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		cluster.SetWarmup(2 * time.Second)
+		cluster.Run(20 * time.Second)
+		out := make(map[ezbft.Region]time.Duration)
+		for _, s := range cluster.Summaries() {
+			out[s.Region] = s.Mean
+		}
+		return out
+	}
+
+	fmt.Println("mean client latency by region (simulated WAN, primary at Virginia):")
+	ez := run(ezbft.EZBFT)
+	zy := run(ezbft.Zyzzyva)
+	fmt.Printf("%-12s %12s %12s %8s\n", "region", "zyzzyva", "ezbft", "gain")
+	for _, region := range []ezbft.Region{ezbft.Virginia, ezbft.Japan, ezbft.Mumbai, ezbft.Australia} {
+		gain := 1 - float64(ez[region])/float64(zy[region])
+		fmt.Printf("%-12s %10.1fms %10.1fms %7.0f%%\n",
+			region,
+			float64(zy[region])/float64(time.Millisecond),
+			float64(ez[region])/float64(time.Millisecond),
+			gain*100)
+	}
+	fmt.Println("\nezBFT orders every region's commands at its local replica (paper §V-A).")
+}

@@ -1,0 +1,60 @@
+// Quickstart: a live in-process ezBFT cluster (four replicas on
+// goroutines, leaderless ordering) serving a replicated key-value store
+// through a blocking client.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ezbft"
+)
+
+func main() {
+	cluster, err := ezbft.NewLiveCluster(ezbft.LiveConfig{N: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+
+	// Any replica can order commands; this client treats replica 0 as its
+	// closest.
+	client, err := cluster.NewClient(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if _, err := client.Execute(ezbft.Put("greeting", []byte("hello, leaderless world"))); err != nil {
+		log.Fatal(err)
+	}
+	res, err := client.Execute(ezbft.Get("greeting"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("greeting = %q\n", res.Value)
+
+	for i := 0; i < 5; i++ {
+		if _, err := client.Execute(ezbft.Incr("visits")); err != nil {
+			log.Fatal(err)
+		}
+	}
+	res, err = client.Execute(ezbft.Get("visits"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("visits = %d (incremented five times, exactly once each)\n", counter(res.Value))
+
+	st := client.Stats()
+	fmt.Printf("protocol: %d fast-path decisions, %d slow-path, %d retries\n",
+		st.FastDecisions, st.SlowDecisions, st.Retries)
+}
+
+func counter(v []byte) uint64 {
+	var out uint64
+	for _, b := range v {
+		out = out<<8 | uint64(b)
+	}
+	return out
+}

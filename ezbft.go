@@ -1,0 +1,110 @@
+// Package ezbft is a from-scratch Go implementation of ezBFT (Arun,
+// Peluso, Ravindran — "ezBFT: Decentralizing Byzantine Fault-Tolerant State
+// Machine Replication", ICDCS 2019): a leaderless BFT state machine
+// replication protocol in which every replica orders the commands its own
+// clients submit, committing in three communication steps in the common
+// case.
+//
+// The package exposes three ways to use the system:
+//
+//   - Simulation: NewSimCluster builds a deterministic discrete-event
+//     deployment on a modeled WAN (the substrate used to reproduce the
+//     paper's evaluation; see internal/bench and EXPERIMENTS.md).
+//   - Live in-process: NewLiveCluster runs real replicas and clients on
+//     goroutines connected by an in-memory mesh, with a blocking Client.
+//   - Live over TCP: see cmd/ezbft-server and cmd/ezbft-client, built on
+//     the same pieces (StartTCPReplica / DialTCPClient).
+//
+// The paper's evaluation baselines — PBFT, Zyzzyva, and FaB — are
+// implemented on the same process abstraction and are selectable wherever a
+// Protocol is accepted.
+package ezbft
+
+import (
+	"time"
+
+	"ezbft/internal/bench"
+	"ezbft/internal/types"
+	"ezbft/internal/wan"
+)
+
+// Re-exported fundamental types.
+type (
+	// Command is an operation on the replicated key-value store.
+	Command = types.Command
+	// Result is a command's execution outcome.
+	Result = types.Result
+	// ReplicaID identifies a replica (0..N-1).
+	ReplicaID = types.ReplicaID
+	// ClientID identifies a client.
+	ClientID = types.ClientID
+	// Region is a geographic region in a WAN topology.
+	Region = wan.Region
+	// Topology is a WAN latency model.
+	Topology = wan.Topology
+	// Protocol selects a consensus protocol.
+	Protocol = bench.Protocol
+)
+
+// Protocols.
+const (
+	EZBFT   = bench.EZBFT
+	PBFT    = bench.PBFT
+	Zyzzyva = bench.Zyzzyva
+	FaB     = bench.FaB
+)
+
+// Operations on the replicated key-value store.
+const (
+	OpGet  = types.OpGet
+	OpPut  = types.OpPut
+	OpIncr = types.OpIncr
+)
+
+// Regions of the paper's deployments.
+const (
+	Virginia  = wan.Virginia
+	Ohio      = wan.Ohio
+	Japan     = wan.Japan
+	Mumbai    = wan.Mumbai
+	Australia = wan.Australia
+	Ireland   = wan.Ireland
+	Frankfurt = wan.Frankfurt
+)
+
+// DeploymentA returns the paper's first deployment topology (Virginia,
+// Japan, Mumbai, Australia), calibrated against the paper's Table I.
+func DeploymentA() *Topology { return wan.DeploymentA() }
+
+// DeploymentB returns the paper's second deployment topology (Ohio,
+// Ireland, Frankfurt, Mumbai).
+func DeploymentB() *Topology { return wan.DeploymentB() }
+
+// Put builds a PUT command.
+func Put(key string, value []byte) Command {
+	return Command{Op: types.OpPut, Key: key, Value: value}
+}
+
+// Get builds a GET command.
+func Get(key string) Command { return Command{Op: types.OpGet, Key: key} }
+
+// Incr builds an INCR command (commutative increment; INCRs on the same
+// key do not interfere with each other).
+func Incr(key string) Command { return Command{Op: types.OpIncr, Key: key} }
+
+// Latency experiment helpers re-exported for downstream evaluation use.
+type (
+	// ExperimentParams scales the paper-reproduction experiments.
+	ExperimentParams = bench.Params
+)
+
+// DefaultExperimentParams returns the full-scale parameters used by
+// cmd/ezbft-bench.
+func DefaultExperimentParams() ExperimentParams {
+	return ExperimentParams{
+		Duration:         30 * time.Second,
+		Warmup:           2 * time.Second,
+		ClientsPerRegion: 3,
+		Seed:             1,
+	}
+}

@@ -1,0 +1,185 @@
+package ezbft
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSimClusterQuickCommit(t *testing.T) {
+	cluster, err := NewSimCluster(SimConfig{
+		Protocol:             EZBFT,
+		ClientsPerRegion:     1,
+		Seed:                 3,
+		MaxRequestsPerClient: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Run long enough for all 4×8 requests plus asynchronous COMMITFAST
+	// propagation to quiesce.
+	cluster.Run(30 * time.Second)
+	if got := cluster.Completed(); got != 32 {
+		t.Fatalf("completed %d, want 32", got)
+	}
+	sums := cluster.Summaries()
+	if len(sums) != 4 {
+		t.Fatalf("regions = %d, want 4", len(sums))
+	}
+	for _, s := range sums {
+		if s.Count == 0 || s.Mean <= 0 {
+			t.Fatalf("empty summary for %s", s.Region)
+		}
+		if s.FastFraction < 0.99 {
+			t.Fatalf("%s: fast fraction %.2f, want ~1 with no contention", s.Region, s.FastFraction)
+		}
+	}
+	// State convergence across replicas.
+	digests := cluster.StateDigests()
+	for _, d := range digests[1:] {
+		if d != digests[0] {
+			t.Fatalf("state digests diverged: %v", digests)
+		}
+	}
+}
+
+func TestSimClusterAllProtocols(t *testing.T) {
+	for _, proto := range []Protocol{EZBFT, PBFT, Zyzzyva, FaB} {
+		cluster, err := NewSimCluster(SimConfig{Protocol: proto, Seed: 2})
+		if err != nil {
+			t.Fatalf("%s: %v", proto, err)
+		}
+		cluster.Run(5 * time.Second)
+		if cluster.Completed() == 0 {
+			t.Fatalf("%s: no completions", proto)
+		}
+	}
+}
+
+func TestSimClusterLeaderlessBeatsPrimaryRemote(t *testing.T) {
+	// The paper's headline in one assertion: remote-region clients see
+	// lower latency under ezBFT than under Zyzzyva with a Virginia primary.
+	run := func(proto Protocol) map[Region]time.Duration {
+		cluster, err := NewSimCluster(SimConfig{Protocol: proto, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cluster.SetWarmup(time.Second)
+		cluster.Run(8 * time.Second)
+		out := make(map[Region]time.Duration)
+		for _, s := range cluster.Summaries() {
+			out[s.Region] = s.Mean
+		}
+		return out
+	}
+	ez := run(EZBFT)
+	zy := run(Zyzzyva)
+	for _, region := range []Region{Japan, Mumbai, Australia} {
+		if ez[region] >= zy[region] {
+			t.Errorf("%s: ezBFT %v not better than Zyzzyva %v", region, ez[region], zy[region])
+		}
+	}
+}
+
+func TestSimClusterValidation(t *testing.T) {
+	if _, err := NewSimCluster(SimConfig{Protocol: "nonsense"}); err == nil {
+		t.Fatal("invalid protocol accepted")
+	}
+}
+
+func TestLiveClusterPutGetIncr(t *testing.T) {
+	cluster, err := NewLiveCluster(LiveConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+
+	client, err := cluster.NewClient(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res, err := client.Execute(Put("greeting", []byte("hello"))); err != nil || !res.OK {
+		t.Fatalf("put: %v %+v", err, res)
+	}
+	res, err := client.Execute(Get("greeting"))
+	if err != nil || !res.OK || string(res.Value) != "hello" {
+		t.Fatalf("get: %v %+v", err, res)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := client.Execute(Incr("count")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := client.Stats()
+	if st.FastDecisions == 0 {
+		t.Fatal("no fast decisions on a healthy live cluster")
+	}
+}
+
+func TestLiveClusterMultipleClientsConverge(t *testing.T) {
+	cluster, err := NewLiveCluster(LiveConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+
+	// Two clients at different "closest" replicas write disjoint keys.
+	c0, err := cluster.NewClient(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, err := cluster.NewClient(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := c0.Execute(Incr("a")); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c1.Execute(Incr("b")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Let COMMITFASTs land, then compare state digests.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		same := true
+		ref := cluster.StateDigest(0)
+		for i := 1; i < 4; i++ {
+			if cluster.StateDigest(i) != ref {
+				same = false
+			}
+		}
+		if same {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("live replicas did not converge: %v %v %v %v",
+		cluster.StateDigest(0), cluster.StateDigest(1), cluster.StateDigest(2), cluster.StateDigest(3))
+}
+
+func TestLiveClusterClosedRejectsClients(t *testing.T) {
+	cluster, err := NewLiveCluster(LiveConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster.Close()
+	if _, err := cluster.NewClient(0); err == nil {
+		t.Fatal("NewClient on closed cluster succeeded")
+	}
+}
+
+func TestCommandConstructors(t *testing.T) {
+	p := Put("k", []byte("v"))
+	if p.Op != OpPut || p.Key != "k" || string(p.Value) != "v" {
+		t.Fatalf("Put = %+v", p)
+	}
+	g := Get("k")
+	if g.Op != OpGet || g.Key != "k" {
+		t.Fatalf("Get = %+v", g)
+	}
+	i := Incr("k")
+	if i.Op != OpIncr {
+		t.Fatalf("Incr = %+v", i)
+	}
+}

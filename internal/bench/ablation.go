@@ -1,0 +1,91 @@
+package bench
+
+import (
+	"time"
+
+	"ezbft/internal/metrics"
+	"ezbft/internal/wan"
+	"ezbft/internal/workload"
+)
+
+// collectorRef lets a recorderProxy resolve the collector lazily.
+type collectorRef struct{ c *metrics.Collector }
+
+// AblationResult compares two configurations of the same protocol.
+type AblationResult struct {
+	Title   string
+	Regions []wan.Region
+	// Baseline and Variant are per-region mean latencies.
+	Baseline, Variant map[string]time.Duration
+	BaselineName      string
+	VariantName       string
+}
+
+// Render formats the comparison.
+func (r *AblationResult) Render() string {
+	res := &LatencyFigureResult{
+		Title:   r.Title,
+		Regions: r.Regions,
+		Series: []LatencySeries{
+			{Name: r.BaselineName, Means: r.Baseline},
+			{Name: r.VariantName, Means: r.Variant},
+		},
+	}
+	return res.Render()
+}
+
+// AblationSpeculation quantifies what ezBFT's speculative fast path buys:
+// the same contention-free Deployment-A workload with the fast path
+// enabled (3 steps) versus disabled (always slow path: 5 steps). This is
+// the design choice DESIGN.md §5 calls out — Zyzzyva-style speculation is
+// what lets the leaderless protocol answer in three steps at all.
+func AblationSpeculation(p Params) (*AblationResult, error) {
+	p.defaults()
+	regions := wan.DeploymentA().Regions()
+	res := &AblationResult{
+		Title:        "Ablation — speculative fast path vs slow-path-only ezBFT",
+		Regions:      regions,
+		BaselineName: "ezbft (fast path)",
+		VariantName:  "ezbft (slow path only)",
+	}
+
+	run := func(disable bool) (map[string]time.Duration, error) {
+		var collector collectorRef
+		spec := Spec{
+			Protocol:        EZBFT,
+			Topology:        wan.DeploymentA(),
+			ReplicaRegions:  regions,
+			Seed:            p.Seed,
+			DisableFastPath: disable,
+		}
+		for _, region := range regions {
+			spec.Clients = append(spec.Clients, ClientGroup{
+				Region: region,
+				Count:  p.ClientsPerRegion,
+				NewDriver: func(int) workload.Driver {
+					return &workload.ClosedLoop{
+						Gen:      &workload.KVGenerator{Contention: 0},
+						Recorder: recorderProxy{&collector.c},
+					}
+				},
+			})
+		}
+		cluster, err := Build(spec)
+		if err != nil {
+			return nil, err
+		}
+		collector.c = cluster.Collector
+		cluster.Collector.Warmup = p.Warmup
+		cluster.Run(p.Warmup + p.Duration)
+		return cluster.MeanLatencyByRegion(), nil
+	}
+
+	var err error
+	if res.Baseline, err = run(false); err != nil {
+		return nil, err
+	}
+	if res.Variant, err = run(true); err != nil {
+		return nil, err
+	}
+	return res, nil
+}

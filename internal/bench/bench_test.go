@@ -1,0 +1,248 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"ezbft/internal/wan"
+)
+
+// quick returns reduced-scale parameters for test runs.
+func quick() Params {
+	return Params{Duration: 4 * time.Second, Warmup: time.Second, ClientsPerRegion: 2, Seed: 7}
+}
+
+// within asserts |got-want| <= tol·want.
+func within(t *testing.T, name string, got, want time.Duration, tol float64) {
+	t.Helper()
+	diff := got - want
+	if diff < 0 {
+		diff = -diff
+	}
+	if float64(diff) > tol*float64(want) {
+		t.Errorf("%s: got %v, want %v (±%.0f%%)", name, got, want, tol*100)
+	}
+}
+
+// TestTable1MatchesPaper compares the simulated Zyzzyva latency matrix
+// against the paper's published Table I (in ms). The WAN model was
+// calibrated on these numbers; the protocol run through the full simulator
+// must land within 5% of every cell.
+func TestTable1MatchesPaper(t *testing.T) {
+	res, err := Table1(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	paper := map[wan.Region]map[wan.Region]float64{
+		wan.Virginia:  {wan.Virginia: 198, wan.Japan: 238, wan.Mumbai: 306, wan.Australia: 303},
+		wan.Japan:     {wan.Virginia: 236, wan.Japan: 167, wan.Mumbai: 239, wan.Australia: 246},
+		wan.Mumbai:    {wan.Virginia: 304, wan.Japan: 242, wan.Mumbai: 229, wan.Australia: 305},
+		wan.Australia: {wan.Virginia: 303, wan.Japan: 232, wan.Mumbai: 304, wan.Australia: 229},
+	}
+	for clientRegion, cols := range paper {
+		for primaryRegion, wantMS := range cols {
+			got := res.Cells[clientRegion][primaryRegion]
+			want := time.Duration(wantMS * float64(time.Millisecond))
+			within(t, string(clientRegion)+"→"+string(primaryRegion), got, want, 0.05)
+		}
+	}
+	// The paper's headline observation: the lowest latency per primary
+	// placement is at the co-located client.
+	for _, primary := range res.Regions {
+		diag := res.Cells[primary][primary]
+		for _, client := range res.Regions {
+			if client != primary && res.Cells[client][primary] < diag {
+				t.Errorf("primary %s: client %s beat the co-located client", primary, client)
+			}
+		}
+	}
+	t.Logf("\n%s", res.Render())
+}
+
+// TestFig4Shape checks Experiment 1's orderings: PBFT slowest of the
+// primary-based protocols, Zyzzyva fastest of them; ezBFT at ≤50%%
+// contention no worse than Zyzzyva in the remote regions (the paper's
+// headline: up to 40%% latency reduction); ezBFT at 100%% contention
+// approaches PBFT.
+func TestFig4Shape(t *testing.T) {
+	res, err := Fig4(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := make(map[string]map[string]time.Duration, len(res.Series))
+	for _, s := range res.Series {
+		series[s.Name] = s.Means
+	}
+	for _, region := range res.Regions {
+		r := string(region)
+		if series["pbft"][r] <= series["zyzzyva"][r] {
+			t.Errorf("%s: PBFT (%v) should be slower than Zyzzyva (%v)", r, series["pbft"][r], series["zyzzyva"][r])
+		}
+		if series["fab"][r] <= series["zyzzyva"][r] {
+			t.Errorf("%s: FaB (%v) should be slower than Zyzzyva (%v)", r, series["fab"][r], series["zyzzyva"][r])
+		}
+		if series["fab"][r] >= series["pbft"][r] {
+			t.Errorf("%s: FaB (%v) should be faster than PBFT (%v)", r, series["fab"][r], series["pbft"][r])
+		}
+		// ezBFT ≤ Zyzzyva everywhere at low contention (small slack for
+		// measurement noise).
+		if float64(series["ezbft-0%"][r]) > 1.05*float64(series["zyzzyva"][r]) {
+			t.Errorf("%s: ezBFT-0%% (%v) worse than Zyzzyva (%v)", r, series["ezbft-0%"][r], series["zyzzyva"][r])
+		}
+	}
+	// The distant regions see a substantial ezBFT win (paper: up to ~40%).
+	for _, region := range []wan.Region{wan.Mumbai, wan.Australia} {
+		r := string(region)
+		gain := 1 - float64(series["ezbft-0%"][r])/float64(series["zyzzyva"][r])
+		if gain < 0.15 {
+			t.Errorf("%s: ezBFT gain over Zyzzyva only %.0f%%", r, gain*100)
+		}
+	}
+	// 100% contention pushes ezBFT toward PBFT's five steps.
+	for _, region := range res.Regions {
+		r := string(region)
+		if series["ezbft-100%"][r] <= series["ezbft-0%"][r] {
+			t.Errorf("%s: contention did not increase ezBFT latency", r)
+		}
+	}
+	t.Logf("\n%s", res.Render())
+}
+
+// TestFig5Shape checks Experiment 2: with the primary at Ireland (best
+// case) ezBFT ≈ Zyzzyva; with the primary at Ohio or Mumbai, ezBFT wins
+// substantially in the European regions (paper: up to 45%).
+func TestFig5Shape(t *testing.T) {
+	resA, err := Fig5a(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seriesA := make(map[string]map[string]time.Duration)
+	for _, s := range resA.Series {
+		seriesA[s.Name] = s.Means
+	}
+	for _, region := range resA.Regions {
+		r := string(region)
+		zy, ez := seriesA["zyzzyva (Ireland)"][r], seriesA["ezbft"][r]
+		if float64(ez) > 1.10*float64(zy) {
+			t.Errorf("fig5a %s: ezBFT (%v) much worse than best-case Zyzzyva (%v)", r, ez, zy)
+		}
+	}
+	t.Logf("\n%s", resA.Render())
+
+	resB, err := Fig5b(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seriesB := make(map[string]map[string]time.Duration)
+	for _, s := range resB.Series {
+		seriesB[s.Name] = s.Means
+	}
+	for _, region := range []wan.Region{wan.Ireland, wan.Frankfurt} {
+		r := string(region)
+		for _, zyName := range []string{"zyzzyva (Ohio)", "zyzzyva (Mumbai)"} {
+			gain := 1 - float64(seriesB["ezbft"][r])/float64(seriesB[zyName][r])
+			if gain < 0.30 {
+				t.Errorf("fig5b %s vs %s: ezBFT gain only %.0f%%, want ≥30%%", r, zyName, gain*100)
+			}
+		}
+	}
+	t.Logf("\n%s", resB.Render())
+}
+
+// TestFig6Shape checks client scalability: Zyzzyva's latency grows steeply
+// as closed-loop clients approach the primary's capacity, while ezBFT stays
+// flat (the paper's Mumbai observation).
+func TestFig6Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long simulation")
+	}
+	p := quick()
+	res, err := Fig6(p, []int{1, 25, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's claim: "as Zyzzyva approaches 100 connected clients per
+	// region, it suffers from an exponential increase in latency...
+	// particularly, in Mumbai, ezBFT maintains a stable latency even at 100
+	// clients per region, while Zyzzyva's latency shoots up."
+	for _, region := range res.Regions {
+		r := string(region)
+		zyGrowth := float64(res.Series["zyzzyva"][100][r]) / float64(res.Series["zyzzyva"][1][r])
+		if zyGrowth < 1.5 {
+			t.Errorf("%s: Zyzzyva latency grew only %.2fx at 100 clients/region", r, zyGrowth)
+		}
+	}
+	mumbai := string(wan.Mumbai)
+	ezGrowth := float64(res.Series["ezbft-0%"][100][mumbai]) / float64(res.Series["ezbft-0%"][1][mumbai])
+	if ezGrowth > 1.3 {
+		t.Errorf("Mumbai: ezBFT latency grew %.2fx; expected stability", ezGrowth)
+	}
+	t.Logf("\n%s", res.Render())
+}
+
+// TestFig7Shape checks peak throughput: PBFT < FaB < Zyzzyva among the
+// primary-based protocols, ezBFT (US) at par with Zyzzyva, and ezBFT with
+// clients at all regions well above (the paper reports up to 4x over its
+// US-only configuration).
+func TestFig7Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long simulation")
+	}
+	p := quick()
+	p.Duration = 6 * time.Second
+	res, err := Fig7(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp := res.Throughput
+	if !(tp["pbft (US)"] < tp["fab (US)"] && tp["fab (US)"] < tp["zyzzyva (US)"]) {
+		t.Errorf("ordering violated: pbft=%.0f fab=%.0f zyzzyva=%.0f",
+			tp["pbft (US)"], tp["fab (US)"], tp["zyzzyva (US)"])
+	}
+	ratioPar := tp["ezbft (US)"] / tp["zyzzyva (US)"]
+	if ratioPar < 0.85 || ratioPar > 1.3 {
+		t.Errorf("ezbft (US) %.0f not at par with zyzzyva %.0f", tp["ezbft (US)"], tp["zyzzyva (US)"])
+	}
+	scale := tp["ezbft (all regions)"] / tp["ezbft (US)"]
+	if scale < 2.0 {
+		t.Errorf("ezbft all-regions speedup only %.2fx, want ≥2x", scale)
+	}
+	t.Logf("\n%s", res.Render())
+}
+
+// TestTable2Steps verifies the measured best-case communication steps match
+// the paper's Table II: PBFT 5, FaB 4, Zyzzyva 3, ezBFT 3.
+func TestTable2Steps(t *testing.T) {
+	res, err := Table2(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]int{"pbft": 5, "fab": 4, "zyzzyva": 3, "ezbft": 3}
+	for _, row := range res.Rows {
+		if row.BestCaseSteps != want[row.Protocol] {
+			t.Errorf("%s: measured %d steps, want %d", row.Protocol, row.BestCaseSteps, want[row.Protocol])
+		}
+	}
+	t.Logf("\n%s", res.Render())
+}
+
+// TestAblationSpeculation: disabling the speculative fast path costs the
+// two extra slow-path steps in every region (≈ 5 hops instead of 3).
+func TestAblationSpeculation(t *testing.T) {
+	res, err := AblationSpeculation(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, region := range res.Regions {
+		r := string(region)
+		fast, slow := res.Baseline[r], res.Variant[r]
+		if slow <= fast {
+			t.Errorf("%s: slow-path-only (%v) not worse than fast path (%v)", r, slow, fast)
+		}
+		// Two extra one-way hops on Deployment A are worth ≥ 50ms.
+		if slow-fast < 50*time.Millisecond {
+			t.Errorf("%s: ablation gap only %v", r, slow-fast)
+		}
+	}
+	t.Logf("\n%s", res.Render())
+}

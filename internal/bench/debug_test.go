@@ -1,0 +1,60 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"ezbft/internal/types"
+	"ezbft/internal/wan"
+	"ezbft/internal/workload"
+)
+
+// TestDebugSingleClientZyzzyva traces one client's latencies with the
+// primary at Japan.
+func TestDebugSingleClientZyzzyva(t *testing.T) {
+	topo := wan.DeploymentA()
+	regions := topo.Regions()
+	var collector *recorderTap
+	spec := Spec{
+		Protocol:       Zyzzyva,
+		Topology:       topo,
+		ReplicaRegions: regions,
+		Primary:        types.ReplicaID(1), // Japan
+		Seed:           1,
+		Clients: []ClientGroup{{
+			Region: wan.Virginia,
+			Count:  1,
+			NewDriver: func(int) workload.Driver {
+				return &workload.ClosedLoop{
+					Gen:         &workload.KVGenerator{Contention: 0},
+					Recorder:    tapProxy{&collector},
+					MaxRequests: 5,
+				}
+			},
+		}},
+	}
+	cluster, err := Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	collector = &recorderTap{}
+	cluster.Run(20 * time.Second)
+	for i, lat := range collector.latencies {
+		t.Logf("request %d: %v fast=%v", i, lat, collector.fast[i])
+	}
+	for i, r := range cluster.ZYReplicas {
+		t.Logf("replica %d: stats %+v view %d", i, r.Stats(), r.View())
+	}
+}
+
+type recorderTap struct {
+	latencies []time.Duration
+	fast      []bool
+}
+
+type tapProxy struct{ tap **recorderTap }
+
+func (p tapProxy) Record(_ types.ClientID, c workload.Completion) {
+	(*p.tap).latencies = append((*p.tap).latencies, c.Latency)
+	(*p.tap).fast = append((*p.tap).fast, c.FastPath)
+}

@@ -1,0 +1,546 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"ezbft/internal/metrics"
+	"ezbft/internal/proc"
+	"ezbft/internal/types"
+	"ezbft/internal/wan"
+	"ezbft/internal/workload"
+)
+
+// Params tunes the experiment scale; zero values select the defaults used
+// by cmd/ezbft-bench. The repository benchmarks use reduced durations.
+type Params struct {
+	// Duration is the simulated measurement window (default 30s).
+	Duration time.Duration
+	// Warmup is discarded ramp-up time (default 2s).
+	Warmup time.Duration
+	// ClientsPerRegion for the latency experiments (default 3).
+	ClientsPerRegion int
+	// Seed for the deterministic simulation (default 1).
+	Seed int64
+}
+
+func (p *Params) defaults() {
+	if p.Duration <= 0 {
+		p.Duration = 30 * time.Second
+	}
+	if p.Warmup <= 0 {
+		p.Warmup = 2 * time.Second
+	}
+	if p.ClientsPerRegion <= 0 {
+		p.ClientsPerRegion = 3
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+}
+
+// latencyRun builds and runs one latency deployment, returning mean latency
+// per region.
+func latencyRun(p Params, proto Protocol, topo *wan.Topology, regions []wan.Region, primary types.ReplicaID, contention float64) (map[string]time.Duration, error) {
+	cluster, err := buildLatencyCluster(p, proto, topo, regions, primary, contention)
+	if err != nil {
+		return nil, err
+	}
+	cluster.Run(p.Warmup + p.Duration)
+	return cluster.MeanLatencyByRegion(), nil
+}
+
+func buildLatencyCluster(p Params, proto Protocol, topo *wan.Topology, regions []wan.Region, primary types.ReplicaID, contention float64) (*Cluster, error) {
+	spec := Spec{
+		Protocol:       proto,
+		Topology:       topo,
+		ReplicaRegions: regions,
+		Primary:        primary,
+		Seed:           p.Seed,
+	}
+	var collector *metrics.Collector
+	for _, region := range regions {
+		region := region
+		spec.Clients = append(spec.Clients, ClientGroup{
+			Region: region,
+			Count:  p.ClientsPerRegion,
+			NewDriver: func(int) workload.Driver {
+				return &workload.ClosedLoop{
+					Gen:      &workload.KVGenerator{Contention: contention},
+					Recorder: recorderProxy{&collector},
+				}
+			},
+		})
+	}
+	cluster, err := Build(spec)
+	if err != nil {
+		return nil, err
+	}
+	collector = cluster.Collector
+	cluster.Collector.Warmup = p.Warmup
+	return cluster, nil
+}
+
+// recorderProxy defers the collector lookup until record time, so driver
+// constructors can be declared before the cluster (and its collector)
+// exists.
+type recorderProxy struct {
+	collector **metrics.Collector
+}
+
+func (r recorderProxy) Record(client types.ClientID, c workload.Completion) {
+	if *r.collector != nil {
+		(*r.collector).Record(client, c)
+	}
+}
+
+// --- Table I ---
+
+// Table1Result is the Zyzzyva latency matrix: [client region][primary
+// region] → mean latency.
+type Table1Result struct {
+	Regions []wan.Region
+	Cells   map[wan.Region]map[wan.Region]time.Duration
+}
+
+// Table1 reproduces Table I: Zyzzyva in Deployment A with the primary
+// placed in each region in turn; one client fleet per region.
+func Table1(p Params) (*Table1Result, error) {
+	p.defaults()
+	regions := wan.DeploymentA().Regions()
+	res := &Table1Result{
+		Regions: regions,
+		Cells:   make(map[wan.Region]map[wan.Region]time.Duration, len(regions)),
+	}
+	for pi, primaryRegion := range regions {
+		topo := wan.DeploymentA() // fresh topology per run (node assignments differ)
+		means, err := latencyRun(p, Zyzzyva, topo, regions, types.ReplicaID(pi), 0)
+		if err != nil {
+			return nil, err
+		}
+		for clientRegion, mean := range means {
+			cr := wan.Region(clientRegion)
+			if res.Cells[cr] == nil {
+				res.Cells[cr] = make(map[wan.Region]time.Duration, len(regions))
+			}
+			res.Cells[cr][primaryRegion] = mean
+		}
+	}
+	return res, nil
+}
+
+// Render formats the matrix like the paper's Table I.
+func (r *Table1Result) Render() string {
+	header := []string{"client \\ primary"}
+	for _, region := range r.Regions {
+		header = append(header, string(region))
+	}
+	var rows [][]string
+	for _, clientRegion := range r.Regions {
+		row := []string{string(clientRegion)}
+		for _, primaryRegion := range r.Regions {
+			row = append(row, metrics.Ms(r.Cells[clientRegion][primaryRegion]))
+		}
+		rows = append(rows, row)
+	}
+	return "Table I — Zyzzyva client latency (ms), primary swept across regions\n" +
+		metrics.Table(header, rows)
+}
+
+// --- Figure 4 (Experiment 1) and Figure 5a (Experiment 2) ---
+
+// LatencySeries is one protocol configuration's per-region mean latency.
+type LatencySeries struct {
+	Name  string
+	Means map[string]time.Duration
+}
+
+// LatencyFigureResult is a latency-per-region figure (Figs 4, 5a, 5b).
+type LatencyFigureResult struct {
+	Title   string
+	Regions []wan.Region
+	Series  []LatencySeries
+}
+
+// Render formats the figure as a table: regions × series.
+func (r *LatencyFigureResult) Render() string {
+	header := []string{"region"}
+	for _, s := range r.Series {
+		header = append(header, s.Name)
+	}
+	var rows [][]string
+	for _, region := range r.Regions {
+		row := []string{string(region)}
+		for _, s := range r.Series {
+			row = append(row, metrics.Ms(s.Means[string(region)]))
+		}
+		rows = append(rows, row)
+	}
+	return r.Title + " (mean client latency, ms)\n" + metrics.Table(header, rows)
+}
+
+// Fig4 reproduces Experiment 1: Deployment A, primaries at Virginia for the
+// single-primary protocols, ezBFT at contention {0, 2, 50, 100}%.
+func Fig4(p Params) (*LatencyFigureResult, error) {
+	p.defaults()
+	regions := wan.DeploymentA().Regions()
+	res := &LatencyFigureResult{Title: "Figure 4 — Experiment 1 (primaries at Virginia)", Regions: regions}
+
+	for _, proto := range []Protocol{PBFT, FaB, Zyzzyva} {
+		means, err := latencyRun(p, proto, wan.DeploymentA(), regions, 0, 0)
+		if err != nil {
+			return nil, err
+		}
+		res.Series = append(res.Series, LatencySeries{Name: string(proto), Means: means})
+	}
+	for _, contention := range []float64{0, 0.02, 0.5, 1.0} {
+		means, err := latencyRun(p, EZBFT, wan.DeploymentA(), regions, 0, contention)
+		if err != nil {
+			return nil, err
+		}
+		res.Series = append(res.Series, LatencySeries{
+			Name:  fmt.Sprintf("ezbft-%g%%", contention*100),
+			Means: means,
+		})
+	}
+	return res, nil
+}
+
+// Fig5a reproduces Experiment 2: Deployment B with primaries at Ireland
+// (Zyzzyva's best case).
+func Fig5a(p Params) (*LatencyFigureResult, error) {
+	p.defaults()
+	regions := wan.DeploymentB().Regions()
+	primary := indexOf(regions, wan.Ireland)
+	res := &LatencyFigureResult{Title: "Figure 5a — Experiment 2 (primaries at Ireland)", Regions: regions}
+	for _, proto := range []Protocol{PBFT, FaB, Zyzzyva} {
+		means, err := latencyRun(p, proto, wan.DeploymentB(), regions, primary, 0)
+		if err != nil {
+			return nil, err
+		}
+		res.Series = append(res.Series, LatencySeries{Name: string(proto) + " (Ireland)", Means: means})
+	}
+	means, err := latencyRun(p, EZBFT, wan.DeploymentB(), regions, primary, 0)
+	if err != nil {
+		return nil, err
+	}
+	res.Series = append(res.Series, LatencySeries{Name: "ezbft", Means: means})
+	return res, nil
+}
+
+// Fig5b reproduces the primary-placement sweep: Zyzzyva with the primary at
+// Ohio, Mumbai, and Ireland versus leaderless ezBFT.
+func Fig5b(p Params) (*LatencyFigureResult, error) {
+	p.defaults()
+	regions := wan.DeploymentB().Regions()
+	res := &LatencyFigureResult{Title: "Figure 5b — Zyzzyva primary placement vs ezBFT", Regions: regions}
+	for _, primaryRegion := range []wan.Region{wan.Ohio, wan.Mumbai, wan.Ireland} {
+		means, err := latencyRun(p, Zyzzyva, wan.DeploymentB(), regions, indexOf(regions, primaryRegion), 0)
+		if err != nil {
+			return nil, err
+		}
+		res.Series = append(res.Series, LatencySeries{
+			Name:  fmt.Sprintf("zyzzyva (%s)", primaryRegion),
+			Means: means,
+		})
+	}
+	means, err := latencyRun(p, EZBFT, wan.DeploymentB(), regions, 0, 0)
+	if err != nil {
+		return nil, err
+	}
+	res.Series = append(res.Series, LatencySeries{Name: "ezbft", Means: means})
+	return res, nil
+}
+
+// --- Figure 6 (client scalability) ---
+
+// Fig6Result maps client counts to per-region mean latency per series.
+type Fig6Result struct {
+	Regions []wan.Region
+	Counts  []int
+	// Series name → client count → region → mean latency.
+	Series map[string]map[int]map[string]time.Duration
+	order  []string
+}
+
+// Fig6 reproduces the client-scalability study: Deployment A, closed-loop
+// clients per region swept over Counts; Zyzzyva (primary at Virginia) vs
+// ezBFT at 0% and 50% contention.
+func Fig6(p Params, counts []int) (*Fig6Result, error) {
+	p.defaults()
+	if len(counts) == 0 {
+		counts = []int{1, 5, 10, 25, 50, 75, 100}
+	}
+	regions := wan.DeploymentA().Regions()
+	res := &Fig6Result{
+		Regions: regions,
+		Counts:  counts,
+		Series:  make(map[string]map[int]map[string]time.Duration),
+		order:   []string{"zyzzyva", "ezbft-0%", "ezbft-50%"},
+	}
+	runs := []struct {
+		name       string
+		proto      Protocol
+		contention float64
+	}{
+		{"zyzzyva", Zyzzyva, 0},
+		{"ezbft-0%", EZBFT, 0},
+		{"ezbft-50%", EZBFT, 0.5},
+	}
+	for _, run := range runs {
+		res.Series[run.name] = make(map[int]map[string]time.Duration, len(counts))
+		for _, count := range counts {
+			pc := p
+			pc.ClientsPerRegion = count
+			means, err := latencyRun(pc, run.proto, wan.DeploymentA(), regions, 0, run.contention)
+			if err != nil {
+				return nil, err
+			}
+			byRegion := make(map[string]time.Duration, len(regions))
+			for region, mean := range means {
+				byRegion[region] = mean
+			}
+			res.Series[run.name][count] = byRegion
+		}
+	}
+	return res, nil
+}
+
+// Render formats one table per series: client count × region.
+func (r *Fig6Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 6 — latency vs connected clients per region (ms)\n")
+	for _, name := range r.order {
+		byCount := r.Series[name]
+		if byCount == nil {
+			continue
+		}
+		fmt.Fprintf(&b, "\n[%s]\n", name)
+		header := []string{"clients/region"}
+		for _, region := range r.Regions {
+			header = append(header, string(region))
+		}
+		var rows [][]string
+		for _, count := range r.Counts {
+			row := []string{fmt.Sprint(count)}
+			for _, region := range r.Regions {
+				row = append(row, metrics.Ms(byCount[count][string(region)]))
+			}
+			rows = append(rows, row)
+		}
+		b.WriteString(metrics.Table(header, rows))
+	}
+	return b.String()
+}
+
+// --- Figure 7 (peak throughput) ---
+
+// Fig7Result holds throughput per configuration (requests/second).
+type Fig7Result struct {
+	Order      []string
+	Throughput map[string]float64
+}
+
+// Fig7 reproduces the throughput experiment: Deployment A, open-loop
+// clients (8-byte keys, 16-byte values, 0% contention, no batching). The
+// single-primary protocols and "ezbft (US)" place 10 clients at Virginia;
+// "ezbft (all regions)" places 10 clients in every region.
+func Fig7(p Params) (*Fig7Result, error) {
+	p.defaults()
+	regions := wan.DeploymentA().Regions()
+	res := &Fig7Result{
+		Order:      []string{"pbft (US)", "fab (US)", "zyzzyva (US)", "ezbft (US)", "ezbft (all regions)"},
+		Throughput: make(map[string]float64, 5),
+	}
+	const clientsPerSite = 10
+
+	run := func(name string, proto Protocol, allRegions bool) error {
+		var collector *metrics.Collector
+		spec := Spec{
+			Protocol:       proto,
+			Topology:       wan.DeploymentA(),
+			ReplicaRegions: regions,
+			Primary:        0, // Virginia
+			Seed:           p.Seed,
+		}
+		clientRegions := []wan.Region{wan.Virginia}
+		if allRegions {
+			clientRegions = regions
+		}
+		for _, region := range clientRegions {
+			spec.Clients = append(spec.Clients, ClientGroup{
+				Region: region,
+				Count:  clientsPerSite,
+				NewDriver: func(int) workload.Driver {
+					return &workload.OpenLoop{
+						Gen:         &workload.KVGenerator{Contention: 0},
+						Recorder:    recorderProxy{&collector},
+						Interval:    time.Millisecond, // saturating offered load
+						MaxInFlight: 64,
+					}
+				},
+			})
+		}
+		cluster, err := Build(spec)
+		if err != nil {
+			return err
+		}
+		collector = cluster.Collector
+		cluster.Run(p.Warmup + p.Duration)
+		completed := cluster.Collector.CompletedIn(p.Warmup, p.Warmup+p.Duration)
+		res.Throughput[name] = float64(completed) / p.Duration.Seconds()
+		return nil
+	}
+
+	if err := run("pbft (US)", PBFT, false); err != nil {
+		return nil, err
+	}
+	if err := run("fab (US)", FaB, false); err != nil {
+		return nil, err
+	}
+	if err := run("zyzzyva (US)", Zyzzyva, false); err != nil {
+		return nil, err
+	}
+	if err := run("ezbft (US)", EZBFT, false); err != nil {
+		return nil, err
+	}
+	if err := run("ezbft (all regions)", EZBFT, true); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Render formats the throughput bars.
+func (r *Fig7Result) Render() string {
+	header := []string{"configuration", "throughput (req/s)"}
+	var rows [][]string
+	max := 0.0
+	for _, name := range r.Order {
+		if r.Throughput[name] > max {
+			max = r.Throughput[name]
+		}
+	}
+	for _, name := range r.Order {
+		tp := r.Throughput[name]
+		bar := ""
+		if max > 0 {
+			bar = strings.Repeat("#", int(40*tp/max))
+		}
+		rows = append(rows, []string{name, fmt.Sprintf("%8.0f  %s", tp, bar)})
+	}
+	return "Figure 7 — peak server-side throughput\n" + metrics.Table(header, rows)
+}
+
+// --- Table II (protocol comparison) ---
+
+// Table2Row is one protocol's properties: static ones from the protocol
+// definitions and the best-case communication steps measured empirically
+// from a latency run on a uniform-delay network.
+type Table2Row struct {
+	Protocol      string
+	Resilience    string
+	BestCaseSteps int
+	SlowPathSteps string
+	Leader        string
+}
+
+// Table2Result is the protocol comparison.
+type Table2Result struct {
+	Rows []Table2Row
+}
+
+// Table2 reproduces the comparison table. Best-case steps are measured: a
+// single client co-located with the primary issues contention-free commands
+// on a uniform 10ms network, and steps = round(latency / 10ms).
+func Table2(p Params) (*Table2Result, error) {
+	p.defaults()
+	const hop = 10 * time.Millisecond
+	// A uniform topology: every region pair 10ms, intra-region also 10ms so
+	// the client-to-replica hop counts like any other.
+	regions := []wan.Region{"a", "b", "c", "d"}
+	pairs := make(map[[2]wan.Region]float64)
+	for i := range regions {
+		for j := i + 1; j < len(regions); j++ {
+			pairs[[2]wan.Region{regions[i], regions[j]}] = 10
+		}
+	}
+
+	res := &Table2Result{}
+	static := map[Protocol]struct {
+		slow   string
+		leader string
+	}{
+		PBFT:    {"-", "single"},
+		FaB:     {"-", "single"},
+		Zyzzyva: {"2", "single"},
+		EZBFT:   {"2", "leaderless"},
+	}
+	for _, proto := range Protocols {
+		topo, err := wan.NewTopology("uniform", regions, pairs, 10)
+		if err != nil {
+			return nil, err
+		}
+		var collector *metrics.Collector
+		spec := Spec{
+			Protocol:       proto,
+			Topology:       topo,
+			ReplicaRegions: regions,
+			Primary:        0,
+			Seed:           p.Seed,
+			// Near-zero processing cost: pure network-step counting.
+			Costs: proc.Costs{Sign: 1, Verify: 1, VerifyClient: 1, Execute: 1},
+			Clients: []ClientGroup{{
+				Region: "a",
+				Count:  1,
+				NewDriver: func(int) workload.Driver {
+					return &workload.ClosedLoop{
+						Gen:         &workload.KVGenerator{Contention: 0},
+						Recorder:    recorderProxy{&collector},
+						MaxRequests: 20,
+					}
+				},
+			}},
+		}
+		cluster, err := Build(spec)
+		if err != nil {
+			return nil, err
+		}
+		collector = cluster.Collector
+		cluster.Run(time.Minute)
+		mean := cluster.Collector.Summarize("a").Mean
+		steps := int((mean + hop/2) / hop)
+		res.Rows = append(res.Rows, Table2Row{
+			Protocol:      string(proto),
+			Resilience:    "f < n/3",
+			BestCaseSteps: steps,
+			SlowPathSteps: static[proto].slow,
+			Leader:        static[proto].leader,
+		})
+	}
+	sort.Slice(res.Rows, func(i, j int) bool { return res.Rows[i].Protocol < res.Rows[j].Protocol })
+	return res, nil
+}
+
+// Render formats Table II.
+func (r *Table2Result) Render() string {
+	header := []string{"protocol", "resilience", "best-case steps", "slow-path extra steps", "leader"}
+	var rows [][]string
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Protocol, row.Resilience, fmt.Sprint(row.BestCaseSteps), row.SlowPathSteps, row.Leader,
+		})
+	}
+	return "Table II — protocol comparison (best-case steps measured on a uniform 10ms network)\n" +
+		metrics.Table(header, rows)
+}
+
+func indexOf(regions []wan.Region, r wan.Region) types.ReplicaID {
+	for i, region := range regions {
+		if region == r {
+			return types.ReplicaID(i)
+		}
+	}
+	return 0
+}

@@ -1,0 +1,38 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"ezbft/internal/wan"
+)
+
+// TestPerfProbe times individual Fig6-style runs to spot pathological
+// configurations (development aid; kept as a cheap regression canary).
+func TestPerfProbe(t *testing.T) {
+	if testing.Short() {
+		t.Skip("profiling probe")
+	}
+	p := quick()
+	cases := []struct {
+		name       string
+		proto      Protocol
+		clients    int
+		contention float64
+	}{
+		{"zyzzyva-100", Zyzzyva, 100, 0},
+		{"ezbft-100-0", EZBFT, 100, 0},
+		{"ezbft-25-50", EZBFT, 25, 0.5},
+		{"ezbft-100-50", EZBFT, 100, 0.5},
+	}
+	for _, tc := range cases {
+		pc := p
+		pc.ClientsPerRegion = tc.clients
+		start := time.Now()
+		means, err := latencyRun(pc, tc.proto, wan.DeploymentA(), wan.DeploymentA().Regions(), 0, tc.contention)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("%s: wall %.1fs means %v", tc.name, time.Since(start).Seconds(), means)
+	}
+}

@@ -1,0 +1,291 @@
+// Package codec provides a deterministic, allocation-light binary encoding
+// used both as the wire format for the TCP transport and as the canonical
+// byte string over which messages are signed. Every protocol message in this
+// repository marshals itself through a Writer and parses itself through a
+// Reader; identical logical messages always produce identical bytes, which
+// is what makes signatures over marshaled bytes meaningful.
+//
+// The format is a simple concatenation of fields: unsigned varints for
+// integers, length-prefixed byte strings, and fixed-width digests. There is
+// no reflection and no self-description: each message type knows its own
+// layout (a registry in this package maps a one-byte type tag to a decoder).
+package codec
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"ezbft/internal/types"
+)
+
+// Common decode errors.
+var (
+	ErrShortBuffer  = errors.New("codec: short buffer")
+	ErrOverflow     = errors.New("codec: varint overflows 64 bits")
+	ErrUnknownType  = errors.New("codec: unknown message type tag")
+	ErrTrailingData = errors.New("codec: trailing data after message")
+)
+
+// Writer accumulates a deterministic binary encoding.
+// The zero value is ready to use.
+type Writer struct {
+	buf []byte
+}
+
+// NewWriter returns a writer with the given initial capacity.
+func NewWriter(capacity int) *Writer {
+	return &Writer{buf: make([]byte, 0, capacity)}
+}
+
+// Bytes returns the encoded bytes. The returned slice aliases the writer's
+// internal buffer; callers that retain it must not keep writing.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// Len returns the number of encoded bytes so far.
+func (w *Writer) Len() int { return len(w.buf) }
+
+// Reset truncates the writer for reuse.
+func (w *Writer) Reset() { w.buf = w.buf[:0] }
+
+// Uvarint appends an unsigned varint.
+func (w *Writer) Uvarint(v uint64) {
+	w.buf = binary.AppendUvarint(w.buf, v)
+}
+
+// Uint8 appends a single byte.
+func (w *Writer) Uint8(v uint8) { w.buf = append(w.buf, v) }
+
+// Bool appends a boolean as one byte.
+func (w *Writer) Bool(v bool) {
+	if v {
+		w.buf = append(w.buf, 1)
+	} else {
+		w.buf = append(w.buf, 0)
+	}
+}
+
+// Int32 appends a 32-bit integer (zig-zag varint so small negatives stay
+// small).
+func (w *Writer) Int32(v int32) {
+	w.buf = binary.AppendVarint(w.buf, int64(v))
+}
+
+// Bytes32 appends a fixed 32-byte value.
+func (w *Writer) Bytes32(d [32]byte) { w.buf = append(w.buf, d[:]...) }
+
+// Blob appends a length-prefixed byte string.
+func (w *Writer) Blob(b []byte) {
+	w.Uvarint(uint64(len(b)))
+	w.buf = append(w.buf, b...)
+}
+
+// String appends a length-prefixed string.
+func (w *Writer) String(s string) {
+	w.Uvarint(uint64(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+// Instance appends an instance identifier.
+func (w *Writer) Instance(id types.InstanceID) {
+	w.Int32(int32(id.Space))
+	w.Uvarint(id.Slot)
+}
+
+// InstanceSet appends a dependency set in deterministic sorted order.
+func (w *Writer) InstanceSet(s types.InstanceSet) {
+	ids := s.Sorted()
+	w.Uvarint(uint64(len(ids)))
+	for _, id := range ids {
+		w.Instance(id)
+	}
+}
+
+// Command appends a command.
+func (w *Writer) Command(c types.Command) {
+	w.Int32(int32(c.Client))
+	w.Uvarint(c.Timestamp)
+	w.Uint8(uint8(c.Op))
+	w.String(c.Key)
+	w.Blob(c.Value)
+}
+
+// Reader parses a deterministic binary encoding produced by Writer.
+type Reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewReader wraps a byte slice for reading. The reader does not copy the
+// slice; decoded Blob values are copied so they do not alias network
+// buffers.
+func NewReader(b []byte) *Reader { return &Reader{buf: b} }
+
+// Err returns the first error encountered while reading.
+func (r *Reader) Err() error { return r.err }
+
+// Remaining returns the number of unread bytes.
+func (r *Reader) Remaining() int { return len(r.buf) - r.off }
+
+// Finish returns an error if reading failed or bytes remain.
+func (r *Reader) Finish() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.off != len(r.buf) {
+		return fmt.Errorf("%w: %d bytes", ErrTrailingData, len(r.buf)-r.off)
+	}
+	return nil
+}
+
+func (r *Reader) fail(err error) {
+	if r.err == nil {
+		r.err = err
+	}
+}
+
+// Uvarint reads an unsigned varint.
+func (r *Reader) Uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf[r.off:])
+	if n <= 0 {
+		if n == 0 {
+			r.fail(ErrShortBuffer)
+		} else {
+			r.fail(ErrOverflow)
+		}
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// Uint8 reads a single byte.
+func (r *Reader) Uint8() uint8 {
+	if r.err != nil {
+		return 0
+	}
+	if r.off >= len(r.buf) {
+		r.fail(ErrShortBuffer)
+		return 0
+	}
+	v := r.buf[r.off]
+	r.off++
+	return v
+}
+
+// Bool reads a boolean.
+func (r *Reader) Bool() bool { return r.Uint8() != 0 }
+
+// Int32 reads a zig-zag varint 32-bit integer.
+func (r *Reader) Int32() int32 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.buf[r.off:])
+	if n <= 0 {
+		if n == 0 {
+			r.fail(ErrShortBuffer)
+		} else {
+			r.fail(ErrOverflow)
+		}
+		return 0
+	}
+	if v > 1<<31-1 || v < -(1<<31) {
+		r.fail(ErrOverflow)
+		return 0
+	}
+	r.off += n
+	return int32(v)
+}
+
+// Bytes32 reads a fixed 32-byte value.
+func (r *Reader) Bytes32() (d [32]byte) {
+	if r.err != nil {
+		return
+	}
+	if r.Remaining() < 32 {
+		r.fail(ErrShortBuffer)
+		return
+	}
+	copy(d[:], r.buf[r.off:])
+	r.off += 32
+	return
+}
+
+// Blob reads a length-prefixed byte string (copied).
+func (r *Reader) Blob() []byte {
+	n := r.Uvarint()
+	if r.err != nil {
+		return nil
+	}
+	if uint64(r.Remaining()) < n {
+		r.fail(ErrShortBuffer)
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, r.buf[r.off:])
+	r.off += int(n)
+	return out
+}
+
+// String reads a length-prefixed string.
+func (r *Reader) String() string {
+	n := r.Uvarint()
+	if r.err != nil {
+		return ""
+	}
+	if uint64(r.Remaining()) < n {
+		r.fail(ErrShortBuffer)
+		return ""
+	}
+	s := string(r.buf[r.off : r.off+int(n)])
+	r.off += int(n)
+	return s
+}
+
+// Instance reads an instance identifier.
+func (r *Reader) Instance() types.InstanceID {
+	return types.InstanceID{
+		Space: types.ReplicaID(r.Int32()),
+		Slot:  r.Uvarint(),
+	}
+}
+
+// InstanceSet reads a dependency set.
+func (r *Reader) InstanceSet() types.InstanceSet {
+	n := r.Uvarint()
+	if r.err != nil {
+		return nil
+	}
+	const sanity = 1 << 20
+	if n > sanity {
+		r.fail(fmt.Errorf("codec: instance set of %d entries exceeds sanity bound", n))
+		return nil
+	}
+	s := make(types.InstanceSet, n)
+	for i := uint64(0); i < n; i++ {
+		s.Add(r.Instance())
+		if r.err != nil {
+			return nil
+		}
+	}
+	return s
+}
+
+// Command reads a command.
+func (r *Reader) Command() types.Command {
+	return types.Command{
+		Client:    types.ClientID(r.Int32()),
+		Timestamp: r.Uvarint(),
+		Op:        types.Op(r.Uint8()),
+		Key:       r.String(),
+		Value:     r.Blob(),
+	}
+}

@@ -1,0 +1,218 @@
+package codec
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ezbft/internal/types"
+)
+
+func TestWriterReaderRoundTrip(t *testing.T) {
+	w := NewWriter(0)
+	w.Uvarint(0)
+	w.Uvarint(300)
+	w.Uvarint(math.MaxUint64)
+	w.Uint8(7)
+	w.Bool(true)
+	w.Bool(false)
+	w.Int32(-5)
+	w.Int32(math.MaxInt32)
+	w.Int32(math.MinInt32)
+	w.Blob([]byte("hello"))
+	w.Blob(nil)
+	w.String("world")
+	w.Bytes32([32]byte{1, 2, 3})
+
+	r := NewReader(w.Bytes())
+	if got := r.Uvarint(); got != 0 {
+		t.Fatalf("uvarint = %d", got)
+	}
+	if got := r.Uvarint(); got != 300 {
+		t.Fatalf("uvarint = %d", got)
+	}
+	if got := r.Uvarint(); got != math.MaxUint64 {
+		t.Fatalf("uvarint = %d", got)
+	}
+	if got := r.Uint8(); got != 7 {
+		t.Fatalf("uint8 = %d", got)
+	}
+	if !r.Bool() || r.Bool() {
+		t.Fatal("bools corrupted")
+	}
+	if got := r.Int32(); got != -5 {
+		t.Fatalf("int32 = %d", got)
+	}
+	if got := r.Int32(); got != math.MaxInt32 {
+		t.Fatalf("int32 = %d", got)
+	}
+	if got := r.Int32(); got != math.MinInt32 {
+		t.Fatalf("int32 = %d", got)
+	}
+	if got := r.Blob(); !bytes.Equal(got, []byte("hello")) {
+		t.Fatalf("blob = %q", got)
+	}
+	if got := r.Blob(); got != nil {
+		t.Fatalf("empty blob = %q", got)
+	}
+	if got := r.String(); got != "world" {
+		t.Fatalf("string = %q", got)
+	}
+	if got := r.Bytes32(); got != ([32]byte{1, 2, 3}) {
+		t.Fatalf("bytes32 = %v", got)
+	}
+	if err := r.Finish(); err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+}
+
+func TestReaderShortBuffer(t *testing.T) {
+	w := NewWriter(0)
+	w.Blob([]byte("hello"))
+	full := w.Bytes()
+	for cut := 0; cut < len(full); cut++ {
+		r := NewReader(full[:cut])
+		r.Blob()
+		if r.Err() == nil {
+			t.Fatalf("no error decoding truncated buffer at %d", cut)
+		}
+	}
+}
+
+func TestReaderTrailingData(t *testing.T) {
+	w := NewWriter(0)
+	w.Uvarint(1)
+	w.Uvarint(2)
+	r := NewReader(w.Bytes())
+	r.Uvarint()
+	if err := r.Finish(); err == nil {
+		t.Fatal("Finish accepted trailing data")
+	}
+}
+
+func TestReaderErrorSticky(t *testing.T) {
+	r := NewReader(nil)
+	r.Uvarint()
+	first := r.Err()
+	if first == nil {
+		t.Fatal("expected error on empty buffer")
+	}
+	r.Uint8()
+	_ = r.String()
+	if r.Err() != first {
+		t.Fatal("error not sticky")
+	}
+}
+
+func TestCommandRoundTrip(t *testing.T) {
+	f := func(client int32, ts uint64, op uint8, key string, value []byte) bool {
+		in := types.Command{
+			Client:    types.ClientID(client),
+			Timestamp: ts,
+			Op:        types.Op(op),
+			Key:       key,
+			Value:     value,
+		}
+		w := NewWriter(0)
+		w.Command(in)
+		r := NewReader(w.Bytes())
+		out := r.Command()
+		if r.Finish() != nil {
+			return false
+		}
+		return out.Client == in.Client && out.Timestamp == in.Timestamp &&
+			out.Op == in.Op && out.Key == in.Key && bytes.Equal(out.Value, in.Value)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInstanceSetRoundTripAndDeterminism(t *testing.T) {
+	s := types.NewInstanceSet(
+		types.InstanceID{Space: 3, Slot: 9},
+		types.InstanceID{Space: 0, Slot: 1},
+		types.InstanceID{Space: 1, Slot: 400},
+	)
+	w1 := NewWriter(0)
+	w1.InstanceSet(s)
+	// Encoding must be identical across calls despite map iteration order.
+	for i := 0; i < 20; i++ {
+		w2 := NewWriter(0)
+		w2.InstanceSet(s)
+		if !bytes.Equal(w1.Bytes(), w2.Bytes()) {
+			t.Fatal("instance set encoding not deterministic")
+		}
+	}
+	r := NewReader(w1.Bytes())
+	out := r.InstanceSet()
+	if err := r.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if !out.Equal(s) {
+		t.Fatalf("round trip mismatch: %v vs %v", out, s)
+	}
+}
+
+func TestInstanceSetSanityBound(t *testing.T) {
+	w := NewWriter(0)
+	w.Uvarint(1 << 30) // absurd count with no entries
+	r := NewReader(w.Bytes())
+	if out := r.InstanceSet(); out != nil || r.Err() == nil {
+		t.Fatal("oversized instance set accepted")
+	}
+}
+
+type testMsg struct {
+	A uint64
+	B string
+}
+
+func (m *testMsg) Tag() uint8 { return 255 }
+func (m *testMsg) MarshalTo(w *Writer) {
+	w.Uvarint(m.A)
+	w.String(m.B)
+}
+
+func init() {
+	Register(255, "testMsg", func(r *Reader) (Message, error) {
+		return &testMsg{A: r.Uvarint(), B: r.String()}, r.Err()
+	})
+}
+
+func TestRegistryRoundTrip(t *testing.T) {
+	in := &testMsg{A: 42, B: "hi"}
+	b := Marshal(in)
+	out, err := Unmarshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := out.(*testMsg)
+	if !ok {
+		t.Fatalf("decoded wrong type %T", out)
+	}
+	if got.A != in.A || got.B != in.B {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	if EncodedSize(in) != len(b) {
+		t.Fatal("EncodedSize inconsistent with Marshal")
+	}
+}
+
+func TestUnmarshalUnknownTag(t *testing.T) {
+	if _, err := Unmarshal([]byte{254}); err == nil {
+		t.Fatal("unknown tag accepted")
+	}
+	if _, err := Unmarshal(nil); err == nil {
+		t.Fatal("empty buffer accepted")
+	}
+}
+
+func TestUnmarshalTrailingGarbage(t *testing.T) {
+	b := Marshal(&testMsg{A: 1, B: "x"})
+	b = append(b, 0xEE)
+	if _, err := Unmarshal(b); err == nil {
+		t.Fatal("trailing garbage accepted")
+	}
+}

@@ -1,0 +1,85 @@
+package codec
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Message is the interface every wire message implements. Type tags are
+// globally unique across protocols (each protocol reserves a tag range) so a
+// single transport can carry any protocol's traffic.
+type Message interface {
+	// Tag returns the message's globally unique one-byte type tag.
+	Tag() uint8
+	// MarshalTo appends the message body (excluding the tag) to w.
+	MarshalTo(w *Writer)
+}
+
+// Decoder parses a message body (excluding the tag).
+type Decoder func(r *Reader) (Message, error)
+
+var registry struct {
+	sync.RWMutex
+	decoders [256]Decoder
+	names    [256]string
+}
+
+// Register installs the decoder for a message tag. It is intended to be
+// called from protocol package variable initializers; registering the same
+// tag twice is a programming error and is reported on first use.
+func Register(tag uint8, name string, dec Decoder) {
+	registry.Lock()
+	defer registry.Unlock()
+	if registry.decoders[tag] != nil {
+		// Duplicate registration indicates two protocols chose overlapping
+		// tag ranges; surface it loudly at startup rather than corrupting
+		// traffic at runtime.
+		panic(fmt.Sprintf("codec: duplicate registration for tag %d (%s vs %s)",
+			tag, registry.names[tag], name))
+	}
+	registry.decoders[tag] = dec
+	registry.names[tag] = name
+}
+
+// Marshal encodes a full framed message: tag byte followed by the body.
+func Marshal(m Message) []byte {
+	w := NewWriter(128)
+	w.Uint8(m.Tag())
+	m.MarshalTo(w)
+	return w.Bytes()
+}
+
+// MarshalBody encodes only the message body (no tag). This is the byte
+// string that authenticators sign.
+func MarshalBody(m Message) []byte {
+	w := NewWriter(128)
+	m.MarshalTo(w)
+	return w.Bytes()
+}
+
+// Unmarshal decodes a full framed message produced by Marshal.
+func Unmarshal(b []byte) (Message, error) {
+	if len(b) == 0 {
+		return nil, ErrShortBuffer
+	}
+	tag := b[0]
+	registry.RLock()
+	dec := registry.decoders[tag]
+	registry.RUnlock()
+	if dec == nil {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownType, tag)
+	}
+	r := NewReader(b[1:])
+	m, err := dec(r)
+	if err != nil {
+		return nil, fmt.Errorf("codec: decoding tag %d: %w", tag, err)
+	}
+	if err := r.Finish(); err != nil {
+		return nil, fmt.Errorf("codec: decoding tag %d: %w", tag, err)
+	}
+	return m, nil
+}
+
+// EncodedSize returns the framed size of a message in bytes. The simulator
+// uses it to charge per-byte transmission and processing costs.
+func EncodedSize(m Message) int { return len(Marshal(m)) }

@@ -1,0 +1,513 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"ezbft/internal/auth"
+	"ezbft/internal/codec"
+	"ezbft/internal/proc"
+	"ezbft/internal/types"
+	"ezbft/internal/workload"
+)
+
+// Client-side defaults; experiments tune these to their topology.
+const (
+	DefaultSlowPathTimeout = 400 * time.Millisecond
+	DefaultRetryTimeout    = 4 * time.Second
+)
+
+// ErrNilDriver reports a client configured without a workload driver.
+var ErrNilDriver = errors.New("core: client driver must not be nil")
+
+// ClientConfig configures one ezBFT client.
+type ClientConfig struct {
+	// ID is this client's identifier.
+	ID types.ClientID
+	// N is the cluster size (3f+1).
+	N int
+	// Leader is the replica this client sends requests to (its closest).
+	Leader types.ReplicaID
+	// Auth signs requests and verifies replica replies.
+	Auth auth.Authenticator
+	// Costs holds virtual processing costs for simulation.
+	Costs proc.Costs
+	// Driver decides what to submit and receives completions.
+	Driver workload.Driver
+	// SlowPathTimeout is the paper's step-4.2 timer: how long to wait for
+	// matching replies before combining a 2f+1 quorum's dependencies.
+	SlowPathTimeout time.Duration
+	// RetryTimeout is the paper's step-4.3 timer: how long to wait for
+	// 2f+1 replies before re-broadcasting the request to all replicas.
+	RetryTimeout time.Duration
+	// DisableFastPath makes the client ignore fast-path opportunities and
+	// always commit through the slow path. Ablation only: it quantifies
+	// what speculative execution plus the 3f+1 fast quorum buy (DESIGN.md
+	// §5); never enable it in production use.
+	DisableFastPath bool
+}
+
+func (c *ClientConfig) validate() error {
+	if c.N < 4 || (c.N-1)%3 != 0 {
+		return fmt.Errorf("%w: N=%d", ErrBadClusterSize, c.N)
+	}
+	if c.Leader < 0 || int(c.Leader) >= c.N {
+		return fmt.Errorf("%w: leader %d", ErrBadReplicaID, c.Leader)
+	}
+	if c.Auth == nil {
+		return ErrNilAuth
+	}
+	if c.Driver == nil {
+		return ErrNilDriver
+	}
+	if c.SlowPathTimeout <= 0 {
+		c.SlowPathTimeout = DefaultSlowPathTimeout
+	}
+	if c.RetryTimeout <= 0 {
+		c.RetryTimeout = DefaultRetryTimeout
+	}
+	return nil
+}
+
+// ClientStats exposes client-side protocol counters.
+type ClientStats struct {
+	Submitted     uint64
+	FastDecisions uint64
+	SlowDecisions uint64
+	Retries       uint64
+	POMsSent      uint64
+}
+
+// pendingReq tracks one outstanding request.
+type pendingReq struct {
+	cmd    types.Command
+	req    *Request
+	issued time.Duration
+	// replies groups SPECREPLYs by the instance they vouch for, then by
+	// sender (a faulty leader may cause several instances per request).
+	replies  map[types.InstanceID]map[types.ReplicaID]*SpecReply
+	replied  map[types.ReplicaID]bool
+	pomSent  bool
+	retries  int
+	timedOut bool
+
+	commitSent    bool
+	commitInst    types.InstanceID
+	commitReplies map[types.ReplicaID]*CommitReply
+}
+
+// Client is an ezBFT client: it actively participates in consensus by
+// collecting speculative replies, deciding fast versus slow path, combining
+// dependency sets, detecting command-leader equivocation, and enforcing the
+// final order (paper §III: "the client is actively involved in the
+// consensus process"). It implements proc.Process.
+type Client struct {
+	cfg ClientConfig
+	n   int
+	f   int
+
+	nextTS  uint64
+	pending map[uint64]*pendingReq
+	stats   ClientStats
+}
+
+var (
+	_ proc.Process       = (*Client)(nil)
+	_ workload.Submitter = (*Client)(nil)
+)
+
+// timer id layout: ts*4 + kind (kinds below); driver timers pass through.
+const (
+	timerKindSlow  = 1
+	timerKindRetry = 2
+)
+
+// NewClient constructs a client.
+func NewClient(cfg ClientConfig) (*Client, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &Client{
+		cfg:     cfg,
+		n:       cfg.N,
+		f:       F(cfg.N),
+		pending: make(map[uint64]*pendingReq),
+	}, nil
+}
+
+// ID implements proc.Process.
+func (c *Client) ID() types.NodeID { return types.ClientNode(c.cfg.ID) }
+
+// ClientID implements workload.Submitter.
+func (c *Client) ClientID() types.ClientID { return c.cfg.ID }
+
+// InFlight implements workload.Submitter.
+func (c *Client) InFlight() int { return len(c.pending) }
+
+// Stats returns a snapshot of client counters.
+func (c *Client) Stats() ClientStats { return c.stats }
+
+// Init implements proc.Process.
+func (c *Client) Init(ctx proc.Context) {
+	c.cfg.Driver.Start(ctx, c)
+}
+
+// Submit implements workload.Submitter: stamp the command, sign the
+// REQUEST, send it to the nearest replica, and arm the slow-path and retry
+// timers.
+func (c *Client) Submit(ctx proc.Context, cmd types.Command) {
+	c.nextTS++
+	ts := c.nextTS
+	cmd.Client = c.cfg.ID
+	cmd.Timestamp = ts
+
+	req := &Request{Cmd: cmd, Orig: noOrig}
+	c.cfg.Costs.ChargeSign(ctx)
+	req.Sig = c.cfg.Auth.Sign(req.SignedBody())
+
+	c.pending[ts] = &pendingReq{
+		cmd:           cmd,
+		req:           req,
+		issued:        ctx.Now(),
+		replies:       make(map[types.InstanceID]map[types.ReplicaID]*SpecReply),
+		replied:       make(map[types.ReplicaID]bool),
+		commitReplies: make(map[types.ReplicaID]*CommitReply),
+	}
+	c.stats.Submitted++
+	ctx.Send(types.ReplicaNode(c.cfg.Leader), req)
+	ctx.SetTimer(proc.TimerID(ts*4+timerKindSlow), c.cfg.SlowPathTimeout)
+	ctx.SetTimer(proc.TimerID(ts*4+timerKindRetry), c.cfg.RetryTimeout)
+}
+
+// Receive implements proc.Process.
+func (c *Client) Receive(ctx proc.Context, from types.NodeID, msg codec.Message) {
+	switch m := msg.(type) {
+	case *SpecReply:
+		c.handleSpecReply(ctx, m)
+	case *CommitReply:
+		c.handleCommitReply(ctx, m)
+	}
+}
+
+// OnTimer implements proc.Process.
+func (c *Client) OnTimer(ctx proc.Context, id proc.TimerID) {
+	if id >= workload.DriverTimerBase {
+		c.cfg.Driver.OnTimer(ctx, c, id)
+		return
+	}
+	ts := uint64(id) / 4
+	p, ok := c.pending[ts]
+	if !ok {
+		return
+	}
+	switch uint64(id) % 4 {
+	case timerKindSlow:
+		if !c.trySlowPath(ctx, ts, p) {
+			// Not enough replies yet; check again after another period.
+			ctx.SetTimer(id, c.cfg.SlowPathTimeout)
+		}
+	case timerKindRetry:
+		c.retry(ctx, ts, p)
+	}
+}
+
+// handleSpecReply processes step 4: collect replies, check for proofs of
+// misbehaviour, and decide fast path on 3f+1 matching replies.
+func (c *Client) handleSpecReply(ctx proc.Context, m *SpecReply) {
+	p, ok := c.pending[m.Timestamp]
+	if !ok || m.Client != c.cfg.ID {
+		return
+	}
+	c.cfg.Costs.ChargeVerify(ctx, 1)
+	if err := c.cfg.Auth.Verify(types.ReplicaNode(m.Replica), m.SignedBody(), m.Sig); err != nil {
+		return
+	}
+	if m.CmdDigest != p.cmd.Digest() {
+		return
+	}
+
+	// Step 4.4: an embedded SPECORDER that disagrees with a previously seen
+	// one on the instance number proves command-leader equivocation.
+	if !p.pomSent && m.SO != nil {
+		c.checkPOM(ctx, p, m)
+	}
+
+	group, ok := p.replies[m.Inst]
+	if !ok {
+		group = make(map[types.ReplicaID]*SpecReply, c.n)
+		p.replies[m.Inst] = group
+	}
+	group[m.Replica] = m
+	p.replied[m.Replica] = true
+
+	// Step 4.1: 3f+1 matching responses constitute a fast decision.
+	if !c.cfg.DisableFastPath && len(group) == FastQuorum(c.n) && c.allMatch(group) {
+		c.finishFast(ctx, m.Timestamp, p, m.Inst, group)
+		return
+	}
+	// If every replica has answered and no fast decision is possible, take
+	// the slow path immediately rather than waiting for the timer.
+	if !p.commitSent && len(p.replied) == c.n {
+		c.trySlowPath(ctx, m.Timestamp, p)
+	}
+}
+
+// checkPOM compares the new reply's embedded SPECORDER against previously
+// collected ones; on a conflict it broadcasts the proof of misbehaviour.
+func (c *Client) checkPOM(ctx proc.Context, p *pendingReq, m *SpecReply) {
+	for _, group := range p.replies {
+		for _, prev := range group {
+			if prev.SO == nil || prev.SO.Owner != m.SO.Owner {
+				continue
+			}
+			if prev.SO.Inst == m.SO.Inst {
+				continue
+			}
+			// Same owner ordered the same request at two instances; verify
+			// both signatures before accusing.
+			owner := m.SO.Owner.OwnerOf(c.n)
+			c.cfg.Costs.ChargeVerify(ctx, 2)
+			if c.cfg.Auth.Verify(types.ReplicaNode(owner), m.SO.SignedBody(), m.SO.Sig) != nil {
+				return
+			}
+			if c.cfg.Auth.Verify(types.ReplicaNode(owner), prev.SO.SignedBody(), prev.SO.Sig) != nil {
+				return
+			}
+			pom := &POM{Suspect: owner, Owner: m.SO.Owner, Client: c.cfg.ID, A: prev.SO, B: m.SO}
+			for i := 0; i < c.n; i++ {
+				ctx.Send(types.ReplicaNode(types.ReplicaID(i)), pom)
+			}
+			p.pomSent = true
+			c.stats.POMsSent++
+			return
+		}
+	}
+}
+
+// allMatch reports whether every reply in the group matches (deterministic
+// reference: the lowest replica ID).
+func (c *Client) allMatch(group map[types.ReplicaID]*SpecReply) bool {
+	ref := group[c.lowestReplica(group)]
+	for _, sr := range group {
+		if !sr.Matches(ref) {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *Client) lowestReplica(group map[types.ReplicaID]*SpecReply) types.ReplicaID {
+	low := types.ReplicaID(-1)
+	for rid := range group {
+		if low < 0 || rid < low {
+			low = rid
+		}
+	}
+	return low
+}
+
+// finishFast completes a request on the fast path: return to the
+// application, then asynchronously send COMMITFAST with the certificate.
+func (c *Client) finishFast(ctx proc.Context, ts uint64, p *pendingReq, inst types.InstanceID, group map[types.ReplicaID]*SpecReply) {
+	cert := make([]*SpecReply, 0, len(group))
+	for _, rid := range sortedGroupKeys(group) {
+		cert = append(cert, group[rid])
+	}
+	cf := &CommitFast{Client: c.cfg.ID, Inst: inst, Cert: cert}
+	for i := 0; i < c.n; i++ {
+		ctx.Send(types.ReplicaNode(types.ReplicaID(i)), cf)
+	}
+	c.stats.FastDecisions++
+	c.finish(ctx, ts, p, group[c.lowestReplica(group)].Result, true)
+}
+
+// trySlowPath implements step 4.2: with at least 2f+1 replies for one
+// instance, combine their dependency sets, take the maximum sequence
+// number, and broadcast the signed COMMIT. Reports whether the commit was
+// sent (or the request is already done).
+func (c *Client) trySlowPath(ctx proc.Context, ts uint64, p *pendingReq) bool {
+	if p.commitSent {
+		return true
+	}
+	inst, group := c.bestGroup(p)
+	if group == nil || len(group) < SlowQuorum(c.n) {
+		return false
+	}
+	// Prefer the command-leader's known slow quorum (the paper's
+	// "Nitpick"); fall back to the lowest 2f+1 replica IDs that answered.
+	leader := types.ReplicaID(-1)
+	if len(group) > 0 {
+		leader = group[c.lowestReplica(group)].Owner.OwnerOf(c.n)
+	}
+	chosen := make([]*SpecReply, 0, SlowQuorum(c.n))
+	known := SlowQuorumMembers(leader, c.n)
+	complete := true
+	for _, rid := range known {
+		sr, ok := group[rid]
+		if !ok {
+			complete = false
+			break
+		}
+		chosen = append(chosen, sr)
+	}
+	if !complete {
+		chosen = chosen[:0]
+		for _, rid := range sortedGroupKeys(group) {
+			chosen = append(chosen, group[rid])
+			if len(chosen) == SlowQuorum(c.n) {
+				break
+			}
+		}
+	}
+
+	deps := types.NewInstanceSet()
+	var seq types.SeqNumber
+	for _, sr := range chosen {
+		deps.Union(sr.Deps)
+		if sr.Seq > seq {
+			seq = sr.Seq
+		}
+	}
+
+	commit := &Commit{
+		Client:    c.cfg.ID,
+		Timestamp: ts,
+		Inst:      inst,
+		Deps:      deps,
+		Seq:       seq,
+		Cert:      chosen,
+	}
+	c.cfg.Costs.ChargeSign(ctx)
+	commit.Sig = c.cfg.Auth.Sign(commit.SignedBody())
+	for i := 0; i < c.n; i++ {
+		ctx.Send(types.ReplicaNode(types.ReplicaID(i)), commit)
+	}
+	p.commitSent = true
+	p.commitInst = inst
+	c.stats.SlowDecisions++
+	return true
+}
+
+// bestGroup returns the instance with the most replies (ties broken by
+// instance order, for determinism).
+func (c *Client) bestGroup(p *pendingReq) (types.InstanceID, map[types.ReplicaID]*SpecReply) {
+	var (
+		bestInst  types.InstanceID
+		bestGroup map[types.ReplicaID]*SpecReply
+	)
+	insts := make([]types.InstanceID, 0, len(p.replies))
+	for inst := range p.replies {
+		insts = append(insts, inst)
+	}
+	sort.Slice(insts, func(i, j int) bool { return insts[i].Less(insts[j]) })
+	for _, inst := range insts {
+		g := p.replies[inst]
+		if bestGroup == nil || len(g) > len(bestGroup) {
+			bestInst, bestGroup = inst, g
+		}
+	}
+	return bestInst, bestGroup
+}
+
+// handleCommitReply processes step 6.2: the request completes when 2f+1
+// replicas report the same final-execution result.
+func (c *Client) handleCommitReply(ctx proc.Context, m *CommitReply) {
+	var (
+		ts uint64
+		p  *pendingReq
+	)
+	for candTS, cand := range c.pending {
+		if cand.commitSent && cand.commitInst == m.Inst {
+			ts, p = candTS, cand
+			break
+		}
+	}
+	if p == nil {
+		return
+	}
+	c.cfg.Costs.ChargeVerify(ctx, 1)
+	if err := c.cfg.Auth.Verify(types.ReplicaNode(m.Replica), m.SignedBody(), m.Sig); err != nil {
+		return
+	}
+	if m.CmdDigest != p.cmd.Digest() {
+		return
+	}
+	p.commitReplies[m.Replica] = m
+
+	// Count matching results.
+	counts := make(map[string]int, 2)
+	for _, cr := range p.commitReplies {
+		key := fmt.Sprintf("%t|%x", cr.Result.OK, cr.Result.Value)
+		counts[key]++
+		if counts[key] >= SlowQuorum(c.n) {
+			c.finish(ctx, ts, p, cr.Result, false)
+			return
+		}
+	}
+}
+
+// retry implements step 4.3: too few replies within the timeout, so the
+// client re-broadcasts the request to all replicas, naming the original
+// recipient.
+func (c *Client) retry(ctx proc.Context, ts uint64, p *pendingReq) {
+	p.retries++
+	p.timedOut = true
+	c.stats.Retries++
+	// A COMMIT sent just before an owner change may have been dropped by
+	// suspended replicas; allow a fresh slow-path decision on whatever
+	// groups form after the retry.
+	p.commitSent = false
+	p.commitReplies = make(map[types.ReplicaID]*CommitReply)
+
+	// Broadcast the request naming the original leader: replicas that
+	// already spec-ordered it resend their cached replies, and the rest
+	// forward RESENDREQs that (on timeout) trigger an owner change.
+	retryReq := &Request{Cmd: p.cmd, Orig: c.cfg.Leader}
+	c.cfg.Costs.ChargeSign(ctx)
+	retryReq.Sig = c.cfg.Auth.Sign(retryReq.SignedBody())
+	for i := 0; i < c.n; i++ {
+		ctx.Send(types.ReplicaNode(types.ReplicaID(i)), retryReq)
+	}
+	// Additionally rotate to the next replica as a fresh command-leader so
+	// the request gets ordered even if the original leader never did. At
+	// most one replica adopts per retry round: orphan duplicates would
+	// otherwise interfere with each other across instance spaces.
+	rotated := types.ReplicaID((int(c.cfg.Leader) + p.retries) % c.n)
+	direct := &Request{Cmd: p.cmd, Orig: noOrig}
+	c.cfg.Costs.ChargeSign(ctx)
+	direct.Sig = c.cfg.Auth.Sign(direct.SignedBody())
+	ctx.Send(types.ReplicaNode(rotated), direct)
+
+	// Exponential backoff on subsequent retries (capped).
+	shift := p.retries
+	if shift > 6 {
+		shift = 6
+	}
+	ctx.SetTimer(proc.TimerID(ts*4+timerKindRetry), c.cfg.RetryTimeout<<uint(shift))
+	ctx.SetTimer(proc.TimerID(ts*4+timerKindSlow), c.cfg.SlowPathTimeout)
+}
+
+// finish completes a request and notifies the driver.
+func (c *Client) finish(ctx proc.Context, ts uint64, p *pendingReq, res types.Result, fast bool) {
+	delete(c.pending, ts)
+	ctx.CancelTimer(proc.TimerID(ts*4 + timerKindSlow))
+	ctx.CancelTimer(proc.TimerID(ts*4 + timerKindRetry))
+	c.cfg.Driver.Completed(ctx, c, workload.Completion{
+		Cmd:      p.cmd,
+		Result:   res,
+		Latency:  ctx.Now() - p.issued,
+		At:       ctx.Now(),
+		FastPath: fast,
+	})
+}
+
+func sortedGroupKeys(group map[types.ReplicaID]*SpecReply) []types.ReplicaID {
+	out := make([]types.ReplicaID, 0, len(group))
+	for rid := range group {
+		out = append(out, rid)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

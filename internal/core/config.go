@@ -1,0 +1,110 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"ezbft/internal/auth"
+	"ezbft/internal/proc"
+	"ezbft/internal/types"
+)
+
+// Configuration errors.
+var (
+	ErrBadClusterSize = errors.New("core: cluster size must be 3f+1 for some f >= 1")
+	ErrBadReplicaID   = errors.New("core: replica id out of range")
+	ErrNilApp         = errors.New("core: application must not be nil")
+	ErrNilAuth        = errors.New("core: authenticator must not be nil")
+)
+
+// Defaults for timeouts; experiments override them to match their topology.
+const (
+	DefaultResendTimeout = 2 * time.Second
+)
+
+// ReplicaConfig configures one ezBFT replica.
+type ReplicaConfig struct {
+	// Self is this replica's identifier in [0, N).
+	Self types.ReplicaID
+	// N is the cluster size; must be 3f+1.
+	N int
+	// App is the replicated application; ezBFT requires speculative
+	// execution support.
+	App types.SpeculativeApplication
+	// Auth signs and verifies messages for this replica.
+	Auth auth.Authenticator
+	// Costs holds the virtual processing costs charged in simulation.
+	Costs proc.Costs
+	// ResendTimeout bounds how long a replica waits for a SPECORDER after
+	// forwarding a RESENDREQ before initiating an owner change.
+	ResendTimeout time.Duration
+	// DepWaitTimeout bounds how long final execution waits for an
+	// uncommitted dependency before initiating an owner change for the
+	// dependency's instance space.
+	DepWaitTimeout time.Duration
+	// Byzantine, when non-nil, makes this replica misbehave (tests and
+	// fault-injection experiments only).
+	Byzantine *ByzantineBehavior
+}
+
+// ByzantineBehavior selects misbehaviours for fault-injection runs.
+type ByzantineBehavior struct {
+	// EquivocateInstances makes the replica, as command-leader, assign
+	// different instance numbers for the same request to different replica
+	// subsets — the misbehaviour the client's POM check detects.
+	EquivocateInstances bool
+	// LieAboutDeps makes the replica, as a participant, always report an
+	// empty dependency set and sequence number 1 (the paper's Fig 3
+	// scenario).
+	LieAboutDeps bool
+	// Mute makes the replica stop sending any messages (fail-silent while
+	// still receiving; distinguishable from a crash only externally).
+	Mute bool
+}
+
+func (c *ReplicaConfig) validate() error {
+	if c.N < 4 || (c.N-1)%3 != 0 {
+		return fmt.Errorf("%w: N=%d", ErrBadClusterSize, c.N)
+	}
+	if c.Self < 0 || int(c.Self) >= c.N {
+		return fmt.Errorf("%w: %d", ErrBadReplicaID, c.Self)
+	}
+	if c.App == nil {
+		return ErrNilApp
+	}
+	if c.Auth == nil {
+		return ErrNilAuth
+	}
+	if c.ResendTimeout <= 0 {
+		c.ResendTimeout = DefaultResendTimeout
+	}
+	if c.DepWaitTimeout <= 0 {
+		c.DepWaitTimeout = c.ResendTimeout
+	}
+	return nil
+}
+
+// F returns the fault threshold for a cluster of n replicas (n = 3f+1).
+func F(n int) int { return (n - 1) / 3 }
+
+// FastQuorum returns the fast-path quorum size (3f+1: every replica).
+func FastQuorum(n int) int { return n }
+
+// SlowQuorum returns the slow-path quorum size (2f+1).
+func SlowQuorum(n int) int { return 2*F(n) + 1 }
+
+// WeakQuorum returns f+1, the size that guarantees one correct member.
+func WeakQuorum(n int) int { return F(n) + 1 }
+
+// SlowQuorumMembers returns the command-leader's known slow quorum (the
+// paper's "Nitpick" in §IV-C): leader and the 2f next replicas in ring
+// order. Clients use it to pick which dependency sets to combine when more
+// than 2f+1 replies arrive.
+func SlowQuorumMembers(leader types.ReplicaID, n int) []types.ReplicaID {
+	q := make([]types.ReplicaID, 0, SlowQuorum(n))
+	for i := 0; i < SlowQuorum(n); i++ {
+		q = append(q, types.ReplicaID((int(leader)+i)%n))
+	}
+	return q
+}

@@ -1,0 +1,197 @@
+package core
+
+import (
+	"sort"
+
+	"ezbft/internal/graph"
+	"ezbft/internal/proc"
+	"ezbft/internal/types"
+)
+
+// tryExecute runs the paper's execution protocol (§IV-B) over every
+// committed-but-unexecuted entry whose dependency closure is fully
+// committed:
+//
+//  1. wait for the command and its (transitive) dependencies to be
+//     committed;
+//  2. build the dependency graph;
+//  3. find strongly connected components, sort them topologically;
+//  4. execute components in inverse topological order, commands within a
+//     component in sequence-number order, ties broken by replica ID.
+//
+// Final execution runs on the previous final version of the state
+// (PromoteFinal); afterwards the speculative overlay is discarded, since
+// the final state supersedes it.
+func (r *Replica) tryExecute(ctx proc.Context) {
+	if len(r.pendingExec) == 0 {
+		return
+	}
+	// Deterministic iteration over pending entries.
+	pending := make([]types.InstanceID, 0, len(r.pendingExec))
+	for inst := range r.pendingExec {
+		pending = append(pending, inst)
+	}
+	sort.Slice(pending, func(i, j int) bool { return pending[i].Less(pending[j]) })
+
+	// blocked caches instances found unexecutable during this pass, so a
+	// large backlog of entries stuck behind the same dependency is checked
+	// once rather than once per pending entry (contended workloads create
+	// exactly that shape).
+	blocked := make(map[types.InstanceID]bool)
+	executedAny := false
+	for _, inst := range pending {
+		e, ok := r.pendingExec[inst]
+		if !ok {
+			continue // executed as part of an earlier closure this round
+		}
+		if blocked[inst] {
+			continue
+		}
+		closure, blockers := r.depClosure(e, blocked)
+		if len(blockers) > 0 {
+			// A committed command is stuck behind uncommitted dependencies.
+			// If a dependency's command-leader never drives it to commit,
+			// the only recovery is an owner change for that instance space
+			// (which either restores the entry via Condition 1/2 or
+			// finalizes it as a no-op) — arm the dependency-wait timers.
+			// Every closure member is equally stuck this pass.
+			for _, ce := range closure {
+				blocked[ce.inst] = true
+			}
+			sort.Slice(blockers, func(i, j int) bool { return blockers[i].Less(blockers[j]) })
+			r.armDepWait(ctx, blockers)
+			continue
+		}
+		r.executeClosure(ctx, closure)
+		executedAny = true
+	}
+	if executedAny {
+		// The final state advanced; speculative effects layered on the old
+		// final state are stale.
+		r.cfg.App.Rollback()
+	}
+}
+
+// depClosure collects the committed, unexecuted entries reachable from e
+// through dependency edges. It returns the instances blocking execution
+// (uncommitted reachable dependencies), if any (the paper: "wait for the
+// dependencies to be committed and enqueued for final execution as well").
+// Dependencies in frozen spaces that the owner change did not recover can
+// never commit; they are deterministically treated as executed no-ops
+// (every replica applies the same NEWOWNER safe set, so the skip set is
+// identical everywhere).
+//
+// Traversal order is intentionally unordered (map iteration): closure
+// membership and blocker identity are order-independent, and the execution
+// order is derived deterministically by the dependency graph afterwards.
+// Instances in `blocked` are known-stuck from earlier in the same pass.
+func (r *Replica) depClosure(e *entry, blocked map[types.InstanceID]bool) (closure []*entry, blockers []types.InstanceID) {
+	seen := map[types.InstanceID]bool{e.inst: true}
+	stack := []*entry{e}
+	closure = append(closure, e)
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for dep := range cur.deps {
+			if seen[dep] {
+				continue
+			}
+			seen[dep] = true
+			if blocked[dep] {
+				blockers = append(blockers, dep)
+				continue
+			}
+			de := r.log.get(dep)
+			if de == nil || de.status < StatusCommitted {
+				if r.log.space(dep.Space).frozen {
+					continue // unrecovered entry in a frozen space: no-op
+				}
+				blockers = append(blockers, dep)
+				continue
+			}
+			if de.status == StatusExecuted {
+				continue // already ordered before everything pending
+			}
+			closure = append(closure, de)
+			stack = append(stack, de)
+		}
+	}
+	return closure, blockers
+}
+
+// armDepWait starts the dependency-wait timer for each blocking instance:
+// if the dependency is still uncommitted when the timer fires, an owner
+// change is initiated for its space.
+func (r *Replica) armDepWait(ctx proc.Context, blockers []types.InstanceID) {
+	for _, dep := range blockers {
+		if r.depWait[dep] {
+			continue
+		}
+		r.depWait[dep] = true
+		dep := dep
+		r.afterTimer(ctx, r.cfg.DepWaitTimeout, func(ctx proc.Context) {
+			delete(r.depWait, dep)
+			de := r.log.get(dep)
+			if de != nil && de.status >= StatusCommitted {
+				return // committed in the meantime
+			}
+			if r.log.space(dep.Space).frozen {
+				r.tryExecute(ctx) // frozen while waiting: no-op rule applies
+				return
+			}
+			r.initiateOwnerChange(ctx, r.owners[dep.Space].OwnerOf(r.n))
+		})
+	}
+}
+
+// executeClosure linearizes one complete closure and executes it.
+func (r *Replica) executeClosure(ctx proc.Context, closure []*entry) {
+	g := graph.NewDepGraph()
+	for _, e := range closure {
+		g.Add(e.inst, e.seq, e.deps)
+	}
+	for _, inst := range g.ExecutionOrder() {
+		e := r.log.get(inst)
+		if e == nil || e.status != StatusCommitted {
+			continue
+		}
+		r.finalExecute(ctx, e)
+	}
+}
+
+// finalExecute runs one command on the final state with exactly-once
+// semantics: if the same client request was already executed under a
+// different instance (a re-proposal after an owner change), the memoized
+// result is reused instead of re-executing.
+func (r *Replica) finalExecute(ctx proc.Context, e *entry) {
+	key := cmdKey{e.cmd.Client, e.cmd.Timestamp}
+	if e.cmd.IsNoop() {
+		e.finalResult = types.Result{OK: true}
+	} else if res, done := r.executed[key]; done {
+		e.finalResult = res
+	} else {
+		r.cfg.Costs.ChargeExecute(ctx)
+		e.finalResult = r.cfg.App.PromoteFinal(e.cmd)
+		r.executed[key] = e.finalResult
+	}
+	e.status = StatusExecuted
+	delete(r.pendingExec, e.inst)
+	r.execLog = append(r.execLog, ExecRecord{Inst: e.inst, Cmd: e.cmd, Result: e.finalResult})
+	r.stats.FinalExecutions++
+	if e.needsCommitReply {
+		e.needsCommitReply = false
+		r.sendCommitReply(ctx, e, e.replyTo)
+	}
+}
+
+// ExecutedLog returns the sequence of finally executed commands with their
+// instances, in execution order. Test/inspection helper: consistency checks
+// compare these across replicas.
+func (r *Replica) ExecutedLog() []ExecRecord { return append([]ExecRecord(nil), r.execLog...) }
+
+// ExecRecord is one finally executed command.
+type ExecRecord struct {
+	Inst   types.InstanceID
+	Cmd    types.Command
+	Result types.Result
+}

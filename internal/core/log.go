@@ -1,0 +1,238 @@
+package core
+
+import (
+	"crypto/sha256"
+
+	"ezbft/internal/types"
+)
+
+// Status tracks a command's progress through the protocol at one replica.
+type Status uint8
+
+// Command statuses (monotonically increasing).
+const (
+	StatusNone        Status = iota
+	StatusSpecOrdered        // spec-ordered and speculatively executed
+	StatusCommitted          // final dependencies and sequence number fixed
+	StatusExecuted           // finally executed
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case StatusNone:
+		return "none"
+	case StatusSpecOrdered:
+		return "spec-ordered"
+	case StatusCommitted:
+		return "committed"
+	case StatusExecuted:
+		return "executed"
+	default:
+		return "invalid"
+	}
+}
+
+// entry is one slot of one instance space in a replica's command log.
+type entry struct {
+	inst      types.InstanceID
+	owner     types.OwnerNumber
+	cmd       types.Command
+	cmdDigest types.Digest
+	deps      types.InstanceSet
+	seq       types.SeqNumber
+	status    Status
+
+	specExecuted bool
+	specResult   types.Result
+	finalResult  types.Result
+
+	// so retains the (signed) SPECORDER that introduced this entry; it is
+	// the proof carried in owner-change histories and retransmitted on
+	// RESENDREQ.
+	so *SpecOrder
+	// clientCommit retains the client-signed COMMIT for slow-path commits;
+	// it is the Condition-1 proof in owner-change histories.
+	clientCommit *Commit
+
+	// needsCommitReply records the slow-path client to answer after final
+	// execution.
+	needsCommitReply bool
+	replyTo          types.ClientID
+}
+
+// space is one replica's view of one instance space.
+type space struct {
+	entries map[uint64]*entry
+	maxSlot uint64
+	// pending buffers out-of-order SPECORDERs until their slot is next.
+	pending map[uint64]*SpecOrder
+	// logHash is the chained digest h of the accepted prefix.
+	logHash types.Digest
+	// suspended is set when this replica commits to an owner change for
+	// the space: it stops participating (paper §IV-E) until the NEWOWNER
+	// message freezes the space for good.
+	suspended bool
+	frozen    bool
+}
+
+func newSpace() *space {
+	return &space{
+		entries: make(map[uint64]*entry),
+		pending: make(map[uint64]*SpecOrder),
+	}
+}
+
+// extendHash chains a new instance into the space digest.
+func (s *space) extendHash(inst types.InstanceID, d types.Digest) {
+	h := sha256.New()
+	h.Write(s.logHash[:])
+	var buf [12]byte
+	buf[0] = byte(uint32(inst.Space) >> 24)
+	buf[1] = byte(uint32(inst.Space) >> 16)
+	buf[2] = byte(uint32(inst.Space) >> 8)
+	buf[3] = byte(uint32(inst.Space))
+	for i := 0; i < 8; i++ {
+		buf[4+i] = byte(inst.Slot >> (56 - 8*i))
+	}
+	h.Write(buf[:])
+	h.Write(d[:])
+	copy(s.logHash[:], h.Sum(nil))
+}
+
+// cmdLog is a replica's full command log: one space per replica.
+type cmdLog struct {
+	n      int
+	spaces []*space
+}
+
+func newCmdLog(n int) *cmdLog {
+	l := &cmdLog{n: n, spaces: make([]*space, n)}
+	for i := range l.spaces {
+		l.spaces[i] = newSpace()
+	}
+	return l
+}
+
+func (l *cmdLog) space(r types.ReplicaID) *space { return l.spaces[r] }
+
+// get returns the entry at inst, or nil.
+func (l *cmdLog) get(inst types.InstanceID) *entry {
+	return l.spaces[inst.Space].entries[inst.Slot]
+}
+
+// put inserts an entry, updating the space's high-water mark.
+func (l *cmdLog) put(e *entry) {
+	sp := l.spaces[e.inst.Space]
+	sp.entries[e.inst.Slot] = e
+	if e.inst.Slot > sp.maxSlot {
+		sp.maxSlot = e.inst.Slot
+	}
+}
+
+// depIndex answers "which instances interfere with this command?" in O(1)
+// per instance space: it tracks, per key and per space, the latest instance
+// of each operation class. This is transitively complete: commands on the
+// same key in the same space form dependency chains, so the latest
+// interfering instance per space transitively covers all earlier ones (the
+// EPaxos optimization, applied per operation class because GETs do not
+// interfere with GETs nor INCRs with INCRs).
+type depIndex struct {
+	byKey map[string]*keyIndex
+}
+
+// keyIndex tracks the latest instance per (space, op-class) for one key.
+type keyIndex struct {
+	perSpace map[types.ReplicaID]*classLatest
+}
+
+type classLatest struct {
+	get, put, incr latestRef
+}
+
+type latestRef struct {
+	valid bool
+	inst  types.InstanceID
+	seq   types.SeqNumber
+}
+
+func newDepIndex() *depIndex {
+	return &depIndex{byKey: make(map[string]*keyIndex)}
+}
+
+// collect returns the dependency set for cmd (excluding `exclude`) and the
+// largest sequence number among the dependencies.
+func (d *depIndex) collect(cmd types.Command, exclude types.InstanceID) (types.InstanceSet, types.SeqNumber) {
+	deps := types.NewInstanceSet()
+	var maxSeq types.SeqNumber
+	if cmd.Op == types.OpNoop {
+		return deps, 0
+	}
+	ki, ok := d.byKey[cmd.Key]
+	if !ok {
+		return deps, 0
+	}
+	for _, cl := range ki.perSpace {
+		for _, ref := range cl.interfering(cmd.Op) {
+			if !ref.valid || ref.inst == exclude {
+				continue
+			}
+			deps.Add(ref.inst)
+			if ref.seq > maxSeq {
+				maxSeq = ref.seq
+			}
+		}
+	}
+	return deps, maxSeq
+}
+
+// interfering returns the class slots whose latest instance interferes with
+// an operation of class op.
+func (c *classLatest) interfering(op types.Op) []latestRef {
+	switch op {
+	case types.OpGet:
+		return []latestRef{c.put, c.incr}
+	case types.OpPut:
+		return []latestRef{c.get, c.put, c.incr}
+	case types.OpIncr:
+		return []latestRef{c.get, c.put}
+	default:
+		return nil
+	}
+}
+
+// update records an instance as the latest of its class for its key and
+// space. Seq-only updates (commit raising the sequence number) pass the
+// same instance again with the new seq.
+func (d *depIndex) update(inst types.InstanceID, cmd types.Command, seq types.SeqNumber) {
+	if cmd.Op == types.OpNoop {
+		return
+	}
+	ki, ok := d.byKey[cmd.Key]
+	if !ok {
+		ki = &keyIndex{perSpace: make(map[types.ReplicaID]*classLatest)}
+		d.byKey[cmd.Key] = ki
+	}
+	cl, ok := ki.perSpace[inst.Space]
+	if !ok {
+		cl = &classLatest{}
+		ki.perSpace[inst.Space] = cl
+	}
+	var ref *latestRef
+	switch cmd.Op {
+	case types.OpGet:
+		ref = &cl.get
+	case types.OpPut:
+		ref = &cl.put
+	case types.OpIncr:
+		ref = &cl.incr
+	default:
+		return
+	}
+	// Later slots supersede; same slot updates seq in place.
+	if !ref.valid || inst.Slot > ref.inst.Slot {
+		*ref = latestRef{valid: true, inst: inst, seq: seq}
+	} else if inst == ref.inst && seq > ref.seq {
+		ref.seq = seq
+	}
+}

@@ -1,0 +1,712 @@
+// Package core implements ezBFT (Arun, Peluso, Ravindran — ICDCS 2019), a
+// leaderless Byzantine fault-tolerant state machine replication protocol.
+//
+// Every replica acts as command-leader for the requests its clients send it,
+// ordering them in its own instance space. In the fast path a command
+// commits in three client-visible communication steps: REQUEST (client →
+// command-leader), SPECORDER (command-leader → replicas, with proposed
+// dependencies and sequence number), and SPECREPLY (replicas speculatively
+// execute and answer the client directly). The client commits the command
+// with a fast decision on 3f+1 matching replies, or falls back to a slow
+// path (COMMIT / COMMITREPLY, two extra steps) with a 2f+1 quorum whose
+// dependency sets it combines. Dependency graphs are linearized with
+// strongly connected components in inverse topological order (see
+// internal/graph). Faulty command-leaders are handled by the owner-change
+// protocol: their instance space is handed to the next replica and frozen.
+//
+// This file defines the wire messages (codec tags 10–20). Signed messages
+// carry their signature separately from the body; the signature covers the
+// deterministic codec encoding of the body (signedBody).
+package core
+
+import (
+	"ezbft/internal/codec"
+	"ezbft/internal/types"
+)
+
+// Message type tags reserved by ezBFT.
+const (
+	tagRequest          = 10
+	tagSpecOrder        = 11
+	tagSpecReply        = 12
+	tagCommitFast       = 13
+	tagCommit           = 14
+	tagCommitReply      = 15
+	tagResendReq        = 16
+	tagStartOwnerChange = 17
+	tagOwnerChange      = 18
+	tagNewOwner         = 19
+	tagPOM              = 20
+)
+
+// noOrig marks a Request that is not a retry broadcast.
+const noOrig types.ReplicaID = -1
+
+// Request is the client's signed command submission, ⟨REQUEST, L, t, c⟩σc.
+// On retry broadcasts (paper step 4.3) Orig names the replica originally
+// responsible, so receivers can forward a RESENDREQ to it.
+type Request struct {
+	Cmd  types.Command
+	Orig types.ReplicaID // noOrig unless this is a retry broadcast
+	Sig  []byte
+}
+
+// Tag implements codec.Message.
+func (m *Request) Tag() uint8 { return tagRequest }
+
+// MarshalTo implements codec.Message.
+func (m *Request) MarshalTo(w *codec.Writer) {
+	m.marshalBody(w)
+	w.Blob(m.Sig)
+}
+
+func (m *Request) marshalBody(w *codec.Writer) {
+	w.Command(m.Cmd)
+	w.Int32(int32(m.Orig))
+}
+
+// SignedBody returns the bytes the client signature covers.
+func (m *Request) SignedBody() []byte {
+	w := codec.NewWriter(64)
+	m.marshalBody(w)
+	return w.Bytes()
+}
+
+func decodeRequest(r *codec.Reader) (*Request, error) {
+	m := &Request{
+		Cmd:  r.Command(),
+		Orig: types.ReplicaID(r.Int32()),
+	}
+	m.Sig = r.Blob()
+	return m, r.Err()
+}
+
+// SpecOrder is the command-leader's signed ordering proposal,
+// ⟨⟨SPECORDER, O, I, D, S, h, d⟩σR, m⟩.
+type SpecOrder struct {
+	Owner     types.OwnerNumber // owner number of the leader's instance space
+	Inst      types.InstanceID
+	Deps      types.InstanceSet
+	Seq       types.SeqNumber
+	LogHash   types.Digest // h: chained digest of the leader's instance space
+	CmdDigest types.Digest // d = H(m)
+	Req       Request      // the embedded client request m
+	Sig       []byte       // leader signature over the body (excluding Req's own signature envelope)
+}
+
+// Tag implements codec.Message.
+func (m *SpecOrder) Tag() uint8 { return tagSpecOrder }
+
+// MarshalTo implements codec.Message.
+func (m *SpecOrder) MarshalTo(w *codec.Writer) {
+	m.marshalBody(w)
+	w.Blob(m.Sig)
+	m.Req.MarshalTo(w)
+}
+
+func (m *SpecOrder) marshalBody(w *codec.Writer) {
+	w.Uvarint(uint64(m.Owner))
+	w.Instance(m.Inst)
+	w.InstanceSet(m.Deps)
+	w.Uvarint(uint64(m.Seq))
+	w.Bytes32(m.LogHash)
+	w.Bytes32(m.CmdDigest)
+}
+
+// SignedBody returns the bytes the leader signature covers.
+func (m *SpecOrder) SignedBody() []byte {
+	w := codec.NewWriter(128)
+	m.marshalBody(w)
+	return w.Bytes()
+}
+
+func decodeSpecOrder(r *codec.Reader) (*SpecOrder, error) {
+	m := &SpecOrder{
+		Owner:     types.OwnerNumber(r.Uvarint()),
+		Inst:      r.Instance(),
+		Deps:      r.InstanceSet(),
+		Seq:       types.SeqNumber(r.Uvarint()),
+		LogHash:   r.Bytes32(),
+		CmdDigest: r.Bytes32(),
+	}
+	m.Sig = r.Blob()
+	req, err := decodeRequest(r)
+	if err != nil {
+		return nil, err
+	}
+	m.Req = *req
+	return m, r.Err()
+}
+
+// SpecReply is a replica's signed answer to the client,
+// ⟨⟨SPECREPLY, O, I, D′, S′, d, c, t⟩σR, R, rep, SO⟩.
+type SpecReply struct {
+	Owner     types.OwnerNumber
+	Inst      types.InstanceID
+	Deps      types.InstanceSet // D′: updated dependency set
+	Seq       types.SeqNumber   // S′: updated sequence number
+	CmdDigest types.Digest
+	Client    types.ClientID
+	Timestamp uint64
+	Replica   types.ReplicaID
+	Result    types.Result // rep: the speculative execution result
+	SO        *SpecOrder   // the embedded SPECORDER (client checks for equivocation)
+	Sig       []byte
+}
+
+// Tag implements codec.Message.
+func (m *SpecReply) Tag() uint8 { return tagSpecReply }
+
+// MarshalTo implements codec.Message.
+func (m *SpecReply) MarshalTo(w *codec.Writer) {
+	m.marshalBody(w)
+	w.Blob(m.Sig)
+	w.Bool(m.SO != nil)
+	if m.SO != nil {
+		m.SO.MarshalTo(w)
+	}
+}
+
+func (m *SpecReply) marshalBody(w *codec.Writer) {
+	w.Uvarint(uint64(m.Owner))
+	w.Instance(m.Inst)
+	w.InstanceSet(m.Deps)
+	w.Uvarint(uint64(m.Seq))
+	w.Bytes32(m.CmdDigest)
+	w.Int32(int32(m.Client))
+	w.Uvarint(m.Timestamp)
+	w.Int32(int32(m.Replica))
+	w.Bool(m.Result.OK)
+	w.Blob(m.Result.Value)
+}
+
+// SignedBody returns the bytes the replica signature covers.
+func (m *SpecReply) SignedBody() []byte {
+	w := codec.NewWriter(128)
+	m.marshalBody(w)
+	return w.Bytes()
+}
+
+// Matches reports whether two replies agree on every field the client
+// compares for the fast-path decision (paper step 4.1): O, I, D′, S′, c, t,
+// and rep.
+func (m *SpecReply) Matches(o *SpecReply) bool {
+	return m.Owner == o.Owner &&
+		m.Inst == o.Inst &&
+		m.Seq == o.Seq &&
+		m.CmdDigest == o.CmdDigest &&
+		m.Client == o.Client &&
+		m.Timestamp == o.Timestamp &&
+		m.Result.Equal(o.Result) &&
+		m.Deps.Equal(o.Deps)
+}
+
+func decodeSpecReply(r *codec.Reader) (*SpecReply, error) {
+	m := &SpecReply{
+		Owner:     types.OwnerNumber(r.Uvarint()),
+		Inst:      r.Instance(),
+		Deps:      r.InstanceSet(),
+		Seq:       types.SeqNumber(r.Uvarint()),
+		CmdDigest: r.Bytes32(),
+		Client:    types.ClientID(r.Int32()),
+		Timestamp: r.Uvarint(),
+		Replica:   types.ReplicaID(r.Int32()),
+	}
+	m.Result.OK = r.Bool()
+	m.Result.Value = r.Blob()
+	m.Sig = r.Blob()
+	if r.Bool() {
+		so, err := decodeSpecOrder(r)
+		if err != nil {
+			return nil, err
+		}
+		m.SO = so
+	}
+	return m, r.Err()
+}
+
+// CommitFast is the client's asynchronous fast-path commit announcement,
+// ⟨COMMITFAST, c, I, CC⟩ with CC = 3f+1 matching SPECREPLY messages.
+type CommitFast struct {
+	Client types.ClientID
+	Inst   types.InstanceID
+	Cert   []*SpecReply
+}
+
+// Tag implements codec.Message.
+func (m *CommitFast) Tag() uint8 { return tagCommitFast }
+
+// MarshalTo implements codec.Message.
+func (m *CommitFast) MarshalTo(w *codec.Writer) {
+	w.Int32(int32(m.Client))
+	w.Instance(m.Inst)
+	w.Uvarint(uint64(len(m.Cert)))
+	for _, sr := range m.Cert {
+		sr.MarshalTo(w)
+	}
+}
+
+func decodeCommitFast(r *codec.Reader) (*CommitFast, error) {
+	m := &CommitFast{
+		Client: types.ClientID(r.Int32()),
+		Inst:   r.Instance(),
+	}
+	n := r.Uvarint()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if n > 64 {
+		return nil, codec.ErrOverflow
+	}
+	m.Cert = make([]*SpecReply, 0, n)
+	for i := uint64(0); i < n; i++ {
+		sr, err := decodeSpecReply(r)
+		if err != nil {
+			return nil, err
+		}
+		m.Cert = append(m.Cert, sr)
+	}
+	return m, r.Err()
+}
+
+// Commit is the client's signed slow-path commit,
+// ⟨COMMIT, c, I, D′, S′, CC⟩σc with CC = 2f+1 SPECREPLY messages.
+type Commit struct {
+	Client    types.ClientID
+	Timestamp uint64
+	Inst      types.InstanceID
+	Deps      types.InstanceSet // final combined dependency set
+	Seq       types.SeqNumber   // final sequence number
+	Cert      []*SpecReply
+	Sig       []byte
+}
+
+// Tag implements codec.Message.
+func (m *Commit) Tag() uint8 { return tagCommit }
+
+// MarshalTo implements codec.Message.
+func (m *Commit) MarshalTo(w *codec.Writer) {
+	m.marshalBody(w)
+	w.Blob(m.Sig)
+	w.Uvarint(uint64(len(m.Cert)))
+	for _, sr := range m.Cert {
+		sr.MarshalTo(w)
+	}
+}
+
+func (m *Commit) marshalBody(w *codec.Writer) {
+	w.Int32(int32(m.Client))
+	w.Uvarint(m.Timestamp)
+	w.Instance(m.Inst)
+	w.InstanceSet(m.Deps)
+	w.Uvarint(uint64(m.Seq))
+}
+
+// SignedBody returns the bytes the client signature covers.
+func (m *Commit) SignedBody() []byte {
+	w := codec.NewWriter(64)
+	m.marshalBody(w)
+	return w.Bytes()
+}
+
+func decodeCommit(r *codec.Reader) (*Commit, error) {
+	m := &Commit{
+		Client:    types.ClientID(r.Int32()),
+		Timestamp: r.Uvarint(),
+		Inst:      r.Instance(),
+		Deps:      r.InstanceSet(),
+		Seq:       types.SeqNumber(r.Uvarint()),
+	}
+	m.Sig = r.Blob()
+	n := r.Uvarint()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if n > 64 {
+		return nil, codec.ErrOverflow
+	}
+	m.Cert = make([]*SpecReply, 0, n)
+	for i := uint64(0); i < n; i++ {
+		sr, err := decodeSpecReply(r)
+		if err != nil {
+			return nil, err
+		}
+		m.Cert = append(m.Cert, sr)
+	}
+	return m, r.Err()
+}
+
+// CommitReply carries the final-execution result to the client,
+// ⟨COMMITREPLY, L, rep⟩.
+type CommitReply struct {
+	Inst      types.InstanceID
+	CmdDigest types.Digest
+	Replica   types.ReplicaID
+	Result    types.Result
+	Sig       []byte
+}
+
+// Tag implements codec.Message.
+func (m *CommitReply) Tag() uint8 { return tagCommitReply }
+
+// MarshalTo implements codec.Message.
+func (m *CommitReply) MarshalTo(w *codec.Writer) {
+	m.marshalBody(w)
+	w.Blob(m.Sig)
+}
+
+func (m *CommitReply) marshalBody(w *codec.Writer) {
+	w.Instance(m.Inst)
+	w.Bytes32(m.CmdDigest)
+	w.Int32(int32(m.Replica))
+	w.Bool(m.Result.OK)
+	w.Blob(m.Result.Value)
+}
+
+// SignedBody returns the bytes the replica signature covers.
+func (m *CommitReply) SignedBody() []byte {
+	w := codec.NewWriter(64)
+	m.marshalBody(w)
+	return w.Bytes()
+}
+
+func decodeCommitReply(r *codec.Reader) (*CommitReply, error) {
+	m := &CommitReply{
+		Inst:      r.Instance(),
+		CmdDigest: r.Bytes32(),
+		Replica:   types.ReplicaID(r.Int32()),
+	}
+	m.Result.OK = r.Bool()
+	m.Result.Value = r.Blob()
+	m.Sig = r.Blob()
+	return m, r.Err()
+}
+
+// ResendReq asks the original command-leader to (re-)order a request whose
+// client timed out, ⟨RESENDREQ, m, R⟩ (paper step 4.3).
+type ResendReq struct {
+	Req     Request
+	Replica types.ReplicaID // forwarding replica
+}
+
+// Tag implements codec.Message.
+func (m *ResendReq) Tag() uint8 { return tagResendReq }
+
+// MarshalTo implements codec.Message.
+func (m *ResendReq) MarshalTo(w *codec.Writer) {
+	m.Req.MarshalTo(w)
+	w.Int32(int32(m.Replica))
+}
+
+func decodeResendReq(r *codec.Reader) (*ResendReq, error) {
+	req, err := decodeRequest(r)
+	if err != nil {
+		return nil, err
+	}
+	m := &ResendReq{Req: *req, Replica: types.ReplicaID(r.Int32())}
+	return m, r.Err()
+}
+
+// StartOwnerChange announces a replica's commitment to change the owner of
+// a suspect's instance space, ⟨STARTOWNERCHANGE, Ri, ORi⟩.
+type StartOwnerChange struct {
+	Suspect types.ReplicaID
+	Owner   types.OwnerNumber // the owner number being abandoned
+	Replica types.ReplicaID   // sender
+	Sig     []byte
+}
+
+// Tag implements codec.Message.
+func (m *StartOwnerChange) Tag() uint8 { return tagStartOwnerChange }
+
+// MarshalTo implements codec.Message.
+func (m *StartOwnerChange) MarshalTo(w *codec.Writer) {
+	m.marshalBody(w)
+	w.Blob(m.Sig)
+}
+
+func (m *StartOwnerChange) marshalBody(w *codec.Writer) {
+	w.Int32(int32(m.Suspect))
+	w.Uvarint(uint64(m.Owner))
+	w.Int32(int32(m.Replica))
+}
+
+// SignedBody returns the bytes the sender signature covers.
+func (m *StartOwnerChange) SignedBody() []byte {
+	w := codec.NewWriter(16)
+	m.marshalBody(w)
+	return w.Bytes()
+}
+
+func decodeStartOwnerChange(r *codec.Reader) (*StartOwnerChange, error) {
+	m := &StartOwnerChange{
+		Suspect: types.ReplicaID(r.Int32()),
+		Owner:   types.OwnerNumber(r.Uvarint()),
+		Replica: types.ReplicaID(r.Int32()),
+	}
+	m.Sig = r.Blob()
+	return m, r.Err()
+}
+
+// HistStatus describes an entry's status inside an owner-change history.
+type HistStatus uint8
+
+// History entry statuses.
+const (
+	HistSpecOrdered HistStatus = iota + 1
+	HistCommitted
+)
+
+// HistEntry is one instance of the suspect's space as reported in an
+// OWNERCHANGE message, with the proof backing it: the leader-signed
+// SPECORDER for spec-ordered (and fast-committed) entries, and the
+// client-signed COMMIT for slow-committed entries.
+type HistEntry struct {
+	Inst         types.InstanceID
+	Status       HistStatus
+	Cmd          types.Command
+	Deps         types.InstanceSet
+	Seq          types.SeqNumber
+	Owner        types.OwnerNumber
+	SO           *SpecOrder // proof for HistSpecOrdered (may be nil for locally derived entries)
+	ClientCommit *Commit    // proof for HistCommitted via slow path (nil for fast commits)
+}
+
+func (h *HistEntry) marshalTo(w *codec.Writer) {
+	w.Instance(h.Inst)
+	w.Uint8(uint8(h.Status))
+	w.Command(h.Cmd)
+	w.InstanceSet(h.Deps)
+	w.Uvarint(uint64(h.Seq))
+	w.Uvarint(uint64(h.Owner))
+	w.Bool(h.SO != nil)
+	if h.SO != nil {
+		h.SO.MarshalTo(w)
+	}
+	w.Bool(h.ClientCommit != nil)
+	if h.ClientCommit != nil {
+		h.ClientCommit.MarshalTo(w)
+	}
+}
+
+func decodeHistEntry(r *codec.Reader) (HistEntry, error) {
+	h := HistEntry{
+		Inst:   r.Instance(),
+		Status: HistStatus(r.Uint8()),
+		Cmd:    r.Command(),
+		Deps:   r.InstanceSet(),
+		Seq:    types.SeqNumber(r.Uvarint()),
+		Owner:  types.OwnerNumber(r.Uvarint()),
+	}
+	if r.Bool() {
+		so, err := decodeSpecOrder(r)
+		if err != nil {
+			return h, err
+		}
+		h.SO = so
+	}
+	if r.Bool() {
+		c, err := decodeCommit(r)
+		if err != nil {
+			return h, err
+		}
+		h.ClientCommit = c
+	}
+	return h, r.Err()
+}
+
+// OwnerChange carries a replica's view of the suspect's instance space to
+// the prospective new owner, ⟨OWNERCHANGE⟩.
+type OwnerChange struct {
+	Suspect  types.ReplicaID
+	NewOwner types.OwnerNumber
+	Replica  types.ReplicaID // sender
+	History  []HistEntry
+	Sig      []byte
+}
+
+// Tag implements codec.Message.
+func (m *OwnerChange) Tag() uint8 { return tagOwnerChange }
+
+// MarshalTo implements codec.Message.
+func (m *OwnerChange) MarshalTo(w *codec.Writer) {
+	m.marshalBody(w)
+	w.Blob(m.Sig)
+}
+
+func (m *OwnerChange) marshalBody(w *codec.Writer) {
+	w.Int32(int32(m.Suspect))
+	w.Uvarint(uint64(m.NewOwner))
+	w.Int32(int32(m.Replica))
+	w.Uvarint(uint64(len(m.History)))
+	for i := range m.History {
+		m.History[i].marshalTo(w)
+	}
+}
+
+// SignedBody returns the bytes the sender signature covers.
+func (m *OwnerChange) SignedBody() []byte {
+	w := codec.NewWriter(256)
+	m.marshalBody(w)
+	return w.Bytes()
+}
+
+func decodeOwnerChange(r *codec.Reader) (*OwnerChange, error) {
+	m := &OwnerChange{
+		Suspect:  types.ReplicaID(r.Int32()),
+		NewOwner: types.OwnerNumber(r.Uvarint()),
+		Replica:  types.ReplicaID(r.Int32()),
+	}
+	n := r.Uvarint()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if n > 1<<16 {
+		return nil, codec.ErrOverflow
+	}
+	m.History = make([]HistEntry, 0, n)
+	for i := uint64(0); i < n; i++ {
+		h, err := decodeHistEntry(r)
+		if err != nil {
+			return nil, err
+		}
+		m.History = append(m.History, h)
+	}
+	m.Sig = r.Blob()
+	return m, r.Err()
+}
+
+// NewOwnerMsg announces the new owner of a frozen instance space together
+// with the proof set P and the safe instances G, ⟨NEWOWNER⟩.
+type NewOwnerMsg struct {
+	Suspect     types.ReplicaID
+	NewOwnerNum types.OwnerNumber
+	Replica     types.ReplicaID // the new owner
+	Proof       []*OwnerChange  // the f+1 OWNERCHANGE messages collected
+	Safe        []HistEntry     // G: instances to finalize
+	Sig         []byte
+}
+
+// Tag implements codec.Message.
+func (m *NewOwnerMsg) Tag() uint8 { return tagNewOwner }
+
+// MarshalTo implements codec.Message.
+func (m *NewOwnerMsg) MarshalTo(w *codec.Writer) {
+	m.marshalBody(w)
+	w.Blob(m.Sig)
+	w.Uvarint(uint64(len(m.Proof)))
+	for _, oc := range m.Proof {
+		oc.MarshalTo(w)
+	}
+}
+
+func (m *NewOwnerMsg) marshalBody(w *codec.Writer) {
+	w.Int32(int32(m.Suspect))
+	w.Uvarint(uint64(m.NewOwnerNum))
+	w.Int32(int32(m.Replica))
+	w.Uvarint(uint64(len(m.Safe)))
+	for i := range m.Safe {
+		m.Safe[i].marshalTo(w)
+	}
+}
+
+// SignedBody returns the bytes the new owner's signature covers.
+func (m *NewOwnerMsg) SignedBody() []byte {
+	w := codec.NewWriter(256)
+	m.marshalBody(w)
+	return w.Bytes()
+}
+
+func decodeNewOwner(r *codec.Reader) (*NewOwnerMsg, error) {
+	m := &NewOwnerMsg{
+		Suspect:     types.ReplicaID(r.Int32()),
+		NewOwnerNum: types.OwnerNumber(r.Uvarint()),
+		Replica:     types.ReplicaID(r.Int32()),
+	}
+	n := r.Uvarint()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if n > 1<<16 {
+		return nil, codec.ErrOverflow
+	}
+	m.Safe = make([]HistEntry, 0, n)
+	for i := uint64(0); i < n; i++ {
+		h, err := decodeHistEntry(r)
+		if err != nil {
+			return nil, err
+		}
+		m.Safe = append(m.Safe, h)
+	}
+	m.Sig = r.Blob()
+	np := r.Uvarint()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if np > 64 {
+		return nil, codec.ErrOverflow
+	}
+	m.Proof = make([]*OwnerChange, 0, np)
+	for i := uint64(0); i < np; i++ {
+		oc, err := decodeOwnerChange(r)
+		if err != nil {
+			return nil, err
+		}
+		m.Proof = append(m.Proof, oc)
+	}
+	return m, r.Err()
+}
+
+// POM is the client's proof of misbehaviour against a command-leader: two
+// SPECORDER messages signed by the same owner that order the same request
+// at different instances (paper step 4.4).
+type POM struct {
+	Suspect types.ReplicaID
+	Owner   types.OwnerNumber
+	Client  types.ClientID
+	A, B    *SpecOrder
+}
+
+// Tag implements codec.Message.
+func (m *POM) Tag() uint8 { return tagPOM }
+
+// MarshalTo implements codec.Message.
+func (m *POM) MarshalTo(w *codec.Writer) {
+	w.Int32(int32(m.Suspect))
+	w.Uvarint(uint64(m.Owner))
+	w.Int32(int32(m.Client))
+	m.A.MarshalTo(w)
+	m.B.MarshalTo(w)
+}
+
+func decodePOM(r *codec.Reader) (*POM, error) {
+	m := &POM{
+		Suspect: types.ReplicaID(r.Int32()),
+		Owner:   types.OwnerNumber(r.Uvarint()),
+		Client:  types.ClientID(r.Int32()),
+	}
+	a, err := decodeSpecOrder(r)
+	if err != nil {
+		return nil, err
+	}
+	b, err := decodeSpecOrder(r)
+	if err != nil {
+		return nil, err
+	}
+	m.A, m.B = a, b
+	return m, r.Err()
+}
+
+func init() {
+	codec.Register(tagRequest, "ezbft.Request", func(r *codec.Reader) (codec.Message, error) { return decodeRequest(r) })
+	codec.Register(tagSpecOrder, "ezbft.SpecOrder", func(r *codec.Reader) (codec.Message, error) { return decodeSpecOrder(r) })
+	codec.Register(tagSpecReply, "ezbft.SpecReply", func(r *codec.Reader) (codec.Message, error) { return decodeSpecReply(r) })
+	codec.Register(tagCommitFast, "ezbft.CommitFast", func(r *codec.Reader) (codec.Message, error) { return decodeCommitFast(r) })
+	codec.Register(tagCommit, "ezbft.Commit", func(r *codec.Reader) (codec.Message, error) { return decodeCommit(r) })
+	codec.Register(tagCommitReply, "ezbft.CommitReply", func(r *codec.Reader) (codec.Message, error) { return decodeCommitReply(r) })
+	codec.Register(tagResendReq, "ezbft.ResendReq", func(r *codec.Reader) (codec.Message, error) { return decodeResendReq(r) })
+	codec.Register(tagStartOwnerChange, "ezbft.StartOwnerChange", func(r *codec.Reader) (codec.Message, error) { return decodeStartOwnerChange(r) })
+	codec.Register(tagOwnerChange, "ezbft.OwnerChange", func(r *codec.Reader) (codec.Message, error) { return decodeOwnerChange(r) })
+	codec.Register(tagNewOwner, "ezbft.NewOwner", func(r *codec.Reader) (codec.Message, error) { return decodeNewOwner(r) })
+	codec.Register(tagPOM, "ezbft.POM", func(r *codec.Reader) (codec.Message, error) { return decodePOM(r) })
+}

@@ -1,0 +1,190 @@
+package core
+
+import (
+	"testing"
+
+	"ezbft/internal/codec"
+	"ezbft/internal/types"
+)
+
+func sampleRequest() *Request {
+	return &Request{
+		Cmd: types.Command{
+			Client: 3, Timestamp: 7, Op: types.OpPut, Key: "k", Value: []byte("v"),
+		},
+		Orig: 2,
+		Sig:  []byte{1, 2, 3},
+	}
+}
+
+func sampleSpecOrder() *SpecOrder {
+	return &SpecOrder{
+		Owner:     5,
+		Inst:      types.InstanceID{Space: 1, Slot: 9},
+		Deps:      types.NewInstanceSet(types.InstanceID{Space: 0, Slot: 4}),
+		Seq:       11,
+		LogHash:   types.Digest{1},
+		CmdDigest: types.Digest{2},
+		Req:       *sampleRequest(),
+		Sig:       []byte{9, 9},
+	}
+}
+
+func sampleSpecReply() *SpecReply {
+	return &SpecReply{
+		Owner:     5,
+		Inst:      types.InstanceID{Space: 1, Slot: 9},
+		Deps:      types.NewInstanceSet(types.InstanceID{Space: 2, Slot: 1}),
+		Seq:       12,
+		CmdDigest: types.Digest{2},
+		Client:    3,
+		Timestamp: 7,
+		Replica:   2,
+		Result:    types.Result{OK: true, Value: []byte("out")},
+		SO:        sampleSpecOrder(),
+		Sig:       []byte{4},
+	}
+}
+
+// roundTrip encodes and decodes a message through the codec registry.
+func roundTrip(t *testing.T, m codec.Message) codec.Message {
+	t.Helper()
+	out, err := codec.Unmarshal(codec.Marshal(m))
+	if err != nil {
+		t.Fatalf("round trip of %T: %v", m, err)
+	}
+	return out
+}
+
+func TestMessageRoundTrips(t *testing.T) {
+	msgs := []codec.Message{
+		sampleRequest(),
+		sampleSpecOrder(),
+		sampleSpecReply(),
+		&CommitFast{Client: 3, Inst: types.InstanceID{Space: 1, Slot: 9}, Cert: []*SpecReply{sampleSpecReply()}},
+		&Commit{
+			Client: 3, Timestamp: 7, Inst: types.InstanceID{Space: 1, Slot: 9},
+			Deps: types.NewInstanceSet(types.InstanceID{Space: 0, Slot: 2}),
+			Seq:  4, Cert: []*SpecReply{sampleSpecReply()}, Sig: []byte{8},
+		},
+		&CommitReply{Inst: types.InstanceID{Space: 1, Slot: 9}, CmdDigest: types.Digest{3}, Replica: 1, Result: types.Result{OK: true}, Sig: []byte{1}},
+		&ResendReq{Req: *sampleRequest(), Replica: 2},
+		&StartOwnerChange{Suspect: 1, Owner: 1, Replica: 3, Sig: []byte{5}},
+		&OwnerChange{
+			Suspect: 1, NewOwner: 2, Replica: 3,
+			History: []HistEntry{{
+				Inst: types.InstanceID{Space: 1, Slot: 1}, Status: HistSpecOrdered,
+				Cmd:  types.Command{Client: 3, Timestamp: 1, Op: types.OpPut, Key: "x"},
+				Deps: types.NewInstanceSet(), Seq: 1, Owner: 1, SO: sampleSpecOrder(),
+			}},
+			Sig: []byte{6},
+		},
+		&NewOwnerMsg{
+			Suspect: 1, NewOwnerNum: 2, Replica: 2,
+			Proof: []*OwnerChange{{Suspect: 1, NewOwner: 2, Replica: 3, Sig: []byte{6}}},
+			Safe: []HistEntry{{
+				Inst: types.InstanceID{Space: 1, Slot: 1}, Status: HistCommitted,
+				Cmd: types.Command{Op: types.OpNoop}, Deps: types.NewInstanceSet(),
+			}},
+			Sig: []byte{7},
+		},
+		&POM{Suspect: 1, Owner: 1, Client: 3, A: sampleSpecOrder(), B: sampleSpecOrder()},
+	}
+	for _, m := range msgs {
+		out := roundTrip(t, m)
+		// Re-encode: identical bytes prove the decode captured everything.
+		if string(codec.Marshal(out)) != string(codec.Marshal(m)) {
+			t.Errorf("%T: round trip not byte-identical", m)
+		}
+	}
+}
+
+func TestSpecReplyMatchesSemantics(t *testing.T) {
+	a := sampleSpecReply()
+	b := sampleSpecReply()
+	if !a.Matches(b) {
+		t.Fatal("identical replies do not match")
+	}
+	b.Deps = types.NewInstanceSet() // dependency sets differ
+	if a.Matches(b) {
+		t.Fatal("replies with different deps matched")
+	}
+	b = sampleSpecReply()
+	b.Result = types.Result{OK: false}
+	if a.Matches(b) {
+		t.Fatal("replies with different results matched")
+	}
+	b = sampleSpecReply()
+	b.Replica = 9 // sender identity is NOT part of matching
+	if !a.Matches(b) {
+		t.Fatal("sender identity should not affect matching")
+	}
+}
+
+func TestSignedBodyExcludesSignature(t *testing.T) {
+	so := sampleSpecOrder()
+	body1 := so.SignedBody()
+	so.Sig = []byte{0xAA, 0xBB}
+	body2 := so.SignedBody()
+	if string(body1) != string(body2) {
+		t.Fatal("signature bytes leaked into the signed body")
+	}
+	// But the instance number is covered.
+	so.Inst.Slot++
+	if string(so.SignedBody()) == string(body1) {
+		t.Fatal("instance not covered by signature")
+	}
+}
+
+func TestDecodeRejectsTruncation(t *testing.T) {
+	full := codec.Marshal(sampleSpecReply())
+	for cut := 1; cut < len(full); cut += 7 {
+		if _, err := codec.Unmarshal(full[:cut]); err == nil {
+			t.Fatalf("truncated message at %d accepted", cut)
+		}
+	}
+}
+
+func TestSlowQuorumMembers(t *testing.T) {
+	got := SlowQuorumMembers(2, 4)
+	want := []types.ReplicaID{2, 3, 0}
+	if len(got) != len(want) {
+		t.Fatalf("quorum %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("quorum %v, want %v", got, want)
+		}
+	}
+	if len(SlowQuorumMembers(0, 7)) != 5 {
+		t.Fatal("2f+1 for n=7 should be 5")
+	}
+}
+
+func TestQuorumSizes(t *testing.T) {
+	cases := []struct{ n, f, fast, slow, weak int }{
+		{4, 1, 4, 3, 2},
+		{7, 2, 7, 5, 3},
+		{10, 3, 10, 7, 4},
+	}
+	for _, tc := range cases {
+		if F(tc.n) != tc.f || FastQuorum(tc.n) != tc.fast || SlowQuorum(tc.n) != tc.slow || WeakQuorum(tc.n) != tc.weak {
+			t.Errorf("n=%d: got f=%d fast=%d slow=%d weak=%d", tc.n, F(tc.n), FastQuorum(tc.n), SlowQuorum(tc.n), WeakQuorum(tc.n))
+		}
+	}
+}
+
+func TestReplicaConfigValidation(t *testing.T) {
+	if _, err := NewReplica(ReplicaConfig{N: 5}); err == nil {
+		t.Fatal("accepted N=5")
+	}
+	if _, err := NewReplica(ReplicaConfig{N: 4, Self: 9}); err == nil {
+		t.Fatal("accepted out-of-range self")
+	}
+	if _, err := NewReplica(ReplicaConfig{N: 4, Self: 0}); err == nil {
+		t.Fatal("accepted nil app")
+	}
+	if _, err := NewClient(ClientConfig{N: 4, Leader: 9}); err == nil {
+		t.Fatal("client accepted bad leader")
+	}
+}

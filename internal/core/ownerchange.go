@@ -1,0 +1,485 @@
+package core
+
+import (
+	"sort"
+
+	"ezbft/internal/proc"
+	"ezbft/internal/types"
+)
+
+// This file implements the owner-change protocol (paper §IV-D/E): when a
+// command-leader is suspected faulty — via client proof of misbehaviour
+// (POM) or RESENDREQ timeouts — replicas vote with STARTOWNERCHANGE; on f+1
+// votes a replica commits to the change, stops participating in the
+// suspect's instance space, and sends its view of that space (OWNERCHANGE)
+// to the next owner. The new owner selects the safe history (Condition 1:
+// entries proven by client-signed COMMITs with the highest owner number;
+// Condition 2: entries proven by f+1 matching leader-signed SPECORDERs) and
+// announces it in NEWOWNER. Replicas apply the safe instances, fill
+// unrecoverable slots with no-ops, and freeze the space: no new commands
+// are ever ordered in it, because every replica has its own space.
+
+// changeKey identifies one owner-change round.
+type changeKey struct {
+	suspect types.ReplicaID
+	owner   types.OwnerNumber // the owner number being abandoned
+}
+
+// claim accumulates Condition-2 evidence for one (slot, command) pair.
+type claim struct {
+	count  int
+	sample HistEntry
+	deps   types.InstanceSet
+	seq    types.SeqNumber
+}
+
+// ownerChangeState is the per-replica owner-change bookkeeping.
+type ownerChangeState struct {
+	// votes collects STARTOWNERCHANGE senders per round.
+	votes map[changeKey]map[types.ReplicaID]bool
+	// sentStart marks rounds we have voted in.
+	sentStart map[changeKey]bool
+	// committed marks rounds we have committed to.
+	committed map[changeKey]bool
+	// gathered collects OWNERCHANGE histories when we are the new owner.
+	gathered map[changeKey]map[types.ReplicaID]*OwnerChange
+	// announced marks rounds for which we (as new owner) sent NEWOWNER.
+	announced map[changeKey]bool
+}
+
+func (s *ownerChangeState) init() {
+	s.votes = make(map[changeKey]map[types.ReplicaID]bool)
+	s.sentStart = make(map[changeKey]bool)
+	s.committed = make(map[changeKey]bool)
+	s.gathered = make(map[changeKey]map[types.ReplicaID]*OwnerChange)
+	s.announced = make(map[changeKey]bool)
+}
+
+// initiateOwnerChange votes to change the owner of suspect's space (called
+// on RESENDREQ timeout or validated POM).
+func (r *Replica) initiateOwnerChange(ctx proc.Context, suspect types.ReplicaID) {
+	key := changeKey{suspect, r.owners[suspect]}
+	if r.oc.sentStart[key] || r.log.space(suspect).frozen {
+		return
+	}
+	r.oc.sentStart[key] = true
+	msg := &StartOwnerChange{Suspect: suspect, Owner: key.owner, Replica: r.cfg.Self}
+	r.cfg.Costs.ChargeSign(ctx)
+	msg.Sig = r.cfg.Auth.Sign(msg.SignedBody())
+	r.broadcastReplicas(ctx, msg)
+	// Count our own vote locally.
+	r.recordStartVote(ctx, key, r.cfg.Self)
+}
+
+// handlePOM validates a client's proof of misbehaviour: two SPECORDERs
+// signed by the same owner placing the same request at different instances
+// (or different requests at the same instance).
+func (r *Replica) handlePOM(ctx proc.Context, m *POM) {
+	if m.A == nil || m.B == nil || m.Suspect < 0 || int(m.Suspect) >= r.n {
+		r.stats.DroppedInvalid++
+		return
+	}
+	if m.A.Owner != m.Owner || m.B.Owner != m.Owner {
+		r.stats.DroppedInvalid++
+		return
+	}
+	owner := m.Owner.OwnerOf(r.n)
+	if owner != m.Suspect {
+		r.stats.DroppedInvalid++
+		return
+	}
+	r.cfg.Costs.ChargeVerify(ctx, 2)
+	if r.cfg.Auth.Verify(types.ReplicaNode(owner), m.A.SignedBody(), m.A.Sig) != nil ||
+		r.cfg.Auth.Verify(types.ReplicaNode(owner), m.B.SignedBody(), m.B.Sig) != nil {
+		r.stats.DroppedInvalid++
+		return
+	}
+	equivocated := (m.A.CmdDigest == m.B.CmdDigest && m.A.Inst != m.B.Inst) ||
+		(m.A.Inst == m.B.Inst && m.A.CmdDigest != m.B.CmdDigest)
+	if !equivocated {
+		r.stats.DroppedInvalid++
+		return
+	}
+	r.initiateOwnerChange(ctx, m.Suspect)
+}
+
+// handleStartOwnerChange counts a vote; on f+1 votes the replica commits to
+// the change (paper §IV-E).
+func (r *Replica) handleStartOwnerChange(ctx proc.Context, m *StartOwnerChange) {
+	if m.Suspect < 0 || int(m.Suspect) >= r.n {
+		r.stats.DroppedInvalid++
+		return
+	}
+	if m.Owner != r.owners[m.Suspect] {
+		return // stale or future round
+	}
+	r.cfg.Costs.ChargeVerify(ctx, 1)
+	if err := r.cfg.Auth.Verify(types.ReplicaNode(m.Replica), m.SignedBody(), m.Sig); err != nil {
+		r.stats.DroppedInvalid++
+		return
+	}
+	r.recordStartVote(ctx, changeKey{m.Suspect, m.Owner}, m.Replica)
+}
+
+// recordStartVote tallies one STARTOWNERCHANGE vote and commits to the
+// change at f+1 distinct voters.
+func (r *Replica) recordStartVote(ctx proc.Context, key changeKey, from types.ReplicaID) {
+	votes, ok := r.oc.votes[key]
+	if !ok {
+		votes = make(map[types.ReplicaID]bool, r.f+1)
+		r.oc.votes[key] = votes
+	}
+	votes[from] = true
+	if len(votes) < WeakQuorum(r.n) || r.oc.committed[key] {
+		return
+	}
+	r.oc.committed[key] = true
+	// Stop participating in the suspect's space at this owner number.
+	r.log.space(key.suspect).suspended = true
+	// Amplify: join the change so every correct replica converges.
+	if !r.oc.sentStart[key] {
+		r.oc.sentStart[key] = true
+		msg := &StartOwnerChange{Suspect: key.suspect, Owner: key.owner, Replica: r.cfg.Self}
+		r.cfg.Costs.ChargeSign(ctx)
+		msg.Sig = r.cfg.Auth.Sign(msg.SignedBody())
+		r.broadcastReplicas(ctx, msg)
+	}
+
+	// From this point the replica no longer participates in the suspect's
+	// space at the old owner number.
+	newOwnerNum := key.owner + 1
+	newOwner := newOwnerNum.OwnerOf(r.n)
+	oc := &OwnerChange{
+		Suspect:  key.suspect,
+		NewOwner: newOwnerNum,
+		Replica:  r.cfg.Self,
+		History:  r.historyOf(key.suspect),
+	}
+	r.cfg.Costs.ChargeSign(ctx)
+	oc.Sig = r.cfg.Auth.Sign(oc.SignedBody())
+	if newOwner == r.cfg.Self {
+		r.acceptOwnerChange(ctx, oc)
+	} else {
+		r.send(ctx, types.ReplicaNode(newOwner), oc)
+	}
+}
+
+// historyOf serializes this replica's view of a space: every known entry
+// with its strongest proof.
+func (r *Replica) historyOf(suspect types.ReplicaID) []HistEntry {
+	sp := r.log.space(suspect)
+	slots := make([]uint64, 0, len(sp.entries))
+	for slot := range sp.entries {
+		slots = append(slots, slot)
+	}
+	sort.Slice(slots, func(i, j int) bool { return slots[i] < slots[j] })
+	hist := make([]HistEntry, 0, len(slots))
+	for _, slot := range slots {
+		e := sp.entries[slot]
+		h := HistEntry{
+			Inst:  e.inst,
+			Cmd:   e.cmd,
+			Deps:  e.deps.Clone(),
+			Seq:   e.seq,
+			Owner: e.owner,
+			SO:    e.so,
+		}
+		if e.status >= StatusCommitted {
+			h.Status = HistCommitted
+			h.ClientCommit = e.clientCommit
+		} else {
+			h.Status = HistSpecOrdered
+		}
+		hist = append(hist, h)
+	}
+	return hist
+}
+
+// handleOwnerChange collects histories when this replica is the prospective
+// new owner.
+func (r *Replica) handleOwnerChange(ctx proc.Context, m *OwnerChange) {
+	if m.Suspect < 0 || int(m.Suspect) >= r.n {
+		r.stats.DroppedInvalid++
+		return
+	}
+	if m.NewOwner.OwnerOf(r.n) != r.cfg.Self || m.NewOwner != r.owners[m.Suspect]+1 {
+		return
+	}
+	r.cfg.Costs.ChargeVerify(ctx, 1)
+	if err := r.cfg.Auth.Verify(types.ReplicaNode(m.Replica), m.SignedBody(), m.Sig); err != nil {
+		r.stats.DroppedInvalid++
+		return
+	}
+	r.acceptOwnerChange(ctx, m)
+}
+
+func (r *Replica) acceptOwnerChange(ctx proc.Context, m *OwnerChange) {
+	key := changeKey{m.Suspect, m.NewOwner - 1}
+	g, ok := r.oc.gathered[key]
+	if !ok {
+		g = make(map[types.ReplicaID]*OwnerChange, r.f+1)
+		r.oc.gathered[key] = g
+	}
+	g[m.Replica] = m
+	// The paper's §IV-E text says f+1 OWNERCHANGE messages suffice, but its
+	// own Stability argument (§IV-F) requires 2f+1 histories — with only
+	// f+1, a slow-path commit known to a single correct replica can be
+	// missed and overwritten by a no-op. We follow the stronger 2f+1.
+	if len(g) < SlowQuorum(r.n) || r.oc.announced[key] {
+		return
+	}
+	r.oc.announced[key] = true
+
+	proof := make([]*OwnerChange, 0, len(g))
+	for _, rid := range sortedReplicaKeys(g) {
+		proof = append(proof, g[rid])
+	}
+	safe := r.selectSafeHistory(ctx, key, proof)
+	msg := &NewOwnerMsg{
+		Suspect:     m.Suspect,
+		NewOwnerNum: m.NewOwner,
+		Replica:     r.cfg.Self,
+		Proof:       proof,
+		Safe:        safe,
+	}
+	r.cfg.Costs.ChargeSign(ctx)
+	msg.Sig = r.cfg.Auth.Sign(msg.SignedBody())
+	r.broadcastReplicas(ctx, msg)
+	r.applyNewOwner(ctx, msg)
+	r.stats.OwnerChanges++
+}
+
+// selectSafeHistory computes the safe instance set G from the collected
+// histories, per slot:
+//
+//   - Condition 1: an entry backed by a valid client-signed COMMIT with the
+//     current owner number is adopted as committed.
+//   - Condition 2: entries reported spec-ordered by at least f+1 histories
+//     with matching instance and command are adopted; their dependency sets
+//     are unioned and the maximum sequence number taken (at least one of
+//     the f+1 reporters is correct).
+//   - Otherwise the slot is unrecoverable and is finalized as a no-op.
+func (r *Replica) selectSafeHistory(ctx proc.Context, key changeKey, proof []*OwnerChange) []HistEntry {
+	bySlot := make(map[uint64]map[types.Digest]*claim)
+	var committed []HistEntry
+	committedSlots := make(map[uint64]bool)
+	maxSlot := uint64(0)
+
+	for _, oc := range proof {
+		for _, h := range oc.History {
+			if h.Inst.Space != key.suspect || h.Owner != key.owner {
+				continue
+			}
+			if h.Inst.Slot > maxSlot {
+				maxSlot = h.Inst.Slot
+			}
+			// Condition 1: client-signed COMMIT proves the entry outright.
+			if h.Status == HistCommitted && h.ClientCommit != nil && !committedSlots[h.Inst.Slot] {
+				cc := h.ClientCommit
+				r.cfg.Costs.ChargeVerify(ctx, 1)
+				if cc.Inst == h.Inst &&
+					r.cfg.Auth.Verify(types.ClientNode(cc.Client), cc.SignedBody(), cc.Sig) == nil {
+					committedSlots[h.Inst.Slot] = true
+					committed = append(committed, HistEntry{
+						Inst: h.Inst, Status: HistCommitted, Cmd: h.Cmd,
+						Deps: cc.Deps.Clone(), Seq: cc.Seq, Owner: key.owner,
+					})
+					continue
+				}
+			}
+			// Condition 2 accumulation: leader-signed SPECORDER claims.
+			if h.SO == nil || h.SO.Inst != h.Inst || h.SO.CmdDigest != h.Cmd.Digest() {
+				continue
+			}
+			slotClaims, ok := bySlot[h.Inst.Slot]
+			if !ok {
+				slotClaims = make(map[types.Digest]*claim)
+				bySlot[h.Inst.Slot] = slotClaims
+			}
+			c, ok := slotClaims[h.SO.CmdDigest]
+			if !ok {
+				c = &claim{sample: h, deps: types.NewInstanceSet()}
+				slotClaims[h.SO.CmdDigest] = c
+			}
+			c.count++
+			c.deps.Union(h.Deps)
+			if h.Seq > c.seq {
+				c.seq = h.Seq
+			}
+		}
+	}
+
+	safe := committed
+	for slot := uint64(1); slot <= maxSlot; slot++ {
+		if committedSlots[slot] {
+			continue
+		}
+		var chosen *claim
+		if slotClaims, ok := bySlot[slot]; ok {
+			for _, digest := range sortedDigests(slotClaims) {
+				c := slotClaims[digest]
+				if c.count >= WeakQuorum(r.n) {
+					// Verify one representative SPECORDER signature.
+					r.cfg.Costs.ChargeVerify(ctx, 1)
+					owner := key.owner.OwnerOf(r.n)
+					if r.cfg.Auth.Verify(types.ReplicaNode(owner), c.sample.SO.SignedBody(), c.sample.SO.Sig) == nil {
+						chosen = c
+						break
+					}
+				}
+			}
+		}
+		inst := types.InstanceID{Space: key.suspect, Slot: slot}
+		if chosen != nil {
+			safe = append(safe, HistEntry{
+				Inst: inst, Status: HistCommitted, Cmd: chosen.sample.Cmd,
+				Deps: chosen.deps.Clone(), Seq: chosen.seq, Owner: key.owner, SO: chosen.sample.SO,
+			})
+		} else {
+			// Unrecoverable: finalize as a no-op so dependents can execute.
+			safe = append(safe, HistEntry{
+				Inst: inst, Status: HistCommitted,
+				Cmd:  types.Command{Op: types.OpNoop},
+				Deps: types.NewInstanceSet(), Seq: 0, Owner: key.owner,
+			})
+		}
+	}
+	sort.Slice(safe, func(i, j int) bool { return safe[i].Inst.Less(safe[j].Inst) })
+	return safe
+}
+
+// handleNewOwner validates and applies a NEWOWNER announcement.
+func (r *Replica) handleNewOwner(ctx proc.Context, m *NewOwnerMsg) {
+	if m.Suspect < 0 || int(m.Suspect) >= r.n {
+		r.stats.DroppedInvalid++
+		return
+	}
+	if m.NewOwnerNum != r.owners[m.Suspect]+1 || m.NewOwnerNum.OwnerOf(r.n) != m.Replica {
+		return
+	}
+	r.cfg.Costs.ChargeVerify(ctx, 1+len(m.Proof))
+	if err := r.cfg.Auth.Verify(types.ReplicaNode(m.Replica), m.SignedBody(), m.Sig); err != nil {
+		r.stats.DroppedInvalid++
+		return
+	}
+	// The proof must contain 2f+1 valid OWNERCHANGE messages for this round
+	// (see acceptOwnerChange for why 2f+1 rather than the paper's f+1).
+	valid := make(map[types.ReplicaID]bool, len(m.Proof))
+	for _, oc := range m.Proof {
+		if oc.Suspect != m.Suspect || oc.NewOwner != m.NewOwnerNum {
+			continue
+		}
+		if r.cfg.Auth.Verify(types.ReplicaNode(oc.Replica), oc.SignedBody(), oc.Sig) == nil {
+			valid[oc.Replica] = true
+		}
+	}
+	if len(valid) < SlowQuorum(r.n) {
+		r.stats.DroppedInvalid++
+		return
+	}
+	r.applyNewOwner(ctx, m)
+}
+
+// applyNewOwner installs the safe instances, freezes the space, and bumps
+// the owner number. Requests that were waiting on the faulty leader are
+// re-proposed in this replica's own space.
+func (r *Replica) applyNewOwner(ctx proc.Context, m *NewOwnerMsg) {
+	sp := r.log.space(m.Suspect)
+	if r.owners[m.Suspect] >= m.NewOwnerNum {
+		return // already applied
+	}
+	r.owners[m.Suspect] = m.NewOwnerNum
+	sp.frozen = true
+	sp.suspended = false
+	sp.pending = make(map[uint64]*SpecOrder)
+
+	for i := range m.Safe {
+		h := &m.Safe[i]
+		if h.Inst.Space != m.Suspect {
+			continue
+		}
+		e := r.log.get(h.Inst)
+		if e == nil {
+			e = &entry{
+				inst:      h.Inst,
+				owner:     h.Owner,
+				cmd:       h.Cmd,
+				cmdDigest: h.Cmd.Digest(),
+				so:        h.SO,
+			}
+			r.log.put(e)
+			if !h.Cmd.IsNoop() {
+				r.instByCmd[cmdKey{h.Cmd.Client, h.Cmd.Timestamp}] = h.Inst
+			}
+		}
+		if e.status >= StatusExecuted {
+			continue
+		}
+		e.cmd = h.Cmd
+		e.cmdDigest = h.Cmd.Digest()
+		e.deps = h.Deps.Clone()
+		e.seq = h.Seq
+		e.status = StatusCommitted
+		r.deps.update(e.inst, e.cmd, e.seq)
+		r.pendingExec[e.inst] = e
+	}
+	r.tryExecute(ctx)
+
+	// Purge request bookkeeping that points into the retired space unless
+	// the owner change committed that exact request there: stale cached
+	// replies would otherwise stop retry rotation from re-leading requests
+	// that were lost with the faulty leader.
+	for key, inst := range r.instByCmd {
+		if inst.Space != m.Suspect {
+			continue
+		}
+		e := r.log.get(inst)
+		if e == nil || e.status < StatusCommitted ||
+			e.cmd.Client != key.client || e.cmd.Timestamp != key.ts {
+			delete(r.instByCmd, key)
+			delete(r.replyCache, key)
+		}
+	}
+
+	// Requests stuck waiting on the faulty leader are the client's to
+	// re-drive (retry rotation picks a live leader); just drop the waits.
+	for key, rs := range r.resendWait {
+		if rs.req.Orig == m.Suspect {
+			delete(r.resendWait, key)
+			delete(r.timerAct, rs.timer)
+		}
+	}
+}
+
+// Frozen reports whether a space has been frozen by an owner change
+// (inspection helper).
+func (r *Replica) Frozen(space types.ReplicaID) bool { return r.log.space(space).frozen }
+
+// OwnerNumber returns the current owner number of a space (inspection
+// helper).
+func (r *Replica) OwnerNumber(space types.ReplicaID) types.OwnerNumber { return r.owners[space] }
+
+func sortedReplicaKeys(m map[types.ReplicaID]*OwnerChange) []types.ReplicaID {
+	out := make([]types.ReplicaID, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func sortedDigests(m map[types.Digest]*claim) []types.Digest {
+	out := make([]types.Digest, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		for b := 0; b < len(out[i]); b++ {
+			if out[i][b] != out[j][b] {
+				return out[i][b] < out[j][b]
+			}
+		}
+		return false
+	})
+	return out
+}

@@ -1,0 +1,857 @@
+// Package fab implements Parameterized FaB Paxos (Martin & Alvisi, "Fast
+// Byzantine Consensus") with t = 0 and N = 3f+1 — the configuration the
+// paper's evaluation deploys on four replicas. The common case takes four
+// client-visible communication steps: REQUEST (client → leader), PROPOSE
+// (leader → acceptors), ACCEPT (acceptors → learners, all-to-all), and
+// REPLY (learners → client) once a learner sees ⌈(N+f+1)/2⌉ = 2f+1 matching
+// accepts. Clients complete on f+1 matching replies. Leader change is a
+// simplified skeleton (sufficient for the paper's fault-free experiments).
+package fab
+
+import (
+	"fmt"
+
+	"time"
+
+	"ezbft/internal/auth"
+	"ezbft/internal/codec"
+	"ezbft/internal/proc"
+	"ezbft/internal/types"
+	"ezbft/internal/workload"
+)
+
+// Message tags reserved by FaB (50-59).
+const (
+	tagRequest   = 50
+	tagPropose   = 51
+	tagAccept    = 52
+	tagReply     = 53
+	tagSuspect   = 54
+	tagNewLeader = 55
+)
+
+func faults(n int) int { return (n - 1) / 3 }
+
+// acceptQuorum is ⌈(N+f+1)/2⌉, the t=0 fast quorum: 2f+1 for N=3f+1.
+func acceptQuorum(n int) int { return (n + faults(n) + 2) / 2 }
+
+func leaderOf(view uint64, n int) types.ReplicaID {
+	return types.ReplicaID(view % uint64(n))
+}
+
+// --- messages ---
+
+// Request is the client's signed command submission.
+type Request struct {
+	Cmd types.Command
+	Sig []byte
+}
+
+// Tag implements codec.Message.
+func (m *Request) Tag() uint8 { return tagRequest }
+
+// MarshalTo implements codec.Message.
+func (m *Request) MarshalTo(w *codec.Writer) {
+	w.Command(m.Cmd)
+	w.Blob(m.Sig)
+}
+
+// SignedBody returns the bytes the client signature covers.
+func (m *Request) SignedBody() []byte {
+	w := codec.NewWriter(64)
+	w.Command(m.Cmd)
+	return w.Bytes()
+}
+
+func decodeRequest(r *codec.Reader) (*Request, error) {
+	m := &Request{Cmd: r.Command()}
+	m.Sig = r.Blob()
+	return m, r.Err()
+}
+
+// Propose is the leader's ordering proposal.
+type Propose struct {
+	View      uint64
+	Seq       uint64
+	CmdDigest types.Digest
+	Req       Request
+	Sig       []byte
+}
+
+// Tag implements codec.Message.
+func (m *Propose) Tag() uint8 { return tagPropose }
+
+// MarshalTo implements codec.Message.
+func (m *Propose) MarshalTo(w *codec.Writer) {
+	m.marshalBody(w)
+	w.Blob(m.Sig)
+	m.Req.MarshalTo(w)
+}
+
+func (m *Propose) marshalBody(w *codec.Writer) {
+	w.Uvarint(m.View)
+	w.Uvarint(m.Seq)
+	w.Bytes32(m.CmdDigest)
+}
+
+// SignedBody returns the bytes the leader signature covers.
+func (m *Propose) SignedBody() []byte {
+	w := codec.NewWriter(64)
+	m.marshalBody(w)
+	return w.Bytes()
+}
+
+func decodePropose(r *codec.Reader) (*Propose, error) {
+	m := &Propose{View: r.Uvarint(), Seq: r.Uvarint(), CmdDigest: r.Bytes32()}
+	m.Sig = r.Blob()
+	req, err := decodeRequest(r)
+	if err != nil {
+		return nil, err
+	}
+	m.Req = *req
+	return m, r.Err()
+}
+
+// Accept is an acceptor's vote, broadcast to all learners.
+type Accept struct {
+	View      uint64
+	Seq       uint64
+	CmdDigest types.Digest
+	Replica   types.ReplicaID
+	Sig       []byte
+}
+
+// Tag implements codec.Message.
+func (m *Accept) Tag() uint8 { return tagAccept }
+
+// MarshalTo implements codec.Message.
+func (m *Accept) MarshalTo(w *codec.Writer) {
+	m.marshalBody(w)
+	w.Blob(m.Sig)
+}
+
+func (m *Accept) marshalBody(w *codec.Writer) {
+	w.Uvarint(m.View)
+	w.Uvarint(m.Seq)
+	w.Bytes32(m.CmdDigest)
+	w.Int32(int32(m.Replica))
+}
+
+// SignedBody returns the bytes the acceptor signature covers.
+func (m *Accept) SignedBody() []byte {
+	w := codec.NewWriter(64)
+	m.marshalBody(w)
+	return w.Bytes()
+}
+
+func decodeAccept(r *codec.Reader) (*Accept, error) {
+	m := &Accept{
+		View:      r.Uvarint(),
+		Seq:       r.Uvarint(),
+		CmdDigest: r.Bytes32(),
+		Replica:   types.ReplicaID(r.Int32()),
+	}
+	m.Sig = r.Blob()
+	return m, r.Err()
+}
+
+// Reply carries a learner's execution result to the client.
+type Reply struct {
+	View      uint64
+	Timestamp uint64
+	Client    types.ClientID
+	Replica   types.ReplicaID
+	Result    types.Result
+	Sig       []byte
+}
+
+// Tag implements codec.Message.
+func (m *Reply) Tag() uint8 { return tagReply }
+
+// MarshalTo implements codec.Message.
+func (m *Reply) MarshalTo(w *codec.Writer) {
+	m.marshalBody(w)
+	w.Blob(m.Sig)
+}
+
+func (m *Reply) marshalBody(w *codec.Writer) {
+	w.Uvarint(m.View)
+	w.Uvarint(m.Timestamp)
+	w.Int32(int32(m.Client))
+	w.Int32(int32(m.Replica))
+	w.Bool(m.Result.OK)
+	w.Blob(m.Result.Value)
+}
+
+// SignedBody returns the bytes the learner signature covers.
+func (m *Reply) SignedBody() []byte {
+	w := codec.NewWriter(64)
+	m.marshalBody(w)
+	return w.Bytes()
+}
+
+func decodeReply(r *codec.Reader) (*Reply, error) {
+	m := &Reply{
+		View:      r.Uvarint(),
+		Timestamp: r.Uvarint(),
+		Client:    types.ClientID(r.Int32()),
+		Replica:   types.ReplicaID(r.Int32()),
+	}
+	m.Result.OK = r.Bool()
+	m.Result.Value = r.Blob()
+	m.Sig = r.Blob()
+	return m, r.Err()
+}
+
+// Suspect is a replica's vote to replace the leader.
+type Suspect struct {
+	View    uint64
+	Replica types.ReplicaID
+	Sig     []byte
+}
+
+// Tag implements codec.Message.
+func (m *Suspect) Tag() uint8 { return tagSuspect }
+
+// MarshalTo implements codec.Message.
+func (m *Suspect) MarshalTo(w *codec.Writer) {
+	w.Uvarint(m.View)
+	w.Int32(int32(m.Replica))
+	w.Blob(m.Sig)
+}
+
+// SignedBody returns the bytes the replica signature covers.
+func (m *Suspect) SignedBody() []byte {
+	w := codec.NewWriter(16)
+	w.Uvarint(m.View)
+	w.Int32(int32(m.Replica))
+	return w.Bytes()
+}
+
+func decodeSuspect(r *codec.Reader) (*Suspect, error) {
+	m := &Suspect{View: r.Uvarint(), Replica: types.ReplicaID(r.Int32())}
+	m.Sig = r.Blob()
+	return m, r.Err()
+}
+
+// NewLeader announces the next view's leader with the adopted history
+// bound (simplified recovery).
+type NewLeader struct {
+	View    uint64
+	Replica types.ReplicaID
+	MaxSeq  uint64
+	Sig     []byte
+}
+
+// Tag implements codec.Message.
+func (m *NewLeader) Tag() uint8 { return tagNewLeader }
+
+// MarshalTo implements codec.Message.
+func (m *NewLeader) MarshalTo(w *codec.Writer) {
+	w.Uvarint(m.View)
+	w.Int32(int32(m.Replica))
+	w.Uvarint(m.MaxSeq)
+	w.Blob(m.Sig)
+}
+
+// SignedBody returns the bytes the new leader's signature covers.
+func (m *NewLeader) SignedBody() []byte {
+	w := codec.NewWriter(16)
+	w.Uvarint(m.View)
+	w.Int32(int32(m.Replica))
+	w.Uvarint(m.MaxSeq)
+	return w.Bytes()
+}
+
+func decodeNewLeader(r *codec.Reader) (*NewLeader, error) {
+	m := &NewLeader{View: r.Uvarint(), Replica: types.ReplicaID(r.Int32()), MaxSeq: r.Uvarint()}
+	m.Sig = r.Blob()
+	return m, r.Err()
+}
+
+func init() {
+	codec.Register(tagRequest, "fab.Request", func(r *codec.Reader) (codec.Message, error) { return decodeRequest(r) })
+	codec.Register(tagPropose, "fab.Propose", func(r *codec.Reader) (codec.Message, error) { return decodePropose(r) })
+	codec.Register(tagAccept, "fab.Accept", func(r *codec.Reader) (codec.Message, error) { return decodeAccept(r) })
+	codec.Register(tagReply, "fab.Reply", func(r *codec.Reader) (codec.Message, error) { return decodeReply(r) })
+	codec.Register(tagSuspect, "fab.Suspect", func(r *codec.Reader) (codec.Message, error) { return decodeSuspect(r) })
+	codec.Register(tagNewLeader, "fab.NewLeader", func(r *codec.Reader) (codec.Message, error) { return decodeNewLeader(r) })
+}
+
+// --- replica ---
+
+// ReplicaConfig configures one FaB replica (proposer + acceptor + learner).
+type ReplicaConfig struct {
+	Self types.ReplicaID
+	N    int
+	App  types.Application
+	Auth auth.Authenticator
+	// Costs holds virtual processing costs for simulation.
+	Costs proc.Costs
+	// InitialView selects the starting leader (leader = view mod N).
+	InitialView uint64
+	// ForwardTimeout bounds how long a backup waits for the leader to
+	// propose a forwarded request before suspecting it.
+	ForwardTimeout time.Duration
+	// Mute makes the replica silent (fault injection).
+	Mute bool
+}
+
+type slotState struct {
+	seq       uint64
+	cmd       types.Command
+	cmdDigest types.Digest
+	havePro   bool
+	accepts   map[types.ReplicaID]bool
+	learned   bool
+	executed  bool
+	result    types.Result
+}
+
+// Replica is one FaB replica; it implements proc.Process.
+type Replica struct {
+	cfg ReplicaConfig
+	n   int
+	f   int
+
+	view    uint64
+	nextSeq uint64
+	maxExec uint64
+	slots   map[uint64]*slotState
+	pending map[uint64]*Propose
+
+	byCmd      map[cmdKey]uint64
+	replyCache map[cmdKey]*Reply
+
+	forwarded map[cmdKey]proc.TimerID
+	timerSeq  uint64
+	timerAct  map[proc.TimerID]func(ctx proc.Context)
+
+	suspects map[uint64]map[types.ReplicaID]bool
+
+	stats ReplicaStats
+}
+
+type cmdKey struct {
+	client types.ClientID
+	ts     uint64
+}
+
+// ReplicaStats exposes protocol counters.
+type ReplicaStats struct {
+	Proposed       uint64
+	Accepted       uint64
+	Learned        uint64
+	Executed       uint64
+	LeaderChanges  uint64
+	DroppedInvalid uint64
+}
+
+var _ proc.Process = (*Replica)(nil)
+
+// NewReplica constructs a FaB replica.
+func NewReplica(cfg ReplicaConfig) (*Replica, error) {
+	if cfg.N < 4 || (cfg.N-1)%3 != 0 {
+		return nil, fmt.Errorf("fab: cluster size must be 3f+1, got %d", cfg.N)
+	}
+	if cfg.App == nil || cfg.Auth == nil {
+		return nil, fmt.Errorf("fab: app and auth are required")
+	}
+	if cfg.ForwardTimeout <= 0 {
+		cfg.ForwardTimeout = 2 * time.Second
+	}
+	return &Replica{
+		cfg:        cfg,
+		n:          cfg.N,
+		f:          faults(cfg.N),
+		view:       cfg.InitialView,
+		nextSeq:    1,
+		slots:      make(map[uint64]*slotState),
+		pending:    make(map[uint64]*Propose),
+		byCmd:      make(map[cmdKey]uint64),
+		replyCache: make(map[cmdKey]*Reply),
+		forwarded:  make(map[cmdKey]proc.TimerID),
+		timerAct:   make(map[proc.TimerID]func(ctx proc.Context)),
+		suspects:   make(map[uint64]map[types.ReplicaID]bool),
+	}, nil
+}
+
+// ID implements proc.Process.
+func (r *Replica) ID() types.NodeID { return types.ReplicaNode(r.cfg.Self) }
+
+// Stats returns a snapshot of the counters.
+func (r *Replica) Stats() ReplicaStats { return r.stats }
+
+// View returns the current view.
+func (r *Replica) View() uint64 { return r.view }
+
+// MaxExecuted returns the highest contiguously executed sequence number.
+func (r *Replica) MaxExecuted() uint64 { return r.maxExec }
+
+// Init implements proc.Process.
+func (r *Replica) Init(proc.Context) {}
+
+// OnTimer implements proc.Process.
+func (r *Replica) OnTimer(ctx proc.Context, id proc.TimerID) {
+	if fn, ok := r.timerAct[id]; ok {
+		delete(r.timerAct, id)
+		fn(ctx)
+	}
+}
+
+func (r *Replica) afterTimer(ctx proc.Context, d time.Duration, fn func(ctx proc.Context)) proc.TimerID {
+	r.timerSeq++
+	id := proc.TimerID(r.timerSeq)
+	r.timerAct[id] = fn
+	ctx.SetTimer(id, d)
+	return id
+}
+
+func (r *Replica) send(ctx proc.Context, to types.NodeID, msg codec.Message) {
+	if r.cfg.Mute {
+		return
+	}
+	ctx.Send(to, msg)
+}
+
+func (r *Replica) broadcastReplicas(ctx proc.Context, msg codec.Message) {
+	for i := 0; i < r.n; i++ {
+		if types.ReplicaID(i) != r.cfg.Self {
+			r.send(ctx, types.ReplicaNode(types.ReplicaID(i)), msg)
+		}
+	}
+}
+
+// Receive implements proc.Process.
+func (r *Replica) Receive(ctx proc.Context, from types.NodeID, msg codec.Message) {
+	switch m := msg.(type) {
+	case *Request:
+		r.handleRequest(ctx, m)
+	case *Propose:
+		r.handlePropose(ctx, m)
+	case *Accept:
+		r.handleAccept(ctx, m)
+	case *Suspect:
+		r.handleSuspect(ctx, m)
+	case *NewLeader:
+		r.handleNewLeader(ctx, m)
+	default:
+		r.stats.DroppedInvalid++
+	}
+}
+
+func (r *Replica) handleRequest(ctx proc.Context, m *Request) {
+	r.cfg.Costs.ChargeVerifyClient(ctx)
+	if err := r.cfg.Auth.Verify(types.ClientNode(m.Cmd.Client), m.SignedBody(), m.Sig); err != nil {
+		r.stats.DroppedInvalid++
+		return
+	}
+	key := cmdKey{m.Cmd.Client, m.Cmd.Timestamp}
+	if cached, ok := r.replyCache[key]; ok {
+		r.cfg.Costs.ChargeSign(ctx)
+		r.send(ctx, types.ClientNode(m.Cmd.Client), cached)
+		return
+	}
+	if leaderOf(r.view, r.n) != r.cfg.Self {
+		if _, already := r.forwarded[key]; already {
+			return
+		}
+		r.send(ctx, types.ReplicaNode(leaderOf(r.view, r.n)), m)
+		r.forwarded[key] = r.afterTimer(ctx, r.cfg.ForwardTimeout, func(ctx proc.Context) {
+			if _, still := r.forwarded[key]; !still {
+				return
+			}
+			delete(r.forwarded, key)
+			r.voteSuspect(ctx)
+		})
+		return
+	}
+	if _, dup := r.byCmd[key]; dup {
+		return
+	}
+	seq := r.nextSeq
+	r.nextSeq++
+	pro := &Propose{View: r.view, Seq: seq, CmdDigest: m.Cmd.Digest(), Req: *m}
+	r.cfg.Costs.ChargeSign(ctx)
+	pro.Sig = r.cfg.Auth.Sign(pro.SignedBody())
+	r.stats.Proposed++
+	r.broadcastReplicas(ctx, pro)
+	r.acceptPropose(ctx, pro)
+}
+
+func (r *Replica) handlePropose(ctx proc.Context, m *Propose) {
+	if m.View != r.view {
+		r.stats.DroppedInvalid++
+		return
+	}
+	leader := leaderOf(r.view, r.n)
+	r.cfg.Costs.ChargeVerify(ctx, 1) // embedded client request is MAC-checked
+	if err := r.cfg.Auth.Verify(types.ReplicaNode(leader), m.SignedBody(), m.Sig); err != nil {
+		r.stats.DroppedInvalid++
+		return
+	}
+	if err := r.cfg.Auth.Verify(types.ClientNode(m.Req.Cmd.Client), m.Req.SignedBody(), m.Req.Sig); err != nil {
+		r.stats.DroppedInvalid++
+		return
+	}
+	if m.CmdDigest != m.Req.Cmd.Digest() {
+		r.stats.DroppedInvalid++
+		return
+	}
+	if s, ok := r.slots[m.Seq]; ok && s.havePro {
+		return
+	}
+	r.pending[m.Seq] = m
+	// Accept proposals in sequence order so execution stays contiguous.
+	for {
+		next, ok := r.pending[r.contiguous()+1]
+		if !ok {
+			break
+		}
+		delete(r.pending, next.Seq)
+		r.acceptPropose(ctx, next)
+	}
+}
+
+// contiguous returns the highest seq for which a proposal has been
+// accepted contiguously from 1.
+func (r *Replica) contiguous() uint64 {
+	seq := uint64(0)
+	for {
+		s, ok := r.slots[seq+1]
+		if !ok || !s.havePro {
+			return seq
+		}
+		seq++
+	}
+}
+
+// acceptPropose records the proposal, votes ACCEPT (broadcast to all
+// learners), and counts its own vote.
+func (r *Replica) acceptPropose(ctx proc.Context, m *Propose) {
+	s, ok := r.slots[m.Seq]
+	if !ok {
+		s = &slotState{seq: m.Seq, accepts: make(map[types.ReplicaID]bool, r.n)}
+		r.slots[m.Seq] = s
+	}
+	if s.havePro {
+		return
+	}
+	s.havePro = true
+	s.cmd = m.Req.Cmd
+	s.cmdDigest = m.CmdDigest
+	key := cmdKey{m.Req.Cmd.Client, m.Req.Cmd.Timestamp}
+	r.byCmd[key] = m.Seq
+	if id, ok := r.forwarded[key]; ok {
+		delete(r.forwarded, key)
+		delete(r.timerAct, id)
+	}
+
+	acc := &Accept{View: m.View, Seq: m.Seq, CmdDigest: m.CmdDigest, Replica: r.cfg.Self}
+	r.cfg.Costs.ChargeSign(ctx)
+	acc.Sig = r.cfg.Auth.Sign(acc.SignedBody())
+	r.stats.Accepted++
+	r.broadcastReplicas(ctx, acc)
+	s.accepts[r.cfg.Self] = true
+	r.checkLearned(ctx, s)
+}
+
+func (r *Replica) handleAccept(ctx proc.Context, m *Accept) {
+	if m.View != r.view {
+		return
+	}
+	r.cfg.Costs.ChargeVerify(ctx, 1)
+	if err := r.cfg.Auth.Verify(types.ReplicaNode(m.Replica), m.SignedBody(), m.Sig); err != nil {
+		r.stats.DroppedInvalid++
+		return
+	}
+	s, ok := r.slots[m.Seq]
+	if !ok {
+		s = &slotState{seq: m.Seq, accepts: make(map[types.ReplicaID]bool, r.n)}
+		r.slots[m.Seq] = s
+	}
+	if s.havePro && s.cmdDigest != m.CmdDigest {
+		return
+	}
+	s.accepts[m.Replica] = true
+	r.checkLearned(ctx, s)
+}
+
+// checkLearned: a learner learns the value with ⌈(N+f+1)/2⌉ matching
+// accepts; execution is sequential.
+func (r *Replica) checkLearned(ctx proc.Context, s *slotState) {
+	if s.learned || !s.havePro || len(s.accepts) < acceptQuorum(r.n) {
+		return
+	}
+	s.learned = true
+	r.stats.Learned++
+	for {
+		next, ok := r.slots[r.maxExec+1]
+		if !ok || !next.learned || next.executed {
+			return
+		}
+		r.cfg.Costs.ChargeExecute(ctx)
+		next.result = r.cfg.App.Execute(next.cmd)
+		next.executed = true
+		r.maxExec = next.seq
+		r.stats.Executed++
+
+		reply := &Reply{
+			View:      r.view,
+			Timestamp: next.cmd.Timestamp,
+			Client:    next.cmd.Client,
+			Replica:   r.cfg.Self,
+			Result:    next.result,
+		}
+		r.cfg.Costs.ChargeSign(ctx)
+		reply.Sig = r.cfg.Auth.Sign(reply.SignedBody())
+		r.replyCache[cmdKey{next.cmd.Client, next.cmd.Timestamp}] = reply
+		r.send(ctx, types.ClientNode(next.cmd.Client), reply)
+	}
+}
+
+// --- leader change (skeleton) ---
+
+func (r *Replica) voteSuspect(ctx proc.Context) {
+	sus := &Suspect{View: r.view, Replica: r.cfg.Self}
+	r.cfg.Costs.ChargeSign(ctx)
+	sus.Sig = r.cfg.Auth.Sign(sus.SignedBody())
+	r.broadcastReplicas(ctx, sus)
+	r.recordSuspect(ctx, r.view, r.cfg.Self)
+}
+
+func (r *Replica) handleSuspect(ctx proc.Context, m *Suspect) {
+	if m.View != r.view {
+		return
+	}
+	r.cfg.Costs.ChargeVerify(ctx, 1)
+	if err := r.cfg.Auth.Verify(types.ReplicaNode(m.Replica), m.SignedBody(), m.Sig); err != nil {
+		r.stats.DroppedInvalid++
+		return
+	}
+	r.recordSuspect(ctx, m.View, m.Replica)
+}
+
+func (r *Replica) recordSuspect(ctx proc.Context, view uint64, from types.ReplicaID) {
+	votes, ok := r.suspects[view]
+	if !ok {
+		votes = make(map[types.ReplicaID]bool, r.f+1)
+		r.suspects[view] = votes
+	}
+	votes[from] = true
+	if len(votes) < r.f+1 || view != r.view {
+		return
+	}
+	newView := r.view + 1
+	if leaderOf(newView, r.n) == r.cfg.Self {
+		nl := &NewLeader{View: newView, Replica: r.cfg.Self, MaxSeq: r.maxExec}
+		r.cfg.Costs.ChargeSign(ctx)
+		nl.Sig = r.cfg.Auth.Sign(nl.SignedBody())
+		r.broadcastReplicas(ctx, nl)
+		r.applyNewLeader(nl)
+	}
+}
+
+func (r *Replica) handleNewLeader(ctx proc.Context, m *NewLeader) {
+	if m.View <= r.view || leaderOf(m.View, r.n) != m.Replica {
+		return
+	}
+	r.cfg.Costs.ChargeVerify(ctx, 1)
+	if err := r.cfg.Auth.Verify(types.ReplicaNode(m.Replica), m.SignedBody(), m.Sig); err != nil {
+		r.stats.DroppedInvalid++
+		return
+	}
+	r.applyNewLeader(m)
+}
+
+func (r *Replica) applyNewLeader(m *NewLeader) {
+	if m.View <= r.view {
+		return
+	}
+	r.view = m.View
+	r.stats.LeaderChanges++
+	if leaderOf(r.view, r.n) == r.cfg.Self {
+		if m.MaxSeq+1 > r.nextSeq {
+			r.nextSeq = m.MaxSeq + 1
+		}
+	}
+	// Unlearned slots are re-driven by client retransmission in the new
+	// view; reset their agreement state.
+	for seq, s := range r.slots {
+		if !s.executed {
+			delete(r.slots, seq)
+			delete(r.pending, seq)
+		}
+	}
+	for key, id := range r.forwarded {
+		delete(r.forwarded, key)
+		delete(r.timerAct, id)
+	}
+}
+
+// --- client ---
+
+// ClientConfig configures a FaB client.
+type ClientConfig struct {
+	ID     types.ClientID
+	N      int
+	Leader types.ReplicaID
+	Auth   auth.Authenticator
+	Costs  proc.Costs
+	Driver workload.Driver
+	// RetryTimeout is how long to wait for f+1 matching replies before
+	// retransmitting to all replicas.
+	RetryTimeout time.Duration
+}
+
+// ClientStats exposes client-side counters.
+type ClientStats struct {
+	Submitted uint64
+	Completed uint64
+	Retries   uint64
+}
+
+type pendingReq struct {
+	cmd     types.Command
+	req     *Request
+	issued  time.Duration
+	replies map[types.ReplicaID]*Reply
+	retries int
+}
+
+// Client is a FaB client; it implements proc.Process.
+type Client struct {
+	cfg ClientConfig
+	n   int
+	f   int
+
+	nextTS  uint64
+	view    uint64
+	pending map[uint64]*pendingReq
+	stats   ClientStats
+}
+
+var (
+	_ proc.Process       = (*Client)(nil)
+	_ workload.Submitter = (*Client)(nil)
+)
+
+// NewClient constructs a FaB client.
+func NewClient(cfg ClientConfig) (*Client, error) {
+	if cfg.N < 4 || (cfg.N-1)%3 != 0 {
+		return nil, fmt.Errorf("fab: cluster size must be 3f+1, got %d", cfg.N)
+	}
+	if cfg.Auth == nil || cfg.Driver == nil {
+		return nil, fmt.Errorf("fab: auth and driver are required")
+	}
+	if cfg.RetryTimeout <= 0 {
+		cfg.RetryTimeout = 4 * time.Second
+	}
+	return &Client{
+		cfg:     cfg,
+		n:       cfg.N,
+		f:       faults(cfg.N),
+		view:    uint64(cfg.Leader),
+		pending: make(map[uint64]*pendingReq),
+	}, nil
+}
+
+// ID implements proc.Process.
+func (c *Client) ID() types.NodeID { return types.ClientNode(c.cfg.ID) }
+
+// ClientID implements workload.Submitter.
+func (c *Client) ClientID() types.ClientID { return c.cfg.ID }
+
+// InFlight implements workload.Submitter.
+func (c *Client) InFlight() int { return len(c.pending) }
+
+// Stats returns a snapshot of client counters.
+func (c *Client) Stats() ClientStats { return c.stats }
+
+// Init implements proc.Process.
+func (c *Client) Init(ctx proc.Context) { c.cfg.Driver.Start(ctx, c) }
+
+// Submit implements workload.Submitter.
+func (c *Client) Submit(ctx proc.Context, cmd types.Command) {
+	c.nextTS++
+	ts := c.nextTS
+	cmd.Client = c.cfg.ID
+	cmd.Timestamp = ts
+	req := &Request{Cmd: cmd}
+	c.cfg.Costs.ChargeSign(ctx)
+	req.Sig = c.cfg.Auth.Sign(req.SignedBody())
+	c.pending[ts] = &pendingReq{
+		cmd:     cmd,
+		req:     req,
+		issued:  ctx.Now(),
+		replies: make(map[types.ReplicaID]*Reply, c.n),
+	}
+	c.stats.Submitted++
+	ctx.Send(types.ReplicaNode(leaderOf(c.view, c.n)), req)
+	ctx.SetTimer(proc.TimerID(ts), c.cfg.RetryTimeout)
+}
+
+// Receive implements proc.Process.
+func (c *Client) Receive(ctx proc.Context, from types.NodeID, msg codec.Message) {
+	m, ok := msg.(*Reply)
+	if !ok {
+		return
+	}
+	p, okp := c.pending[m.Timestamp]
+	if !okp || m.Client != c.cfg.ID {
+		return
+	}
+	c.cfg.Costs.ChargeVerify(ctx, 1)
+	if err := c.cfg.Auth.Verify(types.ReplicaNode(m.Replica), m.SignedBody(), m.Sig); err != nil {
+		return
+	}
+	if m.View > c.view {
+		c.view = m.View
+	}
+	p.replies[m.Replica] = m
+	counts := make(map[string]int, 2)
+	for _, rep := range p.replies {
+		key := fmt.Sprintf("%t|%x", rep.Result.OK, rep.Result.Value)
+		counts[key]++
+		if counts[key] >= c.f+1 {
+			c.finish(ctx, m.Timestamp, p, rep.Result)
+			return
+		}
+	}
+}
+
+// OnTimer implements proc.Process.
+func (c *Client) OnTimer(ctx proc.Context, id proc.TimerID) {
+	if id >= workload.DriverTimerBase {
+		c.cfg.Driver.OnTimer(ctx, c, id)
+		return
+	}
+	ts := uint64(id)
+	p, ok := c.pending[ts]
+	if !ok {
+		return
+	}
+	p.retries++
+	c.stats.Retries++
+	for i := 0; i < c.n; i++ {
+		ctx.Send(types.ReplicaNode(types.ReplicaID(i)), p.req)
+	}
+	shift := p.retries
+	if shift > 6 {
+		shift = 6
+	}
+	ctx.SetTimer(id, c.cfg.RetryTimeout<<uint(shift))
+}
+
+func (c *Client) finish(ctx proc.Context, ts uint64, p *pendingReq, res types.Result) {
+	delete(c.pending, ts)
+	ctx.CancelTimer(proc.TimerID(ts))
+	c.stats.Completed++
+	c.cfg.Driver.Completed(ctx, c, workload.Completion{
+		Cmd:      p.cmd,
+		Result:   res,
+		Latency:  ctx.Now() - p.issued,
+		At:       ctx.Now(),
+		FastPath: false,
+	})
+}

@@ -1,0 +1,178 @@
+// Package graph implements the dependency-graph machinery ezBFT's execution
+// protocol requires (paper §IV-B): commands and their dependencies form a
+// directed graph with potential cycles; strongly connected components are
+// identified, sorted in inverse topological order, and the commands within
+// each component are executed in sequence-number order, breaking ties with
+// replica identifiers.
+//
+// All orderings produced here are deterministic functions of the graph
+// contents — never of map iteration order — because every correct replica
+// must execute interfering commands identically.
+package graph
+
+import (
+	"sort"
+
+	"ezbft/internal/types"
+)
+
+// DepGraph is a dependency graph over command instances. Add every instance
+// participating in execution, then call ExecutionOrder. Edges to instances
+// that were never added (dependencies already executed, or not yet ready)
+// are ignored; the caller decides which instances participate.
+type DepGraph struct {
+	seq   map[types.InstanceID]types.SeqNumber
+	deps  map[types.InstanceID]types.InstanceSet
+	order []types.InstanceID // insertion order (deduplicated), for determinism
+}
+
+// NewDepGraph returns an empty graph.
+func NewDepGraph() *DepGraph {
+	return &DepGraph{
+		seq:  make(map[types.InstanceID]types.SeqNumber),
+		deps: make(map[types.InstanceID]types.InstanceSet),
+	}
+}
+
+// Len returns the number of nodes.
+func (g *DepGraph) Len() int { return len(g.seq) }
+
+// Has reports whether an instance was added.
+func (g *DepGraph) Has(id types.InstanceID) bool {
+	_, ok := g.seq[id]
+	return ok
+}
+
+// Add inserts an instance with its committed sequence number and dependency
+// set. Re-adding an instance overwrites its attributes (last write wins).
+func (g *DepGraph) Add(id types.InstanceID, seq types.SeqNumber, deps types.InstanceSet) {
+	if _, exists := g.seq[id]; !exists {
+		g.order = append(g.order, id)
+	}
+	g.seq[id] = seq
+	g.deps[id] = deps.Clone()
+}
+
+// SCCs returns the strongly connected components in inverse topological
+// order of the condensation: every component appears after the components
+// it depends on. This is exactly the paper's execution order over
+// components. The algorithm is an iterative Tarjan (recursion would
+// overflow on the long dependency chains contended workloads create).
+func (g *DepGraph) SCCs() [][]types.InstanceID {
+	n := len(g.order)
+	if n == 0 {
+		return nil
+	}
+	// Deterministic node indexing: sorted instance order.
+	nodes := make([]types.InstanceID, n)
+	copy(nodes, g.order)
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].Less(nodes[j]) })
+	index := make(map[types.InstanceID]int, n)
+	for i, id := range nodes {
+		index[id] = i
+	}
+	// Deterministic adjacency: sorted dependency lists, edges only to
+	// present nodes.
+	adj := make([][]int, n)
+	for i, id := range nodes {
+		for _, dep := range g.deps[id].Sorted() {
+			if j, ok := index[dep]; ok && j != i {
+				adj[i] = append(adj[i], j)
+			}
+		}
+	}
+
+	const unvisited = -1
+	idx := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range idx {
+		idx[i] = unvisited
+	}
+	var (
+		stack   []int // Tarjan stack
+		counter int
+		out     [][]types.InstanceID
+	)
+
+	// Iterative DFS frames.
+	type frame struct {
+		v, ei int
+	}
+	for root := 0; root < n; root++ {
+		if idx[root] != unvisited {
+			continue
+		}
+		frames := []frame{{v: root}}
+		idx[root] = counter
+		low[root] = counter
+		counter++
+		stack = append(stack, root)
+		onStack[root] = true
+
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			if f.ei < len(adj[f.v]) {
+				w := adj[f.v][f.ei]
+				f.ei++
+				if idx[w] == unvisited {
+					idx[w] = counter
+					low[w] = counter
+					counter++
+					stack = append(stack, w)
+					onStack[w] = true
+					frames = append(frames, frame{v: w})
+				} else if onStack[w] && idx[w] < low[f.v] {
+					low[f.v] = idx[w]
+				}
+				continue
+			}
+			// Post-order: pop frame, maybe emit SCC.
+			v := f.v
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				p := frames[len(frames)-1].v
+				if low[v] < low[p] {
+					low[p] = low[v]
+				}
+			}
+			if low[v] == idx[v] {
+				var comp []types.InstanceID
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp = append(comp, nodes[w])
+					if w == v {
+						break
+					}
+				}
+				out = append(out, comp)
+			}
+		}
+	}
+	return out
+}
+
+// ExecutionOrder linearizes the graph per the paper: SCCs in inverse
+// topological order; within each SCC, commands sorted by sequence number,
+// ties broken by replica identifier (then slot, for full determinism).
+func (g *DepGraph) ExecutionOrder() []types.InstanceID {
+	comps := g.SCCs()
+	out := make([]types.InstanceID, 0, len(g.seq))
+	for _, comp := range comps {
+		sort.Slice(comp, func(i, j int) bool {
+			a, b := comp[i], comp[j]
+			sa, sb := g.seq[a], g.seq[b]
+			if sa != sb {
+				return sa < sb
+			}
+			if a.Space != b.Space {
+				return a.Space < b.Space
+			}
+			return a.Slot < b.Slot
+		})
+		out = append(out, comp...)
+	}
+	return out
+}

@@ -1,0 +1,240 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ezbft/internal/types"
+)
+
+func inst(space int32, slot uint64) types.InstanceID {
+	return types.InstanceID{Space: types.ReplicaID(space), Slot: slot}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := NewDepGraph()
+	if got := g.SCCs(); got != nil {
+		t.Fatalf("SCCs of empty graph = %v", got)
+	}
+	if got := g.ExecutionOrder(); len(got) != 0 {
+		t.Fatalf("ExecutionOrder of empty graph = %v", got)
+	}
+}
+
+func TestChainOrder(t *testing.T) {
+	// c depends on b depends on a: execution order a, b, c.
+	g := NewDepGraph()
+	a, b, c := inst(0, 1), inst(1, 1), inst(2, 1)
+	g.Add(a, 1, types.NewInstanceSet())
+	g.Add(b, 2, types.NewInstanceSet(a))
+	g.Add(c, 3, types.NewInstanceSet(b))
+	got := g.ExecutionOrder()
+	want := []types.InstanceID{a, b, c}
+	assertOrder(t, got, want)
+}
+
+func TestCycleSortedBySeqThenReplica(t *testing.T) {
+	// The paper's Fig 2 scenario: L1 (R0) and L2 (R3) depend on each other
+	// with equal sequence numbers; replica ID breaks the tie, so L1 first.
+	g := NewDepGraph()
+	l1, l2 := inst(0, 1), inst(3, 1)
+	g.Add(l1, 2, types.NewInstanceSet(l2))
+	g.Add(l2, 2, types.NewInstanceSet(l1))
+	sccs := g.SCCs()
+	if len(sccs) != 1 || len(sccs[0]) != 2 {
+		t.Fatalf("SCCs = %v, want one component of 2", sccs)
+	}
+	assertOrder(t, g.ExecutionOrder(), []types.InstanceID{l1, l2})
+}
+
+func TestCycleSortedBySeq(t *testing.T) {
+	g := NewDepGraph()
+	l1, l2 := inst(3, 1), inst(0, 1)
+	g.Add(l1, 1, types.NewInstanceSet(l2))
+	g.Add(l2, 2, types.NewInstanceSet(l1))
+	// Same cycle but different seq: lower seq first even with higher replica.
+	assertOrder(t, g.ExecutionOrder(), []types.InstanceID{l1, l2})
+}
+
+func TestDanglingDepsIgnored(t *testing.T) {
+	g := NewDepGraph()
+	a := inst(0, 1)
+	g.Add(a, 1, types.NewInstanceSet(inst(9, 9))) // dep never added
+	got := g.ExecutionOrder()
+	assertOrder(t, got, []types.InstanceID{a})
+}
+
+func TestDiamond(t *testing.T) {
+	//   d depends on b, c; b and c depend on a.
+	g := NewDepGraph()
+	a, b, c, d := inst(0, 1), inst(1, 1), inst(2, 1), inst(3, 1)
+	g.Add(a, 1, types.NewInstanceSet())
+	g.Add(b, 2, types.NewInstanceSet(a))
+	g.Add(c, 2, types.NewInstanceSet(a))
+	g.Add(d, 3, types.NewInstanceSet(b, c))
+	got := g.ExecutionOrder()
+	pos := position(got)
+	if pos[a] > pos[b] || pos[a] > pos[c] || pos[b] > pos[d] || pos[c] > pos[d] {
+		t.Fatalf("diamond order violated: %v", got)
+	}
+}
+
+func TestTwoIndependentComponents(t *testing.T) {
+	g := NewDepGraph()
+	a, b := inst(0, 1), inst(0, 2)
+	c, d := inst(1, 1), inst(1, 2)
+	g.Add(a, 1, types.NewInstanceSet())
+	g.Add(b, 2, types.NewInstanceSet(a))
+	g.Add(c, 1, types.NewInstanceSet())
+	g.Add(d, 2, types.NewInstanceSet(c))
+	got := g.ExecutionOrder()
+	pos := position(got)
+	if pos[a] > pos[b] || pos[c] > pos[d] {
+		t.Fatalf("intra-chain order violated: %v", got)
+	}
+}
+
+func TestReAddOverwrites(t *testing.T) {
+	g := NewDepGraph()
+	a, b := inst(0, 1), inst(1, 1)
+	g.Add(a, 1, types.NewInstanceSet(b))
+	g.Add(b, 1, types.NewInstanceSet())
+	g.Add(a, 5, types.NewInstanceSet()) // final attributes win
+	if g.Len() != 2 {
+		t.Fatalf("Len = %d", g.Len())
+	}
+	sccs := g.SCCs()
+	if len(sccs) != 2 {
+		t.Fatalf("SCCs = %v, want two singletons after overwrite", sccs)
+	}
+}
+
+func TestLongChainNoStackOverflow(t *testing.T) {
+	// 200k-deep dependency chain: must not recurse.
+	g := NewDepGraph()
+	const n = 200_000
+	prev := types.InstanceSet{}
+	for i := uint64(1); i <= n; i++ {
+		id := inst(0, i)
+		g.Add(id, types.SeqNumber(i), prev)
+		prev = types.NewInstanceSet(id)
+	}
+	got := g.ExecutionOrder()
+	if len(got) != n {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Slot != got[i-1].Slot+1 {
+			t.Fatalf("chain order broken at %d", i)
+		}
+	}
+}
+
+// Property: execution order is a deterministic function of graph content,
+// regardless of insertion order.
+func TestExecutionOrderInsertionInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		type node struct {
+			id   types.InstanceID
+			seq  types.SeqNumber
+			deps types.InstanceSet
+		}
+		n := 2 + rng.Intn(20)
+		nodes := make([]node, n)
+		ids := make([]types.InstanceID, n)
+		for i := range nodes {
+			ids[i] = inst(int32(rng.Intn(4)), uint64(i+1))
+		}
+		for i := range nodes {
+			deps := types.NewInstanceSet()
+			for j := range ids {
+				if j != i && rng.Intn(3) == 0 {
+					deps.Add(ids[j])
+				}
+			}
+			nodes[i] = node{id: ids[i], seq: types.SeqNumber(rng.Intn(5) + 1), deps: deps}
+		}
+		build := func(perm []int) []types.InstanceID {
+			g := NewDepGraph()
+			for _, i := range perm {
+				g.Add(nodes[i].id, nodes[i].seq, nodes[i].deps)
+			}
+			return g.ExecutionOrder()
+		}
+		perm1 := rng.Perm(n)
+		perm2 := rng.Perm(n)
+		o1, o2 := build(perm1), build(perm2)
+		if len(o1) != len(o2) {
+			return false
+		}
+		for i := range o1 {
+			if o1[i] != o2[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every dependency edge between nodes in different SCCs is
+// respected by the linear order (dependency executes first).
+func TestExecutionOrderRespectsAcyclicDeps(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(25)
+		g := NewDepGraph()
+		ids := make([]types.InstanceID, n)
+		depsOf := make(map[types.InstanceID]types.InstanceSet, n)
+		for i := 0; i < n; i++ {
+			ids[i] = inst(int32(i%4), uint64(i/4+1))
+		}
+		for i := 0; i < n; i++ {
+			deps := types.NewInstanceSet()
+			// Edges only to lower indices: acyclic by construction.
+			for j := 0; j < i; j++ {
+				if rng.Intn(4) == 0 {
+					deps.Add(ids[j])
+				}
+			}
+			depsOf[ids[i]] = deps
+			g.Add(ids[i], types.SeqNumber(rng.Intn(5)+1), deps)
+		}
+		pos := position(g.ExecutionOrder())
+		for id, deps := range depsOf {
+			for dep := range deps {
+				if pos[dep] > pos[id] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func assertOrder(t *testing.T, got, want []types.InstanceID) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("order %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order %v, want %v", got, want)
+		}
+	}
+}
+
+func position(order []types.InstanceID) map[types.InstanceID]int {
+	pos := make(map[types.InstanceID]int, len(order))
+	for i, id := range order {
+		pos[id] = i
+	}
+	return pos
+}

@@ -1,0 +1,168 @@
+// Package kvstore implements the replicated key-value store application the
+// paper uses for its evaluation ("We implemented a replicated key-value
+// store to evaluate the protocols"). It supports the speculative-execution
+// contract ezBFT and Zyzzyva require: commands are first executed
+// speculatively on an overlay; the overlay can be rolled back wholesale and
+// commands re-executed in final order on the base state.
+//
+// Store is not safe for concurrent use: a store belongs to exactly one
+// protocol process, and processes are single-threaded (see internal/proc).
+package kvstore
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+
+	"ezbft/internal/types"
+)
+
+// Store is a speculative key-value store.
+type Store struct {
+	final map[string][]byte
+	spec  map[string][]byte // overlay; reads fall through to final
+
+	finalExecs uint64
+	specExecs  uint64
+	rollbacks  uint64
+}
+
+var _ types.SpeculativeApplication = (*Store)(nil)
+
+// New returns an empty store.
+func New() *Store {
+	return &Store{
+		final: make(map[string][]byte),
+		spec:  make(map[string][]byte),
+	}
+}
+
+// Execute implements types.Application: execute on the final state. It is
+// what non-speculative protocols (PBFT, FaB) call.
+func (s *Store) Execute(cmd types.Command) types.Result {
+	return s.PromoteFinal(cmd)
+}
+
+// SpecExecute implements types.SpeculativeApplication: apply a command on
+// top of the latest state (speculative overlay over final), per paper
+// §IV-B ("speculative execution can happen in either the speculative state
+// or in the final version of the state, whichever is the latest").
+func (s *Store) SpecExecute(cmd types.Command) types.Result {
+	s.specExecs++
+	return s.apply(cmd, s.specRead, s.specWrite)
+}
+
+// Rollback implements types.SpeculativeApplication: discard the overlay.
+func (s *Store) Rollback() {
+	if len(s.spec) > 0 {
+		s.spec = make(map[string][]byte)
+	}
+	s.rollbacks++
+}
+
+// PromoteFinal implements types.SpeculativeApplication: execute on the
+// previous final version of the state only.
+func (s *Store) PromoteFinal(cmd types.Command) types.Result {
+	s.finalExecs++
+	return s.apply(cmd, s.finalRead, s.finalWrite)
+}
+
+// Stats returns execution counters (final, speculative, rollbacks).
+func (s *Store) Stats() (finalExecs, specExecs, rollbacks uint64) {
+	return s.finalExecs, s.specExecs, s.rollbacks
+}
+
+// Get reads a key from the final state (test/inspection helper).
+func (s *Store) Get(key string) ([]byte, bool) {
+	v, ok := s.final[key]
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), v...), true
+}
+
+// Len returns the number of keys in the final state.
+func (s *Store) Len() int { return len(s.final) }
+
+// Digest returns a deterministic digest of the final state, used for
+// checkpoint certificates and state cross-checks between replicas.
+func (s *Store) Digest() types.Digest {
+	keys := make([]string, 0, len(s.final))
+	for k := range s.final {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	h := sha256.New()
+	var lenBuf [8]byte
+	for _, k := range keys {
+		binary.BigEndian.PutUint64(lenBuf[:], uint64(len(k)))
+		h.Write(lenBuf[:])
+		h.Write([]byte(k))
+		v := s.final[k]
+		binary.BigEndian.PutUint64(lenBuf[:], uint64(len(v)))
+		h.Write(lenBuf[:])
+		h.Write(v)
+	}
+	var d types.Digest
+	copy(d[:], h.Sum(nil))
+	return d
+}
+
+// --- internals ---
+
+func (s *Store) finalRead(key string) ([]byte, bool) {
+	v, ok := s.final[key]
+	return v, ok
+}
+
+func (s *Store) finalWrite(key string, v []byte) { s.final[key] = v }
+
+func (s *Store) specRead(key string) ([]byte, bool) {
+	if v, ok := s.spec[key]; ok {
+		return v, ok
+	}
+	v, ok := s.final[key]
+	return v, ok
+}
+
+func (s *Store) specWrite(key string, v []byte) { s.spec[key] = v }
+
+// apply executes one command against the given read/write accessors.
+// Results are deterministic functions of (state, command); INCR returns no
+// value so that commuting increments produce identical replies regardless
+// of order (see types.Command.Interferes).
+func (s *Store) apply(cmd types.Command, read func(string) ([]byte, bool), write func(string, []byte)) types.Result {
+	switch cmd.Op {
+	case types.OpGet:
+		v, ok := read(cmd.Key)
+		if !ok {
+			return types.Result{OK: false}
+		}
+		return types.Result{OK: true, Value: append([]byte(nil), v...)}
+	case types.OpPut:
+		write(cmd.Key, append([]byte(nil), cmd.Value...))
+		return types.Result{OK: true}
+	case types.OpIncr:
+		var cur uint64
+		if v, ok := read(cmd.Key); ok && len(v) == 8 {
+			cur = binary.BigEndian.Uint64(v)
+		}
+		next := make([]byte, 8)
+		binary.BigEndian.PutUint64(next, cur+1)
+		write(cmd.Key, next)
+		return types.Result{OK: true}
+	case types.OpNoop:
+		return types.Result{OK: true}
+	default:
+		return types.Result{OK: false}
+	}
+}
+
+// Counter decodes the 8-byte big-endian counter representation used by
+// INCR; helper for examples and tests.
+func Counter(v []byte) uint64 {
+	if len(v) != 8 {
+		return 0
+	}
+	return binary.BigEndian.Uint64(v)
+}

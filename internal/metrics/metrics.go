@@ -1,0 +1,199 @@
+// Package metrics collects and summarizes the measurements the paper
+// reports: per-region average client-side latency (Table I, Figs 4-6) and
+// server-side throughput (Fig 7). A Collector implements
+// workload.Recorder; experiments label clients with groups (regions) and
+// read summaries per group.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"ezbft/internal/types"
+	"ezbft/internal/workload"
+)
+
+// Sample is one completed request.
+type Sample struct {
+	Client  types.ClientID
+	Latency time.Duration
+	At      time.Duration
+	Fast    bool
+}
+
+// Collector accumulates samples, grouped by a client → label assignment.
+// Not safe for concurrent use: in simulation all completions arrive on the
+// single simulator goroutine.
+type Collector struct {
+	labels  map[types.ClientID]string
+	samples map[string][]Sample
+	// Warmup discards samples completed before this time (ramp-up trim).
+	Warmup time.Duration
+}
+
+var _ workload.Recorder = (*Collector)(nil)
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector {
+	return &Collector{
+		labels:  make(map[types.ClientID]string),
+		samples: make(map[string][]Sample),
+	}
+}
+
+// Label assigns a client to a group (e.g. its region name).
+func (c *Collector) Label(client types.ClientID, label string) {
+	c.labels[client] = label
+}
+
+// Record implements workload.Recorder.
+func (c *Collector) Record(client types.ClientID, comp workload.Completion) {
+	if comp.At < c.Warmup {
+		return
+	}
+	label := c.labels[client]
+	c.samples[label] = append(c.samples[label], Sample{
+		Client:  client,
+		Latency: comp.Latency,
+		At:      comp.At,
+		Fast:    comp.FastPath,
+	})
+}
+
+// Groups returns the group labels with at least one sample, sorted.
+func (c *Collector) Groups() []string {
+	out := make([]string, 0, len(c.samples))
+	for label := range c.samples {
+		out = append(out, label)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Count returns the number of samples in a group ("" = unlabeled).
+func (c *Collector) Count(label string) int { return len(c.samples[label]) }
+
+// Total returns the number of samples across all groups.
+func (c *Collector) Total() int {
+	n := 0
+	for _, s := range c.samples {
+		n += len(s)
+	}
+	return n
+}
+
+// Summary describes one group's latency distribution.
+type Summary struct {
+	Count         int
+	Mean          time.Duration
+	P50, P95, P99 time.Duration
+	Min, Max      time.Duration
+	FastFraction  float64
+}
+
+// Summarize computes the latency distribution of a group.
+func (c *Collector) Summarize(label string) Summary {
+	samples := c.samples[label]
+	if len(samples) == 0 {
+		return Summary{}
+	}
+	lat := make([]time.Duration, len(samples))
+	var sum time.Duration
+	fast := 0
+	for i, s := range samples {
+		lat[i] = s.Latency
+		sum += s.Latency
+		if s.Fast {
+			fast++
+		}
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	pick := func(q float64) time.Duration {
+		idx := int(q * float64(len(lat)-1))
+		return lat[idx]
+	}
+	return Summary{
+		Count:        len(lat),
+		Mean:         sum / time.Duration(len(lat)),
+		P50:          pick(0.50),
+		P95:          pick(0.95),
+		P99:          pick(0.99),
+		Min:          lat[0],
+		Max:          lat[len(lat)-1],
+		FastFraction: float64(fast) / float64(len(lat)),
+	}
+}
+
+// Throughput returns completed requests per second across all groups over
+// the window [from, to) of the runtime clock.
+func (c *Collector) Throughput(from, to time.Duration) float64 {
+	if to <= from {
+		return 0
+	}
+	n := 0
+	for _, group := range c.samples {
+		for _, s := range group {
+			if s.At >= from && s.At < to {
+				n++
+			}
+		}
+	}
+	return float64(n) / to.Seconds() * (float64(to) / float64(to-from))
+}
+
+// CompletedIn counts completions in the window [from, to).
+func (c *Collector) CompletedIn(from, to time.Duration) int {
+	n := 0
+	for _, group := range c.samples {
+		for _, s := range group {
+			if s.At >= from && s.At < to {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Ms renders a duration as milliseconds with one decimal.
+func Ms(d time.Duration) string {
+	return fmt.Sprintf("%.1f", float64(d)/float64(time.Millisecond))
+}
+
+// Table renders rows of cells as an aligned text table.
+func Table(header []string, rows [][]string) string {
+	width := make([]int, len(header))
+	for i, h := range header {
+		width[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(width) && len(cell) > width[i] {
+				width[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", width[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(header)
+	for i, w := range width {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}

@@ -1,0 +1,104 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"ezbft/internal/workload"
+)
+
+func TestCollectorBasics(t *testing.T) {
+	c := NewCollector()
+	c.Label(1, "us")
+	c.Label(2, "eu")
+	c.Record(1, workload.Completion{Latency: 100 * time.Millisecond, At: time.Second, FastPath: true})
+	c.Record(1, workload.Completion{Latency: 200 * time.Millisecond, At: 2 * time.Second})
+	c.Record(2, workload.Completion{Latency: 50 * time.Millisecond, At: time.Second})
+
+	if got := c.Groups(); len(got) != 2 || got[0] != "eu" || got[1] != "us" {
+		t.Fatalf("groups = %v", got)
+	}
+	if c.Count("us") != 2 || c.Count("eu") != 1 || c.Total() != 3 {
+		t.Fatalf("counts us=%d eu=%d total=%d", c.Count("us"), c.Count("eu"), c.Total())
+	}
+	sum := c.Summarize("us")
+	if sum.Mean != 150*time.Millisecond {
+		t.Fatalf("mean = %v", sum.Mean)
+	}
+	if sum.Min != 100*time.Millisecond || sum.Max != 200*time.Millisecond {
+		t.Fatalf("min/max = %v/%v", sum.Min, sum.Max)
+	}
+	if sum.FastFraction != 0.5 {
+		t.Fatalf("fast fraction = %v", sum.FastFraction)
+	}
+	if empty := c.Summarize("nowhere"); empty.Count != 0 {
+		t.Fatalf("empty summary = %+v", empty)
+	}
+}
+
+func TestCollectorWarmupTrim(t *testing.T) {
+	c := NewCollector()
+	c.Label(1, "us")
+	c.Warmup = time.Second
+	c.Record(1, workload.Completion{Latency: time.Millisecond, At: 500 * time.Millisecond})
+	c.Record(1, workload.Completion{Latency: time.Millisecond, At: 1500 * time.Millisecond})
+	if c.Count("us") != 1 {
+		t.Fatalf("count = %d, want warmup sample dropped", c.Count("us"))
+	}
+}
+
+func TestPercentiles(t *testing.T) {
+	c := NewCollector()
+	c.Label(1, "g")
+	for i := 1; i <= 100; i++ {
+		c.Record(1, workload.Completion{Latency: time.Duration(i) * time.Millisecond, At: time.Second})
+	}
+	sum := c.Summarize("g")
+	if sum.P50 < 49*time.Millisecond || sum.P50 > 52*time.Millisecond {
+		t.Fatalf("p50 = %v", sum.P50)
+	}
+	if sum.P99 < 98*time.Millisecond || sum.P99 > 100*time.Millisecond {
+		t.Fatalf("p99 = %v", sum.P99)
+	}
+}
+
+func TestCompletedInWindow(t *testing.T) {
+	c := NewCollector()
+	c.Label(1, "g")
+	for i := 0; i < 10; i++ {
+		c.Record(1, workload.Completion{At: time.Duration(i) * time.Second})
+	}
+	if got := c.CompletedIn(2*time.Second, 5*time.Second); got != 3 {
+		t.Fatalf("CompletedIn = %d, want 3", got)
+	}
+}
+
+func TestMsFormatting(t *testing.T) {
+	if got := Ms(1234567 * time.Nanosecond); got != "1.2" {
+		t.Fatalf("Ms = %q", got)
+	}
+	if got := Ms(0); got != "0.0" {
+		t.Fatalf("Ms(0) = %q", got)
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	out := Table([]string{"name", "value"}, [][]string{
+		{"short", "1"},
+		{"much-longer-name", "22"},
+	})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d: %q", len(lines), out)
+	}
+	// All rows align on the widest cell.
+	if len(lines[0]) == 0 || !strings.HasPrefix(lines[2], "short") {
+		t.Fatalf("unexpected table:\n%s", out)
+	}
+	for _, line := range lines[2:] {
+		if !strings.Contains(line, "  ") {
+			t.Fatalf("row missing column gap: %q", line)
+		}
+	}
+}

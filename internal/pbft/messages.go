@@ -1,0 +1,422 @@
+// Package pbft implements Practical Byzantine Fault Tolerance (Castro &
+// Liskov, OSDI 1999), the baseline three-phase primary-based BFT protocol
+// the paper compares against: REQUEST → PRE-PREPARE → PREPARE (all-to-all)
+// → COMMIT (all-to-all) → REPLY, five client-visible communication steps.
+// Replicas prepare with 2f matching PREPAREs and commit with 2f+1 COMMITs;
+// clients accept f+1 matching replies. Checkpoints garbage-collect the log
+// and view changes (simplified) restore progress under a faulty primary.
+package pbft
+
+import (
+	"ezbft/internal/codec"
+	"ezbft/internal/types"
+)
+
+// Message tags reserved by PBFT (30-39).
+const (
+	tagRequest    = 30
+	tagPrePrepare = 31
+	tagPrepare    = 32
+	tagCommit     = 33
+	tagReply      = 34
+	tagCheckpoint = 35
+	tagViewChange = 36
+	tagNewView    = 37
+)
+
+// Request is the client's signed command submission.
+type Request struct {
+	Cmd types.Command
+	Sig []byte
+}
+
+// Tag implements codec.Message.
+func (m *Request) Tag() uint8 { return tagRequest }
+
+// MarshalTo implements codec.Message.
+func (m *Request) MarshalTo(w *codec.Writer) {
+	w.Command(m.Cmd)
+	w.Blob(m.Sig)
+}
+
+// SignedBody returns the bytes the client signature covers.
+func (m *Request) SignedBody() []byte {
+	w := codec.NewWriter(64)
+	w.Command(m.Cmd)
+	return w.Bytes()
+}
+
+func decodeRequest(r *codec.Reader) (*Request, error) {
+	m := &Request{Cmd: r.Command()}
+	m.Sig = r.Blob()
+	return m, r.Err()
+}
+
+// PrePrepare is the primary's ordering proposal ⟨PRE-PREPARE, v, n, d⟩σp, m.
+type PrePrepare struct {
+	View      uint64
+	Seq       uint64
+	CmdDigest types.Digest
+	Req       Request
+	Sig       []byte
+}
+
+// Tag implements codec.Message.
+func (m *PrePrepare) Tag() uint8 { return tagPrePrepare }
+
+// MarshalTo implements codec.Message.
+func (m *PrePrepare) MarshalTo(w *codec.Writer) {
+	m.marshalBody(w)
+	w.Blob(m.Sig)
+	m.Req.MarshalTo(w)
+}
+
+func (m *PrePrepare) marshalBody(w *codec.Writer) {
+	w.Uvarint(m.View)
+	w.Uvarint(m.Seq)
+	w.Bytes32(m.CmdDigest)
+}
+
+// SignedBody returns the bytes the primary signature covers.
+func (m *PrePrepare) SignedBody() []byte {
+	w := codec.NewWriter(64)
+	m.marshalBody(w)
+	return w.Bytes()
+}
+
+func decodePrePrepare(r *codec.Reader) (*PrePrepare, error) {
+	m := &PrePrepare{
+		View:      r.Uvarint(),
+		Seq:       r.Uvarint(),
+		CmdDigest: r.Bytes32(),
+	}
+	m.Sig = r.Blob()
+	req, err := decodeRequest(r)
+	if err != nil {
+		return nil, err
+	}
+	m.Req = *req
+	return m, r.Err()
+}
+
+// Prepare is a backup's agreement vote ⟨PREPARE, v, n, d, i⟩σi.
+type Prepare struct {
+	View      uint64
+	Seq       uint64
+	CmdDigest types.Digest
+	Replica   types.ReplicaID
+	Sig       []byte
+}
+
+// Tag implements codec.Message.
+func (m *Prepare) Tag() uint8 { return tagPrepare }
+
+// MarshalTo implements codec.Message.
+func (m *Prepare) MarshalTo(w *codec.Writer) {
+	m.marshalBody(w)
+	w.Blob(m.Sig)
+}
+
+func (m *Prepare) marshalBody(w *codec.Writer) {
+	w.Uvarint(m.View)
+	w.Uvarint(m.Seq)
+	w.Bytes32(m.CmdDigest)
+	w.Int32(int32(m.Replica))
+}
+
+// SignedBody returns the bytes the replica signature covers.
+func (m *Prepare) SignedBody() []byte {
+	w := codec.NewWriter(64)
+	m.marshalBody(w)
+	return w.Bytes()
+}
+
+func decodePrepare(r *codec.Reader) (*Prepare, error) {
+	m := &Prepare{
+		View:      r.Uvarint(),
+		Seq:       r.Uvarint(),
+		CmdDigest: r.Bytes32(),
+		Replica:   types.ReplicaID(r.Int32()),
+	}
+	m.Sig = r.Blob()
+	return m, r.Err()
+}
+
+// Commit is a replica's commit vote ⟨COMMIT, v, n, d, i⟩σi.
+type Commit struct {
+	View      uint64
+	Seq       uint64
+	CmdDigest types.Digest
+	Replica   types.ReplicaID
+	Sig       []byte
+}
+
+// Tag implements codec.Message.
+func (m *Commit) Tag() uint8 { return tagCommit }
+
+// MarshalTo implements codec.Message.
+func (m *Commit) MarshalTo(w *codec.Writer) {
+	m.marshalBody(w)
+	w.Blob(m.Sig)
+}
+
+func (m *Commit) marshalBody(w *codec.Writer) {
+	w.Uvarint(m.View)
+	w.Uvarint(m.Seq)
+	w.Bytes32(m.CmdDigest)
+	w.Int32(int32(m.Replica))
+}
+
+// SignedBody returns the bytes the replica signature covers.
+func (m *Commit) SignedBody() []byte {
+	w := codec.NewWriter(64)
+	m.marshalBody(w)
+	return w.Bytes()
+}
+
+func decodeCommit(r *codec.Reader) (*Commit, error) {
+	m := &Commit{
+		View:      r.Uvarint(),
+		Seq:       r.Uvarint(),
+		CmdDigest: r.Bytes32(),
+		Replica:   types.ReplicaID(r.Int32()),
+	}
+	m.Sig = r.Blob()
+	return m, r.Err()
+}
+
+// Reply carries the execution result to the client ⟨REPLY, v, t, c, i, r⟩σi.
+type Reply struct {
+	View      uint64
+	Timestamp uint64
+	Client    types.ClientID
+	Replica   types.ReplicaID
+	Result    types.Result
+	Sig       []byte
+}
+
+// Tag implements codec.Message.
+func (m *Reply) Tag() uint8 { return tagReply }
+
+// MarshalTo implements codec.Message.
+func (m *Reply) MarshalTo(w *codec.Writer) {
+	m.marshalBody(w)
+	w.Blob(m.Sig)
+}
+
+func (m *Reply) marshalBody(w *codec.Writer) {
+	w.Uvarint(m.View)
+	w.Uvarint(m.Timestamp)
+	w.Int32(int32(m.Client))
+	w.Int32(int32(m.Replica))
+	w.Bool(m.Result.OK)
+	w.Blob(m.Result.Value)
+}
+
+// SignedBody returns the bytes the replica signature covers.
+func (m *Reply) SignedBody() []byte {
+	w := codec.NewWriter(64)
+	m.marshalBody(w)
+	return w.Bytes()
+}
+
+func decodeReply(r *codec.Reader) (*Reply, error) {
+	m := &Reply{
+		View:      r.Uvarint(),
+		Timestamp: r.Uvarint(),
+		Client:    types.ClientID(r.Int32()),
+		Replica:   types.ReplicaID(r.Int32()),
+	}
+	m.Result.OK = r.Bool()
+	m.Result.Value = r.Blob()
+	m.Sig = r.Blob()
+	return m, r.Err()
+}
+
+// Checkpoint advertises a stable state digest ⟨CHECKPOINT, n, d, i⟩σi.
+type Checkpoint struct {
+	Seq     uint64
+	Digest  types.Digest
+	Replica types.ReplicaID
+	Sig     []byte
+}
+
+// Tag implements codec.Message.
+func (m *Checkpoint) Tag() uint8 { return tagCheckpoint }
+
+// MarshalTo implements codec.Message.
+func (m *Checkpoint) MarshalTo(w *codec.Writer) {
+	m.marshalBody(w)
+	w.Blob(m.Sig)
+}
+
+func (m *Checkpoint) marshalBody(w *codec.Writer) {
+	w.Uvarint(m.Seq)
+	w.Bytes32(m.Digest)
+	w.Int32(int32(m.Replica))
+}
+
+// SignedBody returns the bytes the replica signature covers.
+func (m *Checkpoint) SignedBody() []byte {
+	w := codec.NewWriter(64)
+	m.marshalBody(w)
+	return w.Bytes()
+}
+
+func decodeCheckpoint(r *codec.Reader) (*Checkpoint, error) {
+	m := &Checkpoint{
+		Seq:     r.Uvarint(),
+		Digest:  r.Bytes32(),
+		Replica: types.ReplicaID(r.Int32()),
+	}
+	m.Sig = r.Blob()
+	return m, r.Err()
+}
+
+// VCEntry is one history entry carried in a view change. ReqSig is the
+// client's original request signature, so the new primary can re-issue a
+// verifiable PRE-PREPARE.
+type VCEntry struct {
+	Seq       uint64
+	CmdDigest types.Digest
+	Cmd       types.Command
+	ReqSig    []byte
+	Prepared  bool
+}
+
+// ViewChange carries a replica's prepared history ⟨VIEW-CHANGE, v+1, ...⟩σi.
+type ViewChange struct {
+	NewView uint64
+	Replica types.ReplicaID
+	MaxSeq  uint64
+	Entries []VCEntry
+	Sig     []byte
+}
+
+// Tag implements codec.Message.
+func (m *ViewChange) Tag() uint8 { return tagViewChange }
+
+// MarshalTo implements codec.Message.
+func (m *ViewChange) MarshalTo(w *codec.Writer) {
+	m.marshalBody(w)
+	w.Blob(m.Sig)
+}
+
+func (m *ViewChange) marshalBody(w *codec.Writer) {
+	w.Uvarint(m.NewView)
+	w.Int32(int32(m.Replica))
+	w.Uvarint(m.MaxSeq)
+	w.Uvarint(uint64(len(m.Entries)))
+	for _, e := range m.Entries {
+		w.Uvarint(e.Seq)
+		w.Bytes32(e.CmdDigest)
+		w.Command(e.Cmd)
+		w.Blob(e.ReqSig)
+		w.Bool(e.Prepared)
+	}
+}
+
+// SignedBody returns the bytes the replica signature covers.
+func (m *ViewChange) SignedBody() []byte {
+	w := codec.NewWriter(128)
+	m.marshalBody(w)
+	return w.Bytes()
+}
+
+func decodeViewChange(r *codec.Reader) (*ViewChange, error) {
+	m := &ViewChange{
+		NewView: r.Uvarint(),
+		Replica: types.ReplicaID(r.Int32()),
+		MaxSeq:  r.Uvarint(),
+	}
+	n := r.Uvarint()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if n > 1<<16 {
+		return nil, codec.ErrOverflow
+	}
+	m.Entries = make([]VCEntry, 0, n)
+	for i := uint64(0); i < n; i++ {
+		m.Entries = append(m.Entries, VCEntry{
+			Seq:       r.Uvarint(),
+			CmdDigest: r.Bytes32(),
+			Cmd:       r.Command(),
+			ReqSig:    r.Blob(),
+			Prepared:  r.Bool(),
+		})
+	}
+	m.Sig = r.Blob()
+	return m, r.Err()
+}
+
+// NewView announces the new primary's consolidated history.
+type NewView struct {
+	View    uint64
+	Replica types.ReplicaID
+	Entries []VCEntry
+	Sig     []byte
+}
+
+// Tag implements codec.Message.
+func (m *NewView) Tag() uint8 { return tagNewView }
+
+// MarshalTo implements codec.Message.
+func (m *NewView) MarshalTo(w *codec.Writer) {
+	m.marshalBody(w)
+	w.Blob(m.Sig)
+}
+
+func (m *NewView) marshalBody(w *codec.Writer) {
+	w.Uvarint(m.View)
+	w.Int32(int32(m.Replica))
+	w.Uvarint(uint64(len(m.Entries)))
+	for _, e := range m.Entries {
+		w.Uvarint(e.Seq)
+		w.Bytes32(e.CmdDigest)
+		w.Command(e.Cmd)
+		w.Blob(e.ReqSig)
+		w.Bool(e.Prepared)
+	}
+}
+
+// SignedBody returns the bytes the new primary's signature covers.
+func (m *NewView) SignedBody() []byte {
+	w := codec.NewWriter(128)
+	m.marshalBody(w)
+	return w.Bytes()
+}
+
+func decodeNewView(r *codec.Reader) (*NewView, error) {
+	m := &NewView{View: r.Uvarint(), Replica: types.ReplicaID(r.Int32())}
+	n := r.Uvarint()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if n > 1<<16 {
+		return nil, codec.ErrOverflow
+	}
+	m.Entries = make([]VCEntry, 0, n)
+	for i := uint64(0); i < n; i++ {
+		m.Entries = append(m.Entries, VCEntry{
+			Seq:       r.Uvarint(),
+			CmdDigest: r.Bytes32(),
+			Cmd:       r.Command(),
+			ReqSig:    r.Blob(),
+			Prepared:  r.Bool(),
+		})
+	}
+	m.Sig = r.Blob()
+	return m, r.Err()
+}
+
+func init() {
+	codec.Register(tagRequest, "pbft.Request", func(r *codec.Reader) (codec.Message, error) { return decodeRequest(r) })
+	codec.Register(tagPrePrepare, "pbft.PrePrepare", func(r *codec.Reader) (codec.Message, error) { return decodePrePrepare(r) })
+	codec.Register(tagPrepare, "pbft.Prepare", func(r *codec.Reader) (codec.Message, error) { return decodePrepare(r) })
+	codec.Register(tagCommit, "pbft.Commit", func(r *codec.Reader) (codec.Message, error) { return decodeCommit(r) })
+	codec.Register(tagReply, "pbft.Reply", func(r *codec.Reader) (codec.Message, error) { return decodeReply(r) })
+	codec.Register(tagCheckpoint, "pbft.Checkpoint", func(r *codec.Reader) (codec.Message, error) { return decodeCheckpoint(r) })
+	codec.Register(tagViewChange, "pbft.ViewChange", func(r *codec.Reader) (codec.Message, error) { return decodeViewChange(r) })
+	codec.Register(tagNewView, "pbft.NewView", func(r *codec.Reader) (codec.Message, error) { return decodeNewView(r) })
+}

@@ -1,0 +1,623 @@
+package pbft
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"ezbft/internal/auth"
+	"ezbft/internal/codec"
+	"ezbft/internal/proc"
+	"ezbft/internal/types"
+)
+
+func faults(n int) int { return (n - 1) / 3 }
+func quorum(n int) int { return 2*faults(n) + 1 }
+func primaryOf(view uint64, n int) types.ReplicaID {
+	return types.ReplicaID(view % uint64(n))
+}
+
+// DefaultCheckpointInterval is the sequence-number distance between
+// checkpoints.
+const DefaultCheckpointInterval = 128
+
+// ReplicaConfig configures one PBFT replica.
+type ReplicaConfig struct {
+	Self types.ReplicaID
+	N    int
+	App  types.Application
+	Auth auth.Authenticator
+	// Costs holds virtual processing costs for simulation.
+	Costs proc.Costs
+	// InitialView selects the starting primary (primary = view mod N).
+	InitialView uint64
+	// ForwardTimeout bounds how long a backup waits for the primary to
+	// pre-prepare a forwarded request before starting a view change.
+	ForwardTimeout time.Duration
+	// CheckpointInterval is the distance between checkpoints (0 = default).
+	CheckpointInterval uint64
+	// Mute makes the replica silent (fault injection).
+	Mute bool
+}
+
+type slotState struct {
+	seq        uint64
+	view       uint64
+	cmdDigest  types.Digest
+	cmd        types.Command
+	reqSig     []byte
+	havePre    bool
+	prepares   map[types.ReplicaID]bool
+	commits    map[types.ReplicaID]bool
+	prepared   bool
+	committed  bool
+	executed   bool
+	result     types.Result
+	sentCommit bool
+}
+
+// Replica is one PBFT replica; it implements proc.Process.
+type Replica struct {
+	cfg ReplicaConfig
+	n   int
+	f   int
+
+	view    uint64
+	nextSeq uint64 // primary only
+	maxExec uint64 // highest contiguously executed seq
+	slots   map[uint64]*slotState
+
+	byCmd      map[cmdKey]uint64
+	replyCache map[cmdKey]*Reply
+
+	forwarded map[cmdKey]proc.TimerID
+	timerSeq  uint64
+	timerAct  map[proc.TimerID]func(ctx proc.Context)
+
+	// checkpoints
+	ckptVotes  map[uint64]map[types.ReplicaID]types.Digest
+	stableCkpt uint64
+
+	// view change state
+	vcMsgs map[uint64]map[types.ReplicaID]*ViewChange
+	inVC   bool
+
+	stats ReplicaStats
+}
+
+type cmdKey struct {
+	client types.ClientID
+	ts     uint64
+}
+
+// ReplicaStats exposes protocol counters.
+type ReplicaStats struct {
+	PrePrepares    uint64
+	Prepared       uint64
+	Committed      uint64
+	Executed       uint64
+	Checkpoints    uint64
+	ViewChanges    uint64
+	DroppedInvalid uint64
+}
+
+var _ proc.Process = (*Replica)(nil)
+
+// NewReplica constructs a PBFT replica.
+func NewReplica(cfg ReplicaConfig) (*Replica, error) {
+	if cfg.N < 4 || (cfg.N-1)%3 != 0 {
+		return nil, fmt.Errorf("pbft: cluster size must be 3f+1, got %d", cfg.N)
+	}
+	if cfg.App == nil || cfg.Auth == nil {
+		return nil, fmt.Errorf("pbft: app and auth are required")
+	}
+	if cfg.ForwardTimeout <= 0 {
+		cfg.ForwardTimeout = 2 * time.Second
+	}
+	if cfg.CheckpointInterval == 0 {
+		cfg.CheckpointInterval = DefaultCheckpointInterval
+	}
+	return &Replica{
+		cfg:        cfg,
+		n:          cfg.N,
+		f:          faults(cfg.N),
+		view:       cfg.InitialView,
+		nextSeq:    1,
+		slots:      make(map[uint64]*slotState),
+		byCmd:      make(map[cmdKey]uint64),
+		replyCache: make(map[cmdKey]*Reply),
+		forwarded:  make(map[cmdKey]proc.TimerID),
+		timerAct:   make(map[proc.TimerID]func(ctx proc.Context)),
+		ckptVotes:  make(map[uint64]map[types.ReplicaID]types.Digest),
+		vcMsgs:     make(map[uint64]map[types.ReplicaID]*ViewChange),
+	}, nil
+}
+
+// ID implements proc.Process.
+func (r *Replica) ID() types.NodeID { return types.ReplicaNode(r.cfg.Self) }
+
+// Stats returns a snapshot of counters.
+func (r *Replica) Stats() ReplicaStats { return r.stats }
+
+// View returns the current view.
+func (r *Replica) View() uint64 { return r.view }
+
+// MaxExecuted returns the highest contiguously executed sequence number.
+func (r *Replica) MaxExecuted() uint64 { return r.maxExec }
+
+// StableCheckpoint returns the latest stable checkpoint sequence number.
+func (r *Replica) StableCheckpoint() uint64 { return r.stableCkpt }
+
+// Init implements proc.Process.
+func (r *Replica) Init(proc.Context) {}
+
+// OnTimer implements proc.Process.
+func (r *Replica) OnTimer(ctx proc.Context, id proc.TimerID) {
+	if fn, ok := r.timerAct[id]; ok {
+		delete(r.timerAct, id)
+		fn(ctx)
+	}
+}
+
+func (r *Replica) afterTimer(ctx proc.Context, d time.Duration, fn func(ctx proc.Context)) proc.TimerID {
+	r.timerSeq++
+	id := proc.TimerID(r.timerSeq)
+	r.timerAct[id] = fn
+	ctx.SetTimer(id, d)
+	return id
+}
+
+func (r *Replica) send(ctx proc.Context, to types.NodeID, msg codec.Message) {
+	if r.cfg.Mute {
+		return
+	}
+	ctx.Send(to, msg)
+}
+
+func (r *Replica) broadcastReplicas(ctx proc.Context, msg codec.Message) {
+	for i := 0; i < r.n; i++ {
+		if types.ReplicaID(i) != r.cfg.Self {
+			r.send(ctx, types.ReplicaNode(types.ReplicaID(i)), msg)
+		}
+	}
+}
+
+// Receive implements proc.Process.
+func (r *Replica) Receive(ctx proc.Context, from types.NodeID, msg codec.Message) {
+	switch m := msg.(type) {
+	case *Request:
+		r.handleRequest(ctx, m)
+	case *PrePrepare:
+		r.handlePrePrepare(ctx, m)
+	case *Prepare:
+		r.handlePrepare(ctx, m)
+	case *Commit:
+		r.handleCommit(ctx, m)
+	case *Checkpoint:
+		r.handleCheckpoint(ctx, m)
+	case *ViewChange:
+		r.handleViewChange(ctx, m)
+	case *NewView:
+		r.handleNewView(ctx, m)
+	default:
+		r.stats.DroppedInvalid++
+	}
+}
+
+func (r *Replica) handleRequest(ctx proc.Context, m *Request) {
+	r.cfg.Costs.ChargeVerifyClient(ctx)
+	if err := r.cfg.Auth.Verify(types.ClientNode(m.Cmd.Client), m.SignedBody(), m.Sig); err != nil {
+		r.stats.DroppedInvalid++
+		return
+	}
+	key := cmdKey{m.Cmd.Client, m.Cmd.Timestamp}
+	if cached, ok := r.replyCache[key]; ok {
+		r.cfg.Costs.ChargeSign(ctx)
+		r.send(ctx, types.ClientNode(m.Cmd.Client), cached)
+		return
+	}
+	if primaryOf(r.view, r.n) != r.cfg.Self {
+		if _, already := r.forwarded[key]; already || r.inVC {
+			return
+		}
+		r.send(ctx, types.ReplicaNode(primaryOf(r.view, r.n)), m)
+		r.forwarded[key] = r.afterTimer(ctx, r.cfg.ForwardTimeout, func(ctx proc.Context) {
+			if _, still := r.forwarded[key]; !still {
+				return
+			}
+			delete(r.forwarded, key)
+			r.startViewChange(ctx)
+		})
+		return
+	}
+	if _, dup := r.byCmd[key]; dup {
+		return // already assigned a sequence number
+	}
+	seq := r.nextSeq
+	r.nextSeq++
+	pp := &PrePrepare{View: r.view, Seq: seq, CmdDigest: m.Cmd.Digest(), Req: *m}
+	r.cfg.Costs.ChargeSign(ctx)
+	pp.Sig = r.cfg.Auth.Sign(pp.SignedBody())
+	r.stats.PrePrepares++
+	r.broadcastReplicas(ctx, pp)
+	r.acceptPrePrepare(ctx, pp)
+}
+
+func (r *Replica) slot(seq uint64) *slotState {
+	s, ok := r.slots[seq]
+	if !ok {
+		s = &slotState{
+			seq:      seq,
+			prepares: make(map[types.ReplicaID]bool, r.n),
+			commits:  make(map[types.ReplicaID]bool, r.n),
+		}
+		r.slots[seq] = s
+	}
+	return s
+}
+
+func (r *Replica) handlePrePrepare(ctx proc.Context, m *PrePrepare) {
+	if m.View != r.view || r.inVC {
+		r.stats.DroppedInvalid++
+		return
+	}
+	primary := primaryOf(r.view, r.n)
+	r.cfg.Costs.ChargeVerify(ctx, 1) // embedded client request is MAC-checked
+	if err := r.cfg.Auth.Verify(types.ReplicaNode(primary), m.SignedBody(), m.Sig); err != nil {
+		r.stats.DroppedInvalid++
+		return
+	}
+	if err := r.cfg.Auth.Verify(types.ClientNode(m.Req.Cmd.Client), m.Req.SignedBody(), m.Req.Sig); err != nil {
+		r.stats.DroppedInvalid++
+		return
+	}
+	if m.CmdDigest != m.Req.Cmd.Digest() {
+		r.stats.DroppedInvalid++
+		return
+	}
+	s := r.slot(m.Seq)
+	if s.havePre && s.cmdDigest != m.CmdDigest {
+		// Equivocating primary; refuse the second assignment.
+		r.stats.DroppedInvalid++
+		return
+	}
+	r.acceptPrePrepare(ctx, m)
+}
+
+func (r *Replica) acceptPrePrepare(ctx proc.Context, m *PrePrepare) {
+	s := r.slot(m.Seq)
+	if s.havePre {
+		return
+	}
+	s.havePre = true
+	s.view = m.View
+	s.cmdDigest = m.CmdDigest
+	s.cmd = m.Req.Cmd
+	s.reqSig = m.Req.Sig
+	key := cmdKey{m.Req.Cmd.Client, m.Req.Cmd.Timestamp}
+	r.byCmd[key] = m.Seq
+	if id, ok := r.forwarded[key]; ok {
+		delete(r.forwarded, key)
+		delete(r.timerAct, id)
+	}
+
+	// The primary's PRE-PREPARE counts as its prepare; backups broadcast
+	// their own PREPARE.
+	s.prepares[primaryOf(m.View, r.n)] = true
+	if primaryOf(m.View, r.n) != r.cfg.Self {
+		p := &Prepare{View: m.View, Seq: m.Seq, CmdDigest: m.CmdDigest, Replica: r.cfg.Self}
+		r.cfg.Costs.ChargeSign(ctx)
+		p.Sig = r.cfg.Auth.Sign(p.SignedBody())
+		r.broadcastReplicas(ctx, p)
+		s.prepares[r.cfg.Self] = true
+	}
+	r.checkPrepared(ctx, s)
+}
+
+func (r *Replica) handlePrepare(ctx proc.Context, m *Prepare) {
+	if m.View != r.view || r.inVC {
+		return
+	}
+	r.cfg.Costs.ChargeVerify(ctx, 1)
+	if err := r.cfg.Auth.Verify(types.ReplicaNode(m.Replica), m.SignedBody(), m.Sig); err != nil {
+		r.stats.DroppedInvalid++
+		return
+	}
+	s := r.slot(m.Seq)
+	if s.havePre && s.cmdDigest != m.CmdDigest {
+		return
+	}
+	s.prepares[m.Replica] = true
+	r.checkPrepared(ctx, s)
+}
+
+// checkPrepared: prepared(m, v, n, i) holds with the pre-prepare and 2f
+// prepares from distinct replicas (the pre-prepare counts for the primary).
+func (r *Replica) checkPrepared(ctx proc.Context, s *slotState) {
+	if s.prepared || !s.havePre || len(s.prepares) < quorum(r.n) {
+		return
+	}
+	s.prepared = true
+	r.stats.Prepared++
+	c := &Commit{View: s.view, Seq: s.seq, CmdDigest: s.cmdDigest, Replica: r.cfg.Self}
+	r.cfg.Costs.ChargeSign(ctx)
+	c.Sig = r.cfg.Auth.Sign(c.SignedBody())
+	s.sentCommit = true
+	r.broadcastReplicas(ctx, c)
+	s.commits[r.cfg.Self] = true
+	r.checkCommitted(ctx, s)
+}
+
+func (r *Replica) handleCommit(ctx proc.Context, m *Commit) {
+	if m.View != r.view || r.inVC {
+		return
+	}
+	r.cfg.Costs.ChargeVerify(ctx, 1)
+	if err := r.cfg.Auth.Verify(types.ReplicaNode(m.Replica), m.SignedBody(), m.Sig); err != nil {
+		r.stats.DroppedInvalid++
+		return
+	}
+	s := r.slot(m.Seq)
+	if s.havePre && s.cmdDigest != m.CmdDigest {
+		return
+	}
+	s.commits[m.Replica] = true
+	r.checkCommitted(ctx, s)
+}
+
+// checkCommitted: committed-local holds with 2f+1 commits; execution is
+// sequential in sequence-number order.
+func (r *Replica) checkCommitted(ctx proc.Context, s *slotState) {
+	if s.committed || !s.prepared || len(s.commits) < quorum(r.n) {
+		return
+	}
+	s.committed = true
+	r.stats.Committed++
+	r.executeReady(ctx)
+}
+
+func (r *Replica) executeReady(ctx proc.Context) {
+	for {
+		s, ok := r.slots[r.maxExec+1]
+		if !ok || !s.committed || s.executed {
+			return
+		}
+		r.cfg.Costs.ChargeExecute(ctx)
+		s.result = r.cfg.App.Execute(s.cmd)
+		s.executed = true
+		r.maxExec = s.seq
+		r.stats.Executed++
+
+		reply := &Reply{
+			View:      s.view,
+			Timestamp: s.cmd.Timestamp,
+			Client:    s.cmd.Client,
+			Replica:   r.cfg.Self,
+			Result:    s.result,
+		}
+		r.cfg.Costs.ChargeSign(ctx)
+		reply.Sig = r.cfg.Auth.Sign(reply.SignedBody())
+		r.replyCache[cmdKey{s.cmd.Client, s.cmd.Timestamp}] = reply
+		r.send(ctx, types.ClientNode(s.cmd.Client), reply)
+
+		if r.maxExec%r.cfg.CheckpointInterval == 0 {
+			r.emitCheckpoint(ctx, r.maxExec)
+		}
+	}
+}
+
+// --- checkpoints ---
+
+func (r *Replica) emitCheckpoint(ctx proc.Context, seq uint64) {
+	d := r.stateDigest()
+	ck := &Checkpoint{Seq: seq, Digest: d, Replica: r.cfg.Self}
+	r.cfg.Costs.ChargeSign(ctx)
+	ck.Sig = r.cfg.Auth.Sign(ck.SignedBody())
+	r.broadcastReplicas(ctx, ck)
+	r.recordCheckpoint(seq, r.cfg.Self, d)
+}
+
+// stateDigest returns the application state digest if the application
+// exposes one (the key-value store does); otherwise a digest of maxExec.
+func (r *Replica) stateDigest() types.Digest {
+	if dig, ok := r.cfg.App.(interface{ Digest() types.Digest }); ok {
+		return dig.Digest()
+	}
+	var b [8]byte
+	for i := 0; i < 8; i++ {
+		b[i] = byte(r.maxExec >> (56 - 8*i))
+	}
+	return types.DigestBytes(b[:])
+}
+
+func (r *Replica) handleCheckpoint(ctx proc.Context, m *Checkpoint) {
+	r.cfg.Costs.ChargeVerify(ctx, 1)
+	if err := r.cfg.Auth.Verify(types.ReplicaNode(m.Replica), m.SignedBody(), m.Sig); err != nil {
+		r.stats.DroppedInvalid++
+		return
+	}
+	r.recordCheckpoint(m.Seq, m.Replica, m.Digest)
+}
+
+func (r *Replica) recordCheckpoint(seq uint64, from types.ReplicaID, d types.Digest) {
+	votes, ok := r.ckptVotes[seq]
+	if !ok {
+		votes = make(map[types.ReplicaID]types.Digest, r.n)
+		r.ckptVotes[seq] = votes
+	}
+	votes[from] = d
+	if seq <= r.stableCkpt {
+		return
+	}
+	// Stable with 2f+1 matching digests.
+	counts := make(map[types.Digest]int, 2)
+	for _, vd := range votes {
+		counts[vd]++
+		if counts[vd] >= quorum(r.n) {
+			r.stableCkpt = seq
+			r.stats.Checkpoints++
+			r.gcBelow(seq)
+			return
+		}
+	}
+}
+
+// gcBelow discards log state at and below the stable checkpoint.
+func (r *Replica) gcBelow(seq uint64) {
+	for s := range r.slots {
+		if s <= seq && r.slots[s].executed {
+			delete(r.slots, s)
+		}
+	}
+	for s := range r.ckptVotes {
+		if s < seq {
+			delete(r.ckptVotes, s)
+		}
+	}
+}
+
+// --- view change (simplified) ---
+
+func (r *Replica) startViewChange(ctx proc.Context) {
+	if r.inVC {
+		return
+	}
+	r.inVC = true
+	newView := r.view + 1
+	vc := &ViewChange{NewView: newView, Replica: r.cfg.Self, MaxSeq: r.maxExec}
+	seqs := make([]uint64, 0, len(r.slots))
+	for seq := range r.slots {
+		seqs = append(seqs, seq)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	for _, seq := range seqs {
+		s := r.slots[seq]
+		if !s.havePre {
+			continue
+		}
+		vc.Entries = append(vc.Entries, VCEntry{
+			Seq: seq, CmdDigest: s.cmdDigest, Cmd: s.cmd, ReqSig: s.reqSig,
+			Prepared: s.prepared,
+		})
+	}
+	r.cfg.Costs.ChargeSign(ctx)
+	vc.Sig = r.cfg.Auth.Sign(vc.SignedBody())
+	r.broadcastReplicas(ctx, vc)
+	r.acceptViewChange(ctx, vc)
+}
+
+func (r *Replica) handleViewChange(ctx proc.Context, m *ViewChange) {
+	if m.NewView <= r.view {
+		return
+	}
+	r.cfg.Costs.ChargeVerify(ctx, 1)
+	if err := r.cfg.Auth.Verify(types.ReplicaNode(m.Replica), m.SignedBody(), m.Sig); err != nil {
+		r.stats.DroppedInvalid++
+		return
+	}
+	r.acceptViewChange(ctx, m)
+}
+
+func (r *Replica) acceptViewChange(ctx proc.Context, m *ViewChange) {
+	g, ok := r.vcMsgs[m.NewView]
+	if !ok {
+		g = make(map[types.ReplicaID]*ViewChange, quorum(r.n))
+		r.vcMsgs[m.NewView] = g
+	}
+	g[m.Replica] = m
+	// Join the view change once f+1 replicas demand it.
+	if len(g) >= r.f+1 && !r.inVC {
+		r.startViewChange(ctx)
+	}
+	if len(g) < quorum(r.n) || primaryOf(m.NewView, r.n) != r.cfg.Self {
+		return
+	}
+	// New primary: consolidate the prepared history (longest wins) and
+	// announce the new view.
+	var best *ViewChange
+	for _, rid := range sortedVCKeys(g) {
+		vc := g[rid]
+		if best == nil || vc.MaxSeq > best.MaxSeq || (vc.MaxSeq == best.MaxSeq && len(vc.Entries) > len(best.Entries)) {
+			best = vc
+		}
+	}
+	nv := &NewView{View: m.NewView, Replica: r.cfg.Self, Entries: best.Entries}
+	r.cfg.Costs.ChargeSign(ctx)
+	nv.Sig = r.cfg.Auth.Sign(nv.SignedBody())
+	r.broadcastReplicas(ctx, nv)
+	r.applyNewView(ctx, nv)
+}
+
+func (r *Replica) handleNewView(ctx proc.Context, m *NewView) {
+	if m.View <= r.view || primaryOf(m.View, r.n) != m.Replica {
+		return
+	}
+	r.cfg.Costs.ChargeVerify(ctx, 1)
+	if err := r.cfg.Auth.Verify(types.ReplicaNode(m.Replica), m.SignedBody(), m.Sig); err != nil {
+		r.stats.DroppedInvalid++
+		return
+	}
+	r.applyNewView(ctx, m)
+}
+
+func (r *Replica) applyNewView(ctx proc.Context, m *NewView) {
+	if m.View <= r.view {
+		return
+	}
+	r.view = m.View
+	r.inVC = false
+	r.stats.ViewChanges++
+	maxSeq := r.maxExec
+	// Re-run the protocol for prepared-but-unexecuted entries in the new
+	// view: the new primary re-pre-prepares them in order.
+	if primaryOf(r.view, r.n) == r.cfg.Self {
+		for _, e := range m.Entries {
+			if e.Seq > maxSeq {
+				maxSeq = e.Seq
+			}
+			if e.Seq <= r.maxExec {
+				continue
+			}
+			s := r.slot(e.Seq)
+			if s.executed {
+				continue
+			}
+			// Reset agreement state for the new view.
+			r.slots[e.Seq] = &slotState{
+				seq:      e.Seq,
+				prepares: make(map[types.ReplicaID]bool, r.n),
+				commits:  make(map[types.ReplicaID]bool, r.n),
+			}
+			pp := &PrePrepare{
+				View: r.view, Seq: e.Seq, CmdDigest: e.CmdDigest,
+				Req: Request{Cmd: e.Cmd, Sig: e.ReqSig},
+			}
+			r.cfg.Costs.ChargeSign(ctx)
+			pp.Sig = r.cfg.Auth.Sign(pp.SignedBody())
+			r.broadcastReplicas(ctx, pp)
+			r.acceptPrePrepare(ctx, pp)
+		}
+		r.nextSeq = maxSeq + 1
+	} else {
+		// Backups reset agreement state for unexecuted slots; the new
+		// primary's PRE-PREPAREs re-drive them.
+		for seq, s := range r.slots {
+			if !s.executed {
+				delete(r.slots, seq)
+			}
+		}
+	}
+	for key, id := range r.forwarded {
+		delete(r.forwarded, key)
+		delete(r.timerAct, id)
+	}
+}
+
+func sortedVCKeys(m map[types.ReplicaID]*ViewChange) []types.ReplicaID {
+	out := make([]types.ReplicaID, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

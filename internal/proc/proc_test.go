@@ -1,0 +1,50 @@
+package proc
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"ezbft/internal/codec"
+	"ezbft/internal/types"
+)
+
+// chargeCtx records Charge calls.
+type chargeCtx struct{ total time.Duration }
+
+func (c *chargeCtx) Now() time.Duration               { return 0 }
+func (c *chargeCtx) Send(types.NodeID, codec.Message) {}
+func (c *chargeCtx) SetTimer(TimerID, time.Duration)  {}
+func (c *chargeCtx) CancelTimer(TimerID)              {}
+func (c *chargeCtx) Charge(d time.Duration)           { c.total += d }
+func (c *chargeCtx) Rand() *rand.Rand                 { return rand.New(rand.NewSource(0)) }
+
+func TestCostsCharging(t *testing.T) {
+	costs := Costs{
+		Sign:         3 * time.Microsecond,
+		Verify:       5 * time.Microsecond,
+		VerifyClient: 100 * time.Microsecond,
+		Execute:      7 * time.Microsecond,
+	}
+	ctx := &chargeCtx{}
+	costs.ChargeSign(ctx)
+	costs.ChargeVerify(ctx, 4)
+	costs.ChargeVerifyClient(ctx)
+	costs.ChargeExecute(ctx)
+	want := 3*time.Microsecond + 20*time.Microsecond + 100*time.Microsecond + 7*time.Microsecond
+	if ctx.total != want {
+		t.Fatalf("charged %v, want %v", ctx.total, want)
+	}
+}
+
+func TestZeroCostsChargeNothing(t *testing.T) {
+	ctx := &chargeCtx{}
+	var costs Costs
+	costs.ChargeSign(ctx)
+	costs.ChargeVerify(ctx, 10)
+	costs.ChargeVerifyClient(ctx)
+	costs.ChargeExecute(ctx)
+	if ctx.total != 0 {
+		t.Fatalf("zero costs charged %v", ctx.total)
+	}
+}

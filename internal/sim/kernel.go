@@ -1,0 +1,123 @@
+// Package sim is a deterministic discrete-event simulator. It hosts
+// proc.Process nodes on a virtual clock, delivers messages with delays drawn
+// from a network model, and charges per-message processing time to a
+// per-node multi-core queueing model. It substitutes for the paper's AWS
+// EC2 multi-region testbed (see DESIGN.md §1): WAN propagation delays and
+// CPU service times are the two quantities that determine the paper's
+// client-side latency and server-side throughput results, and both are
+// modelled explicitly here.
+//
+// Determinism: given the same seed and the same set of nodes, a simulation
+// replays event-for-event. All randomness flows from the kernel's RNG, and
+// simultaneous events are ordered by insertion sequence.
+package sim
+
+import (
+	"container/heap"
+	"math/rand"
+	"time"
+)
+
+// event is one scheduled callback.
+type event struct {
+	at  time.Duration
+	seq uint64 // tie-break: FIFO among simultaneous events
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Kernel is the event loop: a virtual clock and a priority queue of events.
+type Kernel struct {
+	now    time.Duration
+	seq    uint64
+	events eventHeap
+	rng    *rand.Rand
+	nSteps uint64
+}
+
+// NewKernel creates a kernel with a deterministic RNG seeded by seed.
+func NewKernel(seed int64) *Kernel {
+	return &Kernel{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() time.Duration { return k.now }
+
+// Rand returns the kernel's deterministic random source.
+func (k *Kernel) Rand() *rand.Rand { return k.rng }
+
+// Steps returns the number of events executed so far.
+func (k *Kernel) Steps() uint64 { return k.nSteps }
+
+// Pending returns the number of queued events.
+func (k *Kernel) Pending() int { return len(k.events) }
+
+// At schedules fn to run at absolute virtual time t (clamped to now).
+func (k *Kernel) At(t time.Duration, fn func()) {
+	if t < k.now {
+		t = k.now
+	}
+	k.seq++
+	heap.Push(&k.events, &event{at: t, seq: k.seq, fn: fn})
+}
+
+// After schedules fn to run d from now.
+func (k *Kernel) After(d time.Duration, fn func()) { k.At(k.now+d, fn) }
+
+// Step executes the next event; it reports false when the queue is empty.
+func (k *Kernel) Step() bool {
+	if len(k.events) == 0 {
+		return false
+	}
+	e := heap.Pop(&k.events).(*event)
+	k.now = e.at
+	k.nSteps++
+	e.fn()
+	return true
+}
+
+// Run executes events until the virtual clock would pass until, or the
+// queue empties. Events scheduled exactly at until still run.
+func (k *Kernel) Run(until time.Duration) {
+	for len(k.events) > 0 && k.events[0].at <= until {
+		k.Step()
+	}
+	if k.now < until {
+		k.now = until
+	}
+}
+
+// RunUntil executes events until pred() holds (checked after every event),
+// the virtual clock passes deadline, or the queue empties. It reports
+// whether pred was satisfied.
+func (k *Kernel) RunUntil(pred func() bool, deadline time.Duration) bool {
+	if pred() {
+		return true
+	}
+	for len(k.events) > 0 && k.events[0].at <= deadline {
+		k.Step()
+		if pred() {
+			return true
+		}
+	}
+	return false
+}

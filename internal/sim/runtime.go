@@ -1,0 +1,297 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"ezbft/internal/codec"
+	"ezbft/internal/proc"
+	"ezbft/internal/types"
+)
+
+// CostModel describes one node's processing capacity: the number of cores
+// that can handle messages in parallel and the fixed per-message handling
+// overhead (deserialization, dispatch, syscalls). Crypto and execution
+// costs are charged explicitly by protocol code via proc.Costs.
+type CostModel struct {
+	// Cores is the number of messages the node can process in parallel
+	// (paper testbed: m4.2xlarge, 8 vCPUs). Zero means infinite capacity
+	// (pure latency simulation with no queueing).
+	Cores int
+	// PerMessage is the fixed cost of handling one delivered message.
+	PerMessage time.Duration
+	// PerSend is the fixed cost of emitting one outgoing message
+	// (charged once per destination).
+	PerSend time.Duration
+}
+
+// Delayer computes one-way network delay for a message. Implementations
+// must be deterministic given the rng.
+type Delayer interface {
+	Delay(from, to types.NodeID, rng *rand.Rand) time.Duration
+}
+
+// ConstantDelay is a Delayer with a single fixed latency between any two
+// distinct nodes (self-sends are free). Useful in tests.
+type ConstantDelay time.Duration
+
+// Delay implements Delayer.
+func (c ConstantDelay) Delay(from, to types.NodeID, _ *rand.Rand) time.Duration {
+	if from == to {
+		return 0
+	}
+	return time.Duration(c)
+}
+
+// Verdict is a fault-injection decision for one message.
+type Verdict uint8
+
+// Verdicts.
+const (
+	Deliver Verdict = iota // deliver normally
+	Drop                   // silently discard
+)
+
+// Filter inspects every message before transmission; nil extraDelay and
+// Deliver means normal delivery. Used to inject partitions, message loss
+// and targeted delays in tests and experiments.
+type Filter func(from, to types.NodeID, msg codec.Message) (Verdict, time.Duration)
+
+// Runtime hosts processes on a kernel.
+type Runtime struct {
+	kernel  *Kernel
+	delayer Delayer
+	filter  Filter
+	nodes   map[types.NodeID]*node
+	order   []types.NodeID // insertion order, for deterministic Start
+	started bool
+
+	// Delivered counts messages delivered per destination kind; exposed for
+	// experiment accounting.
+	msgsDelivered uint64
+}
+
+// node is the per-process runtime state.
+type node struct {
+	rt   *Runtime
+	p    proc.Process
+	cost CostModel
+	// cores[i] is the virtual time when core i becomes free.
+	cores []time.Duration
+	// timers maps timer IDs to a generation counter; a scheduled expiry
+	// fires only if its generation is still current.
+	timers map[proc.TimerID]uint64
+	down   bool // crashed: drops all deliveries and timers
+
+	// Per-invocation state (populated while a handler runs).
+	inHandler bool
+	start     time.Duration
+	charged   time.Duration
+	outbox    []outMsg
+	newTimers []timerReq
+}
+
+type outMsg struct {
+	to  types.NodeID
+	msg codec.Message
+}
+
+type timerReq struct {
+	id     proc.TimerID
+	d      time.Duration
+	cancel bool
+}
+
+// NewRuntime creates a runtime over kernel with a network delay model.
+func NewRuntime(kernel *Kernel, delayer Delayer) *Runtime {
+	return &Runtime{
+		kernel:  kernel,
+		delayer: delayer,
+		nodes:   make(map[types.NodeID]*node),
+	}
+}
+
+// Kernel returns the underlying kernel.
+func (rt *Runtime) Kernel() *Kernel { return rt.kernel }
+
+// SetFilter installs a fault-injection filter (may be nil).
+func (rt *Runtime) SetFilter(f Filter) { rt.filter = f }
+
+// MessagesDelivered returns the total number of messages delivered.
+func (rt *Runtime) MessagesDelivered() uint64 { return rt.msgsDelivered }
+
+// AddNode registers a process with its cost model. It must be called before
+// Start; duplicate registration is an error.
+func (rt *Runtime) AddNode(p proc.Process, cost CostModel) error {
+	id := p.ID()
+	if _, dup := rt.nodes[id]; dup {
+		return fmt.Errorf("sim: duplicate node %s", id)
+	}
+	n := &node{
+		rt:     rt,
+		p:      p,
+		cost:   cost,
+		timers: make(map[proc.TimerID]uint64),
+	}
+	if cost.Cores > 0 {
+		n.cores = make([]time.Duration, cost.Cores)
+	}
+	rt.nodes[id] = n
+	rt.order = append(rt.order, id)
+	return nil
+}
+
+// Crash marks a node as failed: every subsequent delivery and timer for it
+// is dropped. Simulates a crashed (fail-silent) replica.
+func (rt *Runtime) Crash(id types.NodeID) {
+	if n, ok := rt.nodes[id]; ok {
+		n.down = true
+	}
+}
+
+// Start initializes every node (in registration order) and must be called
+// exactly once before running the kernel.
+func (rt *Runtime) Start() {
+	if rt.started {
+		return
+	}
+	rt.started = true
+	for _, id := range rt.order {
+		n := rt.nodes[id]
+		n.invoke(0, func(ctx proc.Context) { n.p.Init(ctx) })
+	}
+}
+
+// Run advances the simulation to virtual time until.
+func (rt *Runtime) Run(until time.Duration) { rt.kernel.Run(until) }
+
+// RunUntil advances until pred holds or deadline passes; reports whether
+// pred was satisfied.
+func (rt *Runtime) RunUntil(pred func() bool, deadline time.Duration) bool {
+	return rt.kernel.RunUntil(pred, deadline)
+}
+
+// Now returns current virtual time.
+func (rt *Runtime) Now() time.Duration { return rt.kernel.Now() }
+
+// --- node mechanics ---
+
+// invoke runs one handler at arrival time `arrive`, applying the queueing
+// model: the handler starts when a core frees up, accumulates explicit
+// charges, and its outputs (sends, timers) take effect at completion time.
+func (n *node) invoke(arrive time.Duration, handler func(proc.Context)) {
+	if n.down {
+		return
+	}
+	start := arrive
+	coreIdx := -1
+	if len(n.cores) > 0 {
+		coreIdx = 0
+		for i := 1; i < len(n.cores); i++ {
+			if n.cores[i] < n.cores[coreIdx] {
+				coreIdx = i
+			}
+		}
+		if n.cores[coreIdx] > start {
+			start = n.cores[coreIdx]
+		}
+	}
+
+	n.inHandler = true
+	n.start = start
+	n.charged = 0
+	n.outbox = n.outbox[:0]
+	n.newTimers = n.newTimers[:0]
+
+	handler((*nodeCtx)(n))
+
+	n.inHandler = false
+	done := start + n.charged + n.cost.PerSend*time.Duration(len(n.outbox))
+	if coreIdx >= 0 {
+		n.cores[coreIdx] = done
+	}
+
+	// Outgoing messages depart at completion time.
+	for _, out := range n.outbox {
+		n.rt.transmit(done, n.p.ID(), out.to, out.msg)
+	}
+	// Timers are armed relative to completion time.
+	for _, tr := range n.newTimers {
+		if tr.cancel {
+			n.timers[tr.id]++
+			continue
+		}
+		n.timers[tr.id]++
+		gen := n.timers[tr.id]
+		id := tr.id
+		n.rt.kernel.At(done+tr.d, func() {
+			if n.down || n.timers[id] != gen {
+				return
+			}
+			n.invoke(n.rt.kernel.Now(), func(ctx proc.Context) { n.p.OnTimer(ctx, id) })
+		})
+	}
+	n.outbox = n.outbox[:0]
+	n.newTimers = n.newTimers[:0]
+}
+
+// transmit schedules delivery of one message.
+func (rt *Runtime) transmit(departs time.Duration, from, to types.NodeID, msg codec.Message) {
+	dst, ok := rt.nodes[to]
+	if !ok {
+		return // unknown destination: silently dropped, like the network
+	}
+	var extra time.Duration
+	if rt.filter != nil {
+		verdict, d := rt.filter(from, to, msg)
+		if verdict == Drop {
+			return
+		}
+		extra = d
+	}
+	delay := rt.delayer.Delay(from, to, rt.kernel.rng)
+	rt.kernel.At(departs+delay+extra, func() {
+		if dst.down {
+			return
+		}
+		rt.msgsDelivered++
+		arrive := rt.kernel.Now()
+		dst.invoke(arrive+dst.cost.PerMessage, func(ctx proc.Context) {
+			dst.p.Receive(ctx, from, msg)
+		})
+	})
+}
+
+// nodeCtx adapts node to proc.Context for the duration of one handler.
+type nodeCtx node
+
+var _ proc.Context = (*nodeCtx)(nil)
+
+// Now implements proc.Context.
+func (c *nodeCtx) Now() time.Duration { return c.start }
+
+// Send implements proc.Context.
+func (c *nodeCtx) Send(to types.NodeID, msg codec.Message) {
+	c.outbox = append(c.outbox, outMsg{to: to, msg: msg})
+}
+
+// SetTimer implements proc.Context.
+func (c *nodeCtx) SetTimer(id proc.TimerID, d time.Duration) {
+	c.newTimers = append(c.newTimers, timerReq{id: id, d: d})
+}
+
+// CancelTimer implements proc.Context.
+func (c *nodeCtx) CancelTimer(id proc.TimerID) {
+	c.newTimers = append(c.newTimers, timerReq{id: id, cancel: true})
+}
+
+// Charge implements proc.Context.
+func (c *nodeCtx) Charge(d time.Duration) {
+	if d > 0 {
+		c.charged += d
+	}
+}
+
+// Rand implements proc.Context.
+func (c *nodeCtx) Rand() *rand.Rand { return c.rt.kernel.rng }

@@ -1,0 +1,365 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"ezbft/internal/codec"
+	"ezbft/internal/proc"
+	"ezbft/internal/types"
+)
+
+func TestKernelOrdering(t *testing.T) {
+	k := NewKernel(1)
+	var got []int
+	k.After(30*time.Millisecond, func() { got = append(got, 3) })
+	k.After(10*time.Millisecond, func() { got = append(got, 1) })
+	k.After(20*time.Millisecond, func() { got = append(got, 2) })
+	// Simultaneous events run FIFO.
+	k.After(20*time.Millisecond, func() { got = append(got, 22) })
+	k.Run(time.Second)
+	want := []int{1, 2, 22, 3}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order %v, want %v", got, want)
+		}
+	}
+	if k.Now() != time.Second {
+		t.Fatalf("Now = %v, want 1s", k.Now())
+	}
+}
+
+func TestKernelRunHonorsDeadline(t *testing.T) {
+	k := NewKernel(1)
+	fired := false
+	k.After(2*time.Second, func() { fired = true })
+	k.Run(time.Second)
+	if fired {
+		t.Fatal("event past deadline ran")
+	}
+	if k.Pending() != 1 {
+		t.Fatalf("pending = %d", k.Pending())
+	}
+	k.Run(3 * time.Second)
+	if !fired {
+		t.Fatal("event not run after extending deadline")
+	}
+}
+
+func TestKernelRunUntil(t *testing.T) {
+	k := NewKernel(1)
+	count := 0
+	for i := 1; i <= 10; i++ {
+		k.After(time.Duration(i)*time.Millisecond, func() { count++ })
+	}
+	ok := k.RunUntil(func() bool { return count >= 3 }, time.Second)
+	if !ok || count != 3 {
+		t.Fatalf("RunUntil ok=%v count=%d", ok, count)
+	}
+	if k.RunUntil(func() bool { return count >= 100 }, time.Second) {
+		t.Fatal("RunUntil claimed unsatisfiable predicate")
+	}
+}
+
+func TestKernelPastEventClamped(t *testing.T) {
+	k := NewKernel(1)
+	k.After(10*time.Millisecond, func() {
+		k.At(0, func() {}) // scheduling in the past must clamp, not go back in time
+	})
+	k.Run(time.Second)
+	if k.Steps() != 2 {
+		t.Fatalf("steps = %d, want 2", k.Steps())
+	}
+}
+
+// --- runtime tests use a trivial ping-pong protocol ---
+
+type ping struct{ Hop uint64 }
+
+func (p *ping) Tag() uint8                { return 254 }
+func (p *ping) MarshalTo(w *codec.Writer) { w.Uvarint(p.Hop) }
+
+type pinger struct {
+	id       types.NodeID
+	peer     types.NodeID
+	initiate bool
+	maxHops  uint64
+
+	delivered  []time.Duration // times at which messages were received
+	timerFired int
+}
+
+func (p *pinger) ID() types.NodeID { return p.id }
+func (p *pinger) Init(ctx proc.Context) {
+	if p.initiate {
+		ctx.Send(p.peer, &ping{Hop: 1})
+	}
+}
+func (p *pinger) Receive(ctx proc.Context, from types.NodeID, msg codec.Message) {
+	m := msg.(*ping)
+	p.delivered = append(p.delivered, ctx.Now())
+	if m.Hop < p.maxHops {
+		ctx.Send(from, &ping{Hop: m.Hop + 1})
+	}
+}
+func (p *pinger) OnTimer(ctx proc.Context, id proc.TimerID) { p.timerFired++ }
+
+func TestRuntimePingPongLatency(t *testing.T) {
+	k := NewKernel(7)
+	rt := NewRuntime(k, ConstantDelay(10*time.Millisecond))
+	a := &pinger{id: types.ReplicaNode(0), peer: types.ReplicaNode(1), initiate: true, maxHops: 4}
+	b := &pinger{id: types.ReplicaNode(1), peer: types.ReplicaNode(0), maxHops: 4}
+	if err := rt.AddNode(a, CostModel{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.AddNode(b, CostModel{}); err != nil {
+		t.Fatal(err)
+	}
+	rt.Start()
+	rt.Run(time.Second)
+
+	// Hops arrive at 10, 20, 30, 40 ms alternating b, a, b, a.
+	if len(b.delivered) != 2 || len(a.delivered) != 2 {
+		t.Fatalf("deliveries a=%d b=%d", len(a.delivered), len(b.delivered))
+	}
+	if b.delivered[0] != 10*time.Millisecond || a.delivered[0] != 20*time.Millisecond {
+		t.Fatalf("unexpected delivery times %v %v", b.delivered, a.delivered)
+	}
+	if rt.MessagesDelivered() != 4 {
+		t.Fatalf("delivered = %d, want 4", rt.MessagesDelivered())
+	}
+}
+
+func TestRuntimeDuplicateNode(t *testing.T) {
+	k := NewKernel(1)
+	rt := NewRuntime(k, ConstantDelay(0))
+	p := &pinger{id: types.ReplicaNode(0)}
+	if err := rt.AddNode(p, CostModel{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.AddNode(p, CostModel{}); err == nil {
+		t.Fatal("duplicate node accepted")
+	}
+}
+
+func TestRuntimeCrashDropsDeliveries(t *testing.T) {
+	k := NewKernel(7)
+	rt := NewRuntime(k, ConstantDelay(time.Millisecond))
+	a := &pinger{id: types.ReplicaNode(0), peer: types.ReplicaNode(1), initiate: true, maxHops: 100}
+	b := &pinger{id: types.ReplicaNode(1), peer: types.ReplicaNode(0), maxHops: 100}
+	_ = rt.AddNode(a, CostModel{})
+	_ = rt.AddNode(b, CostModel{})
+	rt.Start()
+	rt.Run(5 * time.Millisecond)
+	rt.Crash(types.ReplicaNode(1))
+	before := len(b.delivered)
+	rt.Run(time.Second)
+	if len(b.delivered) != before {
+		t.Fatal("crashed node kept receiving")
+	}
+}
+
+func TestRuntimeFilterDrop(t *testing.T) {
+	k := NewKernel(7)
+	rt := NewRuntime(k, ConstantDelay(time.Millisecond))
+	a := &pinger{id: types.ReplicaNode(0), peer: types.ReplicaNode(1), initiate: true, maxHops: 10}
+	b := &pinger{id: types.ReplicaNode(1), peer: types.ReplicaNode(0), maxHops: 10}
+	_ = rt.AddNode(a, CostModel{})
+	_ = rt.AddNode(b, CostModel{})
+	rt.SetFilter(func(from, to types.NodeID, _ codec.Message) (Verdict, time.Duration) {
+		if to == types.ReplicaNode(0) {
+			return Drop, 0 // b's replies never arrive
+		}
+		return Deliver, 0
+	})
+	rt.Start()
+	rt.Run(time.Second)
+	if len(b.delivered) != 1 || len(a.delivered) != 0 {
+		t.Fatalf("deliveries a=%d b=%d, want 0/1", len(a.delivered), len(b.delivered))
+	}
+}
+
+func TestRuntimeFilterExtraDelay(t *testing.T) {
+	k := NewKernel(7)
+	rt := NewRuntime(k, ConstantDelay(time.Millisecond))
+	a := &pinger{id: types.ReplicaNode(0), peer: types.ReplicaNode(1), initiate: true, maxHops: 1}
+	b := &pinger{id: types.ReplicaNode(1), peer: types.ReplicaNode(0), maxHops: 1}
+	_ = rt.AddNode(a, CostModel{})
+	_ = rt.AddNode(b, CostModel{})
+	rt.SetFilter(func(_, _ types.NodeID, _ codec.Message) (Verdict, time.Duration) {
+		return Deliver, 50 * time.Millisecond
+	})
+	rt.Start()
+	rt.Run(time.Second)
+	if len(b.delivered) != 1 || b.delivered[0] != 51*time.Millisecond {
+		t.Fatalf("delivery times %v, want [51ms]", b.delivered)
+	}
+}
+
+// chargeProc charges a fixed cost per delivery, so consecutive messages
+// queue behind each other on a single core.
+type chargeProc struct {
+	id     types.NodeID
+	cost   time.Duration
+	starts []time.Duration
+}
+
+func (p *chargeProc) ID() types.NodeID      { return p.id }
+func (p *chargeProc) Init(ctx proc.Context) {}
+func (p *chargeProc) Receive(ctx proc.Context, _ types.NodeID, _ codec.Message) {
+	p.starts = append(p.starts, ctx.Now())
+	ctx.Charge(p.cost)
+}
+func (p *chargeProc) OnTimer(proc.Context, proc.TimerID) {}
+
+type blaster struct {
+	id    types.NodeID
+	to    types.NodeID
+	count int
+}
+
+func (p *blaster) ID() types.NodeID { return p.id }
+func (p *blaster) Init(ctx proc.Context) {
+	for i := 0; i < p.count; i++ {
+		ctx.Send(p.to, &ping{Hop: uint64(i)})
+	}
+}
+func (p *blaster) Receive(proc.Context, types.NodeID, codec.Message) {}
+func (p *blaster) OnTimer(proc.Context, proc.TimerID)                {}
+
+func TestRuntimeQueueingSingleCore(t *testing.T) {
+	k := NewKernel(7)
+	rt := NewRuntime(k, ConstantDelay(time.Millisecond))
+	src := &blaster{id: types.ClientNode(0), to: types.ReplicaNode(0), count: 4}
+	dst := &chargeProc{id: types.ReplicaNode(0), cost: 10 * time.Millisecond}
+	_ = rt.AddNode(src, CostModel{})
+	_ = rt.AddNode(dst, CostModel{Cores: 1})
+	rt.Start()
+	rt.Run(time.Second)
+	// All 4 arrive at 1ms; with one core and 10ms service each, handler
+	// start times are 1, 11, 21, 31 ms.
+	want := []time.Duration{1, 11, 21, 31}
+	if len(dst.starts) != 4 {
+		t.Fatalf("handled %d, want 4", len(dst.starts))
+	}
+	for i, w := range want {
+		if dst.starts[i] != w*time.Millisecond {
+			t.Fatalf("start[%d] = %v, want %vms (all: %v)", i, dst.starts[i], w, dst.starts)
+		}
+	}
+}
+
+func TestRuntimeQueueingMultiCore(t *testing.T) {
+	k := NewKernel(7)
+	rt := NewRuntime(k, ConstantDelay(time.Millisecond))
+	src := &blaster{id: types.ClientNode(0), to: types.ReplicaNode(0), count: 4}
+	dst := &chargeProc{id: types.ReplicaNode(0), cost: 10 * time.Millisecond}
+	_ = rt.AddNode(src, CostModel{})
+	_ = rt.AddNode(dst, CostModel{Cores: 2})
+	rt.Start()
+	rt.Run(time.Second)
+	// Two cores: starts at 1, 1, 11, 11 ms.
+	want := []time.Duration{1, 1, 11, 11}
+	for i, w := range want {
+		if dst.starts[i] != w*time.Millisecond {
+			t.Fatalf("start[%d] = %v, want %vms (all: %v)", i, dst.starts[i], w, dst.starts)
+		}
+	}
+}
+
+func TestRuntimeInfiniteCapacityNoQueueing(t *testing.T) {
+	k := NewKernel(7)
+	rt := NewRuntime(k, ConstantDelay(time.Millisecond))
+	src := &blaster{id: types.ClientNode(0), to: types.ReplicaNode(0), count: 8}
+	dst := &chargeProc{id: types.ReplicaNode(0), cost: 10 * time.Millisecond}
+	_ = rt.AddNode(src, CostModel{})
+	_ = rt.AddNode(dst, CostModel{}) // Cores: 0 → infinite
+	rt.Start()
+	rt.Run(time.Second)
+	for i, s := range dst.starts {
+		if s != time.Millisecond {
+			t.Fatalf("start[%d] = %v, want 1ms", i, s)
+		}
+	}
+}
+
+// timerProc exercises timer set/re-arm/cancel semantics.
+type timerProc struct {
+	id     types.NodeID
+	fired  []proc.TimerID
+	script func(ctx proc.Context) // run at Init
+	onFire func(ctx proc.Context, id proc.TimerID)
+}
+
+func (p *timerProc) ID() types.NodeID                                  { return p.id }
+func (p *timerProc) Init(ctx proc.Context)                             { p.script(ctx) }
+func (p *timerProc) Receive(proc.Context, types.NodeID, codec.Message) {}
+func (p *timerProc) OnTimer(ctx proc.Context, id proc.TimerID) {
+	p.fired = append(p.fired, id)
+	if p.onFire != nil {
+		p.onFire(ctx, id)
+	}
+}
+
+func TestRuntimeTimerRearmAndCancel(t *testing.T) {
+	k := NewKernel(7)
+	rt := NewRuntime(k, ConstantDelay(0))
+	p := &timerProc{id: types.ReplicaNode(0)}
+	p.script = func(ctx proc.Context) {
+		ctx.SetTimer(1, 10*time.Millisecond)
+		ctx.SetTimer(1, 30*time.Millisecond) // re-arm replaces the first
+		ctx.SetTimer(2, 20*time.Millisecond)
+		ctx.CancelTimer(2)
+		ctx.SetTimer(3, 5*time.Millisecond)
+	}
+	_ = rt.AddNode(p, CostModel{})
+	rt.Start()
+	rt.Run(time.Second)
+	if len(p.fired) != 2 || p.fired[0] != 3 || p.fired[1] != 1 {
+		t.Fatalf("fired = %v, want [3 1]", p.fired)
+	}
+}
+
+func TestRuntimePeriodicTimer(t *testing.T) {
+	k := NewKernel(7)
+	rt := NewRuntime(k, ConstantDelay(0))
+	p := &timerProc{id: types.ReplicaNode(0)}
+	p.script = func(ctx proc.Context) { ctx.SetTimer(9, 10*time.Millisecond) }
+	p.onFire = func(ctx proc.Context, id proc.TimerID) {
+		if len(p.fired) < 5 {
+			ctx.SetTimer(9, 10*time.Millisecond)
+		}
+	}
+	_ = rt.AddNode(p, CostModel{})
+	rt.Start()
+	rt.Run(time.Second)
+	if len(p.fired) != 5 {
+		t.Fatalf("fired %d times, want 5", len(p.fired))
+	}
+}
+
+func TestRuntimeDeterministicReplay(t *testing.T) {
+	run := func() []time.Duration {
+		k := NewKernel(42)
+		rt := NewRuntime(k, ConstantDelay(3*time.Millisecond))
+		a := &pinger{id: types.ReplicaNode(0), peer: types.ReplicaNode(1), initiate: true, maxHops: 50}
+		b := &pinger{id: types.ReplicaNode(1), peer: types.ReplicaNode(0), maxHops: 50}
+		_ = rt.AddNode(a, CostModel{Cores: 1})
+		_ = rt.AddNode(b, CostModel{Cores: 1})
+		rt.Start()
+		rt.Run(time.Second)
+		return append(append([]time.Duration(nil), a.delivered...), b.delivered...)
+	}
+	r1, r2 := run(), run()
+	if len(r1) != len(r2) {
+		t.Fatalf("different event counts %d vs %d", len(r1), len(r2))
+	}
+	for i := range r1 {
+		if r1[i] != r2[i] {
+			t.Fatalf("replay diverged at %d: %v vs %v", i, r1[i], r2[i])
+		}
+	}
+}

@@ -1,0 +1,260 @@
+// Package transport hosts protocol processes in real time: the same
+// proc.Process implementations that run on the discrete-event simulator run
+// here on goroutines with wall-clock timers, connected by an in-process
+// mesh or by TCP. This is the substrate for the live binaries
+// (cmd/ezbft-server, cmd/ezbft-client) and the tcpcluster example.
+package transport
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"time"
+
+	"ezbft/internal/codec"
+	"ezbft/internal/proc"
+	"ezbft/internal/types"
+)
+
+// ErrClosed reports use of a closed node or transport.
+var ErrClosed = errors.New("transport: closed")
+
+// Sender delivers messages to remote nodes.
+type Sender interface {
+	Send(from, to types.NodeID, msg codec.Message) error
+}
+
+// envelope is one queued delivery.
+type envelope struct {
+	from types.NodeID
+	msg  codec.Message
+}
+
+// timerFire is one timer expiration.
+type timerFire struct {
+	id  proc.TimerID
+	gen uint64
+}
+
+// LiveNode runs one proc.Process in real time. All handler invocations
+// happen on a single goroutine, preserving the single-threaded process
+// contract; messages are injected through Deliver and arbitrary calls
+// through Inject.
+type LiveNode struct {
+	p      proc.Process
+	sender Sender
+	start  time.Time
+	rng    *rand.Rand
+
+	inbox   chan envelope
+	calls   chan func(ctx proc.Context)
+	timerCh chan timerFire
+
+	mu     sync.Mutex
+	timers map[proc.TimerID]*liveTimer
+	closed bool
+
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+type liveTimer struct {
+	gen   uint64
+	timer *time.Timer
+}
+
+// NewLiveNode creates (but does not start) a live node.
+func NewLiveNode(p proc.Process, sender Sender, seed int64) *LiveNode {
+	return &LiveNode{
+		p:       p,
+		sender:  sender,
+		start:   time.Now(),
+		rng:     rand.New(rand.NewSource(seed)),
+		inbox:   make(chan envelope, 1024),
+		calls:   make(chan func(ctx proc.Context), 64),
+		timerCh: make(chan timerFire, 64),
+		timers:  make(map[proc.TimerID]*liveTimer),
+		done:    make(chan struct{}),
+	}
+}
+
+// SetSender installs the outbound transport; it must be called before
+// Start when the transport needs the node's delivery callback first
+// (e.g. TCP peers).
+func (n *LiveNode) SetSender(s Sender) { n.sender = s }
+
+// Start runs the node's event loop (Init, then deliveries and timers).
+func (n *LiveNode) Start() {
+	n.wg.Add(1)
+	go n.loop()
+}
+
+// Stop terminates the event loop and waits for it to exit.
+func (n *LiveNode) Stop() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		n.wg.Wait()
+		return
+	}
+	n.closed = true
+	close(n.done)
+	for _, lt := range n.timers {
+		lt.timer.Stop()
+	}
+	n.mu.Unlock()
+	n.wg.Wait()
+}
+
+// Deliver enqueues a message for the process; it drops the message if the
+// node is stopped or the queue is full (the network is allowed to drop).
+func (n *LiveNode) Deliver(from types.NodeID, msg codec.Message) {
+	select {
+	case n.inbox <- envelope{from: from, msg: msg}:
+	case <-n.done:
+	default:
+		// Queue full: shed load like a congested network path.
+	}
+}
+
+// Inject schedules fn to run on the node's event loop with a valid context;
+// used to bridge external calls (e.g. blocking client submissions).
+func (n *LiveNode) Inject(fn func(ctx proc.Context)) error {
+	// Check done first: a buffered calls channel would otherwise accept
+	// injections into a stopped node.
+	select {
+	case <-n.done:
+		return ErrClosed
+	default:
+	}
+	select {
+	case n.calls <- fn:
+		return nil
+	case <-n.done:
+		return ErrClosed
+	}
+}
+
+func (n *LiveNode) loop() {
+	defer n.wg.Done()
+	ctx := &liveCtx{n: n}
+	n.p.Init(ctx)
+	for {
+		select {
+		case <-n.done:
+			return
+		case env := <-n.inbox:
+			n.p.Receive(ctx, env.from, env.msg)
+		case fn := <-n.calls:
+			fn(ctx)
+		case tf := <-n.timerCh:
+			n.mu.Lock()
+			lt, ok := n.timers[tf.id]
+			current := ok && lt.gen == tf.gen
+			if current {
+				delete(n.timers, tf.id)
+			}
+			n.mu.Unlock()
+			if current {
+				n.p.OnTimer(ctx, tf.id)
+			}
+		}
+	}
+}
+
+// liveCtx implements proc.Context on wall-clock time.
+type liveCtx struct {
+	n *LiveNode
+}
+
+var _ proc.Context = (*liveCtx)(nil)
+
+// Now implements proc.Context.
+func (c *liveCtx) Now() time.Duration { return time.Since(c.n.start) }
+
+// Send implements proc.Context.
+func (c *liveCtx) Send(to types.NodeID, msg codec.Message) {
+	// Errors are indistinguishable from message loss to the protocol.
+	_ = c.n.sender.Send(c.n.p.ID(), to, msg)
+}
+
+// SetTimer implements proc.Context.
+func (c *liveCtx) SetTimer(id proc.TimerID, d time.Duration) {
+	n := c.n
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return
+	}
+	if old, ok := n.timers[id]; ok {
+		old.timer.Stop()
+	}
+	gen := uint64(1)
+	if old, ok := n.timers[id]; ok {
+		gen = old.gen + 1
+	}
+	lt := &liveTimer{gen: gen}
+	lt.timer = time.AfterFunc(d, func() {
+		select {
+		case n.timerCh <- timerFire{id: id, gen: gen}:
+		case <-n.done:
+		}
+	})
+	n.timers[id] = lt
+}
+
+// CancelTimer implements proc.Context.
+func (c *liveCtx) CancelTimer(id proc.TimerID) {
+	n := c.n
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if lt, ok := n.timers[id]; ok {
+		lt.timer.Stop()
+		delete(n.timers, id)
+	}
+}
+
+// Charge implements proc.Context (real work takes real time here).
+func (c *liveCtx) Charge(time.Duration) {}
+
+// Rand implements proc.Context.
+func (c *liveCtx) Rand() *rand.Rand { return c.n.rng }
+
+// Mesh is an in-process Sender connecting live nodes directly (optionally
+// with a simulated delay), for single-process multi-node deployments and
+// tests.
+type Mesh struct {
+	mu    sync.RWMutex
+	nodes map[types.NodeID]*LiveNode
+	delay time.Duration
+}
+
+var _ Sender = (*Mesh)(nil)
+
+// NewMesh creates an empty mesh with a fixed delivery delay.
+func NewMesh(delay time.Duration) *Mesh {
+	return &Mesh{nodes: make(map[types.NodeID]*LiveNode), delay: delay}
+}
+
+// Attach registers a node.
+func (m *Mesh) Attach(n *LiveNode) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.nodes[n.p.ID()] = n
+}
+
+// Send implements Sender.
+func (m *Mesh) Send(from, to types.NodeID, msg codec.Message) error {
+	m.mu.RLock()
+	dst, ok := m.nodes[to]
+	m.mu.RUnlock()
+	if !ok {
+		return nil // unknown destination: dropped like the network would
+	}
+	if m.delay <= 0 {
+		dst.Deliver(from, msg)
+		return nil
+	}
+	time.AfterFunc(m.delay, func() { dst.Deliver(from, msg) })
+	return nil
+}

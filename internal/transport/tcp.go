@@ -1,0 +1,236 @@
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"ezbft/internal/codec"
+	"ezbft/internal/types"
+)
+
+// maxFrame bounds a single wire frame (certificates with embedded
+// histories stay well under this).
+const maxFrame = 16 << 20
+
+// TCPPeer connects one local node to a cluster over TCP. Frames are
+// 4-byte big-endian length + codec-marshaled message; the first frame on
+// every outbound connection is a hello carrying the sender's node ID.
+type TCPPeer struct {
+	self  types.NodeID
+	addrs map[types.NodeID]string
+	onMsg func(from types.NodeID, msg codec.Message)
+
+	ln net.Listener
+
+	mu     sync.Mutex
+	conns  map[types.NodeID]net.Conn
+	closed bool
+	wg     sync.WaitGroup
+}
+
+var _ Sender = (*TCPPeer)(nil)
+
+// NewTCPPeer starts listening on listenAddr and delivers inbound messages
+// to onMsg (invoked from per-connection goroutines; callers serialize into
+// their LiveNode via Deliver).
+func NewTCPPeer(self types.NodeID, listenAddr string, addrs map[types.NodeID]string, onMsg func(from types.NodeID, msg codec.Message)) (*TCPPeer, error) {
+	ln, err := net.Listen("tcp", listenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", listenAddr, err)
+	}
+	p := &TCPPeer{
+		self:  self,
+		addrs: make(map[types.NodeID]string, len(addrs)),
+		onMsg: onMsg,
+		ln:    ln,
+		conns: make(map[types.NodeID]net.Conn),
+	}
+	for id, addr := range addrs {
+		p.addrs[id] = addr
+	}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the listener address (useful with ":0" listeners).
+func (p *TCPPeer) Addr() string { return p.ln.Addr().String() }
+
+// SetAddr registers (or updates) a peer address.
+func (p *TCPPeer) SetAddr(id types.NodeID, addr string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.addrs[id] = addr
+}
+
+// Close shuts down the listener and all connections.
+func (p *TCPPeer) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	err := p.ln.Close()
+	for _, c := range p.conns {
+		_ = c.Close()
+	}
+	p.conns = make(map[types.NodeID]net.Conn)
+	p.mu.Unlock()
+	p.wg.Wait()
+	return err
+}
+
+// Send implements Sender: self-sends loop back directly; remote sends use
+// a cached outbound connection (dialed on demand). A failed send drops the
+// message and the connection — protocols treat it as network loss.
+func (p *TCPPeer) Send(from, to types.NodeID, msg codec.Message) error {
+	if to == p.self {
+		p.onMsg(from, msg)
+		return nil
+	}
+	conn, err := p.conn(to)
+	if err != nil {
+		return err
+	}
+	if err := writeFrame(conn, codec.Marshal(msg)); err != nil {
+		p.dropConn(to, conn)
+		return err
+	}
+	return nil
+}
+
+func (p *TCPPeer) conn(to types.NodeID) (net.Conn, error) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if c, ok := p.conns[to]; ok {
+		p.mu.Unlock()
+		return c, nil
+	}
+	addr, ok := p.addrs[to]
+	p.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("transport: no address for %s", to)
+	}
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", to, err)
+	}
+	// Hello frame: our node id.
+	hello := make([]byte, 4)
+	binary.BigEndian.PutUint32(hello, uint32(p.self))
+	if err := writeFrame(c, hello); err != nil {
+		_ = c.Close()
+		return nil, err
+	}
+	p.mu.Lock()
+	if existing, ok := p.conns[to]; ok {
+		p.mu.Unlock()
+		_ = c.Close()
+		return existing, nil
+	}
+	if p.closed {
+		p.mu.Unlock()
+		_ = c.Close()
+		return nil, ErrClosed
+	}
+	p.conns[to] = c
+	p.mu.Unlock()
+	// The peer answers over this same connection; read its frames.
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		defer c.Close()
+		p.readFrames(bufio.NewReader(c), to)
+	}()
+	return c, nil
+}
+
+func (p *TCPPeer) dropConn(to types.NodeID, conn net.Conn) {
+	p.mu.Lock()
+	if cur, ok := p.conns[to]; ok && cur == conn {
+		delete(p.conns, to)
+	}
+	p.mu.Unlock()
+	_ = conn.Close()
+}
+
+func (p *TCPPeer) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		p.wg.Add(1)
+		go p.readLoop(conn)
+	}
+}
+
+func (p *TCPPeer) readLoop(conn net.Conn) {
+	defer p.wg.Done()
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	hello, err := readFrame(r)
+	if err != nil || len(hello) != 4 {
+		return
+	}
+	from := types.NodeID(binary.BigEndian.Uint32(hello))
+	// Register the inbound connection as the return route to this peer:
+	// clients dial replicas from ephemeral addresses, so replies must
+	// reuse the client's connection.
+	p.mu.Lock()
+	if _, ok := p.conns[from]; !ok && !p.closed {
+		p.conns[from] = conn
+	}
+	p.mu.Unlock()
+	p.readFrames(r, from)
+}
+
+// readFrames delivers every well-formed frame from one connection.
+func (p *TCPPeer) readFrames(r *bufio.Reader, from types.NodeID) {
+	for {
+		frame, err := readFrame(r)
+		if err != nil {
+			return
+		}
+		msg, err := codec.Unmarshal(frame)
+		if err != nil {
+			continue // malformed frame: drop, keep the connection
+		}
+		p.onMsg(from, msg)
+	}
+}
+
+func writeFrame(w io.Writer, frame []byte) error {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(frame)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(frame)
+	return err
+}
+
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("transport: frame of %d bytes exceeds limit", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}

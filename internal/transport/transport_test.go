@@ -1,0 +1,258 @@
+package transport
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ezbft/internal/codec"
+	"ezbft/internal/proc"
+	"ezbft/internal/types"
+)
+
+// echoMsg is a tiny test message (tag 253 reserved for this test).
+type echoMsg struct{ N uint64 }
+
+func (m *echoMsg) Tag() uint8                { return 253 }
+func (m *echoMsg) MarshalTo(w *codec.Writer) { w.Uvarint(m.N) }
+
+func init() {
+	codec.Register(253, "transport.echoMsg", func(r *codec.Reader) (codec.Message, error) {
+		return &echoMsg{N: r.Uvarint()}, r.Err()
+	})
+}
+
+// echoProc replies to every message with N+1 and counts timer fires.
+type echoProc struct {
+	id types.NodeID
+	mu sync.Mutex
+
+	got        []uint64
+	timerFires int32
+	initSeen   bool
+}
+
+func (p *echoProc) ID() types.NodeID { return p.id }
+func (p *echoProc) Init(ctx proc.Context) {
+	p.mu.Lock()
+	p.initSeen = true
+	p.mu.Unlock()
+}
+func (p *echoProc) Receive(ctx proc.Context, from types.NodeID, msg codec.Message) {
+	m := msg.(*echoMsg)
+	p.mu.Lock()
+	p.got = append(p.got, m.N)
+	p.mu.Unlock()
+	if m.N < 5 {
+		ctx.Send(from, &echoMsg{N: m.N + 1})
+	}
+}
+func (p *echoProc) OnTimer(ctx proc.Context, id proc.TimerID) {
+	atomic.AddInt32(&p.timerFires, 1)
+}
+
+func (p *echoProc) received() []uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]uint64(nil), p.got...)
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("condition not reached in time")
+}
+
+func TestMeshPingPong(t *testing.T) {
+	mesh := NewMesh(0)
+	a := &echoProc{id: types.ReplicaNode(0)}
+	b := &echoProc{id: types.ReplicaNode(1)}
+	na := NewLiveNode(a, mesh, 1)
+	nb := NewLiveNode(b, mesh, 2)
+	mesh.Attach(na)
+	mesh.Attach(nb)
+	na.Start()
+	nb.Start()
+	defer na.Stop()
+	defer nb.Stop()
+
+	if err := na.Inject(func(ctx proc.Context) { ctx.Send(types.ReplicaNode(1), &echoMsg{N: 1}) }); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return len(a.received()) >= 2 && len(b.received()) >= 3 })
+	if got := b.received(); got[0] != 1 || got[1] != 3 {
+		t.Fatalf("b received %v", got)
+	}
+	if got := a.received(); got[0] != 2 || got[1] != 4 {
+		t.Fatalf("a received %v", got)
+	}
+}
+
+func TestLiveNodeTimers(t *testing.T) {
+	mesh := NewMesh(0)
+	p := &echoProc{id: types.ReplicaNode(0)}
+	n := NewLiveNode(p, mesh, 1)
+	mesh.Attach(n)
+	n.Start()
+	defer n.Stop()
+
+	_ = n.Inject(func(ctx proc.Context) { ctx.SetTimer(1, 10*time.Millisecond) })
+	waitFor(t, func() bool { return atomic.LoadInt32(&p.timerFires) == 1 })
+
+	// Cancel before expiry: no fire.
+	_ = n.Inject(func(ctx proc.Context) {
+		ctx.SetTimer(2, 30*time.Millisecond)
+		ctx.CancelTimer(2)
+	})
+	time.Sleep(60 * time.Millisecond)
+	if atomic.LoadInt32(&p.timerFires) != 1 {
+		t.Fatalf("cancelled timer fired (fires=%d)", p.timerFires)
+	}
+
+	// Re-arm replaces the earlier deadline.
+	_ = n.Inject(func(ctx proc.Context) {
+		ctx.SetTimer(3, time.Hour)
+		ctx.SetTimer(3, 10*time.Millisecond)
+	})
+	waitFor(t, func() bool { return atomic.LoadInt32(&p.timerFires) == 2 })
+}
+
+func TestLiveNodeStopIdempotent(t *testing.T) {
+	mesh := NewMesh(0)
+	p := &echoProc{id: types.ReplicaNode(0)}
+	n := NewLiveNode(p, mesh, 1)
+	mesh.Attach(n)
+	n.Start()
+	n.Stop()
+	n.Stop() // second stop must not panic or hang
+	if err := n.Inject(func(proc.Context) {}); err == nil {
+		t.Fatal("Inject on stopped node succeeded")
+	}
+}
+
+func TestMeshDelay(t *testing.T) {
+	mesh := NewMesh(30 * time.Millisecond)
+	a := &echoProc{id: types.ReplicaNode(0)}
+	b := &echoProc{id: types.ReplicaNode(1)}
+	na := NewLiveNode(a, mesh, 1)
+	nb := NewLiveNode(b, mesh, 2)
+	mesh.Attach(na)
+	mesh.Attach(nb)
+	na.Start()
+	nb.Start()
+	defer na.Stop()
+	defer nb.Stop()
+
+	start := time.Now()
+	_ = na.Inject(func(ctx proc.Context) { ctx.Send(types.ReplicaNode(1), &echoMsg{N: 9}) })
+	waitFor(t, func() bool { return len(b.received()) == 1 })
+	if elapsed := time.Since(start); elapsed < 25*time.Millisecond {
+		t.Fatalf("delivery took %v, want ≥ the 30ms mesh delay", elapsed)
+	}
+}
+
+func TestTCPPeerRoundTrip(t *testing.T) {
+	// Node 0 and node 1 connected over real TCP loopback.
+	a := &echoProc{id: types.ReplicaNode(0)}
+	b := &echoProc{id: types.ReplicaNode(1)}
+
+	na := NewLiveNode(a, nil, 1)
+	nb := NewLiveNode(b, nil, 2)
+	pa, err := NewTCPPeer(types.ReplicaNode(0), "127.0.0.1:0", nil,
+		func(from types.NodeID, msg codec.Message) { na.Deliver(from, msg) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pa.Close()
+	pb, err := NewTCPPeer(types.ReplicaNode(1), "127.0.0.1:0", nil,
+		func(from types.NodeID, msg codec.Message) { nb.Deliver(from, msg) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pb.Close()
+	pa.SetAddr(types.ReplicaNode(1), pb.Addr())
+	pb.SetAddr(types.ReplicaNode(0), pa.Addr())
+
+	na.SetSender(pa)
+	nb.SetSender(pb)
+	na.Start()
+	nb.Start()
+	defer na.Stop()
+	defer nb.Stop()
+
+	_ = na.Inject(func(ctx proc.Context) { ctx.Send(types.ReplicaNode(1), &echoMsg{N: 1}) })
+	waitFor(t, func() bool { return len(a.received()) >= 2 && len(b.received()) >= 3 })
+	if got := b.received(); got[0] != 1 || got[1] != 3 || got[2] != 5 {
+		t.Fatalf("b received %v", got)
+	}
+}
+
+func TestTCPPeerReverseRoute(t *testing.T) {
+	// The "client" peer knows the server's address but not vice versa; the
+	// server must answer over the inbound connection.
+	server := &echoProc{id: types.ReplicaNode(0)}
+	client := &echoProc{id: types.ClientNode(7)}
+
+	ns := NewLiveNode(server, nil, 1)
+	ps, err := NewTCPPeer(types.ReplicaNode(0), "127.0.0.1:0", nil,
+		func(from types.NodeID, msg codec.Message) { ns.Deliver(from, msg) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ps.Close()
+	ns.SetSender(ps)
+	ns.Start()
+	defer ns.Stop()
+
+	nc := NewLiveNode(client, nil, 2)
+	pc, err := NewTCPPeer(types.ClientNode(7), "127.0.0.1:0",
+		map[types.NodeID]string{types.ReplicaNode(0): ps.Addr()},
+		func(from types.NodeID, msg codec.Message) { nc.Deliver(from, msg) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pc.Close()
+	nc.SetSender(pc)
+	nc.Start()
+	defer nc.Stop()
+
+	_ = nc.Inject(func(ctx proc.Context) { ctx.Send(types.ReplicaNode(0), &echoMsg{N: 1}) })
+	waitFor(t, func() bool { return len(client.received()) >= 1 })
+	if got := client.received(); got[0] != 2 {
+		t.Fatalf("client received %v, want [2 ...]", got)
+	}
+}
+
+func TestTCPPeerSelfSend(t *testing.T) {
+	p := &echoProc{id: types.ReplicaNode(0)}
+	n := NewLiveNode(p, nil, 1)
+	peer, err := NewTCPPeer(types.ReplicaNode(0), "127.0.0.1:0", nil,
+		func(from types.NodeID, msg codec.Message) { n.Deliver(from, msg) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer peer.Close()
+	n.SetSender(peer)
+	n.Start()
+	defer n.Stop()
+	_ = n.Inject(func(ctx proc.Context) { ctx.Send(types.ReplicaNode(0), &echoMsg{N: 9}) })
+	waitFor(t, func() bool { return len(p.received()) == 1 })
+}
+
+func TestTCPPeerUnknownDestination(t *testing.T) {
+	peer, err := NewTCPPeer(types.ReplicaNode(0), "127.0.0.1:0", nil, func(types.NodeID, codec.Message) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer peer.Close()
+	if err := peer.Send(types.ReplicaNode(0), types.ReplicaNode(5), &echoMsg{}); err == nil {
+		t.Fatal("send to unknown destination succeeded")
+	}
+}

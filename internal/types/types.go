@@ -1,0 +1,343 @@
+// Package types defines the identifiers, commands, and application
+// interfaces shared by every protocol in this repository.
+//
+// ezBFT (Arun et al., ICDCS 2019) orders client commands across per-replica
+// instance spaces; the types here mirror the paper's vocabulary: replica and
+// client identifiers, instance numbers (instance-space identifier + slot),
+// owner numbers, sequence numbers, and the command interference relation.
+package types
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"sort"
+)
+
+// ReplicaID identifies one of the N replicas (0..N-1).
+type ReplicaID int32
+
+// String implements fmt.Stringer.
+func (r ReplicaID) String() string { return fmt.Sprintf("R%d", int32(r)) }
+
+// ClientID identifies a client node.
+type ClientID int32
+
+// String implements fmt.Stringer.
+func (c ClientID) String() string { return fmt.Sprintf("c%d", int32(c)) }
+
+// NodeID identifies any node (replica or client) on a transport. Replicas
+// occupy [0, clientBase); clients occupy [clientBase, ...). The split keeps
+// a single flat address space for transports while letting protocol code
+// distinguish the two roles.
+type NodeID int32
+
+const clientBase NodeID = 1 << 20
+
+// ReplicaNode converts a replica identifier to its transport address.
+func ReplicaNode(r ReplicaID) NodeID { return NodeID(r) }
+
+// ClientNode converts a client identifier to its transport address.
+func ClientNode(c ClientID) NodeID { return clientBase + NodeID(c) }
+
+// IsReplica reports whether the node address belongs to a replica.
+func (n NodeID) IsReplica() bool { return n >= 0 && n < clientBase }
+
+// IsClient reports whether the node address belongs to a client.
+func (n NodeID) IsClient() bool { return n >= clientBase }
+
+// Replica returns the replica identifier for a replica node address.
+func (n NodeID) Replica() ReplicaID { return ReplicaID(n) }
+
+// Client returns the client identifier for a client node address.
+func (n NodeID) Client() ClientID { return ClientID(n - clientBase) }
+
+// String implements fmt.Stringer.
+func (n NodeID) String() string {
+	if n.IsClient() {
+		return n.Client().String()
+	}
+	return n.Replica().String()
+}
+
+// InstanceID names one slot in one replica's instance space: the paper's
+// instance number I = (instance-space identifier, slot identifier).
+type InstanceID struct {
+	Space ReplicaID // owner replica of the instance space
+	Slot  uint64    // slot within the space, starting at 1
+}
+
+// String implements fmt.Stringer.
+func (i InstanceID) String() string { return fmt.Sprintf("<%s,%d>", i.Space, i.Slot) }
+
+// Less orders instances first by space then by slot; used only for
+// deterministic iteration, never for execution ordering.
+func (i InstanceID) Less(o InstanceID) bool {
+	if i.Space != o.Space {
+		return i.Space < o.Space
+	}
+	return i.Slot < o.Slot
+}
+
+// OwnerNumber is the paper's monotonically increasing owner number O for an
+// instance space. The current owner replica of space s is O mod N; the
+// number starts equal to the space's own replica identifier.
+type OwnerNumber uint64
+
+// OwnerOf returns the replica that owns an instance space with owner number
+// o in a cluster of n replicas.
+func (o OwnerNumber) OwnerOf(n int) ReplicaID { return ReplicaID(uint64(o) % uint64(n)) }
+
+// SeqNumber is the paper's globally shared sequence number S used to break
+// dependency cycles; always larger than the sequence numbers of all
+// interfering commands.
+type SeqNumber uint64
+
+// Op enumerates key-value store operations. Enums start at 1 so the zero
+// value is detectably invalid.
+type Op uint8
+
+// Key-value operations carried by commands.
+const (
+	OpGet Op = iota + 1
+	OpPut
+	OpIncr // read-modify-write: demonstrates commutativity-based interference
+	OpNoop // used to finalize unrecoverable instances after owner changes
+)
+
+// String implements fmt.Stringer.
+func (o Op) String() string {
+	switch o {
+	case OpGet:
+		return "GET"
+	case OpPut:
+		return "PUT"
+	case OpIncr:
+		return "INCR"
+	case OpNoop:
+		return "NOOP"
+	default:
+		return fmt.Sprintf("Op(%d)", uint8(o))
+	}
+}
+
+// Command encapsulates an operation that must be executed on the shared
+// state, together with the issuing client and its timestamp (the paper's t,
+// used for exactly-once semantics).
+type Command struct {
+	Client    ClientID
+	Timestamp uint64 // per-client monotonically increasing
+	Op        Op
+	Key       string
+	Value     []byte
+}
+
+// IsNoop reports whether the command is the distinguished no-op.
+func (c Command) IsNoop() bool { return c.Op == OpNoop }
+
+// Digest returns a collision-resistant digest of the command, the paper's
+// d = H(m).
+func (c Command) Digest() Digest {
+	h := sha256.New()
+	var buf [8]byte
+	putUint64(buf[:], uint64(uint32(c.Client)))
+	h.Write(buf[:])
+	putUint64(buf[:], c.Timestamp)
+	h.Write(buf[:])
+	h.Write([]byte{byte(c.Op)})
+	putUint64(buf[:], uint64(len(c.Key)))
+	h.Write(buf[:])
+	h.Write([]byte(c.Key))
+	h.Write(c.Value)
+	var d Digest
+	copy(d[:], h.Sum(nil))
+	return d
+}
+
+// Interferes reports whether two commands interfere: executing them in
+// different orders on some state can produce different final states. For the
+// key-value application this is the paper's definition restricted to
+// accesses on the same key where at least one is a mutation. Two GETs never
+// interfere; note that, per the paper's comparison with Q/U, two INCRs on
+// the same key commute and therefore do not interfere, while PUTs conflict
+// with everything on the same key (including GETs, whose results differ).
+func (c Command) Interferes(o Command) bool {
+	if c.Op == OpNoop || o.Op == OpNoop {
+		return false
+	}
+	if c.Key != o.Key {
+		return false
+	}
+	if c.Op == OpGet && o.Op == OpGet {
+		return false
+	}
+	if c.Op == OpIncr && o.Op == OpIncr {
+		return false // commutative read-modify-writes, per §VI (Q/U comparison)
+	}
+	return true
+}
+
+// Equal reports whether two commands are identical.
+func (c Command) Equal(o Command) bool {
+	if c.Client != o.Client || c.Timestamp != o.Timestamp || c.Op != o.Op || c.Key != o.Key {
+		return false
+	}
+	if len(c.Value) != len(o.Value) {
+		return false
+	}
+	for i := range c.Value {
+		if c.Value[i] != o.Value[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String implements fmt.Stringer.
+func (c Command) String() string {
+	return fmt.Sprintf("%s@%d:%s(%q)", c.Client, c.Timestamp, c.Op, c.Key)
+}
+
+// Digest is a SHA-256 digest.
+type Digest [32]byte
+
+// IsZero reports whether the digest is all zeroes.
+func (d Digest) IsZero() bool { return d == Digest{} }
+
+// String implements fmt.Stringer; prints a short prefix.
+func (d Digest) String() string { return fmt.Sprintf("%x", d[:4]) }
+
+// DigestBytes hashes an arbitrary byte string.
+func DigestBytes(b []byte) Digest {
+	return Digest(sha256.Sum256(b))
+}
+
+// Result is the outcome of executing one command on the application.
+type Result struct {
+	OK    bool
+	Value []byte
+}
+
+// Equal reports whether two results are identical.
+func (r Result) Equal(o Result) bool {
+	if r.OK != o.OK || len(r.Value) != len(o.Value) {
+		return false
+	}
+	for i := range r.Value {
+		if r.Value[i] != o.Value[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Application is the replicated state machine on which committed commands
+// are executed. Implementations must be deterministic: the same sequence of
+// Execute calls from the same initial state must produce the same results.
+type Application interface {
+	// Execute applies one command and returns its result.
+	Execute(cmd Command) Result
+}
+
+// SpeculativeApplication extends Application with the speculative-execution
+// contract required by ezBFT and Zyzzyva: speculative results may later be
+// rolled back and the commands re-executed in final order.
+type SpeculativeApplication interface {
+	Application
+
+	// SpecExecute applies a command speculatively, on top of the latest
+	// (speculative or final) state.
+	SpecExecute(cmd Command) Result
+	// Rollback discards all speculative effects, restoring the last final
+	// state.
+	Rollback()
+	// PromoteFinal applies a command to the final state, invalidating any
+	// speculative effects that depended on it. Equivalent to Execute on the
+	// final version of the state.
+	PromoteFinal(cmd Command) Result
+}
+
+// InstanceSet is a set of instance identifiers: the paper's dependency set D.
+type InstanceSet map[InstanceID]struct{}
+
+// NewInstanceSet builds a set from the given members.
+func NewInstanceSet(ids ...InstanceID) InstanceSet {
+	s := make(InstanceSet, len(ids))
+	for _, id := range ids {
+		s[id] = struct{}{}
+	}
+	return s
+}
+
+// Add inserts an instance into the set.
+func (s InstanceSet) Add(id InstanceID) { s[id] = struct{}{} }
+
+// Has reports membership.
+func (s InstanceSet) Has(id InstanceID) bool {
+	_, ok := s[id]
+	return ok
+}
+
+// Clone returns an independent copy of the set.
+func (s InstanceSet) Clone() InstanceSet {
+	c := make(InstanceSet, len(s))
+	for id := range s {
+		c[id] = struct{}{}
+	}
+	return c
+}
+
+// Union inserts every member of o into s and returns s.
+func (s InstanceSet) Union(o InstanceSet) InstanceSet {
+	for id := range o {
+		s[id] = struct{}{}
+	}
+	return s
+}
+
+// Equal reports whether two sets have identical membership.
+func (s InstanceSet) Equal(o InstanceSet) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	for id := range s {
+		if !o.Has(id) {
+			return false
+		}
+	}
+	return true
+}
+
+// Sorted returns the members in deterministic (space, slot) order.
+func (s InstanceSet) Sorted() []InstanceID {
+	out := make([]InstanceID, 0, len(s))
+	for id := range s {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// String implements fmt.Stringer.
+func (s InstanceSet) String() string {
+	ids := s.Sorted()
+	out := "{"
+	for i, id := range ids {
+		if i > 0 {
+			out += ","
+		}
+		out += id.String()
+	}
+	return out + "}"
+}
+
+func putUint64(b []byte, v uint64) {
+	_ = b[7]
+	b[0] = byte(v >> 56)
+	b[1] = byte(v >> 48)
+	b[2] = byte(v >> 40)
+	b[3] = byte(v >> 32)
+	b[4] = byte(v >> 24)
+	b[5] = byte(v >> 16)
+	b[6] = byte(v >> 8)
+	b[7] = byte(v)
+}

@@ -1,0 +1,189 @@
+package types
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNodeIDRoundTrip(t *testing.T) {
+	for _, r := range []ReplicaID{0, 1, 3, 100} {
+		n := ReplicaNode(r)
+		if !n.IsReplica() || n.IsClient() {
+			t.Fatalf("ReplicaNode(%v) misclassified", r)
+		}
+		if got := n.Replica(); got != r {
+			t.Fatalf("Replica() = %v, want %v", got, r)
+		}
+	}
+	for _, c := range []ClientID{0, 1, 42, 9999} {
+		n := ClientNode(c)
+		if !n.IsClient() || n.IsReplica() {
+			t.Fatalf("ClientNode(%v) misclassified", c)
+		}
+		if got := n.Client(); got != c {
+			t.Fatalf("Client() = %v, want %v", got, c)
+		}
+	}
+}
+
+func TestOwnerNumberOwnerOf(t *testing.T) {
+	const n = 4
+	// Initially the owner number of space Ri equals i, so OwnerOf returns Ri.
+	for i := 0; i < n; i++ {
+		if got := OwnerNumber(i).OwnerOf(n); got != ReplicaID(i) {
+			t.Fatalf("OwnerNumber(%d).OwnerOf(%d) = %v, want R%d", i, n, got, i)
+		}
+	}
+	// Incrementing the owner number rotates ownership to the next replica.
+	if got := OwnerNumber(2 + 1).OwnerOf(n); got != 3 {
+		t.Fatalf("owner after change = %v, want R3", got)
+	}
+	if got := OwnerNumber(3 + 1).OwnerOf(n); got != 0 {
+		t.Fatalf("owner wraps to %v, want R0", got)
+	}
+}
+
+func TestInterference(t *testing.T) {
+	cmd := func(op Op, key string) Command {
+		return Command{Client: 1, Timestamp: 1, Op: op, Key: key}
+	}
+	cases := []struct {
+		name string
+		a, b Command
+		want bool
+	}{
+		{"put-put same key", cmd(OpPut, "x"), cmd(OpPut, "x"), true},
+		{"put-get same key", cmd(OpPut, "x"), cmd(OpGet, "x"), true},
+		{"get-put same key", cmd(OpGet, "x"), cmd(OpPut, "x"), true},
+		{"get-get same key", cmd(OpGet, "x"), cmd(OpGet, "x"), false},
+		{"incr-incr same key commute", cmd(OpIncr, "x"), cmd(OpIncr, "x"), false},
+		{"incr-get same key", cmd(OpIncr, "x"), cmd(OpGet, "x"), true},
+		{"incr-put same key", cmd(OpIncr, "x"), cmd(OpPut, "x"), true},
+		{"put-put different key", cmd(OpPut, "x"), cmd(OpPut, "y"), false},
+		{"noop never interferes", cmd(OpNoop, "x"), cmd(OpPut, "x"), false},
+	}
+	for _, tc := range cases {
+		if got := tc.a.Interferes(tc.b); got != tc.want {
+			t.Errorf("%s: Interferes = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// Interference must be symmetric: it is defined over unordered command pairs.
+func TestInterferenceSymmetric(t *testing.T) {
+	f := func(op1, op2 uint8, k1, k2 bool) bool {
+		key := func(b bool) string {
+			if b {
+				return "x"
+			}
+			return "y"
+		}
+		a := Command{Op: Op(op1%4 + 1), Key: key(k1)}
+		b := Command{Op: Op(op2%4 + 1), Key: key(k2)}
+		return a.Interferes(b) == b.Interferes(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCommandDigestDistinguishes(t *testing.T) {
+	base := Command{Client: 1, Timestamp: 7, Op: OpPut, Key: "k", Value: []byte("v")}
+	variants := []Command{
+		{Client: 2, Timestamp: 7, Op: OpPut, Key: "k", Value: []byte("v")},
+		{Client: 1, Timestamp: 8, Op: OpPut, Key: "k", Value: []byte("v")},
+		{Client: 1, Timestamp: 7, Op: OpGet, Key: "k", Value: []byte("v")},
+		{Client: 1, Timestamp: 7, Op: OpPut, Key: "kk", Value: []byte("v")},
+		{Client: 1, Timestamp: 7, Op: OpPut, Key: "k", Value: []byte("vv")},
+	}
+	d := base.Digest()
+	for i, v := range variants {
+		if v.Digest() == d {
+			t.Errorf("variant %d has colliding digest", i)
+		}
+	}
+	if base.Digest() != d {
+		t.Error("digest is not deterministic")
+	}
+}
+
+// The digest must not be confusable across field boundaries (length-prefixed
+// key prevents "ab"+"c" == "a"+"bc").
+func TestCommandDigestBoundary(t *testing.T) {
+	a := Command{Op: OpPut, Key: "ab", Value: []byte("c")}
+	b := Command{Op: OpPut, Key: "a", Value: []byte("bc")}
+	if a.Digest() == b.Digest() {
+		t.Fatal("digest collision across key/value boundary")
+	}
+}
+
+func TestInstanceSetOps(t *testing.T) {
+	a := NewInstanceSet(InstanceID{0, 1}, InstanceID{1, 1})
+	b := NewInstanceSet(InstanceID{1, 1}, InstanceID{2, 5})
+	if !a.Has(InstanceID{0, 1}) || a.Has(InstanceID{2, 5}) {
+		t.Fatal("Has misbehaves")
+	}
+	c := a.Clone()
+	c.Union(b)
+	if len(c) != 3 {
+		t.Fatalf("union size = %d, want 3", len(c))
+	}
+	if len(a) != 2 {
+		t.Fatal("Union mutated the clone source")
+	}
+	if !c.Has(InstanceID{2, 5}) {
+		t.Fatal("union missing member")
+	}
+	if a.Equal(b) {
+		t.Fatal("distinct sets reported equal")
+	}
+	if !a.Equal(a.Clone()) {
+		t.Fatal("clone not equal to source")
+	}
+}
+
+func TestInstanceSetSortedDeterministic(t *testing.T) {
+	s := NewInstanceSet(
+		InstanceID{2, 1}, InstanceID{0, 9}, InstanceID{0, 2}, InstanceID{1, 5},
+	)
+	want := []InstanceID{{0, 2}, {0, 9}, {1, 5}, {2, 1}}
+	for trial := 0; trial < 10; trial++ {
+		got := s.Sorted()
+		if len(got) != len(want) {
+			t.Fatalf("sorted length %d, want %d", len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("sorted[%d] = %v, want %v", i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestResultEqual(t *testing.T) {
+	a := Result{OK: true, Value: []byte("x")}
+	if !a.Equal(Result{OK: true, Value: []byte("x")}) {
+		t.Fatal("equal results reported unequal")
+	}
+	if a.Equal(Result{OK: false, Value: []byte("x")}) {
+		t.Fatal("OK mismatch not detected")
+	}
+	if a.Equal(Result{OK: true, Value: []byte("y")}) {
+		t.Fatal("value mismatch not detected")
+	}
+	if a.Equal(Result{OK: true}) {
+		t.Fatal("length mismatch not detected")
+	}
+}
+
+func TestCommandEqual(t *testing.T) {
+	a := Command{Client: 1, Timestamp: 2, Op: OpPut, Key: "k", Value: []byte("v")}
+	if !a.Equal(a) {
+		t.Fatal("command not equal to itself")
+	}
+	b := a
+	b.Value = []byte("w")
+	if a.Equal(b) {
+		t.Fatal("value mismatch not detected")
+	}
+}

@@ -1,0 +1,136 @@
+package wan
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"ezbft/internal/types"
+)
+
+func TestDeploymentsWellFormed(t *testing.T) {
+	for _, topo := range []*Topology{DeploymentA(), DeploymentB()} {
+		regions := topo.Regions()
+		if len(regions) != 4 {
+			t.Fatalf("%s: %d regions", topo.Name(), len(regions))
+		}
+		for _, a := range regions {
+			for _, b := range regions {
+				ow := topo.Oneway(a, b)
+				if ow <= 0 {
+					t.Fatalf("%s: %s-%s latency %v", topo.Name(), a, b, ow)
+				}
+				if ow != topo.Oneway(b, a) {
+					t.Fatalf("%s: %s-%s asymmetric", topo.Name(), a, b)
+				}
+				if a == b && ow >= time.Millisecond {
+					t.Fatalf("%s: intra-region %v too large", topo.Name(), ow)
+				}
+			}
+		}
+	}
+}
+
+// The calibration constraint from Table I: the India–Australia path must be
+// the slowest in Deployment A (it determines the paper's 229 ms diagonals),
+// and Virginia–Japan must be the fastest inter-region path.
+func TestDeploymentACalibrationShape(t *testing.T) {
+	topo := DeploymentA()
+	inAU := topo.Oneway(Mumbai, Australia)
+	for _, a := range topo.Regions() {
+		for _, b := range topo.Regions() {
+			if a == b {
+				continue
+			}
+			if topo.Oneway(a, b) > inAU {
+				t.Fatalf("%s-%s slower than Mumbai-Australia", a, b)
+			}
+		}
+	}
+	if topo.Oneway(Virginia, Japan) > topo.Oneway(Virginia, Mumbai) {
+		t.Fatal("Virginia-Japan should be faster than Virginia-Mumbai")
+	}
+}
+
+func TestTopologyValidation(t *testing.T) {
+	if _, err := NewTopology("x", []Region{"a", "a"}, nil, 1); err == nil {
+		t.Fatal("duplicate region accepted")
+	}
+	if _, err := NewTopology("x", []Region{"a", "b"}, map[[2]Region]float64{}, 1); err == nil {
+		t.Fatal("missing latency accepted")
+	}
+	if _, err := NewTopology("x", []Region{"a"}, map[[2]Region]float64{{"a", "zz"}: 3}, 1); err == nil {
+		t.Fatal("unknown region in matrix accepted")
+	}
+	topo, err := NewTopology("x", []Region{"a", "b"}, map[[2]Region]float64{{"a", "b"}: 10}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := topo.Assign(types.ReplicaNode(0), "zz"); err == nil {
+		t.Fatal("assignment to unknown region accepted")
+	}
+}
+
+func TestDelay(t *testing.T) {
+	topo := DeploymentA()
+	r0, r1 := types.ReplicaNode(0), types.ReplicaNode(1)
+	c0 := types.ClientNode(0)
+	if err := topo.Assign(r0, Virginia); err != nil {
+		t.Fatal(err)
+	}
+	if err := topo.Assign(r1, Japan); err != nil {
+		t.Fatal(err)
+	}
+	if err := topo.Assign(c0, Virginia); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+
+	if got := topo.Delay(r0, r1, rng); got != 77*time.Millisecond {
+		t.Fatalf("VA→JP = %v, want 77ms", got)
+	}
+	if got := topo.Delay(r0, c0, rng); got != 500*time.Microsecond {
+		t.Fatalf("intra = %v, want 0.5ms", got)
+	}
+	if got := topo.Delay(r0, r0, rng); got >= 500*time.Microsecond {
+		t.Fatalf("self delay = %v, want < intra", got)
+	}
+	if r, ok := topo.RegionOf(r1); !ok || r != Japan {
+		t.Fatalf("RegionOf = %v,%v", r, ok)
+	}
+}
+
+func TestJitterBoundsAndDeterminism(t *testing.T) {
+	topo := DeploymentA()
+	_ = topo.Assign(types.ReplicaNode(0), Virginia)
+	_ = topo.Assign(types.ReplicaNode(1), Japan)
+	topo.SetJitter(0.05)
+	base := 77 * time.Millisecond
+	lo := time.Duration(float64(base) * 0.95)
+	hi := time.Duration(float64(base) * 1.05)
+
+	sample := func(seed int64) []time.Duration {
+		rng := rand.New(rand.NewSource(seed))
+		out := make([]time.Duration, 100)
+		for i := range out {
+			out[i] = topo.Delay(types.ReplicaNode(0), types.ReplicaNode(1), rng)
+		}
+		return out
+	}
+	s1, s2 := sample(9), sample(9)
+	varies := false
+	for i := range s1 {
+		if s1[i] < lo || s1[i] > hi {
+			t.Fatalf("jittered delay %v outside [%v,%v]", s1[i], lo, hi)
+		}
+		if s1[i] != s2[i] {
+			t.Fatal("jitter not deterministic for equal seeds")
+		}
+		if s1[i] != base {
+			varies = true
+		}
+	}
+	if !varies {
+		t.Fatal("jitter produced no variation")
+	}
+}

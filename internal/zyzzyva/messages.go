@@ -1,0 +1,445 @@
+// Package zyzzyva implements Zyzzyva (Kotla et al., SOSP 2007), the
+// speculative primary-based BFT protocol that is ezBFT's closest
+// competitor: the primary assigns a sequence number (ORDERREQ), replicas
+// speculatively execute and answer the client directly (SPECRESPONSE), and
+// the client completes in three communication steps on 3f+1 matching
+// responses, or falls back to a two-extra-step commit-certificate path on
+// 2f+1. The paper reimplemented Zyzzyva in its common evaluation framework;
+// this package does the same on this repository's substrate.
+//
+// View changes are implemented in skeleton form (primary failure detection
+// via client retransmission + I-HATE-THE-PRIMARY voting, history carry-over
+// from the highest commit certificate): enough to restore progress when the
+// primary fails, which is all the paper's experiments exercise.
+package zyzzyva
+
+import (
+	"ezbft/internal/codec"
+	"ezbft/internal/types"
+)
+
+// Message tags reserved by Zyzzyva (40-49).
+const (
+	tagRequest      = 40
+	tagOrderReq     = 41
+	tagSpecResponse = 42
+	tagCommitCert   = 43
+	tagLocalCommit  = 44
+	tagHatePrimary  = 45
+	tagViewChange   = 46
+	tagNewView      = 47
+)
+
+// Request is the client's signed command submission.
+type Request struct {
+	Cmd types.Command
+	Sig []byte
+}
+
+// Tag implements codec.Message.
+func (m *Request) Tag() uint8 { return tagRequest }
+
+// MarshalTo implements codec.Message.
+func (m *Request) MarshalTo(w *codec.Writer) {
+	w.Command(m.Cmd)
+	w.Blob(m.Sig)
+}
+
+// SignedBody returns the bytes the client signature covers.
+func (m *Request) SignedBody() []byte {
+	w := codec.NewWriter(64)
+	w.Command(m.Cmd)
+	return w.Bytes()
+}
+
+func decodeRequest(r *codec.Reader) (*Request, error) {
+	m := &Request{Cmd: r.Command()}
+	m.Sig = r.Blob()
+	return m, r.Err()
+}
+
+// OrderReq is the primary's ordering assignment ⟨ORDERREQ, v, n, h, d⟩σp.
+type OrderReq struct {
+	View      uint64
+	Seq       uint64
+	HistHash  types.Digest // chained history digest h_n
+	CmdDigest types.Digest
+	Req       Request
+	Sig       []byte
+}
+
+// Tag implements codec.Message.
+func (m *OrderReq) Tag() uint8 { return tagOrderReq }
+
+// MarshalTo implements codec.Message.
+func (m *OrderReq) MarshalTo(w *codec.Writer) {
+	m.marshalBody(w)
+	w.Blob(m.Sig)
+	m.Req.MarshalTo(w)
+}
+
+func (m *OrderReq) marshalBody(w *codec.Writer) {
+	w.Uvarint(m.View)
+	w.Uvarint(m.Seq)
+	w.Bytes32(m.HistHash)
+	w.Bytes32(m.CmdDigest)
+}
+
+// SignedBody returns the bytes the primary signature covers.
+func (m *OrderReq) SignedBody() []byte {
+	w := codec.NewWriter(96)
+	m.marshalBody(w)
+	return w.Bytes()
+}
+
+func decodeOrderReq(r *codec.Reader) (*OrderReq, error) {
+	m := &OrderReq{
+		View:      r.Uvarint(),
+		Seq:       r.Uvarint(),
+		HistHash:  r.Bytes32(),
+		CmdDigest: r.Bytes32(),
+	}
+	m.Sig = r.Blob()
+	req, err := decodeRequest(r)
+	if err != nil {
+		return nil, err
+	}
+	m.Req = *req
+	return m, r.Err()
+}
+
+// SpecResponse is a replica's speculative answer to the client.
+type SpecResponse struct {
+	View      uint64
+	Seq       uint64
+	HistHash  types.Digest
+	CmdDigest types.Digest
+	Client    types.ClientID
+	Timestamp uint64
+	Replica   types.ReplicaID
+	Result    types.Result
+	Sig       []byte
+}
+
+// Tag implements codec.Message.
+func (m *SpecResponse) Tag() uint8 { return tagSpecResponse }
+
+// MarshalTo implements codec.Message.
+func (m *SpecResponse) MarshalTo(w *codec.Writer) {
+	m.marshalBody(w)
+	w.Blob(m.Sig)
+}
+
+func (m *SpecResponse) marshalBody(w *codec.Writer) {
+	w.Uvarint(m.View)
+	w.Uvarint(m.Seq)
+	w.Bytes32(m.HistHash)
+	w.Bytes32(m.CmdDigest)
+	w.Int32(int32(m.Client))
+	w.Uvarint(m.Timestamp)
+	w.Int32(int32(m.Replica))
+	w.Bool(m.Result.OK)
+	w.Blob(m.Result.Value)
+}
+
+// SignedBody returns the bytes the replica signature covers.
+func (m *SpecResponse) SignedBody() []byte {
+	w := codec.NewWriter(128)
+	m.marshalBody(w)
+	return w.Bytes()
+}
+
+// Matches reports whether two responses agree on every client-compared
+// field (view, sequence number, history, digest, and result).
+func (m *SpecResponse) Matches(o *SpecResponse) bool {
+	return m.View == o.View && m.Seq == o.Seq && m.HistHash == o.HistHash &&
+		m.CmdDigest == o.CmdDigest && m.Client == o.Client &&
+		m.Timestamp == o.Timestamp && m.Result.Equal(o.Result)
+}
+
+func decodeSpecResponse(r *codec.Reader) (*SpecResponse, error) {
+	m := &SpecResponse{
+		View:      r.Uvarint(),
+		Seq:       r.Uvarint(),
+		HistHash:  r.Bytes32(),
+		CmdDigest: r.Bytes32(),
+		Client:    types.ClientID(r.Int32()),
+		Timestamp: r.Uvarint(),
+		Replica:   types.ReplicaID(r.Int32()),
+	}
+	m.Result.OK = r.Bool()
+	m.Result.Value = r.Blob()
+	m.Sig = r.Blob()
+	return m, r.Err()
+}
+
+// CommitCert is the client's slow-path commit: 2f+1 matching SPECRESPONSEs.
+type CommitCert struct {
+	Client    types.ClientID
+	Timestamp uint64
+	Seq       uint64
+	CmdDigest types.Digest
+	Cert      []*SpecResponse
+}
+
+// Tag implements codec.Message.
+func (m *CommitCert) Tag() uint8 { return tagCommitCert }
+
+// MarshalTo implements codec.Message.
+func (m *CommitCert) MarshalTo(w *codec.Writer) {
+	w.Int32(int32(m.Client))
+	w.Uvarint(m.Timestamp)
+	w.Uvarint(m.Seq)
+	w.Bytes32(m.CmdDigest)
+	w.Uvarint(uint64(len(m.Cert)))
+	for _, sr := range m.Cert {
+		sr.MarshalTo(w)
+	}
+}
+
+func decodeCommitCert(r *codec.Reader) (*CommitCert, error) {
+	m := &CommitCert{
+		Client:    types.ClientID(r.Int32()),
+		Timestamp: r.Uvarint(),
+		Seq:       r.Uvarint(),
+		CmdDigest: r.Bytes32(),
+	}
+	n := r.Uvarint()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if n > 64 {
+		return nil, codec.ErrOverflow
+	}
+	m.Cert = make([]*SpecResponse, 0, n)
+	for i := uint64(0); i < n; i++ {
+		sr, err := decodeSpecResponse(r)
+		if err != nil {
+			return nil, err
+		}
+		m.Cert = append(m.Cert, sr)
+	}
+	return m, r.Err()
+}
+
+// LocalCommit acknowledges a commit certificate to the client.
+type LocalCommit struct {
+	View      uint64
+	Seq       uint64
+	CmdDigest types.Digest
+	Replica   types.ReplicaID
+	Result    types.Result
+	Sig       []byte
+}
+
+// Tag implements codec.Message.
+func (m *LocalCommit) Tag() uint8 { return tagLocalCommit }
+
+// MarshalTo implements codec.Message.
+func (m *LocalCommit) MarshalTo(w *codec.Writer) {
+	m.marshalBody(w)
+	w.Blob(m.Sig)
+}
+
+func (m *LocalCommit) marshalBody(w *codec.Writer) {
+	w.Uvarint(m.View)
+	w.Uvarint(m.Seq)
+	w.Bytes32(m.CmdDigest)
+	w.Int32(int32(m.Replica))
+	w.Bool(m.Result.OK)
+	w.Blob(m.Result.Value)
+}
+
+// SignedBody returns the bytes the replica signature covers.
+func (m *LocalCommit) SignedBody() []byte {
+	w := codec.NewWriter(64)
+	m.marshalBody(w)
+	return w.Bytes()
+}
+
+func decodeLocalCommit(r *codec.Reader) (*LocalCommit, error) {
+	m := &LocalCommit{
+		View:      r.Uvarint(),
+		Seq:       r.Uvarint(),
+		CmdDigest: r.Bytes32(),
+		Replica:   types.ReplicaID(r.Int32()),
+	}
+	m.Result.OK = r.Bool()
+	m.Result.Value = r.Blob()
+	m.Sig = r.Blob()
+	return m, r.Err()
+}
+
+// HatePrimary is a replica's vote to depose the current primary.
+type HatePrimary struct {
+	View    uint64
+	Replica types.ReplicaID
+	Sig     []byte
+}
+
+// Tag implements codec.Message.
+func (m *HatePrimary) Tag() uint8 { return tagHatePrimary }
+
+// MarshalTo implements codec.Message.
+func (m *HatePrimary) MarshalTo(w *codec.Writer) {
+	w.Uvarint(m.View)
+	w.Int32(int32(m.Replica))
+	w.Blob(m.Sig)
+}
+
+// SignedBody returns the bytes the replica signature covers.
+func (m *HatePrimary) SignedBody() []byte {
+	w := codec.NewWriter(16)
+	w.Uvarint(m.View)
+	w.Int32(int32(m.Replica))
+	return w.Bytes()
+}
+
+func decodeHatePrimary(r *codec.Reader) (*HatePrimary, error) {
+	m := &HatePrimary{View: r.Uvarint(), Replica: types.ReplicaID(r.Int32())}
+	m.Sig = r.Blob()
+	return m, r.Err()
+}
+
+// ViewChange carries a replica's ordered history to the new primary.
+type ViewChange struct {
+	NewView uint64
+	Replica types.ReplicaID
+	// MaxSeq is the highest sequence number this replica holds.
+	MaxSeq uint64
+	// Entries are the commands ordered since the last stable point.
+	Entries []VCEntry
+	Sig     []byte
+}
+
+// VCEntry is one history entry in a view change.
+type VCEntry struct {
+	Seq       uint64
+	CmdDigest types.Digest
+	Cmd       types.Command
+	Committed bool
+}
+
+// Tag implements codec.Message.
+func (m *ViewChange) Tag() uint8 { return tagViewChange }
+
+// MarshalTo implements codec.Message.
+func (m *ViewChange) MarshalTo(w *codec.Writer) {
+	m.marshalBody(w)
+	w.Blob(m.Sig)
+}
+
+func (m *ViewChange) marshalBody(w *codec.Writer) {
+	w.Uvarint(m.NewView)
+	w.Int32(int32(m.Replica))
+	w.Uvarint(m.MaxSeq)
+	w.Uvarint(uint64(len(m.Entries)))
+	for _, e := range m.Entries {
+		w.Uvarint(e.Seq)
+		w.Bytes32(e.CmdDigest)
+		w.Command(e.Cmd)
+		w.Bool(e.Committed)
+	}
+}
+
+// SignedBody returns the bytes the replica signature covers.
+func (m *ViewChange) SignedBody() []byte {
+	w := codec.NewWriter(128)
+	m.marshalBody(w)
+	return w.Bytes()
+}
+
+func decodeViewChange(r *codec.Reader) (*ViewChange, error) {
+	m := &ViewChange{
+		NewView: r.Uvarint(),
+		Replica: types.ReplicaID(r.Int32()),
+		MaxSeq:  r.Uvarint(),
+	}
+	n := r.Uvarint()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if n > 1<<16 {
+		return nil, codec.ErrOverflow
+	}
+	m.Entries = make([]VCEntry, 0, n)
+	for i := uint64(0); i < n; i++ {
+		m.Entries = append(m.Entries, VCEntry{
+			Seq:       r.Uvarint(),
+			CmdDigest: r.Bytes32(),
+			Cmd:       r.Command(),
+			Committed: r.Bool(),
+		})
+	}
+	m.Sig = r.Blob()
+	return m, r.Err()
+}
+
+// NewView announces the new primary's consolidated history.
+type NewView struct {
+	View    uint64
+	Replica types.ReplicaID
+	Entries []VCEntry
+	Sig     []byte
+}
+
+// Tag implements codec.Message.
+func (m *NewView) Tag() uint8 { return tagNewView }
+
+// MarshalTo implements codec.Message.
+func (m *NewView) MarshalTo(w *codec.Writer) {
+	m.marshalBody(w)
+	w.Blob(m.Sig)
+}
+
+func (m *NewView) marshalBody(w *codec.Writer) {
+	w.Uvarint(m.View)
+	w.Int32(int32(m.Replica))
+	w.Uvarint(uint64(len(m.Entries)))
+	for _, e := range m.Entries {
+		w.Uvarint(e.Seq)
+		w.Bytes32(e.CmdDigest)
+		w.Command(e.Cmd)
+		w.Bool(e.Committed)
+	}
+}
+
+// SignedBody returns the bytes the new primary's signature covers.
+func (m *NewView) SignedBody() []byte {
+	w := codec.NewWriter(128)
+	m.marshalBody(w)
+	return w.Bytes()
+}
+
+func decodeNewView(r *codec.Reader) (*NewView, error) {
+	m := &NewView{View: r.Uvarint(), Replica: types.ReplicaID(r.Int32())}
+	n := r.Uvarint()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if n > 1<<16 {
+		return nil, codec.ErrOverflow
+	}
+	m.Entries = make([]VCEntry, 0, n)
+	for i := uint64(0); i < n; i++ {
+		m.Entries = append(m.Entries, VCEntry{
+			Seq:       r.Uvarint(),
+			CmdDigest: r.Bytes32(),
+			Cmd:       r.Command(),
+			Committed: r.Bool(),
+		})
+	}
+	m.Sig = r.Blob()
+	return m, r.Err()
+}
+
+func init() {
+	codec.Register(tagRequest, "zyzzyva.Request", func(r *codec.Reader) (codec.Message, error) { return decodeRequest(r) })
+	codec.Register(tagOrderReq, "zyzzyva.OrderReq", func(r *codec.Reader) (codec.Message, error) { return decodeOrderReq(r) })
+	codec.Register(tagSpecResponse, "zyzzyva.SpecResponse", func(r *codec.Reader) (codec.Message, error) { return decodeSpecResponse(r) })
+	codec.Register(tagCommitCert, "zyzzyva.CommitCert", func(r *codec.Reader) (codec.Message, error) { return decodeCommitCert(r) })
+	codec.Register(tagLocalCommit, "zyzzyva.LocalCommit", func(r *codec.Reader) (codec.Message, error) { return decodeLocalCommit(r) })
+	codec.Register(tagHatePrimary, "zyzzyva.HatePrimary", func(r *codec.Reader) (codec.Message, error) { return decodeHatePrimary(r) })
+	codec.Register(tagViewChange, "zyzzyva.ViewChange", func(r *codec.Reader) (codec.Message, error) { return decodeViewChange(r) })
+	codec.Register(tagNewView, "zyzzyva.NewView", func(r *codec.Reader) (codec.Message, error) { return decodeNewView(r) })
+}

@@ -1,0 +1,548 @@
+package zyzzyva
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"sort"
+	"time"
+
+	"ezbft/internal/auth"
+	"ezbft/internal/codec"
+	"ezbft/internal/proc"
+	"ezbft/internal/types"
+)
+
+// Quorum sizes (n = 3f+1).
+func faults(n int) int     { return (n - 1) / 3 }
+func fastQuorum(n int) int { return n }
+func commQuorum(n int) int { return 2*faults(n) + 1 }
+func primaryOf(view uint64, n int) types.ReplicaID {
+	return types.ReplicaID(view % uint64(n))
+}
+
+// ReplicaConfig configures one Zyzzyva replica.
+type ReplicaConfig struct {
+	Self types.ReplicaID
+	N    int
+	// App executes commands; Zyzzyva executes speculatively in sequence
+	// order (rollback happens only across view changes, which re-propose
+	// the same suffix, so the state is applied directly).
+	App types.Application
+	// Auth signs and verifies messages.
+	Auth auth.Authenticator
+	// Costs holds virtual processing costs for simulation.
+	Costs proc.Costs
+	// InitialView selects the starting primary (primary = view mod N);
+	// the paper's experiments place the primary in different regions.
+	InitialView uint64
+	// ForwardTimeout bounds how long a replica waits for the primary to
+	// order a forwarded request before voting to depose it.
+	ForwardTimeout time.Duration
+	// Mute makes the replica silent (fault injection).
+	Mute bool
+}
+
+// logEntry is one ordered slot.
+type logEntry struct {
+	seq       uint64
+	cmd       types.Command
+	cmdDigest types.Digest
+	histHash  types.Digest
+	result    types.Result
+	executed  bool
+	committed bool
+}
+
+// Replica is one Zyzzyva replica; it implements proc.Process.
+type Replica struct {
+	cfg ReplicaConfig
+	n   int
+	f   int
+
+	view     uint64
+	nextSeq  uint64 // primary only: next sequence number to assign
+	maxSeq   uint64 // highest contiguous executed sequence number
+	histHash types.Digest
+	log      map[uint64]*logEntry
+	pending  map[uint64]*OrderReq // out-of-order buffer
+
+	// byCmd provides exactly-once semantics and reply retransmission.
+	byCmd      map[cmdKey]uint64
+	replyCache map[cmdKey]*SpecResponse
+
+	// forwarded tracks requests relayed to the primary (awaiting ORDERREQ).
+	forwarded map[cmdKey]proc.TimerID
+	timerSeq  uint64
+	timerAct  map[proc.TimerID]func(ctx proc.Context)
+
+	// view change state
+	hateVotes map[uint64]map[types.ReplicaID]bool
+	vcMsgs    map[uint64]map[types.ReplicaID]*ViewChange
+	inVC      bool
+
+	stats ReplicaStats
+}
+
+type cmdKey struct {
+	client types.ClientID
+	ts     uint64
+}
+
+// ReplicaStats exposes protocol counters.
+type ReplicaStats struct {
+	Ordered        uint64
+	SpecExecuted   uint64
+	LocalCommits   uint64
+	ViewChanges    uint64
+	DroppedInvalid uint64
+}
+
+var _ proc.Process = (*Replica)(nil)
+
+// NewReplica constructs a Zyzzyva replica.
+func NewReplica(cfg ReplicaConfig) (*Replica, error) {
+	if cfg.N < 4 || (cfg.N-1)%3 != 0 {
+		return nil, fmt.Errorf("zyzzyva: cluster size must be 3f+1, got %d", cfg.N)
+	}
+	if cfg.App == nil || cfg.Auth == nil {
+		return nil, fmt.Errorf("zyzzyva: app and auth are required")
+	}
+	if cfg.ForwardTimeout <= 0 {
+		cfg.ForwardTimeout = 2 * time.Second
+	}
+	return &Replica{
+		cfg:        cfg,
+		n:          cfg.N,
+		f:          faults(cfg.N),
+		view:       cfg.InitialView,
+		nextSeq:    1,
+		log:        make(map[uint64]*logEntry),
+		pending:    make(map[uint64]*OrderReq),
+		byCmd:      make(map[cmdKey]uint64),
+		replyCache: make(map[cmdKey]*SpecResponse),
+		forwarded:  make(map[cmdKey]proc.TimerID),
+		timerAct:   make(map[proc.TimerID]func(ctx proc.Context)),
+		hateVotes:  make(map[uint64]map[types.ReplicaID]bool),
+		vcMsgs:     make(map[uint64]map[types.ReplicaID]*ViewChange),
+	}, nil
+}
+
+// ID implements proc.Process.
+func (r *Replica) ID() types.NodeID { return types.ReplicaNode(r.cfg.Self) }
+
+// Stats returns a snapshot of the replica's counters.
+func (r *Replica) Stats() ReplicaStats { return r.stats }
+
+// View returns the current view number (inspection helper).
+func (r *Replica) View() uint64 { return r.view }
+
+// MaxExecuted returns the highest contiguously executed sequence number.
+func (r *Replica) MaxExecuted() uint64 { return r.maxSeq }
+
+// Init implements proc.Process.
+func (r *Replica) Init(proc.Context) {}
+
+// OnTimer implements proc.Process.
+func (r *Replica) OnTimer(ctx proc.Context, id proc.TimerID) {
+	if fn, ok := r.timerAct[id]; ok {
+		delete(r.timerAct, id)
+		fn(ctx)
+	}
+}
+
+func (r *Replica) afterTimer(ctx proc.Context, d time.Duration, fn func(ctx proc.Context)) proc.TimerID {
+	r.timerSeq++
+	id := proc.TimerID(r.timerSeq)
+	r.timerAct[id] = fn
+	ctx.SetTimer(id, d)
+	return id
+}
+
+func (r *Replica) send(ctx proc.Context, to types.NodeID, msg codec.Message) {
+	if r.cfg.Mute {
+		return
+	}
+	ctx.Send(to, msg)
+}
+
+func (r *Replica) broadcastReplicas(ctx proc.Context, msg codec.Message) {
+	for i := 0; i < r.n; i++ {
+		if types.ReplicaID(i) != r.cfg.Self {
+			r.send(ctx, types.ReplicaNode(types.ReplicaID(i)), msg)
+		}
+	}
+}
+
+// Receive implements proc.Process.
+func (r *Replica) Receive(ctx proc.Context, from types.NodeID, msg codec.Message) {
+	switch m := msg.(type) {
+	case *Request:
+		r.handleRequest(ctx, from, m)
+	case *OrderReq:
+		r.handleOrderReq(ctx, m)
+	case *CommitCert:
+		r.handleCommitCert(ctx, m)
+	case *HatePrimary:
+		r.handleHatePrimary(ctx, m)
+	case *ViewChange:
+		r.handleViewChange(ctx, m)
+	case *NewView:
+		r.handleNewView(ctx, m)
+	default:
+		r.stats.DroppedInvalid++
+	}
+}
+
+// handleRequest: the primary orders the request; a backup either resends
+// its cached response or forwards the request to the primary and waits.
+func (r *Replica) handleRequest(ctx proc.Context, from types.NodeID, m *Request) {
+	r.cfg.Costs.ChargeVerifyClient(ctx)
+	if err := r.cfg.Auth.Verify(types.ClientNode(m.Cmd.Client), m.SignedBody(), m.Sig); err != nil {
+		r.stats.DroppedInvalid++
+		return
+	}
+	key := cmdKey{m.Cmd.Client, m.Cmd.Timestamp}
+	if cached, ok := r.replyCache[key]; ok {
+		r.cfg.Costs.ChargeSign(ctx)
+		r.send(ctx, types.ClientNode(m.Cmd.Client), cached)
+		return
+	}
+	if primaryOf(r.view, r.n) != r.cfg.Self {
+		// Forward to the primary; if it fails to order the request in
+		// time, vote to depose it.
+		if _, already := r.forwarded[key]; already || r.inVC {
+			return
+		}
+		r.send(ctx, types.ReplicaNode(primaryOf(r.view, r.n)), m)
+		r.forwarded[key] = r.afterTimer(ctx, r.cfg.ForwardTimeout, func(ctx proc.Context) {
+			if _, still := r.forwarded[key]; !still {
+				return
+			}
+			delete(r.forwarded, key)
+			r.voteHatePrimary(ctx)
+		})
+		return
+	}
+	// Primary: assign the next sequence number and broadcast ORDERREQ.
+	seq := r.nextSeq
+	r.nextSeq++
+	digest := m.Cmd.Digest()
+	or := &OrderReq{
+		View:      r.view,
+		Seq:       seq,
+		HistHash:  chainHash(r.histHashAt(seq-1), digest),
+		CmdDigest: digest,
+		Req:       *m,
+	}
+	r.cfg.Costs.ChargeSign(ctx)
+	or.Sig = r.cfg.Auth.Sign(or.SignedBody())
+	r.stats.Ordered++
+	r.broadcastReplicas(ctx, or)
+	r.acceptOrderReq(ctx, or)
+}
+
+// histHashAt returns the chained history hash up to seq.
+func (r *Replica) histHashAt(seq uint64) types.Digest {
+	if seq == 0 {
+		return types.Digest{}
+	}
+	if e, ok := r.log[seq]; ok {
+		return e.histHash
+	}
+	return r.histHash
+}
+
+func chainHash(prev, d types.Digest) types.Digest {
+	h := sha256.New()
+	h.Write(prev[:])
+	h.Write(d[:])
+	var out types.Digest
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// handleOrderReq validates the primary's assignment; out-of-order
+// assignments are buffered so execution stays sequential.
+func (r *Replica) handleOrderReq(ctx proc.Context, m *OrderReq) {
+	if m.View != r.view || r.inVC {
+		r.stats.DroppedInvalid++
+		return
+	}
+	primary := primaryOf(r.view, r.n)
+	// One replica-signature verification; the embedded client request is
+	// MAC-checked (microseconds).
+	r.cfg.Costs.ChargeVerify(ctx, 1)
+	if err := r.cfg.Auth.Verify(types.ReplicaNode(primary), m.SignedBody(), m.Sig); err != nil {
+		r.stats.DroppedInvalid++
+		return
+	}
+	if err := r.cfg.Auth.Verify(types.ClientNode(m.Req.Cmd.Client), m.Req.SignedBody(), m.Req.Sig); err != nil {
+		r.stats.DroppedInvalid++
+		return
+	}
+	if m.CmdDigest != m.Req.Cmd.Digest() {
+		r.stats.DroppedInvalid++
+		return
+	}
+	if _, dup := r.log[m.Seq]; dup {
+		return
+	}
+	r.pending[m.Seq] = m
+	for {
+		next, ok := r.pending[r.maxSeq+1]
+		if !ok {
+			break
+		}
+		delete(r.pending, r.maxSeq+1)
+		r.acceptOrderReq(ctx, next)
+	}
+}
+
+// acceptOrderReq speculatively executes one contiguous assignment and
+// answers the client.
+func (r *Replica) acceptOrderReq(ctx proc.Context, m *OrderReq) {
+	// Verify the history chain: a faulty primary that diverges produces a
+	// mismatched hash, which surfaces as unequal responses at the client.
+	want := chainHash(r.histHashAt(m.Seq-1), m.CmdDigest)
+	if m.HistHash != want {
+		r.stats.DroppedInvalid++
+		return
+	}
+	key := cmdKey{m.Req.Cmd.Client, m.Req.Cmd.Timestamp}
+	r.cfg.Costs.ChargeExecute(ctx)
+	res := r.cfg.App.Execute(m.Req.Cmd)
+	e := &logEntry{
+		seq:       m.Seq,
+		cmd:       m.Req.Cmd,
+		cmdDigest: m.CmdDigest,
+		histHash:  m.HistHash,
+		result:    res,
+		executed:  true,
+	}
+	r.log[m.Seq] = e
+	r.maxSeq = m.Seq
+	r.histHash = m.HistHash
+	r.byCmd[key] = m.Seq
+	r.stats.SpecExecuted++
+
+	sr := &SpecResponse{
+		View:      m.View,
+		Seq:       m.Seq,
+		HistHash:  m.HistHash,
+		CmdDigest: m.CmdDigest,
+		Client:    m.Req.Cmd.Client,
+		Timestamp: m.Req.Cmd.Timestamp,
+		Replica:   r.cfg.Self,
+		Result:    res,
+	}
+	r.cfg.Costs.ChargeSign(ctx)
+	sr.Sig = r.cfg.Auth.Sign(sr.SignedBody())
+	r.replyCache[key] = sr
+	r.send(ctx, types.ClientNode(sr.Client), sr)
+
+	// The ORDERREQ doubles as evidence the primary is alive.
+	if id, ok := r.forwarded[key]; ok {
+		delete(r.forwarded, key)
+		delete(r.timerAct, id)
+	}
+}
+
+// handleCommitCert validates the client's 2f+1 certificate and
+// acknowledges with a LOCALCOMMIT.
+func (r *Replica) handleCommitCert(ctx proc.Context, m *CommitCert) {
+	if len(m.Cert) < commQuorum(r.n) {
+		r.stats.DroppedInvalid++
+		return
+	}
+	// MAC-authenticated certificate: charge one verification.
+	r.cfg.Costs.ChargeVerify(ctx, 1)
+	seen := make(map[types.ReplicaID]bool, len(m.Cert))
+	for _, sr := range m.Cert {
+		if sr.Seq != m.Seq || sr.CmdDigest != m.CmdDigest || seen[sr.Replica] || !sr.Matches(m.Cert[0]) {
+			r.stats.DroppedInvalid++
+			return
+		}
+		if err := r.cfg.Auth.Verify(types.ReplicaNode(sr.Replica), sr.SignedBody(), sr.Sig); err != nil {
+			r.stats.DroppedInvalid++
+			return
+		}
+		seen[sr.Replica] = true
+	}
+	e, ok := r.log[m.Seq]
+	if !ok || e.cmdDigest != m.CmdDigest {
+		// We have not executed this sequence number yet; the certificate
+		// proves the order, but without the ORDERREQ we cannot execute.
+		// The client's retransmission machinery will re-drive it.
+		return
+	}
+	e.committed = true
+	lc := &LocalCommit{
+		View:      r.view,
+		Seq:       m.Seq,
+		CmdDigest: m.CmdDigest,
+		Replica:   r.cfg.Self,
+		Result:    e.result,
+	}
+	r.cfg.Costs.ChargeSign(ctx)
+	lc.Sig = r.cfg.Auth.Sign(lc.SignedBody())
+	r.stats.LocalCommits++
+	r.send(ctx, types.ClientNode(m.Client), lc)
+}
+
+// --- view change (skeleton) ---
+
+func (r *Replica) voteHatePrimary(ctx proc.Context) {
+	if r.inVC {
+		return
+	}
+	hp := &HatePrimary{View: r.view, Replica: r.cfg.Self}
+	r.cfg.Costs.ChargeSign(ctx)
+	hp.Sig = r.cfg.Auth.Sign(hp.SignedBody())
+	r.broadcastReplicas(ctx, hp)
+	r.recordHate(ctx, r.view, r.cfg.Self)
+}
+
+func (r *Replica) handleHatePrimary(ctx proc.Context, m *HatePrimary) {
+	if m.View != r.view {
+		return
+	}
+	r.cfg.Costs.ChargeVerify(ctx, 1)
+	if err := r.cfg.Auth.Verify(types.ReplicaNode(m.Replica), m.SignedBody(), m.Sig); err != nil {
+		r.stats.DroppedInvalid++
+		return
+	}
+	r.recordHate(ctx, m.View, m.Replica)
+}
+
+func (r *Replica) recordHate(ctx proc.Context, view uint64, from types.ReplicaID) {
+	votes, ok := r.hateVotes[view]
+	if !ok {
+		votes = make(map[types.ReplicaID]bool, r.f+1)
+		r.hateVotes[view] = votes
+	}
+	votes[from] = true
+	if len(votes) < r.f+1 || r.inVC {
+		return
+	}
+	// f+1 votes prove at least one correct replica suspects the primary:
+	// move to the next view.
+	r.inVC = true
+	newView := r.view + 1
+	vc := &ViewChange{NewView: newView, Replica: r.cfg.Self, MaxSeq: r.maxSeq}
+	seqs := make([]uint64, 0, len(r.log))
+	for seq := range r.log {
+		seqs = append(seqs, seq)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	for _, seq := range seqs {
+		e := r.log[seq]
+		vc.Entries = append(vc.Entries, VCEntry{
+			Seq: seq, CmdDigest: e.cmdDigest, Cmd: e.cmd, Committed: e.committed,
+		})
+	}
+	r.cfg.Costs.ChargeSign(ctx)
+	vc.Sig = r.cfg.Auth.Sign(vc.SignedBody())
+	newPrimary := primaryOf(newView, r.n)
+	if newPrimary == r.cfg.Self {
+		r.acceptViewChange(ctx, vc)
+	} else {
+		r.send(ctx, types.ReplicaNode(newPrimary), vc)
+	}
+	// Amplify the vote so every correct replica joins.
+	hp := &HatePrimary{View: r.view, Replica: r.cfg.Self}
+	r.cfg.Costs.ChargeSign(ctx)
+	hp.Sig = r.cfg.Auth.Sign(hp.SignedBody())
+	r.broadcastReplicas(ctx, hp)
+}
+
+func (r *Replica) handleViewChange(ctx proc.Context, m *ViewChange) {
+	if m.NewView != r.view+1 || primaryOf(m.NewView, r.n) != r.cfg.Self {
+		return
+	}
+	r.cfg.Costs.ChargeVerify(ctx, 1)
+	if err := r.cfg.Auth.Verify(types.ReplicaNode(m.Replica), m.SignedBody(), m.Sig); err != nil {
+		r.stats.DroppedInvalid++
+		return
+	}
+	r.acceptViewChange(ctx, m)
+}
+
+func (r *Replica) acceptViewChange(ctx proc.Context, m *ViewChange) {
+	g, ok := r.vcMsgs[m.NewView]
+	if !ok {
+		g = make(map[types.ReplicaID]*ViewChange, commQuorum(r.n))
+		r.vcMsgs[m.NewView] = g
+	}
+	g[m.Replica] = m
+	if len(g) < commQuorum(r.n) {
+		return
+	}
+	// Consolidate: take the longest history among 2f+1 replicas.
+	var best *ViewChange
+	for _, rid := range sortedVCKeys(g) {
+		vc := g[rid]
+		if best == nil || vc.MaxSeq > best.MaxSeq {
+			best = vc
+		}
+	}
+	nv := &NewView{View: m.NewView, Replica: r.cfg.Self, Entries: best.Entries}
+	r.cfg.Costs.ChargeSign(ctx)
+	nv.Sig = r.cfg.Auth.Sign(nv.SignedBody())
+	r.broadcastReplicas(ctx, nv)
+	r.applyNewView(ctx, nv)
+}
+
+func (r *Replica) handleNewView(ctx proc.Context, m *NewView) {
+	if m.View <= r.view || primaryOf(m.View, r.n) != m.Replica {
+		return
+	}
+	r.cfg.Costs.ChargeVerify(ctx, 1)
+	if err := r.cfg.Auth.Verify(types.ReplicaNode(m.Replica), m.SignedBody(), m.Sig); err != nil {
+		r.stats.DroppedInvalid++
+		return
+	}
+	r.applyNewView(ctx, m)
+}
+
+func (r *Replica) applyNewView(ctx proc.Context, m *NewView) {
+	if m.View <= r.view {
+		return
+	}
+	r.view = m.View
+	r.inVC = false
+	r.stats.ViewChanges++
+	// Adopt any history entries we missed, executing them in order.
+	for _, e := range m.Entries {
+		if _, ok := r.log[e.Seq]; ok || e.Seq != r.maxSeq+1 {
+			continue
+		}
+		r.cfg.Costs.ChargeExecute(ctx)
+		res := r.cfg.App.Execute(e.Cmd)
+		hh := chainHash(r.histHashAt(e.Seq-1), e.CmdDigest)
+		r.log[e.Seq] = &logEntry{
+			seq: e.Seq, cmd: e.Cmd, cmdDigest: e.CmdDigest,
+			histHash: hh, result: res, executed: true, committed: e.Committed,
+		}
+		r.maxSeq = e.Seq
+		r.histHash = hh
+		key := cmdKey{e.Cmd.Client, e.Cmd.Timestamp}
+		r.byCmd[key] = e.Seq
+	}
+	if primaryOf(r.view, r.n) == r.cfg.Self {
+		r.nextSeq = r.maxSeq + 1
+	}
+	// Cancel all forwarding timers: the new primary starts fresh.
+	for key, id := range r.forwarded {
+		delete(r.forwarded, key)
+		delete(r.timerAct, id)
+	}
+}
+
+func sortedVCKeys(m map[types.ReplicaID]*ViewChange) []types.ReplicaID {
+	out := make([]types.ReplicaID, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,194 @@
+package ezbft
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"ezbft/internal/auth"
+	"ezbft/internal/core"
+	"ezbft/internal/kvstore"
+	"ezbft/internal/proc"
+	"ezbft/internal/transport"
+	"ezbft/internal/types"
+	"ezbft/internal/workload"
+)
+
+// ErrClusterClosed reports use of a closed live cluster.
+var ErrClusterClosed = errors.New("ezbft: cluster closed")
+
+// LiveConfig describes an in-process real-time ezBFT deployment.
+type LiveConfig struct {
+	// N is the cluster size (3f+1; default 4).
+	N int
+	// Delay is an artificial one-way delivery delay (0 = none), useful to
+	// observe WAN-like behaviour in a single process.
+	Delay time.Duration
+	// AuthScheme selects message authentication (default HMAC).
+	AuthScheme auth.Scheme
+}
+
+// LiveCluster is a real-time in-process ezBFT deployment: N replica
+// goroutines connected by an in-memory mesh, plus blocking clients.
+type LiveCluster struct {
+	mesh     *transport.Mesh
+	provider *auth.Provider
+	n        int
+
+	mu       sync.Mutex
+	nodes    []*transport.LiveNode
+	clients  []*LiveClient
+	nextCID  types.ClientID
+	replicas []*core.Replica
+	apps     []*kvstore.Store
+	closed   bool
+}
+
+// NewLiveCluster builds and starts the replicas.
+func NewLiveCluster(cfg LiveConfig) (*LiveCluster, error) {
+	if cfg.N == 0 {
+		cfg.N = 4
+	}
+	if cfg.N < 4 || (cfg.N-1)%3 != 0 {
+		return nil, fmt.Errorf("ezbft: cluster size must be 3f+1, got %d", cfg.N)
+	}
+	if cfg.AuthScheme == 0 {
+		cfg.AuthScheme = auth.SchemeHMAC
+	}
+	// Provision identities for replicas plus a generous client space.
+	const maxClients = 1024
+	nodes := make([]types.NodeID, 0, cfg.N+maxClients)
+	for i := 0; i < cfg.N; i++ {
+		nodes = append(nodes, types.ReplicaNode(types.ReplicaID(i)))
+	}
+	for i := 0; i < maxClients; i++ {
+		nodes = append(nodes, types.ClientNode(types.ClientID(i)))
+	}
+	provider, err := auth.NewProvider(cfg.AuthScheme, nodes)
+	if err != nil {
+		return nil, err
+	}
+
+	lc := &LiveCluster{
+		mesh:     transport.NewMesh(cfg.Delay),
+		provider: provider,
+		n:        cfg.N,
+	}
+	for i := 0; i < cfg.N; i++ {
+		rid := types.ReplicaID(i)
+		app := kvstore.New()
+		a, err := provider.ForNode(types.ReplicaNode(rid))
+		if err != nil {
+			return nil, err
+		}
+		rep, err := core.NewReplica(core.ReplicaConfig{
+			Self: rid, N: cfg.N, App: app, Auth: a,
+			ResendTimeout: time.Second,
+		})
+		if err != nil {
+			return nil, err
+		}
+		node := transport.NewLiveNode(rep, lc.mesh, int64(i)+1)
+		lc.mesh.Attach(node)
+		lc.nodes = append(lc.nodes, node)
+		lc.replicas = append(lc.replicas, rep)
+		lc.apps = append(lc.apps, app)
+	}
+	for _, node := range lc.nodes {
+		node.Start()
+	}
+	return lc, nil
+}
+
+// Close stops every node.
+func (lc *LiveCluster) Close() {
+	lc.mu.Lock()
+	if lc.closed {
+		lc.mu.Unlock()
+		return
+	}
+	lc.closed = true
+	nodes := append([]*transport.LiveNode(nil), lc.nodes...)
+	for _, c := range lc.clients {
+		nodes = append(nodes, c.node)
+	}
+	lc.mu.Unlock()
+	for _, n := range nodes {
+		n.Stop()
+	}
+}
+
+// StateDigest returns replica i's application state digest.
+func (lc *LiveCluster) StateDigest(i int) string { return lc.apps[i].Digest().String() }
+
+// NewClient creates a blocking client attached to the given replica
+// (its "closest"). The client runs on its own goroutine.
+func (lc *LiveCluster) NewClient(leader ReplicaID) (*LiveClient, error) {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	if lc.closed {
+		return nil, ErrClusterClosed
+	}
+	cid := lc.nextCID
+	lc.nextCID++
+	a, err := lc.provider.ForNode(types.ClientNode(cid))
+	if err != nil {
+		return nil, err
+	}
+	bridge := &syncDriver{results: make(chan workload.Completion, 1)}
+	inner, err := core.NewClient(core.ClientConfig{
+		ID: cid, N: lc.n, Leader: leader, Auth: a, Driver: bridge,
+		SlowPathTimeout: 200 * time.Millisecond,
+		RetryTimeout:    2 * time.Second,
+	})
+	if err != nil {
+		return nil, err
+	}
+	node := transport.NewLiveNode(inner, lc.mesh, int64(cid)+1000)
+	lc.mesh.Attach(node)
+	node.Start()
+	client := &LiveClient{node: node, inner: inner, bridge: bridge}
+	lc.clients = append(lc.clients, client)
+	return client, nil
+}
+
+// syncDriver bridges the event-driven client to blocking callers.
+type syncDriver struct {
+	results chan workload.Completion
+}
+
+var _ workload.Driver = (*syncDriver)(nil)
+
+func (d *syncDriver) Start(proc.Context, workload.Submitter) {}
+func (d *syncDriver) Completed(_ proc.Context, _ workload.Submitter, c workload.Completion) {
+	d.results <- c
+}
+func (d *syncDriver) OnTimer(proc.Context, workload.Submitter, proc.TimerID) {}
+
+// LiveClient is a blocking ezBFT client: Execute submits one command and
+// waits for the protocol to commit it.
+type LiveClient struct {
+	mu     sync.Mutex
+	node   *transport.LiveNode
+	inner  *core.Client
+	bridge *syncDriver
+}
+
+// Execute runs one command to completion (one outstanding command at a
+// time per client, like the paper's closed-loop clients).
+func (c *LiveClient) Execute(cmd Command) (Result, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.node.Inject(func(ctx proc.Context) {
+		c.inner.Submit(ctx, cmd)
+	}); err != nil {
+		return Result{}, err
+	}
+	comp := <-c.bridge.results
+	return comp.Result, nil
+}
+
+// Stats returns the client's protocol counters (fast/slow decisions,
+// retries, POMs).
+func (c *LiveClient) Stats() core.ClientStats { return c.inner.Stats() }
