@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	ezbft-bench [-e table1|table2|fig4|fig5a|fig5b|fig6|fig7|all]
+//	ezbft-bench [-e table1|table2|fig4|fig5a|fig5b|fig6|fig7|ablation|batch|all]
 //	            [-duration 30s] [-warmup 2s] [-clients 3] [-seed 1]
 package main
 
@@ -26,7 +26,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("ezbft-bench", flag.ContinueOnError)
-	experiment := fs.String("e", "all", "experiment: table1, table2, fig4, fig5a, fig5b, fig6, fig7, ablation, or all")
+	experiment := fs.String("e", "all", "experiment: table1, table2, fig4, fig5a, fig5b, fig6, fig7, ablation, batch, or all")
 	duration := fs.Duration("duration", 30*time.Second, "simulated measurement window")
 	warmup := fs.Duration("warmup", 2*time.Second, "simulated warmup (discarded)")
 	clients := fs.Int("clients", 3, "closed-loop clients per region (latency experiments)")
@@ -54,6 +54,7 @@ func run(args []string) error {
 		{"fig7", func() (renderer, error) { return bench.Fig7(p) }},
 		{"table2", func() (renderer, error) { return bench.Table2(p) }},
 		{"ablation", func() (renderer, error) { return bench.AblationSpeculation(p) }},
+		{"batch", func() (renderer, error) { return bench.BatchSweep(p, nil) }},
 	}
 
 	ran := false

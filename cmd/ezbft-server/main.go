@@ -41,6 +41,9 @@ func run(args []string) error {
 	listen := fs.String("listen", ":7000", "listen address")
 	peers := fs.String("peers", "", "comma-separated id=host:port for every replica")
 	secret := fs.String("secret", "", "shared HMAC secret (required)")
+	batch := fs.Int("batch", 1, "max client requests ordered per instance (1 = unbatched)")
+	batchDelay := fs.Duration("batch-delay", core.DefaultBatchDelay, "max wait for an incomplete batch")
+	verifyWorkers := fs.Int("verify-workers", 0, "signature-verification workers (0 = GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -54,31 +57,39 @@ func run(args []string) error {
 
 	self := types.ReplicaID(*id)
 	ring := auth.NewHMACKeyring([]byte(*secret))
+	a := ring.ForNode(types.ReplicaNode(self))
 	rep, err := core.NewReplica(core.ReplicaConfig{
-		Self: self,
-		N:    *n,
-		App:  kvstore.New(),
-		Auth: ring.ForNode(types.ReplicaNode(self)),
+		Self:       self,
+		N:          *n,
+		App:        kvstore.New(),
+		Auth:       a,
+		BatchSize:  *batch,
+		BatchDelay: *batchDelay,
 	})
 	if err != nil {
 		return err
 	}
 
 	node := transport.NewLiveNode(rep, nil, int64(*id)+1)
-	peer, err := transport.NewTCPPeer(types.ReplicaNode(self), *listen, addrs,
+	// Inbound SPECORDER batches have their signatures verified on a worker
+	// pool in parallel before entering the single-threaded process loop.
+	pool := transport.NewVerifyPool(*verifyWorkers, core.SpecOrderVerifier(a, *n),
 		func(from types.NodeID, msg codec.Message) { node.Deliver(from, msg) })
+	peer, err := transport.NewTCPPeer(types.ReplicaNode(self), *listen, addrs, pool.Submit)
 	if err != nil {
 		return err
 	}
 	node.SetSender(peer)
 	node.Start()
-	fmt.Printf("ezbft-server: replica %s listening on %s (cluster n=%d)\n", self, peer.Addr(), *n)
+	fmt.Printf("ezbft-server: replica %s listening on %s (cluster n=%d, batch=%d)\n", self, peer.Addr(), *n, *batch)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
 	node.Stop()
-	return peer.Close()
+	err = peer.Close()
+	pool.Close()
+	return err
 }
 
 func parsePeers(s string) (map[types.NodeID]string, error) {

@@ -1,0 +1,3 @@
+module ezbft
+
+go 1.24

@@ -1,0 +1,110 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"ezbft/internal/metrics"
+	"ezbft/internal/wan"
+	"ezbft/internal/workload"
+)
+
+// BatchThroughput measures server-side ezBFT throughput (requests/second)
+// under a saturating open-loop workload with the given owner-side batch
+// size. The deployment mirrors Figure 7's "ezbft (all regions)"
+// configuration — Deployment A, ten open-loop clients per region issuing
+// at a saturating rate — which makes every command-leader CPU-bound on
+// request admission, the regime batching is built for.
+func BatchThroughput(p Params, batchSize int) (float64, error) {
+	p.defaults()
+	regions := wan.DeploymentA().Regions()
+	var collector collectorRef
+	spec := Spec{
+		Protocol:       EZBFT,
+		Topology:       wan.DeploymentA(),
+		ReplicaRegions: regions,
+		Primary:        0,
+		Seed:           p.Seed,
+		BatchSize:      batchSize,
+		// BatchDelay zero: the core default (small against WAN latencies,
+		// large against the simulated per-message costs) applies.
+	}
+	const clientsPerSite = 10
+	for _, region := range regions {
+		spec.Clients = append(spec.Clients, ClientGroup{
+			Region: region,
+			Count:  clientsPerSite,
+			NewDriver: func(int) workload.Driver {
+				return &workload.OpenLoop{
+					Gen:         &workload.KVGenerator{Contention: 0},
+					Recorder:    recorderProxy{&collector.c},
+					Interval:    time.Millisecond, // saturating offered load
+					MaxInFlight: 64,
+				}
+			},
+		})
+	}
+	cluster, err := Build(spec)
+	if err != nil {
+		return 0, err
+	}
+	collector.c = cluster.Collector
+	cluster.Run(p.Warmup + p.Duration)
+	completed := cluster.Collector.CompletedIn(p.Warmup, p.Warmup+p.Duration)
+	return float64(completed) / p.Duration.Seconds(), nil
+}
+
+// BatchSweepResult holds throughput per owner-side batch size.
+type BatchSweepResult struct {
+	Sizes      []int
+	Throughput map[int]float64 // requests/second
+}
+
+// BatchSweep runs BatchThroughput across a set of batch sizes (default
+// 1, 2, 4, 8, 16, 32). Batch size 1 is byte-for-byte the paper's
+// unbatched protocol, so the first row doubles as the pre-batching
+// baseline.
+func BatchSweep(p Params, sizes []int) (*BatchSweepResult, error) {
+	if len(sizes) == 0 {
+		sizes = []int{1, 2, 4, 8, 16, 32}
+	}
+	res := &BatchSweepResult{Sizes: sizes, Throughput: make(map[int]float64, len(sizes))}
+	for _, size := range sizes {
+		tp, err := BatchThroughput(p, size)
+		if err != nil {
+			return nil, err
+		}
+		res.Throughput[size] = tp
+	}
+	return res, nil
+}
+
+// Render formats the sweep with speedups over the unbatched baseline.
+func (r *BatchSweepResult) Render() string {
+	header := []string{"batch size", "throughput (req/s)", "speedup vs unbatched"}
+	base := r.Throughput[r.Sizes[0]]
+	max := 0.0
+	for _, size := range r.Sizes {
+		if r.Throughput[size] > max {
+			max = r.Throughput[size]
+		}
+	}
+	var rows [][]string
+	for _, size := range r.Sizes {
+		tp := r.Throughput[size]
+		bar := ""
+		if max > 0 {
+			bar = strings.Repeat("#", int(40*tp/max))
+		}
+		speedup := "-"
+		if base > 0 {
+			speedup = fmt.Sprintf("%.2fx", tp/base)
+		}
+		rows = append(rows, []string{
+			fmt.Sprint(size), fmt.Sprintf("%8.0f  %s", tp, bar), speedup,
+		})
+	}
+	return "Batching — saturated throughput vs owner-side batch size (Deployment A, open-loop clients at all regions)\n" +
+		metrics.Table(header, rows)
+}

@@ -1,0 +1,81 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"ezbft/internal/wan"
+	"ezbft/internal/workload"
+)
+
+// TestBatchingThroughputGain pins the headline batching win: with the
+// command-leaders CPU-bound on request admission, owner-side batching at
+// size 16 must at least double saturated throughput over the unbatched
+// (batch size 1, byte-for-byte pre-batching) protocol.
+func TestBatchingThroughputGain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long simulation")
+	}
+	p := Params{Duration: 3 * time.Second, Warmup: time.Second, Seed: 7}
+	res, err := BatchSweep(p, []int{1, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp1, tp16 := res.Throughput[1], res.Throughput[16]
+	if tp1 <= 0 {
+		t.Fatal("no unbatched throughput")
+	}
+	if gain := tp16 / tp1; gain < 2.0 {
+		t.Errorf("batch=16 throughput %.0f req/s is only %.2fx of batch=1's %.0f req/s, want ≥2x",
+			tp16, gain, tp1)
+	}
+	t.Logf("\n%s", res.Render())
+}
+
+// TestBatchSizeOneMatchesUnbatched: a batch-size-1 run must be
+// indistinguishable from the unbatched protocol — same simulated
+// completions, same mean latencies — because batches of one use the
+// original message flow byte-for-byte.
+func TestBatchSizeOneMatchesUnbatched(t *testing.T) {
+	run := func(batch int) (int, map[string]time.Duration) {
+		var collector collectorRef
+		topo := wan.DeploymentA()
+		spec := Spec{
+			Protocol:       EZBFT,
+			Topology:       topo,
+			ReplicaRegions: topo.Regions(),
+			Seed:           3,
+			BatchSize:      batch,
+		}
+		for _, region := range topo.Regions() {
+			spec.Clients = append(spec.Clients, ClientGroup{
+				Region: region,
+				Count:  2,
+				NewDriver: func(int) workload.Driver {
+					return &workload.ClosedLoop{
+						Gen:      &workload.KVGenerator{Contention: 0.2},
+						Recorder: recorderProxy{&collector.c},
+					}
+				},
+			})
+		}
+		cluster, err := Build(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		collector.c = cluster.Collector
+		cluster.Collector.Warmup = 500 * time.Millisecond
+		cluster.Run(2500 * time.Millisecond)
+		return cluster.Collector.Total(), cluster.MeanLatencyByRegion()
+	}
+	n0, lat0 := run(0) // 0 = unbatched default
+	n1, lat1 := run(1)
+	if n0 != n1 {
+		t.Fatalf("batch-size-1 run completed %d requests, unbatched completed %d", n1, n0)
+	}
+	for region, mean := range lat0 {
+		if lat1[region] != mean {
+			t.Fatalf("%s: batch-size-1 latency %v != unbatched %v", region, lat1[region], mean)
+		}
+	}
+}

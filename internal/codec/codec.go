@@ -15,6 +15,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 
 	"ezbft/internal/types"
 )
@@ -36,6 +37,25 @@ type Writer struct {
 // NewWriter returns a writer with the given initial capacity.
 func NewWriter(capacity int) *Writer {
 	return &Writer{buf: make([]byte, 0, capacity)}
+}
+
+// writerPool recycles Writers across hot-path encodings (signed bodies,
+// wire frames). Buffers grow to fit the largest message they ever carried
+// and are then reused, so steady-state encoding allocates nothing.
+var writerPool = sync.Pool{
+	New: func() any { return &Writer{buf: make([]byte, 0, 512)} },
+}
+
+// GetWriter returns an empty pooled writer. Callers must not retain the
+// writer's bytes past PutWriter; copy them or finish using them first.
+func GetWriter() *Writer {
+	return writerPool.Get().(*Writer)
+}
+
+// PutWriter resets a writer and returns it to the pool.
+func PutWriter(w *Writer) {
+	w.Reset()
+	writerPool.Put(w)
 }
 
 // Bytes returns the encoded bytes. The returned slice aliases the writer's

@@ -1,0 +1,47 @@
+package codec
+
+import "testing"
+
+// TestWriterPoolReuse: pooled writers come back empty and keep their grown
+// capacity across a Get/Put cycle (the property the hot paths rely on).
+func TestWriterPoolReuse(t *testing.T) {
+	w := GetWriter()
+	w.Uvarint(42)
+	w.Blob(make([]byte, 2048))
+	if w.Len() == 0 {
+		t.Fatal("writer did not accumulate")
+	}
+	PutWriter(w)
+	w2 := GetWriter()
+	defer PutWriter(w2)
+	if w2.Len() != 0 {
+		t.Fatal("pooled writer not reset")
+	}
+}
+
+// TestAppendMarshalMatchesMarshal: the allocation-free framing path must
+// produce exactly the bytes Marshal produces, appended to the caller's
+// buffer.
+func TestAppendMarshalMatchesMarshal(t *testing.T) {
+	m := &poolMsg{payload: []byte("hello"), n: 7}
+	prefix := []byte{0xAA, 0xBB}
+	got := AppendMarshal(append([]byte(nil), prefix...), m)
+	want := append(append([]byte(nil), prefix...), Marshal(m)...)
+	if string(got) != string(want) {
+		t.Fatalf("AppendMarshal = %x, want %x", got, want)
+	}
+	if EncodedSize(m) != len(Marshal(m)) {
+		t.Fatal("EncodedSize disagrees with Marshal length")
+	}
+}
+
+type poolMsg struct {
+	payload []byte
+	n       uint64
+}
+
+func (m *poolMsg) Tag() uint8 { return 250 }
+func (m *poolMsg) MarshalTo(w *Writer) {
+	w.Uvarint(m.n)
+	w.Blob(m.payload)
+}

@@ -49,6 +49,16 @@ func Marshal(m Message) []byte {
 	return w.Bytes()
 }
 
+// AppendMarshal appends a full framed message (tag byte + body) to dst and
+// returns the extended slice. It is the allocation-free variant of Marshal
+// for callers that manage their own (typically pooled) buffers.
+func AppendMarshal(dst []byte, m Message) []byte {
+	w := Writer{buf: dst}
+	w.Uint8(m.Tag())
+	m.MarshalTo(&w)
+	return w.buf
+}
+
 // MarshalBody encodes only the message body (no tag). This is the byte
 // string that authenticators sign.
 func MarshalBody(m Message) []byte {
@@ -82,4 +92,11 @@ func Unmarshal(b []byte) (Message, error) {
 
 // EncodedSize returns the framed size of a message in bytes. The simulator
 // uses it to charge per-byte transmission and processing costs.
-func EncodedSize(m Message) int { return len(Marshal(m)) }
+func EncodedSize(m Message) int {
+	w := GetWriter()
+	w.Uint8(m.Tag())
+	m.MarshalTo(w)
+	n := w.Len()
+	PutWriter(w)
+	return n
+}

@@ -1,0 +1,541 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"ezbft/internal/codec"
+	"ezbft/internal/sim"
+	"ezbft/internal/types"
+)
+
+// --- wire format ---
+
+func sampleBatchSpecOrder() *SpecOrder {
+	reqA := sampleRequest()
+	reqB := &Request{
+		Cmd: types.Command{
+			Client: 4, Timestamp: 2, Op: types.OpIncr, Key: "k2",
+		},
+		Orig: noOrig,
+		Sig:  []byte{7, 7},
+	}
+	so := &SpecOrder{
+		Owner:   5,
+		Inst:    types.InstanceID{Space: 1, Slot: 9},
+		Deps:    types.NewInstanceSet(types.InstanceID{Space: 0, Slot: 4}),
+		Seq:     11,
+		LogHash: types.Digest{1},
+		Req:     *reqA,
+		Batch:   []Request{*reqB},
+		Sig:     []byte{9, 9},
+	}
+	so.CmdDigest = BatchDigest(so.CmdDigests())
+	return so
+}
+
+func sampleBatchSpecReply(idx uint32) *SpecReply {
+	so := sampleBatchSpecOrder()
+	return &SpecReply{
+		Owner:     5,
+		Inst:      so.Inst,
+		Deps:      types.NewInstanceSet(types.InstanceID{Space: 2, Slot: 1}),
+		Seq:       12,
+		CmdDigest: so.ReqAt(int(idx)).Cmd.Digest(),
+		Client:    so.ReqAt(int(idx)).Cmd.Client,
+		Timestamp: so.ReqAt(int(idx)).Cmd.Timestamp,
+		Replica:   2,
+		Result:    types.Result{OK: true, Value: []byte("out")},
+		Batched:   true,
+		BatchIdx:  idx,
+		SO:        so,
+		Sig:       []byte{4},
+	}
+}
+
+// TestBatchedMessageRoundTrips pins the batched wire layouts (tags 21–25)
+// the way TestMessageRoundTrips pins the unbatched ones.
+func TestBatchedMessageRoundTrips(t *testing.T) {
+	mixedPOM := &POM{Suspect: 1, Owner: 1, Client: 3, A: sampleBatchSpecOrder(), B: sampleSpecOrder()}
+	batchedHist := &OwnerChange{
+		Suspect: 1, NewOwner: 2, Replica: 3,
+		History: []HistEntry{{
+			Inst: types.InstanceID{Space: 1, Slot: 9}, Status: HistSpecOrdered,
+			Cmd:   sampleBatchSpecOrder().Req.Cmd,
+			Batch: []types.Command{sampleBatchSpecOrder().Batch[0].Cmd},
+			Deps:  types.NewInstanceSet(), Seq: 1, Owner: 1, SO: sampleBatchSpecOrder(),
+		}},
+		Sig: []byte{6},
+	}
+	msgs := []codec.Message{
+		sampleBatchSpecOrder(),
+		sampleBatchSpecReply(0),
+		sampleBatchSpecReply(1),
+		&CommitFast{Client: 3, Inst: types.InstanceID{Space: 1, Slot: 9}, Cert: []*SpecReply{sampleBatchSpecReply(1)}},
+		&Commit{
+			Client: 3, Timestamp: 7, Inst: types.InstanceID{Space: 1, Slot: 9},
+			Deps: types.NewInstanceSet(types.InstanceID{Space: 0, Slot: 2}),
+			Seq:  4, Cert: []*SpecReply{sampleBatchSpecReply(0)}, Sig: []byte{8},
+		},
+		mixedPOM,
+		batchedHist,
+	}
+	for _, m := range msgs {
+		out := roundTrip(t, m)
+		if string(codec.Marshal(out)) != string(codec.Marshal(m)) {
+			t.Errorf("%T (tag %d): round trip not byte-identical", m, m.Tag())
+		}
+	}
+}
+
+// TestUnbatchedTagsUnchanged pins that batch-of-one messages keep the
+// original tags (and therefore the original byte layout): the unbatched
+// protocol is byte-for-byte what it was before batching existed.
+func TestUnbatchedTagsUnchanged(t *testing.T) {
+	cases := []struct {
+		msg  codec.Message
+		want uint8
+	}{
+		{sampleSpecOrder(), tagSpecOrder},
+		{sampleSpecReply(), tagSpecReply},
+		{&CommitFast{Cert: []*SpecReply{sampleSpecReply()}}, tagCommitFast},
+		{&Commit{Cert: []*SpecReply{sampleSpecReply()}}, tagCommit},
+		{&POM{A: sampleSpecOrder(), B: sampleSpecOrder()}, tagPOM},
+		{sampleBatchSpecOrder(), tagSpecOrderBatch},
+		{sampleBatchSpecReply(0), tagSpecReplyBatch},
+	}
+	for _, tc := range cases {
+		if got := tc.msg.Tag(); got != tc.want {
+			t.Errorf("%T: tag %d, want %d", tc.msg, got, tc.want)
+		}
+	}
+}
+
+// TestBatchDigestSemantics: a batch of one digests to the command's own
+// digest (the pre-batching d = H(m)); larger batches bind every command and
+// its position.
+func TestBatchDigestSemantics(t *testing.T) {
+	a := putCmd("a", "1").Digest()
+	b := putCmd("b", "2").Digest()
+	if BatchDigest([]types.Digest{a}) != a {
+		t.Fatal("batch of one must digest to the command digest")
+	}
+	if BatchDigest([]types.Digest{a, b}) == BatchDigest([]types.Digest{b, a}) {
+		t.Fatal("batch digest must bind command positions")
+	}
+	if BatchDigest([]types.Digest{a, b}) == a || BatchDigest([]types.Digest{a, b}) == b {
+		t.Fatal("batch digest must differ from member digests")
+	}
+}
+
+// TestSignedBodyCoversBatchIdx: replies for different commands of one batch
+// must not be interchangeable.
+func TestSignedBodyCoversBatchIdx(t *testing.T) {
+	r0 := sampleBatchSpecReply(0)
+	r1 := sampleBatchSpecReply(0)
+	r1.BatchIdx = 1
+	if string(r0.SignedBody()) == string(r1.SignedBody()) {
+		t.Fatal("batch index not covered by the reply signature")
+	}
+}
+
+// --- protocol behaviour ---
+
+// batchScripts builds one single-command script per client, all INCRs on
+// per-client keys (so dependencies stay empty and the fast path is
+// reachable).
+func batchScripts(clients int) [][]types.Command {
+	scripts := make([][]types.Command, clients)
+	for c := range scripts {
+		scripts[c] = []types.Command{putCmd(fmt.Sprintf("bk%d", c), fmt.Sprintf("v%d", c))}
+	}
+	return scripts
+}
+
+// TestBatchingFastPath: eight clients at one leader with BatchSize 4 all
+// commit on the fast path, and the leader provably coalesced them — fewer
+// instances than commands, one SPECORDER signature per batch.
+func TestBatchingFastPath(t *testing.T) {
+	opts := defaultOpts()
+	opts.batchSize = 4
+	opts.batchDelay = 5 * time.Millisecond
+	const clients = 8
+	leaders := make([]types.ReplicaID, clients)
+	tc := newTestCluster(t, opts, leaders, batchScripts(clients))
+	if !tc.run(10 * time.Second) {
+		t.Fatal("commands did not complete")
+	}
+	tc.rt.Run(tc.rt.Now() + time.Second)
+
+	r0 := tc.replicas[0]
+	instances := r0.nextSlot - 1
+	if instances >= clients {
+		t.Fatalf("no batching: %d instances for %d commands", instances, clients)
+	}
+	if got := r0.Stats().Ordered; got != clients {
+		t.Fatalf("leader ordered %d commands, want %d", got, clients)
+	}
+	for i, d := range tc.drivers {
+		if len(d.Results) != 1 || !d.Results[0].FastPath {
+			t.Fatalf("client %d: results %+v", i, d.Results)
+		}
+	}
+	// Every replica executed every command.
+	for _, r := range tc.replicas {
+		if got := r.Stats().FinalExecutions; got != clients {
+			t.Fatalf("%v: %d final executions, want %d", r.cfg.Self, got, clients)
+		}
+	}
+	tc.checkConsistency()
+	tc.checkStateConvergence()
+	tc.checkNontriviality()
+}
+
+// TestBatchingContention: batched interfering commands (all clients hammer
+// one key) stay consistent and converge across replicas.
+func TestBatchingContention(t *testing.T) {
+	opts := defaultOpts()
+	opts.batchSize = 3
+	opts.batchDelay = 5 * time.Millisecond
+	const clients = 6
+	// Clients split across two leaders, all writing the hot key.
+	leaders := make([]types.ReplicaID, clients)
+	scripts := make([][]types.Command, clients)
+	for c := 0; c < clients; c++ {
+		if c >= clients/2 {
+			leaders[c] = 3
+		}
+		scripts[c] = []types.Command{putCmd("hot", fmt.Sprintf("c%d", c)), incrCmd("ctr")}
+	}
+	tc := newTestCluster(t, opts, leaders, scripts)
+	if !tc.run(20 * time.Second) {
+		t.Fatal("commands did not complete")
+	}
+	tc.rt.Run(tc.rt.Now() + time.Second)
+	for _, r := range tc.correctReplicas() {
+		v, ok := tc.apps[r.cfg.Self].Get("ctr")
+		if !ok || kvstoreCounter(v) != clients {
+			t.Fatalf("%v: ctr=%d, want %d (exactly-once)", r.cfg.Self, kvstoreCounter(v), clients)
+		}
+	}
+	tc.checkConsistency()
+	tc.checkStateConvergence()
+	tc.checkNontriviality()
+}
+
+// TestBatchingByzantineEquivocation: a byzantine owner equivocates over
+// whole batches (same batch signed at different instances for different
+// replica halves). Clients detect the conflicting embedded SPECORDERs,
+// the POM freezes the equivocator's space, and every command still
+// executes exactly once.
+func TestBatchingByzantineEquivocation(t *testing.T) {
+	opts := defaultOpts()
+	opts.batchSize = 2
+	opts.batchDelay = 5 * time.Millisecond
+	opts.byz = map[types.ReplicaID]*ByzantineBehavior{0: {EquivocateInstances: true}}
+	opts.retryTimeout = 300 * time.Millisecond
+	opts.resendTimeout = 200 * time.Millisecond
+	const clients = 4
+	leaders := make([]types.ReplicaID, clients) // all at the equivocator
+	scripts := make([][]types.Command, clients)
+	for c := range scripts {
+		scripts[c] = []types.Command{incrCmd("n")}
+	}
+	tc := newTestCluster(t, opts, leaders, scripts)
+	if !tc.run(60 * time.Second) {
+		t.Fatal("commands did not complete despite batch equivocation")
+	}
+	tc.rt.Run(tc.rt.Now() + 2*time.Second)
+
+	poms := uint64(0)
+	for _, c := range tc.clients {
+		poms += c.Stats().POMsSent
+	}
+	if poms == 0 {
+		t.Fatal("no client sent a POM")
+	}
+	for _, r := range tc.correctReplicas() {
+		if !r.Frozen(0) {
+			t.Fatalf("%v: equivocator's space not frozen", r.cfg.Self)
+		}
+		v, ok := tc.apps[r.cfg.Self].Get("n")
+		if !ok || kvstoreCounter(v) != clients {
+			t.Fatalf("%v: n=%d, want %d (exactly-once)", r.cfg.Self, kvstoreCounter(v), clients)
+		}
+	}
+	tc.checkConsistency()
+	tc.checkStateConvergence()
+}
+
+// TestBatchingDuplicateAcrossBatches: the client's retry fires while its
+// request is still queued in the leader's batch, so the request is ordered
+// twice — once in the original leader's batch (flushed by the RESENDREQ)
+// and once at the rotated leader. Exactly-once execution must hold across
+// the duplicate instances.
+func TestBatchingDuplicateAcrossBatches(t *testing.T) {
+	opts := defaultOpts()
+	opts.batchSize = 64                      // never fills from one client
+	opts.batchDelay = 400 * time.Millisecond // longer than the retry timeout
+	opts.retryTimeout = 100 * time.Millisecond
+	opts.resendTimeout = 500 * time.Millisecond
+	tc := newTestCluster(t, opts,
+		[]types.ReplicaID{0},
+		[][]types.Command{{incrCmd("n"), incrCmd("n")}},
+	)
+	if !tc.run(30 * time.Second) {
+		t.Fatal("commands did not complete")
+	}
+	tc.rt.Run(tc.rt.Now() + 2*time.Second)
+
+	if tc.clients[0].Stats().Retries == 0 {
+		t.Fatal("test did not exercise the retry path")
+	}
+	for _, r := range tc.correctReplicas() {
+		v, ok := tc.apps[r.cfg.Self].Get("n")
+		if !ok || kvstoreCounter(v) != 2 {
+			t.Fatalf("%v: n=%d, want 2 (exactly-once across duplicate batches)", r.cfg.Self, kvstoreCounter(v))
+		}
+	}
+	tc.checkConsistency()
+	tc.checkStateConvergence()
+	tc.checkNontriviality()
+}
+
+// TestBatchingOwnerChangeMidBatch: the leader goes mute with requests
+// accumulating in its batch. The owner change freezes its space and the
+// clients' retry rotation re-proposes the stranded commands — in fresh
+// batches at the new leader — exactly once.
+func TestBatchingOwnerChangeMidBatch(t *testing.T) {
+	opts := defaultOpts()
+	opts.batchSize = 4
+	opts.batchDelay = 5 * time.Millisecond
+	opts.byz = map[types.ReplicaID]*ByzantineBehavior{0: {Mute: true}}
+	opts.retryTimeout = 300 * time.Millisecond
+	opts.resendTimeout = 200 * time.Millisecond
+	const clients = 4
+	leaders := make([]types.ReplicaID, clients)
+	scripts := make([][]types.Command, clients)
+	for c := range scripts {
+		scripts[c] = []types.Command{incrCmd("n")}
+	}
+	tc := newTestCluster(t, opts, leaders, scripts)
+	if !tc.run(60 * time.Second) {
+		t.Fatal("commands did not complete despite mid-batch owner change")
+	}
+	tc.rt.Run(tc.rt.Now() + 2*time.Second)
+
+	for _, r := range tc.correctReplicas() {
+		if !r.Frozen(0) {
+			t.Fatalf("%v: mute leader's space not frozen", r.cfg.Self)
+		}
+		v, ok := tc.apps[r.cfg.Self].Get("n")
+		if !ok || kvstoreCounter(v) != clients {
+			t.Fatalf("%v: n=%d, want %d (exactly-once)", r.cfg.Self, kvstoreCounter(v), clients)
+		}
+	}
+	tc.checkConsistency()
+	tc.checkStateConvergence()
+}
+
+// TestBatchingOwnerChangeRecoversWholeBatch: a batch is spec-ordered
+// everywhere but its leader crashes before any commit completes (replies
+// from two replicas are withheld so clients cannot decide). The owner
+// change must recover the batch whole — every command, in order — via
+// Condition 2, and the clients then complete against the frozen space.
+func TestBatchingOwnerChangeRecoversWholeBatch(t *testing.T) {
+	opts := defaultOpts()
+	opts.batchSize = 4
+	opts.batchDelay = 5 * time.Millisecond
+	opts.retryTimeout = 300 * time.Millisecond
+	opts.resendTimeout = 200 * time.Millisecond
+	const clients = 4
+	leaders := make([]types.ReplicaID, clients)
+	scripts := make([][]types.Command, clients)
+	for c := range scripts {
+		scripts[c] = []types.Command{putCmd(fmt.Sprintf("rk%d", c), "v")}
+	}
+	tc := newTestCluster(t, opts, leaders, scripts)
+
+	// Withhold SPECREPLYs from R2 and R3: clients see only two replies and
+	// can neither fast- nor slow-commit.
+	tc.rt.SetFilter(func(from, to types.NodeID, msg codec.Message) (sim.Verdict, time.Duration) {
+		if _, ok := msg.(*SpecReply); ok && from.IsReplica() && from.Replica() >= 2 && to.IsClient() {
+			return sim.Drop, 0
+		}
+		return sim.Deliver, 0
+	})
+	tc.rt.Start()
+	// Run until every replica has the batch spec-ordered, then crash the
+	// leader and lift the filter.
+	ok := tc.rt.RunUntil(func() bool {
+		for _, r := range tc.replicas {
+			if r.log.space(0).maxSlot < 1 {
+				return false
+			}
+		}
+		return true
+	}, 10*time.Second)
+	if !ok {
+		t.Fatal("batch never spec-ordered everywhere")
+	}
+	if got := tc.replicas[1].log.get(types.InstanceID{Space: 0, Slot: 1}).nCmds(); got != clients {
+		t.Fatalf("batch size at R1 = %d, want %d", got, clients)
+	}
+	tc.rt.Crash(types.ReplicaNode(0))
+	tc.rt.SetFilter(nil)
+
+	done := tc.rt.RunUntil(func() bool {
+		for _, d := range tc.drivers {
+			if len(d.Results) < 1 {
+				return false
+			}
+		}
+		return true
+	}, 60*time.Second)
+	if !done {
+		t.Fatal("commands did not complete after leader crash")
+	}
+	tc.rt.Run(tc.rt.Now() + 2*time.Second)
+
+	inst := types.InstanceID{Space: 0, Slot: 1}
+	for _, r := range tc.replicas[1:] {
+		e := r.log.get(inst)
+		if e == nil || e.status != StatusExecuted {
+			t.Fatalf("%v: batch instance %v not executed (entry %v)", r.cfg.Self, inst, e)
+		}
+		if e.nCmds() != clients {
+			t.Fatalf("%v: recovered batch has %d commands, want %d — owner change split the batch",
+				r.cfg.Self, e.nCmds(), clients)
+		}
+		for c := 0; c < clients; c++ {
+			if v, ok := tc.apps[r.cfg.Self].Get(fmt.Sprintf("rk%d", c)); !ok || string(v) != "v" {
+				t.Fatalf("%v: rk%d=%q, want v", r.cfg.Self, c, v)
+			}
+		}
+	}
+	// Survivors only: R0 is frozen in time.
+	ref := tc.apps[1].Digest()
+	for i := 2; i < 4; i++ {
+		if tc.apps[i].Digest() != ref {
+			t.Fatalf("replica %d state diverged", i)
+		}
+	}
+	tc.checkConsistency()
+}
+
+// captureCtx records sends for direct-handler tests.
+type captureCtx struct {
+	noopCtx
+	sends []codec.Message
+}
+
+func (c *captureCtx) Send(_ types.NodeID, msg codec.Message) { c.sends = append(c.sends, msg) }
+
+// TestSameInstanceBatchEquivocationPOM: an equivocating leader signs two
+// DIFFERENT batches for the SAME instance, both containing the client's
+// command. The client must not combine replies across the two proposals
+// (they group separately), must emit a POM, and replicas must accept that
+// POM as equivocation evidence.
+func TestSameInstanceBatchEquivocationPOM(t *testing.T) {
+	opts := defaultOpts()
+	tc := newTestCluster(t, opts, []types.ReplicaID{0}, [][]types.Command{{}})
+	cl := tc.clients[0]
+	leaderAuth := tc.replicas[0].cfg.Auth
+
+	ctx := &captureCtx{}
+	cl.Submit(ctx, putCmd("k", "v"))
+	p := cl.pending[1]
+
+	mkSO := func(extraKey string) *SpecOrder {
+		extra := Request{Cmd: types.Command{Client: 99, Timestamp: 1, Op: types.OpPut, Key: extraKey}, Orig: noOrig, Sig: []byte{1}}
+		so := &SpecOrder{
+			Owner: 0,
+			Inst:  types.InstanceID{Space: 0, Slot: 1},
+			Deps:  types.NewInstanceSet(),
+			Seq:   1,
+			Req:   *p.req,
+			Batch: []Request{extra},
+		}
+		so.CmdDigest = BatchDigest(so.CmdDigests())
+		so.Sig = leaderAuth.Sign(so.SignedBody())
+		return so
+	}
+	so1, so2 := mkSO("a"), mkSO("b")
+	if so1.CmdDigest == so2.CmdDigest {
+		t.Fatal("test setup: batches must differ")
+	}
+
+	mkReply := func(from types.ReplicaID, so *SpecOrder) *SpecReply {
+		sr := &SpecReply{
+			Owner: 0, Inst: so.Inst, Deps: types.NewInstanceSet(), Seq: 1,
+			CmdDigest: p.digest, Client: cl.cfg.ID, Timestamp: 1,
+			Replica: from, Result: types.Result{OK: true},
+			Batched: true, BatchIdx: 0, SO: so,
+		}
+		a, err := tc.replicas[from].cfg.Auth, error(nil)
+		_ = err
+		sr.Sig = a.Sign(sr.SignedBody())
+		return sr
+	}
+
+	cl.handleSpecReply(ctx, mkReply(1, so1))
+	cl.handleSpecReply(ctx, mkReply(2, so2))
+
+	if cl.stats.POMsSent != 1 {
+		t.Fatalf("POMs sent = %d, want 1 (same-instance batch equivocation)", cl.stats.POMsSent)
+	}
+	// Replies for different proposals must not share a quorum group.
+	if len(p.replies) != 2 {
+		t.Fatalf("reply groups = %d, want 2 (one per proposal)", len(p.replies))
+	}
+	var pom *POM
+	for _, m := range ctx.sends {
+		if pm, ok := m.(*POM); ok {
+			pom = pm
+		}
+	}
+	if pom == nil {
+		t.Fatal("no POM broadcast")
+	}
+	// A replica accepts the POM and votes for an owner change.
+	r3 := tc.replicas[3]
+	rctx := &captureCtx{}
+	r3.Receive(rctx, types.ClientNode(0), pom)
+	if !r3.oc.sentStart[changeKey{0, 0}] {
+		t.Fatal("replica did not start an owner change on the POM")
+	}
+}
+
+// TestValidateCertRejectsMixedBatches: a certificate mixing replies built
+// from different proposals (or layouts) is not a quorum for anything.
+func TestValidateCertRejectsMixedBatches(t *testing.T) {
+	opts := defaultOpts()
+	tc := newTestCluster(t, opts, []types.ReplicaID{0}, [][]types.Command{{}})
+	r0 := tc.replicas[0]
+
+	inst := types.InstanceID{Space: 0, Slot: 1}
+	cmd := types.Command{Client: 0, Timestamp: 1, Op: types.OpPut, Key: "k"}
+	mk := func(from types.ReplicaID, batched bool, idx uint32) *SpecReply {
+		sr := &SpecReply{
+			Owner: 0, Inst: inst, Deps: types.NewInstanceSet(), Seq: 1,
+			CmdDigest: cmd.Digest(), Client: 0, Timestamp: 1,
+			Replica: from, Result: types.Result{OK: true},
+			Batched: batched, BatchIdx: idx,
+		}
+		sr.Sig = tc.replicas[from].cfg.Auth.Sign(sr.SignedBody())
+		return sr
+	}
+	good := []*SpecReply{mk(0, true, 1), mk(1, true, 1), mk(2, true, 1)}
+	if !r0.validateCert(noopCtx{}, good, inst, SlowQuorum(4), false) {
+		t.Fatal("homogeneous cert rejected")
+	}
+	mixed := []*SpecReply{mk(0, true, 1), mk(1, false, 0), mk(2, true, 1)}
+	if r0.validateCert(noopCtx{}, mixed, inst, SlowQuorum(4), false) {
+		t.Fatal("cert mixing batched and unbatched replies accepted")
+	}
+	mixedIdx := []*SpecReply{mk(0, true, 1), mk(1, true, 2), mk(2, true, 1)}
+	if r0.validateCert(noopCtx{}, mixedIdx, inst, SlowQuorum(4), false) {
+		t.Fatal("cert mixing batch positions accepted")
+	}
+}

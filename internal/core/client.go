@@ -80,14 +80,49 @@ type ClientStats struct {
 	POMsSent      uint64
 }
 
+// replyKey identifies one proposal a SPECREPLY vouches for: the instance
+// plus the batch digest of the embedded SPECORDER. Grouping by both keeps
+// replies built from different batches apart — an equivocating leader may
+// sign different batches for the same instance, and combining their
+// replies (fast-path matching or slow-path dependency union) must never
+// mix proposals. Unbatched SPECORDERs carry the command digest there, so
+// for them this is exactly the pre-batching per-instance grouping.
+type replyKey struct {
+	inst  types.InstanceID
+	batch types.Digest
+}
+
+// keyOf returns the grouping key for a validated reply.
+func keyOf(m *SpecReply) replyKey {
+	k := replyKey{inst: m.Inst}
+	if m.SO != nil {
+		k.batch = m.SO.CmdDigest
+	}
+	return k
+}
+
+// Less orders reply keys deterministically.
+func (k replyKey) Less(o replyKey) bool {
+	if k.inst != o.inst {
+		return k.inst.Less(o.inst)
+	}
+	for i := range k.batch {
+		if k.batch[i] != o.batch[i] {
+			return k.batch[i] < o.batch[i]
+		}
+	}
+	return false
+}
+
 // pendingReq tracks one outstanding request.
 type pendingReq struct {
 	cmd    types.Command
+	digest types.Digest // cmd.Digest(), computed once per request
 	req    *Request
 	issued time.Duration
-	// replies groups SPECREPLYs by the instance they vouch for, then by
-	// sender (a faulty leader may cause several instances per request).
-	replies  map[types.InstanceID]map[types.ReplicaID]*SpecReply
+	// replies groups SPECREPLYs by the proposal they vouch for, then by
+	// sender (a faulty leader may cause several proposals per request).
+	replies  map[replyKey]map[types.ReplicaID]*SpecReply
 	replied  map[types.ReplicaID]bool
 	pomSent  bool
 	retries  int
@@ -165,13 +200,14 @@ func (c *Client) Submit(ctx proc.Context, cmd types.Command) {
 
 	req := &Request{Cmd: cmd, Orig: noOrig}
 	c.cfg.Costs.ChargeSign(ctx)
-	req.Sig = c.cfg.Auth.Sign(req.SignedBody())
+	req.Sig = signBody(c.cfg.Auth, req)
 
 	c.pending[ts] = &pendingReq{
 		cmd:           cmd,
+		digest:        cmd.Digest(),
 		req:           req,
 		issued:        ctx.Now(),
-		replies:       make(map[types.InstanceID]map[types.ReplicaID]*SpecReply),
+		replies:       make(map[replyKey]map[types.ReplicaID]*SpecReply),
 		replied:       make(map[types.ReplicaID]bool),
 		commitReplies: make(map[types.ReplicaID]*CommitReply),
 	}
@@ -221,23 +257,26 @@ func (c *Client) handleSpecReply(ctx proc.Context, m *SpecReply) {
 		return
 	}
 	c.cfg.Costs.ChargeVerify(ctx, 1)
-	if err := c.cfg.Auth.Verify(types.ReplicaNode(m.Replica), m.SignedBody(), m.Sig); err != nil {
+	if err := verifyBody(c.cfg.Auth, types.ReplicaNode(m.Replica), m, m.Sig); err != nil {
 		return
 	}
-	if m.CmdDigest != p.cmd.Digest() {
+	if m.CmdDigest != p.digest {
 		return
 	}
 
 	// Step 4.4: an embedded SPECORDER that disagrees with a previously seen
-	// one on the instance number proves command-leader equivocation.
-	if !p.pomSent && m.SO != nil {
+	// one on the instance number proves command-leader equivocation. Only
+	// SPECORDERs that actually order this request are compared — a batched
+	// SPECORDER proves equivocation only if our command is in the batch.
+	if !p.pomSent && m.SO != nil && m.SO.OrdersCommand(p.cmd) {
 		c.checkPOM(ctx, p, m)
 	}
 
-	group, ok := p.replies[m.Inst]
+	key := keyOf(m)
+	group, ok := p.replies[key]
 	if !ok {
 		group = make(map[types.ReplicaID]*SpecReply, c.n)
-		p.replies[m.Inst] = group
+		p.replies[key] = group
 	}
 	group[m.Replica] = m
 	p.replied[m.Replica] = true
@@ -262,17 +301,23 @@ func (c *Client) checkPOM(ctx proc.Context, p *pendingReq, m *SpecReply) {
 			if prev.SO == nil || prev.SO.Owner != m.SO.Owner {
 				continue
 			}
-			if prev.SO.Inst == m.SO.Inst {
-				continue
+			if prev.SO.Inst == m.SO.Inst && prev.SO.CmdDigest == m.SO.CmdDigest {
+				continue // the same proposal, no conflict
+			}
+			// Remaining cases are equivocation evidence: the same request
+			// ordered at two instances, or — with batching — two different
+			// batches signed for the same instance.
+			if !prev.SO.OrdersCommand(p.cmd) {
+				continue // the earlier SPECORDER does not order this request
 			}
 			// Same owner ordered the same request at two instances; verify
 			// both signatures before accusing.
 			owner := m.SO.Owner.OwnerOf(c.n)
 			c.cfg.Costs.ChargeVerify(ctx, 2)
-			if c.cfg.Auth.Verify(types.ReplicaNode(owner), m.SO.SignedBody(), m.SO.Sig) != nil {
+			if verifyBody(c.cfg.Auth, types.ReplicaNode(owner), m.SO, m.SO.Sig) != nil {
 				return
 			}
-			if c.cfg.Auth.Verify(types.ReplicaNode(owner), prev.SO.SignedBody(), prev.SO.Sig) != nil {
+			if verifyBody(c.cfg.Auth, types.ReplicaNode(owner), prev.SO, prev.SO.Sig) != nil {
 				return
 			}
 			pom := &POM{Suspect: owner, Owner: m.SO.Owner, Client: c.cfg.ID, A: prev.SO, B: m.SO}
@@ -380,7 +425,7 @@ func (c *Client) trySlowPath(ctx proc.Context, ts uint64, p *pendingReq) bool {
 		Cert:      chosen,
 	}
 	c.cfg.Costs.ChargeSign(ctx)
-	commit.Sig = c.cfg.Auth.Sign(commit.SignedBody())
+	commit.Sig = signBody(c.cfg.Auth, commit)
 	for i := 0; i < c.n; i++ {
 		ctx.Send(types.ReplicaNode(types.ReplicaID(i)), commit)
 	}
@@ -390,25 +435,27 @@ func (c *Client) trySlowPath(ctx proc.Context, ts uint64, p *pendingReq) bool {
 	return true
 }
 
-// bestGroup returns the instance with the most replies (ties broken by
-// instance order, for determinism).
+// bestGroup returns the proposal with the most replies (ties broken by
+// key order, for determinism). Replies for the same instance built from
+// different batches live in different groups, so the combined quorum is
+// always over one proposal.
 func (c *Client) bestGroup(p *pendingReq) (types.InstanceID, map[types.ReplicaID]*SpecReply) {
 	var (
-		bestInst  types.InstanceID
+		bestKey   replyKey
 		bestGroup map[types.ReplicaID]*SpecReply
 	)
-	insts := make([]types.InstanceID, 0, len(p.replies))
-	for inst := range p.replies {
-		insts = append(insts, inst)
+	keys := make([]replyKey, 0, len(p.replies))
+	for key := range p.replies {
+		keys = append(keys, key)
 	}
-	sort.Slice(insts, func(i, j int) bool { return insts[i].Less(insts[j]) })
-	for _, inst := range insts {
-		g := p.replies[inst]
+	sort.Slice(keys, func(i, j int) bool { return keys[i].Less(keys[j]) })
+	for _, key := range keys {
+		g := p.replies[key]
 		if bestGroup == nil || len(g) > len(bestGroup) {
-			bestInst, bestGroup = inst, g
+			bestKey, bestGroup = key, g
 		}
 	}
-	return bestInst, bestGroup
+	return bestKey.inst, bestGroup
 }
 
 // handleCommitReply processes step 6.2: the request completes when 2f+1
@@ -428,10 +475,10 @@ func (c *Client) handleCommitReply(ctx proc.Context, m *CommitReply) {
 		return
 	}
 	c.cfg.Costs.ChargeVerify(ctx, 1)
-	if err := c.cfg.Auth.Verify(types.ReplicaNode(m.Replica), m.SignedBody(), m.Sig); err != nil {
+	if err := verifyBody(c.cfg.Auth, types.ReplicaNode(m.Replica), m, m.Sig); err != nil {
 		return
 	}
-	if m.CmdDigest != p.cmd.Digest() {
+	if m.CmdDigest != p.digest {
 		return
 	}
 	p.commitReplies[m.Replica] = m
@@ -466,7 +513,7 @@ func (c *Client) retry(ctx proc.Context, ts uint64, p *pendingReq) {
 	// forward RESENDREQs that (on timeout) trigger an owner change.
 	retryReq := &Request{Cmd: p.cmd, Orig: c.cfg.Leader}
 	c.cfg.Costs.ChargeSign(ctx)
-	retryReq.Sig = c.cfg.Auth.Sign(retryReq.SignedBody())
+	retryReq.Sig = signBody(c.cfg.Auth, retryReq)
 	for i := 0; i < c.n; i++ {
 		ctx.Send(types.ReplicaNode(types.ReplicaID(i)), retryReq)
 	}
@@ -477,7 +524,7 @@ func (c *Client) retry(ctx proc.Context, ts uint64, p *pendingReq) {
 	rotated := types.ReplicaID((int(c.cfg.Leader) + p.retries) % c.n)
 	direct := &Request{Cmd: p.cmd, Orig: noOrig}
 	c.cfg.Costs.ChargeSign(ctx)
-	direct.Sig = c.cfg.Auth.Sign(direct.SignedBody())
+	direct.Sig = signBody(c.cfg.Auth, direct)
 	ctx.Send(types.ReplicaNode(rotated), direct)
 
 	// Exponential backoff on subsequent retries (capped).

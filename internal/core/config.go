@@ -21,6 +21,12 @@ var (
 // Defaults for timeouts; experiments override them to match their topology.
 const (
 	DefaultResendTimeout = 2 * time.Second
+	// DefaultBatchDelay is how long an accumulating batch waits for more
+	// requests before it is flushed (only relevant when BatchSize > 1). It
+	// must stay far below client retry timeouts.
+	DefaultBatchDelay = 2 * time.Millisecond
+	// MaxBatchSize bounds the requests a single instance may order.
+	MaxBatchSize = maxBatch - 1
 )
 
 // ReplicaConfig configures one ezBFT replica.
@@ -43,6 +49,14 @@ type ReplicaConfig struct {
 	// uncommitted dependency before initiating an owner change for the
 	// dependency's instance space.
 	DepWaitTimeout time.Duration
+	// BatchSize is the maximum number of client requests this replica, as
+	// command-leader, orders per instance. 0 or 1 disables batching and
+	// reproduces the paper's one-instance-per-request flow exactly.
+	BatchSize int
+	// BatchDelay is how long an incomplete batch waits for more requests
+	// before flushing (default DefaultBatchDelay; only used when
+	// BatchSize > 1).
+	BatchDelay time.Duration
 	// Byzantine, when non-nil, makes this replica misbehave (tests and
 	// fault-injection experiments only).
 	Byzantine *ByzantineBehavior
@@ -81,6 +95,15 @@ func (c *ReplicaConfig) validate() error {
 	}
 	if c.DepWaitTimeout <= 0 {
 		c.DepWaitTimeout = c.ResendTimeout
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 1
+	}
+	if c.BatchSize > MaxBatchSize {
+		return fmt.Errorf("core: batch size %d exceeds maximum %d", c.BatchSize, MaxBatchSize)
+	}
+	if c.BatchDelay <= 0 {
+		c.BatchDelay = DefaultBatchDelay
 	}
 	return nil
 }

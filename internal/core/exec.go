@@ -159,28 +159,42 @@ func (r *Replica) executeClosure(ctx proc.Context, closure []*entry) {
 	}
 }
 
-// finalExecute runs one command on the final state with exactly-once
-// semantics: if the same client request was already executed under a
-// different instance (a re-proposal after an owner change), the memoized
-// result is reused instead of re-executing.
+// finalExecute runs one entry's commands — the whole batch, in batch
+// order — on the final state with exactly-once semantics: if a client
+// request was already executed under a different instance (a re-proposal
+// after an owner change, or a duplicate landing in two different batches),
+// the memoized result is reused instead of re-executing.
 func (r *Replica) finalExecute(ctx proc.Context, e *entry) {
-	key := cmdKey{e.cmd.Client, e.cmd.Timestamp}
-	if e.cmd.IsNoop() {
-		e.finalResult = types.Result{OK: true}
-	} else if res, done := r.executed[key]; done {
-		e.finalResult = res
-	} else {
-		r.cfg.Costs.ChargeExecute(ctx)
-		e.finalResult = r.cfg.App.PromoteFinal(e.cmd)
-		r.executed[key] = e.finalResult
+	for i := 0; i < e.nCmds(); i++ {
+		cmd := e.cmdAt(i)
+		key := cmdKey{cmd.Client, cmd.Timestamp}
+		var res types.Result
+		if cmd.IsNoop() {
+			res = types.Result{OK: true}
+		} else if memo, done := r.executed[key]; done {
+			res = memo
+		} else {
+			r.cfg.Costs.ChargeExecute(ctx)
+			res = r.cfg.App.PromoteFinal(cmd)
+			r.executed[key] = res
+		}
+		e.setFinalResult(i, res)
+		r.execLog = append(r.execLog, ExecRecord{Inst: e.inst, Pos: i, Cmd: cmd, Result: res})
+		r.stats.FinalExecutions++
 	}
 	e.status = StatusExecuted
 	delete(r.pendingExec, e.inst)
-	r.execLog = append(r.execLog, ExecRecord{Inst: e.inst, Cmd: e.cmd, Result: e.finalResult})
-	r.stats.FinalExecutions++
-	if e.needsCommitReply {
-		e.needsCommitReply = false
-		r.sendCommitReply(ctx, e, e.replyTo)
+	if len(e.commitReplyTo) > 0 {
+		// Deterministic send order keeps simulations replayable.
+		idxs := make([]int, 0, len(e.commitReplyTo))
+		for idx := range e.commitReplyTo {
+			idxs = append(idxs, idx)
+		}
+		sort.Ints(idxs)
+		for _, idx := range idxs {
+			r.sendCommitReply(ctx, e, idx, e.commitReplyTo[idx])
+		}
+		e.commitReplyTo = nil
 	}
 }
 
@@ -192,6 +206,7 @@ func (r *Replica) ExecutedLog() []ExecRecord { return append([]ExecRecord(nil), 
 // ExecRecord is one finally executed command.
 type ExecRecord struct {
 	Inst   types.InstanceID
+	Pos    int // position within the instance's batch (0 when unbatched)
 	Cmd    types.Command
 	Result types.Result
 }

@@ -34,6 +34,8 @@ type clusterOpts struct {
 	slowTimeout   time.Duration
 	retryTimeout  time.Duration
 	resendTimeout time.Duration
+	batchSize     int
+	batchDelay    time.Duration
 	seed          int64
 }
 
@@ -80,6 +82,8 @@ func newTestCluster(t *testing.T, opts clusterOpts, leaders []types.ReplicaID, s
 			App:           app,
 			Auth:          a,
 			ResendTimeout: opts.resendTimeout,
+			BatchSize:     opts.batchSize,
+			BatchDelay:    opts.batchDelay,
 			Byzantine:     opts.byz[rid],
 		})
 		if err != nil {
@@ -153,15 +157,23 @@ func (tc *testCluster) checkConsistency() {
 	tc.t.Helper()
 	correct := tc.correctReplicas()
 
-	// (a) same command per instance.
-	byInst := make(map[types.InstanceID]types.Digest)
+	// Batched instances execute several commands at one instance; slots are
+	// therefore keyed by (instance, batch position).
+	type slotKey struct {
+		inst types.InstanceID
+		pos  int
+	}
+
+	// (a) same command per (instance, batch position).
+	byInst := make(map[slotKey]types.Digest)
 	for _, r := range correct {
 		for _, rec := range r.ExecutedLog() {
 			d := rec.Cmd.Digest()
-			if prev, ok := byInst[rec.Inst]; ok && prev != d {
-				tc.t.Fatalf("consistency violation: two commands executed at %v", rec.Inst)
+			k := slotKey{rec.Inst, rec.Pos}
+			if prev, ok := byInst[k]; ok && prev != d {
+				tc.t.Fatalf("consistency violation: two commands executed at %v[%d]", rec.Inst, rec.Pos)
 			}
-			byInst[rec.Inst] = d
+			byInst[k] = d
 		}
 	}
 
@@ -169,17 +181,17 @@ func (tc *testCluster) checkConsistency() {
 	ref := correct[0].ExecutedLog()
 	for _, r := range correct[1:] {
 		log := r.ExecutedLog()
-		pos := make(map[types.InstanceID]int, len(log))
+		pos := make(map[slotKey]int, len(log))
 		for i, rec := range log {
-			pos[rec.Inst] = i
+			pos[slotKey{rec.Inst, rec.Pos}] = i
 		}
 		for i := 0; i < len(ref); i++ {
 			for j := i + 1; j < len(ref); j++ {
 				if !ref[i].Cmd.Interferes(ref[j].Cmd) {
 					continue
 				}
-				pi, oki := pos[ref[i].Inst]
-				pj, okj := pos[ref[j].Inst]
+				pi, oki := pos[slotKey{ref[i].Inst, ref[i].Pos}]
+				pj, okj := pos[slotKey{ref[j].Inst, ref[j].Pos}]
 				if oki && okj && pi > pj {
 					tc.t.Fatalf("interfering commands %v and %v ordered differently at %v",
 						ref[i].Inst, ref[j].Inst, r.cfg.Self)

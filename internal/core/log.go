@@ -33,19 +33,30 @@ func (s Status) String() string {
 	}
 }
 
-// entry is one slot of one instance space in a replica's command log.
+// entry is one slot of one instance space in a replica's command log. With
+// owner-side batching one entry may order a whole batch of commands: cmd,
+// specResult, and finalResult describe the first command (the only one when
+// unbatched), and the extra* slices carry commands 2..k. The entry-level
+// protocol state (deps, seq, status) is shared by the batch — the batch
+// commits and executes as a unit, commands in batch order.
 type entry struct {
 	inst      types.InstanceID
 	owner     types.OwnerNumber
-	cmd       types.Command
-	cmdDigest types.Digest
-	deps      types.InstanceSet
-	seq       types.SeqNumber
-	status    Status
+	cmd       types.Command   // first command of the batch
+	extra     []types.Command // commands 2..k (nil when unbatched)
+	cmdDigest types.Digest    // batch digest (= cmd's digest when unbatched)
+	// cmdDigests caches every per-command digest for batched entries
+	// (len == nCmds); nil when unbatched (cmdDigest covers the one command).
+	cmdDigests []types.Digest
+	deps       types.InstanceSet
+	seq        types.SeqNumber
+	status     Status
 
 	specExecuted bool
-	specResult   types.Result
-	finalResult  types.Result
+	specResult   types.Result   // first command's speculative result
+	finalResult  types.Result   // first command's final result
+	extraSpec    []types.Result // speculative results for commands 2..k
+	extraFinal   []types.Result // final results for commands 2..k
 
 	// so retains the (signed) SPECORDER that introduced this entry; it is
 	// the proof carried in owner-change histories and retransmitted on
@@ -55,10 +66,91 @@ type entry struct {
 	// it is the Condition-1 proof in owner-change histories.
 	clientCommit *Commit
 
-	// needsCommitReply records the slow-path client to answer after final
-	// execution.
-	needsCommitReply bool
-	replyTo          types.ClientID
+	// commitReplyTo records, per batch position, the slow-path client to
+	// answer after final execution (nil until a COMMIT arrives).
+	commitReplyTo map[int]types.ClientID
+}
+
+// nCmds returns the number of commands the entry orders.
+func (e *entry) nCmds() int { return 1 + len(e.extra) }
+
+// cmdAt returns the i'th command of the batch (0 = cmd).
+func (e *entry) cmdAt(i int) types.Command {
+	if i == 0 {
+		return e.cmd
+	}
+	return e.extra[i-1]
+}
+
+// digestAt returns the i'th command's digest, from the cache when batched.
+func (e *entry) digestAt(i int) types.Digest {
+	if e.cmdDigests == nil {
+		return e.cmdDigest
+	}
+	return e.cmdDigests[i]
+}
+
+// cmdIndex returns the batch position of the command issued by (client, ts),
+// or -1 if the entry does not order it.
+func (e *entry) cmdIndex(client types.ClientID, ts uint64) int {
+	if e.cmd.Client == client && e.cmd.Timestamp == ts {
+		return 0
+	}
+	for i, cmd := range e.extra {
+		if cmd.Client == client && cmd.Timestamp == ts {
+			return i + 1
+		}
+	}
+	return -1
+}
+
+// specResultAt returns the i'th command's speculative result.
+func (e *entry) specResultAt(i int) types.Result {
+	if i == 0 {
+		return e.specResult
+	}
+	return e.extraSpec[i-1]
+}
+
+// setSpecResult records the i'th command's speculative result.
+func (e *entry) setSpecResult(i int, res types.Result) {
+	if i == 0 {
+		e.specResult = res
+		return
+	}
+	if e.extraSpec == nil {
+		e.extraSpec = make([]types.Result, len(e.extra))
+	}
+	e.extraSpec[i-1] = res
+}
+
+// finalResultAt returns the i'th command's final result.
+func (e *entry) finalResultAt(i int) types.Result {
+	if i == 0 {
+		return e.finalResult
+	}
+	return e.extraFinal[i-1]
+}
+
+// setFinalResult records the i'th command's final result.
+func (e *entry) setFinalResult(i int, res types.Result) {
+	if i == 0 {
+		e.finalResult = res
+		return
+	}
+	if e.extraFinal == nil {
+		e.extraFinal = make([]types.Result, len(e.extra))
+	}
+	e.extraFinal[i-1] = res
+}
+
+// needCommitReply records a slow-path client to answer after the i'th
+// command finally executes.
+func (e *entry) needCommitReply(i int, to types.ClientID) {
+	if e.commitReplyTo == nil {
+		e.commitReplyTo = make(map[int]types.ClientID, 1)
+	}
+	e.commitReplyTo[i] = to
 }
 
 // space is one replica's view of one instance space.

@@ -14,17 +14,30 @@
 // internal/graph). Faulty command-leaders are handled by the owner-change
 // protocol: their instance space is handed to the next replica and frozen.
 //
-// This file defines the wire messages (codec tags 10–20). Signed messages
+// This file defines the wire messages (codec tags 10–25). Signed messages
 // carry their signature separately from the body; the signature covers the
 // deterministic codec encoding of the body (signedBody).
+//
+// Batching (owner-side request batching): a SPECORDER may order a batch of
+// client requests in a single instance. Batches of one use the original
+// unbatched wire layout and tags 10–20 — byte-for-byte identical to the
+// pre-batching protocol — while batches of two or more use the parallel
+// "batched" tags 21–25, whose layouts extend the originals with the extra
+// requests (SPECORDER), a batch index (SPECREPLY), or per-element format
+// markers (POM, owner-change histories). The CmdDigest field of a batched
+// SPECORDER holds the batch digest (see BatchDigest); per-command digests
+// travel in the per-command SPECREPLYs.
 package core
 
 import (
+	"crypto/sha256"
+
 	"ezbft/internal/codec"
 	"ezbft/internal/types"
 )
 
-// Message type tags reserved by ezBFT.
+// Message type tags reserved by ezBFT (10–29; 30+ belong to the baseline
+// protocols).
 const (
 	tagRequest          = 10
 	tagSpecOrder        = 11
@@ -37,6 +50,24 @@ const (
 	tagOwnerChange      = 18
 	tagNewOwner         = 19
 	tagPOM              = 20
+	// Batched variants (batches of ≥ 2 requests per instance).
+	tagSpecOrderBatch  = 21
+	tagSpecReplyBatch  = 22
+	tagCommitFastBatch = 23
+	tagCommitBatch     = 24
+	tagPOMBatch        = 25
+)
+
+// maxBatch bounds the requests decoded per SPECORDER batch.
+const maxBatch = 4096
+
+// Embedded-pointer format markers: 0 = absent, 1 = unbatched layout,
+// 2 = batched layout. The unbatched values coincide with the booleans the
+// pre-batching encoding wrote, keeping batch-of-one frames byte-identical.
+const (
+	fmtAbsent  = 0
+	fmtSingle  = 1
+	fmtBatched = 2
 )
 
 // noOrig marks a Request that is not a retry broadcast.
@@ -82,26 +113,103 @@ func decodeRequest(r *codec.Reader) (*Request, error) {
 }
 
 // SpecOrder is the command-leader's signed ordering proposal,
-// ⟨⟨SPECORDER, O, I, D, S, h, d⟩σR, m⟩.
+// ⟨⟨SPECORDER, O, I, D, S, h, d⟩σR, m⟩. With owner-side batching enabled it
+// orders a whole batch of requests in one instance: Req is the first request
+// and Batch carries the rest; d is then the batch digest, so the one leader
+// signature covers every command in the batch.
 type SpecOrder struct {
 	Owner     types.OwnerNumber // owner number of the leader's instance space
 	Inst      types.InstanceID
 	Deps      types.InstanceSet
 	Seq       types.SeqNumber
 	LogHash   types.Digest // h: chained digest of the leader's instance space
-	CmdDigest types.Digest // d = H(m)
-	Req       Request      // the embedded client request m
+	CmdDigest types.Digest // d = H(m) (batch digest for batches of ≥ 2)
+	Req       Request      // the embedded client request m (first of the batch)
+	Batch     []Request    // requests 2..k of the batch (nil when unbatched)
 	Sig       []byte       // leader signature over the body (excluding Req's own signature envelope)
+
+	// sigVerified is set by a transport-side verifier pool (see
+	// SpecOrderVerifier) so the process loop skips re-verifying the leader
+	// and embedded client signatures. Never marshaled.
+	sigVerified bool
 }
 
+// MarkSigVerified records that the leader signature and every embedded
+// client signature were already verified (by a transport-side worker
+// pool); the replica's single-threaded loop then skips those checks. The
+// digest-binding check still runs in-loop.
+func (m *SpecOrder) MarkSigVerified() { m.sigVerified = true }
+
 // Tag implements codec.Message.
-func (m *SpecOrder) Tag() uint8 { return tagSpecOrder }
+func (m *SpecOrder) Tag() uint8 {
+	if len(m.Batch) > 0 {
+		return tagSpecOrderBatch
+	}
+	return tagSpecOrder
+}
 
 // MarshalTo implements codec.Message.
 func (m *SpecOrder) MarshalTo(w *codec.Writer) {
 	m.marshalBody(w)
 	w.Blob(m.Sig)
 	m.Req.MarshalTo(w)
+	if len(m.Batch) > 0 {
+		w.Uvarint(uint64(len(m.Batch)))
+		for i := range m.Batch {
+			m.Batch[i].MarshalTo(w)
+		}
+	}
+}
+
+// BatchSize returns the number of requests this SPECORDER orders.
+func (m *SpecOrder) BatchSize() int { return 1 + len(m.Batch) }
+
+// ReqAt returns the i'th request of the batch (0 = Req).
+func (m *SpecOrder) ReqAt(i int) *Request {
+	if i == 0 {
+		return &m.Req
+	}
+	return &m.Batch[i-1]
+}
+
+// OrdersCommand reports whether the SPECORDER's batch embeds cmd. Plain
+// byte comparison — no hashing — so clients can gate per-reply checks
+// cheaply; cryptographic binding is re-checked where it matters (POM
+// validation at the replicas).
+func (m *SpecOrder) OrdersCommand(cmd types.Command) bool {
+	for i := 0; i < m.BatchSize(); i++ {
+		if m.ReqAt(i).Cmd.Equal(cmd) {
+			return true
+		}
+	}
+	return false
+}
+
+// CmdDigests returns the per-command digests of the batch, in batch order.
+func (m *SpecOrder) CmdDigests() []types.Digest {
+	out := make([]types.Digest, m.BatchSize())
+	for i := range out {
+		out[i] = m.ReqAt(i).Cmd.Digest()
+	}
+	return out
+}
+
+// BatchDigest computes the digest d a SPECORDER carries for a batch of
+// per-command digests: the single command's digest for a batch of one
+// (exactly the unbatched protocol's d = H(m)), or the hash of the
+// concatenated per-command digests for larger batches, so one signature
+// binds every command and its position.
+func BatchDigest(cmdDigests []types.Digest) types.Digest {
+	if len(cmdDigests) == 1 {
+		return cmdDigests[0]
+	}
+	h := sha256.New()
+	for i := range cmdDigests {
+		h.Write(cmdDigests[i][:])
+	}
+	var d types.Digest
+	copy(d[:], h.Sum(nil))
+	return d
 }
 
 func (m *SpecOrder) marshalBody(w *codec.Writer) {
@@ -121,6 +229,12 @@ func (m *SpecOrder) SignedBody() []byte {
 }
 
 func decodeSpecOrder(r *codec.Reader) (*SpecOrder, error) {
+	return decodeSpecOrderFmt(r, false)
+}
+
+// decodeSpecOrderFmt parses either SPECORDER layout; batched selects the
+// tag-21 layout with the trailing extra requests.
+func decodeSpecOrderFmt(r *codec.Reader, batched bool) (*SpecOrder, error) {
 	m := &SpecOrder{
 		Owner:     types.OwnerNumber(r.Uvarint()),
 		Inst:      r.Instance(),
@@ -135,11 +249,33 @@ func decodeSpecOrder(r *codec.Reader) (*SpecOrder, error) {
 		return nil, err
 	}
 	m.Req = *req
+	if batched {
+		n := r.Uvarint()
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		// Total batch (1+n) is capped at MaxBatchSize, matching what a
+		// leader may produce, so decode and verify agree at the boundary.
+		if n == 0 || n > maxBatch-2 {
+			return nil, codec.ErrOverflow
+		}
+		m.Batch = make([]Request, 0, n)
+		for i := uint64(0); i < n; i++ {
+			extra, err := decodeRequest(r)
+			if err != nil {
+				return nil, err
+			}
+			m.Batch = append(m.Batch, *extra)
+		}
+	}
 	return m, r.Err()
 }
 
 // SpecReply is a replica's signed answer to the client,
-// ⟨⟨SPECREPLY, O, I, D′, S′, d, c, t⟩σR, R, rep, SO⟩.
+// ⟨⟨SPECREPLY, O, I, D′, S′, d, c, t⟩σR, R, rep, SO⟩. For batched instances
+// a replica sends one SPECREPLY per command, each naming the command's
+// position in the batch (BatchIdx) and carrying the per-command digest in
+// CmdDigest, so every client correlates and validates its own command.
 type SpecReply struct {
 	Owner     types.OwnerNumber
 	Inst      types.InstanceID
@@ -150,21 +286,25 @@ type SpecReply struct {
 	Timestamp uint64
 	Replica   types.ReplicaID
 	Result    types.Result // rep: the speculative execution result
+	Batched   bool         // true when the instance orders a batch of ≥ 2
+	BatchIdx  uint32       // position of the command within the batch
 	SO        *SpecOrder   // the embedded SPECORDER (client checks for equivocation)
 	Sig       []byte
 }
 
 // Tag implements codec.Message.
-func (m *SpecReply) Tag() uint8 { return tagSpecReply }
+func (m *SpecReply) Tag() uint8 {
+	if m.Batched {
+		return tagSpecReplyBatch
+	}
+	return tagSpecReply
+}
 
 // MarshalTo implements codec.Message.
 func (m *SpecReply) MarshalTo(w *codec.Writer) {
 	m.marshalBody(w)
 	w.Blob(m.Sig)
-	w.Bool(m.SO != nil)
-	if m.SO != nil {
-		m.SO.MarshalTo(w)
-	}
+	marshalSpecOrderPtr(w, m.SO)
 }
 
 func (m *SpecReply) marshalBody(w *codec.Writer) {
@@ -178,6 +318,44 @@ func (m *SpecReply) marshalBody(w *codec.Writer) {
 	w.Int32(int32(m.Replica))
 	w.Bool(m.Result.OK)
 	w.Blob(m.Result.Value)
+	if m.Batched {
+		// The batch index is part of the signed body: a reply for one
+		// command of a batch cannot be replayed as a reply for another.
+		w.Uvarint(uint64(m.BatchIdx))
+	}
+}
+
+// marshalSpecOrderPtr encodes an optional embedded SPECORDER with a format
+// marker byte (absent / unbatched / batched). The unbatched markers match
+// the boolean the pre-batching layout wrote.
+func marshalSpecOrderPtr(w *codec.Writer, so *SpecOrder) {
+	switch {
+	case so == nil:
+		w.Uint8(fmtAbsent)
+	case len(so.Batch) > 0:
+		w.Uint8(fmtBatched)
+		so.MarshalTo(w)
+	default:
+		w.Uint8(fmtSingle)
+		so.MarshalTo(w)
+	}
+}
+
+// decodeSpecOrderPtr parses the counterpart of marshalSpecOrderPtr.
+func decodeSpecOrderPtr(r *codec.Reader) (*SpecOrder, error) {
+	switch marker := r.Uint8(); marker {
+	case fmtAbsent:
+		return nil, r.Err()
+	case fmtSingle:
+		return decodeSpecOrderFmt(r, false)
+	case fmtBatched:
+		return decodeSpecOrderFmt(r, true)
+	default:
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		return nil, codec.ErrUnknownType
+	}
 }
 
 // SignedBody returns the bytes the replica signature covers.
@@ -189,7 +367,7 @@ func (m *SpecReply) SignedBody() []byte {
 
 // Matches reports whether two replies agree on every field the client
 // compares for the fast-path decision (paper step 4.1): O, I, D′, S′, c, t,
-// and rep.
+// and rep (plus the batch position, which is fixed per command anyway).
 func (m *SpecReply) Matches(o *SpecReply) bool {
 	return m.Owner == o.Owner &&
 		m.Inst == o.Inst &&
@@ -197,11 +375,17 @@ func (m *SpecReply) Matches(o *SpecReply) bool {
 		m.CmdDigest == o.CmdDigest &&
 		m.Client == o.Client &&
 		m.Timestamp == o.Timestamp &&
+		m.Batched == o.Batched &&
+		m.BatchIdx == o.BatchIdx &&
 		m.Result.Equal(o.Result) &&
 		m.Deps.Equal(o.Deps)
 }
 
 func decodeSpecReply(r *codec.Reader) (*SpecReply, error) {
+	return decodeSpecReplyFmt(r, false)
+}
+
+func decodeSpecReplyFmt(r *codec.Reader, batched bool) (*SpecReply, error) {
 	m := &SpecReply{
 		Owner:     types.OwnerNumber(r.Uvarint()),
 		Inst:      r.Instance(),
@@ -214,14 +398,20 @@ func decodeSpecReply(r *codec.Reader) (*SpecReply, error) {
 	}
 	m.Result.OK = r.Bool()
 	m.Result.Value = r.Blob()
-	m.Sig = r.Blob()
-	if r.Bool() {
-		so, err := decodeSpecOrder(r)
-		if err != nil {
-			return nil, err
+	if batched {
+		m.Batched = true
+		idx := r.Uvarint()
+		if idx >= maxBatch {
+			return nil, codec.ErrOverflow
 		}
-		m.SO = so
+		m.BatchIdx = uint32(idx)
 	}
+	m.Sig = r.Blob()
+	so, err := decodeSpecOrderPtr(r)
+	if err != nil {
+		return nil, err
+	}
+	m.SO = so
 	return m, r.Err()
 }
 
@@ -234,7 +424,17 @@ type CommitFast struct {
 }
 
 // Tag implements codec.Message.
-func (m *CommitFast) Tag() uint8 { return tagCommitFast }
+func (m *CommitFast) Tag() uint8 {
+	if certBatched(m.Cert) {
+		return tagCommitFastBatch
+	}
+	return tagCommitFast
+}
+
+// certBatched reports whether a certificate's replies use the batched
+// layout. Certificates are homogeneous: every reply vouches for the same
+// command of the same instance.
+func certBatched(cert []*SpecReply) bool { return len(cert) > 0 && cert[0].Batched }
 
 // MarshalTo implements codec.Message.
 func (m *CommitFast) MarshalTo(w *codec.Writer) {
@@ -246,11 +446,22 @@ func (m *CommitFast) MarshalTo(w *codec.Writer) {
 	}
 }
 
-func decodeCommitFast(r *codec.Reader) (*CommitFast, error) {
+func decodeCommitFast(r *codec.Reader, batched bool) (*CommitFast, error) {
 	m := &CommitFast{
 		Client: types.ClientID(r.Int32()),
 		Inst:   r.Instance(),
 	}
+	cert, err := decodeCert(r, batched)
+	if err != nil {
+		return nil, err
+	}
+	m.Cert = cert
+	return m, r.Err()
+}
+
+// decodeCert parses a SPECREPLY certificate whose elements all use one
+// layout (selected by the parent message's tag).
+func decodeCert(r *codec.Reader, batched bool) ([]*SpecReply, error) {
 	n := r.Uvarint()
 	if err := r.Err(); err != nil {
 		return nil, err
@@ -258,15 +469,15 @@ func decodeCommitFast(r *codec.Reader) (*CommitFast, error) {
 	if n > 64 {
 		return nil, codec.ErrOverflow
 	}
-	m.Cert = make([]*SpecReply, 0, n)
+	cert := make([]*SpecReply, 0, n)
 	for i := uint64(0); i < n; i++ {
-		sr, err := decodeSpecReply(r)
+		sr, err := decodeSpecReplyFmt(r, batched)
 		if err != nil {
 			return nil, err
 		}
-		m.Cert = append(m.Cert, sr)
+		cert = append(cert, sr)
 	}
-	return m, r.Err()
+	return cert, nil
 }
 
 // Commit is the client's signed slow-path commit,
@@ -282,7 +493,12 @@ type Commit struct {
 }
 
 // Tag implements codec.Message.
-func (m *Commit) Tag() uint8 { return tagCommit }
+func (m *Commit) Tag() uint8 {
+	if certBatched(m.Cert) {
+		return tagCommitBatch
+	}
+	return tagCommit
+}
 
 // MarshalTo implements codec.Message.
 func (m *Commit) MarshalTo(w *codec.Writer) {
@@ -309,7 +525,7 @@ func (m *Commit) SignedBody() []byte {
 	return w.Bytes()
 }
 
-func decodeCommit(r *codec.Reader) (*Commit, error) {
+func decodeCommit(r *codec.Reader, batched bool) (*Commit, error) {
 	m := &Commit{
 		Client:    types.ClientID(r.Int32()),
 		Timestamp: r.Uvarint(),
@@ -318,21 +534,11 @@ func decodeCommit(r *codec.Reader) (*Commit, error) {
 		Seq:       types.SeqNumber(r.Uvarint()),
 	}
 	m.Sig = r.Blob()
-	n := r.Uvarint()
-	if err := r.Err(); err != nil {
+	cert, err := decodeCert(r, batched)
+	if err != nil {
 		return nil, err
 	}
-	if n > 64 {
-		return nil, codec.ErrOverflow
-	}
-	m.Cert = make([]*SpecReply, 0, n)
-	for i := uint64(0); i < n; i++ {
-		sr, err := decodeSpecReply(r)
-		if err != nil {
-			return nil, err
-		}
-		m.Cert = append(m.Cert, sr)
-	}
+	m.Cert = cert
 	return m, r.Err()
 }
 
@@ -457,14 +663,22 @@ const (
 	HistCommitted
 )
 
+// histBatchFlag marks a history entry that carries a batch of commands; it
+// is OR'ed into the status byte on the wire so unbatched entries keep the
+// pre-batching layout.
+const histBatchFlag = 0x80
+
 // HistEntry is one instance of the suspect's space as reported in an
 // OWNERCHANGE message, with the proof backing it: the leader-signed
 // SPECORDER for spec-ordered (and fast-committed) entries, and the
-// client-signed COMMIT for slow-committed entries.
+// client-signed COMMIT for slow-committed entries. Batched instances are
+// reported — and recovered — whole: Cmd is the first command of the batch
+// and Batch carries the rest, so an owner change can never split a batch.
 type HistEntry struct {
 	Inst         types.InstanceID
 	Status       HistStatus
 	Cmd          types.Command
+	Batch        []types.Command // commands 2..k of a batched instance
 	Deps         types.InstanceSet
 	Seq          types.SeqNumber
 	Owner        types.OwnerNumber
@@ -474,45 +688,88 @@ type HistEntry struct {
 
 func (h *HistEntry) marshalTo(w *codec.Writer) {
 	w.Instance(h.Inst)
-	w.Uint8(uint8(h.Status))
+	status := uint8(h.Status)
+	if len(h.Batch) > 0 {
+		status |= histBatchFlag
+	}
+	w.Uint8(status)
 	w.Command(h.Cmd)
 	w.InstanceSet(h.Deps)
 	w.Uvarint(uint64(h.Seq))
 	w.Uvarint(uint64(h.Owner))
-	w.Bool(h.SO != nil)
-	if h.SO != nil {
-		h.SO.MarshalTo(w)
-	}
-	w.Bool(h.ClientCommit != nil)
-	if h.ClientCommit != nil {
+	marshalSpecOrderPtr(w, h.SO)
+	switch {
+	case h.ClientCommit == nil:
+		w.Uint8(fmtAbsent)
+	case certBatched(h.ClientCommit.Cert):
+		w.Uint8(fmtBatched)
 		h.ClientCommit.MarshalTo(w)
+	default:
+		w.Uint8(fmtSingle)
+		h.ClientCommit.MarshalTo(w)
+	}
+	if len(h.Batch) > 0 {
+		w.Uvarint(uint64(len(h.Batch)))
+		for _, cmd := range h.Batch {
+			w.Command(cmd)
+		}
 	}
 }
 
 func decodeHistEntry(r *codec.Reader) (HistEntry, error) {
-	h := HistEntry{
-		Inst:   r.Instance(),
-		Status: HistStatus(r.Uint8()),
-		Cmd:    r.Command(),
-		Deps:   r.InstanceSet(),
-		Seq:    types.SeqNumber(r.Uvarint()),
-		Owner:  types.OwnerNumber(r.Uvarint()),
+	h := HistEntry{Inst: r.Instance()}
+	status := r.Uint8()
+	batched := status&histBatchFlag != 0
+	h.Status = HistStatus(status &^ histBatchFlag)
+	h.Cmd = r.Command()
+	h.Deps = r.InstanceSet()
+	h.Seq = types.SeqNumber(r.Uvarint())
+	h.Owner = types.OwnerNumber(r.Uvarint())
+	so, err := decodeSpecOrderPtr(r)
+	if err != nil {
+		return h, err
 	}
-	if r.Bool() {
-		so, err := decodeSpecOrder(r)
-		if err != nil {
-			return h, err
-		}
-		h.SO = so
-	}
-	if r.Bool() {
-		c, err := decodeCommit(r)
+	h.SO = so
+	switch marker := r.Uint8(); marker {
+	case fmtAbsent:
+	case fmtSingle, fmtBatched:
+		c, err := decodeCommit(r, marker == fmtBatched)
 		if err != nil {
 			return h, err
 		}
 		h.ClientCommit = c
+	default:
+		if err := r.Err(); err != nil {
+			return h, err
+		}
+		return h, codec.ErrUnknownType
+	}
+	if batched {
+		n := r.Uvarint()
+		if err := r.Err(); err != nil {
+			return h, err
+		}
+		// Same total-batch cap as decodeSpecOrderFmt (1+n ≤ MaxBatchSize).
+		if n == 0 || n > maxBatch-2 {
+			return h, codec.ErrOverflow
+		}
+		h.Batch = make([]types.Command, 0, n)
+		for i := uint64(0); i < n; i++ {
+			h.Batch = append(h.Batch, r.Command())
+		}
 	}
 	return h, r.Err()
+}
+
+// BatchSize returns the number of commands the entry carries.
+func (h *HistEntry) BatchSize() int { return 1 + len(h.Batch) }
+
+// CmdAt returns the i'th command of the entry (0 = Cmd).
+func (h *HistEntry) CmdAt(i int) types.Command {
+	if i == 0 {
+		return h.Cmd
+	}
+	return h.Batch[i-1]
 }
 
 // OwnerChange carries a replica's view of the suspect's instance space to
@@ -668,30 +925,51 @@ type POM struct {
 }
 
 // Tag implements codec.Message.
-func (m *POM) Tag() uint8 { return tagPOM }
+func (m *POM) Tag() uint8 {
+	if (m.A != nil && len(m.A.Batch) > 0) || (m.B != nil && len(m.B.Batch) > 0) {
+		return tagPOMBatch
+	}
+	return tagPOM
+}
 
 // MarshalTo implements codec.Message.
 func (m *POM) MarshalTo(w *codec.Writer) {
 	w.Int32(int32(m.Suspect))
 	w.Uvarint(uint64(m.Owner))
 	w.Int32(int32(m.Client))
+	if m.Tag() == tagPOMBatch {
+		// A and B may mix layouts (an equivocating leader can sign one
+		// batched and one unbatched SPECORDER), so each carries a marker.
+		marshalSpecOrderPtr(w, m.A)
+		marshalSpecOrderPtr(w, m.B)
+		return
+	}
 	m.A.MarshalTo(w)
 	m.B.MarshalTo(w)
 }
 
-func decodePOM(r *codec.Reader) (*POM, error) {
+func decodePOM(r *codec.Reader, batched bool) (*POM, error) {
 	m := &POM{
 		Suspect: types.ReplicaID(r.Int32()),
 		Owner:   types.OwnerNumber(r.Uvarint()),
 		Client:  types.ClientID(r.Int32()),
 	}
-	a, err := decodeSpecOrder(r)
-	if err != nil {
-		return nil, err
-	}
-	b, err := decodeSpecOrder(r)
-	if err != nil {
-		return nil, err
+	var a, b *SpecOrder
+	var err error
+	if batched {
+		if a, err = decodeSpecOrderPtr(r); err != nil {
+			return nil, err
+		}
+		if b, err = decodeSpecOrderPtr(r); err != nil {
+			return nil, err
+		}
+	} else {
+		if a, err = decodeSpecOrder(r); err != nil {
+			return nil, err
+		}
+		if b, err = decodeSpecOrder(r); err != nil {
+			return nil, err
+		}
 	}
 	m.A, m.B = a, b
 	return m, r.Err()
@@ -701,12 +979,17 @@ func init() {
 	codec.Register(tagRequest, "ezbft.Request", func(r *codec.Reader) (codec.Message, error) { return decodeRequest(r) })
 	codec.Register(tagSpecOrder, "ezbft.SpecOrder", func(r *codec.Reader) (codec.Message, error) { return decodeSpecOrder(r) })
 	codec.Register(tagSpecReply, "ezbft.SpecReply", func(r *codec.Reader) (codec.Message, error) { return decodeSpecReply(r) })
-	codec.Register(tagCommitFast, "ezbft.CommitFast", func(r *codec.Reader) (codec.Message, error) { return decodeCommitFast(r) })
-	codec.Register(tagCommit, "ezbft.Commit", func(r *codec.Reader) (codec.Message, error) { return decodeCommit(r) })
+	codec.Register(tagCommitFast, "ezbft.CommitFast", func(r *codec.Reader) (codec.Message, error) { return decodeCommitFast(r, false) })
+	codec.Register(tagCommit, "ezbft.Commit", func(r *codec.Reader) (codec.Message, error) { return decodeCommit(r, false) })
 	codec.Register(tagCommitReply, "ezbft.CommitReply", func(r *codec.Reader) (codec.Message, error) { return decodeCommitReply(r) })
 	codec.Register(tagResendReq, "ezbft.ResendReq", func(r *codec.Reader) (codec.Message, error) { return decodeResendReq(r) })
 	codec.Register(tagStartOwnerChange, "ezbft.StartOwnerChange", func(r *codec.Reader) (codec.Message, error) { return decodeStartOwnerChange(r) })
 	codec.Register(tagOwnerChange, "ezbft.OwnerChange", func(r *codec.Reader) (codec.Message, error) { return decodeOwnerChange(r) })
 	codec.Register(tagNewOwner, "ezbft.NewOwner", func(r *codec.Reader) (codec.Message, error) { return decodeNewOwner(r) })
-	codec.Register(tagPOM, "ezbft.POM", func(r *codec.Reader) (codec.Message, error) { return decodePOM(r) })
+	codec.Register(tagPOM, "ezbft.POM", func(r *codec.Reader) (codec.Message, error) { return decodePOM(r, false) })
+	codec.Register(tagSpecOrderBatch, "ezbft.SpecOrderB", func(r *codec.Reader) (codec.Message, error) { return decodeSpecOrderFmt(r, true) })
+	codec.Register(tagSpecReplyBatch, "ezbft.SpecReplyB", func(r *codec.Reader) (codec.Message, error) { return decodeSpecReplyFmt(r, true) })
+	codec.Register(tagCommitFastBatch, "ezbft.CommitFastB", func(r *codec.Reader) (codec.Message, error) { return decodeCommitFast(r, true) })
+	codec.Register(tagCommitBatch, "ezbft.CommitB", func(r *codec.Reader) (codec.Message, error) { return decodeCommit(r, true) })
+	codec.Register(tagPOMBatch, "ezbft.POMB", func(r *codec.Reader) (codec.Message, error) { return decodePOM(r, true) })
 }

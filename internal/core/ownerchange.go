@@ -65,7 +65,7 @@ func (r *Replica) initiateOwnerChange(ctx proc.Context, suspect types.ReplicaID)
 	r.oc.sentStart[key] = true
 	msg := &StartOwnerChange{Suspect: suspect, Owner: key.owner, Replica: r.cfg.Self}
 	r.cfg.Costs.ChargeSign(ctx)
-	msg.Sig = r.cfg.Auth.Sign(msg.SignedBody())
+	msg.Sig = signBody(r.cfg.Auth, msg)
 	r.broadcastReplicas(ctx, msg)
 	// Count our own vote locally.
 	r.recordStartVote(ctx, key, r.cfg.Self)
@@ -89,18 +89,40 @@ func (r *Replica) handlePOM(ctx proc.Context, m *POM) {
 		return
 	}
 	r.cfg.Costs.ChargeVerify(ctx, 2)
-	if r.cfg.Auth.Verify(types.ReplicaNode(owner), m.A.SignedBody(), m.A.Sig) != nil ||
-		r.cfg.Auth.Verify(types.ReplicaNode(owner), m.B.SignedBody(), m.B.Sig) != nil {
+	if verifyBody(r.cfg.Auth, types.ReplicaNode(owner), m.A, m.A.Sig) != nil ||
+		verifyBody(r.cfg.Auth, types.ReplicaNode(owner), m.B, m.B.Sig) != nil {
 		r.stats.DroppedInvalid++
 		return
 	}
-	equivocated := (m.A.CmdDigest == m.B.CmdDigest && m.A.Inst != m.B.Inst) ||
+	// Equivocation: the same command ordered at two instances (for batches:
+	// any command shared by both batches), or two different batches signed
+	// for the same instance.
+	equivocated := (m.A.Inst != m.B.Inst && soShareCommand(m.A, m.B)) ||
 		(m.A.Inst == m.B.Inst && m.A.CmdDigest != m.B.CmdDigest)
 	if !equivocated {
 		r.stats.DroppedInvalid++
 		return
 	}
 	r.initiateOwnerChange(ctx, m.Suspect)
+}
+
+// soShareCommand reports whether two SPECORDERs order at least one common
+// command. Unbatched SPECORDERs compare their signed batch digests (exactly
+// the pre-batching check); batched ones compare per-command digests.
+func soShareCommand(a, b *SpecOrder) bool {
+	if len(a.Batch) == 0 && len(b.Batch) == 0 {
+		return a.CmdDigest == b.CmdDigest
+	}
+	bd := make(map[types.Digest]bool, b.BatchSize())
+	for _, d := range b.CmdDigests() {
+		bd[d] = true
+	}
+	for _, d := range a.CmdDigests() {
+		if bd[d] {
+			return true
+		}
+	}
+	return false
 }
 
 // handleStartOwnerChange counts a vote; on f+1 votes the replica commits to
@@ -114,7 +136,7 @@ func (r *Replica) handleStartOwnerChange(ctx proc.Context, m *StartOwnerChange) 
 		return // stale or future round
 	}
 	r.cfg.Costs.ChargeVerify(ctx, 1)
-	if err := r.cfg.Auth.Verify(types.ReplicaNode(m.Replica), m.SignedBody(), m.Sig); err != nil {
+	if err := verifyBody(r.cfg.Auth, types.ReplicaNode(m.Replica), m, m.Sig); err != nil {
 		r.stats.DroppedInvalid++
 		return
 	}
@@ -141,7 +163,7 @@ func (r *Replica) recordStartVote(ctx proc.Context, key changeKey, from types.Re
 		r.oc.sentStart[key] = true
 		msg := &StartOwnerChange{Suspect: key.suspect, Owner: key.owner, Replica: r.cfg.Self}
 		r.cfg.Costs.ChargeSign(ctx)
-		msg.Sig = r.cfg.Auth.Sign(msg.SignedBody())
+		msg.Sig = signBody(r.cfg.Auth, msg)
 		r.broadcastReplicas(ctx, msg)
 	}
 
@@ -156,7 +178,7 @@ func (r *Replica) recordStartVote(ctx proc.Context, key changeKey, from types.Re
 		History:  r.historyOf(key.suspect),
 	}
 	r.cfg.Costs.ChargeSign(ctx)
-	oc.Sig = r.cfg.Auth.Sign(oc.SignedBody())
+	oc.Sig = signBody(r.cfg.Auth, oc)
 	if newOwner == r.cfg.Self {
 		r.acceptOwnerChange(ctx, oc)
 	} else {
@@ -179,6 +201,7 @@ func (r *Replica) historyOf(suspect types.ReplicaID) []HistEntry {
 		h := HistEntry{
 			Inst:  e.inst,
 			Cmd:   e.cmd,
+			Batch: e.extra, // batches are reported whole
 			Deps:  e.deps.Clone(),
 			Seq:   e.seq,
 			Owner: e.owner,
@@ -206,7 +229,7 @@ func (r *Replica) handleOwnerChange(ctx proc.Context, m *OwnerChange) {
 		return
 	}
 	r.cfg.Costs.ChargeVerify(ctx, 1)
-	if err := r.cfg.Auth.Verify(types.ReplicaNode(m.Replica), m.SignedBody(), m.Sig); err != nil {
+	if err := verifyBody(r.cfg.Auth, types.ReplicaNode(m.Replica), m, m.Sig); err != nil {
 		r.stats.DroppedInvalid++
 		return
 	}
@@ -243,7 +266,7 @@ func (r *Replica) acceptOwnerChange(ctx proc.Context, m *OwnerChange) {
 		Safe:        safe,
 	}
 	r.cfg.Costs.ChargeSign(ctx)
-	msg.Sig = r.cfg.Auth.Sign(msg.SignedBody())
+	msg.Sig = signBody(r.cfg.Auth, msg)
 	r.broadcastReplicas(ctx, msg)
 	r.applyNewOwner(ctx, msg)
 	r.stats.OwnerChanges++
@@ -274,21 +297,29 @@ func (r *Replica) selectSafeHistory(ctx proc.Context, key changeKey, proof []*Ow
 				maxSlot = h.Inst.Slot
 			}
 			// Condition 1: client-signed COMMIT proves the entry outright.
-			if h.Status == HistCommitted && h.ClientCommit != nil && !committedSlots[h.Inst.Slot] {
+			// The COMMIT signature covers (client, timestamp, instance,
+			// deps, seq) but not the commands, so the reported commands must
+			// additionally be bound to a leader-signed SPECORDER for the
+			// same instance — otherwise a byzantine history sender could
+			// pair a genuine COMMIT with substituted commands (whole
+			// batches ride along, so the check covers every command).
+			if h.Status == HistCommitted && h.ClientCommit != nil && !committedSlots[h.Inst.Slot] &&
+				h.SO != nil && h.SO.Inst == h.Inst && histBoundToSO(&h) {
 				cc := h.ClientCommit
-				r.cfg.Costs.ChargeVerify(ctx, 1)
+				r.cfg.Costs.ChargeVerify(ctx, 2)
 				if cc.Inst == h.Inst &&
-					r.cfg.Auth.Verify(types.ClientNode(cc.Client), cc.SignedBody(), cc.Sig) == nil {
+					verifyBody(r.cfg.Auth, types.ClientNode(cc.Client), cc, cc.Sig) == nil &&
+					verifyBody(r.cfg.Auth, types.ReplicaNode(key.owner.OwnerOf(r.n)), h.SO, h.SO.Sig) == nil {
 					committedSlots[h.Inst.Slot] = true
 					committed = append(committed, HistEntry{
-						Inst: h.Inst, Status: HistCommitted, Cmd: h.Cmd,
+						Inst: h.Inst, Status: HistCommitted, Cmd: h.Cmd, Batch: h.Batch,
 						Deps: cc.Deps.Clone(), Seq: cc.Seq, Owner: key.owner,
 					})
 					continue
 				}
 			}
 			// Condition 2 accumulation: leader-signed SPECORDER claims.
-			if h.SO == nil || h.SO.Inst != h.Inst || h.SO.CmdDigest != h.Cmd.Digest() {
+			if h.SO == nil || h.SO.Inst != h.Inst || !histBoundToSO(&h) {
 				continue
 			}
 			slotClaims, ok := bySlot[h.Inst.Slot]
@@ -322,7 +353,7 @@ func (r *Replica) selectSafeHistory(ctx proc.Context, key changeKey, proof []*Ow
 					// Verify one representative SPECORDER signature.
 					r.cfg.Costs.ChargeVerify(ctx, 1)
 					owner := key.owner.OwnerOf(r.n)
-					if r.cfg.Auth.Verify(types.ReplicaNode(owner), c.sample.SO.SignedBody(), c.sample.SO.Sig) == nil {
+					if verifyBody(r.cfg.Auth, types.ReplicaNode(owner), c.sample.SO, c.sample.SO.Sig) == nil {
 						chosen = c
 						break
 					}
@@ -332,7 +363,7 @@ func (r *Replica) selectSafeHistory(ctx proc.Context, key changeKey, proof []*Ow
 		inst := types.InstanceID{Space: key.suspect, Slot: slot}
 		if chosen != nil {
 			safe = append(safe, HistEntry{
-				Inst: inst, Status: HistCommitted, Cmd: chosen.sample.Cmd,
+				Inst: inst, Status: HistCommitted, Cmd: chosen.sample.Cmd, Batch: chosen.sample.Batch,
 				Deps: chosen.deps.Clone(), Seq: chosen.seq, Owner: key.owner, SO: chosen.sample.SO,
 			})
 		} else {
@@ -358,7 +389,7 @@ func (r *Replica) handleNewOwner(ctx proc.Context, m *NewOwnerMsg) {
 		return
 	}
 	r.cfg.Costs.ChargeVerify(ctx, 1+len(m.Proof))
-	if err := r.cfg.Auth.Verify(types.ReplicaNode(m.Replica), m.SignedBody(), m.Sig); err != nil {
+	if err := verifyBody(r.cfg.Auth, types.ReplicaNode(m.Replica), m, m.Sig); err != nil {
 		r.stats.DroppedInvalid++
 		return
 	}
@@ -369,7 +400,7 @@ func (r *Replica) handleNewOwner(ctx proc.Context, m *NewOwnerMsg) {
 		if oc.Suspect != m.Suspect || oc.NewOwner != m.NewOwnerNum {
 			continue
 		}
-		if r.cfg.Auth.Verify(types.ReplicaNode(oc.Replica), oc.SignedBody(), oc.Sig) == nil {
+		if verifyBody(r.cfg.Auth, types.ReplicaNode(oc.Replica), oc, oc.Sig) == nil {
 			valid[oc.Replica] = true
 		}
 	}
@@ -401,26 +432,51 @@ func (r *Replica) applyNewOwner(ctx proc.Context, m *NewOwnerMsg) {
 		e := r.log.get(h.Inst)
 		if e == nil {
 			e = &entry{
-				inst:      h.Inst,
-				owner:     h.Owner,
-				cmd:       h.Cmd,
-				cmdDigest: h.Cmd.Digest(),
-				so:        h.SO,
+				inst:  h.Inst,
+				owner: h.Owner,
+				so:    h.SO,
 			}
 			r.log.put(e)
-			if !h.Cmd.IsNoop() {
-				r.instByCmd[cmdKey{h.Cmd.Client, h.Cmd.Timestamp}] = h.Inst
+			for j := 0; j < h.BatchSize(); j++ {
+				cmd := h.CmdAt(j)
+				if !cmd.IsNoop() {
+					r.instByCmd[cmdKey{cmd.Client, cmd.Timestamp}] = h.Inst
+				}
 			}
 		}
 		if e.status >= StatusExecuted {
 			continue
 		}
+		// Install the safe entry's content — the whole batch, never a
+		// fragment of one — so every replica finalizes identical commands.
 		e.cmd = h.Cmd
-		e.cmdDigest = h.Cmd.Digest()
+		e.extra = h.Batch
+		if len(h.Batch) > 0 {
+			digests := make([]types.Digest, h.BatchSize())
+			for j := range digests {
+				digests[j] = h.CmdAt(j).Digest()
+			}
+			e.cmdDigests = digests
+			e.cmdDigest = BatchDigest(digests)
+		} else {
+			e.cmdDigests = nil
+			e.cmdDigest = h.Cmd.Digest()
+		}
 		e.deps = h.Deps.Clone()
 		e.seq = h.Seq
 		e.status = StatusCommitted
-		r.deps.update(e.inst, e.cmd, e.seq)
+		// The installed content may differ from what a pending slow-path
+		// COMMIT referred to (different batch, or a no-op): drop reply
+		// obligations that no longer name a command of this entry — the
+		// affected client re-drives its request at a live leader.
+		for idx, to := range e.commitReplyTo {
+			if idx >= e.nCmds() || e.cmdAt(idx).Client != to {
+				delete(e.commitReplyTo, idx)
+			}
+		}
+		for j := 0; j < e.nCmds(); j++ {
+			r.deps.update(e.inst, e.cmdAt(j), e.seq)
+		}
 		r.pendingExec[e.inst] = e
 	}
 	r.tryExecute(ctx)
@@ -458,6 +514,27 @@ func (r *Replica) Frozen(space types.ReplicaID) bool { return r.log.space(space)
 // OwnerNumber returns the current owner number of a space (inspection
 // helper).
 func (r *Replica) OwnerNumber(space types.ReplicaID) types.OwnerNumber { return r.owners[space] }
+
+// histBoundToSO reports whether a history entry's commands are exactly the
+// ones its SPECORDER proof signs: same batch size, same per-command
+// digests, and a signed batch digest that binds them. For unbatched entries
+// this is the pre-batching d = H(m) check plus the (strictly stronger)
+// requirement that the embedded request matches the signed digest.
+func histBoundToSO(h *HistEntry) bool {
+	so := h.SO
+	if h.BatchSize() != so.BatchSize() {
+		return false
+	}
+	digests := make([]types.Digest, h.BatchSize())
+	for i := range digests {
+		d := h.CmdAt(i).Digest()
+		if d != so.ReqAt(i).Cmd.Digest() {
+			return false
+		}
+		digests[i] = d
+	}
+	return so.CmdDigest == BatchDigest(digests)
+}
 
 func sortedReplicaKeys(m map[types.ReplicaID]*OwnerChange) []types.ReplicaID {
 	out := make([]types.ReplicaID, 0, len(m))

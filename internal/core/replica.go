@@ -46,6 +46,16 @@ type Replica struct {
 	// changes).
 	executed map[cmdKey]types.Result
 
+	// pendingBatch accumulates verified requests this replica, as
+	// command-leader, will order in its next instance (BatchSize > 1).
+	pendingBatch []*Request
+	// batchQueued marks requests sitting in pendingBatch, for dedup.
+	batchQueued map[cmdKey]bool
+	// batchArmed reports whether the batch-delay timer is pending.
+	batchArmed bool
+	// batchTimer is the pending batch-delay timer (valid when batchArmed).
+	batchTimer proc.TimerID
+
 	// resendWait tracks RESENDREQs we forwarded and are waiting on
 	// (paper step 4.3): cmdKey → armed timer.
 	resendWait map[cmdKey]*resendState
@@ -106,6 +116,7 @@ func NewReplica(cfg ReplicaConfig) (*Replica, error) {
 		highestTs:   make(map[types.ClientID]uint64),
 		pendingExec: make(map[types.InstanceID]*entry),
 		executed:    make(map[cmdKey]types.Result),
+		batchQueued: make(map[cmdKey]bool),
 		resendWait:  make(map[cmdKey]*resendState),
 		depWait:     make(map[types.InstanceID]bool),
 		timerAct:    make(map[proc.TimerID]func(ctx proc.Context)),
@@ -193,7 +204,7 @@ func (r *Replica) broadcastReplicas(ctx proc.Context, msg codec.Message) {
 // forward a RESENDREQ to the original leader (paper step 4.3).
 func (r *Replica) handleRequest(ctx proc.Context, from types.NodeID, m *Request) {
 	r.cfg.Costs.ChargeVerifyClient(ctx)
-	if err := r.cfg.Auth.Verify(types.ClientNode(m.Cmd.Client), m.SignedBody(), m.Sig); err != nil {
+	if err := verifyBody(r.cfg.Auth, types.ClientNode(m.Cmd.Client), m, m.Sig); err != nil {
 		r.stats.DroppedInvalid++
 		return
 	}
@@ -221,63 +232,154 @@ func (r *Replica) handleRequest(ctx proc.Context, from types.NodeID, m *Request)
 		r.stats.DroppedInvalid++
 		return
 	}
+	if r.batchQueued[key] {
+		return // already waiting in the current batch
+	}
 	if m.Cmd.Timestamp > r.highestTs[m.Cmd.Client] {
 		r.highestTs[m.Cmd.Client] = m.Cmd.Timestamp
+	}
+	if r.cfg.BatchSize > 1 {
+		r.enqueueBatch(ctx, m)
+		return
 	}
 	r.leadCommand(ctx, m, r.cfg.Self)
 }
 
-// leadCommand assigns the next instance in `space`, collects dependencies,
-// assigns the sequence number, speculatively executes, broadcasts SPECORDER
-// and answers the client (paper steps 2–3 for the leader itself).
-func (r *Replica) leadCommand(ctx proc.Context, m *Request, spaceID types.ReplicaID) {
+// enqueueBatch adds a verified request to the accumulating batch and
+// flushes when the batch is full; otherwise the batch-delay timer bounds
+// how long the first request waits.
+func (r *Replica) enqueueBatch(ctx proc.Context, m *Request) {
 	key := cmdKey{m.Cmd.Client, m.Cmd.Timestamp}
+	r.pendingBatch = append(r.pendingBatch, m)
+	r.batchQueued[key] = true
+	if len(r.pendingBatch) >= r.cfg.BatchSize {
+		r.flushBatch(ctx)
+		return
+	}
+	if !r.batchArmed {
+		r.batchArmed = true
+		r.batchTimer = r.afterTimer(ctx, r.cfg.BatchDelay, func(ctx proc.Context) {
+			r.batchArmed = false
+			r.flushBatch(ctx)
+		})
+	}
+}
+
+// flushBatch opens one instance for everything queued. Ownership is
+// re-checked at flush time: if this replica was suspected while the batch
+// accumulated, the requests are dropped and the clients' retry broadcasts
+// re-drive them at a live leader.
+func (r *Replica) flushBatch(ctx proc.Context) {
+	if len(r.pendingBatch) == 0 {
+		return
+	}
+	if r.batchArmed {
+		// Flushing early (full batch or RESENDREQ): disarm the delay timer
+		// so it does not cut the next batch short.
+		r.batchArmed = false
+		delete(r.timerAct, r.batchTimer)
+		ctx.CancelTimer(r.batchTimer)
+	}
+	reqs := r.pendingBatch
+	r.pendingBatch = nil
+	for key := range r.batchQueued {
+		delete(r.batchQueued, key)
+	}
+	if r.log.space(r.cfg.Self).frozen || r.owners[r.cfg.Self].OwnerOf(r.n) != r.cfg.Self {
+		r.stats.DroppedInvalid += uint64(len(reqs))
+		return
+	}
+	r.leadBatch(ctx, reqs, r.cfg.Self)
+}
+
+// leadCommand orders a single request (the unbatched paper flow).
+func (r *Replica) leadCommand(ctx proc.Context, m *Request, spaceID types.ReplicaID) {
+	r.leadBatch(ctx, []*Request{m}, spaceID)
+}
+
+// leadBatch assigns the next instance in `space` to a batch of requests,
+// collects the union of their dependencies, assigns the sequence number,
+// speculatively executes, broadcasts one SPECORDER — one signature, one
+// dependency set, one wire frame for the whole batch — and answers every
+// client (paper steps 2–3 for the leader itself).
+func (r *Replica) leadBatch(ctx proc.Context, reqs []*Request, spaceID types.ReplicaID) {
 	inst := types.InstanceID{Space: spaceID, Slot: r.nextSlot}
 	r.nextSlot++
 
-	deps, maxSeq := r.deps.collect(m.Cmd, inst)
+	digests := make([]types.Digest, len(reqs))
+	for i, m := range reqs {
+		digests[i] = m.Cmd.Digest()
+	}
+	batchDigest := BatchDigest(digests)
+
+	deps := types.NewInstanceSet()
+	var maxSeq types.SeqNumber
+	for _, m := range reqs {
+		d, s := r.deps.collect(m.Cmd, inst)
+		deps.Union(d)
+		if s > maxSeq {
+			maxSeq = s
+		}
+	}
 	seq := maxSeq + 1
-	digest := m.Cmd.Digest()
 
 	sp := r.log.space(spaceID)
-	sp.extendHash(inst, digest)
+	sp.extendHash(inst, batchDigest)
 	so := &SpecOrder{
 		Owner:     r.owners[spaceID],
 		Inst:      inst,
 		Deps:      deps,
 		Seq:       seq,
 		LogHash:   sp.logHash,
-		CmdDigest: digest,
-		Req:       *m,
+		CmdDigest: batchDigest,
+		Req:       *reqs[0],
 	}
+	if len(reqs) > 1 {
+		so.Batch = make([]Request, len(reqs)-1)
+		for i, m := range reqs[1:] {
+			so.Batch[i] = *m
+		}
+	}
+	r.cfg.Costs.ChargeAdmitInstance(ctx)
 	r.cfg.Costs.ChargeSign(ctx)
-	so.Sig = r.cfg.Auth.Sign(so.SignedBody())
+	so.Sig = signBody(r.cfg.Auth, so)
 
 	e := &entry{
 		inst:      inst,
 		owner:     so.Owner,
-		cmd:       m.Cmd,
-		cmdDigest: digest,
+		cmd:       reqs[0].Cmd,
+		cmdDigest: batchDigest,
 		deps:      deps.Clone(),
 		seq:       seq,
 		status:    StatusSpecOrdered,
 	}
+	if len(reqs) > 1 {
+		e.extra = make([]types.Command, len(reqs)-1)
+		for i, m := range reqs[1:] {
+			e.extra[i] = m.Cmd
+		}
+		e.cmdDigests = digests
+	}
 	e.so = so
 	r.log.put(e)
-	r.deps.update(inst, m.Cmd, seq)
-	r.instByCmd[key] = inst
-	r.stats.Ordered++
+	for _, m := range reqs {
+		r.deps.update(inst, m.Cmd, seq)
+		r.instByCmd[cmdKey{m.Cmd.Client, m.Cmd.Timestamp}] = inst
+	}
+	r.stats.Ordered += uint64(len(reqs))
 
 	if byz := r.cfg.Byzantine; byz != nil && byz.EquivocateInstances {
-		r.equivocate(ctx, m, so)
+		r.equivocate(ctx, so)
 	} else {
 		r.broadcastReplicas(ctx, so)
 	}
 
-	// The leader speculatively executes and answers the client like any
+	// The leader speculatively executes and answers the clients like any
 	// other replica (it is one of the 3f+1 fast-quorum members).
 	r.specExecuteAndReply(ctx, e, so)
-	r.resolveResendWait(key, spaceID)
+	for _, m := range reqs {
+		r.resolveResendWait(cmdKey{m.Cmd.Client, m.Cmd.Timestamp}, spaceID)
+	}
 }
 
 // equivocate is the byzantine command-leader behaviour. A naive "different
@@ -288,7 +390,7 @@ func (r *Replica) leadCommand(ctx proc.Context, m *Request, spaceID types.Replic
 // half A and at the lagging slot for half B — and both variants pass each
 // half's validation. Clients detect the differing instance numbers through
 // the SPECORDERs embedded in the SPECREPLYs (paper step 4.4) and emit a POM.
-func (r *Replica) equivocate(ctx proc.Context, m *Request, honest *SpecOrder) {
+func (r *Replica) equivocate(ctx proc.Context, honest *SpecOrder) {
 	var halfA, halfB []types.ReplicaID
 	for i := 0; i < r.n; i++ {
 		rid := types.ReplicaID(i)
@@ -317,11 +419,12 @@ func (r *Replica) equivocate(ctx proc.Context, m *Request, honest *SpecOrder) {
 		Seq:       honest.Seq,
 		LogHash:   honest.LogHash,
 		CmdDigest: honest.CmdDigest,
-		Req:       *m,
+		Req:       honest.Req,
+		Batch:     honest.Batch,
 	}
 	r.byzLag++
 	r.cfg.Costs.ChargeSign(ctx)
-	alt.Sig = r.cfg.Auth.Sign(alt.SignedBody())
+	alt.Sig = signBody(r.cfg.Auth, alt)
 	for _, rid := range halfA {
 		r.send(ctx, types.ReplicaNode(rid), honest)
 	}
@@ -381,6 +484,11 @@ func (r *Replica) resolveResendWait(key cmdKey, orderedBy types.ReplicaID) {
 // forwarder; otherwise order it now.
 func (r *Replica) handleResendReq(ctx proc.Context, m *ResendReq) {
 	key := cmdKey{m.Req.Cmd.Client, m.Req.Cmd.Timestamp}
+	if r.batchQueued[key] {
+		// The request is waiting in the current batch; flush now so the
+		// forwarder (and its owner-change timer) sees the SPECORDER quickly.
+		r.flushBatch(ctx)
+	}
 	if inst, ok := r.instByCmd[key]; ok {
 		if e := r.log.get(inst); e != nil && e.so != nil {
 			r.send(ctx, types.ReplicaNode(m.Replica), e.so)
@@ -388,7 +496,7 @@ func (r *Replica) handleResendReq(ctx proc.Context, m *ResendReq) {
 		return
 	}
 	r.cfg.Costs.ChargeVerify(ctx, 1)
-	if err := r.cfg.Auth.Verify(types.ClientNode(m.Req.Cmd.Client), m.Req.SignedBody(), m.Req.Sig); err != nil {
+	if err := verifyBody(r.cfg.Auth, types.ClientNode(m.Req.Cmd.Client), &m.Req, m.Req.Sig); err != nil {
 		r.stats.DroppedInvalid++
 		return
 	}
@@ -417,19 +525,34 @@ func (r *Replica) handleSpecOrder(ctx proc.Context, from types.NodeID, m *SpecOr
 		return
 	}
 	owner := m.Owner.OwnerOf(r.n)
-	// One replica-signature verification; the embedded client request is
-	// authenticated with the participant's own MAC-vector entry (the
-	// paper's HMAC usage), which costs microseconds.
-	r.cfg.Costs.ChargeVerify(ctx, 1)
-	if err := r.cfg.Auth.Verify(types.ReplicaNode(owner), m.SignedBody(), m.Sig); err != nil {
-		r.stats.DroppedInvalid++
-		return
+	digests := make([]types.Digest, m.BatchSize())
+	if m.sigVerified {
+		// A transport-side verifier pool already checked the signatures in
+		// parallel; only the digest binding below remains.
+		for i := range digests {
+			digests[i] = m.ReqAt(i).Cmd.Digest()
+		}
+	} else {
+		// One replica-signature verification per batch; the embedded client
+		// requests are authenticated with the participant's own MAC-vector
+		// entries (the paper's HMAC usage), which cost microseconds.
+		// Batching amortizes the expensive check across the whole batch.
+		r.cfg.Costs.ChargeVerify(ctx, 1)
+		if err := verifyBody(r.cfg.Auth, types.ReplicaNode(owner), m, m.Sig); err != nil {
+			r.stats.DroppedInvalid++
+			return
+		}
+		for i := range digests {
+			req := m.ReqAt(i)
+			if err := verifyBody(r.cfg.Auth, types.ClientNode(req.Cmd.Client), req, req.Sig); err != nil {
+				r.stats.DroppedInvalid++
+				return
+			}
+			digests[i] = req.Cmd.Digest()
+		}
 	}
-	if err := r.cfg.Auth.Verify(types.ClientNode(m.Req.Cmd.Client), m.Req.SignedBody(), m.Req.Sig); err != nil {
-		r.stats.DroppedInvalid++
-		return
-	}
-	if m.CmdDigest != m.Req.Cmd.Digest() {
+	// The signed batch digest must bind exactly the embedded requests.
+	if m.CmdDigest != BatchDigest(digests) {
 		r.stats.DroppedInvalid++
 		return
 	}
@@ -440,7 +563,7 @@ func (r *Replica) handleSpecOrder(ctx proc.Context, from types.NodeID, m *SpecOr
 	next := sp.maxSlot + 1
 	switch {
 	case m.Inst.Slot == next:
-		r.acceptSpecOrder(ctx, m)
+		r.acceptSpecOrder(ctx, m, digests)
 		// Drain any buffered successors.
 		for {
 			nxt, ok := sp.pending[sp.maxSlot+1]
@@ -448,7 +571,7 @@ func (r *Replica) handleSpecOrder(ctx proc.Context, from types.NodeID, m *SpecOr
 				break
 			}
 			delete(sp.pending, sp.maxSlot+1)
-			r.acceptSpecOrder(ctx, nxt)
+			r.acceptSpecOrder(ctx, nxt, nil)
 		}
 	case m.Inst.Slot > next:
 		sp.pending[m.Inst.Slot] = m
@@ -457,20 +580,26 @@ func (r *Replica) handleSpecOrder(ctx proc.Context, from types.NodeID, m *SpecOr
 	}
 }
 
-// acceptSpecOrder records a validated proposal and replies to the client.
-func (r *Replica) acceptSpecOrder(ctx proc.Context, m *SpecOrder) {
-	key := cmdKey{m.Req.Cmd.Client, m.Req.Cmd.Timestamp}
+// acceptSpecOrder records a validated proposal and replies to its clients.
+// digests carries the per-command digests handleSpecOrder already computed
+// (nil for proposals drained from the out-of-order buffer, which recompute
+// them).
+func (r *Replica) acceptSpecOrder(ctx proc.Context, m *SpecOrder, digests []types.Digest) {
 	if existing := r.log.get(m.Inst); existing != nil {
 		return // already known (e.g., installed by a commit certificate)
 	}
 
 	// Update dependencies and sequence number from the local log (paper:
-	// "updates the dependencies and sequence number according to its log").
-	localDeps, localMax := r.deps.collect(m.Req.Cmd, m.Inst)
-	deps := m.Deps.Clone().Union(localDeps)
+	// "updates the dependencies and sequence number according to its log"),
+	// over every command of the batch.
+	deps := m.Deps.Clone()
 	seq := m.Seq
-	if localMax+1 > seq {
-		seq = localMax + 1
+	for i := 0; i < m.BatchSize(); i++ {
+		localDeps, localMax := r.deps.collect(m.ReqAt(i).Cmd, m.Inst)
+		deps.Union(localDeps)
+		if localMax+1 > seq {
+			seq = localMax + 1
+		}
 	}
 	if byz := r.cfg.Byzantine; byz != nil && byz.LieAboutDeps {
 		// Fig 3 behaviour: claim no dependencies regardless of the log.
@@ -487,41 +616,65 @@ func (r *Replica) acceptSpecOrder(ctx proc.Context, m *SpecOrder) {
 		seq:       seq,
 		status:    StatusSpecOrdered,
 	}
+	if len(m.Batch) > 0 {
+		e.extra = make([]types.Command, len(m.Batch))
+		for i := range m.Batch {
+			e.extra[i] = m.Batch[i].Cmd
+		}
+		if digests == nil {
+			digests = m.CmdDigests()
+		}
+		e.cmdDigests = digests
+	}
 	e.so = m
 	r.log.put(e)
-	r.deps.update(m.Inst, m.Req.Cmd, seq)
-	r.instByCmd[key] = m.Inst
-	if m.Req.Cmd.Timestamp > r.highestTs[m.Req.Cmd.Client] {
-		r.highestTs[m.Req.Cmd.Client] = m.Req.Cmd.Timestamp
+	for i := 0; i < m.BatchSize(); i++ {
+		cmd := m.ReqAt(i).Cmd
+		r.deps.update(m.Inst, cmd, seq)
+		r.instByCmd[cmdKey{cmd.Client, cmd.Timestamp}] = m.Inst
+		if cmd.Timestamp > r.highestTs[cmd.Client] {
+			r.highestTs[cmd.Client] = cmd.Timestamp
+		}
 	}
 	r.specExecuteAndReply(ctx, e, m)
-	r.resolveResendWait(key, m.Inst.Space)
+	for i := 0; i < m.BatchSize(); i++ {
+		cmd := m.ReqAt(i).Cmd
+		r.resolveResendWait(cmdKey{cmd.Client, cmd.Timestamp}, m.Inst.Space)
+	}
 }
 
-// specExecuteAndReply speculatively executes an entry on the latest state
-// and sends the SPECREPLY to the client.
+// specExecuteAndReply speculatively executes an entry's commands in batch
+// order on the latest state and sends each command's SPECREPLY to its
+// client.
 func (r *Replica) specExecuteAndReply(ctx proc.Context, e *entry, so *SpecOrder) {
-	r.cfg.Costs.ChargeExecute(ctx)
-	e.specResult = r.cfg.App.SpecExecute(e.cmd)
-	e.specExecuted = true
-	r.stats.SpecExecuted++
+	batched := e.nCmds() > 1
+	for i := 0; i < e.nCmds(); i++ {
+		cmd := e.cmdAt(i)
+		r.cfg.Costs.ChargeExecute(ctx)
+		res := r.cfg.App.SpecExecute(cmd)
+		e.setSpecResult(i, res)
+		r.stats.SpecExecuted++
 
-	reply := &SpecReply{
-		Owner:     e.owner,
-		Inst:      e.inst,
-		Deps:      e.deps.Clone(),
-		Seq:       e.seq,
-		CmdDigest: e.cmdDigest,
-		Client:    e.cmd.Client,
-		Timestamp: e.cmd.Timestamp,
-		Replica:   r.cfg.Self,
-		Result:    e.specResult,
-		SO:        so,
+		reply := &SpecReply{
+			Owner:     e.owner,
+			Inst:      e.inst,
+			Deps:      e.deps.Clone(),
+			Seq:       e.seq,
+			CmdDigest: e.digestAt(i),
+			Client:    cmd.Client,
+			Timestamp: cmd.Timestamp,
+			Replica:   r.cfg.Self,
+			Result:    res,
+			Batched:   batched,
+			BatchIdx:  uint32(i),
+			SO:        so,
+		}
+		r.cfg.Costs.ChargeSign(ctx)
+		reply.Sig = signBody(r.cfg.Auth, reply)
+		r.replyCache[cmdKey{cmd.Client, cmd.Timestamp}] = reply
+		r.send(ctx, types.ClientNode(cmd.Client), reply)
 	}
-	r.cfg.Costs.ChargeSign(ctx)
-	reply.Sig = r.cfg.Auth.Sign(reply.SignedBody())
-	r.replyCache[cmdKey{e.cmd.Client, e.cmd.Timestamp}] = reply
-	r.send(ctx, types.ClientNode(e.cmd.Client), reply)
+	e.specExecuted = true
 }
 
 // --- step 5: commit paths ---
@@ -550,7 +703,7 @@ func (r *Replica) handleCommitFast(ctx proc.Context, m *CommitFast) {
 // sent after final execution.
 func (r *Replica) handleCommit(ctx proc.Context, m *Commit) {
 	r.cfg.Costs.ChargeVerify(ctx, 1)
-	if err := r.cfg.Auth.Verify(types.ClientNode(m.Client), m.SignedBody(), m.Sig); err != nil {
+	if err := verifyBody(r.cfg.Auth, types.ClientNode(m.Client), m, m.Sig); err != nil {
 		r.stats.DroppedInvalid++
 		return
 	}
@@ -582,7 +735,15 @@ func (r *Replica) validateCert(ctx proc.Context, cert []*SpecReply, inst types.I
 		if sr.Inst != inst || seen[sr.Replica] {
 			return false
 		}
-		if err := r.cfg.Auth.Verify(types.ReplicaNode(sr.Replica), sr.SignedBody(), sr.Sig); err != nil {
+		// All elements must vouch for the same command of the same
+		// proposal — a certificate mixing replies built from different
+		// batches (an equivocating leader's doing) is not a quorum for
+		// anything, and mixed layouts would not even survive the wire.
+		if sr.Batched != cert[0].Batched || sr.BatchIdx != cert[0].BatchIdx ||
+			sr.CmdDigest != cert[0].CmdDigest {
+			return false
+		}
+		if err := verifyBody(r.cfg.Auth, types.ReplicaNode(sr.Replica), sr, sr.Sig); err != nil {
 			return false
 		}
 		seen[sr.Replica] = true
@@ -595,8 +756,9 @@ func (r *Replica) validateCert(ctx proc.Context, cert []*SpecReply, inst types.I
 
 // commitEntry installs the final dependencies and sequence number for an
 // instance, creating the entry from the certificate if this replica never
-// saw the SPECORDER. It returns the entry (nil if the certificate was
-// unusable or the entry is already executed).
+// saw the SPECORDER. The whole batch commits as a unit; `from` identifies
+// the certificate's command via its batch index. It returns the entry (nil
+// if the certificate was unusable or the entry is already executed).
 func (r *Replica) commitEntry(ctx proc.Context, inst types.InstanceID, deps types.InstanceSet, seq types.SeqNumber, from *SpecReply, needsReply bool, replyTo types.ClientID) *entry {
 	e := r.log.get(inst)
 	if e == nil {
@@ -604,22 +766,47 @@ func (r *Replica) commitEntry(ctx proc.Context, inst types.InstanceID, deps type
 			r.stats.DroppedInvalid++
 			return nil
 		}
-		cmd := from.SO.Req.Cmd
+		so := from.SO
 		e = &entry{
 			inst:      inst,
 			owner:     from.Owner,
-			cmd:       cmd,
-			cmdDigest: from.CmdDigest,
-			so:        from.SO,
+			cmd:       so.Req.Cmd,
+			cmdDigest: so.CmdDigest,
+			so:        so,
+		}
+		if len(so.Batch) > 0 {
+			e.extra = make([]types.Command, len(so.Batch))
+			for i := range so.Batch {
+				e.extra[i] = so.Batch[i].Cmd
+			}
+			e.cmdDigests = so.CmdDigests()
 		}
 		r.log.put(e)
-		r.instByCmd[cmdKey{cmd.Client, cmd.Timestamp}] = inst
+		for i := 0; i < e.nCmds(); i++ {
+			cmd := e.cmdAt(i)
+			r.instByCmd[cmdKey{cmd.Client, cmd.Timestamp}] = inst
+		}
 	}
-	if e.status >= StatusCommitted && e.cmdDigest != from.CmdDigest {
-		// The instance was already finalized with a different command
-		// (e.g. a no-op installed by an owner change); a conflicting late
-		// commit certificate cannot override it. The client will re-drive
-		// its request at a live leader.
+	idx := int(from.BatchIdx)
+	if idx >= e.nCmds() {
+		r.stats.DroppedInvalid++
+		return nil
+	}
+	if e.status >= StatusCommitted && e.digestAt(idx) != from.CmdDigest {
+		// The instance was already finalized with a different command at
+		// that batch position (e.g. a no-op installed by an owner change); a
+		// conflicting late commit certificate cannot override it. The client
+		// will re-drive its request at a live leader.
+		r.stats.DroppedInvalid++
+		return nil
+	}
+	if from.SO != nil && e.status < StatusCommitted && e.cmdDigest != from.SO.CmdDigest {
+		// The certificate was built from a different batch than the one
+		// this replica spec-ordered at the instance — conflicting evidence
+		// from an equivocating leader. Committing either version here could
+		// finalize different commands at the same position on different
+		// replicas; leave the slot to the owner-change protocol (driven by
+		// the clients' POMs and the resend timeouts) to arbitrate.
 		r.stats.DroppedInvalid++
 		return nil
 	}
@@ -627,31 +814,48 @@ func (r *Replica) commitEntry(ctx proc.Context, inst types.InstanceID, deps type
 		// Already finally executed; a late slow-path commit still needs its
 		// reply.
 		if needsReply {
-			r.sendCommitReply(ctx, e, replyTo)
+			r.sendCommitReply(ctx, e, idx, replyTo)
 		}
 		return nil
 	}
-	e.deps = deps.Clone()
-	e.seq = seq
-	e.status = StatusCommitted
-	if needsReply {
-		e.needsCommitReply = true
-		e.replyTo = replyTo
+	if e.status == StatusCommitted {
+		// A second commit decision for an already-committed instance:
+		// several clients of one batch may slow-commit independently (and a
+		// retrying client may commit twice), each combining a different
+		// 2f+1 quorum's dependency sets. Merge deterministically — union of
+		// dependencies, maximum sequence number — so the installed decision
+		// is independent of arrival order; a dependency over-approximation
+		// only makes execution wait for more commits, never reorders it.
+		e.deps.Union(deps)
+		if seq > e.seq {
+			e.seq = seq
+		}
+	} else {
+		e.deps = deps.Clone()
+		e.seq = seq
+		e.status = StatusCommitted
 	}
-	r.deps.update(inst, e.cmd, seq)
+	seq = e.seq
+	if needsReply {
+		e.needCommitReply(idx, replyTo)
+	}
+	for i := 0; i < e.nCmds(); i++ {
+		r.deps.update(inst, e.cmdAt(i), seq)
+	}
 	r.pendingExec[inst] = e
 	return e
 }
 
-// sendCommitReply answers a slow-path client after final execution.
-func (r *Replica) sendCommitReply(ctx proc.Context, e *entry, to types.ClientID) {
+// sendCommitReply answers a slow-path client after final execution of the
+// idx'th command of the entry's batch.
+func (r *Replica) sendCommitReply(ctx proc.Context, e *entry, idx int, to types.ClientID) {
 	reply := &CommitReply{
 		Inst:      e.inst,
-		CmdDigest: e.cmdDigest,
+		CmdDigest: e.digestAt(idx),
 		Replica:   r.cfg.Self,
-		Result:    e.finalResult,
+		Result:    e.finalResultAt(idx),
 	}
 	r.cfg.Costs.ChargeSign(ctx)
-	reply.Sig = r.cfg.Auth.Sign(reply.SignedBody())
+	reply.Sig = signBody(r.cfg.Auth, reply)
 	r.send(ctx, types.ClientNode(to), reply)
 }

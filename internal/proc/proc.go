@@ -81,12 +81,21 @@ type Process interface {
 type Costs struct {
 	Sign   time.Duration // produce one replica signature / MAC
 	Verify time.Duration // verify one replica signature / MAC
-	// VerifyClient is the cost of authenticating a client request at the
-	// node that orders it (asymmetric verification; the dominant
-	// per-request CPU cost in the paper's ECDSA-based implementation, and
-	// the term that makes a single primary the system bottleneck).
+	// VerifyClient is the per-request cost of authenticating a client
+	// request at the node that orders it (the asymmetric ECDSA
+	// verification). It is charged once per arriving request regardless of
+	// batching.
 	VerifyClient time.Duration
-	Execute      time.Duration // execute one command on the application
+	// AdmitInstance is the per-instance admission overhead at the ordering
+	// node (session setup, serialization, and protocol-instance bookkeeping
+	// — the non-crypto share of the paper implementation's per-request
+	// cost). Unbatched protocols open one instance per request and charge
+	// it per request; with owner-side batching it is charged once per
+	// batch, which is what amortizes the ordering node's admission cost.
+	// VerifyClient + AdmitInstance together reproduce the pre-batching
+	// per-request admission cost.
+	AdmitInstance time.Duration
+	Execute       time.Duration // execute one command on the application
 }
 
 // ChargeSign charges one signing operation.
@@ -98,6 +107,10 @@ func (c Costs) ChargeVerify(ctx Context, n int) { ctx.Charge(time.Duration(n) * 
 
 // ChargeVerifyClient charges one client-request authentication.
 func (c Costs) ChargeVerifyClient(ctx Context) { ctx.Charge(c.VerifyClient) }
+
+// ChargeAdmitInstance charges one protocol-instance admission (once per
+// batch at a batching command-leader, once per request elsewhere).
+func (c Costs) ChargeAdmitInstance(ctx Context) { ctx.Charge(c.AdmitInstance) }
 
 // ChargeExecute charges one command execution.
 func (c Costs) ChargeExecute(ctx Context) { ctx.Charge(c.Execute) }

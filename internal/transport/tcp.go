@@ -16,6 +16,18 @@ import (
 // histories stay well under this).
 const maxFrame = 16 << 20
 
+// framePool recycles frame buffers across sends and receives: buffers grow
+// to the largest frame they ever carried and are then reused, so the
+// steady-state TCP hot path allocates no per-message buffers. Pooled
+// buffers are safe to reuse because codec decoding copies every variable-
+// length field out of the frame.
+var framePool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 4096)
+		return &b
+	},
+}
+
 // TCPPeer connects one local node to a cluster over TCP. Frames are
 // 4-byte big-endian length + codec-marshaled message; the first frame on
 // every outbound connection is a hello carrying the sender's node ID.
@@ -97,9 +109,18 @@ func (p *TCPPeer) Send(from, to types.NodeID, msg codec.Message) error {
 	if err != nil {
 		return err
 	}
-	if err := writeFrame(conn, codec.Marshal(msg)); err != nil {
+	// Marshal directly into a pooled buffer with the length header inline:
+	// one allocation-free encode and one Write syscall per frame.
+	bp := framePool.Get().(*[]byte)
+	frame := append((*bp)[:0], 0, 0, 0, 0)
+	frame = codec.AppendMarshal(frame, msg)
+	binary.BigEndian.PutUint32(frame[:4], uint32(len(frame)-4))
+	_, werr := conn.Write(frame)
+	*bp = frame[:0]
+	framePool.Put(bp)
+	if werr != nil {
 		p.dropConn(to, conn)
-		return err
+		return werr
 	}
 	return nil
 }
@@ -194,10 +215,14 @@ func (p *TCPPeer) readLoop(conn net.Conn) {
 	p.readFrames(r, from)
 }
 
-// readFrames delivers every well-formed frame from one connection.
+// readFrames delivers every well-formed frame from one connection, reusing
+// one pooled buffer for the connection's lifetime (decoding copies all
+// variable-length fields, so the buffer never escapes).
 func (p *TCPPeer) readFrames(r *bufio.Reader, from types.NodeID) {
+	bp := framePool.Get().(*[]byte)
+	defer framePool.Put(bp)
 	for {
-		frame, err := readFrame(r)
+		frame, err := readFrameInto(r, bp)
 		if err != nil {
 			return
 		}
@@ -229,6 +254,31 @@ func readFrame(r io.Reader) ([]byte, error) {
 		return nil, fmt.Errorf("transport: frame of %d bytes exceeds limit", n)
 	}
 	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// readFrameInto reads one frame into *bp, growing it as needed and keeping
+// the grown capacity for the next frame. The returned slice aliases *bp
+// and is only valid until the next call.
+func readFrameInto(r io.Reader, bp *[]byte) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("transport: frame of %d bytes exceeds limit", n)
+	}
+	buf := *bp
+	if cap(buf) < int(n) {
+		buf = make([]byte, n)
+	} else {
+		buf = buf[:n]
+	}
+	*bp = buf
 	if _, err := io.ReadFull(r, buf); err != nil {
 		return nil, err
 	}

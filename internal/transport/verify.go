@@ -1,0 +1,82 @@
+package transport
+
+import (
+	"runtime"
+	"sync"
+
+	"ezbft/internal/codec"
+	"ezbft/internal/types"
+)
+
+// VerifyPool fans inbound-message signature verification out to a small
+// worker pool before messages reach a node's single-threaded process loop.
+// Independent batch signatures (e.g. the leader and client signatures of
+// distinct SPECORDER batches) verify in parallel across cores; the process
+// loop then skips the checks the pool already performed. Messages the
+// verifier rejects are dropped — indistinguishable from network loss, which
+// the protocols already tolerate.
+//
+// The pool may reorder messages relative to their arrival on a connection;
+// every protocol in this repository tolerates reordering (the network
+// provides no ordering guarantee either), and ezBFT's instance-space
+// contiguity buffer reassembles SPECORDER order explicitly.
+type VerifyPool struct {
+	verify  func(msg codec.Message) bool
+	deliver func(from types.NodeID, msg codec.Message)
+	jobs    chan verifyJob
+
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+}
+
+type verifyJob struct {
+	from types.NodeID
+	msg  codec.Message
+}
+
+// NewVerifyPool starts `workers` verification goroutines (<= 0 selects
+// GOMAXPROCS). verify reports whether a message's signatures check out —
+// it must be safe for concurrent use and should mark the message so the
+// process loop can skip re-verification; deliver forwards accepted
+// messages (typically LiveNode.Deliver).
+func NewVerifyPool(workers int, verify func(msg codec.Message) bool, deliver func(from types.NodeID, msg codec.Message)) *VerifyPool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := &VerifyPool{
+		verify:  verify,
+		deliver: deliver,
+		jobs:    make(chan verifyJob, 4*workers),
+	}
+	for i := 0; i < workers; i++ {
+		p.wg.Add(1)
+		go p.worker()
+	}
+	return p
+}
+
+// Submit enqueues one inbound message for verification and delivery. It
+// blocks when all workers are busy and the queue is full, applying
+// backpressure to the connection reader.
+func (p *VerifyPool) Submit(from types.NodeID, msg codec.Message) {
+	defer func() {
+		// Submitting after Close loses the message, like a closing socket.
+		_ = recover()
+	}()
+	p.jobs <- verifyJob{from: from, msg: msg}
+}
+
+func (p *VerifyPool) worker() {
+	defer p.wg.Done()
+	for job := range p.jobs {
+		if p.verify(job.msg) {
+			p.deliver(job.from, job.msg)
+		}
+	}
+}
+
+// Close drains the queue and stops the workers.
+func (p *VerifyPool) Close() {
+	p.closeOnce.Do(func() { close(p.jobs) })
+	p.wg.Wait()
+}

@@ -196,7 +196,12 @@ func (r *Replica) Receive(ctx proc.Context, from types.NodeID, msg codec.Message
 // handleRequest: the primary orders the request; a backup either resends
 // its cached response or forwards the request to the primary and waits.
 func (r *Replica) handleRequest(ctx proc.Context, from types.NodeID, m *Request) {
+	// Unbatched single-primary protocol: every request opens its own
+	// protocol instance, so the per-request crypto and per-instance
+	// admission overhead are both charged here (their sum is the paper's
+	// calibrated per-request admission cost).
 	r.cfg.Costs.ChargeVerifyClient(ctx)
+	r.cfg.Costs.ChargeAdmitInstance(ctx)
 	if err := r.cfg.Auth.Verify(types.ClientNode(m.Cmd.Client), m.SignedBody(), m.Sig); err != nil {
 		r.stats.DroppedInvalid++
 		return

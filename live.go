@@ -27,6 +27,12 @@ type LiveConfig struct {
 	Delay time.Duration
 	// AuthScheme selects message authentication (default HMAC).
 	AuthScheme auth.Scheme
+	// BatchSize enables owner-side request batching: each replica orders up
+	// to this many client requests per instance (0 or 1 = unbatched).
+	BatchSize int
+	// BatchDelay bounds how long an incomplete batch waits before flushing
+	// (0 = the core default).
+	BatchDelay time.Duration
 }
 
 // LiveCluster is a real-time in-process ezBFT deployment: N replica
@@ -85,6 +91,8 @@ func NewLiveCluster(cfg LiveConfig) (*LiveCluster, error) {
 		rep, err := core.NewReplica(core.ReplicaConfig{
 			Self: rid, N: cfg.N, App: app, Auth: a,
 			ResendTimeout: time.Second,
+			BatchSize:     cfg.BatchSize,
+			BatchDelay:    cfg.BatchDelay,
 		})
 		if err != nil {
 			return nil, err

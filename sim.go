@@ -35,6 +35,13 @@ type SimConfig struct {
 	Seed int64
 	// Mute marks replicas as fail-silent, for fault-injection studies.
 	Mute map[ReplicaID]bool
+	// BatchSize enables ezBFT owner-side request batching: each replica
+	// orders up to this many requests per instance (0 or 1 = unbatched,
+	// byte-for-byte the paper's message flow).
+	BatchSize int
+	// BatchDelay bounds how long an incomplete batch waits before flushing
+	// (0 = the core default).
+	BatchDelay time.Duration
 }
 
 // SimCluster is a deterministic simulated deployment. It is driven by
@@ -80,6 +87,8 @@ func NewSimCluster(cfg SimConfig) (*SimCluster, error) {
 		Primary:        cfg.Primary,
 		Seed:           cfg.Seed,
 		Mute:           cfg.Mute,
+		BatchSize:      cfg.BatchSize,
+		BatchDelay:     cfg.BatchDelay,
 	}
 	for _, region := range cfg.ReplicaRegions {
 		spec.Clients = append(spec.Clients, bench.ClientGroup{
