@@ -113,7 +113,7 @@ func BenchmarkSimCommitThroughput(b *testing.B) {
 					Duration: 3 * time.Second,
 					Warmup:   time.Second,
 					Seed:     int64(i + 1),
-				}, batch)
+				}, bench.EZBFT, batch)
 				if err != nil {
 					b.Fatal(err)
 				}

@@ -1,6 +1,9 @@
 // Command ezbft-bench regenerates the paper's evaluation artifacts (Table
 // I, Table II, and Figures 4–7) on the deterministic WAN simulator and
-// prints them as text tables.
+// prints them as text tables. The `batch` experiment sweeps leader-side
+// request batching (batch sizes 1, 16, 32) across all four protocols —
+// ezBFT's owner-side batching against the baselines' primary-side batching
+// — so high-load comparisons stay apples-to-apples.
 //
 // Usage:
 //

@@ -1,4 +1,6 @@
-// Command ezbft-client drives a live ezBFT cluster over TCP.
+// Command ezbft-client drives a live BFT cluster over TCP — ezBFT by
+// default, or any registered protocol engine via -p (pbft, zyzzyva, fab;
+// must match the servers' -p).
 //
 // Examples (against the cluster from the ezbft-server docs):
 //
@@ -6,6 +8,7 @@
 //	ezbft-client -replicas ... -secret demo get greeting
 //	ezbft-client -replicas ... -secret demo incr counter
 //	ezbft-client -replicas ... -secret demo bench -count 200
+//	ezbft-client -p pbft -replicas ... -secret demo put greeting hello
 package main
 
 import (
@@ -17,11 +20,17 @@ import (
 
 	"ezbft/internal/auth"
 	"ezbft/internal/codec"
-	"ezbft/internal/core"
+	"ezbft/internal/engine"
 	"ezbft/internal/proc"
 	"ezbft/internal/transport"
 	"ezbft/internal/types"
 	"ezbft/internal/workload"
+
+	// Link every built-in protocol engine into the binary.
+	_ "ezbft/internal/core"
+	_ "ezbft/internal/fab"
+	_ "ezbft/internal/pbft"
+	_ "ezbft/internal/zyzzyva"
 )
 
 func main() {
@@ -33,9 +42,10 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("ezbft-client", flag.ContinueOnError)
+	proto := fs.String("p", "ezbft", "consensus protocol (ezbft, pbft, zyzzyva, fab; must match the servers)")
 	id := fs.Int("id", 0, "client id")
 	n := fs.Int("n", 4, "cluster size")
-	leader := fs.Int("leader", 0, "replica to submit to (the closest)")
+	leader := fs.Int("leader", 0, "replica to submit to (the closest; the primary for primary-based protocols)")
 	replicas := fs.String("replicas", "", "comma-separated id=host:port for every replica")
 	secret := fs.String("secret", "", "shared HMAC secret (required)")
 	timeout := fs.Duration("timeout", 10*time.Second, "per-command timeout")
@@ -44,6 +54,10 @@ func run(args []string) error {
 	}
 	if *secret == "" {
 		return fmt.Errorf("-secret is required")
+	}
+	eng, err := engine.Lookup(engine.Protocol(*proto))
+	if err != nil {
+		return err
 	}
 	rest := fs.Args()
 	if len(rest) == 0 {
@@ -67,11 +81,11 @@ func run(args []string) error {
 	ring := auth.NewHMACKeyring([]byte(*secret))
 	results := make(chan workload.Completion, 1)
 	bridge := &cliDriver{results: results}
-	client, err := core.NewClient(core.ClientConfig{
-		ID: cid, N: *n, Leader: types.ReplicaID(*leader),
+	client, err := eng.NewClient(engine.ClientOptions{
+		ID: cid, N: *n,
+		Nearest: types.ReplicaID(*leader), Primary: types.ReplicaID(*leader),
 		Auth: ring.ForNode(types.ClientNode(cid)), Driver: bridge,
-		SlowPathTimeout: 500 * time.Millisecond,
-		RetryTimeout:    3 * time.Second,
+		LatencyBound: 500 * time.Millisecond,
 	})
 	if err != nil {
 		return err
@@ -83,6 +97,15 @@ func run(args []string) error {
 		return err
 	}
 	defer peer.Close()
+	// Pre-register with every replica so all of them can answer directly
+	// (replies ride the client's own connections). Best-effort: up to f
+	// replicas may be down and the protocols tolerate the lost replies, so
+	// an unreachable replica must not stop the client.
+	for rid := range addrs {
+		if err := peer.Connect(rid); err != nil {
+			fmt.Fprintf(os.Stderr, "ezbft-client: %s unreachable (continuing): %v\n", rid, err)
+		}
+	}
 	node.SetSender(peer)
 	node.Start()
 	defer node.Stop()
@@ -155,7 +178,7 @@ func run(args []string) error {
 	default:
 		return fmt.Errorf("unknown command %q (want put|get|incr|bench)", rest[0])
 	}
-	st := client.Stats()
+	st := client.ClientStats()
 	fmt.Printf("client stats: fast=%d slow=%d retries=%d\n", st.FastDecisions, st.SlowDecisions, st.Retries)
 	return nil
 }

@@ -1,4 +1,5 @@
-// Command ezbft-server runs one live ezBFT replica over TCP.
+// Command ezbft-server runs one live BFT replica over TCP — ezBFT by
+// default, or any registered protocol engine via -p (pbft, zyzzyva, fab).
 //
 // A four-replica local cluster:
 //
@@ -7,8 +8,10 @@
 //	ezbft-server -id 2 -n 4 -listen :7002 -peers ... -secret demo &
 //	ezbft-server -id 3 -n 4 -listen :7003 -peers ... -secret demo &
 //
-// then drive it with ezbft-client. All nodes must share -secret (HMAC key
-// material).
+// then drive it with ezbft-client (pass the same -p). All nodes must share
+// -secret (HMAC key material) and -p; unknown protocol names are rejected
+// with the registered ones listed. -batch enables leader-side request
+// batching on any protocol.
 package main
 
 import (
@@ -18,13 +21,20 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"ezbft/internal/auth"
 	"ezbft/internal/codec"
-	"ezbft/internal/core"
+	"ezbft/internal/engine"
 	"ezbft/internal/kvstore"
 	"ezbft/internal/transport"
 	"ezbft/internal/types"
+
+	// Link every built-in protocol engine into the binary.
+	_ "ezbft/internal/core"
+	_ "ezbft/internal/fab"
+	_ "ezbft/internal/pbft"
+	_ "ezbft/internal/zyzzyva"
 )
 
 func main() {
@@ -36,19 +46,26 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("ezbft-server", flag.ContinueOnError)
+	proto := fs.String("p", "ezbft", "consensus protocol (ezbft, pbft, zyzzyva, fab)")
 	id := fs.Int("id", 0, "replica id (0..n-1)")
 	n := fs.Int("n", 4, "cluster size (3f+1)")
+	primary := fs.Int("primary", 0, "initial primary/leader (primary-based protocols)")
 	listen := fs.String("listen", ":7000", "listen address")
 	peers := fs.String("peers", "", "comma-separated id=host:port for every replica")
 	secret := fs.String("secret", "", "shared HMAC secret (required)")
 	batch := fs.Int("batch", 1, "max client requests ordered per instance (1 = unbatched)")
-	batchDelay := fs.Duration("batch-delay", core.DefaultBatchDelay, "max wait for an incomplete batch")
+	batchDelay := fs.Duration("batch-delay", 2*time.Millisecond, "max wait for an incomplete batch")
 	verifyWorkers := fs.Int("verify-workers", 0, "signature-verification workers (0 = GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *secret == "" {
 		return fmt.Errorf("-secret is required")
+	}
+	// Reject unknown protocols loudly instead of silently running ezBFT.
+	eng, err := engine.Lookup(engine.Protocol(*proto))
+	if err != nil {
+		return err
 	}
 	addrs, err := parsePeers(*peers)
 	if err != nil {
@@ -58,11 +75,12 @@ func run(args []string) error {
 	self := types.ReplicaID(*id)
 	ring := auth.NewHMACKeyring([]byte(*secret))
 	a := ring.ForNode(types.ReplicaNode(self))
-	rep, err := core.NewReplica(core.ReplicaConfig{
+	rep, err := eng.NewReplica(engine.ReplicaOptions{
 		Self:       self,
 		N:          *n,
 		App:        kvstore.New(),
 		Auth:       a,
+		Primary:    types.ReplicaID(*primary),
 		BatchSize:  *batch,
 		BatchDelay: *batchDelay,
 	})
@@ -71,9 +89,10 @@ func run(args []string) error {
 	}
 
 	node := transport.NewLiveNode(rep, nil, int64(*id)+1)
-	// Inbound SPECORDER batches have their signatures verified on a worker
-	// pool in parallel before entering the single-threaded process loop.
-	pool := transport.NewVerifyPool(*verifyWorkers, core.SpecOrderVerifier(a, *n),
+	// Inbound ordering frames (SPECORDER / PRE-PREPARE / ORDERREQ /
+	// PROPOSE batches) have their signatures verified on a worker pool in
+	// parallel before entering the single-threaded process loop.
+	pool := transport.NewVerifyPool(*verifyWorkers, eng.InboundVerifier(a, *n),
 		func(from types.NodeID, msg codec.Message) { node.Deliver(from, msg) })
 	peer, err := transport.NewTCPPeer(types.ReplicaNode(self), *listen, addrs, pool.Submit)
 	if err != nil {
@@ -81,7 +100,8 @@ func run(args []string) error {
 	}
 	node.SetSender(peer)
 	node.Start()
-	fmt.Printf("ezbft-server: replica %s listening on %s (cluster n=%d, batch=%d)\n", self, peer.Addr(), *n, *batch)
+	fmt.Printf("ezbft-server: %s replica %s listening on %s (cluster n=%d, batch=%d)\n",
+		eng.Protocol(), self, peer.Addr(), *n, *batch)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)

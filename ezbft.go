@@ -13,29 +13,44 @@
 //   - Live in-process: NewLiveCluster runs real replicas and clients on
 //     goroutines connected by an in-memory mesh, with a blocking Client.
 //   - Live over TCP: see cmd/ezbft-server and cmd/ezbft-client, built on
-//     the same pieces (StartTCPReplica / DialTCPClient).
+//     the same pieces (transport.NewTCPPeer + transport.LiveNode).
 //
-// The paper's evaluation baselines — PBFT, Zyzzyva, and FaB — are
-// implemented on the same process abstraction and are selectable wherever a
-// Protocol is accepted.
+// # The replication engine
+//
+// All three substrates construct nodes exclusively through the
+// protocol-agnostic engine contract in internal/engine: each protocol
+// package registers an engine (replica factory, client factory, inbound
+// signature pre-verifier), and anything that accepts a Protocol — SimConfig,
+// LiveConfig, the bench harness, the -p flag of cmd/ezbft-server and
+// cmd/ezbft-client — resolves it through that registry. The paper's
+// evaluation baselines (PBFT, Zyzzyva, FaB) are engines like ezBFT itself,
+// so every protocol runs on every substrate; unknown protocol names are
+// rejected with the registered ones listed.
 //
 // # Batching
 //
-// Every replica is the command-leader for its own clients, and by default
-// it opens one protocol instance — one ECDSA/HMAC signature, one
-// dependency computation, one wire frame — per client command. Owner-side
-// request batching (SimConfig.BatchSize / LiveConfig.BatchSize, or
-// BatchSize and BatchDelay on the internal ReplicaConfig) lets a leader
-// accumulate up to BatchSize verified requests for at most BatchDelay and
-// order them in a single instance: the SPECORDER carries the whole batch
-// under one leader signature, participants verify and spec-execute the
-// batch as a unit (answering each client with its own SPECREPLY), the
+// By default every ordering replica opens one protocol instance — one
+// ECDSA/HMAC signature, one wire frame — per client command. Leader-side
+// request batching (SimConfig.BatchSize / LiveConfig.BatchSize, the
+// -batch flag of cmd/ezbft-server, or BatchSize and BatchDelay on the
+// internal replica configs) lets the ordering replica accumulate up to
+// BatchSize verified requests for at most BatchDelay and order them in a
+// single instance. For ezBFT that replica is each command-leader: the
+// SPECORDER carries the whole batch under one leader signature,
+// participants verify and spec-execute the batch as a unit (answering each
+// client with its own SPECREPLY, the full SPECORDER evidence embedded once
+// per replica per instance and referenced by digest in the rest), the
 // batch commits and finally executes atomically in batch order, and owner
-// changes recover batches whole. Batch size 1 (the default) is
-// byte-for-byte the paper's unbatched message flow. With command-leaders
-// CPU-bound on request admission, batch size 16 more than doubles
-// saturated throughput (see BenchmarkSimCommitThroughput and the `batch`
-// experiment of cmd/ezbft-bench); duplicate requests landing in different
+// changes recover batches whole. For the single-primary baselines it is
+// the primary: one PRE-PREPARE / ORDERREQ / PROPOSE frame and one primary
+// signature per batch, per-command replies, and view changes that carry
+// batches whole — charged through the same split VerifyClient/AdmitInstance
+// cost model, so batched cross-protocol comparisons are apples-to-apples
+// (the `batch` experiment of cmd/ezbft-bench sweeps all four). Batch size
+// 1 (the default) is byte-for-byte each protocol's unbatched message flow.
+// With ordering replicas CPU-bound on request admission, batch size 16
+// roughly triples saturated throughput for every protocol (see
+// BenchmarkSimCommitThroughput); duplicate requests landing in different
 // batches — retries racing a pending batch, or re-proposals after an owner
 // change — still execute exactly once.
 package ezbft

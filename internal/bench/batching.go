@@ -10,25 +10,30 @@ import (
 	"ezbft/internal/workload"
 )
 
-// BatchThroughput measures server-side ezBFT throughput (requests/second)
-// under a saturating open-loop workload with the given owner-side batch
-// size. The deployment mirrors Figure 7's "ezbft (all regions)"
+// BatchThroughput measures server-side throughput (requests/second) for
+// one protocol under a saturating open-loop workload with the given
+// leader-side batch size. The deployment mirrors Figure 7's "all regions"
 // configuration — Deployment A, ten open-loop clients per region issuing
-// at a saturating rate — which makes every command-leader CPU-bound on
-// request admission, the regime batching is built for.
-func BatchThroughput(p Params, batchSize int) (float64, error) {
+// at a saturating rate — which makes the ordering replicas CPU-bound on
+// request admission, the regime batching is built for. For ezBFT every
+// region's command-leader batches its own clients' requests; for the
+// single-primary baselines all requests funnel to (and batch at) the
+// primary, so the comparison charges both designs through the same split
+// VerifyClient/AdmitInstance cost model.
+func BatchThroughput(p Params, proto Protocol, batchSize int) (float64, error) {
 	p.defaults()
 	regions := wan.DeploymentA().Regions()
 	var collector collectorRef
 	spec := Spec{
-		Protocol:       EZBFT,
+		Protocol:       proto,
 		Topology:       wan.DeploymentA(),
 		ReplicaRegions: regions,
-		Primary:        0,
+		Primary:        0, // Virginia
 		Seed:           p.Seed,
 		BatchSize:      batchSize,
-		// BatchDelay zero: the core default (small against WAN latencies,
-		// large against the simulated per-message costs) applies.
+		// BatchDelay zero: the protocol default (small against WAN
+		// latencies, large against the simulated per-message costs)
+		// applies.
 	}
 	const clientsPerSite = 10
 	for _, region := range regions {
@@ -55,56 +60,80 @@ func BatchThroughput(p Params, batchSize int) (float64, error) {
 	return float64(completed) / p.Duration.Seconds(), nil
 }
 
-// BatchSweepResult holds throughput per owner-side batch size.
+// BatchSweepResult holds throughput per protocol per leader-side batch
+// size.
 type BatchSweepResult struct {
+	Protocols  []Protocol
 	Sizes      []int
-	Throughput map[int]float64 // requests/second
+	Throughput map[Protocol]map[int]float64 // requests/second
 }
 
-// BatchSweep runs BatchThroughput across a set of batch sizes (default
-// 1, 2, 4, 8, 16, 32). Batch size 1 is byte-for-byte the paper's
-// unbatched protocol, so the first row doubles as the pre-batching
-// baseline.
+// BatchSweep runs BatchThroughput for every protocol of the paper's
+// evaluation across a set of batch sizes (default 1, 16, 32). Batch size 1
+// is byte-for-byte each protocol's unbatched wire format, so the first row
+// of every section doubles as that protocol's pre-batching baseline — the
+// sweep is the apples-to-apples high-load comparison Figures 6/7 need once
+// batching exists anywhere.
 func BatchSweep(p Params, sizes []int) (*BatchSweepResult, error) {
+	return BatchSweepProtocols(p, Protocols, sizes)
+}
+
+// BatchSweepProtocols is BatchSweep restricted to the given protocols.
+func BatchSweepProtocols(p Params, protos []Protocol, sizes []int) (*BatchSweepResult, error) {
 	if len(sizes) == 0 {
-		sizes = []int{1, 2, 4, 8, 16, 32}
+		sizes = []int{1, 16, 32}
 	}
-	res := &BatchSweepResult{Sizes: sizes, Throughput: make(map[int]float64, len(sizes))}
-	for _, size := range sizes {
-		tp, err := BatchThroughput(p, size)
-		if err != nil {
-			return nil, err
+	res := &BatchSweepResult{
+		Protocols:  append([]Protocol(nil), protos...),
+		Sizes:      sizes,
+		Throughput: make(map[Protocol]map[int]float64, len(protos)),
+	}
+	for _, proto := range protos {
+		res.Throughput[proto] = make(map[int]float64, len(sizes))
+		for _, size := range sizes {
+			tp, err := BatchThroughput(p, proto, size)
+			if err != nil {
+				return nil, err
+			}
+			res.Throughput[proto][size] = tp
 		}
-		res.Throughput[size] = tp
 	}
 	return res, nil
 }
 
-// Render formats the sweep with speedups over the unbatched baseline.
+// Render formats the sweep: one section per protocol with speedups over
+// that protocol's unbatched baseline.
 func (r *BatchSweepResult) Render() string {
-	header := []string{"batch size", "throughput (req/s)", "speedup vs unbatched"}
-	base := r.Throughput[r.Sizes[0]]
+	var b strings.Builder
+	b.WriteString("Batching — saturated throughput vs leader-side batch size (Deployment A, open-loop clients at all regions)\n")
 	max := 0.0
-	for _, size := range r.Sizes {
-		if r.Throughput[size] > max {
-			max = r.Throughput[size]
+	for _, proto := range r.Protocols {
+		for _, size := range r.Sizes {
+			if tp := r.Throughput[proto][size]; tp > max {
+				max = tp
+			}
 		}
 	}
-	var rows [][]string
-	for _, size := range r.Sizes {
-		tp := r.Throughput[size]
-		bar := ""
-		if max > 0 {
-			bar = strings.Repeat("#", int(40*tp/max))
+	header := []string{"batch size", "throughput (req/s)", "speedup vs unbatched"}
+	for _, proto := range r.Protocols {
+		fmt.Fprintf(&b, "\n[%s]\n", proto)
+		base := r.Throughput[proto][r.Sizes[0]]
+		var rows [][]string
+		for _, size := range r.Sizes {
+			tp := r.Throughput[proto][size]
+			bar := ""
+			if max > 0 {
+				bar = strings.Repeat("#", int(40*tp/max))
+			}
+			speedup := "-"
+			if base > 0 {
+				speedup = fmt.Sprintf("%.2fx", tp/base)
+			}
+			rows = append(rows, []string{
+				fmt.Sprint(size), fmt.Sprintf("%8.0f  %s", tp, bar), speedup,
+			})
 		}
-		speedup := "-"
-		if base > 0 {
-			speedup = fmt.Sprintf("%.2fx", tp/base)
-		}
-		rows = append(rows, []string{
-			fmt.Sprint(size), fmt.Sprintf("%8.0f  %s", tp, bar), speedup,
-		})
+		b.WriteString(metrics.Table(header, rows))
 	}
-	return "Batching — saturated throughput vs owner-side batch size (Deployment A, open-loop clients at all regions)\n" +
-		metrics.Table(header, rows)
+	return b.String()
 }

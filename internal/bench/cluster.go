@@ -1,9 +1,10 @@
 // Package bench contains the experiment harness that regenerates every
 // table and figure in the paper's evaluation (§V): a generic simulated
-// cluster builder that deploys any of the four protocols (ezBFT, PBFT,
-// Zyzzyva, FaB) on a WAN topology with per-region client fleets, and one
-// experiment definition per paper artifact. cmd/ezbft-bench and the
-// repository-level benchmarks both drive this package.
+// cluster builder that deploys any registered protocol engine (ezBFT,
+// PBFT, Zyzzyva, FaB — see internal/engine) on a WAN topology with
+// per-region client fleets, and one experiment definition per paper
+// artifact. cmd/ezbft-bench and the repository-level benchmarks both
+// drive this package.
 //
 // Calibration (see EXPERIMENTS.md): network delays come from
 // internal/wan's latency matrices (fitted to the paper's own Table I);
@@ -19,6 +20,7 @@ import (
 
 	"ezbft/internal/auth"
 	"ezbft/internal/core"
+	"ezbft/internal/engine"
 	"ezbft/internal/fab"
 	"ezbft/internal/kvstore"
 	"ezbft/internal/metrics"
@@ -31,15 +33,16 @@ import (
 	"ezbft/internal/zyzzyva"
 )
 
-// Protocol selects a consensus protocol.
-type Protocol string
+// Protocol selects a consensus protocol (an engine.Protocol; importing
+// this package links all four of the paper's protocol engines in).
+type Protocol = engine.Protocol
 
 // The four protocols of the paper's evaluation.
 const (
-	EZBFT   Protocol = "ezbft"
-	PBFT    Protocol = "pbft"
-	Zyzzyva Protocol = "zyzzyva"
-	FaB     Protocol = "fab"
+	EZBFT   = engine.EZBFT
+	PBFT    = engine.PBFT
+	Zyzzyva = engine.Zyzzyva
+	FaB     = engine.FaB
 )
 
 // Protocols lists all protocols in the paper's presentation order.
@@ -117,11 +120,13 @@ type Spec struct {
 	// DisableFastPath forces ezBFT clients onto the slow path (ablation of
 	// speculative execution; see AblationSpeculation).
 	DisableFastPath bool
-	// BatchSize enables ezBFT owner-side request batching: each replica
-	// orders up to this many requests per instance (0 or 1 = unbatched).
+	// BatchSize enables leader-side request batching for every protocol:
+	// the ordering replica (each command-leader in ezBFT, the primary in
+	// the baselines) orders up to this many requests per instance (0 or 1
+	// = unbatched).
 	BatchSize int
-	// BatchDelay bounds how long an incomplete ezBFT batch waits before
-	// flushing (0 = core default).
+	// BatchDelay bounds how long an incomplete batch waits before
+	// flushing (0 = the protocol default).
 	BatchDelay time.Duration
 }
 
@@ -131,6 +136,11 @@ type Cluster struct {
 	RT        *sim.Runtime
 	Collector *metrics.Collector
 	N         int
+
+	// Replicas and Clients hold every node as built through the engine
+	// contract, in id order.
+	Replicas []proc.Process
+	Clients  []engine.Client
 
 	// Protocol-specific handles (nil for other protocols).
 	EZReplicas  []*core.Replica
@@ -142,11 +152,16 @@ type Cluster struct {
 	ClientCount int
 }
 
-// Build constructs the cluster.
+// Build constructs the cluster through the protocol-agnostic engine
+// contract: any registered protocol deploys on the simulated substrate.
 func Build(spec Spec) (*Cluster, error) {
 	n := len(spec.ReplicaRegions)
 	if n == 0 {
 		return nil, fmt.Errorf("bench: no replica regions")
+	}
+	eng, err := engine.Lookup(spec.Protocol)
+	if err != nil {
+		return nil, fmt.Errorf("bench: %w", err)
 	}
 	if spec.Costs == (proc.Costs{}) {
 		spec.Costs = DefaultCosts
@@ -204,61 +219,28 @@ func Build(spec Spec) (*Cluster, error) {
 		if err != nil {
 			return nil, err
 		}
-		var p proc.Process
-		switch spec.Protocol {
-		case EZBFT:
-			rep, err := core.NewReplica(core.ReplicaConfig{
-				Self: rid, N: n, App: app, Auth: a, Costs: spec.Costs,
-				ResendTimeout:  2 * spec.LatencyBound,
-				DepWaitTimeout: 2 * spec.LatencyBound,
-				BatchSize:      spec.BatchSize,
-				BatchDelay:     spec.BatchDelay,
-				Byzantine:      muteBehavior(spec.Mute[rid]),
-			})
-			if err != nil {
-				return nil, err
-			}
+		p, err := eng.NewReplica(engine.ReplicaOptions{
+			Self: rid, N: n, App: app, Auth: a, Costs: spec.Costs,
+			Primary:            spec.Primary,
+			LatencyBound:       spec.LatencyBound,
+			CheckpointInterval: spec.CheckpointInterval,
+			BatchSize:          spec.BatchSize,
+			BatchDelay:         spec.BatchDelay,
+			Mute:               spec.Mute[rid],
+		})
+		if err != nil {
+			return nil, err
+		}
+		cl.Replicas = append(cl.Replicas, p)
+		switch rep := engine.Unwrap(p).(type) {
+		case *core.Replica:
 			cl.EZReplicas = append(cl.EZReplicas, rep)
-			p = rep
-		case PBFT:
-			rep, err := pbft.NewReplica(pbft.ReplicaConfig{
-				Self: rid, N: n, App: app, Auth: a, Costs: spec.Costs,
-				InitialView:        uint64(spec.Primary),
-				ForwardTimeout:     4 * spec.LatencyBound,
-				CheckpointInterval: spec.CheckpointInterval,
-				Mute:               spec.Mute[rid],
-			})
-			if err != nil {
-				return nil, err
-			}
+		case *pbft.Replica:
 			cl.PBReplicas = append(cl.PBReplicas, rep)
-			p = rep
-		case Zyzzyva:
-			rep, err := zyzzyva.NewReplica(zyzzyva.ReplicaConfig{
-				Self: rid, N: n, App: app, Auth: a, Costs: spec.Costs,
-				InitialView:    uint64(spec.Primary),
-				ForwardTimeout: 4 * spec.LatencyBound,
-				Mute:           spec.Mute[rid],
-			})
-			if err != nil {
-				return nil, err
-			}
+		case *zyzzyva.Replica:
 			cl.ZYReplicas = append(cl.ZYReplicas, rep)
-			p = rep
-		case FaB:
-			rep, err := fab.NewReplica(fab.ReplicaConfig{
-				Self: rid, N: n, App: app, Auth: a, Costs: spec.Costs,
-				InitialView:    uint64(spec.Primary),
-				ForwardTimeout: 4 * spec.LatencyBound,
-				Mute:           spec.Mute[rid],
-			})
-			if err != nil {
-				return nil, err
-			}
+		case *fab.Replica:
 			cl.FBReplicas = append(cl.FBReplicas, rep)
-			p = rep
-		default:
-			return nil, fmt.Errorf("bench: unknown protocol %q", spec.Protocol)
 		}
 		if err := rt.AddNode(p, *spec.ReplicaCost); err != nil {
 			return nil, err
@@ -284,67 +266,26 @@ func Build(spec Spec) (*Cluster, error) {
 			if err != nil {
 				return nil, err
 			}
-			driver := g.NewDriver(i)
-			var p proc.Process
-			switch spec.Protocol {
-			case EZBFT:
-				c, err := core.NewClient(core.ClientConfig{
-					ID: cid, N: n, Leader: local, Auth: a, Costs: spec.Costs,
-					Driver:          driver,
-					SlowPathTimeout: spec.LatencyBound,
-					RetryTimeout:    8 * spec.LatencyBound,
-					DisableFastPath: spec.DisableFastPath,
-				})
-				if err != nil {
-					return nil, err
-				}
-				cl.EZClients = append(cl.EZClients, c)
-				p = c
-			case PBFT:
-				c, err := pbft.NewClient(pbft.ClientConfig{
-					ID: cid, N: n, Primary: spec.Primary, Auth: a, Costs: spec.Costs,
-					Driver:       driver,
-					RetryTimeout: 8 * spec.LatencyBound,
-				})
-				if err != nil {
-					return nil, err
-				}
-				p = c
-			case Zyzzyva:
-				c, err := zyzzyva.NewClient(zyzzyva.ClientConfig{
-					ID: cid, N: n, Primary: spec.Primary, Auth: a, Costs: spec.Costs,
-					Driver:        driver,
-					CommitTimeout: spec.LatencyBound,
-					RetryTimeout:  8 * spec.LatencyBound,
-				})
-				if err != nil {
-					return nil, err
-				}
-				p = c
-			case FaB:
-				c, err := fab.NewClient(fab.ClientConfig{
-					ID: cid, N: n, Leader: spec.Primary, Auth: a, Costs: spec.Costs,
-					Driver:       driver,
-					RetryTimeout: 8 * spec.LatencyBound,
-				})
-				if err != nil {
-					return nil, err
-				}
-				p = c
+			c, err := eng.NewClient(engine.ClientOptions{
+				ID: cid, N: n, Nearest: local, Primary: spec.Primary,
+				Auth: a, Costs: spec.Costs,
+				Driver:          g.NewDriver(i),
+				LatencyBound:    spec.LatencyBound,
+				DisableFastPath: spec.DisableFastPath,
+			})
+			if err != nil {
+				return nil, err
 			}
-			if err := rt.AddNode(p, *spec.ClientCost); err != nil {
+			cl.Clients = append(cl.Clients, c)
+			if ez, ok := engine.Unwrap(c).(*core.Client); ok {
+				cl.EZClients = append(cl.EZClients, ez)
+			}
+			if err := rt.AddNode(c, *spec.ClientCost); err != nil {
 				return nil, err
 			}
 		}
 	}
 	return cl, nil
-}
-
-func muteBehavior(mute bool) *core.ByzantineBehavior {
-	if !mute {
-		return nil
-	}
-	return &core.ByzantineBehavior{Mute: true}
 }
 
 // Run starts the cluster (if needed) and advances virtual time to `until`.

@@ -37,7 +37,7 @@ func sampleBatchSpecOrder() *SpecOrder {
 
 func sampleBatchSpecReply(idx uint32) *SpecReply {
 	so := sampleBatchSpecOrder()
-	return &SpecReply{
+	sr := &SpecReply{
 		Owner:     5,
 		Inst:      so.Inst,
 		Deps:      types.NewInstanceSet(types.InstanceID{Space: 2, Slot: 1}),
@@ -49,9 +49,14 @@ func sampleBatchSpecReply(idx uint32) *SpecReply {
 		Result:    types.Result{OK: true, Value: []byte("out")},
 		Batched:   true,
 		BatchIdx:  idx,
-		SO:        so,
+		SORef:     so.CmdDigest,
 		Sig:       []byte{4},
 	}
+	if idx == 0 {
+		// Evidence slimming: only the BatchIdx-0 reply embeds the proposal.
+		sr.SO = so
+	}
+	return sr
 }
 
 // TestBatchedMessageRoundTrips pins the batched wire layouts (tags 21–25)
@@ -471,7 +476,7 @@ func TestSameInstanceBatchEquivocationPOM(t *testing.T) {
 			Owner: 0, Inst: so.Inst, Deps: types.NewInstanceSet(), Seq: 1,
 			CmdDigest: p.digest, Client: cl.cfg.ID, Timestamp: 1,
 			Replica: from, Result: types.Result{OK: true},
-			Batched: true, BatchIdx: 0, SO: so,
+			Batched: true, BatchIdx: 0, SORef: so.CmdDigest, SO: so,
 		}
 		a, err := tc.replicas[from].cfg.Auth, error(nil)
 		_ = err
@@ -504,6 +509,325 @@ func TestSameInstanceBatchEquivocationPOM(t *testing.T) {
 	r3.Receive(rctx, types.ClientNode(0), pom)
 	if !r3.oc.sentStart[changeKey{0, 0}] {
 		t.Fatal("replica did not start an owner change on the POM")
+	}
+}
+
+// TestSpecReplyEvidenceSlimming: only the BatchIdx-0 reply of a batched
+// instance embeds the full SPECORDER; the rest carry the signed SORef
+// digest and are dramatically smaller on the wire, killing the O(k²)
+// reply-byte blowup while every reply still names its proposal.
+func TestSpecReplyEvidenceSlimming(t *testing.T) {
+	opts := defaultOpts()
+	opts.batchSize = 4
+	opts.batchDelay = 5 * time.Millisecond
+	const clients = 8
+	leaders := make([]types.ReplicaID, clients)
+	tc := newTestCluster(t, opts, leaders, batchScripts(clients))
+	if !tc.run(10 * time.Second) {
+		t.Fatal("commands did not complete")
+	}
+	tc.rt.Run(tc.rt.Now() + time.Second)
+
+	var withSO, slim int
+	for _, r := range tc.replicas {
+		for _, reply := range r.replyCache {
+			if !reply.Batched {
+				continue
+			}
+			if reply.SORef == (types.Digest{}) {
+				t.Fatal("batched reply without a proposal reference")
+			}
+			if reply.BatchIdx == 0 {
+				if reply.SO == nil {
+					t.Fatal("BatchIdx-0 reply lost its SPECORDER evidence")
+				}
+				if reply.SO.CmdDigest != reply.SORef {
+					t.Fatal("SORef does not name the embedded proposal")
+				}
+				withSO++
+			} else {
+				if reply.SO != nil {
+					t.Fatalf("BatchIdx-%d reply still embeds the full SPECORDER", reply.BatchIdx)
+				}
+				if len(codec.Marshal(reply)) >= len(codec.Marshal(&SpecReply{
+					Owner: reply.Owner, Inst: reply.Inst, Deps: reply.Deps, Seq: reply.Seq,
+					CmdDigest: reply.CmdDigest, Client: reply.Client, Timestamp: reply.Timestamp,
+					Replica: reply.Replica, Result: reply.Result,
+					Batched: true, BatchIdx: reply.BatchIdx, SORef: reply.SORef,
+					SO: reply.SO, Sig: reply.Sig,
+				}))+64*3 {
+					// A slim reply must be smaller than the same reply plus a
+					// 4-command batch (each command ≥ ~64 bytes with envelope).
+					t.Fatal("slim reply not actually smaller")
+				}
+				slim++
+			}
+		}
+	}
+	if withSO == 0 || slim == 0 {
+		t.Fatalf("slimming not exercised: %d full, %d slim replies", withSO, slim)
+	}
+}
+
+// TestDeferredSlimCommit: a slow-path COMMIT whose evidence-slimmed
+// certificate (BatchIdx > 0, no embedded SPECORDER) arrives before the
+// SPECORDER is parked, then applied when the proposal arrives — the
+// instance commits instead of being dropped.
+func TestDeferredSlimCommit(t *testing.T) {
+	opts := defaultOpts()
+	tc := newTestCluster(t, opts, []types.ReplicaID{0, 0}, [][]types.Command{{}, {}})
+	leaderAuth := tc.replicas[0].cfg.Auth
+	cl := tc.clients[0]
+
+	ctx := &captureCtx{}
+	cl.Submit(ctx, putCmd("k", "v"))
+	p := cl.pending[1]
+
+	// Leader R0 signs a batch of two: client 1's command first, our
+	// client's command at BatchIdx 1.
+	other := Request{Cmd: types.Command{Client: 1, Timestamp: 1, Op: types.OpPut, Key: "o"}, Orig: noOrig}
+	other.Sig = tc.clients[1].cfg.Auth.Sign(other.SignedBody())
+	so := &SpecOrder{
+		Owner: 0,
+		Inst:  types.InstanceID{Space: 0, Slot: 1},
+		Deps:  types.NewInstanceSet(),
+		Seq:   1,
+		Req:   other,
+		Batch: []Request{*p.req},
+	}
+	so.CmdDigest = BatchDigest(so.CmdDigests())
+	sp := tc.replicas[0].log.space(0)
+	sp.extendHash(so.Inst, so.CmdDigest)
+	so.LogHash = sp.logHash
+	so.Sig = leaderAuth.Sign(so.SignedBody())
+
+	// 2f+1 slim replies for our command (BatchIdx 1, SORef only).
+	cert := make([]*SpecReply, 0, 3)
+	for _, rid := range []types.ReplicaID{0, 1, 2} {
+		sr := &SpecReply{
+			Owner: 0, Inst: so.Inst, Deps: types.NewInstanceSet(), Seq: 1,
+			CmdDigest: p.digest, Client: cl.cfg.ID, Timestamp: 1,
+			Replica: rid, Result: types.Result{OK: true},
+			Batched: true, BatchIdx: 1, SORef: so.CmdDigest,
+		}
+		sr.Sig = tc.replicas[rid].cfg.Auth.Sign(sr.SignedBody())
+		cert = append(cert, sr)
+	}
+	commit := &Commit{
+		Client: cl.cfg.ID, Timestamp: 1, Inst: so.Inst,
+		Deps: types.NewInstanceSet(), Seq: 1, Cert: cert,
+	}
+	commit.Sig = cl.cfg.Auth.Sign(commit.SignedBody())
+
+	// R3 sees the COMMIT before the SPECORDER: the decision must be
+	// parked, not dropped.
+	r3 := tc.replicas[3]
+	rctx := &captureCtx{}
+	r3.Receive(rctx, types.ClientNode(cl.cfg.ID), commit)
+	if r3.stats.DeferredCommits != 1 {
+		t.Fatalf("deferred commits = %d, want 1", r3.stats.DeferredCommits)
+	}
+	if r3.log.get(so.Inst) != nil {
+		t.Fatal("slim certificate installed an entry on its own")
+	}
+	if r3.stats.SlowCommits != 0 {
+		t.Fatal("commit applied before the SPECORDER arrived")
+	}
+
+	// The SPECORDER arrives: the parked decision applies and the whole
+	// batch commits.
+	r3.Receive(rctx, types.ReplicaNode(0), so)
+	e := r3.log.get(so.Inst)
+	if e == nil || e.status < StatusCommitted {
+		t.Fatalf("instance not committed after the SPECORDER arrived (entry %v)", e)
+	}
+	if e.nCmds() != 2 {
+		t.Fatalf("committed batch has %d commands, want 2", e.nCmds())
+	}
+	if r3.stats.SlowCommits != 1 {
+		t.Fatalf("slow commits = %d, want 1", r3.stats.SlowCommits)
+	}
+}
+
+// TestDeferredSlimCommitDrainedByFullCert: a parked slim decision must
+// also drain when the instance becomes known through ANOTHER client's
+// full-evidence certificate rather than the SPECORDER itself — otherwise
+// the parked client's decision (deps/seq union, its COMMITREPLY) would be
+// stranded forever.
+func TestDeferredSlimCommitDrainedByFullCert(t *testing.T) {
+	opts := defaultOpts()
+	tc := newTestCluster(t, opts, []types.ReplicaID{0, 0}, [][]types.Command{{}, {}})
+	leaderAuth := tc.replicas[0].cfg.Auth
+	cl0, cl1 := tc.clients[0], tc.clients[1]
+
+	ctx := &captureCtx{}
+	cl0.Submit(ctx, putCmd("k", "v"))
+	p0 := cl0.pending[1]
+	cl1.Submit(ctx, putCmd("o", "w"))
+	p1 := cl1.pending[1]
+
+	// Leader R0 signs a batch of two: client 1's command at idx 0, client
+	// 0's at idx 1.
+	so := &SpecOrder{
+		Owner: 0,
+		Inst:  types.InstanceID{Space: 0, Slot: 1},
+		Deps:  types.NewInstanceSet(),
+		Seq:   1,
+		Req:   *p1.req,
+		Batch: []Request{*p0.req},
+	}
+	so.CmdDigest = BatchDigest(so.CmdDigests())
+	so.Sig = leaderAuth.Sign(so.SignedBody())
+
+	mkCert := func(digest types.Digest, client types.ClientID, idx uint32, withSO bool) []*SpecReply {
+		cert := make([]*SpecReply, 0, 3)
+		for _, rid := range []types.ReplicaID{0, 1, 2} {
+			sr := &SpecReply{
+				Owner: 0, Inst: so.Inst, Deps: types.NewInstanceSet(), Seq: 1,
+				CmdDigest: digest, Client: client, Timestamp: 1,
+				Replica: rid, Result: types.Result{OK: true},
+				Batched: true, BatchIdx: idx, SORef: so.CmdDigest,
+			}
+			if withSO && rid == 0 {
+				sr.SO = so
+			}
+			sr.Sig = tc.replicas[rid].cfg.Auth.Sign(sr.SignedBody())
+			cert = append(cert, sr)
+		}
+		return cert
+	}
+
+	// Client 0's slim commit (idx 1, no SPECORDER) arrives first: parked.
+	commit0 := &Commit{
+		Client: cl0.cfg.ID, Timestamp: 1, Inst: so.Inst,
+		Deps: types.NewInstanceSet(), Seq: 1, Cert: mkCert(p0.digest, cl0.cfg.ID, 1, false),
+	}
+	commit0.Sig = cl0.cfg.Auth.Sign(commit0.SignedBody())
+	r3 := tc.replicas[3]
+	rctx := &captureCtx{}
+	r3.Receive(rctx, types.ClientNode(cl0.cfg.ID), commit0)
+	if r3.stats.DeferredCommits != 1 {
+		t.Fatalf("deferred commits = %d, want 1", r3.stats.DeferredCommits)
+	}
+
+	// Client 1's full-evidence commit (idx 0, SPECORDER embedded) installs
+	// the entry — and must drain client 0's parked decision with it.
+	commit1 := &Commit{
+		Client: cl1.cfg.ID, Timestamp: 1, Inst: so.Inst,
+		Deps: types.NewInstanceSet(), Seq: 1, Cert: mkCert(p1.digest, cl1.cfg.ID, 0, true),
+	}
+	commit1.Sig = cl1.cfg.Auth.Sign(commit1.SignedBody())
+	r3.Receive(rctx, types.ClientNode(cl1.cfg.ID), commit1)
+
+	e := r3.log.get(so.Inst)
+	if e == nil || e.status < StatusCommitted {
+		t.Fatalf("instance not committed after full-evidence cert (entry %v)", e)
+	}
+	if len(r3.deferredCommits) != 0 {
+		t.Fatal("parked decision not drained by the full-evidence certificate")
+	}
+	if r3.stats.SlowCommits != 2 {
+		t.Fatalf("slow commits = %d, want 2 (the installing cert plus the drained one)", r3.stats.SlowCommits)
+	}
+}
+
+// TestCommitRejectsSwappedSpecOrder: the SPECORDER embedded in a commit
+// certificate rides outside the replies' signed bodies, so a Byzantine
+// client could swap in an equivocating leader's OTHER signed proposal.
+// The replica must refuse to install an entry from a certificate whose
+// embedded proposal is not the one the signed replies vouch for — batched
+// (signed SORef mismatch) and unbatched (positional digest mismatch)
+// alike.
+func TestCommitRejectsSwappedSpecOrder(t *testing.T) {
+	opts := defaultOpts()
+	tc := newTestCluster(t, opts, []types.ReplicaID{0, 0}, [][]types.Command{{}, {}})
+	leaderAuth := tc.replicas[0].cfg.Auth
+	cl := tc.clients[0]
+
+	ctx := &captureCtx{}
+	cl.Submit(ctx, putCmd("k", "v"))
+	p := cl.pending[1]
+
+	mkSO := func(first Request, extra *Request) *SpecOrder {
+		so := &SpecOrder{
+			Owner: 0,
+			Inst:  types.InstanceID{Space: 0, Slot: 1},
+			Deps:  types.NewInstanceSet(),
+			Seq:   1,
+			Req:   first,
+		}
+		if extra != nil {
+			so.Batch = []Request{*extra}
+		}
+		so.CmdDigest = BatchDigest(so.CmdDigests())
+		so.Sig = leaderAuth.Sign(so.SignedBody())
+		return so
+	}
+	other := Request{Cmd: types.Command{Client: 1, Timestamp: 1, Op: types.OpPut, Key: "o"}, Orig: noOrig}
+	other.Sig = tc.clients[1].cfg.Auth.Sign(other.SignedBody())
+	evil := Request{Cmd: types.Command{Client: 1, Timestamp: 1, Op: types.OpPut, Key: "evil"}, Orig: noOrig}
+	evil.Sig = tc.clients[1].cfg.Auth.Sign(evil.SignedBody())
+
+	// Batched: replies vouch (via signed SORef) for batch A, but the
+	// certificate embeds the leader's other signed batch B.
+	soA := mkSO(*p.req, &other)
+	soB := mkSO(*p.req, &evil)
+	cert := make([]*SpecReply, 0, 3)
+	for _, rid := range []types.ReplicaID{0, 1, 2} {
+		sr := &SpecReply{
+			Owner: 0, Inst: soA.Inst, Deps: types.NewInstanceSet(), Seq: 1,
+			CmdDigest: p.digest, Client: cl.cfg.ID, Timestamp: 1,
+			Replica: rid, Result: types.Result{OK: true},
+			Batched: true, BatchIdx: 0, SORef: soA.CmdDigest,
+		}
+		sr.Sig = tc.replicas[rid].cfg.Auth.Sign(sr.SignedBody())
+		cert = append(cert, sr)
+	}
+	cert[0].SO = soB // the swap
+	commit := &Commit{
+		Client: cl.cfg.ID, Timestamp: 1, Inst: soA.Inst,
+		Deps: types.NewInstanceSet(), Seq: 1, Cert: cert,
+	}
+	commit.Sig = cl.cfg.Auth.Sign(commit.SignedBody())
+	r3 := tc.replicas[3]
+	r3.Receive(&captureCtx{}, types.ClientNode(cl.cfg.ID), commit)
+	if e := r3.log.get(soA.Inst); e != nil {
+		t.Fatalf("swapped batched SPECORDER installed an entry: %v", e)
+	}
+	if r3.stats.SlowCommits != 0 {
+		t.Fatal("swapped batched SPECORDER committed")
+	}
+
+	// Unbatched: replies vouch for the client's command, but the embedded
+	// proposal orders a different one (no SORef exists unbatched; the
+	// positional digest binding must catch it).
+	soEvil := mkSO(evil, nil)
+	cert2 := make([]*SpecReply, 0, 3)
+	for _, rid := range []types.ReplicaID{0, 1, 2} {
+		sr := &SpecReply{
+			Owner: 0, Inst: soEvil.Inst, Deps: types.NewInstanceSet(), Seq: 1,
+			CmdDigest: p.digest, Client: cl.cfg.ID, Timestamp: 1,
+			Replica: rid, Result: types.Result{OK: true},
+			SO: soEvil,
+		}
+		sr.Sig = tc.replicas[rid].cfg.Auth.Sign(sr.SignedBody())
+		cert2 = append(cert2, sr)
+	}
+	commit2 := &Commit{
+		Client: cl.cfg.ID, Timestamp: 1, Inst: soEvil.Inst,
+		Deps: types.NewInstanceSet(), Seq: 1, Cert: cert2,
+	}
+	commit2.Sig = cl.cfg.Auth.Sign(commit2.SignedBody())
+	dropped := r3.stats.DroppedInvalid
+	r3.Receive(&captureCtx{}, types.ClientNode(cl.cfg.ID), commit2)
+	if e := r3.log.get(soEvil.Inst); e != nil {
+		t.Fatalf("swapped unbatched SPECORDER installed an entry: %v", e)
+	}
+	if r3.stats.DroppedInvalid == dropped {
+		t.Fatal("swapped unbatched SPECORDER not counted as invalid")
+	}
+	if r3.stats.FinalExecutions != 0 {
+		t.Fatal("swapped unbatched SPECORDER executed")
 	}
 }
 

@@ -74,6 +74,7 @@ func (c *ClientConfig) validate() error {
 // ClientStats exposes client-side protocol counters.
 type ClientStats struct {
 	Submitted     uint64
+	Completed     uint64
 	FastDecisions uint64
 	SlowDecisions uint64
 	Retries       uint64
@@ -81,24 +82,22 @@ type ClientStats struct {
 }
 
 // replyKey identifies one proposal a SPECREPLY vouches for: the instance
-// plus the batch digest of the embedded SPECORDER. Grouping by both keeps
-// replies built from different batches apart — an equivocating leader may
-// sign different batches for the same instance, and combining their
-// replies (fast-path matching or slow-path dependency union) must never
-// mix proposals. Unbatched SPECORDERs carry the command digest there, so
-// for them this is exactly the pre-batching per-instance grouping.
+// plus the batch digest of the proposal. Grouping by both keeps replies
+// built from different batches apart — an equivocating leader may sign
+// different batches for the same instance, and combining their replies
+// (fast-path matching or slow-path dependency union) must never mix
+// proposals. Unbatched SPECORDERs carry the command digest there, so for
+// them this is exactly the pre-batching per-instance grouping.
 type replyKey struct {
 	inst  types.InstanceID
 	batch types.Digest
 }
 
-// keyOf returns the grouping key for a validated reply.
+// keyOf returns the grouping key for a validated reply: the embedded
+// SPECORDER's batch digest when present, the reply's signed SORef for
+// evidence-slimmed batched replies.
 func keyOf(m *SpecReply) replyKey {
-	k := replyKey{inst: m.Inst}
-	if m.SO != nil {
-		k.batch = m.SO.CmdDigest
-	}
-	return k
+	return replyKey{inst: m.Inst, batch: m.ProposalRef()}
 }
 
 // Less orders reply keys deterministically.
@@ -263,6 +262,11 @@ func (c *Client) handleSpecReply(ctx proc.Context, m *SpecReply) {
 	if m.CmdDigest != p.digest {
 		return
 	}
+	if m.SO != nil && m.Batched && m.SO.CmdDigest != m.SORef {
+		// The signed proposal reference must name the embedded proposal;
+		// a mismatch is a forgery, not evidence of anything.
+		return
+	}
 
 	// Step 4.4: an embedded SPECORDER that disagrees with a previously seen
 	// one on the instance number proves command-leader equivocation. Only
@@ -353,6 +357,24 @@ func (c *Client) lowestReplica(group map[types.ReplicaID]*SpecReply) types.Repli
 	return low
 }
 
+// slimCert drops the embedded SPECORDER from every batched certificate
+// element but the first (copies, never mutating the collected replies):
+// replicas use only the first element's embedded proposal — bound to the
+// signed SORef every element carries — so the extra copies are pure wire
+// weight. Unbatched replies keep their SPECORDERs; their layout predates
+// slimming and stays byte-identical.
+func slimCert(cert []*SpecReply) []*SpecReply {
+	for i, sr := range cert {
+		if i == 0 || !sr.Batched || sr.SO == nil {
+			continue
+		}
+		cp := *sr
+		cp.SO = nil
+		cert[i] = &cp
+	}
+	return cert
+}
+
 // finishFast completes a request on the fast path: return to the
 // application, then asynchronously send COMMITFAST with the certificate.
 func (c *Client) finishFast(ctx proc.Context, ts uint64, p *pendingReq, inst types.InstanceID, group map[types.ReplicaID]*SpecReply) {
@@ -360,7 +382,7 @@ func (c *Client) finishFast(ctx proc.Context, ts uint64, p *pendingReq, inst typ
 	for _, rid := range sortedGroupKeys(group) {
 		cert = append(cert, group[rid])
 	}
-	cf := &CommitFast{Client: c.cfg.ID, Inst: inst, Cert: cert}
+	cf := &CommitFast{Client: c.cfg.ID, Inst: inst, Cert: slimCert(cert)}
 	for i := 0; i < c.n; i++ {
 		ctx.Send(types.ReplicaNode(types.ReplicaID(i)), cf)
 	}
@@ -422,7 +444,7 @@ func (c *Client) trySlowPath(ctx proc.Context, ts uint64, p *pendingReq) bool {
 		Inst:      inst,
 		Deps:      deps,
 		Seq:       seq,
-		Cert:      chosen,
+		Cert:      slimCert(chosen),
 	}
 	c.cfg.Costs.ChargeSign(ctx)
 	commit.Sig = signBody(c.cfg.Auth, commit)
@@ -541,6 +563,7 @@ func (c *Client) finish(ctx proc.Context, ts uint64, p *pendingReq, res types.Re
 	delete(c.pending, ts)
 	ctx.CancelTimer(proc.TimerID(ts*4 + timerKindSlow))
 	ctx.CancelTimer(proc.TimerID(ts*4 + timerKindRetry))
+	c.stats.Completed++
 	c.cfg.Driver.Completed(ctx, c, workload.Completion{
 		Cmd:      p.cmd,
 		Result:   res,

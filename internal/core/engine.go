@@ -1,0 +1,92 @@
+package core
+
+import (
+	"fmt"
+
+	"ezbft/internal/auth"
+	"ezbft/internal/codec"
+	"ezbft/internal/engine"
+	"ezbft/internal/proc"
+	"ezbft/internal/types"
+)
+
+// ezEngine plugs ezBFT into the protocol-agnostic replication engine.
+type ezEngine struct{}
+
+var _ engine.Engine = ezEngine{}
+
+func init() { engine.Register(ezEngine{}) }
+
+// Protocol implements engine.Engine.
+func (ezEngine) Protocol() engine.Protocol { return engine.EZBFT }
+
+// NewReplica implements engine.Engine. ezBFT replicas speculate, so the
+// application must support speculative execution.
+func (ezEngine) NewReplica(o engine.ReplicaOptions) (proc.Process, error) {
+	app, ok := o.App.(types.SpeculativeApplication)
+	if !ok {
+		return nil, fmt.Errorf("core: ezbft requires a speculative application, got %T", o.App)
+	}
+	cfg := ReplicaConfig{
+		Self: o.Self, N: o.N, App: app, Auth: o.Auth, Costs: o.Costs,
+		BatchSize:  o.BatchSize,
+		BatchDelay: o.BatchDelay,
+	}
+	if o.LatencyBound > 0 {
+		cfg.ResendTimeout = 2 * o.LatencyBound
+		cfg.DepWaitTimeout = 2 * o.LatencyBound
+	}
+	if o.Mute {
+		cfg.Byzantine = &ByzantineBehavior{Mute: true}
+	}
+	return NewReplica(cfg)
+}
+
+// NewClient implements engine.Engine. ezBFT clients submit to their
+// co-located replica (opts.Nearest); the protocol has no primary.
+func (ezEngine) NewClient(o engine.ClientOptions) (engine.Client, error) {
+	cfg := ClientConfig{
+		ID: o.ID, N: o.N, Leader: o.Nearest, Auth: o.Auth, Costs: o.Costs,
+		Driver:          o.Driver,
+		DisableFastPath: o.DisableFastPath,
+	}
+	if o.LatencyBound > 0 {
+		cfg.SlowPathTimeout = o.LatencyBound
+		cfg.RetryTimeout = 8 * o.LatencyBound
+	}
+	c, err := NewClient(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return ezClient{c}, nil
+}
+
+// InboundVerifier implements engine.Engine: SPECORDER batches verify on
+// the transport worker pool.
+func (ezEngine) InboundVerifier(a auth.Authenticator, n int) func(msg codec.Message) bool {
+	return SpecOrderVerifier(a, n)
+}
+
+// ezClient adapts *Client to the engine contract.
+type ezClient struct{ *Client }
+
+var (
+	_ engine.Client    = ezClient{}
+	_ engine.Unwrapper = ezClient{}
+)
+
+// ClientStats implements engine.Client.
+func (c ezClient) ClientStats() engine.ClientStats {
+	s := c.Client.Stats()
+	return engine.ClientStats{
+		Submitted:     s.Submitted,
+		Completed:     s.Completed,
+		FastDecisions: s.FastDecisions,
+		SlowDecisions: s.SlowDecisions,
+		Retries:       s.Retries,
+		POMsSent:      s.POMsSent,
+	}
+}
+
+// Unwrap implements engine.Unwrapper.
+func (c ezClient) Unwrap() any { return c.Client }

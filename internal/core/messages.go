@@ -30,9 +30,8 @@
 package core
 
 import (
-	"crypto/sha256"
-
 	"ezbft/internal/codec"
+	"ezbft/internal/engine"
 	"ezbft/internal/types"
 )
 
@@ -198,18 +197,10 @@ func (m *SpecOrder) CmdDigests() []types.Digest {
 // per-command digests: the single command's digest for a batch of one
 // (exactly the unbatched protocol's d = H(m)), or the hash of the
 // concatenated per-command digests for larger batches, so one signature
-// binds every command and its position.
+// binds every command and its position. It is the shared engine.BatchDigest
+// (every batching protocol binds batches the same way).
 func BatchDigest(cmdDigests []types.Digest) types.Digest {
-	if len(cmdDigests) == 1 {
-		return cmdDigests[0]
-	}
-	h := sha256.New()
-	for i := range cmdDigests {
-		h.Write(cmdDigests[i][:])
-	}
-	var d types.Digest
-	copy(d[:], h.Sum(nil))
-	return d
+	return engine.BatchDigest(cmdDigests)
 }
 
 func (m *SpecOrder) marshalBody(w *codec.Writer) {
@@ -276,6 +267,15 @@ func decodeSpecOrderFmt(r *codec.Reader, batched bool) (*SpecOrder, error) {
 // a replica sends one SPECREPLY per command, each naming the command's
 // position in the batch (BatchIdx) and carrying the per-command digest in
 // CmdDigest, so every client correlates and validates its own command.
+//
+// Evidence slimming: only the BatchIdx-0 reply of a batched instance embeds
+// the full SPECORDER; the rest carry SORef — the batch digest of the
+// proposal they vouch for — inside their signed body. Reply traffic is then
+// O(k) instead of O(k²) request bytes per replica per batch, while replies
+// built from different proposals still can never be combined (SORef takes
+// part in Matches and in certificate validation) and any client holding two
+// full SPECORDERs can still prove equivocation. Unbatched replies always
+// embed the SPECORDER, byte-for-byte the paper's protocol.
 type SpecReply struct {
 	Owner     types.OwnerNumber
 	Inst      types.InstanceID
@@ -288,7 +288,8 @@ type SpecReply struct {
 	Result    types.Result // rep: the speculative execution result
 	Batched   bool         // true when the instance orders a batch of ≥ 2
 	BatchIdx  uint32       // position of the command within the batch
-	SO        *SpecOrder   // the embedded SPECORDER (client checks for equivocation)
+	SORef     types.Digest // batch digest of the proposal (batched replies only)
+	SO        *SpecOrder   // the embedded SPECORDER (BatchIdx 0 and unbatched replies)
 	Sig       []byte
 }
 
@@ -319,10 +320,23 @@ func (m *SpecReply) marshalBody(w *codec.Writer) {
 	w.Bool(m.Result.OK)
 	w.Blob(m.Result.Value)
 	if m.Batched {
-		// The batch index is part of the signed body: a reply for one
-		// command of a batch cannot be replayed as a reply for another.
+		// The batch index and proposal reference are part of the signed
+		// body: a reply for one command of a batch cannot be replayed as a
+		// reply for another, and a reply built from one proposal cannot be
+		// passed off as vouching for a different batch at the same instance.
 		w.Uvarint(uint64(m.BatchIdx))
+		w.Bytes32(m.SORef)
 	}
+}
+
+// ProposalRef returns the digest of the proposal this reply vouches for:
+// the embedded SPECORDER's batch digest when present, the signed SORef
+// otherwise.
+func (m *SpecReply) ProposalRef() types.Digest {
+	if m.SO != nil {
+		return m.SO.CmdDigest
+	}
+	return m.SORef
 }
 
 // marshalSpecOrderPtr encodes an optional embedded SPECORDER with a format
@@ -377,6 +391,7 @@ func (m *SpecReply) Matches(o *SpecReply) bool {
 		m.Timestamp == o.Timestamp &&
 		m.Batched == o.Batched &&
 		m.BatchIdx == o.BatchIdx &&
+		m.SORef == o.SORef &&
 		m.Result.Equal(o.Result) &&
 		m.Deps.Equal(o.Deps)
 }
@@ -405,6 +420,7 @@ func decodeSpecReplyFmt(r *codec.Reader, batched bool) (*SpecReply, error) {
 			return nil, codec.ErrOverflow
 		}
 		m.BatchIdx = uint32(idx)
+		m.SORef = r.Bytes32()
 	}
 	m.Sig = r.Blob()
 	so, err := decodeSpecOrderPtr(r)

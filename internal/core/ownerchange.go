@@ -423,6 +423,14 @@ func (r *Replica) applyNewOwner(ctx proc.Context, m *NewOwnerMsg) {
 	sp.frozen = true
 	sp.suspended = false
 	sp.pending = make(map[uint64]*SpecOrder)
+	// Parked evidence-slimmed commit decisions for the retired space are
+	// superseded by the owner change's authoritative history; drop them
+	// (acceptSpecOrder, their normal drain, never runs for a frozen space).
+	for inst := range r.deferredCommits {
+		if inst.Space == m.Suspect {
+			delete(r.deferredCommits, inst)
+		}
+	}
 
 	for i := range m.Safe {
 		h := &m.Safe[i]

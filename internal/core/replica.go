@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"ezbft/internal/codec"
+	"ezbft/internal/engine"
 	"ezbft/internal/proc"
 	"ezbft/internal/types"
 )
@@ -46,15 +47,15 @@ type Replica struct {
 	// changes).
 	executed map[cmdKey]types.Result
 
-	// pendingBatch accumulates verified requests this replica, as
+	// batcher accumulates verified requests this replica, as
 	// command-leader, will order in its next instance (BatchSize > 1).
-	pendingBatch []*Request
-	// batchQueued marks requests sitting in pendingBatch, for dedup.
-	batchQueued map[cmdKey]bool
-	// batchArmed reports whether the batch-delay timer is pending.
-	batchArmed bool
-	// batchTimer is the pending batch-delay timer (valid when batchArmed).
-	batchTimer proc.TimerID
+	batcher *engine.Batcher[cmdKey, *Request]
+
+	// deferredCommits buffers commit decisions whose certificate carries no
+	// embedded SPECORDER (evidence-slimmed batched replies) and whose
+	// instance this replica has not spec-ordered yet; they are re-applied
+	// when the SPECORDER arrives.
+	deferredCommits map[types.InstanceID][]deferredCommit
 
 	// resendWait tracks RESENDREQs we forwarded and are waiting on
 	// (paper step 4.3): cmdKey → armed timer.
@@ -85,6 +86,17 @@ type resendState struct {
 	timer proc.TimerID
 }
 
+// deferredCommit is one commit decision waiting for its SPECORDER.
+type deferredCommit struct {
+	deps       types.InstanceSet
+	seq        types.SeqNumber
+	from       *SpecReply
+	fast       bool
+	needsReply bool
+	replyTo    types.ClientID
+	commit     *Commit // the slow-path COMMIT (nil for fast commits)
+}
+
 // ReplicaStats exposes protocol counters for tests and experiments.
 type ReplicaStats struct {
 	Ordered         uint64 // commands this replica led
@@ -94,6 +106,7 @@ type ReplicaStats struct {
 	FinalExecutions uint64
 	OwnerChanges    uint64
 	DroppedInvalid  uint64 // messages rejected by validation
+	DeferredCommits uint64 // slim commit certificates parked for their SPECORDER
 }
 
 var _ proc.Process = (*Replica)(nil)
@@ -104,26 +117,27 @@ func NewReplica(cfg ReplicaConfig) (*Replica, error) {
 		return nil, err
 	}
 	r := &Replica{
-		cfg:         cfg,
-		n:           cfg.N,
-		f:           F(cfg.N),
-		log:         newCmdLog(cfg.N),
-		deps:        newDepIndex(),
-		nextSlot:    1,
-		owners:      make([]types.OwnerNumber, cfg.N),
-		instByCmd:   make(map[cmdKey]types.InstanceID),
-		replyCache:  make(map[cmdKey]*SpecReply),
-		highestTs:   make(map[types.ClientID]uint64),
-		pendingExec: make(map[types.InstanceID]*entry),
-		executed:    make(map[cmdKey]types.Result),
-		batchQueued: make(map[cmdKey]bool),
-		resendWait:  make(map[cmdKey]*resendState),
-		depWait:     make(map[types.InstanceID]bool),
-		timerAct:    make(map[proc.TimerID]func(ctx proc.Context)),
+		cfg:             cfg,
+		n:               cfg.N,
+		f:               F(cfg.N),
+		log:             newCmdLog(cfg.N),
+		deps:            newDepIndex(),
+		nextSlot:        1,
+		owners:          make([]types.OwnerNumber, cfg.N),
+		instByCmd:       make(map[cmdKey]types.InstanceID),
+		replyCache:      make(map[cmdKey]*SpecReply),
+		highestTs:       make(map[types.ClientID]uint64),
+		pendingExec:     make(map[types.InstanceID]*entry),
+		executed:        make(map[cmdKey]types.Result),
+		deferredCommits: make(map[types.InstanceID][]deferredCommit),
+		resendWait:      make(map[cmdKey]*resendState),
+		depWait:         make(map[types.InstanceID]bool),
+		timerAct:        make(map[proc.TimerID]func(ctx proc.Context)),
 	}
 	for i := range r.owners {
 		r.owners[i] = types.OwnerNumber(i)
 	}
+	r.batcher = engine.NewBatcher[cmdKey, *Request](cfg.BatchSize, cfg.BatchDelay, r, r.flushBatch)
 	r.oc.init()
 	return r, nil
 }
@@ -152,6 +166,17 @@ func (r *Replica) afterTimer(ctx proc.Context, d time.Duration, fn func(ctx proc
 	r.timerAct[id] = fn
 	ctx.SetTimer(id, d)
 	return id
+}
+
+// AfterTimer implements engine.BatchHost.
+func (r *Replica) AfterTimer(ctx proc.Context, d time.Duration, fn func(ctx proc.Context)) proc.TimerID {
+	return r.afterTimer(ctx, d, fn)
+}
+
+// DisarmTimer implements engine.BatchHost.
+func (r *Replica) DisarmTimer(ctx proc.Context, id proc.TimerID) {
+	delete(r.timerAct, id)
+	ctx.CancelTimer(id)
 }
 
 // Receive implements proc.Process.
@@ -232,59 +257,20 @@ func (r *Replica) handleRequest(ctx proc.Context, from types.NodeID, m *Request)
 		r.stats.DroppedInvalid++
 		return
 	}
-	if r.batchQueued[key] {
+	if r.batcher.Queued(key) {
 		return // already waiting in the current batch
 	}
 	if m.Cmd.Timestamp > r.highestTs[m.Cmd.Client] {
 		r.highestTs[m.Cmd.Client] = m.Cmd.Timestamp
 	}
-	if r.cfg.BatchSize > 1 {
-		r.enqueueBatch(ctx, m)
-		return
-	}
-	r.leadCommand(ctx, m, r.cfg.Self)
+	r.batcher.Add(ctx, key, m)
 }
 
-// enqueueBatch adds a verified request to the accumulating batch and
-// flushes when the batch is full; otherwise the batch-delay timer bounds
-// how long the first request waits.
-func (r *Replica) enqueueBatch(ctx proc.Context, m *Request) {
-	key := cmdKey{m.Cmd.Client, m.Cmd.Timestamp}
-	r.pendingBatch = append(r.pendingBatch, m)
-	r.batchQueued[key] = true
-	if len(r.pendingBatch) >= r.cfg.BatchSize {
-		r.flushBatch(ctx)
-		return
-	}
-	if !r.batchArmed {
-		r.batchArmed = true
-		r.batchTimer = r.afterTimer(ctx, r.cfg.BatchDelay, func(ctx proc.Context) {
-			r.batchArmed = false
-			r.flushBatch(ctx)
-		})
-	}
-}
-
-// flushBatch opens one instance for everything queued. Ownership is
-// re-checked at flush time: if this replica was suspected while the batch
-// accumulated, the requests are dropped and the clients' retry broadcasts
-// re-drive them at a live leader.
-func (r *Replica) flushBatch(ctx proc.Context) {
-	if len(r.pendingBatch) == 0 {
-		return
-	}
-	if r.batchArmed {
-		// Flushing early (full batch or RESENDREQ): disarm the delay timer
-		// so it does not cut the next batch short.
-		r.batchArmed = false
-		delete(r.timerAct, r.batchTimer)
-		ctx.CancelTimer(r.batchTimer)
-	}
-	reqs := r.pendingBatch
-	r.pendingBatch = nil
-	for key := range r.batchQueued {
-		delete(r.batchQueued, key)
-	}
+// flushBatch opens one instance for everything the batcher accumulated.
+// Ownership is re-checked at flush time: if this replica was suspected
+// while the batch accumulated, the requests are dropped and the clients'
+// retry broadcasts re-drive them at a live leader.
+func (r *Replica) flushBatch(ctx proc.Context, reqs []*Request) {
 	if r.log.space(r.cfg.Self).frozen || r.owners[r.cfg.Self].OwnerOf(r.n) != r.cfg.Self {
 		r.stats.DroppedInvalid += uint64(len(reqs))
 		return
@@ -484,10 +470,10 @@ func (r *Replica) resolveResendWait(key cmdKey, orderedBy types.ReplicaID) {
 // forwarder; otherwise order it now.
 func (r *Replica) handleResendReq(ctx proc.Context, m *ResendReq) {
 	key := cmdKey{m.Req.Cmd.Client, m.Req.Cmd.Timestamp}
-	if r.batchQueued[key] {
+	if r.batcher.Queued(key) {
 		// The request is waiting in the current batch; flush now so the
 		// forwarder (and its owner-change timer) sees the SPECORDER quickly.
-		r.flushBatch(ctx)
+		r.batcher.Flush(ctx)
 	}
 	if inst, ok := r.instByCmd[key]; ok {
 		if e := r.log.get(inst); e != nil && e.so != nil {
@@ -641,11 +627,40 @@ func (r *Replica) acceptSpecOrder(ctx proc.Context, m *SpecOrder, digests []type
 		cmd := m.ReqAt(i).Cmd
 		r.resolveResendWait(cmdKey{cmd.Client, cmd.Timestamp}, m.Inst.Space)
 	}
+	r.drainDeferredCommits(ctx, m.Inst)
+}
+
+// drainDeferredCommits applies the commit decisions that raced ahead of
+// the instance's content (their evidence-slimmed certificates could not
+// install the entry on their own). Called wherever the instance becomes
+// known: the SPECORDER arriving, or a full-evidence certificate installing
+// the entry.
+func (r *Replica) drainDeferredCommits(ctx proc.Context, inst types.InstanceID) {
+	dcs, ok := r.deferredCommits[inst]
+	if !ok {
+		return
+	}
+	delete(r.deferredCommits, inst)
+	for _, dc := range dcs {
+		ce := r.commitEntry(ctx, inst, dc.deps, dc.seq, dc.from, dc.needsReply, dc.replyTo)
+		if dc.fast {
+			r.stats.FastCommits++
+		} else {
+			r.stats.SlowCommits++
+			if ce != nil {
+				ce.clientCommit = dc.commit
+			}
+		}
+	}
+	r.tryExecute(ctx)
 }
 
 // specExecuteAndReply speculatively executes an entry's commands in batch
 // order on the latest state and sends each command's SPECREPLY to its
-// client.
+// client. Evidence slimming: the full SPECORDER rides only in the
+// BatchIdx-0 reply of a batched instance; the rest carry the signed SORef
+// digest, so per-batch reply traffic is O(k) instead of O(k²) request
+// bytes per replica.
 func (r *Replica) specExecuteAndReply(ctx proc.Context, e *entry, so *SpecOrder) {
 	batched := e.nCmds() > 1
 	for i := 0; i < e.nCmds(); i++ {
@@ -667,7 +682,14 @@ func (r *Replica) specExecuteAndReply(ctx proc.Context, e *entry, so *SpecOrder)
 			Result:    res,
 			Batched:   batched,
 			BatchIdx:  uint32(i),
-			SO:        so,
+		}
+		if batched {
+			reply.SORef = e.cmdDigest
+			if i == 0 {
+				reply.SO = so
+			}
+		} else {
+			reply.SO = so
 		}
 		r.cfg.Costs.ChargeSign(ctx)
 		reply.Sig = signBody(r.cfg.Auth, reply)
@@ -692,9 +714,20 @@ func (r *Replica) handleCommitFast(ctx proc.Context, m *CommitFast) {
 		return
 	}
 	first := m.Cert[0]
+	if r.log.get(m.Inst) == nil && first.SO == nil {
+		// Evidence-slimmed certificate for an instance whose SPECORDER has
+		// not arrived yet: park the decision until it does.
+		r.deferCommit(m.Inst, deferredCommit{deps: first.Deps, seq: first.Seq, from: first, fast: true})
+		return
+	}
 	r.commitEntry(ctx, m.Inst, first.Deps, first.Seq, first, false, 0)
 	r.stats.FastCommits++
 	r.tryExecute(ctx)
+	// This certificate may have installed the entry that parked slim
+	// decisions were waiting for.
+	if r.log.get(m.Inst) != nil {
+		r.drainDeferredCommits(ctx, m.Inst)
+	}
 }
 
 // handleCommit processes the slow-path ⟨COMMIT, c, I, D′, S′, CC⟩σc:
@@ -715,12 +748,55 @@ func (r *Replica) handleCommit(ctx proc.Context, m *Commit) {
 		r.stats.DroppedInvalid++
 		return
 	}
+	if r.log.get(m.Inst) == nil && m.Cert[0].SO == nil {
+		r.deferCommit(m.Inst, deferredCommit{
+			deps: m.Deps, seq: m.Seq, from: m.Cert[0],
+			needsReply: true, replyTo: m.Client, commit: m,
+		})
+		return
+	}
 	e := r.commitEntry(ctx, m.Inst, m.Deps, m.Seq, m.Cert[0], true, m.Client)
 	if e != nil {
 		e.clientCommit = m
 	}
 	r.stats.SlowCommits++
 	r.tryExecute(ctx)
+	// This certificate may have installed the entry that parked slim
+	// decisions were waiting for.
+	if r.log.get(m.Inst) != nil {
+		r.drainDeferredCommits(ctx, m.Inst)
+	}
+}
+
+// maxDeferredPerInstance bounds the commit decisions parked per unknown
+// instance: legitimately there are at most two (one fast, one slow) per
+// client of the batch, and a batch holds at most MaxBatchSize clients.
+// Every deferred decision is backed by a validated 2f+1 certificate, so
+// the bound is a memory backstop, not a spam defense.
+const maxDeferredPerInstance = 2 * MaxBatchSize
+
+// deferCommit parks a validated commit decision that cannot be applied yet
+// because its certificate is evidence-slimmed (no embedded SPECORDER) and
+// the instance is unknown locally; acceptSpecOrder re-applies it when the
+// proposal arrives (an owner change of the space drops it instead).
+// Decisions for instances whose SPECORDER never arrives are re-driven by
+// the existing resend and owner-change machinery. A replayed decision from
+// the same client replaces its predecessor rather than accumulating, so a
+// spammed COMMIT can neither grow memory nor apply twice.
+func (r *Replica) deferCommit(inst types.InstanceID, dc deferredCommit) {
+	dcs := r.deferredCommits[inst]
+	for i := range dcs {
+		if dcs[i].from.Client == dc.from.Client && dcs[i].fast == dc.fast {
+			dcs[i] = dc
+			return
+		}
+	}
+	if len(dcs) >= maxDeferredPerInstance {
+		r.stats.DroppedInvalid++
+		return
+	}
+	r.deferredCommits[inst] = append(dcs, dc)
+	r.stats.DeferredCommits++
 }
 
 // validateCert checks a commit certificate: enough distinct, correctly
@@ -738,9 +814,17 @@ func (r *Replica) validateCert(ctx proc.Context, cert []*SpecReply, inst types.I
 		// All elements must vouch for the same command of the same
 		// proposal — a certificate mixing replies built from different
 		// batches (an equivocating leader's doing) is not a quorum for
-		// anything, and mixed layouts would not even survive the wire.
+		// anything, and mixed layouts would not even survive the wire. The
+		// signed SORef keeps this check sound for evidence-slimmed replies
+		// that carry no embedded SPECORDER.
 		if sr.Batched != cert[0].Batched || sr.BatchIdx != cert[0].BatchIdx ||
-			sr.CmdDigest != cert[0].CmdDigest {
+			sr.CmdDigest != cert[0].CmdDigest || sr.SORef != cert[0].SORef {
+			return false
+		}
+		// An embedded SPECORDER rides outside the reply's signed body; it
+		// must name the proposal the signed SORef vouches for, or the
+		// certificate has been tampered with.
+		if sr.Batched && sr.SO != nil && sr.SO.CmdDigest != sr.SORef {
 			return false
 		}
 		if err := verifyBody(r.cfg.Auth, types.ReplicaNode(sr.Replica), sr, sr.Sig); err != nil {
@@ -767,6 +851,25 @@ func (r *Replica) commitEntry(ctx proc.Context, inst types.InstanceID, deps type
 			return nil
 		}
 		so := from.SO
+		// The SPECORDER travels outside the reply's signed body, so bind it
+		// before trusting it as the instance's content: it must be for this
+		// instance, be the proposal the signed replies vouch for (SORef for
+		// batched replies, the command digest at the claimed batch position
+		// always), carry a digest that binds exactly its embedded requests,
+		// and be signed by the owner. Without these checks a Byzantine
+		// client could swap an equivocating leader's other proposal into an
+		// otherwise-valid certificate and commit different batches on
+		// different replicas.
+		ds := so.CmdDigests()
+		r.cfg.Costs.ChargeVerify(ctx, 1)
+		if so.Inst != inst ||
+			(from.Batched && so.CmdDigest != from.SORef) ||
+			so.CmdDigest != BatchDigest(ds) ||
+			int(from.BatchIdx) >= len(ds) || ds[from.BatchIdx] != from.CmdDigest ||
+			verifyBody(r.cfg.Auth, types.ReplicaNode(so.Owner.OwnerOf(r.n)), so, so.Sig) != nil {
+			r.stats.DroppedInvalid++
+			return nil
+		}
 		e = &entry{
 			inst:      inst,
 			owner:     from.Owner,
@@ -800,7 +903,7 @@ func (r *Replica) commitEntry(ctx proc.Context, inst types.InstanceID, deps type
 		r.stats.DroppedInvalid++
 		return nil
 	}
-	if from.SO != nil && e.status < StatusCommitted && e.cmdDigest != from.SO.CmdDigest {
+	if ref := from.ProposalRef(); ref != (types.Digest{}) && e.status < StatusCommitted && e.cmdDigest != ref {
 		// The certificate was built from a different batch than the one
 		// this replica spec-ordered at the instance — conflicting evidence
 		// from an equivocating leader. Committing either version here could

@@ -1,0 +1,200 @@
+// Package engine defines the protocol-agnostic replication-engine
+// contract every consensus protocol in this repository plugs into. An
+// Engine knows how to build the two process kinds a deployment needs — a
+// replica and a workload-driven client — from substrate-neutral options,
+// plus an optional transport-side signature pre-verifier for its hot-path
+// ordering frames. The three substrates (the discrete-event simulator in
+// internal/bench, the live in-process mesh, and the TCP deployment) all
+// construct nodes exclusively through this contract, so any registered
+// protocol runs on any substrate.
+//
+// Protocol packages register their engine from an init function (the same
+// link-time pattern internal/codec uses for wire messages); importing a
+// protocol package is what makes its Protocol name resolvable through
+// Lookup. The package also hosts the machinery the protocols share on top
+// of the contract: the leader-side request Batcher and the BatchDigest
+// binding a batch of commands under one ordering signature.
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"ezbft/internal/auth"
+	"ezbft/internal/codec"
+	"ezbft/internal/proc"
+	"ezbft/internal/types"
+	"ezbft/internal/workload"
+)
+
+// Protocol names a consensus protocol.
+type Protocol string
+
+// The four protocols of the paper's evaluation.
+const (
+	EZBFT   Protocol = "ezbft"
+	PBFT    Protocol = "pbft"
+	Zyzzyva Protocol = "zyzzyva"
+	FaB     Protocol = "fab"
+)
+
+// ReplicaOptions configures one replica, independent of protocol and
+// substrate. Zero-valued fields select each protocol's defaults.
+type ReplicaOptions struct {
+	// Self is this replica's identifier in [0, N).
+	Self types.ReplicaID
+	// N is the cluster size (3f+1).
+	N int
+	// App is the replicated application. Protocols that speculate (ezBFT)
+	// require a types.SpeculativeApplication and reject anything less.
+	App types.Application
+	// Auth signs and verifies this replica's messages.
+	Auth auth.Authenticator
+	// Costs holds the virtual processing costs charged in simulation.
+	Costs proc.Costs
+	// Primary selects the initial primary/leader for primary-based
+	// protocols; leaderless protocols ignore it.
+	Primary types.ReplicaID
+	// LatencyBound tunes protocol timeouts; it should exceed the largest
+	// round trip in the deployment. Zero keeps the protocol defaults.
+	LatencyBound time.Duration
+	// CheckpointInterval overrides the checkpoint distance for protocols
+	// that checkpoint (PBFT); 0 keeps the default.
+	CheckpointInterval uint64
+	// BatchSize enables leader-side request batching: the ordering replica
+	// (every command-leader in ezBFT, the primary in the baselines) orders
+	// up to this many client requests per protocol instance. 0 or 1 is
+	// unbatched — byte-for-byte each protocol's original message flow.
+	BatchSize int
+	// BatchDelay bounds how long an incomplete batch waits before flushing
+	// (0 = the protocol default).
+	BatchDelay time.Duration
+	// Mute makes the replica fail-silent (fault-injection runs).
+	Mute bool
+}
+
+// ClientOptions configures one workload-driven client.
+type ClientOptions struct {
+	// ID is the client's identifier.
+	ID types.ClientID
+	// N is the cluster size.
+	N int
+	// Nearest is the co-located replica — the command-leader a leaderless
+	// client submits to. Primary-based clients ignore it.
+	Nearest types.ReplicaID
+	// Primary is the replica the client believes is primary/leader;
+	// leaderless protocols ignore it.
+	Primary types.ReplicaID
+	// Auth signs requests and verifies replica replies.
+	Auth auth.Authenticator
+	// Costs holds the virtual processing costs charged in simulation.
+	Costs proc.Costs
+	// Driver decides what to submit and receives completions.
+	Driver workload.Driver
+	// LatencyBound tunes client timeouts (slow-path and retransmission);
+	// zero keeps the protocol defaults.
+	LatencyBound time.Duration
+	// DisableFastPath forces clients of speculative protocols onto their
+	// slow path (ablation studies only).
+	DisableFastPath bool
+}
+
+// ClientStats is the protocol-neutral snapshot of a client's counters.
+// Protocols without a fast/slow path split leave the inapplicable fields
+// zero (PBFT and FaB count every completion as a slow decision).
+type ClientStats struct {
+	Submitted     uint64
+	Completed     uint64
+	FastDecisions uint64
+	SlowDecisions uint64
+	Retries       uint64
+	POMsSent      uint64
+}
+
+// Client is a protocol client as the substrates see it: a schedulable
+// process, a workload submitter, and a stats source.
+type Client interface {
+	proc.Process
+	workload.Submitter
+	// ClientStats returns a protocol-neutral counter snapshot.
+	ClientStats() ClientStats
+}
+
+// Unwrapper exposes the concrete protocol value behind an engine adapter,
+// for callers (experiments, tests) that need protocol-specific inspection.
+type Unwrapper interface{ Unwrap() any }
+
+// Unwrap returns the concrete protocol value behind v if v is an engine
+// adapter, and v itself otherwise.
+func Unwrap(v any) any {
+	if u, ok := v.(Unwrapper); ok {
+		return u.Unwrap()
+	}
+	return v
+}
+
+// Engine builds one protocol's processes. Implementations are stateless
+// factories, safe for concurrent use.
+type Engine interface {
+	// Protocol returns the engine's registry name.
+	Protocol() Protocol
+	// NewReplica builds one replica process.
+	NewReplica(opts ReplicaOptions) (proc.Process, error)
+	// NewClient builds one client process driven by opts.Driver.
+	NewClient(opts ClientOptions) (Client, error)
+	// InboundVerifier returns a predicate that pre-verifies the signatures
+	// of this protocol's hot-path ordering frames outside the process loop
+	// (feed it to transport.NewVerifyPool), or nil when the protocol has
+	// none. The predicate must be safe for concurrent use and should mark
+	// verified messages so the process loop skips re-checking them.
+	InboundVerifier(a auth.Authenticator, n int) func(msg codec.Message) bool
+}
+
+var (
+	registryMu sync.RWMutex
+	registry   = make(map[Protocol]Engine)
+)
+
+// Register installs an engine; it panics on a duplicate protocol name
+// (registration happens from init functions, where a duplicate is a
+// programming error, exactly like a codec tag collision).
+func Register(e Engine) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	p := e.Protocol()
+	if _, dup := registry[p]; dup {
+		panic(fmt.Sprintf("engine: protocol %q registered twice", p))
+	}
+	registry[p] = e
+}
+
+// Lookup resolves a protocol name to its engine. Unknown names — including
+// names whose package simply is not linked in — return an error listing
+// the registered protocols, so misconfigured deployments fail loudly
+// instead of silently running the wrong protocol.
+func Lookup(p Protocol) (Engine, error) {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	if e, ok := registry[p]; ok {
+		return e, nil
+	}
+	return nil, fmt.Errorf("engine: unknown protocol %q (registered: %v)", p, protocolsLocked())
+}
+
+// Protocols returns the registered protocol names in sorted order.
+func Protocols() []Protocol {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	return protocolsLocked()
+}
+
+func protocolsLocked() []Protocol {
+	out := make([]Protocol, 0, len(registry))
+	for p := range registry {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

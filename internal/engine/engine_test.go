@@ -1,0 +1,189 @@
+package engine
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"ezbft/internal/codec"
+	"ezbft/internal/proc"
+	"ezbft/internal/types"
+)
+
+// TestLookupUnknownProtocol: unknown names fail with an error listing the
+// registered protocols (none are registered in this package's own tests —
+// protocol packages register themselves on import).
+func TestLookupUnknownProtocol(t *testing.T) {
+	_, err := Lookup("raft")
+	if err == nil {
+		t.Fatal("unknown protocol resolved")
+	}
+	if !strings.Contains(err.Error(), `"raft"`) {
+		t.Fatalf("error %q does not name the unknown protocol", err)
+	}
+}
+
+// TestBatchDigestSemantics: a batch of one digests to the command's own
+// digest (each protocol's unbatched d = H(m)); larger batches bind every
+// command and its position.
+func TestBatchDigestSemantics(t *testing.T) {
+	a := types.Command{Op: types.OpPut, Key: "a"}.Digest()
+	b := types.Command{Op: types.OpPut, Key: "b"}.Digest()
+	if BatchDigest([]types.Digest{a}) != a {
+		t.Fatal("batch of one must digest to the command digest")
+	}
+	if BatchDigest([]types.Digest{a, b}) == BatchDigest([]types.Digest{b, a}) {
+		t.Fatal("batch digest must bind command positions")
+	}
+	if BatchDigest([]types.Digest{a, b}) == a || BatchDigest([]types.Digest{a, b}) == b {
+		t.Fatal("batch digest must differ from member digests")
+	}
+}
+
+// fakeHost records the timers a Batcher arms and lets tests fire them.
+type fakeHost struct {
+	next     proc.TimerID
+	fns      map[proc.TimerID]func(proc.Context)
+	disarmed []proc.TimerID
+}
+
+func newFakeHost() *fakeHost {
+	return &fakeHost{fns: make(map[proc.TimerID]func(proc.Context))}
+}
+
+func (h *fakeHost) AfterTimer(_ proc.Context, _ time.Duration, fn func(proc.Context)) proc.TimerID {
+	h.next++
+	h.fns[h.next] = fn
+	return h.next
+}
+
+func (h *fakeHost) DisarmTimer(_ proc.Context, id proc.TimerID) {
+	delete(h.fns, id)
+	h.disarmed = append(h.disarmed, id)
+}
+
+func (h *fakeHost) fire(ctx proc.Context, id proc.TimerID) {
+	if fn, ok := h.fns[id]; ok {
+		delete(h.fns, id)
+		fn(ctx)
+	}
+}
+
+// nopCtx is a minimal proc.Context for driving the batcher directly.
+type nopCtx struct{}
+
+func (nopCtx) Now() time.Duration                   { return 0 }
+func (nopCtx) Send(types.NodeID, codec.Message)     {}
+func (nopCtx) SetTimer(proc.TimerID, time.Duration) {}
+func (nopCtx) CancelTimer(proc.TimerID)             {}
+func (nopCtx) Charge(time.Duration)                 {}
+func (nopCtx) Rand() *rand.Rand                     { return rand.New(rand.NewSource(1)) }
+
+// TestBatcherFillFlush: a full batch flushes immediately and disarms the
+// delay timer; the dedup map resets per batch.
+func TestBatcherFillFlush(t *testing.T) {
+	host := newFakeHost()
+	var flushed [][]int
+	b := NewBatcher[int, int](3, time.Millisecond, host, func(_ proc.Context, items []int) {
+		flushed = append(flushed, items)
+	})
+	ctx := nopCtx{}
+	if !b.Enabled() {
+		t.Fatal("size-3 batcher reports disabled")
+	}
+	b.Add(ctx, 1, 10)
+	b.Add(ctx, 2, 20)
+	if len(flushed) != 0 {
+		t.Fatal("flushed before the batch filled")
+	}
+	if !b.Queued(1) || !b.Queued(2) || b.Queued(3) {
+		t.Fatal("dedup map wrong while accumulating")
+	}
+	b.Add(ctx, 3, 30)
+	if len(flushed) != 1 || len(flushed[0]) != 3 {
+		t.Fatalf("flushed %v, want one batch of 3", flushed)
+	}
+	if len(host.disarmed) != 1 {
+		t.Fatal("delay timer not disarmed on a full flush")
+	}
+	if b.Queued(1) {
+		t.Fatal("dedup map not reset after the flush")
+	}
+}
+
+// TestBatcherDelayFlush: an incomplete batch flushes when the delay timer
+// fires.
+func TestBatcherDelayFlush(t *testing.T) {
+	host := newFakeHost()
+	var flushed [][]int
+	b := NewBatcher[int, int](8, time.Millisecond, host, func(_ proc.Context, items []int) {
+		flushed = append(flushed, items)
+	})
+	ctx := nopCtx{}
+	b.Add(ctx, 1, 10)
+	b.Add(ctx, 2, 20)
+	host.fire(ctx, 1)
+	if len(flushed) != 1 || len(flushed[0]) != 2 {
+		t.Fatalf("flushed %v, want one batch of 2 on timer", flushed)
+	}
+	// The next batch arms a fresh timer.
+	b.Add(ctx, 3, 30)
+	if len(host.fns) != 1 {
+		t.Fatal("no fresh delay timer for the next batch")
+	}
+}
+
+// TestBatcherDisabledFlushesImmediately: size <= 1 reproduces the
+// unbatched one-flush-per-item flow with no timers.
+func TestBatcherDisabledFlushesImmediately(t *testing.T) {
+	host := newFakeHost()
+	var flushed [][]int
+	b := NewBatcher[int, int](1, time.Millisecond, host, func(_ proc.Context, items []int) {
+		flushed = append(flushed, items)
+	})
+	ctx := nopCtx{}
+	b.Add(ctx, 1, 10)
+	b.Add(ctx, 2, 20)
+	if len(flushed) != 2 || len(flushed[0]) != 1 || len(flushed[1]) != 1 {
+		t.Fatalf("flushed %v, want two singleton batches", flushed)
+	}
+	if len(host.fns) != 0 {
+		t.Fatal("disabled batcher armed a timer")
+	}
+}
+
+// TestBatcherDrop: dropping discards queued items without flushing and
+// returns them for accounting.
+func TestBatcherDrop(t *testing.T) {
+	host := newFakeHost()
+	var flushed [][]int
+	b := NewBatcher[int, int](4, time.Millisecond, host, func(_ proc.Context, items []int) {
+		flushed = append(flushed, items)
+	})
+	ctx := nopCtx{}
+	b.Add(ctx, 1, 10)
+	b.Add(ctx, 2, 20)
+	dropped := b.Drop()
+	if len(dropped) != 2 {
+		t.Fatalf("dropped %v, want 2 items", dropped)
+	}
+	if b.Queued(1) {
+		t.Fatal("dedup map not reset by Drop")
+	}
+	// The stale timer of the dropped batch must not govern the next batch:
+	// items queued after Drop arm a fresh timer, and firing the stale one
+	// neither flushes them early nor consumes the fresh arm.
+	b.Add(ctx, 3, 30)
+	if len(host.fns) != 2 {
+		t.Fatalf("timers armed = %d, want stale + fresh", len(host.fns))
+	}
+	host.fire(ctx, 1) // the dropped batch's timer
+	if len(flushed) != 0 {
+		t.Fatalf("stale timer flushed the new batch: %v", flushed)
+	}
+	host.fire(ctx, 2) // the new batch's timer
+	if len(flushed) != 1 || len(flushed[0]) != 1 || flushed[0][0] != 30 {
+		t.Fatalf("flushed %v, want the post-Drop batch", flushed)
+	}
+}

@@ -1,0 +1,48 @@
+package engine
+
+import (
+	"ezbft/internal/auth"
+	"ezbft/internal/types"
+)
+
+// OrderingFrame is the surface a batched ordering message (PRE-PREPARE,
+// ORDERREQ, PROPOSE) exposes to the shared transport-side pre-verifier:
+// the frame-level signature, the embedded client requests, and the marker
+// that lets the owning process loop skip re-verification.
+type OrderingFrame interface {
+	// BatchSize returns the number of embedded requests.
+	BatchSize() int
+	// SignedBody returns the bytes the ordering signature covers.
+	SignedBody() []byte
+	// Signature returns the ordering signature.
+	Signature() []byte
+	// RequestAt returns the i'th embedded request's signer and signature
+	// envelope.
+	RequestAt(i int) (client types.ClientID, signedBody, sig []byte)
+	// MarkSigVerified records that every signature checked out, so the
+	// process loop skips the checks.
+	MarkSigVerified()
+}
+
+// VerifyFrame checks an ordering frame outside the process loop: the
+// ordering signature against `signer`, then every embedded client
+// signature; on success the frame is marked verified. maxBatch rejects
+// frames larger than the owning protocol ever produces, so decode and
+// verification agree at the boundary. Safe for concurrent use (the frame
+// itself is owned by the calling worker until delivery).
+func VerifyFrame(a auth.Authenticator, signer types.NodeID, f OrderingFrame, maxBatch int) bool {
+	if f.BatchSize() > maxBatch {
+		return false
+	}
+	if a.Verify(signer, f.SignedBody(), f.Signature()) != nil {
+		return false
+	}
+	for i := 0; i < f.BatchSize(); i++ {
+		client, body, sig := f.RequestAt(i)
+		if a.Verify(types.ClientNode(client), body, sig) != nil {
+			return false
+		}
+	}
+	f.MarkSigVerified()
+	return true
+}

@@ -1,0 +1,94 @@
+package fab_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"ezbft/internal/bench"
+	"ezbft/internal/codec"
+	"ezbft/internal/fab"
+	"ezbft/internal/types"
+)
+
+// singlePuts builds one single-PUT script per client on per-client keys.
+func singlePuts(clients int) [][]types.Command {
+	out := make([][]types.Command, clients)
+	for c := range out {
+		out[c] = []types.Command{{Op: types.OpPut, Key: fmt.Sprintf("bk%d", c), Value: []byte("v")}}
+	}
+	return out
+}
+
+// TestLeaderBatching: eight clients with BatchSize 4 all commit, and the
+// leader provably coalesced them — fewer PROPOSEs than commands, one
+// leader signature per batch — while every replica executes every command
+// and converges.
+func TestLeaderBatching(t *testing.T) {
+	const clients = 8
+	spec := &bench.Spec{BatchSize: 4, BatchDelay: 30 * time.Millisecond}
+	cluster, drivers := harness(t, spec, singlePuts(clients))
+	runUntilDone(t, cluster, drivers, 30*time.Second)
+	cluster.RT.Run(cluster.RT.Now() + time.Second)
+
+	leader := cluster.FBReplicas[0]
+	if pr := leader.Stats().Proposed; pr == 0 || pr >= clients {
+		t.Fatalf("no batching: %d PROPOSEs for %d commands", pr, clients)
+	}
+	for i, r := range cluster.FBReplicas {
+		if got := r.Stats().Executed; got != clients {
+			t.Fatalf("replica %d executed %d commands, want %d", i, got, clients)
+		}
+	}
+	for i := 1; i < 4; i++ {
+		if cluster.Apps[i].Digest() != cluster.Apps[0].Digest() {
+			t.Fatalf("replica %d diverged", i)
+		}
+	}
+}
+
+// TestBatchedLearningWithSilentAcceptor: batched slots still learn with a
+// single silent acceptor (accept quorum 2f+1), and every command of every
+// batch executes on the live replicas.
+func TestBatchedLearningWithSilentAcceptor(t *testing.T) {
+	const clients = 6
+	spec := &bench.Spec{
+		BatchSize:  3,
+		BatchDelay: 30 * time.Millisecond,
+		Mute:       map[types.ReplicaID]bool{2: true},
+	}
+	cluster, drivers := harness(t, spec, singlePuts(clients))
+	runUntilDone(t, cluster, drivers, 60*time.Second)
+	cluster.RT.Run(cluster.RT.Now() + time.Second)
+	for _, i := range []int{0, 1, 3} {
+		if got := cluster.FBReplicas[i].Stats().Executed; got != clients {
+			t.Fatalf("replica %d executed %d commands, want %d", i, got, clients)
+		}
+	}
+	for _, i := range []int{1, 3} {
+		if cluster.Apps[i].Digest() != cluster.Apps[0].Digest() {
+			t.Fatalf("replica %d diverged", i)
+		}
+	}
+}
+
+// TestBatchedProposeWire pins the batched PROPOSE wire layout and that
+// batches of one keep the original tag (and byte layout).
+func TestBatchedProposeWire(t *testing.T) {
+	reqA := fab.Request{Cmd: types.Command{Client: 1, Timestamp: 1, Op: types.OpPut, Key: "a"}, Sig: []byte{1}}
+	reqB := fab.Request{Cmd: types.Command{Client: 2, Timestamp: 1, Op: types.OpIncr, Key: "b"}, Sig: []byte{2}}
+	single := &fab.Propose{View: 1, Seq: 2, CmdDigest: reqA.Cmd.Digest(), Req: reqA, Sig: []byte{9}}
+	batched := &fab.Propose{View: 1, Seq: 2, Req: reqA, Batch: []fab.Request{reqB}, Sig: []byte{9}}
+	if single.Tag() == batched.Tag() {
+		t.Fatal("batched PROPOSE must use its own tag")
+	}
+	for _, m := range []codec.Message{single, batched} {
+		out, err := codec.Unmarshal(codec.Marshal(m))
+		if err != nil {
+			t.Fatalf("round trip: %v", err)
+		}
+		if string(codec.Marshal(out)) != string(codec.Marshal(m)) {
+			t.Fatalf("tag %d: round trip not byte-identical", m.Tag())
+		}
+	}
+}

@@ -5,20 +5,25 @@
 // speculatively on an overlay; the overlay can be rolled back wholesale and
 // commands re-executed in final order on the base state.
 //
-// Store is not safe for concurrent use: a store belongs to exactly one
-// protocol process, and processes are single-threaded (see internal/proc).
+// A store belongs to exactly one protocol process, and processes are
+// single-threaded (see internal/proc) — but on the live substrates other
+// goroutines observe the store (state digests, inspection reads) while the
+// replica executes, so all operations are guarded by a read-write mutex.
 package kvstore
 
 import (
 	"crypto/sha256"
 	"encoding/binary"
 	"sort"
+	"sync"
 
 	"ezbft/internal/types"
 )
 
-// Store is a speculative key-value store.
+// Store is a speculative key-value store, safe for one writer (the owning
+// replica process) with any number of concurrent observers.
 type Store struct {
+	mu    sync.RWMutex
 	final map[string][]byte
 	spec  map[string][]byte // overlay; reads fall through to final
 
@@ -48,12 +53,16 @@ func (s *Store) Execute(cmd types.Command) types.Result {
 // §IV-B ("speculative execution can happen in either the speculative state
 // or in the final version of the state, whichever is the latest").
 func (s *Store) SpecExecute(cmd types.Command) types.Result {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.specExecs++
 	return s.apply(cmd, s.specRead, s.specWrite)
 }
 
 // Rollback implements types.SpeculativeApplication: discard the overlay.
 func (s *Store) Rollback() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if len(s.spec) > 0 {
 		s.spec = make(map[string][]byte)
 	}
@@ -63,17 +72,23 @@ func (s *Store) Rollback() {
 // PromoteFinal implements types.SpeculativeApplication: execute on the
 // previous final version of the state only.
 func (s *Store) PromoteFinal(cmd types.Command) types.Result {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.finalExecs++
 	return s.apply(cmd, s.finalRead, s.finalWrite)
 }
 
 // Stats returns execution counters (final, speculative, rollbacks).
 func (s *Store) Stats() (finalExecs, specExecs, rollbacks uint64) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return s.finalExecs, s.specExecs, s.rollbacks
 }
 
 // Get reads a key from the final state (test/inspection helper).
 func (s *Store) Get(key string) ([]byte, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	v, ok := s.final[key]
 	if !ok {
 		return nil, false
@@ -82,11 +97,17 @@ func (s *Store) Get(key string) ([]byte, bool) {
 }
 
 // Len returns the number of keys in the final state.
-func (s *Store) Len() int { return len(s.final) }
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.final)
+}
 
 // Digest returns a deterministic digest of the final state, used for
 // checkpoint certificates and state cross-checks between replicas.
 func (s *Store) Digest() types.Digest {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	keys := make([]string, 0, len(s.final))
 	for k := range s.final {
 		keys = append(keys, k)

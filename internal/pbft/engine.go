@@ -1,0 +1,96 @@
+package pbft
+
+import (
+	"ezbft/internal/auth"
+	"ezbft/internal/codec"
+	"ezbft/internal/engine"
+	"ezbft/internal/proc"
+	"ezbft/internal/types"
+)
+
+// pbftEngine plugs PBFT into the protocol-agnostic replication engine.
+type pbftEngine struct{}
+
+var _ engine.Engine = pbftEngine{}
+
+func init() { engine.Register(pbftEngine{}) }
+
+// Protocol implements engine.Engine.
+func (pbftEngine) Protocol() engine.Protocol { return engine.PBFT }
+
+// NewReplica implements engine.Engine.
+func (pbftEngine) NewReplica(o engine.ReplicaOptions) (proc.Process, error) {
+	cfg := ReplicaConfig{
+		Self: o.Self, N: o.N, App: o.App, Auth: o.Auth, Costs: o.Costs,
+		InitialView:        uint64(o.Primary),
+		CheckpointInterval: o.CheckpointInterval,
+		BatchSize:          o.BatchSize,
+		BatchDelay:         o.BatchDelay,
+		Mute:               o.Mute,
+	}
+	if o.LatencyBound > 0 {
+		cfg.ForwardTimeout = 4 * o.LatencyBound
+	}
+	return NewReplica(cfg)
+}
+
+// NewClient implements engine.Engine.
+func (pbftEngine) NewClient(o engine.ClientOptions) (engine.Client, error) {
+	cfg := ClientConfig{
+		ID: o.ID, N: o.N, Primary: o.Primary, Auth: o.Auth, Costs: o.Costs,
+		Driver: o.Driver,
+	}
+	if o.LatencyBound > 0 {
+		cfg.RetryTimeout = 8 * o.LatencyBound
+	}
+	c, err := NewClient(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return pbftClient{c}, nil
+}
+
+// InboundVerifier implements engine.Engine: PRE-PREPARE batches verify on
+// the transport worker pool.
+func (pbftEngine) InboundVerifier(a auth.Authenticator, n int) func(msg codec.Message) bool {
+	return PreVerifier(a, n)
+}
+
+// PreVerifier returns a transport-side verification predicate for a
+// replica in a cluster of n: PRE-PREPARE messages have their primary
+// signature and every embedded client signature checked (and are marked so
+// the replica's single-threaded process loop skips re-verifying them); all
+// other message types pass through unverified and are checked in-loop as
+// usual. Safe for concurrent use.
+func PreVerifier(a auth.Authenticator, n int) func(msg codec.Message) bool {
+	return func(msg codec.Message) bool {
+		pp, ok := msg.(*PrePrepare)
+		if !ok {
+			return true
+		}
+		return engine.VerifyFrame(a, types.ReplicaNode(primaryOf(pp.View, n)), pp, maxBatch-1)
+	}
+}
+
+// pbftClient adapts *Client to the engine contract.
+type pbftClient struct{ *Client }
+
+var (
+	_ engine.Client    = pbftClient{}
+	_ engine.Unwrapper = pbftClient{}
+)
+
+// ClientStats implements engine.Client. PBFT has a single commit path, so
+// every completion counts as a slow decision.
+func (c pbftClient) ClientStats() engine.ClientStats {
+	s := c.Client.Stats()
+	return engine.ClientStats{
+		Submitted:     s.Submitted,
+		Completed:     s.Completed,
+		SlowDecisions: s.Completed,
+		Retries:       s.Retries,
+	}
+}
+
+// Unwrap implements engine.Unwrapper.
+func (c pbftClient) Unwrap() any { return c.Client }

@@ -12,7 +12,8 @@ import (
 	"ezbft/internal/types"
 )
 
-// Message tags reserved by PBFT (30-39).
+// Message tags reserved by PBFT (30-39, plus 60 from the shared
+// batched-baseline block 60-69).
 const (
 	tagRequest    = 30
 	tagPrePrepare = 31
@@ -22,7 +23,13 @@ const (
 	tagCheckpoint = 35
 	tagViewChange = 36
 	tagNewView    = 37
+	// tagPrePrepareBatch is the PRE-PREPARE layout for primary-side batches
+	// of ≥ 2 requests; batches of one keep tag 31 and its exact byte layout.
+	tagPrePrepareBatch = 60
 )
+
+// maxBatch bounds the requests decoded per batched PRE-PREPARE.
+const maxBatch = 4096
 
 // Request is the client's signed command submission.
 type Request struct {
@@ -53,22 +60,68 @@ func decodeRequest(r *codec.Reader) (*Request, error) {
 }
 
 // PrePrepare is the primary's ordering proposal ⟨PRE-PREPARE, v, n, d⟩σp, m.
+// With primary-side batching it orders a whole batch of requests in one
+// sequence number: Req is the first request and Batch carries the rest; d
+// is then the batch digest, so the one primary signature covers every
+// command in the batch.
 type PrePrepare struct {
 	View      uint64
 	Seq       uint64
-	CmdDigest types.Digest
+	CmdDigest types.Digest // d = H(m) (batch digest for batches of ≥ 2)
 	Req       Request
+	Batch     []Request // requests 2..k of the batch (nil when unbatched)
 	Sig       []byte
+
+	// sigVerified is set by a transport-side verifier pool (see
+	// PreVerifier) so the process loop skips re-verifying the primary and
+	// embedded client signatures. Never marshaled.
+	sigVerified bool
+}
+
+// MarkSigVerified records that the primary signature and every embedded
+// client signature were already verified by a transport-side worker pool
+// (part of the engine.OrderingFrame surface).
+func (m *PrePrepare) MarkSigVerified() { m.sigVerified = true }
+
+// Signature implements engine.OrderingFrame.
+func (m *PrePrepare) Signature() []byte { return m.Sig }
+
+// RequestAt implements engine.OrderingFrame.
+func (m *PrePrepare) RequestAt(i int) (types.ClientID, []byte, []byte) {
+	req := m.ReqAt(i)
+	return req.Cmd.Client, req.SignedBody(), req.Sig
+}
+
+// BatchSize returns the number of requests this PRE-PREPARE orders.
+func (m *PrePrepare) BatchSize() int { return 1 + len(m.Batch) }
+
+// ReqAt returns the i'th request of the batch (0 = Req).
+func (m *PrePrepare) ReqAt(i int) *Request {
+	if i == 0 {
+		return &m.Req
+	}
+	return &m.Batch[i-1]
 }
 
 // Tag implements codec.Message.
-func (m *PrePrepare) Tag() uint8 { return tagPrePrepare }
+func (m *PrePrepare) Tag() uint8 {
+	if len(m.Batch) > 0 {
+		return tagPrePrepareBatch
+	}
+	return tagPrePrepare
+}
 
 // MarshalTo implements codec.Message.
 func (m *PrePrepare) MarshalTo(w *codec.Writer) {
 	m.marshalBody(w)
 	w.Blob(m.Sig)
 	m.Req.MarshalTo(w)
+	if len(m.Batch) > 0 {
+		w.Uvarint(uint64(len(m.Batch)))
+		for i := range m.Batch {
+			m.Batch[i].MarshalTo(w)
+		}
+	}
 }
 
 func (m *PrePrepare) marshalBody(w *codec.Writer) {
@@ -85,6 +138,12 @@ func (m *PrePrepare) SignedBody() []byte {
 }
 
 func decodePrePrepare(r *codec.Reader) (*PrePrepare, error) {
+	return decodePrePrepareFmt(r, false)
+}
+
+// decodePrePrepareFmt parses either PRE-PREPARE layout; batched selects
+// the tag-60 layout with the trailing extra requests.
+func decodePrePrepareFmt(r *codec.Reader, batched bool) (*PrePrepare, error) {
 	m := &PrePrepare{
 		View:      r.Uvarint(),
 		Seq:       r.Uvarint(),
@@ -96,6 +155,23 @@ func decodePrePrepare(r *codec.Reader) (*PrePrepare, error) {
 		return nil, err
 	}
 	m.Req = *req
+	if batched {
+		n := r.Uvarint()
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		if n == 0 || n > maxBatch-2 {
+			return nil, codec.ErrOverflow
+		}
+		m.Batch = make([]Request, 0, n)
+		for i := uint64(0); i < n; i++ {
+			extra, err := decodeRequest(r)
+			if err != nil {
+				return nil, err
+			}
+			m.Batch = append(m.Batch, *extra)
+		}
+	}
 	return m, r.Err()
 }
 
@@ -275,13 +351,78 @@ func decodeCheckpoint(r *codec.Reader) (*Checkpoint, error) {
 
 // VCEntry is one history entry carried in a view change. ReqSig is the
 // client's original request signature, so the new primary can re-issue a
-// verifiable PRE-PREPARE.
+// verifiable PRE-PREPARE. Batched slots are carried — and re-proposed —
+// whole: Cmd/ReqSig hold the first request and Extra the rest, so a view
+// change can never split a batch.
 type VCEntry struct {
 	Seq       uint64
-	CmdDigest types.Digest
+	CmdDigest types.Digest // batch digest for batched slots
 	Cmd       types.Command
 	ReqSig    []byte
 	Prepared  bool
+	Extra     []Request // requests 2..k of a batched slot
+}
+
+// vcBatchFlag marks a batched history entry; it is OR'ed into the
+// prepared byte on the wire so unbatched entries keep the pre-batching
+// layout (Prepared encoded as 0 or 1).
+const vcBatchFlag = 0x80
+
+func (e *VCEntry) marshalTo(w *codec.Writer) {
+	w.Uvarint(e.Seq)
+	w.Bytes32(e.CmdDigest)
+	w.Command(e.Cmd)
+	w.Blob(e.ReqSig)
+	status := uint8(0)
+	if e.Prepared {
+		status = 1
+	}
+	if len(e.Extra) > 0 {
+		status |= vcBatchFlag
+	}
+	w.Uint8(status)
+	if len(e.Extra) > 0 {
+		w.Uvarint(uint64(len(e.Extra)))
+		for i := range e.Extra {
+			e.Extra[i].MarshalTo(w)
+		}
+	}
+}
+
+func decodeVCEntry(r *codec.Reader) (VCEntry, error) {
+	e := VCEntry{
+		Seq:       r.Uvarint(),
+		CmdDigest: r.Bytes32(),
+		Cmd:       r.Command(),
+		ReqSig:    r.Blob(),
+	}
+	status := r.Uint8()
+	e.Prepared = status&1 != 0
+	if status&vcBatchFlag != 0 {
+		n := r.Uvarint()
+		if err := r.Err(); err != nil {
+			return e, err
+		}
+		if n == 0 || n > maxBatch-2 {
+			return e, codec.ErrOverflow
+		}
+		e.Extra = make([]Request, 0, n)
+		for i := uint64(0); i < n; i++ {
+			req, err := decodeRequest(r)
+			if err != nil {
+				return e, err
+			}
+			e.Extra = append(e.Extra, *req)
+		}
+	}
+	return e, r.Err()
+}
+
+// Reqs returns the entry's full request batch (first request plus extras).
+func (e *VCEntry) Reqs() []Request {
+	out := make([]Request, 0, 1+len(e.Extra))
+	out = append(out, Request{Cmd: e.Cmd, Sig: e.ReqSig})
+	return append(out, e.Extra...)
 }
 
 // ViewChange carries a replica's prepared history ⟨VIEW-CHANGE, v+1, ...⟩σi.
@@ -307,12 +448,8 @@ func (m *ViewChange) marshalBody(w *codec.Writer) {
 	w.Int32(int32(m.Replica))
 	w.Uvarint(m.MaxSeq)
 	w.Uvarint(uint64(len(m.Entries)))
-	for _, e := range m.Entries {
-		w.Uvarint(e.Seq)
-		w.Bytes32(e.CmdDigest)
-		w.Command(e.Cmd)
-		w.Blob(e.ReqSig)
-		w.Bool(e.Prepared)
+	for i := range m.Entries {
+		m.Entries[i].marshalTo(w)
 	}
 }
 
@@ -338,13 +475,11 @@ func decodeViewChange(r *codec.Reader) (*ViewChange, error) {
 	}
 	m.Entries = make([]VCEntry, 0, n)
 	for i := uint64(0); i < n; i++ {
-		m.Entries = append(m.Entries, VCEntry{
-			Seq:       r.Uvarint(),
-			CmdDigest: r.Bytes32(),
-			Cmd:       r.Command(),
-			ReqSig:    r.Blob(),
-			Prepared:  r.Bool(),
-		})
+		e, err := decodeVCEntry(r)
+		if err != nil {
+			return nil, err
+		}
+		m.Entries = append(m.Entries, e)
 	}
 	m.Sig = r.Blob()
 	return m, r.Err()
@@ -371,12 +506,8 @@ func (m *NewView) marshalBody(w *codec.Writer) {
 	w.Uvarint(m.View)
 	w.Int32(int32(m.Replica))
 	w.Uvarint(uint64(len(m.Entries)))
-	for _, e := range m.Entries {
-		w.Uvarint(e.Seq)
-		w.Bytes32(e.CmdDigest)
-		w.Command(e.Cmd)
-		w.Blob(e.ReqSig)
-		w.Bool(e.Prepared)
+	for i := range m.Entries {
+		m.Entries[i].marshalTo(w)
 	}
 }
 
@@ -398,13 +529,11 @@ func decodeNewView(r *codec.Reader) (*NewView, error) {
 	}
 	m.Entries = make([]VCEntry, 0, n)
 	for i := uint64(0); i < n; i++ {
-		m.Entries = append(m.Entries, VCEntry{
-			Seq:       r.Uvarint(),
-			CmdDigest: r.Bytes32(),
-			Cmd:       r.Command(),
-			ReqSig:    r.Blob(),
-			Prepared:  r.Bool(),
-		})
+		e, err := decodeVCEntry(r)
+		if err != nil {
+			return nil, err
+		}
+		m.Entries = append(m.Entries, e)
 	}
 	m.Sig = r.Blob()
 	return m, r.Err()
@@ -419,4 +548,5 @@ func init() {
 	codec.Register(tagCheckpoint, "pbft.Checkpoint", func(r *codec.Reader) (codec.Message, error) { return decodeCheckpoint(r) })
 	codec.Register(tagViewChange, "pbft.ViewChange", func(r *codec.Reader) (codec.Message, error) { return decodeViewChange(r) })
 	codec.Register(tagNewView, "pbft.NewView", func(r *codec.Reader) (codec.Message, error) { return decodeNewView(r) })
+	codec.Register(tagPrePrepareBatch, "pbft.PrePrepareB", func(r *codec.Reader) (codec.Message, error) { return decodePrePrepareFmt(r, true) })
 }

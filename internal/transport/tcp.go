@@ -97,6 +97,17 @@ func (p *TCPPeer) Close() error {
 	return err
 }
 
+// Connect establishes (or reuses) the outbound connection to a peer so
+// the peer learns this node's return route (from the hello frame) before
+// any protocol message flows. Clients call it for every replica at
+// startup: replicas answer clients over the client's own connection, so
+// without pre-registration only the dialed replica could reply and the
+// first command would always ride a retransmission.
+func (p *TCPPeer) Connect(to types.NodeID) error {
+	_, err := p.conn(to)
+	return err
+}
+
 // Send implements Sender: self-sends loop back directly; remote sends use
 // a cached outbound connection (dialed on demand). A failed send drops the
 // message and the connection — protocols treat it as network loss.

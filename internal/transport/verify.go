@@ -37,11 +37,16 @@ type verifyJob struct {
 // NewVerifyPool starts `workers` verification goroutines (<= 0 selects
 // GOMAXPROCS). verify reports whether a message's signatures check out —
 // it must be safe for concurrent use and should mark the message so the
-// process loop can skip re-verification; deliver forwards accepted
-// messages (typically LiveNode.Deliver).
+// process loop can skip re-verification; a nil verify accepts everything
+// (protocol engines without a transport-side pre-verifier still get the
+// pool's delivery decoupling). deliver forwards accepted messages
+// (typically LiveNode.Deliver).
 func NewVerifyPool(workers int, verify func(msg codec.Message) bool, deliver func(from types.NodeID, msg codec.Message)) *VerifyPool {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
+	}
+	if verify == nil {
+		verify = func(codec.Message) bool { return true }
 	}
 	p := &VerifyPool{
 		verify:  verify,

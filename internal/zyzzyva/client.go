@@ -33,6 +33,7 @@ type ClientConfig struct {
 // ClientStats exposes client-side counters.
 type ClientStats struct {
 	Submitted     uint64
+	Completed     uint64
 	FastDecisions uint64
 	SlowDecisions uint64
 	Retries       uint64
@@ -275,6 +276,7 @@ func (c *Client) finish(ctx proc.Context, ts uint64, p *pendingReq, res types.Re
 	delete(c.pending, ts)
 	ctx.CancelTimer(proc.TimerID(ts*4 + timerKindCommit))
 	ctx.CancelTimer(proc.TimerID(ts*4 + timerKindRetry))
+	c.stats.Completed++
 	c.cfg.Driver.Completed(ctx, c, workload.Completion{
 		Cmd:      p.cmd,
 		Result:   res,

@@ -1,0 +1,96 @@
+package zyzzyva
+
+import (
+	"ezbft/internal/auth"
+	"ezbft/internal/codec"
+	"ezbft/internal/engine"
+	"ezbft/internal/proc"
+	"ezbft/internal/types"
+)
+
+// zyEngine plugs Zyzzyva into the protocol-agnostic replication engine.
+type zyEngine struct{}
+
+var _ engine.Engine = zyEngine{}
+
+func init() { engine.Register(zyEngine{}) }
+
+// Protocol implements engine.Engine.
+func (zyEngine) Protocol() engine.Protocol { return engine.Zyzzyva }
+
+// NewReplica implements engine.Engine.
+func (zyEngine) NewReplica(o engine.ReplicaOptions) (proc.Process, error) {
+	cfg := ReplicaConfig{
+		Self: o.Self, N: o.N, App: o.App, Auth: o.Auth, Costs: o.Costs,
+		InitialView: uint64(o.Primary),
+		BatchSize:   o.BatchSize,
+		BatchDelay:  o.BatchDelay,
+		Mute:        o.Mute,
+	}
+	if o.LatencyBound > 0 {
+		cfg.ForwardTimeout = 4 * o.LatencyBound
+	}
+	return NewReplica(cfg)
+}
+
+// NewClient implements engine.Engine.
+func (zyEngine) NewClient(o engine.ClientOptions) (engine.Client, error) {
+	cfg := ClientConfig{
+		ID: o.ID, N: o.N, Primary: o.Primary, Auth: o.Auth, Costs: o.Costs,
+		Driver: o.Driver,
+	}
+	if o.LatencyBound > 0 {
+		cfg.CommitTimeout = o.LatencyBound
+		cfg.RetryTimeout = 8 * o.LatencyBound
+	}
+	c, err := NewClient(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return zyClient{c}, nil
+}
+
+// InboundVerifier implements engine.Engine: ORDERREQ batches verify on the
+// transport worker pool.
+func (zyEngine) InboundVerifier(a auth.Authenticator, n int) func(msg codec.Message) bool {
+	return PreVerifier(a, n)
+}
+
+// PreVerifier returns a transport-side verification predicate for a
+// replica in a cluster of n: ORDERREQ messages have their primary
+// signature and every embedded client signature checked (and are marked so
+// the replica's single-threaded process loop skips re-verifying them); all
+// other message types pass through unverified and are checked in-loop as
+// usual. Safe for concurrent use.
+func PreVerifier(a auth.Authenticator, n int) func(msg codec.Message) bool {
+	return func(msg codec.Message) bool {
+		or, ok := msg.(*OrderReq)
+		if !ok {
+			return true
+		}
+		return engine.VerifyFrame(a, types.ReplicaNode(primaryOf(or.View, n)), or, maxBatch-1)
+	}
+}
+
+// zyClient adapts *Client to the engine contract.
+type zyClient struct{ *Client }
+
+var (
+	_ engine.Client    = zyClient{}
+	_ engine.Unwrapper = zyClient{}
+)
+
+// ClientStats implements engine.Client.
+func (c zyClient) ClientStats() engine.ClientStats {
+	s := c.Client.Stats()
+	return engine.ClientStats{
+		Submitted:     s.Submitted,
+		Completed:     s.Completed,
+		FastDecisions: s.FastDecisions,
+		SlowDecisions: s.SlowDecisions,
+		Retries:       s.Retries,
+	}
+}
+
+// Unwrap implements engine.Unwrapper.
+func (c zyClient) Unwrap() any { return c.Client }

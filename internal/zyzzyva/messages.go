@@ -18,7 +18,8 @@ import (
 	"ezbft/internal/types"
 )
 
-// Message tags reserved by Zyzzyva (40-49).
+// Message tags reserved by Zyzzyva (40-49, plus 61-63 from the shared
+// batched-baseline block 60-69).
 const (
 	tagRequest      = 40
 	tagOrderReq     = 41
@@ -28,7 +29,15 @@ const (
 	tagHatePrimary  = 45
 	tagViewChange   = 46
 	tagNewView      = 47
+	// Batched variants (primary-side batches of ≥ 2 requests); batches of
+	// one keep the original tags and their exact byte layouts.
+	tagOrderReqBatch     = 61
+	tagSpecResponseBatch = 62
+	tagCommitCertBatch   = 63
 )
+
+// maxBatch bounds the requests decoded per batched ORDERREQ.
+const maxBatch = 4096
 
 // Request is the client's signed command submission.
 type Request struct {
@@ -59,23 +68,69 @@ func decodeRequest(r *codec.Reader) (*Request, error) {
 }
 
 // OrderReq is the primary's ordering assignment ⟨ORDERREQ, v, n, h, d⟩σp.
+// With primary-side batching it assigns one sequence number to a whole
+// batch: Req is the first request and Batch carries the rest; d is then
+// the batch digest (which also feeds the history chain), so the one
+// primary signature covers every command in the batch.
 type OrderReq struct {
 	View      uint64
 	Seq       uint64
 	HistHash  types.Digest // chained history digest h_n
-	CmdDigest types.Digest
+	CmdDigest types.Digest // d = H(m) (batch digest for batches of ≥ 2)
 	Req       Request
+	Batch     []Request // requests 2..k of the batch (nil when unbatched)
 	Sig       []byte
+
+	// sigVerified is set by a transport-side verifier pool (see
+	// PreVerifier) so the process loop skips re-verifying the primary and
+	// embedded client signatures. Never marshaled.
+	sigVerified bool
+}
+
+// MarkSigVerified records that the primary signature and every embedded
+// client signature were already verified by a transport-side worker pool
+// (part of the engine.OrderingFrame surface).
+func (m *OrderReq) MarkSigVerified() { m.sigVerified = true }
+
+// Signature implements engine.OrderingFrame.
+func (m *OrderReq) Signature() []byte { return m.Sig }
+
+// RequestAt implements engine.OrderingFrame.
+func (m *OrderReq) RequestAt(i int) (types.ClientID, []byte, []byte) {
+	req := m.ReqAt(i)
+	return req.Cmd.Client, req.SignedBody(), req.Sig
+}
+
+// BatchSize returns the number of requests this ORDERREQ assigns.
+func (m *OrderReq) BatchSize() int { return 1 + len(m.Batch) }
+
+// ReqAt returns the i'th request of the batch (0 = Req).
+func (m *OrderReq) ReqAt(i int) *Request {
+	if i == 0 {
+		return &m.Req
+	}
+	return &m.Batch[i-1]
 }
 
 // Tag implements codec.Message.
-func (m *OrderReq) Tag() uint8 { return tagOrderReq }
+func (m *OrderReq) Tag() uint8 {
+	if len(m.Batch) > 0 {
+		return tagOrderReqBatch
+	}
+	return tagOrderReq
+}
 
 // MarshalTo implements codec.Message.
 func (m *OrderReq) MarshalTo(w *codec.Writer) {
 	m.marshalBody(w)
 	w.Blob(m.Sig)
 	m.Req.MarshalTo(w)
+	if len(m.Batch) > 0 {
+		w.Uvarint(uint64(len(m.Batch)))
+		for i := range m.Batch {
+			m.Batch[i].MarshalTo(w)
+		}
+	}
 }
 
 func (m *OrderReq) marshalBody(w *codec.Writer) {
@@ -93,6 +148,12 @@ func (m *OrderReq) SignedBody() []byte {
 }
 
 func decodeOrderReq(r *codec.Reader) (*OrderReq, error) {
+	return decodeOrderReqFmt(r, false)
+}
+
+// decodeOrderReqFmt parses either ORDERREQ layout; batched selects the
+// tag-61 layout with the trailing extra requests.
+func decodeOrderReqFmt(r *codec.Reader, batched bool) (*OrderReq, error) {
 	m := &OrderReq{
 		View:      r.Uvarint(),
 		Seq:       r.Uvarint(),
@@ -105,24 +166,52 @@ func decodeOrderReq(r *codec.Reader) (*OrderReq, error) {
 		return nil, err
 	}
 	m.Req = *req
+	if batched {
+		n := r.Uvarint()
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		if n == 0 || n > maxBatch-2 {
+			return nil, codec.ErrOverflow
+		}
+		m.Batch = make([]Request, 0, n)
+		for i := uint64(0); i < n; i++ {
+			extra, err := decodeRequest(r)
+			if err != nil {
+				return nil, err
+			}
+			m.Batch = append(m.Batch, *extra)
+		}
+	}
 	return m, r.Err()
 }
 
-// SpecResponse is a replica's speculative answer to the client.
+// SpecResponse is a replica's speculative answer to the client. For
+// batched instances a replica sends one SPECRESPONSE per command, each
+// naming the command's position in the batch (BatchIdx, part of the signed
+// body) and carrying the per-command digest in CmdDigest, so every client
+// correlates and validates its own command.
 type SpecResponse struct {
 	View      uint64
 	Seq       uint64
 	HistHash  types.Digest
-	CmdDigest types.Digest
+	CmdDigest types.Digest // per-command digest
 	Client    types.ClientID
 	Timestamp uint64
 	Replica   types.ReplicaID
 	Result    types.Result
+	Batched   bool   // true when the sequence number orders a batch of ≥ 2
+	BatchIdx  uint32 // position of the command within the batch
 	Sig       []byte
 }
 
 // Tag implements codec.Message.
-func (m *SpecResponse) Tag() uint8 { return tagSpecResponse }
+func (m *SpecResponse) Tag() uint8 {
+	if m.Batched {
+		return tagSpecResponseBatch
+	}
+	return tagSpecResponse
+}
 
 // MarshalTo implements codec.Message.
 func (m *SpecResponse) MarshalTo(w *codec.Writer) {
@@ -140,6 +229,11 @@ func (m *SpecResponse) marshalBody(w *codec.Writer) {
 	w.Int32(int32(m.Replica))
 	w.Bool(m.Result.OK)
 	w.Blob(m.Result.Value)
+	if m.Batched {
+		// The batch index is part of the signed body: a response for one
+		// command of a batch cannot be replayed as a response for another.
+		w.Uvarint(uint64(m.BatchIdx))
+	}
 }
 
 // SignedBody returns the bytes the replica signature covers.
@@ -150,14 +244,20 @@ func (m *SpecResponse) SignedBody() []byte {
 }
 
 // Matches reports whether two responses agree on every client-compared
-// field (view, sequence number, history, digest, and result).
+// field (view, sequence number, history, digest, batch position, and
+// result).
 func (m *SpecResponse) Matches(o *SpecResponse) bool {
 	return m.View == o.View && m.Seq == o.Seq && m.HistHash == o.HistHash &&
 		m.CmdDigest == o.CmdDigest && m.Client == o.Client &&
-		m.Timestamp == o.Timestamp && m.Result.Equal(o.Result)
+		m.Timestamp == o.Timestamp && m.Batched == o.Batched &&
+		m.BatchIdx == o.BatchIdx && m.Result.Equal(o.Result)
 }
 
 func decodeSpecResponse(r *codec.Reader) (*SpecResponse, error) {
+	return decodeSpecResponseFmt(r, false)
+}
+
+func decodeSpecResponseFmt(r *codec.Reader, batched bool) (*SpecResponse, error) {
 	m := &SpecResponse{
 		View:      r.Uvarint(),
 		Seq:       r.Uvarint(),
@@ -169,11 +269,21 @@ func decodeSpecResponse(r *codec.Reader) (*SpecResponse, error) {
 	}
 	m.Result.OK = r.Bool()
 	m.Result.Value = r.Blob()
+	if batched {
+		m.Batched = true
+		idx := r.Uvarint()
+		if idx >= maxBatch {
+			return nil, codec.ErrOverflow
+		}
+		m.BatchIdx = uint32(idx)
+	}
 	m.Sig = r.Blob()
 	return m, r.Err()
 }
 
-// CommitCert is the client's slow-path commit: 2f+1 matching SPECRESPONSEs.
+// CommitCert is the client's slow-path commit: 2f+1 matching SPECRESPONSEs
+// (all vouching for the same command of the same assignment; for batched
+// assignments they name the command's batch position).
 type CommitCert struct {
 	Client    types.ClientID
 	Timestamp uint64
@@ -182,8 +292,18 @@ type CommitCert struct {
 	Cert      []*SpecResponse
 }
 
+// certBatched reports whether a certificate's responses use the batched
+// layout. Certificates are homogeneous: every response vouches for the
+// same command of the same assignment.
+func certBatched(cert []*SpecResponse) bool { return len(cert) > 0 && cert[0].Batched }
+
 // Tag implements codec.Message.
-func (m *CommitCert) Tag() uint8 { return tagCommitCert }
+func (m *CommitCert) Tag() uint8 {
+	if certBatched(m.Cert) {
+		return tagCommitCertBatch
+	}
+	return tagCommitCert
+}
 
 // MarshalTo implements codec.Message.
 func (m *CommitCert) MarshalTo(w *codec.Writer) {
@@ -197,7 +317,7 @@ func (m *CommitCert) MarshalTo(w *codec.Writer) {
 	}
 }
 
-func decodeCommitCert(r *codec.Reader) (*CommitCert, error) {
+func decodeCommitCert(r *codec.Reader, batched bool) (*CommitCert, error) {
 	m := &CommitCert{
 		Client:    types.ClientID(r.Int32()),
 		Timestamp: r.Uvarint(),
@@ -213,7 +333,7 @@ func decodeCommitCert(r *codec.Reader) (*CommitCert, error) {
 	}
 	m.Cert = make([]*SpecResponse, 0, n)
 	for i := uint64(0); i < n; i++ {
-		sr, err := decodeSpecResponse(r)
+		sr, err := decodeSpecResponseFmt(r, batched)
 		if err != nil {
 			return nil, err
 		}
@@ -312,12 +432,71 @@ type ViewChange struct {
 	Sig     []byte
 }
 
-// VCEntry is one history entry in a view change.
+// VCEntry is one history entry in a view change. Batched assignments are
+// carried — and adopted — whole: Cmd is the first command and Extra the
+// rest, so a view change can never split a batch.
 type VCEntry struct {
 	Seq       uint64
-	CmdDigest types.Digest
+	CmdDigest types.Digest // batch digest for batched assignments
 	Cmd       types.Command
 	Committed bool
+	Extra     []types.Command // commands 2..k of a batched assignment
+}
+
+// vcBatchFlag marks a batched history entry; it is OR'ed into the
+// committed byte on the wire so unbatched entries keep the pre-batching
+// layout (Committed encoded as 0 or 1).
+const vcBatchFlag = 0x80
+
+func (e *VCEntry) marshalTo(w *codec.Writer) {
+	w.Uvarint(e.Seq)
+	w.Bytes32(e.CmdDigest)
+	w.Command(e.Cmd)
+	status := uint8(0)
+	if e.Committed {
+		status = 1
+	}
+	if len(e.Extra) > 0 {
+		status |= vcBatchFlag
+	}
+	w.Uint8(status)
+	if len(e.Extra) > 0 {
+		w.Uvarint(uint64(len(e.Extra)))
+		for _, cmd := range e.Extra {
+			w.Command(cmd)
+		}
+	}
+}
+
+func decodeVCEntry(r *codec.Reader) (VCEntry, error) {
+	e := VCEntry{
+		Seq:       r.Uvarint(),
+		CmdDigest: r.Bytes32(),
+		Cmd:       r.Command(),
+	}
+	status := r.Uint8()
+	e.Committed = status&1 != 0
+	if status&vcBatchFlag != 0 {
+		n := r.Uvarint()
+		if err := r.Err(); err != nil {
+			return e, err
+		}
+		if n == 0 || n > maxBatch-2 {
+			return e, codec.ErrOverflow
+		}
+		e.Extra = make([]types.Command, 0, n)
+		for i := uint64(0); i < n; i++ {
+			e.Extra = append(e.Extra, r.Command())
+		}
+	}
+	return e, r.Err()
+}
+
+// Cmds returns the entry's full command batch.
+func (e *VCEntry) Cmds() []types.Command {
+	out := make([]types.Command, 0, 1+len(e.Extra))
+	out = append(out, e.Cmd)
+	return append(out, e.Extra...)
 }
 
 // Tag implements codec.Message.
@@ -334,11 +513,8 @@ func (m *ViewChange) marshalBody(w *codec.Writer) {
 	w.Int32(int32(m.Replica))
 	w.Uvarint(m.MaxSeq)
 	w.Uvarint(uint64(len(m.Entries)))
-	for _, e := range m.Entries {
-		w.Uvarint(e.Seq)
-		w.Bytes32(e.CmdDigest)
-		w.Command(e.Cmd)
-		w.Bool(e.Committed)
+	for i := range m.Entries {
+		m.Entries[i].marshalTo(w)
 	}
 }
 
@@ -364,12 +540,11 @@ func decodeViewChange(r *codec.Reader) (*ViewChange, error) {
 	}
 	m.Entries = make([]VCEntry, 0, n)
 	for i := uint64(0); i < n; i++ {
-		m.Entries = append(m.Entries, VCEntry{
-			Seq:       r.Uvarint(),
-			CmdDigest: r.Bytes32(),
-			Cmd:       r.Command(),
-			Committed: r.Bool(),
-		})
+		e, err := decodeVCEntry(r)
+		if err != nil {
+			return nil, err
+		}
+		m.Entries = append(m.Entries, e)
 	}
 	m.Sig = r.Blob()
 	return m, r.Err()
@@ -396,11 +571,8 @@ func (m *NewView) marshalBody(w *codec.Writer) {
 	w.Uvarint(m.View)
 	w.Int32(int32(m.Replica))
 	w.Uvarint(uint64(len(m.Entries)))
-	for _, e := range m.Entries {
-		w.Uvarint(e.Seq)
-		w.Bytes32(e.CmdDigest)
-		w.Command(e.Cmd)
-		w.Bool(e.Committed)
+	for i := range m.Entries {
+		m.Entries[i].marshalTo(w)
 	}
 }
 
@@ -422,12 +594,11 @@ func decodeNewView(r *codec.Reader) (*NewView, error) {
 	}
 	m.Entries = make([]VCEntry, 0, n)
 	for i := uint64(0); i < n; i++ {
-		m.Entries = append(m.Entries, VCEntry{
-			Seq:       r.Uvarint(),
-			CmdDigest: r.Bytes32(),
-			Cmd:       r.Command(),
-			Committed: r.Bool(),
-		})
+		e, err := decodeVCEntry(r)
+		if err != nil {
+			return nil, err
+		}
+		m.Entries = append(m.Entries, e)
 	}
 	m.Sig = r.Blob()
 	return m, r.Err()
@@ -437,9 +608,12 @@ func init() {
 	codec.Register(tagRequest, "zyzzyva.Request", func(r *codec.Reader) (codec.Message, error) { return decodeRequest(r) })
 	codec.Register(tagOrderReq, "zyzzyva.OrderReq", func(r *codec.Reader) (codec.Message, error) { return decodeOrderReq(r) })
 	codec.Register(tagSpecResponse, "zyzzyva.SpecResponse", func(r *codec.Reader) (codec.Message, error) { return decodeSpecResponse(r) })
-	codec.Register(tagCommitCert, "zyzzyva.CommitCert", func(r *codec.Reader) (codec.Message, error) { return decodeCommitCert(r) })
+	codec.Register(tagCommitCert, "zyzzyva.CommitCert", func(r *codec.Reader) (codec.Message, error) { return decodeCommitCert(r, false) })
 	codec.Register(tagLocalCommit, "zyzzyva.LocalCommit", func(r *codec.Reader) (codec.Message, error) { return decodeLocalCommit(r) })
 	codec.Register(tagHatePrimary, "zyzzyva.HatePrimary", func(r *codec.Reader) (codec.Message, error) { return decodeHatePrimary(r) })
 	codec.Register(tagViewChange, "zyzzyva.ViewChange", func(r *codec.Reader) (codec.Message, error) { return decodeViewChange(r) })
 	codec.Register(tagNewView, "zyzzyva.NewView", func(r *codec.Reader) (codec.Message, error) { return decodeNewView(r) })
+	codec.Register(tagOrderReqBatch, "zyzzyva.OrderReqB", func(r *codec.Reader) (codec.Message, error) { return decodeOrderReqFmt(r, true) })
+	codec.Register(tagSpecResponseBatch, "zyzzyva.SpecResponseB", func(r *codec.Reader) (codec.Message, error) { return decodeSpecResponseFmt(r, true) })
+	codec.Register(tagCommitCertBatch, "zyzzyva.CommitCertB", func(r *codec.Reader) (codec.Message, error) { return decodeCommitCert(r, true) })
 }

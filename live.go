@@ -7,7 +7,7 @@ import (
 	"time"
 
 	"ezbft/internal/auth"
-	"ezbft/internal/core"
+	"ezbft/internal/engine"
 	"ezbft/internal/kvstore"
 	"ezbft/internal/proc"
 	"ezbft/internal/transport"
@@ -18,41 +18,58 @@ import (
 // ErrClusterClosed reports use of a closed live cluster.
 var ErrClusterClosed = errors.New("ezbft: cluster closed")
 
-// LiveConfig describes an in-process real-time ezBFT deployment.
+// LiveConfig describes an in-process real-time deployment of any
+// registered protocol.
 type LiveConfig struct {
+	// Protocol selects the consensus protocol (default EZBFT). Unknown
+	// protocols are rejected with an error naming the registered ones.
+	Protocol Protocol
 	// N is the cluster size (3f+1; default 4).
 	N int
+	// Primary is the initial primary/leader for the primary-based
+	// protocols; ezBFT ignores it.
+	Primary ReplicaID
 	// Delay is an artificial one-way delivery delay (0 = none), useful to
 	// observe WAN-like behaviour in a single process.
 	Delay time.Duration
 	// AuthScheme selects message authentication (default HMAC).
 	AuthScheme auth.Scheme
-	// BatchSize enables owner-side request batching: each replica orders up
-	// to this many client requests per instance (0 or 1 = unbatched).
+	// BatchSize enables leader-side request batching: the ordering replica
+	// (each command-leader in ezBFT, the primary in the baselines) orders
+	// up to this many client requests per instance (0 or 1 = unbatched).
 	BatchSize int
 	// BatchDelay bounds how long an incomplete batch waits before flushing
-	// (0 = the core default).
+	// (0 = the protocol default).
 	BatchDelay time.Duration
 }
 
-// LiveCluster is a real-time in-process ezBFT deployment: N replica
-// goroutines connected by an in-memory mesh, plus blocking clients.
+// LiveCluster is a real-time in-process deployment: N replica goroutines
+// connected by an in-memory mesh, plus blocking clients. Every protocol
+// registered with internal/engine runs on this substrate.
 type LiveCluster struct {
 	mesh     *transport.Mesh
+	eng      engine.Engine
 	provider *auth.Provider
 	n        int
+	primary  ReplicaID
 
-	mu       sync.Mutex
-	nodes    []*transport.LiveNode
-	clients  []*LiveClient
-	nextCID  types.ClientID
-	replicas []*core.Replica
-	apps     []*kvstore.Store
-	closed   bool
+	mu      sync.Mutex
+	nodes   []*transport.LiveNode
+	clients []*LiveClient
+	nextCID types.ClientID
+	apps    []*kvstore.Store
+	closed  bool
 }
 
 // NewLiveCluster builds and starts the replicas.
 func NewLiveCluster(cfg LiveConfig) (*LiveCluster, error) {
+	if cfg.Protocol == "" {
+		cfg.Protocol = EZBFT
+	}
+	eng, err := engine.Lookup(cfg.Protocol)
+	if err != nil {
+		return nil, fmt.Errorf("ezbft: %w", err)
+	}
 	if cfg.N == 0 {
 		cfg.N = 4
 	}
@@ -78,8 +95,10 @@ func NewLiveCluster(cfg LiveConfig) (*LiveCluster, error) {
 
 	lc := &LiveCluster{
 		mesh:     transport.NewMesh(cfg.Delay),
+		eng:      eng,
 		provider: provider,
 		n:        cfg.N,
+		primary:  cfg.Primary,
 	}
 	for i := 0; i < cfg.N; i++ {
 		rid := types.ReplicaID(i)
@@ -88,11 +107,12 @@ func NewLiveCluster(cfg LiveConfig) (*LiveCluster, error) {
 		if err != nil {
 			return nil, err
 		}
-		rep, err := core.NewReplica(core.ReplicaConfig{
+		rep, err := eng.NewReplica(engine.ReplicaOptions{
 			Self: rid, N: cfg.N, App: app, Auth: a,
-			ResendTimeout: time.Second,
-			BatchSize:     cfg.BatchSize,
-			BatchDelay:    cfg.BatchDelay,
+			Primary:      cfg.Primary,
+			LatencyBound: 500 * time.Millisecond,
+			BatchSize:    cfg.BatchSize,
+			BatchDelay:   cfg.BatchDelay,
 		})
 		if err != nil {
 			return nil, err
@@ -100,7 +120,6 @@ func NewLiveCluster(cfg LiveConfig) (*LiveCluster, error) {
 		node := transport.NewLiveNode(rep, lc.mesh, int64(i)+1)
 		lc.mesh.Attach(node)
 		lc.nodes = append(lc.nodes, node)
-		lc.replicas = append(lc.replicas, rep)
 		lc.apps = append(lc.apps, app)
 	}
 	for _, node := range lc.nodes {
@@ -131,7 +150,8 @@ func (lc *LiveCluster) Close() {
 func (lc *LiveCluster) StateDigest(i int) string { return lc.apps[i].Digest().String() }
 
 // NewClient creates a blocking client attached to the given replica
-// (its "closest"). The client runs on its own goroutine.
+// (its "closest"; primary-based protocols submit to the configured
+// primary regardless). The client runs on its own goroutine.
 func (lc *LiveCluster) NewClient(leader ReplicaID) (*LiveClient, error) {
 	lc.mu.Lock()
 	defer lc.mu.Unlock()
@@ -145,10 +165,10 @@ func (lc *LiveCluster) NewClient(leader ReplicaID) (*LiveClient, error) {
 		return nil, err
 	}
 	bridge := &syncDriver{results: make(chan workload.Completion, 1)}
-	inner, err := core.NewClient(core.ClientConfig{
-		ID: cid, N: lc.n, Leader: leader, Auth: a, Driver: bridge,
-		SlowPathTimeout: 200 * time.Millisecond,
-		RetryTimeout:    2 * time.Second,
+	inner, err := lc.eng.NewClient(engine.ClientOptions{
+		ID: cid, N: lc.n, Nearest: leader, Primary: lc.primary,
+		Auth: a, Driver: bridge,
+		LatencyBound: 200 * time.Millisecond,
 	})
 	if err != nil {
 		return nil, err
@@ -174,12 +194,12 @@ func (d *syncDriver) Completed(_ proc.Context, _ workload.Submitter, c workload.
 }
 func (d *syncDriver) OnTimer(proc.Context, workload.Submitter, proc.TimerID) {}
 
-// LiveClient is a blocking ezBFT client: Execute submits one command and
-// waits for the protocol to commit it.
+// LiveClient is a blocking client: Execute submits one command and waits
+// for the protocol to commit it.
 type LiveClient struct {
 	mu     sync.Mutex
 	node   *transport.LiveNode
-	inner  *core.Client
+	inner  engine.Client
 	bridge *syncDriver
 }
 
@@ -198,5 +218,5 @@ func (c *LiveClient) Execute(cmd Command) (Result, error) {
 }
 
 // Stats returns the client's protocol counters (fast/slow decisions,
-// retries, POMs).
-func (c *LiveClient) Stats() core.ClientStats { return c.inner.Stats() }
+// retries, POMs), protocol-neutral across engines.
+func (c *LiveClient) Stats() engine.ClientStats { return c.inner.ClientStats() }

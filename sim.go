@@ -35,12 +35,13 @@ type SimConfig struct {
 	Seed int64
 	// Mute marks replicas as fail-silent, for fault-injection studies.
 	Mute map[ReplicaID]bool
-	// BatchSize enables ezBFT owner-side request batching: each replica
-	// orders up to this many requests per instance (0 or 1 = unbatched,
-	// byte-for-byte the paper's message flow).
+	// BatchSize enables leader-side request batching for every protocol:
+	// the ordering replica (each command-leader in ezBFT, the primary in
+	// the baselines) orders up to this many requests per instance (0 or 1
+	// = unbatched, byte-for-byte each protocol's paper message flow).
 	BatchSize int
 	// BatchDelay bounds how long an incomplete batch waits before flushing
-	// (0 = the core default).
+	// (0 = the protocol default).
 	BatchDelay time.Duration
 }
 
