@@ -1,0 +1,284 @@
+package ezbft
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// logStore is the custom (non-kvstore) test application: an append-only
+// log per key. PUT appends the value (returning the new length), GET
+// returns the concatenated log, INCR appends a fixed marker byte
+// (commutative, matching the protocols' interference relation for INCR).
+// It implements the full speculative contract, so it runs under every
+// protocol including ezBFT, and is deliberately NOT idempotent per
+// command: any duplicated or dropped execution shows up in the digest.
+type logStore struct {
+	mu    sync.RWMutex
+	final map[string][]byte
+	spec  map[string][]byte
+
+	checkpoints uint64
+}
+
+var (
+	_ SpeculativeApplication = (*logStore)(nil)
+	_ Checkpointer           = (*logStore)(nil)
+)
+
+func newLogStore() Application {
+	return &logStore{final: make(map[string][]byte), spec: make(map[string][]byte)}
+}
+
+func (s *logStore) Apply(cmd Command) Result { return s.PromoteFinal(cmd) }
+
+func (s *logStore) SpecExecute(cmd Command) Result {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.apply(cmd, s.specRead, func(k string, v []byte) { s.spec[k] = v })
+}
+
+func (s *logStore) Rollback() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.spec = make(map[string][]byte)
+}
+
+func (s *logStore) PromoteFinal(cmd Command) Result {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.apply(cmd, func(k string) []byte { return s.final[k] }, func(k string, v []byte) { s.final[k] = v })
+}
+
+func (s *logStore) apply(cmd Command, read func(string) []byte, write func(string, []byte)) Result {
+	switch cmd.Op {
+	case OpPut:
+		log := append(append([]byte(nil), read(cmd.Key)...), cmd.Value...)
+		write(cmd.Key, log)
+		return Result{OK: true, Value: []byte(fmt.Sprintf("%d", len(log)))}
+	case OpGet:
+		return Result{OK: true, Value: append([]byte(nil), read(cmd.Key)...)}
+	case OpIncr:
+		write(cmd.Key, append(append([]byte(nil), read(cmd.Key)...), '+'))
+		return Result{OK: true}
+	default: // the protocols' internal no-op
+		return Result{OK: true}
+	}
+}
+
+func (s *logStore) specRead(k string) []byte {
+	if v, ok := s.spec[k]; ok {
+		return v
+	}
+	return s.final[k]
+}
+
+func (s *logStore) Digest() Digest {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	keys := make([]string, 0, len(s.final))
+	for k := range s.final {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	h := sha256.New()
+	for _, k := range keys {
+		fmt.Fprintf(h, "%s(%d)=", k, len(s.final[k]))
+		h.Write(s.final[k])
+	}
+	return Digest(h.Sum(nil))
+}
+
+func (s *logStore) Checkpoint(uint64, Digest) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.checkpoints++
+}
+
+// TestCustomApplicationSim: the custom application replicates on the
+// simulated WAN substrate under all four protocols — committed workload,
+// converged digests, and state actually distinct from the key-value
+// semantics (appends accumulate).
+func TestCustomApplicationSim(t *testing.T) {
+	for _, proto := range allProtocols {
+		t.Run(string(proto), func(t *testing.T) {
+			cluster, err := NewSimCluster(SimConfig{
+				Protocol:             proto,
+				NewApp:               newLogStore,
+				ClientsPerRegion:     1,
+				MaxRequestsPerClient: 6,
+				Seed:                 11,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cluster.Run(60 * time.Second)
+			if got := cluster.Completed(); got != 24 {
+				t.Fatalf("completed %d, want 24", got)
+			}
+			digests := cluster.StateDigests()
+			for i, d := range digests {
+				if d != digests[0] {
+					t.Fatalf("replica %d digest %s != %s", i, d, digests[0])
+				}
+			}
+			if cluster.App(0).(*logStore) == cluster.App(1).(*logStore) {
+				t.Fatal("replicas must get distinct application instances")
+			}
+		})
+	}
+}
+
+// customLiveWorkload drives one protocol on the live mesh against the
+// custom application and checks both the observable log semantics and
+// replica convergence.
+func customLiveWorkload(t *testing.T, proto Protocol) {
+	t.Helper()
+	cluster, err := NewLiveCluster(LiveConfig{Protocol: proto, NewApp: newLogStore})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	client, err := cluster.NewClient(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, part := range []string{"alpha;", "beta;", "gamma;"} {
+		if res, err := client.Execute(t.Context(), Put("journal", []byte(part))); err != nil || !res.OK {
+			t.Fatalf("append %q: %v %+v", part, err, res)
+		}
+	}
+	res, err := client.Execute(t.Context(), Get("journal"))
+	if err != nil || string(res.Value) != "alpha;beta;gamma;" {
+		t.Fatalf("journal = %q (%v), want appended sequence", res.Value, err)
+	}
+
+	// Pipelined appends to a second log still execute exactly once each.
+	futures := make([]*Future, 10)
+	for i := range futures {
+		if futures[i], err = client.Submit(t.Context(), Put("burst", []byte("x"))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, f := range futures {
+		if _, err := f.Wait(t.Context()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err = client.Execute(t.Context(), Get("burst"))
+	if err != nil || len(res.Value) != 10 {
+		t.Fatalf("burst log has %d entries (%v), want 10", len(res.Value), err)
+	}
+
+	// Final execution lags the client-visible commit; poll for convergence.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		ref := cluster.StateDigest(0)
+		same := true
+		for i := 1; i < 4; i++ {
+			if cluster.StateDigest(i) != ref {
+				same = false
+			}
+		}
+		if same && len(cluster.App(0).(*logStore).finalLog("burst")) == 10 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("replicas never converged on the custom state")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func (s *logStore) finalLog(key string) []byte {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]byte(nil), s.final[key]...)
+}
+
+// TestCustomApplicationLive: the custom application replicates on the live
+// in-process substrate under all four protocols.
+func TestCustomApplicationLive(t *testing.T) {
+	for _, proto := range allProtocols {
+		t.Run(string(proto), func(t *testing.T) { customLiveWorkload(t, proto) })
+	}
+}
+
+// TestCustomApplicationTCP: the custom application replicates over real
+// TCP sockets under all four protocols, through the public
+// StartTCPReplica / NewTCPClient API.
+func TestCustomApplicationTCP(t *testing.T) {
+	for _, proto := range allProtocols {
+		t.Run(string(proto), func(t *testing.T) {
+			secret := []byte("customapp-test-secret")
+			replicas := make([]*TCPReplica, 4)
+			for i := range replicas {
+				rep, err := StartTCPReplica(TCPReplicaConfig{
+					Protocol: proto,
+					ID:       ReplicaID(i),
+					N:        4,
+					Secret:   secret,
+					NewApp:   newLogStore,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				replicas[i] = rep
+				defer rep.Close()
+			}
+			addrs := make(map[ReplicaID]string, 4)
+			for i, rep := range replicas {
+				addrs[ReplicaID(i)] = rep.Addr()
+			}
+			for i, rep := range replicas {
+				for j, other := range replicas {
+					if i != j {
+						rep.SetPeer(ReplicaID(j), other.Addr())
+					}
+				}
+			}
+			client, err := NewTCPClient(TCPClientConfig{
+				Protocol: proto,
+				N:        4,
+				Nearest:  1,
+				Replicas: addrs,
+				Secret:   secret,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer client.Close()
+
+			for _, part := range []string{"a", "b", "c"} {
+				if res, err := client.Execute(t.Context(), Put("wire", []byte(part))); err != nil || !res.OK {
+					t.Fatalf("append %q: %v %+v", part, err, res)
+				}
+			}
+			res, err := client.Execute(t.Context(), Get("wire"))
+			if err != nil || string(res.Value) != "abc" {
+				t.Fatalf("wire log = %q (%v), want \"abc\"", res.Value, err)
+			}
+
+			deadline := time.Now().Add(10 * time.Second)
+			for {
+				same := true
+				for _, rep := range replicas[1:] {
+					if rep.StateDigest() != replicas[0].StateDigest() {
+						same = false
+					}
+				}
+				if same && string(replicas[0].App().(*logStore).finalLog("wire")) == "abc" {
+					return
+				}
+				if time.Now().After(deadline) {
+					t.Fatalf("TCP replicas never converged on the custom state")
+				}
+				time.Sleep(10 * time.Millisecond)
+			}
+		})
+	}
+}

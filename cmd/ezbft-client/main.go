@@ -1,36 +1,28 @@
 // Command ezbft-client drives a live BFT cluster over TCP — ezBFT by
 // default, or any registered protocol engine via -p (pbft, zyzzyva, fab;
-// must match the servers' -p).
+// must match the servers' -p). It is a thin wrapper around
+// ezbft.NewTCPClient: one-shot commands use the blocking context-aware
+// Execute; bench uses the pipelined Submit/Future API with -inflight
+// commands outstanding.
 //
 // Examples (against the cluster from the ezbft-server docs):
 //
 //	ezbft-client -replicas 0=localhost:7000,1=localhost:7001,2=localhost:7002,3=localhost:7003 -secret demo put greeting hello
 //	ezbft-client -replicas ... -secret demo get greeting
 //	ezbft-client -replicas ... -secret demo incr counter
-//	ezbft-client -replicas ... -secret demo bench -count 200
+//	ezbft-client -replicas ... -secret demo bench -count 200 -inflight 8
 //	ezbft-client -p pbft -replicas ... -secret demo put greeting hello
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 	"time"
 
-	"ezbft/internal/auth"
-	"ezbft/internal/codec"
-	"ezbft/internal/engine"
-	"ezbft/internal/proc"
-	"ezbft/internal/transport"
-	"ezbft/internal/types"
-	"ezbft/internal/workload"
-
-	// Link every built-in protocol engine into the binary.
-	_ "ezbft/internal/core"
-	_ "ezbft/internal/fab"
-	_ "ezbft/internal/pbft"
-	_ "ezbft/internal/zyzzyva"
+	"ezbft"
 )
 
 func main() {
@@ -55,16 +47,12 @@ func run(args []string) error {
 	if *secret == "" {
 		return fmt.Errorf("-secret is required")
 	}
-	eng, err := engine.Lookup(engine.Protocol(*proto))
-	if err != nil {
-		return err
-	}
 	rest := fs.Args()
 	if len(rest) == 0 {
 		return fmt.Errorf("missing command: put|get|incr|bench")
 	}
 
-	addrs := make(map[types.NodeID]string)
+	addrs := make(map[ezbft.ReplicaID]string)
 	for _, part := range strings.Split(*replicas, ",") {
 		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
 		if len(kv) != 2 {
@@ -74,53 +62,31 @@ func run(args []string) error {
 		if _, err := fmt.Sscanf(kv[0], "%d", &rid); err != nil {
 			return err
 		}
-		addrs[types.ReplicaNode(types.ReplicaID(rid))] = kv[1]
+		addrs[ezbft.ReplicaID(rid)] = kv[1]
 	}
 
-	cid := types.ClientID(*id)
-	ring := auth.NewHMACKeyring([]byte(*secret))
-	results := make(chan workload.Completion, 1)
-	bridge := &cliDriver{results: results}
-	client, err := eng.NewClient(engine.ClientOptions{
-		ID: cid, N: *n,
-		Nearest: types.ReplicaID(*leader), Primary: types.ReplicaID(*leader),
-		Auth: ring.ForNode(types.ClientNode(cid)), Driver: bridge,
-		LatencyBound: 500 * time.Millisecond,
+	client, err := ezbft.NewTCPClient(ezbft.TCPClientConfig{
+		Protocol: ezbft.Protocol(*proto),
+		ID:       ezbft.ClientID(*id),
+		N:        *n,
+		Nearest:  ezbft.ReplicaID(*leader),
+		Replicas: addrs,
+		Secret:   []byte(*secret),
+		OnConnectError: func(rid ezbft.ReplicaID, err error) {
+			fmt.Fprintf(os.Stderr, "ezbft-client: R%d unreachable (continuing): %v\n", rid, err)
+		},
 	})
 	if err != nil {
 		return err
 	}
-	node := transport.NewLiveNode(client, nil, int64(*id)+1000)
-	peer, err := transport.NewTCPPeer(types.ClientNode(cid), "127.0.0.1:0", addrs,
-		func(from types.NodeID, msg codec.Message) { node.Deliver(from, msg) })
-	if err != nil {
-		return err
-	}
-	defer peer.Close()
-	// Pre-register with every replica so all of them can answer directly
-	// (replies ride the client's own connections). Best-effort: up to f
-	// replicas may be down and the protocols tolerate the lost replies, so
-	// an unreachable replica must not stop the client.
-	for rid := range addrs {
-		if err := peer.Connect(rid); err != nil {
-			fmt.Fprintf(os.Stderr, "ezbft-client: %s unreachable (continuing): %v\n", rid, err)
-		}
-	}
-	node.SetSender(peer)
-	node.Start()
-	defer node.Stop()
+	defer client.Close()
 
-	execute := func(cmd types.Command) (types.Result, time.Duration, error) {
+	execute := func(cmd ezbft.Command) (ezbft.Result, time.Duration, error) {
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		defer cancel()
 		start := time.Now()
-		if err := node.Inject(func(ctx proc.Context) { client.Submit(ctx, cmd) }); err != nil {
-			return types.Result{}, 0, err
-		}
-		select {
-		case comp := <-results:
-			return comp.Result, time.Since(start), nil
-		case <-time.After(*timeout):
-			return types.Result{}, 0, fmt.Errorf("timed out after %v", *timeout)
-		}
+		res, err := client.Execute(ctx, cmd)
+		return res, time.Since(start), err
 	}
 
 	switch rest[0] {
@@ -128,7 +94,7 @@ func run(args []string) error {
 		if len(rest) != 3 {
 			return fmt.Errorf("usage: put <key> <value>")
 		}
-		res, lat, err := execute(types.Command{Op: types.OpPut, Key: rest[1], Value: []byte(rest[2])})
+		res, lat, err := execute(ezbft.Put(rest[1], []byte(rest[2])))
 		if err != nil {
 			return err
 		}
@@ -137,7 +103,7 @@ func run(args []string) error {
 		if len(rest) != 2 {
 			return fmt.Errorf("usage: get <key>")
 		}
-		res, lat, err := execute(types.Command{Op: types.OpGet, Key: rest[1]})
+		res, lat, err := execute(ezbft.Get(rest[1]))
 		if err != nil {
 			return err
 		}
@@ -150,7 +116,7 @@ func run(args []string) error {
 		if len(rest) != 2 {
 			return fmt.Errorf("usage: incr <key>")
 		}
-		res, lat, err := execute(types.Command{Op: types.OpIncr, Key: rest[1]})
+		res, lat, err := execute(ezbft.Incr(rest[1]))
 		if err != nil {
 			return err
 		}
@@ -158,40 +124,63 @@ func run(args []string) error {
 	case "bench":
 		bfs := flag.NewFlagSet("bench", flag.ContinueOnError)
 		count := bfs.Int("count", 100, "number of requests")
+		inflight := bfs.Int("inflight", 8, "max commands in flight (1 = closed-loop)")
 		if err := bfs.Parse(rest[1:]); err != nil {
 			return err
 		}
-		var total time.Duration
-		start := time.Now()
-		for i := 0; i < *count; i++ {
-			key := fmt.Sprintf("bench-%d-%d", *id, i%64)
-			_, lat, err := execute(types.Command{Op: types.OpPut, Key: key, Value: []byte("x")})
-			if err != nil {
-				return fmt.Errorf("request %d: %w", i, err)
-			}
-			total += lat
+		if err := bench(client, *id, *count, *inflight, *timeout); err != nil {
+			return err
 		}
-		elapsed := time.Since(start)
-		fmt.Printf("%d requests in %.2fs: %.0f req/s, mean latency %.2fms\n",
-			*count, elapsed.Seconds(), float64(*count)/elapsed.Seconds(),
-			float64(total)/float64(*count)/float64(time.Millisecond))
 	default:
 		return fmt.Errorf("unknown command %q (want put|get|incr|bench)", rest[0])
 	}
-	st := client.ClientStats()
+	st := client.Stats()
 	fmt.Printf("client stats: fast=%d slow=%d retries=%d\n", st.FastDecisions, st.SlowDecisions, st.Retries)
 	return nil
 }
 
-// cliDriver bridges completions to the blocking CLI.
-type cliDriver struct {
-	results chan workload.Completion
+// bench pushes count PUTs through the cluster keeping up to inflight
+// commands outstanding — the open-loop client style that saturates the
+// ordering replica (and fills its batches, with -batch on the servers).
+// The -timeout flag stays per-command: each wait on the window's oldest
+// future gets the full budget.
+func bench(client *ezbft.Client, id, count, inflight int, timeout time.Duration) error {
+	if inflight < 1 {
+		inflight = 1
+	}
+	waitOldest := func(f *ezbft.Future) error {
+		ctx, cancel := context.WithTimeout(context.Background(), timeout)
+		defer cancel()
+		_, err := f.Wait(ctx)
+		return err
+	}
+	var total time.Duration
+	start := time.Now()
+	pending := make([]*ezbft.Future, 0, inflight)
+	issued, done := 0, 0
+	for done < count {
+		for issued < count && len(pending) < inflight {
+			key := fmt.Sprintf("bench-%d-%d", id, issued%64)
+			f, err := client.Submit(context.Background(), ezbft.Put(key, []byte("x")))
+			if err != nil {
+				return fmt.Errorf("submit %d: %w", issued, err)
+			}
+			pending = append(pending, f)
+			issued++
+		}
+		// Resolve the oldest future first; completions may arrive in any
+		// order, but draining FIFO keeps the window logic trivial.
+		f := pending[0]
+		pending = pending[1:]
+		if err := waitOldest(f); err != nil {
+			return fmt.Errorf("request %d: %w", done, err)
+		}
+		total += f.Latency()
+		done++
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("%d requests (%d in flight) in %.2fs: %.0f req/s, mean latency %.2fms\n",
+		count, inflight, elapsed.Seconds(), float64(count)/elapsed.Seconds(),
+		float64(total)/float64(count)/float64(time.Millisecond))
+	return nil
 }
-
-var _ workload.Driver = (*cliDriver)(nil)
-
-func (d *cliDriver) Start(proc.Context, workload.Submitter) {}
-func (d *cliDriver) Completed(_ proc.Context, _ workload.Submitter, c workload.Completion) {
-	d.results <- c
-}
-func (d *cliDriver) OnTimer(proc.Context, workload.Submitter, proc.TimerID) {}

@@ -1,5 +1,9 @@
 // Command ezbft-server runs one live BFT replica over TCP — ezBFT by
 // default, or any registered protocol engine via -p (pbft, zyzzyva, fab).
+// It is a thin wrapper around ezbft.StartTCPReplica serving the reference
+// key-value store; embed StartTCPReplica directly (with your own
+// ApplicationFactory) to serve a custom application over the same wire
+// protocol.
 //
 // A four-replica local cluster:
 //
@@ -23,18 +27,7 @@ import (
 	"syscall"
 	"time"
 
-	"ezbft/internal/auth"
-	"ezbft/internal/codec"
-	"ezbft/internal/engine"
-	"ezbft/internal/kvstore"
-	"ezbft/internal/transport"
-	"ezbft/internal/types"
-
-	// Link every built-in protocol engine into the binary.
-	_ "ezbft/internal/core"
-	_ "ezbft/internal/fab"
-	_ "ezbft/internal/pbft"
-	_ "ezbft/internal/zyzzyva"
+	"ezbft"
 )
 
 func main() {
@@ -62,58 +55,37 @@ func run(args []string) error {
 	if *secret == "" {
 		return fmt.Errorf("-secret is required")
 	}
-	// Reject unknown protocols loudly instead of silently running ezBFT.
-	eng, err := engine.Lookup(engine.Protocol(*proto))
-	if err != nil {
-		return err
-	}
 	addrs, err := parsePeers(*peers)
 	if err != nil {
 		return err
 	}
 
-	self := types.ReplicaID(*id)
-	ring := auth.NewHMACKeyring([]byte(*secret))
-	a := ring.ForNode(types.ReplicaNode(self))
-	rep, err := eng.NewReplica(engine.ReplicaOptions{
-		Self:       self,
-		N:          *n,
-		App:        kvstore.New(),
-		Auth:       a,
-		Primary:    types.ReplicaID(*primary),
-		BatchSize:  *batch,
-		BatchDelay: *batchDelay,
+	rep, err := ezbft.StartTCPReplica(ezbft.TCPReplicaConfig{
+		Protocol:      ezbft.Protocol(*proto),
+		ID:            ezbft.ReplicaID(*id),
+		N:             *n,
+		Primary:       ezbft.ReplicaID(*primary),
+		Listen:        *listen,
+		Peers:         addrs,
+		Secret:        []byte(*secret),
+		BatchSize:     *batch,
+		BatchDelay:    *batchDelay,
+		VerifyWorkers: *verifyWorkers,
 	})
 	if err != nil {
 		return err
 	}
-
-	node := transport.NewLiveNode(rep, nil, int64(*id)+1)
-	// Inbound ordering frames (SPECORDER / PRE-PREPARE / ORDERREQ /
-	// PROPOSE batches) have their signatures verified on a worker pool in
-	// parallel before entering the single-threaded process loop.
-	pool := transport.NewVerifyPool(*verifyWorkers, eng.InboundVerifier(a, *n),
-		func(from types.NodeID, msg codec.Message) { node.Deliver(from, msg) })
-	peer, err := transport.NewTCPPeer(types.ReplicaNode(self), *listen, addrs, pool.Submit)
-	if err != nil {
-		return err
-	}
-	node.SetSender(peer)
-	node.Start()
-	fmt.Printf("ezbft-server: %s replica %s listening on %s (cluster n=%d, batch=%d)\n",
-		eng.Protocol(), self, peer.Addr(), *n, *batch)
+	fmt.Printf("ezbft-server: %s replica R%d listening on %s (cluster n=%d, batch=%d)\n",
+		rep.Protocol(), *id, rep.Addr(), *n, *batch)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
-	node.Stop()
-	err = peer.Close()
-	pool.Close()
-	return err
+	return rep.Close()
 }
 
-func parsePeers(s string) (map[types.NodeID]string, error) {
-	out := make(map[types.NodeID]string)
+func parsePeers(s string) (map[ezbft.ReplicaID]string, error) {
+	out := make(map[ezbft.ReplicaID]string)
 	if s == "" {
 		return out, nil
 	}
@@ -126,7 +98,7 @@ func parsePeers(s string) (map[types.NodeID]string, error) {
 		if _, err := fmt.Sscanf(kv[0], "%d", &id); err != nil {
 			return nil, fmt.Errorf("bad peer id %q: %w", kv[0], err)
 		}
-		out[types.ReplicaNode(types.ReplicaID(id))] = kv[1]
+		out[ezbft.ReplicaID(id)] = kv[1]
 	}
 	return out, nil
 }

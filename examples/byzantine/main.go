@@ -2,6 +2,8 @@
 // its instance space retired by the owner-change protocol, while clients
 // make progress by retry rotation — and the replicated state stays
 // consistent and exactly-once throughout (the paper's §IV-D/E machinery).
+// The convergence check runs over the application's Digest, so the same
+// experiment works for any Application plugged in via SimConfig.NewApp.
 //
 //	go run ./examples/byzantine
 package main

@@ -5,6 +5,10 @@
 // region at local-replica distance, while Zyzzyva's remote clients pay the
 // trip to the Virginia primary.
 //
+// The simulated clusters replicate the reference key-value store; set
+// SimConfig.NewApp to measure the same WAN behaviour over your own
+// application (see examples/customapp).
+//
 //	go run ./examples/georeplication
 package main
 

@@ -1,13 +1,16 @@
 // Quickstart: a live in-process ezBFT cluster (four replicas on
-// goroutines, leaderless ordering) serving a replicated key-value store
-// through a blocking client.
+// goroutines, leaderless ordering) serving the reference replicated
+// key-value store — driven first by the blocking context-aware client,
+// then by the pipelined Submit/Future API with eight commands in flight.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"ezbft"
 )
@@ -20,31 +23,43 @@ func main() {
 	defer cluster.Close()
 
 	// Any replica can order commands; this client treats replica 0 as its
-	// closest.
+	// closest. Execute blocks until the protocol commits — and honors
+	// context deadlines, so a stuck cluster can't hang the caller.
 	client, err := cluster.NewClient(0)
 	if err != nil {
 		log.Fatal(err)
 	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
 
-	if _, err := client.Execute(ezbft.Put("greeting", []byte("hello, leaderless world"))); err != nil {
+	if _, err := client.Execute(ctx, ezbft.Put("greeting", []byte("hello, leaderless world"))); err != nil {
 		log.Fatal(err)
 	}
-	res, err := client.Execute(ezbft.Get("greeting"))
+	res, err := client.Execute(ctx, ezbft.Get("greeting"))
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("greeting = %q\n", res.Value)
 
-	for i := 0; i < 5; i++ {
-		if _, err := client.Execute(ezbft.Incr("visits")); err != nil {
+	// Pipelined submission: eight INCRs in flight at once on one client.
+	// Each Future resolves with its own command's result; the counter
+	// still increments exactly once per command.
+	futures := make([]*ezbft.Future, 8)
+	for i := range futures {
+		if futures[i], err = client.Submit(ctx, ezbft.Incr("visits")); err != nil {
 			log.Fatal(err)
 		}
 	}
-	res, err = client.Execute(ezbft.Get("visits"))
+	for _, f := range futures {
+		if _, err := f.Wait(ctx); err != nil {
+			log.Fatal(err)
+		}
+	}
+	res, err = client.Execute(ctx, ezbft.Get("visits"))
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("visits = %d (incremented five times, exactly once each)\n", counter(res.Value))
+	fmt.Printf("visits = %d (eight pipelined increments, exactly once each)\n", counter(res.Value))
 
 	st := client.Stats()
 	fmt.Printf("protocol: %d fast-path decisions, %d slow-path, %d retries\n",

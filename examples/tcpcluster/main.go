@@ -1,131 +1,109 @@
 // TCP cluster: four real ezBFT replicas listening on TCP loopback sockets
-// in one process, driven by a blocking client over the same wire protocol
-// cmd/ezbft-server and cmd/ezbft-client speak (length-prefixed frames of
-// the deterministic binary codec, HMAC-authenticated).
+// in one process, driven over the same wire protocol cmd/ezbft-server and
+// cmd/ezbft-client speak (length-prefixed frames of the deterministic
+// binary codec, HMAC-authenticated) — all through the public API:
+// StartTCPReplica on ephemeral ports, address exchange with SetPeer, and a
+// pipelined NewTCPClient.
 //
 //	go run ./examples/tcpcluster
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
 
-	"ezbft/internal/auth"
-	"ezbft/internal/codec"
-	"ezbft/internal/core"
-	"ezbft/internal/kvstore"
-	"ezbft/internal/proc"
-	"ezbft/internal/transport"
-	"ezbft/internal/types"
-	"ezbft/internal/workload"
+	"ezbft"
 )
 
 const n = 4
 
 func main() {
-	ring := auth.NewHMACKeyring([]byte("tcpcluster-demo-secret"))
+	secret := []byte("tcpcluster-demo-secret")
 
-	// Start four replicas on ephemeral loopback ports.
-	peers := make([]*transport.TCPPeer, n)
-	nodes := make([]*transport.LiveNode, n)
-	stores := make([]*kvstore.Store, n)
-	for i := 0; i < n; i++ {
-		rid := types.ReplicaID(i)
-		stores[i] = kvstore.New()
-		rep, err := core.NewReplica(core.ReplicaConfig{
-			Self: rid, N: n, App: stores[i],
-			Auth:          ring.ForNode(types.ReplicaNode(rid)),
-			ResendTimeout: time.Second,
+	// Start four replicas on ephemeral loopback ports, then exchange the
+	// addresses (a fixed-port deployment would pass Peers up front).
+	replicas := make([]*ezbft.TCPReplica, n)
+	for i := range replicas {
+		rep, err := ezbft.StartTCPReplica(ezbft.TCPReplicaConfig{
+			ID:     ezbft.ReplicaID(i),
+			N:      n,
+			Secret: secret,
 		})
 		if err != nil {
 			log.Fatal(err)
 		}
-		node := transport.NewLiveNode(rep, nil, int64(i)+1)
-		peer, err := transport.NewTCPPeer(types.ReplicaNode(rid), "127.0.0.1:0", nil,
-			func(from types.NodeID, msg codec.Message) { node.Deliver(from, msg) })
-		if err != nil {
-			log.Fatal(err)
-		}
-		node.SetSender(peer)
-		peers[i] = peer
-		nodes[i] = node
+		replicas[i] = rep
 	}
-	// Exchange addresses, then start.
-	for i := 0; i < n; i++ {
-		for j := 0; j < n; j++ {
+	defer func() {
+		for _, rep := range replicas {
+			rep.Close()
+		}
+	}()
+	addrs := make(map[ezbft.ReplicaID]string, n)
+	for i, rep := range replicas {
+		addrs[ezbft.ReplicaID(i)] = rep.Addr()
+		fmt.Printf("replica %d listening on %s\n", i, rep.Addr())
+	}
+	for i, rep := range replicas {
+		for j, other := range replicas {
 			if i != j {
-				peers[i].SetAddr(types.ReplicaNode(types.ReplicaID(j)), peers[j].Addr())
+				rep.SetPeer(ezbft.ReplicaID(j), other.Addr())
 			}
 		}
 	}
-	for i, node := range nodes {
-		node.Start()
-		fmt.Printf("replica %d listening on %s\n", i, peers[i].Addr())
-	}
-	defer func() {
-		for i := range nodes {
-			nodes[i].Stop()
-			_ = peers[i].Close()
-		}
-	}()
 
-	// A blocking TCP client, closest to replica 2.
-	results := make(chan workload.Completion, 1)
-	bridge := &syncDriver{results: results}
-	client, err := core.NewClient(core.ClientConfig{
-		ID: 0, N: n, Leader: 2,
-		Auth:            ring.ForNode(types.ClientNode(0)),
-		Driver:          bridge,
-		SlowPathTimeout: 200 * time.Millisecond,
-		RetryTimeout:    2 * time.Second,
+	// A TCP client, closest to replica 2.
+	client, err := ezbft.NewTCPClient(ezbft.TCPClientConfig{
+		ID:       0,
+		N:        n,
+		Nearest:  2,
+		Replicas: addrs,
+		Secret:   secret,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	clientNode := transport.NewLiveNode(client, nil, 99)
-	addrs := make(map[types.NodeID]string, n)
-	for i := 0; i < n; i++ {
-		addrs[types.ReplicaNode(types.ReplicaID(i))] = peers[i].Addr()
+	defer client.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if _, err := client.Execute(ctx, ezbft.Put("city", []byte("Blacksburg"))); err != nil {
+		log.Fatal(err)
 	}
-	clientPeer, err := transport.NewTCPPeer(types.ClientNode(0), "127.0.0.1:0", addrs,
-		func(from types.NodeID, msg codec.Message) { clientNode.Deliver(from, msg) })
+	res, err := client.Execute(ctx, ezbft.Get("city"))
 	if err != nil {
 		log.Fatal(err)
 	}
-	clientNode.SetSender(clientPeer)
-	clientNode.Start()
-	defer clientNode.Stop()
-	defer clientPeer.Close()
-
-	execute := func(cmd types.Command) types.Result {
-		if err := clientNode.Inject(func(ctx proc.Context) { client.Submit(ctx, cmd) }); err != nil {
-			log.Fatal(err)
-		}
-		return (<-results).Result
-	}
-
-	execute(types.Command{Op: types.OpPut, Key: "city", Value: []byte("Blacksburg")})
-	res := execute(types.Command{Op: types.OpGet, Key: "city"})
 	fmt.Printf("city = %q (ordered over real TCP by replica 2)\n", res.Value)
 
+	// Pipelined INCRs: keep eight commands in flight over the sockets.
 	start := time.Now()
-	const count = 50
+	const count = 48
+	futures := make([]*ezbft.Future, 0, count)
 	for i := 0; i < count; i++ {
-		execute(types.Command{Op: types.OpIncr, Key: "ops"})
+		f, err := client.Submit(ctx, ezbft.Incr("ops"))
+		if err != nil {
+			log.Fatal(err)
+		}
+		futures = append(futures, f)
+		if len(futures) >= 8 {
+			if _, err := futures[0].Wait(ctx); err != nil {
+				log.Fatal(err)
+			}
+			futures = futures[1:]
+		}
+	}
+	for _, f := range futures {
+		if _, err := f.Wait(ctx); err != nil {
+			log.Fatal(err)
+		}
 	}
 	elapsed := time.Since(start)
-	fmt.Printf("%d INCRs in %v (%.0f commits/s over loopback TCP)\n",
+	fmt.Printf("%d INCRs in %v (%.0f commits/s, 8 in flight over loopback TCP)\n",
 		count, elapsed.Round(time.Millisecond), count/elapsed.Seconds())
 	st := client.Stats()
-	fmt.Printf("client stats: fast=%d slow=%d retries=%d\n", st.FastDecisions, st.SlowDecisions, st.Retries)
+	fmt.Printf("client stats: fast=%d slow=%d retries=%d\n",
+		st.FastDecisions, st.SlowDecisions, st.Retries)
 }
-
-// syncDriver bridges completions to blocking calls.
-type syncDriver struct{ results chan workload.Completion }
-
-func (d *syncDriver) Start(proc.Context, workload.Submitter) {}
-func (d *syncDriver) Completed(_ proc.Context, _ workload.Submitter, c workload.Completion) {
-	d.results <- c
-}
-func (d *syncDriver) OnTimer(proc.Context, workload.Submitter, proc.TimerID) {}

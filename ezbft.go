@@ -5,26 +5,70 @@
 // clients submit, committing in three communication steps in the common
 // case.
 //
-// The package exposes three ways to use the system:
+// # Pluggable applications
+//
+// The system replicates an arbitrary application — any deterministic state
+// machine implementing the small Application contract (Apply one command,
+// Digest the state; optionally the Checkpointer hook, and the
+// SpeculativeApplication extension for ezBFT's speculative execution).
+// Every substrate accepts an ApplicationFactory and builds one application
+// instance per replica, so users replicate their own state machines:
+//
+//	cluster, _ := ezbft.NewLiveCluster(ezbft.LiveConfig{
+//		NewApp: func() ezbft.Application { return newMyStateMachine() },
+//	})
+//
+// The demo key-value store (NewKVStore, with the Put/Get/Incr command
+// constructors) is just the reference implementation — the application the
+// paper's evaluation uses — and is deployed when no factory is given. See
+// examples/customapp for a complete custom application.
+//
+// # Substrates
+//
+// The package exposes three ways to run the system:
 //
 //   - Simulation: NewSimCluster builds a deterministic discrete-event
 //     deployment on a modeled WAN (the substrate used to reproduce the
 //     paper's evaluation; see internal/bench and EXPERIMENTS.md).
 //   - Live in-process: NewLiveCluster runs real replicas and clients on
-//     goroutines connected by an in-memory mesh, with a blocking Client.
-//   - Live over TCP: see cmd/ezbft-server and cmd/ezbft-client, built on
-//     the same pieces (transport.NewTCPPeer + transport.LiveNode).
+//     goroutines connected by an in-memory mesh.
+//   - Live over TCP: StartTCPReplica and NewTCPClient run the same pieces
+//     over length-prefixed TCP frames; cmd/ezbft-server and
+//     cmd/ezbft-client are thin wrappers around them.
+//
+// # Clients
+//
+// Live substrates (mesh and TCP) hand out the same Client type, with two
+// submission styles:
+//
+//   - Execute(ctx, cmd) submits one command and blocks until the protocol
+//     commits it. It honors context cancellation and deadlines, and fails
+//     with ErrClusterClosed / ErrClientClosed when the deployment goes
+//     away mid-command — the paper's closed-loop client, made safe for
+//     production use.
+//   - Submit(ctx, cmd) enqueues a command and returns a *Future, keeping
+//     any number of commands in flight per client. Completions correlate
+//     to futures through the per-client timestamps the protocols already
+//     stamp on every command, so pipelining changes no wire format.
+//     Pipelined clients are how the protocols reach peak throughput: with
+//     the ordering replica CPU-bound on admission, eight in-flight
+//     commands from one client beat the blocking client several times
+//     over on the live substrate.
+//
+// Individual clients detach cleanly with Close without tearing down their
+// cluster; the per-cluster identity space is bounded by
+// LiveConfig.MaxClients (NewClient fails with ErrTooManyClients past it).
 //
 // # The replication engine
 //
-// All three substrates construct nodes exclusively through the
-// protocol-agnostic engine contract in internal/engine: each protocol
-// package registers an engine (replica factory, client factory, inbound
-// signature pre-verifier), and anything that accepts a Protocol — SimConfig,
-// LiveConfig, the bench harness, the -p flag of cmd/ezbft-server and
-// cmd/ezbft-client — resolves it through that registry. The paper's
-// evaluation baselines (PBFT, Zyzzyva, FaB) are engines like ezBFT itself,
-// so every protocol runs on every substrate; unknown protocol names are
+// All substrates construct nodes exclusively through the protocol-agnostic
+// engine contract in internal/engine: each protocol package registers an
+// engine (replica factory, client factory, inbound signature pre-verifier),
+// and anything that accepts a Protocol — SimConfig, LiveConfig, the bench
+// harness, the -p flag of cmd/ezbft-server and cmd/ezbft-client — resolves
+// it through that registry. The paper's evaluation baselines (PBFT,
+// Zyzzyva, FaB) are engines like ezBFT itself, so every protocol runs on
+// every substrate and against any application; unknown protocol names are
 // rejected with the registered ones listed.
 //
 // # Batching
@@ -52,23 +96,27 @@
 // roughly triples saturated throughput for every protocol (see
 // BenchmarkSimCommitThroughput); duplicate requests landing in different
 // batches — retries racing a pending batch, or re-proposals after an owner
-// change — still execute exactly once.
+// change — still execute exactly once. Batching composes with client-side
+// pipelining: many in-flight commands are what keeps batches full.
 package ezbft
 
 import (
 	"time"
 
 	"ezbft/internal/bench"
+	"ezbft/internal/kvstore"
 	"ezbft/internal/types"
 	"ezbft/internal/wan"
 )
 
 // Re-exported fundamental types.
 type (
-	// Command is an operation on the replicated key-value store.
+	// Command is an operation submitted to the replicated application.
 	Command = types.Command
 	// Result is a command's execution outcome.
 	Result = types.Result
+	// Digest is a SHA-256 state or message digest.
+	Digest = types.Digest
 	// ReplicaID identifies a replica (0..N-1).
 	ReplicaID = types.ReplicaID
 	// ClientID identifies a client.
@@ -81,6 +129,35 @@ type (
 	Protocol = bench.Protocol
 )
 
+// Application is the replicated state machine the cluster serves: a
+// deterministic Apply over committed commands plus a state Digest for
+// checkpoints and replica cross-checks. Implement it (and, for the EZBFT
+// protocol, SpeculativeApplication) to replicate your own application; the
+// reference implementation is the key-value store behind NewKVStore.
+type Application = types.Application
+
+// SpeculativeApplication extends Application with speculative execution —
+// apply on an overlay, roll the overlay back wholesale, re-apply in final
+// order — which ezBFT's fast path requires of its application.
+type SpeculativeApplication = types.SpeculativeApplication
+
+// Checkpointer is the optional checkpointing hook an Application may
+// implement: protocols that garbage-collect their logs against stable
+// checkpoints (PBFT) report each stable checkpoint's sequence number and
+// agreed state digest, so the application can snapshot or truncate its own
+// journal.
+type Checkpointer = types.Checkpointer
+
+// ApplicationFactory builds one application instance per replica; every
+// substrate config accepts one (nil selects NewKVStore).
+type ApplicationFactory func() Application
+
+// NewKVStore returns a fresh instance of the reference application: the
+// speculative key-value store the paper evaluates, serving the Put, Get,
+// and Incr commands. It implements SpeculativeApplication and so runs
+// under every protocol.
+func NewKVStore() Application { return kvstore.New() }
+
 // Protocols.
 const (
 	EZBFT   = bench.EZBFT
@@ -89,7 +166,12 @@ const (
 	FaB     = bench.FaB
 )
 
-// Operations on the replicated key-value store.
+// Operations on the replicated application. The reference key-value store
+// implements all three; custom applications are free to reinterpret the
+// command vocabulary, but the interference relation the protocols order by
+// is fixed per operation: a PUT conflicts with everything on the same key
+// (other PUTs, GETs, INCRs), while two GETs or two commuting INCRs on a
+// key do not interfere — see Command.Interferes.
 const (
 	OpGet  = types.OpGet
 	OpPut  = types.OpPut

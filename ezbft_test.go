@@ -97,15 +97,15 @@ func TestLiveClusterPutGetIncr(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res, err := client.Execute(Put("greeting", []byte("hello"))); err != nil || !res.OK {
+	if res, err := client.Execute(t.Context(), Put("greeting", []byte("hello"))); err != nil || !res.OK {
 		t.Fatalf("put: %v %+v", err, res)
 	}
-	res, err := client.Execute(Get("greeting"))
+	res, err := client.Execute(t.Context(), Get("greeting"))
 	if err != nil || !res.OK || string(res.Value) != "hello" {
 		t.Fatalf("get: %v %+v", err, res)
 	}
 	for i := 0; i < 3; i++ {
-		if _, err := client.Execute(Incr("count")); err != nil {
+		if _, err := client.Execute(t.Context(), Incr("count")); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -132,10 +132,10 @@ func TestLiveClusterMultipleClientsConverge(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 5; i++ {
-		if _, err := c0.Execute(Incr("a")); err != nil {
+		if _, err := c0.Execute(t.Context(), Incr("a")); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := c1.Execute(Incr("b")); err != nil {
+		if _, err := c1.Execute(t.Context(), Incr("b")); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -177,7 +177,7 @@ func TestLiveClusterBatching(t *testing.T) {
 		}
 		go func(c *LiveClient, i int) {
 			for j := 0; j < 5; j++ {
-				if _, err := c.Execute(Incr("n")); err != nil {
+				if _, err := c.Execute(t.Context(), Incr("n")); err != nil {
 					errs <- err
 					return
 				}
@@ -196,7 +196,7 @@ func TestLiveClusterBatching(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := probe.Execute(Get("n"))
+	res, err := probe.Execute(t.Context(), Get("n"))
 	if err != nil {
 		t.Fatal(err)
 	}

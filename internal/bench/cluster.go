@@ -128,6 +128,10 @@ type Spec struct {
 	// BatchDelay bounds how long an incomplete batch waits before
 	// flushing (0 = the protocol default).
 	BatchDelay time.Duration
+	// NewApp builds one application instance per replica (nil = the
+	// reference key-value store). ezBFT requires a
+	// types.SpeculativeApplication.
+	NewApp func() types.Application
 }
 
 // Cluster is a built deployment ready to run.
@@ -148,7 +152,7 @@ type Cluster struct {
 	PBReplicas  []*pbft.Replica
 	ZYReplicas  []*zyzzyva.Replica
 	FBReplicas  []*fab.Replica
-	Apps        []*kvstore.Store
+	Apps        []types.Application
 	ClientCount int
 }
 
@@ -176,6 +180,9 @@ func Build(spec Spec) (*Cluster, error) {
 	}
 	if spec.LatencyBound <= 0 {
 		spec.LatencyBound = 600 * time.Millisecond
+	}
+	if spec.NewApp == nil {
+		spec.NewApp = func() types.Application { return kvstore.New() }
 	}
 
 	kernel := sim.NewKernel(spec.Seed)
@@ -213,7 +220,7 @@ func Build(spec Spec) (*Cluster, error) {
 		if err := spec.Topology.Assign(types.ReplicaNode(rid), spec.ReplicaRegions[i]); err != nil {
 			return nil, err
 		}
-		app := kvstore.New()
+		app := spec.NewApp()
 		cl.Apps = append(cl.Apps, app)
 		a, err := provider.ForNode(types.ReplicaNode(rid))
 		if err != nil {

@@ -190,8 +190,8 @@ func (c *Client) Init(ctx proc.Context) {
 
 // Submit implements workload.Submitter: stamp the command, sign the
 // REQUEST, send it to the nearest replica, and arm the slow-path and retry
-// timers.
-func (c *Client) Submit(ctx proc.Context, cmd types.Command) {
+// timers. It returns the timestamp assigned to the command.
+func (c *Client) Submit(ctx proc.Context, cmd types.Command) uint64 {
 	c.nextTS++
 	ts := c.nextTS
 	cmd.Client = c.cfg.ID
@@ -214,6 +214,7 @@ func (c *Client) Submit(ctx proc.Context, cmd types.Command) {
 	ctx.Send(types.ReplicaNode(c.cfg.Leader), req)
 	ctx.SetTimer(proc.TimerID(ts*4+timerKindSlow), c.cfg.SlowPathTimeout)
 	ctx.SetTimer(proc.TimerID(ts*4+timerKindRetry), c.cfg.RetryTimeout)
+	return ts
 }
 
 // Receive implements proc.Process.

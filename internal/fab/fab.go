@@ -786,7 +786,7 @@ func (r *Replica) checkLearned(ctx proc.Context, s *slotState) {
 		next.results = make([]types.Result, len(next.cmds))
 		for i, cmd := range next.cmds {
 			r.cfg.Costs.ChargeExecute(ctx)
-			next.results[i] = r.cfg.App.Execute(cmd)
+			next.results[i] = r.cfg.App.Apply(cmd)
 
 			reply := &Reply{
 				View:      r.view,
@@ -1056,8 +1056,9 @@ func (c *Client) Stats() ClientStats { return c.stats }
 // Init implements proc.Process.
 func (c *Client) Init(ctx proc.Context) { c.cfg.Driver.Start(ctx, c) }
 
-// Submit implements workload.Submitter.
-func (c *Client) Submit(ctx proc.Context, cmd types.Command) {
+// Submit implements workload.Submitter; it returns the timestamp assigned
+// to the command.
+func (c *Client) Submit(ctx proc.Context, cmd types.Command) uint64 {
 	c.nextTS++
 	ts := c.nextTS
 	cmd.Client = c.cfg.ID
@@ -1074,6 +1075,7 @@ func (c *Client) Submit(ctx proc.Context, cmd types.Command) {
 	c.stats.Submitted++
 	ctx.Send(types.ReplicaNode(leaderOf(c.view, c.n)), req)
 	ctx.SetTimer(proc.TimerID(ts), c.cfg.RetryTimeout)
+	return ts
 }
 
 // Receive implements proc.Process.

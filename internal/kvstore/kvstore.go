@@ -1,9 +1,12 @@
 // Package kvstore implements the replicated key-value store application the
 // paper uses for its evaluation ("We implemented a replicated key-value
-// store to evaluate the protocols"). It supports the speculative-execution
-// contract ezBFT and Zyzzyva require: commands are first executed
-// speculatively on an overlay; the overlay can be rolled back wholesale and
-// commands re-executed in final order on the base state.
+// store to evaluate the protocols"). It is the reference implementation of
+// the pluggable types.Application contract — deployments replace it with
+// their own state machine through the application factories on every
+// substrate — and additionally supports the speculative-execution contract
+// ezBFT requires: commands are first executed speculatively on an overlay;
+// the overlay can be rolled back wholesale and commands re-executed in
+// final order on the base state.
 //
 // A store belongs to exactly one protocol process, and processes are
 // single-threaded (see internal/proc) — but on the live substrates other
@@ -42,9 +45,9 @@ func New() *Store {
 	}
 }
 
-// Execute implements types.Application: execute on the final state. It is
-// what non-speculative protocols (PBFT, FaB) call.
-func (s *Store) Execute(cmd types.Command) types.Result {
+// Apply implements types.Application: execute on the final state. It is
+// what non-speculative protocols (PBFT, Zyzzyva, FaB) call.
+func (s *Store) Apply(cmd types.Command) types.Result {
 	return s.PromoteFinal(cmd)
 }
 

@@ -18,13 +18,13 @@ func incr(key string) types.Command { return types.Command{Op: types.OpIncr, Key
 
 func TestFinalPutGet(t *testing.T) {
 	s := New()
-	if r := s.Execute(get("k")); r.OK {
+	if r := s.Apply(get("k")); r.OK {
 		t.Fatal("missing key reported OK")
 	}
-	if r := s.Execute(put("k", "v")); !r.OK {
+	if r := s.Apply(put("k", "v")); !r.OK {
 		t.Fatal("put failed")
 	}
-	r := s.Execute(get("k"))
+	r := s.Apply(get("k"))
 	if !r.OK || string(r.Value) != "v" {
 		t.Fatalf("get = %+v", r)
 	}
@@ -67,11 +67,11 @@ func TestPromoteFinalIgnoresOverlay(t *testing.T) {
 
 func TestIncrCommutes(t *testing.T) {
 	a := New()
-	a.Execute(incr("n"))
-	a.Execute(incr("n"))
+	a.Apply(incr("n"))
+	a.Apply(incr("n"))
 	b := New()
-	b.Execute(incr("n"))
-	b.Execute(incr("n"))
+	b.Apply(incr("n"))
+	b.Apply(incr("n"))
 	va, _ := a.Get("n")
 	vb, _ := b.Get("n")
 	if !bytes.Equal(va, vb) || Counter(va) != 2 {
@@ -79,15 +79,15 @@ func TestIncrCommutes(t *testing.T) {
 	}
 	// INCR must not leak the counter value in its result (that would break
 	// commutativity of replies).
-	if r := a.Execute(incr("n")); r.Value != nil {
+	if r := a.Apply(incr("n")); r.Value != nil {
 		t.Fatalf("INCR returned a value: %+v", r)
 	}
 }
 
 func TestIncrOnCorruptValueResets(t *testing.T) {
 	s := New()
-	s.Execute(put("n", "not-8-bytes"))
-	s.Execute(incr("n"))
+	s.Apply(put("n", "not-8-bytes"))
+	s.Apply(incr("n"))
 	v, _ := s.Get("n")
 	if Counter(v) != 1 {
 		t.Fatalf("counter = %d, want 1", Counter(v))
@@ -96,10 +96,10 @@ func TestIncrOnCorruptValueResets(t *testing.T) {
 
 func TestNoopAndUnknownOp(t *testing.T) {
 	s := New()
-	if r := s.Execute(types.Command{Op: types.OpNoop}); !r.OK {
+	if r := s.Apply(types.Command{Op: types.OpNoop}); !r.OK {
 		t.Fatal("noop failed")
 	}
-	if r := s.Execute(types.Command{Op: types.Op(99)}); r.OK {
+	if r := s.Apply(types.Command{Op: types.Op(99)}); r.OK {
 		t.Fatal("unknown op succeeded")
 	}
 	if s.Len() != 0 {
@@ -109,10 +109,10 @@ func TestNoopAndUnknownOp(t *testing.T) {
 
 func TestResultValueIsCopied(t *testing.T) {
 	s := New()
-	s.Execute(put("k", "abc"))
-	r := s.Execute(get("k"))
+	s.Apply(put("k", "abc"))
+	r := s.Apply(get("k"))
 	r.Value[0] = 'X'
-	r2 := s.Execute(get("k"))
+	r2 := s.Apply(get("k"))
 	if string(r2.Value) != "abc" {
 		t.Fatal("result aliases store memory")
 	}
@@ -121,7 +121,7 @@ func TestResultValueIsCopied(t *testing.T) {
 func TestCommandValueIsCopied(t *testing.T) {
 	s := New()
 	val := []byte("abc")
-	s.Execute(types.Command{Op: types.OpPut, Key: "k", Value: val})
+	s.Apply(types.Command{Op: types.OpPut, Key: "k", Value: val})
 	val[0] = 'X'
 	if v, _ := s.Get("k"); string(v) != "abc" {
 		t.Fatal("store aliases caller memory")

@@ -93,8 +93,9 @@ func (c *Client) Stats() ClientStats { return c.stats }
 // Init implements proc.Process.
 func (c *Client) Init(ctx proc.Context) { c.cfg.Driver.Start(ctx, c) }
 
-// Submit implements workload.Submitter.
-func (c *Client) Submit(ctx proc.Context, cmd types.Command) {
+// Submit implements workload.Submitter; it returns the timestamp assigned
+// to the command.
+func (c *Client) Submit(ctx proc.Context, cmd types.Command) uint64 {
 	c.nextTS++
 	ts := c.nextTS
 	cmd.Client = c.cfg.ID
@@ -111,6 +112,7 @@ func (c *Client) Submit(ctx proc.Context, cmd types.Command) {
 	c.stats.Submitted++
 	ctx.Send(types.ReplicaNode(primaryOf(c.view, c.n)), req)
 	ctx.SetTimer(proc.TimerID(ts), c.cfg.RetryTimeout)
+	return ts
 }
 
 // Receive implements proc.Process.

@@ -497,7 +497,7 @@ func (r *Replica) executeReady(ctx proc.Context) {
 		for i := range s.reqs {
 			cmd := s.reqs[i].Cmd
 			r.cfg.Costs.ChargeExecute(ctx)
-			s.results[i] = r.cfg.App.Execute(cmd)
+			s.results[i] = r.cfg.App.Apply(cmd)
 
 			reply := &Reply{
 				View:      s.view,
@@ -532,17 +532,10 @@ func (r *Replica) emitCheckpoint(ctx proc.Context, seq uint64) {
 	r.recordCheckpoint(seq, r.cfg.Self, d)
 }
 
-// stateDigest returns the application state digest if the application
-// exposes one (the key-value store does); otherwise a digest of maxExec.
+// stateDigest returns the application state digest (part of the
+// types.Application contract).
 func (r *Replica) stateDigest() types.Digest {
-	if dig, ok := r.cfg.App.(interface{ Digest() types.Digest }); ok {
-		return dig.Digest()
-	}
-	var b [8]byte
-	for i := 0; i < 8; i++ {
-		b[i] = byte(r.maxExec >> (56 - 8*i))
-	}
-	return types.DigestBytes(b[:])
+	return r.cfg.App.Digest()
 }
 
 func (r *Replica) handleCheckpoint(ctx proc.Context, m *Checkpoint) {
@@ -572,6 +565,12 @@ func (r *Replica) recordCheckpoint(seq uint64, from types.ReplicaID, d types.Dig
 			r.stableCkpt = seq
 			r.stats.Checkpoints++
 			r.gcBelow(seq)
+			// Applications that opt into the checkpointing hook learn that
+			// a quorum vouched for this state, so they can snapshot or
+			// truncate their own journals.
+			if ck, ok := r.cfg.App.(types.Checkpointer); ok {
+				ck.Checkpoint(seq, vd)
+			}
 			return
 		}
 	}

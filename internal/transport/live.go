@@ -19,6 +19,10 @@ import (
 // ErrClosed reports use of a closed node or transport.
 var ErrClosed = errors.New("transport: closed")
 
+// ErrAborted reports an injection abandoned because the caller's abort
+// channel fired before the node's call queue accepted it.
+var ErrAborted = errors.New("transport: injection aborted")
+
 // Sender delivers messages to remote nodes.
 type Sender interface {
 	Send(from, to types.NodeID, msg codec.Message) error
@@ -89,6 +93,10 @@ func (n *LiveNode) Start() {
 	go n.loop()
 }
 
+// Done returns a channel closed when the node stops; external callers
+// waiting on process results select on it to observe shutdown.
+func (n *LiveNode) Done() <-chan struct{} { return n.done }
+
 // Stop terminates the event loop and waits for it to exit.
 func (n *LiveNode) Stop() {
 	n.mu.Lock()
@@ -120,6 +128,14 @@ func (n *LiveNode) Deliver(from types.NodeID, msg codec.Message) {
 // Inject schedules fn to run on the node's event loop with a valid context;
 // used to bridge external calls (e.g. blocking client submissions).
 func (n *LiveNode) Inject(fn func(ctx proc.Context)) error {
+	return n.InjectAbort(nil, fn)
+}
+
+// InjectAbort is Inject with an abort channel: it gives up with ErrAborted
+// if abort fires while the call queue is full, so callers with deadlines
+// (context-aware client submissions) never block past them on a wedged
+// process loop. A nil abort never fires.
+func (n *LiveNode) InjectAbort(abort <-chan struct{}, fn func(ctx proc.Context)) error {
 	// Check done first: a buffered calls channel would otherwise accept
 	// injections into a stopped node.
 	select {
@@ -132,8 +148,16 @@ func (n *LiveNode) Inject(fn func(ctx proc.Context)) error {
 		return nil
 	case <-n.done:
 		return ErrClosed
+	case <-abort:
+		return ErrAborted
 	}
 }
+
+// Join blocks until the node's event loop goroutine has exited; callers
+// must observe Done first (Join before Stop blocks for the node's whole
+// lifetime). After Join, reading state owned by the process is safe — no
+// handler can be running concurrently.
+func (n *LiveNode) Join() { n.wg.Wait() }
 
 func (n *LiveNode) loop() {
 	defer n.wg.Done()
@@ -241,6 +265,16 @@ func (m *Mesh) Attach(n *LiveNode) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.nodes[n.p.ID()] = n
+}
+
+// Detach unregisters a node; subsequent sends to it are dropped like any
+// unknown destination. Detaching an unregistered node is a no-op.
+func (m *Mesh) Detach(n *LiveNode) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.nodes[n.p.ID()] == n {
+		delete(m.nodes, n.p.ID())
+	}
 }
 
 // Send implements Sender.

@@ -38,8 +38,13 @@ type TCPPeer struct {
 
 	ln net.Listener
 
-	mu     sync.Mutex
-	conns  map[types.NodeID]net.Conn
+	mu    sync.Mutex
+	conns map[types.NodeID]net.Conn
+	// all tracks every live socket — including inbound connections that
+	// lose the conns[from] return-route registration race when two peers
+	// dial each other simultaneously — so Close reliably unblocks every
+	// read goroutine instead of waiting forever on an untracked one.
+	all    map[net.Conn]struct{}
 	closed bool
 	wg     sync.WaitGroup
 }
@@ -60,6 +65,7 @@ func NewTCPPeer(self types.NodeID, listenAddr string, addrs map[types.NodeID]str
 		onMsg: onMsg,
 		ln:    ln,
 		conns: make(map[types.NodeID]net.Conn),
+		all:   make(map[net.Conn]struct{}),
 	}
 	for id, addr := range addrs {
 		p.addrs[id] = addr
@@ -88,13 +94,32 @@ func (p *TCPPeer) Close() error {
 	}
 	p.closed = true
 	err := p.ln.Close()
-	for _, c := range p.conns {
+	for c := range p.all {
 		_ = c.Close()
 	}
+	p.all = make(map[net.Conn]struct{})
 	p.conns = make(map[types.NodeID]net.Conn)
 	p.mu.Unlock()
 	p.wg.Wait()
 	return err
+}
+
+// track records a live socket for Close; it refuses (closing the caller's
+// responsibility) once the peer is closed.
+func (p *TCPPeer) track(c net.Conn) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return false
+	}
+	p.all[c] = struct{}{}
+	return true
+}
+
+func (p *TCPPeer) untrack(c net.Conn) {
+	p.mu.Lock()
+	delete(p.all, c)
+	p.mu.Unlock()
 }
 
 // Connect establishes (or reuses) the outbound connection to a peer so
@@ -174,11 +199,13 @@ func (p *TCPPeer) conn(to types.NodeID) (net.Conn, error) {
 		return nil, ErrClosed
 	}
 	p.conns[to] = c
+	p.all[c] = struct{}{}
 	p.mu.Unlock()
 	// The peer answers over this same connection; read its frames.
 	p.wg.Add(1)
 	go func() {
 		defer p.wg.Done()
+		defer p.untrack(c)
 		defer c.Close()
 		p.readFrames(bufio.NewReader(c), to)
 	}()
@@ -201,6 +228,10 @@ func (p *TCPPeer) acceptLoop() {
 		if err != nil {
 			return // listener closed
 		}
+		if !p.track(conn) {
+			_ = conn.Close()
+			return
+		}
 		p.wg.Add(1)
 		go p.readLoop(conn)
 	}
@@ -208,6 +239,7 @@ func (p *TCPPeer) acceptLoop() {
 
 func (p *TCPPeer) readLoop(conn net.Conn) {
 	defer p.wg.Done()
+	defer p.untrack(conn)
 	defer conn.Close()
 	r := bufio.NewReader(conn)
 	hello, err := readFrame(r)

@@ -231,16 +231,37 @@ func (r Result) Equal(o Result) bool {
 }
 
 // Application is the replicated state machine on which committed commands
-// are executed. Implementations must be deterministic: the same sequence of
-// Execute calls from the same initial state must produce the same results.
+// are executed — the pluggable contract every protocol replica drives.
+// Implementations must be deterministic: the same sequence of Apply calls
+// from the same initial state must produce the same results and the same
+// Digest on every replica. A replica owns its application instance and
+// calls it from a single goroutine, but on the live substrates other
+// goroutines may observe it (state digests, inspection reads) while the
+// replica executes, so Digest must be safe to call concurrently with Apply.
 type Application interface {
-	// Execute applies one command and returns its result.
-	Execute(cmd Command) Result
+	// Apply executes one committed command and returns its result.
+	Apply(cmd Command) Result
+	// Digest returns a deterministic digest of the application state, used
+	// for checkpoint certificates and replica state cross-checks. Replicas
+	// that applied the same command sequence must report equal digests.
+	Digest() Digest
+}
+
+// Checkpointer is the optional checkpointing hook an Application may
+// implement: protocols that garbage-collect their logs against stable
+// checkpoints (PBFT) call it when a checkpoint becomes stable — 2f+1
+// replicas vouched for the same state digest at sequence number seq — so
+// the application can snapshot, truncate its own journal, or release
+// resources that predate the checkpoint.
+type Checkpointer interface {
+	// Checkpoint reports a stable checkpoint at sequence number seq whose
+	// agreed state digest is digest.
+	Checkpoint(seq uint64, digest Digest)
 }
 
 // SpeculativeApplication extends Application with the speculative-execution
-// contract required by ezBFT and Zyzzyva: speculative results may later be
-// rolled back and the commands re-executed in final order.
+// contract required by ezBFT: speculative results may later be rolled back
+// and the commands re-executed in final order.
 type SpeculativeApplication interface {
 	Application
 
@@ -251,7 +272,7 @@ type SpeculativeApplication interface {
 	// state.
 	Rollback()
 	// PromoteFinal applies a command to the final state, invalidating any
-	// speculative effects that depended on it. Equivalent to Execute on the
+	// speculative effects that depended on it. Equivalent to Apply on the
 	// final version of the state.
 	PromoteFinal(cmd Command) Result
 }

@@ -25,8 +25,12 @@ const DriverTimerBase proc.TimerID = 1 << 32
 type Submitter interface {
 	// ClientID identifies the client.
 	ClientID() types.ClientID
-	// Submit issues one command (the client fills in Client and Timestamp).
-	Submit(ctx proc.Context, cmd types.Command)
+	// Submit issues one command (the client fills in Client and Timestamp)
+	// and returns the per-client timestamp assigned to it. Timestamps are
+	// unique per client and appear unchanged in the Completion's Cmd, so
+	// callers with many in-flight commands correlate each completion to its
+	// submission (the pipelined client bridges are built on this).
+	Submit(ctx proc.Context, cmd types.Command) uint64
 	// InFlight returns the number of outstanding requests.
 	InFlight() int
 }

@@ -37,9 +37,10 @@ type fakeSubmitter struct {
 
 func (s *fakeSubmitter) ClientID() types.ClientID { return s.id }
 func (s *fakeSubmitter) InFlight() int            { return s.inFlight }
-func (s *fakeSubmitter) Submit(_ proc.Context, cmd types.Command) {
+func (s *fakeSubmitter) Submit(_ proc.Context, cmd types.Command) uint64 {
 	s.cmds = append(s.cmds, cmd)
 	s.inFlight++
+	return uint64(len(s.cmds))
 }
 
 func TestKVGeneratorContentionFractions(t *testing.T) {

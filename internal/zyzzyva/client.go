@@ -110,8 +110,9 @@ func (c *Client) Stats() ClientStats { return c.stats }
 // Init implements proc.Process.
 func (c *Client) Init(ctx proc.Context) { c.cfg.Driver.Start(ctx, c) }
 
-// Submit implements workload.Submitter.
-func (c *Client) Submit(ctx proc.Context, cmd types.Command) {
+// Submit implements workload.Submitter; it returns the timestamp assigned
+// to the command.
+func (c *Client) Submit(ctx proc.Context, cmd types.Command) uint64 {
 	c.nextTS++
 	ts := c.nextTS
 	cmd.Client = c.cfg.ID
@@ -130,6 +131,7 @@ func (c *Client) Submit(ctx proc.Context, cmd types.Command) {
 	ctx.Send(types.ReplicaNode(primaryOf(c.view, c.n)), req)
 	ctx.SetTimer(proc.TimerID(ts*4+timerKindCommit), c.cfg.CommitTimeout)
 	ctx.SetTimer(proc.TimerID(ts*4+timerKindRetry), c.cfg.RetryTimeout)
+	return ts
 }
 
 // Receive implements proc.Process.

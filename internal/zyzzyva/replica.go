@@ -434,7 +434,7 @@ func (r *Replica) acceptOrderReq(ctx proc.Context, m *OrderReq, digests []types.
 		cmd := m.ReqAt(i).Cmd
 		key := cmdKey{cmd.Client, cmd.Timestamp}
 		r.cfg.Costs.ChargeExecute(ctx)
-		res := r.cfg.App.Execute(cmd)
+		res := r.cfg.App.Apply(cmd)
 		e.cmds[i] = cmd
 		e.results[i] = res
 		r.byCmd[key] = m.Seq
@@ -664,7 +664,7 @@ func (r *Replica) applyNewView(ctx proc.Context, m *NewView) {
 		for i, cmd := range cmds {
 			r.cfg.Costs.ChargeExecute(ctx)
 			le.digests[i] = cmd.Digest()
-			le.results[i] = r.cfg.App.Execute(cmd)
+			le.results[i] = r.cfg.App.Apply(cmd)
 			r.byCmd[cmdKey{cmd.Client, cmd.Timestamp}] = e.Seq
 		}
 		r.log[e.Seq] = le

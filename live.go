@@ -8,15 +8,21 @@ import (
 
 	"ezbft/internal/auth"
 	"ezbft/internal/engine"
-	"ezbft/internal/kvstore"
-	"ezbft/internal/proc"
 	"ezbft/internal/transport"
 	"ezbft/internal/types"
-	"ezbft/internal/workload"
 )
 
-// ErrClusterClosed reports use of a closed live cluster.
+// ErrClusterClosed reports use of a closed live cluster; commands in
+// flight when the cluster closes also fail with it.
 var ErrClusterClosed = errors.New("ezbft: cluster closed")
+
+// ErrTooManyClients reports a NewClient call past the cluster's
+// provisioned client identity space (LiveConfig.MaxClients).
+var ErrTooManyClients = errors.New("ezbft: client identity space exhausted")
+
+// DefaultMaxClients is the client identity space provisioned when
+// LiveConfig.MaxClients is zero.
+const DefaultMaxClients = 1024
 
 // LiveConfig describes an in-process real-time deployment of any
 // registered protocol.
@@ -29,6 +35,16 @@ type LiveConfig struct {
 	// Primary is the initial primary/leader for the primary-based
 	// protocols; ezBFT ignores it.
 	Primary ReplicaID
+	// NewApp builds one application instance per replica — the replicated
+	// state machine the cluster serves. Nil deploys the reference
+	// key-value store (NewKVStore). ezBFT replicas speculate, so the
+	// application must implement SpeculativeApplication to run under the
+	// EZBFT protocol; the other three protocols need only Application.
+	NewApp ApplicationFactory
+	// MaxClients bounds the client identity space provisioned at startup
+	// (default DefaultMaxClients). NewClient calls beyond it fail with
+	// ErrTooManyClients.
+	MaxClients int
 	// Delay is an artificial one-way delivery delay (0 = none), useful to
 	// observe WAN-like behaviour in a single process.
 	Delay time.Duration
@@ -44,20 +60,22 @@ type LiveConfig struct {
 }
 
 // LiveCluster is a real-time in-process deployment: N replica goroutines
-// connected by an in-memory mesh, plus blocking clients. Every protocol
-// registered with internal/engine runs on this substrate.
+// connected by an in-memory mesh, plus context-aware pipelined clients.
+// Every protocol registered with internal/engine runs on this substrate,
+// against any Application the config's factory builds.
 type LiveCluster struct {
-	mesh     *transport.Mesh
-	eng      engine.Engine
-	provider *auth.Provider
-	n        int
-	primary  ReplicaID
+	mesh       *transport.Mesh
+	eng        engine.Engine
+	provider   *auth.Provider
+	n          int
+	primary    ReplicaID
+	maxClients int
 
 	mu      sync.Mutex
 	nodes   []*transport.LiveNode
-	clients []*LiveClient
+	clients []*Client
 	nextCID types.ClientID
-	apps    []*kvstore.Store
+	apps    []Application
 	closed  bool
 }
 
@@ -79,13 +97,18 @@ func NewLiveCluster(cfg LiveConfig) (*LiveCluster, error) {
 	if cfg.AuthScheme == 0 {
 		cfg.AuthScheme = auth.SchemeHMAC
 	}
-	// Provision identities for replicas plus a generous client space.
-	const maxClients = 1024
-	nodes := make([]types.NodeID, 0, cfg.N+maxClients)
+	if cfg.NewApp == nil {
+		cfg.NewApp = NewKVStore
+	}
+	if cfg.MaxClients <= 0 {
+		cfg.MaxClients = DefaultMaxClients
+	}
+	// Provision identities for replicas plus the configured client space.
+	nodes := make([]types.NodeID, 0, cfg.N+cfg.MaxClients)
 	for i := 0; i < cfg.N; i++ {
 		nodes = append(nodes, types.ReplicaNode(types.ReplicaID(i)))
 	}
-	for i := 0; i < maxClients; i++ {
+	for i := 0; i < cfg.MaxClients; i++ {
 		nodes = append(nodes, types.ClientNode(types.ClientID(i)))
 	}
 	provider, err := auth.NewProvider(cfg.AuthScheme, nodes)
@@ -94,15 +117,16 @@ func NewLiveCluster(cfg LiveConfig) (*LiveCluster, error) {
 	}
 
 	lc := &LiveCluster{
-		mesh:     transport.NewMesh(cfg.Delay),
-		eng:      eng,
-		provider: provider,
-		n:        cfg.N,
-		primary:  cfg.Primary,
+		mesh:       transport.NewMesh(cfg.Delay),
+		eng:        eng,
+		provider:   provider,
+		n:          cfg.N,
+		primary:    cfg.Primary,
+		maxClients: cfg.MaxClients,
 	}
 	for i := 0; i < cfg.N; i++ {
 		rid := types.ReplicaID(i)
-		app := kvstore.New()
+		app := cfg.NewApp()
 		a, err := provider.ForNode(types.ReplicaNode(rid))
 		if err != nil {
 			return nil, err
@@ -128,7 +152,8 @@ func NewLiveCluster(cfg LiveConfig) (*LiveCluster, error) {
 	return lc, nil
 }
 
-// Close stops every node.
+// Close stops every replica and client; clients blocked in Execute or
+// Future.Wait return ErrClusterClosed.
 func (lc *LiveCluster) Close() {
 	lc.mu.Lock()
 	if lc.closed {
@@ -137,26 +162,36 @@ func (lc *LiveCluster) Close() {
 	}
 	lc.closed = true
 	nodes := append([]*transport.LiveNode(nil), lc.nodes...)
-	for _, c := range lc.clients {
-		nodes = append(nodes, c.node)
-	}
+	clients := append([]*Client(nil), lc.clients...)
 	lc.mu.Unlock()
+	for _, c := range clients {
+		c.shutdown(ErrClusterClosed)
+	}
 	for _, n := range nodes {
 		n.Stop()
 	}
 }
 
+// App returns replica i's application instance, for inspection.
+func (lc *LiveCluster) App(i int) Application { return lc.apps[i] }
+
 // StateDigest returns replica i's application state digest.
 func (lc *LiveCluster) StateDigest(i int) string { return lc.apps[i].Digest().String() }
 
-// NewClient creates a blocking client attached to the given replica
-// (its "closest"; primary-based protocols submit to the configured
-// primary regardless). The client runs on its own goroutine.
+// NewClient creates a client attached to the given replica (its
+// "closest"; primary-based protocols submit to the configured primary
+// regardless). The client runs on its own goroutine and supports blocking
+// Execute as well as pipelined Submit; close it individually with
+// Client.Close, or let Cluster.Close take it down.
 func (lc *LiveCluster) NewClient(leader ReplicaID) (*LiveClient, error) {
 	lc.mu.Lock()
 	defer lc.mu.Unlock()
 	if lc.closed {
 		return nil, ErrClusterClosed
+	}
+	if int(lc.nextCID) >= lc.maxClients {
+		return nil, fmt.Errorf("%w: %d clients provisioned (LiveConfig.MaxClients)",
+			ErrTooManyClients, lc.maxClients)
 	}
 	cid := lc.nextCID
 	lc.nextCID++
@@ -164,7 +199,7 @@ func (lc *LiveCluster) NewClient(leader ReplicaID) (*LiveClient, error) {
 	if err != nil {
 		return nil, err
 	}
-	bridge := &syncDriver{results: make(chan workload.Completion, 1)}
+	bridge := newFutureBridge()
 	inner, err := lc.eng.NewClient(engine.ClientOptions{
 		ID: cid, N: lc.n, Nearest: leader, Primary: lc.primary,
 		Auth: a, Driver: bridge,
@@ -175,48 +210,7 @@ func (lc *LiveCluster) NewClient(leader ReplicaID) (*LiveClient, error) {
 	}
 	node := transport.NewLiveNode(inner, lc.mesh, int64(cid)+1000)
 	lc.mesh.Attach(node)
-	node.Start()
-	client := &LiveClient{node: node, inner: inner, bridge: bridge}
+	client := newClient(node, inner, bridge, func() { lc.mesh.Detach(node) })
 	lc.clients = append(lc.clients, client)
 	return client, nil
 }
-
-// syncDriver bridges the event-driven client to blocking callers.
-type syncDriver struct {
-	results chan workload.Completion
-}
-
-var _ workload.Driver = (*syncDriver)(nil)
-
-func (d *syncDriver) Start(proc.Context, workload.Submitter) {}
-func (d *syncDriver) Completed(_ proc.Context, _ workload.Submitter, c workload.Completion) {
-	d.results <- c
-}
-func (d *syncDriver) OnTimer(proc.Context, workload.Submitter, proc.TimerID) {}
-
-// LiveClient is a blocking client: Execute submits one command and waits
-// for the protocol to commit it.
-type LiveClient struct {
-	mu     sync.Mutex
-	node   *transport.LiveNode
-	inner  engine.Client
-	bridge *syncDriver
-}
-
-// Execute runs one command to completion (one outstanding command at a
-// time per client, like the paper's closed-loop clients).
-func (c *LiveClient) Execute(cmd Command) (Result, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if err := c.node.Inject(func(ctx proc.Context) {
-		c.inner.Submit(ctx, cmd)
-	}); err != nil {
-		return Result{}, err
-	}
-	comp := <-c.bridge.results
-	return comp.Result, nil
-}
-
-// Stats returns the client's protocol counters (fast/slow decisions,
-// retries, POMs), protocol-neutral across engines.
-func (c *LiveClient) Stats() engine.ClientStats { return c.inner.ClientStats() }

@@ -43,7 +43,7 @@ func liveWorkloadDigest(t *testing.T, proto Protocol, batch int) string {
 				Incr("shared"),
 			}
 			for _, cmd := range script {
-				if _, err := client.Execute(cmd); err != nil {
+				if _, err := client.Execute(t.Context(), cmd); err != nil {
 					errs <- fmt.Errorf("client %d: %w", c, err)
 					return
 				}
@@ -59,13 +59,14 @@ func liveWorkloadDigest(t *testing.T, proto Protocol, batch int) string {
 	// Final execution lags the client-visible commit (ezBFT's COMMITFAST
 	// propagates asynchronously); poll until every replica converges on
 	// the complete final state.
+	store := lc.App(0).(*kvstore.Store)
 	complete := func() bool {
 		for c := 0; c < clients; c++ {
-			if v, ok := lc.apps[0].Get(fmt.Sprintf("k%d", c)); !ok || string(v) != "v" {
+			if v, ok := store.Get(fmt.Sprintf("k%d", c)); !ok || string(v) != "v" {
 				return false
 			}
 		}
-		v, ok := lc.apps[0].Get("shared")
+		v, ok := store.Get("shared")
 		return ok && kvstore.Counter(v) == 2*clients
 	}
 	deadline := time.Now().Add(15 * time.Second)

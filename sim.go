@@ -22,6 +22,11 @@ type SimConfig struct {
 	ReplicaRegions []Region
 	// Primary is the primary/leader for the primary-based protocols.
 	Primary ReplicaID
+	// NewApp builds one application instance per replica — the replicated
+	// state machine under test. Nil deploys the reference key-value store
+	// (NewKVStore); the EZBFT protocol requires the application to
+	// implement SpeculativeApplication.
+	NewApp ApplicationFactory
 	// ClientsPerRegion places this many closed-loop clients in every
 	// region (default 1).
 	ClientsPerRegion int
@@ -91,6 +96,9 @@ func NewSimCluster(cfg SimConfig) (*SimCluster, error) {
 		BatchSize:      cfg.BatchSize,
 		BatchDelay:     cfg.BatchDelay,
 	}
+	if cfg.NewApp != nil {
+		spec.NewApp = func() types.Application { return cfg.NewApp() }
+	}
 	for _, region := range cfg.ReplicaRegions {
 		spec.Clients = append(spec.Clients, bench.ClientGroup{
 			Region: region,
@@ -150,6 +158,9 @@ func (s *SimCluster) Summaries() []RegionSummary {
 
 // Completed returns the total number of completed requests.
 func (s *SimCluster) Completed() int { return s.cluster.Collector.Total() }
+
+// App returns replica i's application instance, for inspection.
+func (s *SimCluster) App(i int) Application { return s.cluster.Apps[i] }
 
 // StateDigests returns each replica's application state digest; equal
 // digests demonstrate convergence.

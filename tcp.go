@@ -1,0 +1,236 @@
+package ezbft
+
+import (
+	"fmt"
+	"time"
+
+	"ezbft/internal/auth"
+	"ezbft/internal/codec"
+	"ezbft/internal/engine"
+	"ezbft/internal/transport"
+	"ezbft/internal/types"
+)
+
+// TCPReplicaConfig describes one replica of a TCP deployment. All replicas
+// of a cluster must share N, Secret, Protocol, and batching settings.
+type TCPReplicaConfig struct {
+	// Protocol selects the consensus protocol (default EZBFT).
+	Protocol Protocol
+	// ID is this replica's identifier in [0, N).
+	ID ReplicaID
+	// N is the cluster size (3f+1; default 4).
+	N int
+	// Primary is the initial primary/leader for primary-based protocols.
+	Primary ReplicaID
+	// Listen is the TCP listen address (e.g. ":7000", or "127.0.0.1:0"
+	// for an ephemeral port — read it back with Addr).
+	Listen string
+	// Peers maps replica IDs to host:port addresses. Addresses may also be
+	// registered later with SetPeer (ephemeral-port clusters exchange them
+	// after startup).
+	Peers map[ReplicaID]string
+	// Secret is the cluster's shared HMAC key material (required).
+	Secret []byte
+	// NewApp builds the replica's application (nil = the reference
+	// key-value store). The EZBFT protocol requires the application to
+	// implement SpeculativeApplication.
+	NewApp ApplicationFactory
+	// BatchSize enables leader-side request batching (0 or 1 = unbatched).
+	BatchSize int
+	// BatchDelay bounds how long an incomplete batch waits before
+	// flushing (0 = the protocol default).
+	BatchDelay time.Duration
+	// VerifyWorkers sizes the inbound signature-verification worker pool
+	// (0 = GOMAXPROCS).
+	VerifyWorkers int
+}
+
+// TCPReplica is one running replica of a TCP deployment.
+type TCPReplica struct {
+	eng  engine.Engine
+	app  Application
+	node *transport.LiveNode
+	peer *transport.TCPPeer
+	pool *transport.VerifyPool
+}
+
+// StartTCPReplica builds and starts one replica serving its application
+// over TCP. The replica runs until Close.
+func StartTCPReplica(cfg TCPReplicaConfig) (*TCPReplica, error) {
+	if cfg.Protocol == "" {
+		cfg.Protocol = EZBFT
+	}
+	eng, err := engine.Lookup(cfg.Protocol)
+	if err != nil {
+		return nil, fmt.Errorf("ezbft: %w", err)
+	}
+	if cfg.N == 0 {
+		cfg.N = 4
+	}
+	if len(cfg.Secret) == 0 {
+		return nil, fmt.Errorf("ezbft: TCP deployments require a shared secret")
+	}
+	if cfg.NewApp == nil {
+		cfg.NewApp = NewKVStore
+	}
+	if cfg.Listen == "" {
+		cfg.Listen = "127.0.0.1:0"
+	}
+
+	app := cfg.NewApp()
+	ring := auth.NewHMACKeyring(cfg.Secret)
+	a := ring.ForNode(types.ReplicaNode(cfg.ID))
+	rep, err := eng.NewReplica(engine.ReplicaOptions{
+		Self:       cfg.ID,
+		N:          cfg.N,
+		App:        app,
+		Auth:       a,
+		Primary:    cfg.Primary,
+		BatchSize:  cfg.BatchSize,
+		BatchDelay: cfg.BatchDelay,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	addrs := make(map[types.NodeID]string, len(cfg.Peers))
+	for id, addr := range cfg.Peers {
+		addrs[types.ReplicaNode(id)] = addr
+	}
+	node := transport.NewLiveNode(rep, nil, int64(cfg.ID)+1)
+	// Inbound ordering frames (SPECORDER / PRE-PREPARE / ORDERREQ /
+	// PROPOSE batches) have their signatures verified on a worker pool in
+	// parallel before entering the single-threaded process loop.
+	pool := transport.NewVerifyPool(cfg.VerifyWorkers, eng.InboundVerifier(a, cfg.N),
+		func(from types.NodeID, msg codec.Message) { node.Deliver(from, msg) })
+	peer, err := transport.NewTCPPeer(types.ReplicaNode(cfg.ID), cfg.Listen, addrs, pool.Submit)
+	if err != nil {
+		pool.Close()
+		return nil, err
+	}
+	node.SetSender(peer)
+	node.Start()
+	return &TCPReplica{eng: eng, app: app, node: node, peer: peer, pool: pool}, nil
+}
+
+// Addr returns the replica's listener address (useful with ":0" listeners).
+func (r *TCPReplica) Addr() string { return r.peer.Addr() }
+
+// Protocol returns the replica's consensus protocol.
+func (r *TCPReplica) Protocol() Protocol { return r.eng.Protocol() }
+
+// SetPeer registers (or updates) another replica's address; ephemeral-port
+// clusters exchange addresses with it after every replica has started.
+func (r *TCPReplica) SetPeer(id ReplicaID, addr string) {
+	r.peer.SetAddr(types.ReplicaNode(id), addr)
+}
+
+// App returns the replica's application instance, for inspection.
+func (r *TCPReplica) App() Application { return r.app }
+
+// StateDigest returns the replica's application state digest.
+func (r *TCPReplica) StateDigest() string { return r.app.Digest().String() }
+
+// Close stops the replica and its transport.
+func (r *TCPReplica) Close() error {
+	r.node.Stop()
+	err := r.peer.Close()
+	r.pool.Close()
+	return err
+}
+
+// TCPClientConfig describes one client of a TCP deployment.
+type TCPClientConfig struct {
+	// Protocol selects the consensus protocol (default EZBFT; must match
+	// the replicas).
+	Protocol Protocol
+	// ID is the client's identifier; concurrent clients of one cluster
+	// must use distinct IDs.
+	ID ClientID
+	// N is the cluster size (default 4).
+	N int
+	// Nearest is the replica the client submits to — its closest replica
+	// under ezBFT, the primary under the primary-based protocols.
+	Nearest ReplicaID
+	// Replicas maps replica IDs to host:port addresses (required).
+	Replicas map[ReplicaID]string
+	// Secret is the cluster's shared HMAC key material (required).
+	Secret []byte
+	// Listen is the client's own listen address (default an ephemeral
+	// loopback port).
+	Listen string
+	// LatencyBound tunes protocol timeouts; it should exceed the largest
+	// round trip in the deployment (default 500ms).
+	LatencyBound time.Duration
+	// OnConnectError observes pre-registration failures: NewTCPClient
+	// dials every replica so replies can ride the client's own
+	// connections, and an unreachable replica is tolerated (up to f may
+	// be down) but worth surfacing. Nil ignores the failures.
+	OnConnectError func(ReplicaID, error)
+}
+
+// NewTCPClient connects a pipelined, context-aware Client to a TCP
+// deployment. It pre-registers with every reachable replica so replies
+// ride the client's own connections (best-effort: up to f replicas may be
+// down). Close releases the client's connections; replicas stay up.
+func NewTCPClient(cfg TCPClientConfig) (*Client, error) {
+	if cfg.Protocol == "" {
+		cfg.Protocol = EZBFT
+	}
+	eng, err := engine.Lookup(cfg.Protocol)
+	if err != nil {
+		return nil, fmt.Errorf("ezbft: %w", err)
+	}
+	if cfg.N == 0 {
+		cfg.N = 4
+	}
+	if len(cfg.Secret) == 0 {
+		return nil, fmt.Errorf("ezbft: TCP deployments require a shared secret")
+	}
+	if len(cfg.Replicas) == 0 {
+		return nil, fmt.Errorf("ezbft: TCP client needs replica addresses")
+	}
+	if cfg.Listen == "" {
+		cfg.Listen = "127.0.0.1:0"
+	}
+	if cfg.LatencyBound <= 0 {
+		cfg.LatencyBound = 500 * time.Millisecond
+	}
+
+	ring := auth.NewHMACKeyring(cfg.Secret)
+	bridge := newFutureBridge()
+	inner, err := eng.NewClient(engine.ClientOptions{
+		ID: cfg.ID, N: cfg.N,
+		Nearest: cfg.Nearest, Primary: cfg.Nearest,
+		Auth:   ring.ForNode(types.ClientNode(cfg.ID)),
+		Driver: bridge,
+
+		LatencyBound: cfg.LatencyBound,
+	})
+	if err != nil {
+		return nil, err
+	}
+	addrs := make(map[types.NodeID]string, len(cfg.Replicas))
+	for id, addr := range cfg.Replicas {
+		addrs[types.ReplicaNode(id)] = addr
+	}
+	node := transport.NewLiveNode(inner, nil, int64(cfg.ID)+1000)
+	peer, err := transport.NewTCPPeer(types.ClientNode(cfg.ID), cfg.Listen, addrs,
+		func(from types.NodeID, msg codec.Message) { node.Deliver(from, msg) })
+	if err != nil {
+		return nil, err
+	}
+	// Pre-register with every replica so all of them can answer directly
+	// (replies ride the client's own connections). Best-effort: up to f
+	// replicas may be down and the protocols tolerate the lost replies, so
+	// an unreachable replica must not fail client construction — but the
+	// failure is reported through OnConnectError so misconfigured
+	// addresses stay observable.
+	for rid := range addrs {
+		if err := peer.Connect(rid); err != nil && cfg.OnConnectError != nil {
+			cfg.OnConnectError(rid.Replica(), err)
+		}
+	}
+	node.SetSender(peer)
+	return newClient(node, inner, bridge, func() { _ = peer.Close() }), nil
+}
