@@ -5,10 +5,18 @@
 // ezBFT's owner-side batching against the baselines' primary-side batching
 // — so high-load comparisons stay apples-to-apples.
 //
+// The `crypto` experiment is different: it runs wall-clock on the live
+// in-process mesh with real signatures, sweeping authentication scheme ×
+// transport-side pre-verification × the shared verified-signature cache at
+// batch size 1 for all four protocols. It is not part of `-e all` (the
+// simulated artifacts); run it explicitly, optionally with `-json` to
+// write the machine-readable snapshot (BENCH_crypto.json).
+//
 // Usage:
 //
-//	ezbft-bench [-e table1|table2|fig4|fig5a|fig5b|fig6|fig7|ablation|batch|all]
+//	ezbft-bench [-e table1|table2|fig4|fig5a|fig5b|fig6|fig7|ablation|batch|all|crypto]
 //	            [-duration 30s] [-warmup 2s] [-clients 3] [-seed 1]
+//	            [-json out.json]
 package main
 
 import (
@@ -29,11 +37,12 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("ezbft-bench", flag.ContinueOnError)
-	experiment := fs.String("e", "all", "experiment: table1, table2, fig4, fig5a, fig5b, fig6, fig7, ablation, batch, or all")
-	duration := fs.Duration("duration", 30*time.Second, "simulated measurement window")
+	experiment := fs.String("e", "all", "experiment: table1, table2, fig4, fig5a, fig5b, fig6, fig7, ablation, batch, crypto, or all (crypto runs only when named)")
+	duration := fs.Duration("duration", 30*time.Second, "simulated measurement window (crypto: wall-clock, capped at 5s)")
 	warmup := fs.Duration("warmup", 2*time.Second, "simulated warmup (discarded)")
 	clients := fs.Int("clients", 3, "closed-loop clients per region (latency experiments)")
 	seed := fs.Int64("seed", 1, "simulation seed")
+	jsonOut := fs.String("json", "", "also write the crypto sweep result as JSON to this path")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -42,6 +51,38 @@ func run(args []string) error {
 		Warmup:           *warmup,
 		ClientsPerRegion: *clients,
 		Seed:             *seed,
+	}
+
+	if *experiment == "crypto" {
+		// The crypto sweep runs wall-clock; only explicitly set windows
+		// override its own (much shorter) defaults — the simulated
+		// experiments' 30s/2s flag defaults would stretch it to minutes.
+		pc := p
+		explicit := map[string]bool{}
+		fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+		if !explicit["duration"] {
+			pc.Duration = 0
+		}
+		if !explicit["warmup"] {
+			pc.Warmup = 0
+		}
+		start := time.Now()
+		res, err := bench.CryptoSweep(pc)
+		if err != nil {
+			return fmt.Errorf("crypto: %w", err)
+		}
+		fmt.Println(res.Render())
+		fmt.Printf("(crypto measured in %.1fs wall time)\n\n", time.Since(start).Seconds())
+		if *jsonOut != "" {
+			blob, err := res.WriteJSON()
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(*jsonOut, append(blob, '\n'), 0o644); err != nil {
+				return err
+			}
+		}
+		return nil
 	}
 
 	type renderer interface{ Render() string }

@@ -255,6 +255,7 @@ type Provider struct {
 	scheme Scheme
 	hmac   *HMACKeyring
 	ecdsa  *ECDSAKeyring
+	cache  *VerifyCache
 }
 
 // NewProvider builds a provider for the given scheme covering the given
@@ -284,8 +285,31 @@ func NewProvider(scheme Scheme, nodes []types.NodeID) (*Provider, error) {
 // Scheme returns the provider's algorithm.
 func (p *Provider) Scheme() Scheme { return p.scheme }
 
+// UseCache makes every authenticator the provider hands out share one
+// verified-signature cache (capacity <= 0 selects DefaultCacheCapacity).
+// All nodes of a provider already share key material, so a shared memo is
+// sound: a broadcast frame is then verified once for the whole in-process
+// cluster instead of once per recipient. Call before ForNode.
+func (p *Provider) UseCache(capacity int) *VerifyCache {
+	if p.cache == nil {
+		p.cache = NewVerifyCache(capacity)
+	}
+	return p.cache
+}
+
 // ForNode returns the authenticator a node should use.
 func (p *Provider) ForNode(n types.NodeID) (Authenticator, error) {
+	a, err := p.forNode(n)
+	if err != nil {
+		return nil, err
+	}
+	if p.cache != nil {
+		a = Cached(a, n, p.cache)
+	}
+	return a, nil
+}
+
+func (p *Provider) forNode(n types.NodeID) (Authenticator, error) {
 	switch p.scheme {
 	case SchemeNoop:
 		return Noop{}, nil

@@ -128,6 +128,8 @@ type Spec struct {
 	// BatchDelay bounds how long an incomplete batch waits before
 	// flushing (0 = the protocol default).
 	BatchDelay time.Duration
+	// BatchAdaptive enables adaptive batch sizing at the ordering replicas.
+	BatchAdaptive bool
 	// NewApp builds one application instance per replica (nil = the
 	// reference key-value store). ezBFT requires a
 	// types.SpeculativeApplication.
@@ -233,6 +235,7 @@ func Build(spec Spec) (*Cluster, error) {
 			CheckpointInterval: spec.CheckpointInterval,
 			BatchSize:          spec.BatchSize,
 			BatchDelay:         spec.BatchDelay,
+			BatchAdaptive:      spec.BatchAdaptive,
 			Mute:               spec.Mute[rid],
 		})
 		if err != nil {

@@ -1,0 +1,249 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"ezbft/internal/auth"
+	"ezbft/internal/codec"
+	"ezbft/internal/engine"
+	"ezbft/internal/kvstore"
+	"ezbft/internal/metrics"
+	"ezbft/internal/transport"
+	"ezbft/internal/types"
+	"ezbft/internal/workload"
+)
+
+// The crypto ablation runs wall-clock time on the live in-process mesh —
+// real signatures, real goroutines — so its windows are far shorter than
+// the simulated experiments' virtual windows.
+const (
+	defaultCryptoDuration = 1500 * time.Millisecond
+	defaultCryptoWarmup   = 300 * time.Millisecond
+	cryptoClientsPerSite  = 3
+)
+
+// CryptoVariant names one point of the pre-verify × cache plane.
+type CryptoVariant string
+
+// The four variants: the PR-3 baseline (in-loop verification, no memo),
+// each lever alone, and both together.
+const (
+	VariantBaseline CryptoVariant = "baseline"
+	VariantPreVer   CryptoVariant = "preverify"
+	VariantCache    CryptoVariant = "cache"
+	VariantFull     CryptoVariant = "preverify+cache"
+)
+
+// CryptoVariants is the sweep order.
+var CryptoVariants = []CryptoVariant{VariantBaseline, VariantPreVer, VariantCache, VariantFull}
+
+// CryptoSchemes is the authentication-scheme sweep order.
+var CryptoSchemes = []auth.Scheme{auth.SchemeHMAC, auth.SchemeECDSA}
+
+// CryptoSweepResult holds committed throughput (requests/second) per
+// protocol × scheme × variant, measured wall-clock on the live in-process
+// mesh with closed-loop clients at every replica.
+type CryptoSweepResult struct {
+	// Duration is the per-configuration measurement window.
+	Duration time.Duration `json:"duration_ns"`
+	// Clients is the total closed-loop client count per run.
+	Clients int `json:"clients"`
+	// GOMAXPROCS records the host parallelism the numbers were taken at.
+	GOMAXPROCS int `json:"gomaxprocs"`
+	// Throughput[protocol][scheme][variant] in requests/second.
+	Throughput map[Protocol]map[string]map[CryptoVariant]float64 `json:"throughput_req_per_s"`
+}
+
+// CryptoSweep measures what the parallel crypto pipeline buys on the live
+// substrate: for every protocol and authentication scheme it compares the
+// PR-3 baseline (all signature verification inline on the process loops)
+// against transport-side pre-verification, the shared verified-signature
+// cache, and both combined — all at batch size 1, so the win is pure
+// crypto-pipeline, not batching. p.Duration/p.Warmup override the
+// wall-clock windows (zero keeps the crypto defaults); values above 5s
+// are capped there — the sweep runs 32 configurations back to back.
+func CryptoSweep(p Params) (*CryptoSweepResult, error) {
+	const maxWindow = 5 * time.Second
+	duration, warmup := defaultCryptoDuration, defaultCryptoWarmup
+	if p.Duration > 0 {
+		duration = min(p.Duration, maxWindow)
+	}
+	if p.Warmup > 0 {
+		warmup = min(p.Warmup, maxWindow)
+	}
+	const n = 4
+	res := &CryptoSweepResult{
+		Duration:   duration,
+		Clients:    n * cryptoClientsPerSite,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Throughput: make(map[Protocol]map[string]map[CryptoVariant]float64, len(Protocols)),
+	}
+	for _, proto := range Protocols {
+		res.Throughput[proto] = make(map[string]map[CryptoVariant]float64, len(CryptoSchemes))
+		for _, scheme := range CryptoSchemes {
+			byVariant := make(map[CryptoVariant]float64, len(CryptoVariants))
+			for _, variant := range CryptoVariants {
+				tp, err := cryptoThroughput(proto, scheme, variant, n, duration, warmup)
+				if err != nil {
+					return nil, fmt.Errorf("crypto %s/%s/%s: %w", proto, scheme, variant, err)
+				}
+				byVariant[variant] = tp
+			}
+			res.Throughput[proto][scheme.String()] = byVariant
+		}
+	}
+	return res, nil
+}
+
+// countRecorder counts completions across concurrently running client
+// processes (unlike metrics.Collector, which is simulator-single-threaded).
+type countRecorder struct{ n atomic.Uint64 }
+
+func (c *countRecorder) Record(types.ClientID, workload.Completion) { c.n.Add(1) }
+
+// cryptoThroughput runs one live-mesh configuration and returns committed
+// requests/second over the measurement window.
+func cryptoThroughput(proto Protocol, scheme auth.Scheme, variant CryptoVariant, n int, duration, warmup time.Duration) (float64, error) {
+	eng, err := engine.Lookup(proto)
+	if err != nil {
+		return 0, err
+	}
+	preVerify := variant == VariantPreVer || variant == VariantFull
+	useCache := variant == VariantCache || variant == VariantFull
+
+	nClients := n * cryptoClientsPerSite
+	ids := make([]types.NodeID, 0, n+nClients)
+	for i := 0; i < n; i++ {
+		ids = append(ids, types.ReplicaNode(types.ReplicaID(i)))
+	}
+	for i := 0; i < nClients; i++ {
+		ids = append(ids, types.ClientNode(types.ClientID(i)))
+	}
+	provider, err := auth.NewProvider(scheme, ids)
+	if err != nil {
+		return 0, err
+	}
+	if useCache {
+		provider.UseCache(0)
+	}
+
+	mesh := transport.NewMesh(0)
+	var (
+		nodes []*transport.LiveNode
+		pools []*transport.VerifyPool
+	)
+	attach := func(node *transport.LiveNode, a auth.Authenticator) {
+		if !preVerify {
+			mesh.Attach(node)
+			return
+		}
+		pool := transport.NewVerifyPool(0, eng.InboundVerifier(a, n),
+			func(from types.NodeID, msg codec.Message) { node.Deliver(from, msg) })
+		mesh.AttachPool(node, pool)
+		pools = append(pools, pool)
+	}
+
+	for i := 0; i < n; i++ {
+		rid := types.ReplicaID(i)
+		a, err := provider.ForNode(types.ReplicaNode(rid))
+		if err != nil {
+			return 0, err
+		}
+		rep, err := eng.NewReplica(engine.ReplicaOptions{
+			Self: rid, N: n, App: kvstore.New(), Auth: a,
+			Primary:      0,
+			LatencyBound: 200 * time.Millisecond,
+		})
+		if err != nil {
+			return 0, err
+		}
+		node := transport.NewLiveNode(rep, mesh, int64(i)+1)
+		attach(node, a)
+		nodes = append(nodes, node)
+	}
+
+	counter := &countRecorder{}
+	for i := 0; i < nClients; i++ {
+		cid := types.ClientID(i)
+		a, err := provider.ForNode(types.ClientNode(cid))
+		if err != nil {
+			return 0, err
+		}
+		c, err := eng.NewClient(engine.ClientOptions{
+			ID: cid, N: n,
+			Nearest: types.ReplicaID(i % n), Primary: 0,
+			Auth: a,
+			Driver: &workload.ClosedLoop{
+				Gen:      &workload.KVGenerator{Contention: 0},
+				Recorder: counter,
+			},
+			LatencyBound: 200 * time.Millisecond,
+		})
+		if err != nil {
+			return 0, err
+		}
+		node := transport.NewLiveNode(c, mesh, int64(i)+1000)
+		attach(node, a)
+		nodes = append(nodes, node)
+	}
+
+	for _, node := range nodes {
+		node.Start()
+	}
+	time.Sleep(warmup)
+	before := counter.n.Load()
+	time.Sleep(duration)
+	completed := counter.n.Load() - before
+	for _, node := range nodes {
+		node.Stop()
+	}
+	for _, pool := range pools {
+		pool.Close()
+	}
+	return float64(completed) / duration.Seconds(), nil
+}
+
+// Render formats the sweep: one section per protocol × scheme with
+// speedups over that pair's baseline variant.
+func (r *CryptoSweepResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b,
+		"Crypto pipeline — committed throughput vs verification strategy (live mesh, batch=1, %d closed-loop clients, GOMAXPROCS=%d)\n",
+		r.Clients, r.GOMAXPROCS)
+	header := []string{"variant", "throughput (req/s)", "speedup vs baseline"}
+	for _, proto := range Protocols {
+		byScheme := r.Throughput[proto]
+		if byScheme == nil {
+			continue
+		}
+		for _, scheme := range CryptoSchemes {
+			byVariant := byScheme[scheme.String()]
+			if byVariant == nil {
+				continue
+			}
+			fmt.Fprintf(&b, "\n[%s / %s]\n", proto, scheme)
+			base := byVariant[VariantBaseline]
+			var rows [][]string
+			for _, variant := range CryptoVariants {
+				tp := byVariant[variant]
+				speedup := "-"
+				if base > 0 {
+					speedup = fmt.Sprintf("%.2fx", tp/base)
+				}
+				rows = append(rows, []string{string(variant), fmt.Sprintf("%8.0f", tp), speedup})
+			}
+			b.WriteString(metrics.Table(header, rows))
+		}
+	}
+	return b.String()
+}
+
+// WriteJSON serializes the result for the checked-in benchmark snapshot.
+func (r *CryptoSweepResult) WriteJSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}

@@ -1,0 +1,51 @@
+package bench
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"ezbft/internal/auth"
+)
+
+// TestCryptoThroughputSmoke: one live-mesh configuration per lever — the
+// baseline, pre-verification, and the signature cache — commits requests
+// under ezBFT with real HMAC signatures. Wall-clock windows are kept tiny;
+// this guards wiring (pools, marked skips, shared cache), not numbers.
+func TestCryptoThroughputSmoke(t *testing.T) {
+	for _, variant := range CryptoVariants {
+		tp, err := cryptoThroughput(EZBFT, auth.SchemeHMAC, variant, 4, 250*time.Millisecond, 100*time.Millisecond)
+		if err != nil {
+			t.Fatalf("%s: %v", variant, err)
+		}
+		if tp <= 0 {
+			t.Fatalf("%s: no committed throughput", variant)
+		}
+	}
+}
+
+// TestCryptoSweepResultJSON: the checked-in snapshot format round-trips.
+func TestCryptoSweepResultJSON(t *testing.T) {
+	res := &CryptoSweepResult{
+		Duration:   time.Second,
+		Clients:    12,
+		GOMAXPROCS: 1,
+		Throughput: map[Protocol]map[string]map[CryptoVariant]float64{
+			EZBFT: {"ecdsa": {VariantBaseline: 100, VariantFull: 250}},
+		},
+	}
+	blob, err := res.WriteJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back CryptoSweepResult
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Throughput[EZBFT]["ecdsa"][VariantFull] != 250 {
+		t.Fatalf("round-trip lost data: %+v", back)
+	}
+	if back.Render() == "" {
+		t.Fatal("empty render")
+	}
+}

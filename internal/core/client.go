@@ -145,6 +145,9 @@ type Client struct {
 	nextTS  uint64
 	pending map[uint64]*pendingReq
 	stats   ClientStats
+
+	// replicas lists every replica's address, precomputed for broadcasts.
+	replicas []types.NodeID
 }
 
 var (
@@ -163,12 +166,16 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	return &Client{
+	c := &Client{
 		cfg:     cfg,
 		n:       cfg.N,
 		f:       F(cfg.N),
 		pending: make(map[uint64]*pendingReq),
-	}, nil
+	}
+	for i := 0; i < cfg.N; i++ {
+		c.replicas = append(c.replicas, types.ReplicaNode(types.ReplicaID(i)))
+	}
+	return c, nil
 }
 
 // ID implements proc.Process.
@@ -256,9 +263,11 @@ func (c *Client) handleSpecReply(ctx proc.Context, m *SpecReply) {
 	if !ok || m.Client != c.cfg.ID {
 		return
 	}
-	c.cfg.Costs.ChargeVerify(ctx, 1)
-	if err := verifyBody(c.cfg.Auth, types.ReplicaNode(m.Replica), m, m.Sig); err != nil {
-		return
+	if !m.SigVerified() {
+		c.cfg.Costs.ChargeVerify(ctx, 1)
+		if err := verifyBody(c.cfg.Auth, types.ReplicaNode(m.Replica), m, m.Sig); err != nil {
+			return
+		}
 	}
 	if m.CmdDigest != p.digest {
 		return
@@ -316,19 +325,18 @@ func (c *Client) checkPOM(ctx proc.Context, p *pendingReq, m *SpecReply) {
 				continue // the earlier SPECORDER does not order this request
 			}
 			// Same owner ordered the same request at two instances; verify
-			// both signatures before accusing.
+			// both signatures before accusing (pre-marked ones are already
+			// proven).
 			owner := m.SO.Owner.OwnerOf(c.n)
 			c.cfg.Costs.ChargeVerify(ctx, 2)
-			if verifyBody(c.cfg.Auth, types.ReplicaNode(owner), m.SO, m.SO.Sig) != nil {
+			if !m.SO.SigVerified() && verifyBody(c.cfg.Auth, types.ReplicaNode(owner), m.SO, m.SO.Sig) != nil {
 				return
 			}
-			if verifyBody(c.cfg.Auth, types.ReplicaNode(owner), prev.SO, prev.SO.Sig) != nil {
+			if !prev.SO.SigVerified() && verifyBody(c.cfg.Auth, types.ReplicaNode(owner), prev.SO, prev.SO.Sig) != nil {
 				return
 			}
 			pom := &POM{Suspect: owner, Owner: m.SO.Owner, Client: c.cfg.ID, A: prev.SO, B: m.SO}
-			for i := 0; i < c.n; i++ {
-				ctx.Send(types.ReplicaNode(types.ReplicaID(i)), pom)
-			}
+			proc.Broadcast(ctx, c.replicas, pom)
 			p.pomSent = true
 			c.stats.POMsSent++
 			return
@@ -363,17 +371,42 @@ func (c *Client) lowestReplica(group map[types.ReplicaID]*SpecReply) types.Repli
 // replicas use only the first element's embedded proposal — bound to the
 // signed SORef every element carries — so the extra copies are pure wire
 // weight. Unbatched replies keep their SPECORDERs; their layout predates
-// slimming and stays byte-identical.
+// slimming and stays byte-identical. Copies go through cloneSlim, not a
+// plain struct copy: after a retried commit the same reply values are
+// already shared with every replica's verifier pool, whose atomic marks a
+// plain copy would race with.
 func slimCert(cert []*SpecReply) []*SpecReply {
 	for i, sr := range cert {
 		if i == 0 || !sr.Batched || sr.SO == nil {
 			continue
 		}
-		cp := *sr
-		cp.SO = nil
-		cert[i] = &cp
+		cert[i] = sr.cloneSlim()
 	}
 	return cert
+}
+
+// cloneSlim copies a reply without its embedded SPECORDER, re-reading the
+// Verified flag atomically instead of plain-copying it.
+func (m *SpecReply) cloneSlim() *SpecReply {
+	cp := &SpecReply{
+		Owner:     m.Owner,
+		Inst:      m.Inst,
+		Deps:      m.Deps,
+		Seq:       m.Seq,
+		CmdDigest: m.CmdDigest,
+		Client:    m.Client,
+		Timestamp: m.Timestamp,
+		Replica:   m.Replica,
+		Result:    m.Result,
+		Batched:   m.Batched,
+		BatchIdx:  m.BatchIdx,
+		SORef:     m.SORef,
+		Sig:       m.Sig,
+	}
+	if m.SigVerified() {
+		cp.MarkSigVerified()
+	}
+	return cp
 }
 
 // finishFast completes a request on the fast path: return to the
@@ -384,9 +417,7 @@ func (c *Client) finishFast(ctx proc.Context, ts uint64, p *pendingReq, inst typ
 		cert = append(cert, group[rid])
 	}
 	cf := &CommitFast{Client: c.cfg.ID, Inst: inst, Cert: slimCert(cert)}
-	for i := 0; i < c.n; i++ {
-		ctx.Send(types.ReplicaNode(types.ReplicaID(i)), cf)
-	}
+	proc.Broadcast(ctx, c.replicas, cf)
 	c.stats.FastDecisions++
 	c.finish(ctx, ts, p, group[c.lowestReplica(group)].Result, true)
 }
@@ -449,9 +480,7 @@ func (c *Client) trySlowPath(ctx proc.Context, ts uint64, p *pendingReq) bool {
 	}
 	c.cfg.Costs.ChargeSign(ctx)
 	commit.Sig = signBody(c.cfg.Auth, commit)
-	for i := 0; i < c.n; i++ {
-		ctx.Send(types.ReplicaNode(types.ReplicaID(i)), commit)
-	}
+	proc.Broadcast(ctx, c.replicas, commit)
 	p.commitSent = true
 	p.commitInst = inst
 	c.stats.SlowDecisions++
@@ -497,9 +526,11 @@ func (c *Client) handleCommitReply(ctx proc.Context, m *CommitReply) {
 	if p == nil {
 		return
 	}
-	c.cfg.Costs.ChargeVerify(ctx, 1)
-	if err := verifyBody(c.cfg.Auth, types.ReplicaNode(m.Replica), m, m.Sig); err != nil {
-		return
+	if !m.SigVerified() {
+		c.cfg.Costs.ChargeVerify(ctx, 1)
+		if err := verifyBody(c.cfg.Auth, types.ReplicaNode(m.Replica), m, m.Sig); err != nil {
+			return
+		}
 	}
 	if m.CmdDigest != p.digest {
 		return
@@ -537,9 +568,7 @@ func (c *Client) retry(ctx proc.Context, ts uint64, p *pendingReq) {
 	retryReq := &Request{Cmd: p.cmd, Orig: c.cfg.Leader}
 	c.cfg.Costs.ChargeSign(ctx)
 	retryReq.Sig = signBody(c.cfg.Auth, retryReq)
-	for i := 0; i < c.n; i++ {
-		ctx.Send(types.ReplicaNode(types.ReplicaID(i)), retryReq)
-	}
+	proc.Broadcast(ctx, c.replicas, retryReq)
 	// Additionally rotate to the next replica as a fresh command-leader so
 	// the request gets ordered even if the original leader never did. At
 	// most one replica adopts per retry round: orphan duplicates would

@@ -57,6 +57,10 @@ type ReplicaConfig struct {
 	// before flushing (default DefaultBatchDelay; only used when
 	// BatchSize > 1).
 	BatchDelay time.Duration
+	// BatchAdaptive enables adaptive batch sizing (see
+	// engine.Batcher.SetAdaptive): idle leaders flush immediately,
+	// saturated ones stretch toward BatchDelay.
+	BatchAdaptive bool
 	// Byzantine, when non-nil, makes this replica misbehave (tests and
 	// fault-injection experiments only).
 	Byzantine *ByzantineBehavior

@@ -29,8 +29,9 @@ func (ezEngine) NewReplica(o engine.ReplicaOptions) (proc.Process, error) {
 	}
 	cfg := ReplicaConfig{
 		Self: o.Self, N: o.N, App: app, Auth: o.Auth, Costs: o.Costs,
-		BatchSize:  o.BatchSize,
-		BatchDelay: o.BatchDelay,
+		BatchSize:     o.BatchSize,
+		BatchDelay:    o.BatchDelay,
+		BatchAdaptive: o.BatchAdaptive,
 	}
 	if o.LatencyBound > 0 {
 		cfg.ResendTimeout = 2 * o.LatencyBound
@@ -61,10 +62,12 @@ func (ezEngine) NewClient(o engine.ClientOptions) (engine.Client, error) {
 	return ezClient{c}, nil
 }
 
-// InboundVerifier implements engine.Engine: SPECORDER batches verify on
-// the transport worker pool.
+// InboundVerifier implements engine.Engine: every signed ezBFT message —
+// SPECORDER batches, REQUESTs, COMMIT/COMMITFAST certificates, SPECREPLY
+// and COMMITREPLY (client-bound), owner-change traffic, and POMs — verifies
+// on the transport worker pool.
 func (ezEngine) InboundVerifier(a auth.Authenticator, n int) func(msg codec.Message) bool {
-	return SpecOrderVerifier(a, n)
+	return InboundVerifier(a, n)
 }
 
 // ezClient adapts *Client to the engine contract.

@@ -1,12 +1,27 @@
 package core
 
 import (
+	"slices"
 	"sort"
 
 	"ezbft/internal/graph"
 	"ezbft/internal/proc"
 	"ezbft/internal/types"
 )
+
+// cmpInstance orders instances for the allocation-free generic sort
+// (sort.Slice boxes its slice argument on every call, which dominated the
+// contended execution pass's garbage).
+func cmpInstance(a, b types.InstanceID) int {
+	switch {
+	case a.Less(b):
+		return -1
+	case b.Less(a):
+		return 1
+	default:
+		return 0
+	}
+}
 
 // tryExecute runs the paper's execution protocol (§IV-B) over every
 // committed-but-unexecuted entry whose dependency closure is fully
@@ -26,18 +41,25 @@ func (r *Replica) tryExecute(ctx proc.Context) {
 	if len(r.pendingExec) == 0 {
 		return
 	}
-	// Deterministic iteration over pending entries.
-	pending := make([]types.InstanceID, 0, len(r.pendingExec))
+	// Deterministic iteration over pending entries. The pass-local scratch
+	// (the sorted pending slice and the blocked set) lives on the replica
+	// and is recycled across passes: under contention tryExecute runs once
+	// per commit arrival over a large backlog, and rebuilding both
+	// allocations every pass dominated the execution path's garbage (see
+	// BenchmarkTryExecuteContended).
+	pending := r.execPending[:0]
 	for inst := range r.pendingExec {
 		pending = append(pending, inst)
 	}
-	sort.Slice(pending, func(i, j int) bool { return pending[i].Less(pending[j]) })
+	slices.SortFunc(pending, cmpInstance)
+	r.execPending = pending[:0]
 
 	// blocked caches instances found unexecutable during this pass, so a
 	// large backlog of entries stuck behind the same dependency is checked
 	// once rather than once per pending entry (contended workloads create
 	// exactly that shape).
-	blocked := make(map[types.InstanceID]bool)
+	blocked := r.execBlocked
+	clear(blocked)
 	executedAny := false
 	for _, inst := range pending {
 		e, ok := r.pendingExec[inst]
@@ -58,7 +80,7 @@ func (r *Replica) tryExecute(ctx proc.Context) {
 			for _, ce := range closure {
 				blocked[ce.inst] = true
 			}
-			sort.Slice(blockers, func(i, j int) bool { return blockers[i].Less(blockers[j]) })
+			slices.SortFunc(blockers, cmpInstance)
 			r.armDepWait(ctx, blockers)
 			continue
 		}
@@ -85,10 +107,21 @@ func (r *Replica) tryExecute(ctx proc.Context) {
 // membership and blocker identity are order-independent, and the execution
 // order is derived deterministically by the dependency graph afterwards.
 // Instances in `blocked` are known-stuck from earlier in the same pass.
+//
+// The traversal scratch (seen set, work stack, closure and blocker slices)
+// is replica-owned and recycled call to call; the returned slices alias it
+// and are only valid until the next depClosure call — both callers consume
+// them immediately.
 func (r *Replica) depClosure(e *entry, blocked map[types.InstanceID]bool) (closure []*entry, blockers []types.InstanceID) {
-	seen := map[types.InstanceID]bool{e.inst: true}
-	stack := []*entry{e}
-	closure = append(closure, e)
+	if r.execSeen == nil {
+		r.execSeen = make(map[types.InstanceID]bool)
+	}
+	seen := r.execSeen
+	clear(seen)
+	seen[e.inst] = true
+	stack := append(r.execStack[:0], e)
+	closure = append(r.execClosure[:0], e)
+	blockers = r.execBlockers[:0]
 	for len(stack) > 0 {
 		cur := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
@@ -116,6 +149,9 @@ func (r *Replica) depClosure(e *entry, blocked map[types.InstanceID]bool) (closu
 			stack = append(stack, de)
 		}
 	}
+	r.execStack = stack[:0]
+	r.execClosure = closure
+	r.execBlockers = blockers
 	return closure, blockers
 }
 

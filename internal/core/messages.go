@@ -79,6 +79,20 @@ type Request struct {
 	Cmd  types.Command
 	Orig types.ReplicaID // noOrig unless this is a retry broadcast
 	Sig  []byte
+
+	codec.Verified // transport-side pre-verification marker; never marshaled
+}
+
+// Clone returns a copy safe to take while other nodes' verifier pools may
+// still be marking the shared original (retry broadcasts hand one decoded
+// Request to every replica on the in-process mesh): the embedded Verified
+// flag is re-read atomically instead of plain-copied.
+func (m *Request) Clone() Request {
+	cp := Request{Cmd: m.Cmd, Orig: m.Orig, Sig: m.Sig}
+	if m.SigVerified() {
+		cp.MarkSigVerified()
+	}
+	return cp
 }
 
 // Tag implements codec.Message.
@@ -127,17 +141,12 @@ type SpecOrder struct {
 	Batch     []Request    // requests 2..k of the batch (nil when unbatched)
 	Sig       []byte       // leader signature over the body (excluding Req's own signature envelope)
 
-	// sigVerified is set by a transport-side verifier pool (see
-	// SpecOrderVerifier) so the process loop skips re-verifying the leader
-	// and embedded client signatures. Never marshaled.
-	sigVerified bool
+	// Verified marks that the leader signature and every embedded client
+	// signature were checked by a transport-side verifier pool (see
+	// InboundVerifier); the replica's single-threaded loop then skips those
+	// checks. The digest-binding check still runs in-loop. Never marshaled.
+	codec.Verified
 }
-
-// MarkSigVerified records that the leader signature and every embedded
-// client signature were already verified (by a transport-side worker
-// pool); the replica's single-threaded loop then skips those checks. The
-// digest-binding check still runs in-loop.
-func (m *SpecOrder) MarkSigVerified() { m.sigVerified = true }
 
 // Tag implements codec.Message.
 func (m *SpecOrder) Tag() uint8 {
@@ -291,6 +300,8 @@ type SpecReply struct {
 	SORef     types.Digest // batch digest of the proposal (batched replies only)
 	SO        *SpecOrder   // the embedded SPECORDER (BatchIdx 0 and unbatched replies)
 	Sig       []byte
+
+	codec.Verified // transport-side pre-verification marker; never marshaled
 }
 
 // Tag implements codec.Message.
@@ -506,6 +517,10 @@ type Commit struct {
 	Seq       types.SeqNumber   // final sequence number
 	Cert      []*SpecReply
 	Sig       []byte
+
+	// Verified marks the client signature and every certificate signature
+	// checked; never marshaled.
+	codec.Verified
 }
 
 // Tag implements codec.Message.
@@ -566,6 +581,8 @@ type CommitReply struct {
 	Replica   types.ReplicaID
 	Result    types.Result
 	Sig       []byte
+
+	codec.Verified // transport-side pre-verification marker; never marshaled
 }
 
 // Tag implements codec.Message.
@@ -636,6 +653,8 @@ type StartOwnerChange struct {
 	Owner   types.OwnerNumber // the owner number being abandoned
 	Replica types.ReplicaID   // sender
 	Sig     []byte
+
+	codec.Verified // transport-side pre-verification marker; never marshaled
 }
 
 // Tag implements codec.Message.
@@ -796,6 +815,10 @@ type OwnerChange struct {
 	Replica  types.ReplicaID // sender
 	History  []HistEntry
 	Sig      []byte
+
+	// Verified marks the sender signature checked (history proofs are
+	// validated selectively in-loop); never marshaled.
+	codec.Verified
 }
 
 // Tag implements codec.Message.
@@ -858,6 +881,10 @@ type NewOwnerMsg struct {
 	Proof       []*OwnerChange  // the f+1 OWNERCHANGE messages collected
 	Safe        []HistEntry     // G: instances to finalize
 	Sig         []byte
+
+	// Verified marks the new owner's signature checked (each proof element
+	// carries its own marker); never marshaled.
+	codec.Verified
 }
 
 // Tag implements codec.Message.
@@ -938,6 +965,10 @@ type POM struct {
 	Owner   types.OwnerNumber
 	Client  types.ClientID
 	A, B    *SpecOrder
+
+	// Verified marks both embedded SPECORDER signatures checked against the
+	// accused owner; never marshaled.
+	codec.Verified
 }
 
 // Tag implements codec.Message.

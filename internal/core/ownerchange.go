@@ -88,11 +88,13 @@ func (r *Replica) handlePOM(ctx proc.Context, m *POM) {
 		r.stats.DroppedInvalid++
 		return
 	}
-	r.cfg.Costs.ChargeVerify(ctx, 2)
-	if verifyBody(r.cfg.Auth, types.ReplicaNode(owner), m.A, m.A.Sig) != nil ||
-		verifyBody(r.cfg.Auth, types.ReplicaNode(owner), m.B, m.B.Sig) != nil {
-		r.stats.DroppedInvalid++
-		return
+	if !m.SigVerified() {
+		r.cfg.Costs.ChargeVerify(ctx, 2)
+		if verifyBody(r.cfg.Auth, types.ReplicaNode(owner), m.A, m.A.Sig) != nil ||
+			verifyBody(r.cfg.Auth, types.ReplicaNode(owner), m.B, m.B.Sig) != nil {
+			r.stats.DroppedInvalid++
+			return
+		}
 	}
 	// Equivocation: the same command ordered at two instances (for batches:
 	// any command shared by both batches), or two different batches signed
@@ -135,10 +137,12 @@ func (r *Replica) handleStartOwnerChange(ctx proc.Context, m *StartOwnerChange) 
 	if m.Owner != r.owners[m.Suspect] {
 		return // stale or future round
 	}
-	r.cfg.Costs.ChargeVerify(ctx, 1)
-	if err := verifyBody(r.cfg.Auth, types.ReplicaNode(m.Replica), m, m.Sig); err != nil {
-		r.stats.DroppedInvalid++
-		return
+	if !m.SigVerified() {
+		r.cfg.Costs.ChargeVerify(ctx, 1)
+		if err := verifyBody(r.cfg.Auth, types.ReplicaNode(m.Replica), m, m.Sig); err != nil {
+			r.stats.DroppedInvalid++
+			return
+		}
 	}
 	r.recordStartVote(ctx, changeKey{m.Suspect, m.Owner}, m.Replica)
 }
@@ -228,10 +232,12 @@ func (r *Replica) handleOwnerChange(ctx proc.Context, m *OwnerChange) {
 	if m.NewOwner.OwnerOf(r.n) != r.cfg.Self || m.NewOwner != r.owners[m.Suspect]+1 {
 		return
 	}
-	r.cfg.Costs.ChargeVerify(ctx, 1)
-	if err := verifyBody(r.cfg.Auth, types.ReplicaNode(m.Replica), m, m.Sig); err != nil {
-		r.stats.DroppedInvalid++
-		return
+	if !m.SigVerified() {
+		r.cfg.Costs.ChargeVerify(ctx, 1)
+		if err := verifyBody(r.cfg.Auth, types.ReplicaNode(m.Replica), m, m.Sig); err != nil {
+			r.stats.DroppedInvalid++
+			return
+		}
 	}
 	r.acceptOwnerChange(ctx, m)
 }
@@ -307,9 +313,13 @@ func (r *Replica) selectSafeHistory(ctx proc.Context, key changeKey, proof []*Ow
 				h.SO != nil && h.SO.Inst == h.Inst && histBoundToSO(&h) {
 				cc := h.ClientCommit
 				r.cfg.Costs.ChargeVerify(ctx, 2)
+				// The Verified mark binds the SPECORDER signature to its own
+				// Owner field; it substitutes for the key.owner check only
+				// when the two owner rounds agree.
 				if cc.Inst == h.Inst &&
-					verifyBody(r.cfg.Auth, types.ClientNode(cc.Client), cc, cc.Sig) == nil &&
-					verifyBody(r.cfg.Auth, types.ReplicaNode(key.owner.OwnerOf(r.n)), h.SO, h.SO.Sig) == nil {
+					(cc.SigVerified() || verifyBody(r.cfg.Auth, types.ClientNode(cc.Client), cc, cc.Sig) == nil) &&
+					((h.SO.Owner == key.owner && h.SO.SigVerified()) ||
+						verifyBody(r.cfg.Auth, types.ReplicaNode(key.owner.OwnerOf(r.n)), h.SO, h.SO.Sig) == nil) {
 					committedSlots[h.Inst.Slot] = true
 					committed = append(committed, HistEntry{
 						Inst: h.Inst, Status: HistCommitted, Cmd: h.Cmd, Batch: h.Batch,
@@ -350,10 +360,12 @@ func (r *Replica) selectSafeHistory(ctx proc.Context, key changeKey, proof []*Ow
 			for _, digest := range sortedDigests(slotClaims) {
 				c := slotClaims[digest]
 				if c.count >= WeakQuorum(r.n) {
-					// Verify one representative SPECORDER signature.
+					// Verify one representative SPECORDER signature. The mark
+					// only substitutes when it binds the same owner round.
 					r.cfg.Costs.ChargeVerify(ctx, 1)
 					owner := key.owner.OwnerOf(r.n)
-					if verifyBody(r.cfg.Auth, types.ReplicaNode(owner), c.sample.SO, c.sample.SO.Sig) == nil {
+					if (c.sample.SO.Owner == key.owner && c.sample.SO.SigVerified()) ||
+						verifyBody(r.cfg.Auth, types.ReplicaNode(owner), c.sample.SO, c.sample.SO.Sig) == nil {
 						chosen = c
 						break
 					}
@@ -389,9 +401,11 @@ func (r *Replica) handleNewOwner(ctx proc.Context, m *NewOwnerMsg) {
 		return
 	}
 	r.cfg.Costs.ChargeVerify(ctx, 1+len(m.Proof))
-	if err := verifyBody(r.cfg.Auth, types.ReplicaNode(m.Replica), m, m.Sig); err != nil {
-		r.stats.DroppedInvalid++
-		return
+	if !m.SigVerified() {
+		if err := verifyBody(r.cfg.Auth, types.ReplicaNode(m.Replica), m, m.Sig); err != nil {
+			r.stats.DroppedInvalid++
+			return
+		}
 	}
 	// The proof must contain 2f+1 valid OWNERCHANGE messages for this round
 	// (see acceptOwnerChange for why 2f+1 rather than the paper's f+1).
@@ -400,7 +414,7 @@ func (r *Replica) handleNewOwner(ctx proc.Context, m *NewOwnerMsg) {
 		if oc.Suspect != m.Suspect || oc.NewOwner != m.NewOwnerNum {
 			continue
 		}
-		if verifyBody(r.cfg.Auth, types.ReplicaNode(oc.Replica), oc, oc.Sig) == nil {
+		if oc.SigVerified() || verifyBody(r.cfg.Auth, types.ReplicaNode(oc.Replica), oc, oc.Sig) == nil {
 			valid[oc.Replica] = true
 		}
 	}

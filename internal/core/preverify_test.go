@@ -1,0 +1,229 @@
+package core
+
+import (
+	"testing"
+
+	"ezbft/internal/auth"
+	"ezbft/internal/codec"
+	"ezbft/internal/kvstore"
+	"ezbft/internal/types"
+)
+
+// pvRig builds the signing material and a fresh replica for equivalence
+// checks between the transport-side pre-verifier and in-loop verification.
+type pvRig struct {
+	t    *testing.T
+	ring *auth.HMACKeyring
+	n    int
+}
+
+func newPVRig(t *testing.T) *pvRig {
+	return &pvRig{t: t, ring: auth.NewHMACKeyring([]byte("preverify-equivalence")), n: 4}
+}
+
+func (r *pvRig) replicaAuth(id types.ReplicaID) auth.Authenticator {
+	return r.ring.ForNode(types.ReplicaNode(id))
+}
+
+func (r *pvRig) clientAuth(id types.ClientID) auth.Authenticator {
+	return r.ring.ForNode(types.ClientNode(id))
+}
+
+func (r *pvRig) freshReplica(self types.ReplicaID) *Replica {
+	rep, err := NewReplica(ReplicaConfig{
+		Self: self, N: r.n, App: kvstore.New(), Auth: r.replicaAuth(self),
+	})
+	if err != nil {
+		r.t.Fatal(err)
+	}
+	return rep
+}
+
+// request builds a signed REQUEST from client 5 for leader 1.
+func (r *pvRig) request(ts uint64) *Request {
+	req := &Request{Cmd: types.Command{Client: 5, Timestamp: ts, Op: types.OpPut, Key: "k", Value: []byte("v")}, Orig: noOrig}
+	req.Sig = signBody(r.clientAuth(5), req)
+	return req
+}
+
+// specOrder builds replica 1's signed first proposal embedding a fresh
+// request.
+func (r *pvRig) specOrder() *SpecOrder {
+	req := r.request(1)
+	so := &SpecOrder{
+		Owner: 1,
+		Inst:  types.InstanceID{Space: 1, Slot: 1},
+		Deps:  types.NewInstanceSet(),
+		Seq:   1,
+		Req:   *req,
+	}
+	so.CmdDigest = BatchDigest(so.CmdDigests())
+	sp := newCmdLog(r.n).space(1)
+	sp.extendHash(so.Inst, so.CmdDigest)
+	so.LogHash = sp.logHash
+	so.Sig = signBody(r.replicaAuth(1), so)
+	return so
+}
+
+// specReply builds `from`'s signed reply for the given proposal.
+func (r *pvRig) specReply(from types.ReplicaID, so *SpecOrder) *SpecReply {
+	sr := &SpecReply{
+		Owner:     so.Owner,
+		Inst:      so.Inst,
+		Deps:      so.Deps.Clone(),
+		Seq:       so.Seq,
+		CmdDigest: so.Req.Cmd.Digest(),
+		Client:    so.Req.Cmd.Client,
+		Timestamp: so.Req.Cmd.Timestamp,
+		Replica:   from,
+		Result:    types.Result{OK: true},
+		SO:        so,
+	}
+	sr.Sig = signBody(r.replicaAuth(from), sr)
+	return sr
+}
+
+// commit builds client 5's signed slow-path COMMIT with a 2f+1 certificate.
+func (r *pvRig) commit() *Commit {
+	so := r.specOrder()
+	cert := []*SpecReply{r.specReply(0, so), r.specReply(1, so), r.specReply(2, so)}
+	c := &Commit{
+		Client:    5,
+		Timestamp: so.Req.Cmd.Timestamp,
+		Inst:      so.Inst,
+		Deps:      so.Deps.Clone(),
+		Seq:       so.Seq,
+		Cert:      cert,
+	}
+	c.Sig = signBody(r.clientAuth(5), c)
+	return c
+}
+
+// startOwnerChange builds replica 2's signed vote against replica 1.
+func (r *pvRig) startOwnerChange() *StartOwnerChange {
+	m := &StartOwnerChange{Suspect: 1, Owner: 1, Replica: 2}
+	m.Sig = signBody(r.replicaAuth(2), m)
+	return m
+}
+
+// pom builds a valid proof of misbehaviour: replica 1 signs the same
+// request at two instances.
+func (r *pvRig) pom() *POM {
+	a := r.specOrder()
+	b := r.specOrder()
+	b.Inst = types.InstanceID{Space: 1, Slot: 2}
+	b.Sig = signBody(r.replicaAuth(1), b)
+	return &POM{Suspect: 1, Owner: 1, Client: 5, A: a, B: b}
+}
+
+// TestCertEmbeddedSpecOrderMarkRequiresClientSigs pins the meaning of the
+// SPECORDER mark: a SPECORDER reached through a commit certificate is only
+// marked when the leader signature AND every embedded client signature
+// verify. A leader-only mark would let a Byzantine owner launder a forged
+// client signature — ship the SPECORDER inside a certificate first (where
+// only its leader signature matters), then broadcast the same shared value
+// as an ordering frame that skips client-signature verification.
+func TestCertEmbeddedSpecOrderMarkRequiresClientSigs(t *testing.T) {
+	rig := newPVRig(t)
+	pred := InboundVerifier(rig.replicaAuth(3), rig.n)
+
+	so := rig.specOrder()
+	so.Req.Sig[0] ^= 0xFF // forge the embedded client signature; the leader signature stays valid
+	sr := rig.specReply(0, so)
+	pred(&CommitFast{Client: 5, Inst: so.Inst, Cert: []*SpecReply{sr}})
+
+	if so.SigVerified() {
+		t.Fatal("certificate pass marked a SPECORDER whose embedded client signature is forged")
+	}
+	if pred(so) {
+		t.Fatal("forged-client-sig SPECORDER accepted as an ordering frame after the certificate pass")
+	}
+}
+
+// TestPreVerifierLoopEquivalence proves the pool path and the in-loop path
+// reject exactly the same corrupted frames: for every case the predicate's
+// verdict matches whether a fresh replica's loop drops the (unmarked)
+// message as invalid, and every predicate-accepted (marked) message drives
+// a second replica to the same stats as the unmarked original.
+func TestPreVerifierLoopEquivalence(t *testing.T) {
+	rig := newPVRig(t)
+
+	cases := []struct {
+		name  string
+		mk    func() codec.Message
+		valid bool
+	}{
+		{"request/valid", func() codec.Message { return rig.request(1) }, true},
+		{"request/bad-client-sig", func() codec.Message {
+			m := rig.request(1)
+			m.Sig[0] ^= 0xFF
+			return m
+		}, false},
+		{"specorder/valid", func() codec.Message { return rig.specOrder() }, true},
+		{"specorder/bad-owner-sig", func() codec.Message {
+			m := rig.specOrder()
+			m.Sig[0] ^= 0xFF
+			return m
+		}, false},
+		{"specorder/bad-embedded-client-sig", func() codec.Message {
+			m := rig.specOrder()
+			m.Req.Sig[0] ^= 0xFF
+			return m
+		}, false},
+		{"commit/valid", func() codec.Message { return rig.commit() }, true},
+		{"commit/bad-client-sig", func() codec.Message {
+			m := rig.commit()
+			m.Sig[0] ^= 0xFF
+			return m
+		}, false},
+		{"commit/bad-cert-sig", func() codec.Message {
+			m := rig.commit()
+			m.Cert[1].Sig[0] ^= 0xFF
+			return m
+		}, false},
+		{"startownerchange/valid", func() codec.Message { return rig.startOwnerChange() }, true},
+		{"startownerchange/bad-sig", func() codec.Message {
+			m := rig.startOwnerChange()
+			m.Sig[0] ^= 0xFF
+			return m
+		}, false},
+		{"pom/valid", func() codec.Message { return rig.pom() }, true},
+		{"pom/bad-evidence-sig", func() codec.Message {
+			m := rig.pom()
+			m.B.Sig[0] ^= 0xFF
+			return m
+		}, false},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			// The pool verdict, on the verifying replica's authenticator.
+			pred := InboundVerifier(rig.replicaAuth(3), rig.n)
+			if got := pred(tc.mk()); got != tc.valid {
+				t.Fatalf("pre-verifier accepted=%v, want %v", got, tc.valid)
+			}
+
+			// The in-loop verdict on a fresh, unmarked copy.
+			inLoop := rig.freshReplica(3)
+			inLoop.Receive(noopCtx{}, types.ReplicaNode(1), tc.mk())
+			dropped := inLoop.Stats().DroppedInvalid > 0
+			if dropped == tc.valid {
+				t.Fatalf("in-loop dropped=%v, want %v (pool and loop must reject the same frames)", dropped, !tc.valid)
+			}
+
+			// A marked (pool-verified) copy must drive a replica to the same
+			// observable counters as the unmarked valid original.
+			if tc.valid {
+				marked := tc.mk()
+				if !pred(marked) {
+					t.Fatal("predicate rejected the valid frame on the marked pass")
+				}
+				viaPool := rig.freshReplica(3)
+				viaPool.Receive(noopCtx{}, types.ReplicaNode(1), marked)
+				if got, want := viaPool.Stats(), inLoop.Stats(); got != want {
+					t.Fatalf("marked delivery stats %+v != unmarked delivery stats %+v", got, want)
+				}
+			}
+		})
+	}
+}

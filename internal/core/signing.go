@@ -29,34 +29,189 @@ func verifyBody(a auth.Authenticator, signer types.NodeID, m bodyMarshaler, sig 
 	return err
 }
 
-// SpecOrderVerifier returns a transport-side verification predicate for a
-// replica in a cluster of n: SPECORDER messages have their leader signature
-// and every embedded client signature checked (and are marked, so the
-// replica's single-threaded process loop skips re-verifying them); all
-// other message types pass through unverified and are checked in-loop as
-// usual. The predicate is safe for concurrent use — feed it to
-// transport.NewVerifyPool to verify independent batches in parallel across
-// cores before they enter the process loop.
+// marker is the marking half of the engine.SignedMessage surface; every
+// signed message embeds codec.Verified and therefore implements it.
+type marker interface {
+	MarkSigVerified()
+	SigVerified() bool
+}
+
+// preVerify checks one signature the process loop would check
+// unconditionally, marking the message on success. False drops the message
+// (indistinguishable from loss).
+func preVerify(a auth.Authenticator, signer types.NodeID, m bodyMarshaler, sig []byte, v marker) bool {
+	if v.SigVerified() {
+		return true
+	}
+	if verifyBody(a, signer, m, sig) != nil {
+		return false
+	}
+	v.MarkSigVerified()
+	return true
+}
+
+// tryMark checks a signature the process loop only verifies conditionally:
+// success marks the message so the loop skips its check, failure leaves it
+// unmarked for the loop to judge. Never drops.
+func tryMark(a auth.Authenticator, signer types.NodeID, m bodyMarshaler, sig []byte, v marker) {
+	if !v.SigVerified() && verifyBody(a, signer, m, sig) == nil {
+		v.MarkSigVerified()
+	}
+}
+
+// InboundVerifier returns the transport-side verification predicate for an
+// ezBFT node (replica or client) in a cluster of n: every signature the
+// receiving process loop checks unconditionally — REQUEST client
+// signatures, SPECORDER leader + embedded client signatures, COMMIT client
+// signatures, the SPECREPLY signatures inside COMMIT/COMMITFAST
+// certificates, SPECREPLY/COMMITREPLY replica signatures at clients,
+// owner-change sender signatures, and POM evidence signatures — is checked
+// on the verifier-pool workers and the message marked, so the
+// single-threaded process loop re-checks nothing but semantic bindings.
+// Signatures the loop verifies only conditionally (a RESENDREQ's embedded
+// request, certificate-embedded SPECORDERs, OWNERCHANGE history proofs,
+// NEWOWNER proof elements) are verified opportunistically: valid ones are
+// marked, invalid ones pass through unmarked for the loop to judge, so
+// pool-on and pool-off behaviour stay equivalent. The predicate is safe
+// for concurrent use — feed it to transport.NewVerifyPool.
+func InboundVerifier(a auth.Authenticator, n int) func(msg codec.Message) bool {
+	return func(msg codec.Message) bool {
+		switch m := msg.(type) {
+		case *Request:
+			return preVerify(a, types.ClientNode(m.Cmd.Client), m, m.Sig, m)
+		case *SpecOrder:
+			return preVerifySpecOrder(a, n, m)
+		case *SpecReply:
+			return preVerify(a, types.ReplicaNode(m.Replica), m, m.Sig, m)
+		case *CommitFast:
+			return preVerifyCert(a, n, m.Cert)
+		case *Commit:
+			if !preVerify(a, types.ClientNode(m.Client), m, m.Sig, m) {
+				return false
+			}
+			return preVerifyCert(a, n, m.Cert)
+		case *CommitReply:
+			return preVerify(a, types.ReplicaNode(m.Replica), m, m.Sig, m)
+		case *ResendReq:
+			// The original leader only verifies the embedded request when it
+			// has not ordered it yet; mark opportunistically, never drop.
+			tryMark(a, types.ClientNode(m.Req.Cmd.Client), &m.Req, m.Req.Sig, &m.Req)
+			return true
+		case *StartOwnerChange:
+			return preVerify(a, types.ReplicaNode(m.Replica), m, m.Sig, m)
+		case *OwnerChange:
+			return preVerify(a, types.ReplicaNode(m.Replica), m, m.Sig, m)
+		case *NewOwnerMsg:
+			if !preVerify(a, types.ReplicaNode(m.Replica), m, m.Sig, m) {
+				return false
+			}
+			// Proof elements are counted (not all required) in-loop; mark the
+			// valid ones so the count costs no further verification.
+			for _, oc := range m.Proof {
+				tryMark(a, types.ReplicaNode(oc.Replica), oc, oc.Sig, oc)
+			}
+			return true
+		case *POM:
+			return preVerifyPOM(a, n, m)
+		default:
+			return true
+		}
+	}
+}
+
+// SpecOrderVerifier is the PR-2 predicate restricted to SPECORDER frames;
+// it survives for callers that only want ordering-frame coverage.
+// InboundVerifier supersedes it for full-coverage deployments.
 func SpecOrderVerifier(a auth.Authenticator, n int) func(msg codec.Message) bool {
 	return func(msg codec.Message) bool {
 		so, ok := msg.(*SpecOrder)
 		if !ok {
 			return true
 		}
-		if so.BatchSize() > MaxBatchSize {
-			return false
-		}
-		owner := so.Owner.OwnerOf(n)
-		if verifyBody(a, types.ReplicaNode(owner), so, so.Sig) != nil {
-			return false
-		}
-		for i := 0; i < so.BatchSize(); i++ {
-			req := so.ReqAt(i)
-			if verifyBody(a, types.ClientNode(req.Cmd.Client), req, req.Sig) != nil {
-				return false
-			}
-		}
-		so.MarkSigVerified()
+		return preVerifySpecOrder(a, n, so)
+	}
+}
+
+// preVerifySpecOrder checks a SPECORDER's leader signature and every
+// embedded client signature, marking the frame on success.
+func preVerifySpecOrder(a auth.Authenticator, n int, so *SpecOrder) bool {
+	if so.BatchSize() > MaxBatchSize {
+		return false
+	}
+	if so.SigVerified() {
 		return true
 	}
+	owner := so.Owner.OwnerOf(n)
+	if verifyBody(a, types.ReplicaNode(owner), so, so.Sig) != nil {
+		return false
+	}
+	for i := 0; i < so.BatchSize(); i++ {
+		req := so.ReqAt(i)
+		if verifyBody(a, types.ClientNode(req.Cmd.Client), req, req.Sig) != nil {
+			return false
+		}
+	}
+	so.MarkSigVerified()
+	return true
+}
+
+// preVerifyCert checks every SPECREPLY signature of a commit certificate —
+// the 2f+1 serial ECDSA verifications validateCert would otherwise run on
+// the process loop — marking each element, and opportunistically marks the
+// certificate's embedded SPECORDER (its signature is only checked in-loop
+// when the certificate has to install the instance).
+func preVerifyCert(a auth.Authenticator, n int, cert []*SpecReply) bool {
+	for _, sr := range cert {
+		if !preVerify(a, types.ReplicaNode(sr.Replica), sr, sr.Sig, sr) {
+			return false
+		}
+		if so := sr.SO; so != nil {
+			tryMarkSpecOrder(a, n, so)
+		}
+	}
+	return true
+}
+
+// tryMarkSpecOrder opportunistically marks a SPECORDER reached outside its
+// own frame (inside a certificate): the mark asserts that the leader
+// signature AND every embedded client signature verified — the exact
+// meaning preVerifySpecOrder and handleSpecOrder give the flag — so all
+// signatures must check out before marking. (On the in-process mesh the
+// same *SpecOrder value can later arrive as an ordering frame; a weaker
+// leader-only mark here would let it skip client-signature verification.)
+// Never drops: an unmarkable SPECORDER is left for the loop's conditional
+// checks.
+func tryMarkSpecOrder(a auth.Authenticator, n int, so *SpecOrder) {
+	if so.SigVerified() || so.BatchSize() > MaxBatchSize {
+		return
+	}
+	owner := so.Owner.OwnerOf(n)
+	if verifyBody(a, types.ReplicaNode(owner), so, so.Sig) != nil {
+		return
+	}
+	for i := 0; i < so.BatchSize(); i++ {
+		req := so.ReqAt(i)
+		if verifyBody(a, types.ClientNode(req.Cmd.Client), req, req.Sig) != nil {
+			return
+		}
+	}
+	so.MarkSigVerified()
+}
+
+// preVerifyPOM checks both accused-owner signatures of a proof of
+// misbehaviour; the semantic equivocation checks stay in-loop.
+func preVerifyPOM(a auth.Authenticator, n int, m *POM) bool {
+	if m.A == nil || m.B == nil {
+		return true // the loop drops malformed POMs
+	}
+	if m.SigVerified() {
+		return true
+	}
+	owner := m.Owner.OwnerOf(n)
+	if verifyBody(a, types.ReplicaNode(owner), m.A, m.A.Sig) != nil ||
+		verifyBody(a, types.ReplicaNode(owner), m.B, m.B.Sig) != nil {
+		return false
+	}
+	m.MarkSigVerified()
+	return true
 }

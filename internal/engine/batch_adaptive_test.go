@@ -1,0 +1,94 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"ezbft/internal/codec"
+	"ezbft/internal/proc"
+	"ezbft/internal/types"
+)
+
+// clockCtx is a nopCtx with an advanceable clock, for the adaptive
+// batcher's pressure heuristic.
+type clockCtx struct{ now time.Duration }
+
+func (c *clockCtx) Now() time.Duration                   { return c.now }
+func (c *clockCtx) Send(types.NodeID, codec.Message)     {}
+func (c *clockCtx) SetTimer(proc.TimerID, time.Duration) {}
+func (c *clockCtx) CancelTimer(proc.TimerID)             {}
+func (c *clockCtx) Charge(time.Duration)                 {}
+func (c *clockCtx) Rand() *rand.Rand                     { return rand.New(rand.NewSource(1)) }
+
+// TestBatcherAdaptiveIdleFlushesAlone: with adaptive sizing, a request
+// arriving at an idle leader (no flush within the last BatchDelay) flushes
+// immediately instead of stalling out the delay timer — batch-of-one
+// latency on idle clusters.
+func TestBatcherAdaptiveIdleFlushesAlone(t *testing.T) {
+	host := newFakeHost()
+	var flushed [][]int
+	b := NewBatcher[int, int](8, time.Millisecond, host, func(_ proc.Context, items []int) {
+		flushed = append(flushed, items)
+	})
+	b.SetAdaptive(true)
+	ctx := &clockCtx{}
+
+	// The very first request: no flush history, flush alone.
+	b.Add(ctx, 1, 10)
+	if len(flushed) != 1 || len(flushed[0]) != 1 {
+		t.Fatalf("first idle request: flushed %v, want one batch of 1", flushed)
+	}
+	// Much later (idle again): still batch-of-one.
+	ctx.now = 10 * time.Millisecond
+	b.Add(ctx, 2, 20)
+	if len(flushed) != 2 || len(flushed[1]) != 1 {
+		t.Fatalf("idle request after a gap: flushed %v, want a second batch of 1", flushed)
+	}
+	if len(host.fns) != 0 {
+		t.Fatal("idle flushes must not leave delay timers armed")
+	}
+}
+
+// TestBatcherAdaptiveAccumulatesUnderPressure: when requests arrive faster
+// than one per BatchDelay window, the adaptive batcher stretches toward the
+// delay and accumulates up to the configured size.
+func TestBatcherAdaptiveAccumulatesUnderPressure(t *testing.T) {
+	host := newFakeHost()
+	var flushed [][]int
+	b := NewBatcher[int, int](3, time.Millisecond, host, func(_ proc.Context, items []int) {
+		flushed = append(flushed, items)
+	})
+	b.SetAdaptive(true)
+	ctx := &clockCtx{}
+
+	b.Add(ctx, 1, 10) // idle → flushes alone, stamps the flush time
+	// Requests 2..4 arrive 100µs apart — far faster than one per delay
+	// window — so they accumulate and flush as a full batch of 3.
+	for i := 2; i <= 4; i++ {
+		ctx.now += 100 * time.Microsecond
+		b.Add(ctx, i, i*10)
+	}
+	if len(flushed) != 2 {
+		t.Fatalf("flushed %v, want the idle single plus one full batch", flushed)
+	}
+	if got := flushed[1]; len(got) != 3 {
+		t.Fatalf("pressure batch %v, want 3 items", got)
+	}
+
+	// An incomplete batch under pressure waits for the delay timer.
+	ctx.now += 100 * time.Microsecond
+	b.Add(ctx, 5, 50)
+	if len(flushed) != 2 {
+		t.Fatal("incomplete batch under pressure flushed early")
+	}
+	host.fire(ctx, host.next)
+	if len(flushed) != 3 || len(flushed[2]) != 1 {
+		t.Fatalf("delay-timer flush produced %v", flushed)
+	}
+
+	st := b.Stats()
+	if st.Flushes != 3 || st.Items != 5 || st.MaxBatch != 3 {
+		t.Fatalf("stats %+v, want 3 flushes / 5 items / max 3", st)
+	}
+}

@@ -71,6 +71,12 @@ type ReplicaOptions struct {
 	// BatchDelay bounds how long an incomplete batch waits before flushing
 	// (0 = the protocol default).
 	BatchDelay time.Duration
+	// BatchAdaptive enables adaptive batch sizing: an idle ordering replica
+	// flushes each request alone (batch-of-one latency) and only stretches
+	// toward BatchDelay when requests arrive faster than one per delay
+	// window, converging on BatchSize under saturation. Ignored when
+	// BatchSize <= 1.
+	BatchAdaptive bool
 	// Mute makes the replica fail-silent (fault-injection runs).
 	Mute bool
 }

@@ -22,17 +22,23 @@ type OrderingFrame interface {
 	// MarkSigVerified records that every signature checked out, so the
 	// process loop skips the checks.
 	MarkSigVerified()
+	// SigVerified reports whether the frame was already marked.
+	SigVerified() bool
 }
 
 // VerifyFrame checks an ordering frame outside the process loop: the
 // ordering signature against `signer`, then every embedded client
 // signature; on success the frame is marked verified. maxBatch rejects
 // frames larger than the owning protocol ever produces, so decode and
-// verification agree at the boundary. Safe for concurrent use (the frame
-// itself is owned by the calling worker until delivery).
+// verification agree at the boundary. Safe for concurrent use (marking is
+// atomic; on the in-process mesh several recipients' pools may race on one
+// shared frame, and an already-marked frame short-circuits).
 func VerifyFrame(a auth.Authenticator, signer types.NodeID, f OrderingFrame, maxBatch int) bool {
 	if f.BatchSize() > maxBatch {
 		return false
+	}
+	if f.SigVerified() {
+		return true
 	}
 	if a.Verify(signer, f.SignedBody(), f.Signature()) != nil {
 		return false
@@ -44,5 +50,46 @@ func VerifyFrame(a auth.Authenticator, signer types.NodeID, f OrderingFrame, max
 		}
 	}
 	f.MarkSigVerified()
+	return true
+}
+
+// SignedMessage is any wire message carrying one signature over its
+// deterministic body encoding, with a transport-side verification marker
+// (codec.Verified embedded in the concrete type).
+type SignedMessage interface {
+	// SignedBody returns the bytes the signature covers.
+	SignedBody() []byte
+	// MarkSigVerified marks the message as transport-verified.
+	MarkSigVerified()
+	// SigVerified reports whether the message was already marked.
+	SigVerified() bool
+}
+
+// VerifySigned checks one signed message outside the process loop against
+// its claimed signer and marks it on success — the single-signature
+// counterpart of VerifyFrame, shared by every protocol's inbound
+// pre-verifier. It reports whether the message should be delivered; use it
+// only for signatures the receiving loop checks unconditionally (a false
+// return drops the message).
+func VerifySigned(a auth.Authenticator, signer types.NodeID, m SignedMessage, sig []byte) bool {
+	if m.SigVerified() {
+		return true
+	}
+	if a.Verify(signer, m.SignedBody(), sig) != nil {
+		return false
+	}
+	m.MarkSigVerified()
+	return true
+}
+
+// TryMarkSigned is VerifySigned for signatures the receiving loop checks
+// only conditionally: on success the message is marked (so the conditional
+// in-loop check is skipped), on failure it is left unmarked and still
+// delivered — the loop decides, exactly as it would without a pre-verifier.
+// Always reports true.
+func TryMarkSigned(a auth.Authenticator, signer types.NodeID, m SignedMessage, sig []byte) bool {
+	if !m.SigVerified() && a.Verify(signer, m.SignedBody(), sig) == nil {
+		m.MarkSigVerified()
+	}
 	return true
 }

@@ -53,6 +53,8 @@ func leaderOf(view uint64, n int) types.ReplicaID {
 type Request struct {
 	Cmd types.Command
 	Sig []byte
+
+	codec.Verified // transport-side pre-verification marker; never marshaled
 }
 
 // Tag implements codec.Message.
@@ -77,6 +79,18 @@ func decodeRequest(r *codec.Reader) (*Request, error) {
 	return m, r.Err()
 }
 
+// Clone returns a copy safe to take while other nodes' verifier pools may
+// still be marking the shared original (client retransmissions hand one
+// decoded Request to every replica on the in-process mesh): the embedded
+// Verified flag is re-read atomically instead of plain-copied.
+func (m *Request) Clone() Request {
+	cp := Request{Cmd: m.Cmd, Sig: m.Sig}
+	if m.SigVerified() {
+		cp.MarkSigVerified()
+	}
+	return cp
+}
+
 // Propose is the leader's ordering proposal. With leader-side batching it
 // orders a whole batch of requests under one sequence number: Req is the
 // first request and Batch carries the rest; CmdDigest is then the batch
@@ -89,16 +103,12 @@ type Propose struct {
 	Batch     []Request // requests 2..k of the batch (nil when unbatched)
 	Sig       []byte
 
-	// sigVerified is set by a transport-side verifier pool (see
-	// PreVerifier) so the process loop skips re-verifying the leader and
-	// embedded client signatures. Never marshaled.
-	sigVerified bool
+	// Verified marks that the leader signature and every embedded client
+	// signature were checked by a transport-side verifier pool (see
+	// PreVerifier); part of the engine.OrderingFrame surface. Never
+	// marshaled.
+	codec.Verified
 }
-
-// MarkSigVerified records that the leader signature and every embedded
-// client signature were already verified by a transport-side worker pool
-// (part of the engine.OrderingFrame surface).
-func (m *Propose) MarkSigVerified() { m.sigVerified = true }
 
 // Signature implements engine.OrderingFrame.
 func (m *Propose) Signature() []byte { return m.Sig }
@@ -195,6 +205,8 @@ type Accept struct {
 	CmdDigest types.Digest
 	Replica   types.ReplicaID
 	Sig       []byte
+
+	codec.Verified // transport-side pre-verification marker; never marshaled
 }
 
 // Tag implements codec.Message.
@@ -239,6 +251,8 @@ type Reply struct {
 	Replica   types.ReplicaID
 	Result    types.Result
 	Sig       []byte
+
+	codec.Verified // transport-side pre-verification marker; never marshaled
 }
 
 // Tag implements codec.Message.
@@ -284,6 +298,8 @@ type Suspect struct {
 	View    uint64
 	Replica types.ReplicaID
 	Sig     []byte
+
+	codec.Verified // transport-side pre-verification marker; never marshaled
 }
 
 // Tag implements codec.Message.
@@ -317,6 +333,8 @@ type NewLeader struct {
 	Replica types.ReplicaID
 	MaxSeq  uint64
 	Sig     []byte
+
+	codec.Verified // transport-side pre-verification marker; never marshaled
 }
 
 // Tag implements codec.Message.
@@ -378,6 +396,9 @@ type ReplicaConfig struct {
 	// before flushing (default DefaultBatchDelay; only used when
 	// BatchSize > 1).
 	BatchDelay time.Duration
+	// BatchAdaptive enables adaptive batch sizing (see
+	// engine.Batcher.SetAdaptive).
+	BatchAdaptive bool
 	// Mute makes the replica silent (fault injection).
 	Mute bool
 }
@@ -422,6 +443,9 @@ type Replica struct {
 	timerAct  map[proc.TimerID]func(ctx proc.Context)
 
 	suspects map[uint64]map[types.ReplicaID]bool
+
+	// peers lists every other replica's address, precomputed for broadcasts.
+	peers []types.NodeID
 
 	stats ReplicaStats
 }
@@ -475,6 +499,12 @@ func NewReplica(cfg ReplicaConfig) (*Replica, error) {
 		suspects:   make(map[uint64]map[types.ReplicaID]bool),
 	}
 	r.batcher = engine.NewBatcher[cmdKey, *Request](cfg.BatchSize, cfg.BatchDelay, r, r.flushBatch)
+	r.batcher.SetAdaptive(cfg.BatchAdaptive)
+	for i := 0; i < cfg.N; i++ {
+		if types.ReplicaID(i) != cfg.Self {
+			r.peers = append(r.peers, types.ReplicaNode(types.ReplicaID(i)))
+		}
+	}
 	return r, nil
 }
 
@@ -483,6 +513,9 @@ func (r *Replica) ID() types.NodeID { return types.ReplicaNode(r.cfg.Self) }
 
 // Stats returns a snapshot of the counters.
 func (r *Replica) Stats() ReplicaStats { return r.stats }
+
+// BatcherStats returns the leader-side batch-size observables.
+func (r *Replica) BatcherStats() engine.BatcherStats { return r.batcher.Stats() }
 
 // View returns the current view.
 func (r *Replica) View() uint64 { return r.view }
@@ -528,11 +561,11 @@ func (r *Replica) send(ctx proc.Context, to types.NodeID, msg codec.Message) {
 }
 
 func (r *Replica) broadcastReplicas(ctx proc.Context, msg codec.Message) {
-	for i := 0; i < r.n; i++ {
-		if types.ReplicaID(i) != r.cfg.Self {
-			r.send(ctx, types.ReplicaNode(types.ReplicaID(i)), msg)
-		}
+	if r.cfg.Mute {
+		return
 	}
+	// One encode serves every destination on broadcast-capable transports.
+	proc.Broadcast(ctx, r.peers, msg)
 }
 
 // Receive implements proc.Process.
@@ -560,10 +593,12 @@ func (r *Replica) handleRequest(ctx proc.Context, m *Request) {
 	// same split cost model as ezBFT's owner-side batching. At batch size 1
 	// both charges land in this same handler invocation, exactly the
 	// paper's calibrated per-request admission cost.
-	r.cfg.Costs.ChargeVerifyClient(ctx)
-	if err := r.cfg.Auth.Verify(types.ClientNode(m.Cmd.Client), m.SignedBody(), m.Sig); err != nil {
-		r.stats.DroppedInvalid++
-		return
+	if !m.SigVerified() {
+		r.cfg.Costs.ChargeVerifyClient(ctx)
+		if err := r.cfg.Auth.Verify(types.ClientNode(m.Cmd.Client), m.SignedBody(), m.Sig); err != nil {
+			r.stats.DroppedInvalid++
+			return
+		}
 	}
 	key := cmdKey{m.Cmd.Client, m.Cmd.Timestamp}
 	if cached, ok := r.replyCache[key]; ok {
@@ -618,11 +653,13 @@ func (r *Replica) flushBatch(ctx proc.Context, reqs []*Request) {
 	for i, m := range fresh {
 		digests[i] = m.Cmd.Digest()
 	}
-	pro := &Propose{View: r.view, Seq: seq, CmdDigest: engine.BatchDigest(digests), Req: *fresh[0]}
+	// Clone, not a plain copy: a retransmitted request is one decoded value
+	// shared with every replica's verifier pool on the mesh.
+	pro := &Propose{View: r.view, Seq: seq, CmdDigest: engine.BatchDigest(digests), Req: fresh[0].Clone()}
 	if len(fresh) > 1 {
 		pro.Batch = make([]Request, len(fresh)-1)
 		for i, m := range fresh[1:] {
-			pro.Batch[i] = *m
+			pro.Batch[i] = m.Clone()
 		}
 	}
 	r.cfg.Costs.ChargeAdmitInstance(ctx)
@@ -640,7 +677,7 @@ func (r *Replica) handlePropose(ctx proc.Context, m *Propose) {
 	}
 	leader := leaderOf(r.view, r.n)
 	digests := make([]types.Digest, m.BatchSize())
-	if m.sigVerified {
+	if m.SigVerified() {
 		// A transport-side verifier pool already checked the signatures in
 		// parallel; only the digest binding below remains.
 		for i := range digests {
@@ -751,10 +788,12 @@ func (r *Replica) handleAccept(ctx proc.Context, m *Accept) {
 	if m.View != r.view {
 		return
 	}
-	r.cfg.Costs.ChargeVerify(ctx, 1)
-	if err := r.cfg.Auth.Verify(types.ReplicaNode(m.Replica), m.SignedBody(), m.Sig); err != nil {
-		r.stats.DroppedInvalid++
-		return
+	if !m.SigVerified() {
+		r.cfg.Costs.ChargeVerify(ctx, 1)
+		if err := r.cfg.Auth.Verify(types.ReplicaNode(m.Replica), m.SignedBody(), m.Sig); err != nil {
+			r.stats.DroppedInvalid++
+			return
+		}
 	}
 	s, ok := r.slots[m.Seq]
 	if !ok {
@@ -820,10 +859,12 @@ func (r *Replica) handleSuspect(ctx proc.Context, m *Suspect) {
 	if m.View != r.view {
 		return
 	}
-	r.cfg.Costs.ChargeVerify(ctx, 1)
-	if err := r.cfg.Auth.Verify(types.ReplicaNode(m.Replica), m.SignedBody(), m.Sig); err != nil {
-		r.stats.DroppedInvalid++
-		return
+	if !m.SigVerified() {
+		r.cfg.Costs.ChargeVerify(ctx, 1)
+		if err := r.cfg.Auth.Verify(types.ReplicaNode(m.Replica), m.SignedBody(), m.Sig); err != nil {
+			r.stats.DroppedInvalid++
+			return
+		}
 	}
 	r.recordSuspect(ctx, m.View, m.Replica)
 }
@@ -852,10 +893,12 @@ func (r *Replica) handleNewLeader(ctx proc.Context, m *NewLeader) {
 	if m.View <= r.view || leaderOf(m.View, r.n) != m.Replica {
 		return
 	}
-	r.cfg.Costs.ChargeVerify(ctx, 1)
-	if err := r.cfg.Auth.Verify(types.ReplicaNode(m.Replica), m.SignedBody(), m.Sig); err != nil {
-		r.stats.DroppedInvalid++
-		return
+	if !m.SigVerified() {
+		r.cfg.Costs.ChargeVerify(ctx, 1)
+		if err := r.cfg.Auth.Verify(types.ReplicaNode(m.Replica), m.SignedBody(), m.Sig); err != nil {
+			r.stats.DroppedInvalid++
+			return
+		}
 	}
 	r.applyNewLeader(m)
 }
@@ -932,10 +975,11 @@ func (fabEngine) Protocol() engine.Protocol { return engine.FaB }
 func (fabEngine) NewReplica(o engine.ReplicaOptions) (proc.Process, error) {
 	cfg := ReplicaConfig{
 		Self: o.Self, N: o.N, App: o.App, Auth: o.Auth, Costs: o.Costs,
-		InitialView: uint64(o.Primary),
-		BatchSize:   o.BatchSize,
-		BatchDelay:  o.BatchDelay,
-		Mute:        o.Mute,
+		InitialView:   uint64(o.Primary),
+		BatchSize:     o.BatchSize,
+		BatchDelay:    o.BatchDelay,
+		BatchAdaptive: o.BatchAdaptive,
+		Mute:          o.Mute,
 	}
 	if o.LatencyBound > 0 {
 		cfg.ForwardTimeout = 4 * o.LatencyBound
@@ -959,25 +1003,37 @@ func (fabEngine) NewClient(o engine.ClientOptions) (engine.Client, error) {
 	return fabClient{c}, nil
 }
 
-// InboundVerifier implements engine.Engine: PROPOSE batches verify on the
-// transport worker pool.
+// InboundVerifier implements engine.Engine: every signed FaB message
+// verifies on the transport worker pool.
 func (fabEngine) InboundVerifier(a auth.Authenticator, n int) func(msg codec.Message) bool {
 	return PreVerifier(a, n)
 }
 
-// PreVerifier returns a transport-side verification predicate for a
-// replica in a cluster of n: PROPOSE messages have their leader signature
-// and every embedded client signature checked (and are marked so the
-// replica's single-threaded process loop skips re-verifying them); all
-// other message types pass through unverified and are checked in-loop as
-// usual. Safe for concurrent use.
+// PreVerifier returns the transport-side verification predicate for a FaB
+// node (replica or client) in a cluster of n: every signature the process
+// loop checks unconditionally — the PROPOSE leader + embedded client
+// signatures, REQUEST client signatures, ACCEPT votes, leader-change
+// traffic, and REPLY learner signatures at clients — is checked on the
+// pool workers and the message marked, so the loop skips re-verifying it;
+// unknown message types pass through untouched. Safe for concurrent use.
 func PreVerifier(a auth.Authenticator, n int) func(msg codec.Message) bool {
 	return func(msg codec.Message) bool {
-		pro, ok := msg.(*Propose)
-		if !ok {
+		switch m := msg.(type) {
+		case *Request:
+			return engine.VerifySigned(a, types.ClientNode(m.Cmd.Client), m, m.Sig)
+		case *Propose:
+			return engine.VerifyFrame(a, types.ReplicaNode(leaderOf(m.View, n)), m, maxBatch-1)
+		case *Accept:
+			return engine.VerifySigned(a, types.ReplicaNode(m.Replica), m, m.Sig)
+		case *Reply:
+			return engine.VerifySigned(a, types.ReplicaNode(m.Replica), m, m.Sig)
+		case *Suspect:
+			return engine.VerifySigned(a, types.ReplicaNode(m.Replica), m, m.Sig)
+		case *NewLeader:
+			return engine.VerifySigned(a, types.ReplicaNode(m.Replica), m, m.Sig)
+		default:
 			return true
 		}
-		return engine.VerifyFrame(a, types.ReplicaNode(leaderOf(pro.View, n)), pro, maxBatch-1)
 	}
 }
 
@@ -1014,6 +1070,9 @@ type Client struct {
 	view    uint64
 	pending map[uint64]*pendingReq
 	stats   ClientStats
+
+	// replicas lists every replica's address, precomputed for broadcasts.
+	replicas []types.NodeID
 }
 
 var (
@@ -1032,13 +1091,17 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 	if cfg.RetryTimeout <= 0 {
 		cfg.RetryTimeout = 4 * time.Second
 	}
-	return &Client{
+	c := &Client{
 		cfg:     cfg,
 		n:       cfg.N,
 		f:       faults(cfg.N),
 		view:    uint64(cfg.Leader),
 		pending: make(map[uint64]*pendingReq),
-	}, nil
+	}
+	for i := 0; i < cfg.N; i++ {
+		c.replicas = append(c.replicas, types.ReplicaNode(types.ReplicaID(i)))
+	}
+	return c, nil
 }
 
 // ID implements proc.Process.
@@ -1088,9 +1151,11 @@ func (c *Client) Receive(ctx proc.Context, from types.NodeID, msg codec.Message)
 	if !okp || m.Client != c.cfg.ID {
 		return
 	}
-	c.cfg.Costs.ChargeVerify(ctx, 1)
-	if err := c.cfg.Auth.Verify(types.ReplicaNode(m.Replica), m.SignedBody(), m.Sig); err != nil {
-		return
+	if !m.SigVerified() {
+		c.cfg.Costs.ChargeVerify(ctx, 1)
+		if err := c.cfg.Auth.Verify(types.ReplicaNode(m.Replica), m.SignedBody(), m.Sig); err != nil {
+			return
+		}
 	}
 	if m.View > c.view {
 		c.view = m.View
@@ -1120,9 +1185,7 @@ func (c *Client) OnTimer(ctx proc.Context, id proc.TimerID) {
 	}
 	p.retries++
 	c.stats.Retries++
-	for i := 0; i < c.n; i++ {
-		ctx.Send(types.ReplicaNode(types.ReplicaID(i)), p.req)
-	}
+	proc.Broadcast(ctx, c.replicas, p.req)
 	shift := p.retries
 	if shift > 6 {
 		shift = 6

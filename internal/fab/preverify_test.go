@@ -1,0 +1,105 @@
+package fab
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"ezbft/internal/auth"
+	"ezbft/internal/codec"
+	"ezbft/internal/kvstore"
+	"ezbft/internal/proc"
+	"ezbft/internal/types"
+)
+
+// pvCtx is a throwaway proc.Context for invoking handlers directly.
+type pvCtx struct{}
+
+func (pvCtx) Now() time.Duration                   { return 0 }
+func (pvCtx) Send(types.NodeID, codec.Message)     {}
+func (pvCtx) SetTimer(proc.TimerID, time.Duration) {}
+func (pvCtx) CancelTimer(proc.TimerID)             {}
+func (pvCtx) Charge(time.Duration)                 {}
+func (pvCtx) Rand() *rand.Rand                     { return rand.New(rand.NewSource(0)) }
+
+// TestPreVerifierLoopEquivalence proves the pool path and the in-loop path
+// reject exactly the same corrupted FaB frames, and that marked frames
+// drive a replica to the same counters as unmarked valid ones.
+func TestPreVerifierLoopEquivalence(t *testing.T) {
+	ring := auth.NewHMACKeyring([]byte("fab-preverify"))
+	const n = 4
+	rauth := func(id types.ReplicaID) auth.Authenticator { return ring.ForNode(types.ReplicaNode(id)) }
+	cauth := func(id types.ClientID) auth.Authenticator { return ring.ForNode(types.ClientNode(id)) }
+
+	request := func() *Request {
+		m := &Request{Cmd: types.Command{Client: 5, Timestamp: 1, Op: types.OpPut, Key: "k", Value: []byte("v")}}
+		m.Sig = cauth(5).Sign(m.SignedBody())
+		return m
+	}
+	propose := func() *Propose {
+		req := request()
+		pro := &Propose{View: 0, Seq: 1, CmdDigest: req.Cmd.Digest(), Req: *req}
+		pro.Sig = rauth(0).Sign(pro.SignedBody())
+		return pro
+	}
+	accept := func() *Accept {
+		acc := &Accept{View: 0, Seq: 1, CmdDigest: request().Cmd.Digest(), Replica: 2}
+		acc.Sig = rauth(2).Sign(acc.SignedBody())
+		return acc
+	}
+	suspect := func() *Suspect {
+		s := &Suspect{View: 0, Replica: 2}
+		s.Sig = rauth(2).Sign(s.SignedBody())
+		return s
+	}
+
+	cases := []struct {
+		name  string
+		mk    func() codec.Message
+		valid bool
+	}{
+		{"request/valid", func() codec.Message { return request() }, true},
+		{"request/bad-sig", func() codec.Message { m := request(); m.Sig[0] ^= 0xFF; return m }, false},
+		{"propose/valid", func() codec.Message { return propose() }, true},
+		{"propose/bad-leader-sig", func() codec.Message { m := propose(); m.Sig[0] ^= 0xFF; return m }, false},
+		{"propose/bad-client-sig", func() codec.Message { m := propose(); m.Req.Sig[0] ^= 0xFF; return m }, false},
+		{"accept/valid", func() codec.Message { return accept() }, true},
+		{"accept/bad-sig", func() codec.Message { m := accept(); m.Sig[0] ^= 0xFF; return m }, false},
+		{"suspect/valid", func() codec.Message { return suspect() }, true},
+		{"suspect/bad-sig", func() codec.Message { m := suspect(); m.Sig[0] ^= 0xFF; return m }, false},
+	}
+
+	fresh := func() *Replica {
+		rep, err := NewReplica(ReplicaConfig{Self: 3, N: n, App: kvstore.New(), Auth: rauth(3)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			pred := PreVerifier(rauth(3), n)
+			if got := pred(tc.mk()); got != tc.valid {
+				t.Fatalf("pre-verifier accepted=%v, want %v", got, tc.valid)
+			}
+			inLoop := fresh()
+			inLoop.Receive(pvCtx{}, types.ReplicaNode(0), tc.mk())
+			dropped := inLoop.Stats().DroppedInvalid > 0
+			if dropped == tc.valid {
+				t.Fatalf("in-loop dropped=%v, want %v", dropped, !tc.valid)
+			}
+			if tc.valid {
+				marked := tc.mk()
+				if !pred(marked) {
+					t.Fatal("predicate rejected the valid frame on the marked pass")
+				}
+				viaPool := fresh()
+				viaPool.Receive(pvCtx{}, types.ReplicaNode(0), marked)
+				if got, want := viaPool.Stats(), inLoop.Stats(); got != want {
+					t.Fatalf("marked delivery stats %+v != unmarked delivery stats %+v", got, want)
+				}
+			}
+		})
+	}
+}

@@ -51,6 +51,9 @@ type Client struct {
 	view    uint64
 	pending map[uint64]*pendingReq
 	stats   ClientStats
+
+	// replicas lists every replica's address, precomputed for broadcasts.
+	replicas []types.NodeID
 }
 
 var (
@@ -69,13 +72,17 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 	if cfg.RetryTimeout <= 0 {
 		cfg.RetryTimeout = 4 * time.Second
 	}
-	return &Client{
+	c := &Client{
 		cfg:     cfg,
 		n:       cfg.N,
 		f:       faults(cfg.N),
 		view:    uint64(cfg.Primary),
 		pending: make(map[uint64]*pendingReq),
-	}, nil
+	}
+	for i := 0; i < cfg.N; i++ {
+		c.replicas = append(c.replicas, types.ReplicaNode(types.ReplicaID(i)))
+	}
+	return c, nil
 }
 
 // ID implements proc.Process.
@@ -125,9 +132,11 @@ func (c *Client) Receive(ctx proc.Context, from types.NodeID, msg codec.Message)
 	if !okp || m.Client != c.cfg.ID {
 		return
 	}
-	c.cfg.Costs.ChargeVerify(ctx, 1)
-	if err := c.cfg.Auth.Verify(types.ReplicaNode(m.Replica), m.SignedBody(), m.Sig); err != nil {
-		return
+	if !m.SigVerified() {
+		c.cfg.Costs.ChargeVerify(ctx, 1)
+		if err := c.cfg.Auth.Verify(types.ReplicaNode(m.Replica), m.SignedBody(), m.Sig); err != nil {
+			return
+		}
 	}
 	if m.View > c.view {
 		c.view = m.View
@@ -161,9 +170,7 @@ func (c *Client) OnTimer(ctx proc.Context, id proc.TimerID) {
 	c.stats.Retries++
 	// Retransmit to all replicas; backups forward to the primary and start
 	// suspecting it (the PBFT retransmission rule).
-	for i := 0; i < c.n; i++ {
-		ctx.Send(types.ReplicaNode(types.ReplicaID(i)), p.req)
-	}
+	proc.Broadcast(ctx, c.replicas, p.req)
 	shift := p.retries
 	if shift > 6 {
 		shift = 6

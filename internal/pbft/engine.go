@@ -26,6 +26,7 @@ func (pbftEngine) NewReplica(o engine.ReplicaOptions) (proc.Process, error) {
 		CheckpointInterval: o.CheckpointInterval,
 		BatchSize:          o.BatchSize,
 		BatchDelay:         o.BatchDelay,
+		BatchAdaptive:      o.BatchAdaptive,
 		Mute:               o.Mute,
 	}
 	if o.LatencyBound > 0 {
@@ -50,25 +51,42 @@ func (pbftEngine) NewClient(o engine.ClientOptions) (engine.Client, error) {
 	return pbftClient{c}, nil
 }
 
-// InboundVerifier implements engine.Engine: PRE-PREPARE batches verify on
-// the transport worker pool.
+// InboundVerifier implements engine.Engine: every signed PBFT message
+// verifies on the transport worker pool.
 func (pbftEngine) InboundVerifier(a auth.Authenticator, n int) func(msg codec.Message) bool {
 	return PreVerifier(a, n)
 }
 
-// PreVerifier returns a transport-side verification predicate for a
-// replica in a cluster of n: PRE-PREPARE messages have their primary
-// signature and every embedded client signature checked (and are marked so
-// the replica's single-threaded process loop skips re-verifying them); all
-// other message types pass through unverified and are checked in-loop as
-// usual. Safe for concurrent use.
+// PreVerifier returns the transport-side verification predicate for a PBFT
+// node (replica or client) in a cluster of n: every signature the process
+// loop checks unconditionally — the PRE-PREPARE primary + embedded client
+// signatures, REQUEST client signatures, PREPARE/COMMIT/CHECKPOINT votes,
+// view-change traffic, and REPLY replica signatures at clients — is
+// checked on the pool workers and the message marked, so the loop skips
+// re-verifying it; unknown message types pass through untouched. Safe for
+// concurrent use.
 func PreVerifier(a auth.Authenticator, n int) func(msg codec.Message) bool {
 	return func(msg codec.Message) bool {
-		pp, ok := msg.(*PrePrepare)
-		if !ok {
+		switch m := msg.(type) {
+		case *Request:
+			return engine.VerifySigned(a, types.ClientNode(m.Cmd.Client), m, m.Sig)
+		case *PrePrepare:
+			return engine.VerifyFrame(a, types.ReplicaNode(primaryOf(m.View, n)), m, maxBatch-1)
+		case *Prepare:
+			return engine.VerifySigned(a, types.ReplicaNode(m.Replica), m, m.Sig)
+		case *Commit:
+			return engine.VerifySigned(a, types.ReplicaNode(m.Replica), m, m.Sig)
+		case *Checkpoint:
+			return engine.VerifySigned(a, types.ReplicaNode(m.Replica), m, m.Sig)
+		case *ViewChange:
+			return engine.VerifySigned(a, types.ReplicaNode(m.Replica), m, m.Sig)
+		case *NewView:
+			return engine.VerifySigned(a, types.ReplicaNode(m.Replica), m, m.Sig)
+		case *Reply:
+			return engine.VerifySigned(a, types.ReplicaNode(m.Replica), m, m.Sig)
+		default:
 			return true
 		}
-		return engine.VerifyFrame(a, types.ReplicaNode(primaryOf(pp.View, n)), pp, maxBatch-1)
 	}
 }
 

@@ -35,6 +35,20 @@ const maxBatch = 4096
 type Request struct {
 	Cmd types.Command
 	Sig []byte
+
+	codec.Verified // transport-side pre-verification marker; never marshaled
+}
+
+// Clone returns a copy safe to take while other nodes' verifier pools may
+// still be marking the shared original (client retransmissions hand one
+// decoded Request to every replica on the in-process mesh): the embedded
+// Verified flag is re-read atomically instead of plain-copied.
+func (m *Request) Clone() Request {
+	cp := Request{Cmd: m.Cmd, Sig: m.Sig}
+	if m.SigVerified() {
+		cp.MarkSigVerified()
+	}
+	return cp
 }
 
 // Tag implements codec.Message.
@@ -72,16 +86,12 @@ type PrePrepare struct {
 	Batch     []Request // requests 2..k of the batch (nil when unbatched)
 	Sig       []byte
 
-	// sigVerified is set by a transport-side verifier pool (see
-	// PreVerifier) so the process loop skips re-verifying the primary and
-	// embedded client signatures. Never marshaled.
-	sigVerified bool
+	// Verified marks that the primary signature and every embedded client
+	// signature were checked by a transport-side verifier pool (see
+	// PreVerifier); part of the engine.OrderingFrame surface. Never
+	// marshaled.
+	codec.Verified
 }
-
-// MarkSigVerified records that the primary signature and every embedded
-// client signature were already verified by a transport-side worker pool
-// (part of the engine.OrderingFrame surface).
-func (m *PrePrepare) MarkSigVerified() { m.sigVerified = true }
 
 // Signature implements engine.OrderingFrame.
 func (m *PrePrepare) Signature() []byte { return m.Sig }
@@ -182,6 +192,8 @@ type Prepare struct {
 	CmdDigest types.Digest
 	Replica   types.ReplicaID
 	Sig       []byte
+
+	codec.Verified // transport-side pre-verification marker; never marshaled
 }
 
 // Tag implements codec.Message.
@@ -225,6 +237,8 @@ type Commit struct {
 	CmdDigest types.Digest
 	Replica   types.ReplicaID
 	Sig       []byte
+
+	codec.Verified // transport-side pre-verification marker; never marshaled
 }
 
 // Tag implements codec.Message.
@@ -269,6 +283,8 @@ type Reply struct {
 	Replica   types.ReplicaID
 	Result    types.Result
 	Sig       []byte
+
+	codec.Verified // transport-side pre-verification marker; never marshaled
 }
 
 // Tag implements codec.Message.
@@ -315,6 +331,8 @@ type Checkpoint struct {
 	Digest  types.Digest
 	Replica types.ReplicaID
 	Sig     []byte
+
+	codec.Verified // transport-side pre-verification marker; never marshaled
 }
 
 // Tag implements codec.Message.
@@ -432,6 +450,8 @@ type ViewChange struct {
 	MaxSeq  uint64
 	Entries []VCEntry
 	Sig     []byte
+
+	codec.Verified // transport-side pre-verification marker; never marshaled
 }
 
 // Tag implements codec.Message.
@@ -491,6 +511,8 @@ type NewView struct {
 	Replica types.ReplicaID
 	Entries []VCEntry
 	Sig     []byte
+
+	codec.Verified // transport-side pre-verification marker; never marshaled
 }
 
 // Tag implements codec.Message.

@@ -45,6 +45,9 @@ type ReplicaConfig struct {
 	// before flushing (default DefaultBatchDelay; only used when
 	// BatchSize > 1).
 	BatchDelay time.Duration
+	// BatchAdaptive enables adaptive batch sizing (see
+	// engine.Batcher.SetAdaptive).
+	BatchAdaptive bool
 	// Mute makes the replica silent (fault injection).
 	Mute bool
 }
@@ -99,6 +102,9 @@ type Replica struct {
 	// view change state
 	vcMsgs map[uint64]map[types.ReplicaID]*ViewChange
 	inVC   bool
+
+	// peers lists every other replica's address, precomputed for broadcasts.
+	peers []types.NodeID
 
 	stats ReplicaStats
 }
@@ -156,6 +162,12 @@ func NewReplica(cfg ReplicaConfig) (*Replica, error) {
 		vcMsgs:     make(map[uint64]map[types.ReplicaID]*ViewChange),
 	}
 	r.batcher = engine.NewBatcher[cmdKey, *Request](cfg.BatchSize, cfg.BatchDelay, r, r.flushBatch)
+	r.batcher.SetAdaptive(cfg.BatchAdaptive)
+	for i := 0; i < cfg.N; i++ {
+		if types.ReplicaID(i) != cfg.Self {
+			r.peers = append(r.peers, types.ReplicaNode(types.ReplicaID(i)))
+		}
+	}
 	return r, nil
 }
 
@@ -164,6 +176,9 @@ func (r *Replica) ID() types.NodeID { return types.ReplicaNode(r.cfg.Self) }
 
 // Stats returns a snapshot of counters.
 func (r *Replica) Stats() ReplicaStats { return r.stats }
+
+// BatcherStats returns the primary-side batch-size observables.
+func (r *Replica) BatcherStats() engine.BatcherStats { return r.batcher.Stats() }
 
 // View returns the current view.
 func (r *Replica) View() uint64 { return r.view }
@@ -212,11 +227,11 @@ func (r *Replica) send(ctx proc.Context, to types.NodeID, msg codec.Message) {
 }
 
 func (r *Replica) broadcastReplicas(ctx proc.Context, msg codec.Message) {
-	for i := 0; i < r.n; i++ {
-		if types.ReplicaID(i) != r.cfg.Self {
-			r.send(ctx, types.ReplicaNode(types.ReplicaID(i)), msg)
-		}
+	if r.cfg.Mute {
+		return
 	}
+	// One encode serves every destination on broadcast-capable transports.
+	proc.Broadcast(ctx, r.peers, msg)
 }
 
 // Receive implements proc.Process.
@@ -248,10 +263,12 @@ func (r *Replica) handleRequest(ctx proc.Context, m *Request) {
 	// — the same split cost model as ezBFT's owner-side batching. At batch
 	// size 1 the two charges land in this same handler invocation, exactly
 	// the paper's calibrated per-request admission cost.
-	r.cfg.Costs.ChargeVerifyClient(ctx)
-	if err := r.cfg.Auth.Verify(types.ClientNode(m.Cmd.Client), m.SignedBody(), m.Sig); err != nil {
-		r.stats.DroppedInvalid++
-		return
+	if !m.SigVerified() {
+		r.cfg.Costs.ChargeVerifyClient(ctx)
+		if err := r.cfg.Auth.Verify(types.ClientNode(m.Cmd.Client), m.SignedBody(), m.Sig); err != nil {
+			r.stats.DroppedInvalid++
+			return
+		}
 	}
 	key := cmdKey{m.Cmd.Client, m.Cmd.Timestamp}
 	if cached, ok := r.replyCache[key]; ok {
@@ -307,11 +324,13 @@ func (r *Replica) flushBatch(ctx proc.Context, reqs []*Request) {
 	for i, m := range fresh {
 		digests[i] = m.Cmd.Digest()
 	}
-	pp := &PrePrepare{View: r.view, Seq: seq, CmdDigest: engine.BatchDigest(digests), Req: *fresh[0]}
+	// Clone, not a plain copy: a retransmitted request is one decoded value
+	// shared with every replica's verifier pool on the mesh.
+	pp := &PrePrepare{View: r.view, Seq: seq, CmdDigest: engine.BatchDigest(digests), Req: fresh[0].Clone()}
 	if len(fresh) > 1 {
 		pp.Batch = make([]Request, len(fresh)-1)
 		for i, m := range fresh[1:] {
-			pp.Batch[i] = *m
+			pp.Batch[i] = m.Clone()
 		}
 	}
 	r.cfg.Costs.ChargeAdmitInstance(ctx)
@@ -342,7 +361,7 @@ func (r *Replica) handlePrePrepare(ctx proc.Context, m *PrePrepare) {
 	}
 	primary := primaryOf(r.view, r.n)
 	digests := make([]types.Digest, m.BatchSize())
-	if m.sigVerified {
+	if m.SigVerified() {
 		// A transport-side verifier pool already checked the signatures in
 		// parallel; only the digest binding below remains.
 		for i := range digests {
@@ -427,10 +446,12 @@ func (r *Replica) handlePrepare(ctx proc.Context, m *Prepare) {
 	if m.View != r.view || r.inVC {
 		return
 	}
-	r.cfg.Costs.ChargeVerify(ctx, 1)
-	if err := r.cfg.Auth.Verify(types.ReplicaNode(m.Replica), m.SignedBody(), m.Sig); err != nil {
-		r.stats.DroppedInvalid++
-		return
+	if !m.SigVerified() {
+		r.cfg.Costs.ChargeVerify(ctx, 1)
+		if err := r.cfg.Auth.Verify(types.ReplicaNode(m.Replica), m.SignedBody(), m.Sig); err != nil {
+			r.stats.DroppedInvalid++
+			return
+		}
 	}
 	s := r.slot(m.Seq)
 	if s.havePre && s.cmdDigest != m.CmdDigest {
@@ -461,10 +482,12 @@ func (r *Replica) handleCommit(ctx proc.Context, m *Commit) {
 	if m.View != r.view || r.inVC {
 		return
 	}
-	r.cfg.Costs.ChargeVerify(ctx, 1)
-	if err := r.cfg.Auth.Verify(types.ReplicaNode(m.Replica), m.SignedBody(), m.Sig); err != nil {
-		r.stats.DroppedInvalid++
-		return
+	if !m.SigVerified() {
+		r.cfg.Costs.ChargeVerify(ctx, 1)
+		if err := r.cfg.Auth.Verify(types.ReplicaNode(m.Replica), m.SignedBody(), m.Sig); err != nil {
+			r.stats.DroppedInvalid++
+			return
+		}
 	}
 	s := r.slot(m.Seq)
 	if s.havePre && s.cmdDigest != m.CmdDigest {
@@ -539,10 +562,12 @@ func (r *Replica) stateDigest() types.Digest {
 }
 
 func (r *Replica) handleCheckpoint(ctx proc.Context, m *Checkpoint) {
-	r.cfg.Costs.ChargeVerify(ctx, 1)
-	if err := r.cfg.Auth.Verify(types.ReplicaNode(m.Replica), m.SignedBody(), m.Sig); err != nil {
-		r.stats.DroppedInvalid++
-		return
+	if !m.SigVerified() {
+		r.cfg.Costs.ChargeVerify(ctx, 1)
+		if err := r.cfg.Auth.Verify(types.ReplicaNode(m.Replica), m.SignedBody(), m.Sig); err != nil {
+			r.stats.DroppedInvalid++
+			return
+		}
 	}
 	r.recordCheckpoint(m.Seq, m.Replica, m.Digest)
 }
@@ -630,10 +655,12 @@ func (r *Replica) handleViewChange(ctx proc.Context, m *ViewChange) {
 	if m.NewView <= r.view {
 		return
 	}
-	r.cfg.Costs.ChargeVerify(ctx, 1)
-	if err := r.cfg.Auth.Verify(types.ReplicaNode(m.Replica), m.SignedBody(), m.Sig); err != nil {
-		r.stats.DroppedInvalid++
-		return
+	if !m.SigVerified() {
+		r.cfg.Costs.ChargeVerify(ctx, 1)
+		if err := r.cfg.Auth.Verify(types.ReplicaNode(m.Replica), m.SignedBody(), m.Sig); err != nil {
+			r.stats.DroppedInvalid++
+			return
+		}
 	}
 	r.acceptViewChange(ctx, m)
 }
@@ -672,10 +699,12 @@ func (r *Replica) handleNewView(ctx proc.Context, m *NewView) {
 	if m.View <= r.view || primaryOf(m.View, r.n) != m.Replica {
 		return
 	}
-	r.cfg.Costs.ChargeVerify(ctx, 1)
-	if err := r.cfg.Auth.Verify(types.ReplicaNode(m.Replica), m.SignedBody(), m.Sig); err != nil {
-		r.stats.DroppedInvalid++
-		return
+	if !m.SigVerified() {
+		r.cfg.Costs.ChargeVerify(ctx, 1)
+		if err := r.cfg.Auth.Verify(types.ReplicaNode(m.Replica), m.SignedBody(), m.Sig); err != nil {
+			r.stats.DroppedInvalid++
+			return
+		}
 	}
 	r.applyNewView(ctx, m)
 }

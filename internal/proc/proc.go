@@ -59,6 +59,34 @@ type Context interface {
 	Rand() *rand.Rand
 }
 
+// Broadcaster is optionally implemented by runtime contexts whose
+// transport can deliver one message to many destinations more cheaply than
+// a loop of Sends — the live runtime's encode-once broadcast, which
+// marshals a frame into one buffer and writes the same bytes to every TCP
+// peer. The discrete-event simulator deliberately does not implement it:
+// per-destination Send keeps the charged per-send costs (and so every
+// simulated figure) identical to the paper's per-destination model.
+type Broadcaster interface {
+	// Broadcast sends msg to every destination in tos. Delivery semantics
+	// match Send (asynchronous, reorderable, droppable), destination by
+	// destination.
+	Broadcast(tos []types.NodeID, msg codec.Message)
+}
+
+// Broadcast sends msg to every destination, through the context's
+// encode-once fast path when the runtime provides one and a plain Send loop
+// otherwise. Protocols use it for their all-replica (and all-client)
+// fan-outs instead of hand-rolled loops.
+func Broadcast(ctx Context, tos []types.NodeID, msg codec.Message) {
+	if b, ok := ctx.(Broadcaster); ok {
+		b.Broadcast(tos, msg)
+		return
+	}
+	for _, to := range tos {
+		ctx.Send(to, msg)
+	}
+}
+
 // Process is a protocol node.
 type Process interface {
 	// ID returns the node's transport address.

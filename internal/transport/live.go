@@ -3,6 +3,31 @@
 // here on goroutines with wall-clock timers, connected by an in-process
 // mesh or by TCP. This is the substrate for the live binaries
 // (cmd/ezbft-server, cmd/ezbft-client) and the tcpcluster example.
+//
+// # The inbound verification pipeline
+//
+// Every node on a live substrate can sit behind a VerifyPool: inbound
+// messages are decoded (TCP) or received (mesh), then handed to a small
+// worker pool that runs the protocol engine's inbound pre-verifier — a
+// predicate that checks every signature the node's process loop would
+// otherwise check unconditionally, marks the message (codec.Verified), and
+// accepts or drops it. Signature work thus runs concurrently across
+// messages and cores while each process loop stays single-threaded and
+// nearly crypto-free; the loop re-checks only unmarked messages, which is
+// what sim-delivered (and test-injected) messages are, so the simulator's
+// charged cost model and all paper-reproduction figures are untouched.
+//
+// Ordering guarantees: the pool may reorder messages relative to their
+// arrival on a connection (workers finish out of order), and drops
+// verification failures silently. Both are behaviours the protocols already
+// tolerate from the network itself — no protocol in this repository assumes
+// point-to-point FIFO, ezBFT's instance-space contiguity buffer reassembles
+// SPECORDER order explicitly, and the baselines buffer out-of-order
+// sequence numbers. Within one message all checks complete before delivery,
+// so a process never observes a partially verified frame. Messages a
+// predicate cannot vouch for (signatures the loop checks only
+// conditionally) pass through unmarked rather than being dropped, keeping
+// pool-on and pool-off behaviour byte-for-byte equivalent.
 package transport
 
 import (
@@ -26,6 +51,16 @@ var ErrAborted = errors.New("transport: injection aborted")
 // Sender delivers messages to remote nodes.
 type Sender interface {
 	Send(from, to types.NodeID, msg codec.Message) error
+}
+
+// MultiSender is optionally implemented by Senders with an encode-once
+// broadcast: one marshal of msg serves every destination (TCP writes the
+// same frame bytes to each peer socket; the in-process mesh hands every
+// recipient the same decoded value under a single registry lookup).
+// Per-destination failures degrade to message loss, exactly like Send.
+type MultiSender interface {
+	Sender
+	SendAll(from types.NodeID, tos []types.NodeID, msg codec.Message) error
 }
 
 // envelope is one queued delivery.
@@ -202,6 +237,20 @@ func (c *liveCtx) Send(to types.NodeID, msg codec.Message) {
 	_ = c.n.sender.Send(c.n.p.ID(), to, msg)
 }
 
+// Broadcast implements proc.Broadcaster: one encode serves every
+// destination when the transport supports it.
+func (c *liveCtx) Broadcast(tos []types.NodeID, msg codec.Message) {
+	if ms, ok := c.n.sender.(MultiSender); ok {
+		_ = ms.SendAll(c.n.p.ID(), tos, msg)
+		return
+	}
+	for _, to := range tos {
+		_ = c.n.sender.Send(c.n.p.ID(), to, msg)
+	}
+}
+
+var _ proc.Broadcaster = (*liveCtx)(nil)
+
 // SetTimer implements proc.Context.
 func (c *liveCtx) SetTimer(id proc.TimerID, d time.Duration) {
 	n := c.n
@@ -246,25 +295,44 @@ func (c *liveCtx) Rand() *rand.Rand { return c.n.rng }
 
 // Mesh is an in-process Sender connecting live nodes directly (optionally
 // with a simulated delay), for single-process multi-node deployments and
-// tests.
+// tests. Nodes attach either bare (messages go straight to the node's
+// inbox) or behind a VerifyPool (messages pass the node's inbound signature
+// pre-verifier first, off the sender's and receiver's process loops).
 type Mesh struct {
 	mu    sync.RWMutex
-	nodes map[types.NodeID]*LiveNode
+	nodes map[types.NodeID]meshEntry
 	delay time.Duration
 }
 
-var _ Sender = (*Mesh)(nil)
+// meshEntry is one attached node: its delivery path plus the node identity
+// Detach matches on.
+type meshEntry struct {
+	node    *LiveNode
+	deliver func(from types.NodeID, msg codec.Message)
+}
+
+var _ MultiSender = (*Mesh)(nil)
 
 // NewMesh creates an empty mesh with a fixed delivery delay.
 func NewMesh(delay time.Duration) *Mesh {
-	return &Mesh{nodes: make(map[types.NodeID]*LiveNode), delay: delay}
+	return &Mesh{nodes: make(map[types.NodeID]meshEntry), delay: delay}
 }
 
-// Attach registers a node.
+// Attach registers a node; inbound messages go straight to its inbox.
 func (m *Mesh) Attach(n *LiveNode) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.nodes[n.p.ID()] = n
+	m.nodes[n.p.ID()] = meshEntry{node: n, deliver: n.Deliver}
+}
+
+// AttachPool registers a node behind a verification pool: inbound messages
+// are submitted to the pool, whose workers verify (and mark) them before
+// delivering to the node. The caller owns the pool's lifecycle; close it
+// after detaching the node.
+func (m *Mesh) AttachPool(n *LiveNode, pool *VerifyPool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.nodes[n.p.ID()] = meshEntry{node: n, deliver: pool.Submit}
 }
 
 // Detach unregisters a node; subsequent sends to it are dropped like any
@@ -272,7 +340,7 @@ func (m *Mesh) Attach(n *LiveNode) {
 func (m *Mesh) Detach(n *LiveNode) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if m.nodes[n.p.ID()] == n {
+	if e, ok := m.nodes[n.p.ID()]; ok && e.node == n {
 		delete(m.nodes, n.p.ID())
 	}
 }
@@ -285,10 +353,32 @@ func (m *Mesh) Send(from, to types.NodeID, msg codec.Message) error {
 	if !ok {
 		return nil // unknown destination: dropped like the network would
 	}
-	if m.delay <= 0 {
-		dst.Deliver(from, msg)
-		return nil
-	}
-	time.AfterFunc(m.delay, func() { dst.Deliver(from, msg) })
+	m.dispatch(from, dst, msg)
 	return nil
+}
+
+// SendAll implements MultiSender: every recipient receives the same decoded
+// message value under one registry lookup. (Verification marks on the
+// shared value are atomic and receiver-independent; see codec.Verified.)
+func (m *Mesh) SendAll(from types.NodeID, tos []types.NodeID, msg codec.Message) error {
+	m.mu.RLock()
+	dsts := make([]meshEntry, 0, len(tos))
+	for _, to := range tos {
+		if dst, ok := m.nodes[to]; ok {
+			dsts = append(dsts, dst)
+		}
+	}
+	m.mu.RUnlock()
+	for _, dst := range dsts {
+		m.dispatch(from, dst, msg)
+	}
+	return nil
+}
+
+func (m *Mesh) dispatch(from types.NodeID, dst meshEntry, msg codec.Message) {
+	if m.delay <= 0 {
+		dst.deliver(from, msg)
+		return
+	}
+	time.AfterFunc(m.delay, func() { dst.deliver(from, msg) })
 }

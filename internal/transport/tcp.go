@@ -161,6 +161,44 @@ func (p *TCPPeer) Send(from, to types.NodeID, msg codec.Message) error {
 	return nil
 }
 
+// SendAll implements MultiSender: the frame is marshaled once into a
+// pooled buffer and the same bytes are written to every destination's
+// socket — replacing one marshal per destination on the broadcast-heavy
+// protocol paths. Self-sends loop back the decoded message; a failed write
+// drops that destination's connection and moves on (message loss, which
+// the protocols tolerate). The first write error is returned.
+func (p *TCPPeer) SendAll(from types.NodeID, tos []types.NodeID, msg codec.Message) error {
+	bp := framePool.Get().(*[]byte)
+	frame := append((*bp)[:0], 0, 0, 0, 0)
+	frame = codec.AppendMarshal(frame, msg)
+	binary.BigEndian.PutUint32(frame[:4], uint32(len(frame)-4))
+	var firstErr error
+	for _, to := range tos {
+		if to == p.self {
+			p.onMsg(from, msg)
+			continue
+		}
+		conn, err := p.conn(to)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		if _, werr := conn.Write(frame); werr != nil {
+			p.dropConn(to, conn)
+			if firstErr == nil {
+				firstErr = werr
+			}
+		}
+	}
+	*bp = frame[:0]
+	framePool.Put(bp)
+	return firstErr
+}
+
+var _ MultiSender = (*TCPPeer)(nil)
+
 func (p *TCPPeer) conn(to types.NodeID) (net.Conn, error) {
 	p.mu.Lock()
 	if p.closed {

@@ -25,8 +25,12 @@ type VerifyPool struct {
 	deliver func(from types.NodeID, msg codec.Message)
 	jobs    chan verifyJob
 
-	closeOnce sync.Once
-	wg        sync.WaitGroup
+	// mu guards closed against concurrent Submit/Close: on the in-process
+	// mesh, peers (and delayed-delivery timers) may still be sending when a
+	// node detaches and closes its pool.
+	mu     sync.RWMutex
+	closed bool
+	wg     sync.WaitGroup
 }
 
 type verifyJob struct {
@@ -62,12 +66,18 @@ func NewVerifyPool(workers int, verify func(msg codec.Message) bool, deliver fun
 
 // Submit enqueues one inbound message for verification and delivery. It
 // blocks when all workers are busy and the queue is full, applying
-// backpressure to the connection reader.
+// backpressure to the sender (the TCP connection reader, or the sending
+// node on the mesh). Submitting to a closed pool drops the message, like a
+// closing socket. Safe for concurrent use with Close: a Submit blocked on
+// a full queue holds the read lock, and Close waits for it — the workers
+// keep draining until the channel actually closes, so the send always
+// completes.
 func (p *VerifyPool) Submit(from types.NodeID, msg codec.Message) {
-	defer func() {
-		// Submitting after Close loses the message, like a closing socket.
-		_ = recover()
-	}()
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return
+	}
 	p.jobs <- verifyJob{from: from, msg: msg}
 }
 
@@ -80,8 +90,13 @@ func (p *VerifyPool) worker() {
 	}
 }
 
-// Close drains the queue and stops the workers.
+// Close drains the queue and stops the workers; closing twice is a no-op.
 func (p *VerifyPool) Close() {
-	p.closeOnce.Do(func() { close(p.jobs) })
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.jobs)
+	}
+	p.mu.Unlock()
 	p.wg.Wait()
 }

@@ -181,6 +181,9 @@ type OpenLoop struct {
 	Recorder Recorder
 	// Interval is the time between consecutive submissions.
 	Interval time.Duration
+	// Rate is the target submissions per second, an alternative to
+	// Interval (used when Interval is zero; 1000 req/s ≡ Interval 1ms).
+	Rate float64
 	// MaxInFlight caps outstanding requests (0 = unlimited); when at the
 	// cap a tick is skipped, modelling client-side backpressure.
 	MaxInFlight int
@@ -197,9 +200,24 @@ var _ Driver = (*OpenLoop)(nil)
 // Done returns the number of completed requests.
 func (d *OpenLoop) Done() uint64 { return d.done }
 
+// interval returns the submission period: Interval when set, else derived
+// from Rate, else one millisecond.
+func (d *OpenLoop) interval() time.Duration {
+	if d.Interval > 0 {
+		return d.Interval
+	}
+	if d.Rate > 0 {
+		if iv := time.Duration(float64(time.Second) / d.Rate); iv > 0 {
+			return iv
+		}
+		return time.Nanosecond
+	}
+	return time.Millisecond
+}
+
 // Start implements Driver.
 func (d *OpenLoop) Start(ctx proc.Context, s Submitter) {
-	ctx.SetTimer(DriverTimerBase, d.Interval)
+	ctx.SetTimer(DriverTimerBase, d.interval())
 }
 
 // Completed implements Driver.
@@ -222,7 +240,7 @@ func (d *OpenLoop) OnTimer(ctx proc.Context, s Submitter, id proc.TimerID) {
 		d.seq++
 		s.Submit(ctx, d.Gen.Next(ctx, s.ClientID(), d.seq))
 	}
-	ctx.SetTimer(DriverTimerBase, d.Interval)
+	ctx.SetTimer(DriverTimerBase, d.interval())
 }
 
 // FixedScript submits a fixed command sequence, one at a time; tests use it

@@ -60,6 +60,9 @@ type Client struct {
 	view    uint64 // learned from responses
 	pending map[uint64]*pendingReq
 	stats   ClientStats
+
+	// replicas lists every replica's address, precomputed for broadcasts.
+	replicas []types.NodeID
 }
 
 var (
@@ -86,13 +89,17 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 	if cfg.RetryTimeout <= 0 {
 		cfg.RetryTimeout = 4 * time.Second
 	}
-	return &Client{
+	c := &Client{
 		cfg:     cfg,
 		n:       cfg.N,
 		f:       faults(cfg.N),
 		view:    uint64(cfg.Primary),
 		pending: make(map[uint64]*pendingReq),
-	}, nil
+	}
+	for i := 0; i < cfg.N; i++ {
+		c.replicas = append(c.replicas, types.ReplicaNode(types.ReplicaID(i)))
+	}
+	return c, nil
 }
 
 // ID implements proc.Process.
@@ -165,9 +172,7 @@ func (c *Client) OnTimer(ctx proc.Context, id proc.TimerID) {
 		c.stats.Retries++
 		// Retransmit to every replica; backups forward to the primary and
 		// start suspecting it.
-		for i := 0; i < c.n; i++ {
-			ctx.Send(types.ReplicaNode(types.ReplicaID(i)), p.req)
-		}
+		proc.Broadcast(ctx, c.replicas, p.req)
 		shift := p.retries
 		if shift > 6 {
 			shift = 6
@@ -181,9 +186,11 @@ func (c *Client) handleSpecResponse(ctx proc.Context, m *SpecResponse) {
 	if !ok || m.Client != c.cfg.ID {
 		return
 	}
-	c.cfg.Costs.ChargeVerify(ctx, 1)
-	if err := c.cfg.Auth.Verify(types.ReplicaNode(m.Replica), m.SignedBody(), m.Sig); err != nil {
-		return
+	if !m.SigVerified() {
+		c.cfg.Costs.ChargeVerify(ctx, 1)
+		if err := c.cfg.Auth.Verify(types.ReplicaNode(m.Replica), m.SignedBody(), m.Sig); err != nil {
+			return
+		}
 	}
 	if m.CmdDigest != p.cmd.Digest() {
 		return
@@ -241,9 +248,7 @@ func (c *Client) tryCommitCert(ctx proc.Context, p *pendingReq) bool {
 		CmdDigest: cert[0].CmdDigest,
 		Cert:      cert,
 	}
-	for i := 0; i < c.n; i++ {
-		ctx.Send(types.ReplicaNode(types.ReplicaID(i)), cc)
-	}
+	proc.Broadcast(ctx, c.replicas, cc)
 	p.certSent = true
 	p.certSeq = cc.Seq
 	c.stats.SlowDecisions++
@@ -264,9 +269,11 @@ func (c *Client) handleLocalCommit(ctx proc.Context, m *LocalCommit) {
 	if p == nil {
 		return
 	}
-	c.cfg.Costs.ChargeVerify(ctx, 1)
-	if err := c.cfg.Auth.Verify(types.ReplicaNode(m.Replica), m.SignedBody(), m.Sig); err != nil {
-		return
+	if !m.SigVerified() {
+		c.cfg.Costs.ChargeVerify(ctx, 1)
+		if err := c.cfg.Auth.Verify(types.ReplicaNode(m.Replica), m.SignedBody(), m.Sig); err != nil {
+			return
+		}
 	}
 	p.locals[m.Replica] = m
 	if len(p.locals) >= commQuorum(c.n) {

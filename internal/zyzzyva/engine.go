@@ -22,10 +22,11 @@ func (zyEngine) Protocol() engine.Protocol { return engine.Zyzzyva }
 func (zyEngine) NewReplica(o engine.ReplicaOptions) (proc.Process, error) {
 	cfg := ReplicaConfig{
 		Self: o.Self, N: o.N, App: o.App, Auth: o.Auth, Costs: o.Costs,
-		InitialView: uint64(o.Primary),
-		BatchSize:   o.BatchSize,
-		BatchDelay:  o.BatchDelay,
-		Mute:        o.Mute,
+		InitialView:   uint64(o.Primary),
+		BatchSize:     o.BatchSize,
+		BatchDelay:    o.BatchDelay,
+		BatchAdaptive: o.BatchAdaptive,
+		Mute:          o.Mute,
 	}
 	if o.LatencyBound > 0 {
 		cfg.ForwardTimeout = 4 * o.LatencyBound
@@ -50,25 +51,50 @@ func (zyEngine) NewClient(o engine.ClientOptions) (engine.Client, error) {
 	return zyClient{c}, nil
 }
 
-// InboundVerifier implements engine.Engine: ORDERREQ batches verify on the
-// transport worker pool.
+// InboundVerifier implements engine.Engine: every signed Zyzzyva message
+// verifies on the transport worker pool.
 func (zyEngine) InboundVerifier(a auth.Authenticator, n int) func(msg codec.Message) bool {
 	return PreVerifier(a, n)
 }
 
-// PreVerifier returns a transport-side verification predicate for a
-// replica in a cluster of n: ORDERREQ messages have their primary
-// signature and every embedded client signature checked (and are marked so
-// the replica's single-threaded process loop skips re-verifying them); all
-// other message types pass through unverified and are checked in-loop as
-// usual. Safe for concurrent use.
+// PreVerifier returns the transport-side verification predicate for a
+// Zyzzyva node (replica or client) in a cluster of n: every signature the
+// process loop checks unconditionally — the ORDERREQ primary + embedded
+// client signatures, REQUEST client signatures, the SPECRESPONSE
+// signatures inside COMMITCERT certificates, view-change votes, and
+// SPECRESPONSE/LOCALCOMMIT replica signatures at clients — is checked on
+// the pool workers and the message marked, so the loop skips re-verifying
+// it; unknown message types pass through untouched. Safe for concurrent
+// use.
 func PreVerifier(a auth.Authenticator, n int) func(msg codec.Message) bool {
 	return func(msg codec.Message) bool {
-		or, ok := msg.(*OrderReq)
-		if !ok {
+		switch m := msg.(type) {
+		case *Request:
+			return engine.VerifySigned(a, types.ClientNode(m.Cmd.Client), m, m.Sig)
+		case *OrderReq:
+			return engine.VerifyFrame(a, types.ReplicaNode(primaryOf(m.View, n)), m, maxBatch-1)
+		case *SpecResponse:
+			return engine.VerifySigned(a, types.ReplicaNode(m.Replica), m, m.Sig)
+		case *CommitCert:
+			// The certificate itself carries no signature; the per-element
+			// marks are what the loop's validation consults.
+			for _, sr := range m.Cert {
+				if !engine.VerifySigned(a, types.ReplicaNode(sr.Replica), sr, sr.Sig) {
+					return false
+				}
+			}
+			return true
+		case *LocalCommit:
+			return engine.VerifySigned(a, types.ReplicaNode(m.Replica), m, m.Sig)
+		case *HatePrimary:
+			return engine.VerifySigned(a, types.ReplicaNode(m.Replica), m, m.Sig)
+		case *ViewChange:
+			return engine.VerifySigned(a, types.ReplicaNode(m.Replica), m, m.Sig)
+		case *NewView:
+			return engine.VerifySigned(a, types.ReplicaNode(m.Replica), m, m.Sig)
+		default:
 			return true
 		}
-		return engine.VerifyFrame(a, types.ReplicaNode(primaryOf(or.View, n)), or, maxBatch-1)
 	}
 }
 

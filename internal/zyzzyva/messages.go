@@ -43,6 +43,20 @@ const maxBatch = 4096
 type Request struct {
 	Cmd types.Command
 	Sig []byte
+
+	codec.Verified // transport-side pre-verification marker; never marshaled
+}
+
+// Clone returns a copy safe to take while other nodes' verifier pools may
+// still be marking the shared original (client retransmissions hand one
+// decoded Request to every replica on the in-process mesh): the embedded
+// Verified flag is re-read atomically instead of plain-copied.
+func (m *Request) Clone() Request {
+	cp := Request{Cmd: m.Cmd, Sig: m.Sig}
+	if m.SigVerified() {
+		cp.MarkSigVerified()
+	}
+	return cp
 }
 
 // Tag implements codec.Message.
@@ -81,16 +95,12 @@ type OrderReq struct {
 	Batch     []Request // requests 2..k of the batch (nil when unbatched)
 	Sig       []byte
 
-	// sigVerified is set by a transport-side verifier pool (see
-	// PreVerifier) so the process loop skips re-verifying the primary and
-	// embedded client signatures. Never marshaled.
-	sigVerified bool
+	// Verified marks that the primary signature and every embedded client
+	// signature were checked by a transport-side verifier pool (see
+	// PreVerifier); part of the engine.OrderingFrame surface. Never
+	// marshaled.
+	codec.Verified
 }
-
-// MarkSigVerified records that the primary signature and every embedded
-// client signature were already verified by a transport-side worker pool
-// (part of the engine.OrderingFrame surface).
-func (m *OrderReq) MarkSigVerified() { m.sigVerified = true }
 
 // Signature implements engine.OrderingFrame.
 func (m *OrderReq) Signature() []byte { return m.Sig }
@@ -203,6 +213,8 @@ type SpecResponse struct {
 	Batched   bool   // true when the sequence number orders a batch of ≥ 2
 	BatchIdx  uint32 // position of the command within the batch
 	Sig       []byte
+
+	codec.Verified // transport-side pre-verification marker; never marshaled
 }
 
 // Tag implements codec.Message.
@@ -350,6 +362,8 @@ type LocalCommit struct {
 	Replica   types.ReplicaID
 	Result    types.Result
 	Sig       []byte
+
+	codec.Verified // transport-side pre-verification marker; never marshaled
 }
 
 // Tag implements codec.Message.
@@ -395,6 +409,8 @@ type HatePrimary struct {
 	View    uint64
 	Replica types.ReplicaID
 	Sig     []byte
+
+	codec.Verified // transport-side pre-verification marker; never marshaled
 }
 
 // Tag implements codec.Message.
@@ -430,6 +446,8 @@ type ViewChange struct {
 	// Entries are the commands ordered since the last stable point.
 	Entries []VCEntry
 	Sig     []byte
+
+	codec.Verified // transport-side pre-verification marker; never marshaled
 }
 
 // VCEntry is one history entry in a view change. Batched assignments are
@@ -556,6 +574,8 @@ type NewView struct {
 	Replica types.ReplicaID
 	Entries []VCEntry
 	Sig     []byte
+
+	codec.Verified // transport-side pre-verification marker; never marshaled
 }
 
 // Tag implements codec.Message.

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"ezbft/internal/auth"
+	"ezbft/internal/codec"
 	"ezbft/internal/engine"
 	"ezbft/internal/transport"
 	"ezbft/internal/types"
@@ -57,6 +58,23 @@ type LiveConfig struct {
 	// BatchDelay bounds how long an incomplete batch waits before flushing
 	// (0 = the protocol default).
 	BatchDelay time.Duration
+	// BatchAdaptive enables adaptive batch sizing: idle leaders keep
+	// batch-of-one latency, saturated ones stretch toward BatchDelay and
+	// converge on BatchSize automatically.
+	BatchAdaptive bool
+	// VerifyWorkers sizes each node's inbound signature-verification pool
+	// (0 = GOMAXPROCS). Every node — replica and client — pre-verifies
+	// inbound signatures on pool workers before its process loop sees the
+	// message; DisablePreVerify turns the pools off.
+	VerifyWorkers int
+	// DisablePreVerify delivers inbound messages straight to the process
+	// loops, which then verify signatures inline (the pre-PR-4 behaviour;
+	// ablation studies use it).
+	DisablePreVerify bool
+	// DisableVerifyCache turns off the cluster's shared verified-signature
+	// cache (auth.VerifyCache); every signature is then re-verified at
+	// every arrival (ablation studies use it).
+	DisableVerifyCache bool
 }
 
 // LiveCluster is a real-time in-process deployment: N replica goroutines
@@ -64,15 +82,18 @@ type LiveConfig struct {
 // Every protocol registered with internal/engine runs on this substrate,
 // against any Application the config's factory builds.
 type LiveCluster struct {
-	mesh       *transport.Mesh
-	eng        engine.Engine
-	provider   *auth.Provider
-	n          int
-	primary    ReplicaID
-	maxClients int
+	mesh          *transport.Mesh
+	eng           engine.Engine
+	provider      *auth.Provider
+	n             int
+	primary       ReplicaID
+	maxClients    int
+	verifyWorkers int
+	preVerify     bool
 
 	mu      sync.Mutex
 	nodes   []*transport.LiveNode
+	pools   []*transport.VerifyPool
 	clients []*Client
 	nextCID types.ClientID
 	apps    []Application
@@ -115,14 +136,22 @@ func NewLiveCluster(cfg LiveConfig) (*LiveCluster, error) {
 	if err != nil {
 		return nil, err
 	}
+	if !cfg.DisableVerifyCache {
+		// One shared verified-signature memo for the whole in-process
+		// cluster: every node shares the provider's key material already, so
+		// each broadcast frame costs one real verification cluster-wide.
+		provider.UseCache(0)
+	}
 
 	lc := &LiveCluster{
-		mesh:       transport.NewMesh(cfg.Delay),
-		eng:        eng,
-		provider:   provider,
-		n:          cfg.N,
-		primary:    cfg.Primary,
-		maxClients: cfg.MaxClients,
+		mesh:          transport.NewMesh(cfg.Delay),
+		eng:           eng,
+		provider:      provider,
+		n:             cfg.N,
+		primary:       cfg.Primary,
+		maxClients:    cfg.MaxClients,
+		verifyWorkers: cfg.VerifyWorkers,
+		preVerify:     !cfg.DisablePreVerify,
 	}
 	for i := 0; i < cfg.N; i++ {
 		rid := types.ReplicaID(i)
@@ -133,16 +162,19 @@ func NewLiveCluster(cfg LiveConfig) (*LiveCluster, error) {
 		}
 		rep, err := eng.NewReplica(engine.ReplicaOptions{
 			Self: rid, N: cfg.N, App: app, Auth: a,
-			Primary:      cfg.Primary,
-			LatencyBound: 500 * time.Millisecond,
-			BatchSize:    cfg.BatchSize,
-			BatchDelay:   cfg.BatchDelay,
+			Primary:       cfg.Primary,
+			LatencyBound:  500 * time.Millisecond,
+			BatchSize:     cfg.BatchSize,
+			BatchDelay:    cfg.BatchDelay,
+			BatchAdaptive: cfg.BatchAdaptive,
 		})
 		if err != nil {
 			return nil, err
 		}
 		node := transport.NewLiveNode(rep, lc.mesh, int64(i)+1)
-		lc.mesh.Attach(node)
+		if pool := lc.attach(node, a); pool != nil {
+			lc.pools = append(lc.pools, pool)
+		}
 		lc.nodes = append(lc.nodes, node)
 		lc.apps = append(lc.apps, app)
 	}
@@ -150,6 +182,20 @@ func NewLiveCluster(cfg LiveConfig) (*LiveCluster, error) {
 		node.Start()
 	}
 	return lc, nil
+}
+
+// attach registers a node on the mesh, behind an inbound verification pool
+// unless pre-verification is disabled; the pool (nil if none) is the
+// caller's to close after the node stops.
+func (lc *LiveCluster) attach(node *transport.LiveNode, a auth.Authenticator) *transport.VerifyPool {
+	if !lc.preVerify {
+		lc.mesh.Attach(node)
+		return nil
+	}
+	pool := transport.NewVerifyPool(lc.verifyWorkers, lc.eng.InboundVerifier(a, lc.n),
+		func(from types.NodeID, msg codec.Message) { node.Deliver(from, msg) })
+	lc.mesh.AttachPool(node, pool)
+	return pool
 }
 
 // Close stops every replica and client; clients blocked in Execute or
@@ -162,6 +208,7 @@ func (lc *LiveCluster) Close() {
 	}
 	lc.closed = true
 	nodes := append([]*transport.LiveNode(nil), lc.nodes...)
+	pools := append([]*transport.VerifyPool(nil), lc.pools...)
 	clients := append([]*Client(nil), lc.clients...)
 	lc.mu.Unlock()
 	for _, c := range clients {
@@ -169,6 +216,9 @@ func (lc *LiveCluster) Close() {
 	}
 	for _, n := range nodes {
 		n.Stop()
+	}
+	for _, p := range pools {
+		p.Close()
 	}
 }
 
@@ -209,8 +259,13 @@ func (lc *LiveCluster) NewClient(leader ReplicaID) (*LiveClient, error) {
 		return nil, err
 	}
 	node := transport.NewLiveNode(inner, lc.mesh, int64(cid)+1000)
-	lc.mesh.Attach(node)
-	client := newClient(node, inner, bridge, func() { lc.mesh.Detach(node) })
+	pool := lc.attach(node, a)
+	client := newClient(node, inner, bridge, func() {
+		lc.mesh.Detach(node)
+		if pool != nil {
+			pool.Close()
+		}
+	})
 	lc.clients = append(lc.clients, client)
 	return client, nil
 }

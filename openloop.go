@@ -1,0 +1,106 @@
+package ezbft
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultOpenLoopWindow is the in-flight window OpenLoop uses when the
+// caller passes maxInFlight <= 0.
+const DefaultOpenLoopWindow = 64
+
+// OpenLoopStats summarizes one OpenLoop run.
+type OpenLoopStats struct {
+	// Submitted counts commands handed to the protocol.
+	Submitted uint64
+	// Completed counts commands that committed.
+	Completed uint64
+	// Errors counts commands that failed (client or cluster closed
+	// mid-flight).
+	Errors uint64
+	// Throttled counts ticks skipped by backpressure: the in-flight window
+	// was full because the cluster was not keeping up with the target rate.
+	Throttled uint64
+}
+
+// OpenLoop submits commands at a target rate (commands per second) until
+// ctx is done, keeping at most maxInFlight commands outstanding
+// (DefaultOpenLoopWindow when <= 0) — the paper's open-loop throughput
+// client, built on Submit's pipelining. next produces the i'th command
+// (the client stamps identity and timestamp). When the in-flight window
+// outruns the cluster a tick is skipped instead of queueing unboundedly —
+// per-client backpressure, reported in Throttled. On return every
+// submitted command has resolved (committed, or failed because the client
+// or cluster closed).
+func (c *Client) OpenLoop(ctx context.Context, rate float64, next func(i uint64) Command, maxInFlight int) (OpenLoopStats, error) {
+	var stats OpenLoopStats
+	if next == nil {
+		return stats, errors.New("ezbft: OpenLoop requires a command generator")
+	}
+	if rate <= 0 {
+		return stats, errors.New("ezbft: OpenLoop rate must be positive")
+	}
+	if maxInFlight <= 0 {
+		maxInFlight = DefaultOpenLoopWindow
+	}
+	interval := time.Duration(float64(time.Second) / rate)
+	if interval <= 0 {
+		interval = time.Nanosecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+
+	var (
+		wg        sync.WaitGroup
+		window    = make(chan struct{}, maxInFlight)
+		completed atomic.Uint64
+		failed    atomic.Uint64
+	)
+loop:
+	for i := uint64(0); ; i++ {
+		select {
+		case <-ctx.Done():
+			break loop
+		case <-ticker.C:
+		}
+		select {
+		case window <- struct{}{}:
+		default:
+			// The window is full: the cluster is behind the target rate.
+			// Skipping the tick (rather than queueing) bounds client memory
+			// and keeps the offered load honest.
+			stats.Throttled++
+			continue
+		}
+		f, err := c.Submit(ctx, next(i))
+		if err != nil {
+			<-window
+			if ctx.Err() != nil {
+				break loop
+			}
+			stats.Errors++
+			continue
+		}
+		stats.Submitted++
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { <-window }()
+			// Waiting without the run context: a command already submitted
+			// commits (or fails on shutdown) regardless of the rate loop
+			// ending, and its resolution is part of the run's accounting.
+			if _, err := f.Wait(context.Background()); err != nil {
+				failed.Add(1)
+			} else {
+				completed.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	stats.Completed = completed.Load()
+	stats.Errors += failed.Load()
+	return stats, nil
+}

@@ -40,6 +40,9 @@ type TCPReplicaConfig struct {
 	// BatchDelay bounds how long an incomplete batch waits before
 	// flushing (0 = the protocol default).
 	BatchDelay time.Duration
+	// BatchAdaptive enables adaptive batch sizing: an idle replica keeps
+	// batch-of-one latency, a saturated one stretches toward BatchDelay.
+	BatchAdaptive bool
 	// VerifyWorkers sizes the inbound signature-verification worker pool
 	// (0 = GOMAXPROCS).
 	VerifyWorkers int
@@ -81,13 +84,14 @@ func StartTCPReplica(cfg TCPReplicaConfig) (*TCPReplica, error) {
 	ring := auth.NewHMACKeyring(cfg.Secret)
 	a := ring.ForNode(types.ReplicaNode(cfg.ID))
 	rep, err := eng.NewReplica(engine.ReplicaOptions{
-		Self:       cfg.ID,
-		N:          cfg.N,
-		App:        app,
-		Auth:       a,
-		Primary:    cfg.Primary,
-		BatchSize:  cfg.BatchSize,
-		BatchDelay: cfg.BatchDelay,
+		Self:          cfg.ID,
+		N:             cfg.N,
+		App:           app,
+		Auth:          a,
+		Primary:       cfg.Primary,
+		BatchSize:     cfg.BatchSize,
+		BatchDelay:    cfg.BatchDelay,
+		BatchAdaptive: cfg.BatchAdaptive,
 	})
 	if err != nil {
 		return nil, err
@@ -98,9 +102,10 @@ func StartTCPReplica(cfg TCPReplicaConfig) (*TCPReplica, error) {
 		addrs[types.ReplicaNode(id)] = addr
 	}
 	node := transport.NewLiveNode(rep, nil, int64(cfg.ID)+1)
-	// Inbound ordering frames (SPECORDER / PRE-PREPARE / ORDERREQ /
-	// PROPOSE batches) have their signatures verified on a worker pool in
-	// parallel before entering the single-threaded process loop.
+	// Every signed inbound message — ordering frames, requests, commit
+	// certificates, owner-change traffic — has its signatures verified on a
+	// worker pool in parallel before entering the single-threaded process
+	// loop.
 	pool := transport.NewVerifyPool(cfg.VerifyWorkers, eng.InboundVerifier(a, cfg.N),
 		func(from types.NodeID, msg codec.Message) { node.Deliver(from, msg) })
 	peer, err := transport.NewTCPPeer(types.ReplicaNode(cfg.ID), cfg.Listen, addrs, pool.Submit)
@@ -167,6 +172,13 @@ type TCPClientConfig struct {
 	// connections, and an unreachable replica is tolerated (up to f may
 	// be down) but worth surfacing. Nil ignores the failures.
 	OnConnectError func(ReplicaID, error)
+	// VerifyWorkers sizes the client's inbound signature-verification pool
+	// (0 = GOMAXPROCS); processes hosting many clients should set it low.
+	VerifyWorkers int
+	// DisablePreVerify delivers inbound replies straight to the client's
+	// process loop, which then verifies signatures inline (ablations and
+	// the pre-PR-4 behaviour).
+	DisablePreVerify bool
 }
 
 // NewTCPClient connects a pipelined, context-aware Client to a TCP
@@ -198,11 +210,12 @@ func NewTCPClient(cfg TCPClientConfig) (*Client, error) {
 	}
 
 	ring := auth.NewHMACKeyring(cfg.Secret)
+	a := ring.ForNode(types.ClientNode(cfg.ID))
 	bridge := newFutureBridge()
 	inner, err := eng.NewClient(engine.ClientOptions{
 		ID: cfg.ID, N: cfg.N,
 		Nearest: cfg.Nearest, Primary: cfg.Nearest,
-		Auth:   ring.ForNode(types.ClientNode(cfg.ID)),
+		Auth:   a,
 		Driver: bridge,
 
 		LatencyBound: cfg.LatencyBound,
@@ -215,9 +228,22 @@ func NewTCPClient(cfg TCPClientConfig) (*Client, error) {
 		addrs[types.ReplicaNode(id)] = addr
 	}
 	node := transport.NewLiveNode(inner, nil, int64(cfg.ID)+1000)
-	peer, err := transport.NewTCPPeer(types.ClientNode(cfg.ID), cfg.Listen, addrs,
-		func(from types.NodeID, msg codec.Message) { node.Deliver(from, msg) })
+	// Client-bound replies (SPECREPLY / REPLY / SPECRESPONSE and friends)
+	// pre-verify on a worker pool too, keeping the client's process loop
+	// crypto-free.
+	var (
+		pool  *transport.VerifyPool
+		onMsg = func(from types.NodeID, msg codec.Message) { node.Deliver(from, msg) }
+	)
+	if !cfg.DisablePreVerify {
+		pool = transport.NewVerifyPool(cfg.VerifyWorkers, eng.InboundVerifier(a, cfg.N), onMsg)
+		onMsg = pool.Submit
+	}
+	peer, err := transport.NewTCPPeer(types.ClientNode(cfg.ID), cfg.Listen, addrs, onMsg)
 	if err != nil {
+		if pool != nil {
+			pool.Close()
+		}
 		return nil, err
 	}
 	// Pre-register with every replica so all of them can answer directly
@@ -232,5 +258,10 @@ func NewTCPClient(cfg TCPClientConfig) (*Client, error) {
 		}
 	}
 	node.SetSender(peer)
-	return newClient(node, inner, bridge, func() { _ = peer.Close() }), nil
+	return newClient(node, inner, bridge, func() {
+		_ = peer.Close()
+		if pool != nil {
+			pool.Close()
+		}
+	}), nil
 }
