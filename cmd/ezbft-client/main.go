@@ -39,13 +39,14 @@ func run(args []string) error {
 	n := fs.Int("n", 4, "cluster size")
 	leader := fs.Int("leader", 0, "replica to submit to (the closest; the primary for primary-based protocols)")
 	replicas := fs.String("replicas", "", "comma-separated id=host:port for every replica")
-	secret := fs.String("secret", "", "shared HMAC secret (required)")
+	secret := fs.String("secret", "", "shared HMAC secret (required unless -key is given)")
+	keyFile := fs.String("key", "", "ECDSA PEM key bundle file (switches authentication to ECDSA)")
 	timeout := fs.Duration("timeout", 10*time.Second, "per-command timeout")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *secret == "" {
-		return fmt.Errorf("-secret is required")
+	if *secret == "" && *keyFile == "" {
+		return fmt.Errorf("-secret or -key is required")
 	}
 	rest := fs.Args()
 	if len(rest) == 0 {
@@ -72,6 +73,7 @@ func run(args []string) error {
 		Nearest:  ezbft.ReplicaID(*leader),
 		Replicas: addrs,
 		Secret:   []byte(*secret),
+		KeyFile:  *keyFile,
 		OnConnectError: func(rid ezbft.ReplicaID, err error) {
 			fmt.Fprintf(os.Stderr, "ezbft-client: R%d unreachable (continuing): %v\n", rid, err)
 		},

@@ -45,15 +45,18 @@ func run(args []string) error {
 	primary := fs.Int("primary", 0, "initial primary/leader (primary-based protocols)")
 	listen := fs.String("listen", ":7000", "listen address")
 	peers := fs.String("peers", "", "comma-separated id=host:port for every replica")
-	secret := fs.String("secret", "", "shared HMAC secret (required)")
+	secret := fs.String("secret", "", "shared HMAC secret (required unless -key is given)")
+	keyFile := fs.String("key", "", "ECDSA PEM key bundle file (switches authentication to ECDSA)")
 	batch := fs.Int("batch", 1, "max client requests ordered per instance (1 = unbatched)")
 	batchDelay := fs.Duration("batch-delay", 2*time.Millisecond, "max wait for an incomplete batch")
+	ckpt := fs.Uint64("checkpoint", 0, "checkpoint interval in executed entries (0 = protocol default)")
+	retention := fs.Uint64("retention", 0, "extra log entries retained below the stable checkpoint")
 	verifyWorkers := fs.Int("verify-workers", 0, "signature-verification workers (0 = GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *secret == "" {
-		return fmt.Errorf("-secret is required")
+	if *secret == "" && *keyFile == "" {
+		return fmt.Errorf("-secret or -key is required")
 	}
 	addrs, err := parsePeers(*peers)
 	if err != nil {
@@ -61,16 +64,19 @@ func run(args []string) error {
 	}
 
 	rep, err := ezbft.StartTCPReplica(ezbft.TCPReplicaConfig{
-		Protocol:      ezbft.Protocol(*proto),
-		ID:            ezbft.ReplicaID(*id),
-		N:             *n,
-		Primary:       ezbft.ReplicaID(*primary),
-		Listen:        *listen,
-		Peers:         addrs,
-		Secret:        []byte(*secret),
-		BatchSize:     *batch,
-		BatchDelay:    *batchDelay,
-		VerifyWorkers: *verifyWorkers,
+		Protocol:           ezbft.Protocol(*proto),
+		ID:                 ezbft.ReplicaID(*id),
+		N:                  *n,
+		Primary:            ezbft.ReplicaID(*primary),
+		Listen:             *listen,
+		Peers:              addrs,
+		Secret:             []byte(*secret),
+		KeyFile:            *keyFile,
+		BatchSize:          *batch,
+		BatchDelay:         *batchDelay,
+		CheckpointInterval: *ckpt,
+		LogRetention:       *retention,
+		VerifyWorkers:      *verifyWorkers,
 	})
 	if err != nil {
 		return err

@@ -98,6 +98,29 @@
 // batches — retries racing a pending batch, or re-proposals after an owner
 // change — still execute exactly once. Batching composes with client-side
 // pipelining: many in-flight commands are what keeps batches full.
+//
+// # Log lifecycle: checkpointing, garbage collection, state transfer
+//
+// By default every replica's command log grows with the workload — fine
+// for reproducing the paper's figures, fatal for long-running deployments.
+// Setting CheckpointInterval (on LiveConfig, SimConfig, TCPReplicaConfig,
+// or the -checkpoint flag of ezbft-server) turns on the log lifecycle
+// subsystem: replicas periodically exchange signed CHECKPOINT votes over
+// their executed log prefix, and once 2f+1 replicas vouch for the same
+// prefix digest (a stable checkpoint) they truncate everything at or below
+// it — log entries, dependency-index references, and out-of-window
+// per-request bookkeeping — keeping memory bounded under sustained load
+// (LogRetention keeps extra entries below the mark). It is safe to free a
+// stable prefix because every functioning quorum intersects a correct
+// replica whose state already reflects it. A replica that falls behind the
+// low-water mark (a partitioned or freshly wedged node whose gaps peers
+// have truncated) rejoins by state transfer: it fetches the checkpoint
+// proof, an application snapshot (applications opt in by implementing
+// Snapshotter; the reference key-value store does), and the retained log
+// suffix from a vouching replica. Truncation and catch-up statistics are
+// exposed through each protocol's ReplicaStats. With the interval at 0,
+// PBFT keeps its paper-default checkpointing and the other protocols run
+// exactly their original message flow.
 package ezbft
 
 import (
@@ -143,10 +166,15 @@ type SpeculativeApplication = types.SpeculativeApplication
 
 // Checkpointer is the optional checkpointing hook an Application may
 // implement: protocols that garbage-collect their logs against stable
-// checkpoints (PBFT) report each stable checkpoint's sequence number and
-// agreed state digest, so the application can snapshot or truncate its own
-// journal.
+// checkpoints report each stable checkpoint's mark and agreed digest, so
+// the application can snapshot or truncate its own journal.
 type Checkpointer = types.Checkpointer
+
+// Snapshotter is the optional state-transfer hook an Application may
+// implement: Snapshot serializes the final state and Restore replaces it,
+// which is what lets a replica that fell behind the checkpoint low-water
+// mark rejoin the cluster. The reference key-value store implements it.
+type Snapshotter = types.Snapshotter
 
 // ApplicationFactory builds one application instance per replica; every
 // substrate config accepts one (nil selects NewKVStore).

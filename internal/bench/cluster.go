@@ -114,9 +114,14 @@ type Spec struct {
 	Seed         int64
 	// Mute marks replicas as fail-silent (fault injection experiments).
 	Mute map[types.ReplicaID]bool
-	// CheckpointInterval overrides PBFT's checkpoint distance (0 = its
-	// default).
+	// CheckpointInterval enables the log lifecycle subsystem (checkpoints,
+	// truncation, state transfer) at this distance; 0 keeps each
+	// protocol's default (PBFT checkpoints at its paper interval, the
+	// others run without checkpointing).
 	CheckpointInterval uint64
+	// LogRetention keeps this many extra entries below the stable
+	// checkpoint when truncating.
+	LogRetention uint64
 	// DisableFastPath forces ezBFT clients onto the slow path (ablation of
 	// speculative execution; see AblationSpeculation).
 	DisableFastPath bool
@@ -233,6 +238,7 @@ func Build(spec Spec) (*Cluster, error) {
 			Primary:            spec.Primary,
 			LatencyBound:       spec.LatencyBound,
 			CheckpointInterval: spec.CheckpointInterval,
+			LogRetention:       spec.LogRetention,
 			BatchSize:          spec.BatchSize,
 			BatchDelay:         spec.BatchDelay,
 			BatchAdaptive:      spec.BatchAdaptive,

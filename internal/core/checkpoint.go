@@ -1,0 +1,936 @@
+package core
+
+import (
+	"crypto/sha256"
+	"sort"
+
+	"ezbft/internal/codec"
+	"ezbft/internal/engine"
+	"ezbft/internal/proc"
+	"ezbft/internal/types"
+)
+
+// This file implements ezBFT's log lifecycle: checkpointing, garbage
+// collection, and state-transfer catch-up (the §V garbage-collection sketch,
+// grown into a full subsystem on the engine-level checkpointing contract).
+//
+// # Checkpoints and truncation
+//
+// Each instance space is checkpointed independently. A replica tracks, per
+// space, the contiguously finally-executed prefix (space.execMark) and a
+// chained digest over the committed batch digests of that prefix
+// (space.execDigest). Every time the prefix crosses a multiple of
+// CheckpointInterval, the replica broadcasts a signed per-space
+// ⟨CHECKPOINT, s, w, d⟩σR message: "I have finally executed every slot of
+// space s up to w, and the committed content of that prefix digests to d".
+// Because the committed command (batch) of every slot is agreed, correct
+// replicas that reach the same mark compute the same digest, so votes match.
+//
+// 2f+1 matching votes establish a *stable* checkpoint (the space's low-water
+// mark): at least f+1 correct replicas have executed the prefix, so its
+// effects can never be lost and the entries backing it are dead weight. The
+// replica then truncates — frees cmdLog entries at or below the mark (minus
+// LogRetention) that it has itself executed, prunes the dependency index,
+// drops parked evidence-slimmed commit decisions for freed instances, and
+// bounds the per-request bookkeeping (reply cache, exactly-once memo,
+// instance map) to a recent per-client window. Execution treats a
+// dependency below a space's truncation point as executed (it is), and the
+// owner-change protocol clamps recovery to the mark: slots at or below a
+// stable checkpoint are never refilled with no-ops.
+//
+// # Why truncating below a 2f+1 stable checkpoint is safe
+//
+// An entry is freed only when (a) 2f+1 replicas signed that they finally
+// executed it — so every functioning quorum intersects a correct replica
+// whose state already reflects it, and no future commit or owner-change
+// decision can contradict it — and (b) this replica itself executed it, so
+// its own execution order is already fixed. Dependency edges into the freed
+// prefix carry no information for this replica (it ordered everything after
+// them), and other replicas derive their own edges from their own logs, so
+// the union of dependency sets across any quorum is unaffected. A replica
+// that still needs a freed entry is, by construction, behind the stable
+// mark — the state-transfer path below is its only (and sufficient) way
+// back.
+//
+// # Catch-up
+//
+// A replica that observes a stable checkpoint beyond the end of its own log
+// (sp.maxSlot < mark) can no longer recover the gap from retransmissions —
+// peers may have truncated it. It sends CATCHUP-REQ to one of the vouching
+// replicas; the responder answers with CATCHUP-RESP carrying (1) the
+// checkpoint proof — the 2f+1 signed CHECKPOINT votes per space — (2) an
+// application snapshot of its final state (types.Snapshotter), (3) its
+// per-client executed-timestamp table for exactly-once semantics across the
+// transfer, and (4) the suffix: every retained log entry above its
+// truncation point, with status and SPECORDER proofs. The requester
+// verifies the proof (2f+1 valid signatures over the claimed marks and
+// digests), installs the snapshot, rebuilds its protocol state from the
+// suffix, and rejoins.
+//
+// Trust model (documented limitation): the checkpoint proof is verified
+// against 2f+1 signatures, and suffix entries are checked against their
+// embedded leader-signed SPECORDERs, but the snapshot bytes themselves are
+// vouched for only by the responding replica. ezBFT replicas execute
+// non-interfering commands in different orders, so no common sequence of
+// application states exists for a quorum to have co-signed (unlike the
+// sequenced baselines, where PBFT's snapshot digest is checked against the
+// stable checkpoint digest). A production deployment would cross-validate
+// snapshots from f+1 responders at quiescent cuts or Merkle-ize application
+// state; see ROADMAP.md.
+const (
+	tagCheckpoint  = 26
+	tagCatchupReq  = 27
+	tagCatchupResp = 28
+	tagSOFetch     = 29
+)
+
+// replyRetention bounds how far behind a client's highest seen timestamp
+// the per-request bookkeeping (reply cache, exactly-once memo, instance
+// map) is retained across truncation. It must exceed any client's
+// pipelining depth so that retransmissions of in-flight requests still hit
+// the cache instead of being re-ordered.
+const replyRetention = 256
+
+// CheckpointMsg is a replica's signed per-space executed-watermark vote,
+// ⟨CHECKPOINT, s, w, d⟩σR.
+type CheckpointMsg struct {
+	Space   types.ReplicaID // the instance space being checkpointed
+	Slot    uint64          // executed watermark (a multiple of the interval)
+	Digest  types.Digest    // chained digest of the space's committed prefix 1..Slot
+	Replica types.ReplicaID // voter
+	Sig     []byte
+
+	codec.Verified // transport-side pre-verification marker; never marshaled
+}
+
+// Tag implements codec.Message.
+func (m *CheckpointMsg) Tag() uint8 { return tagCheckpoint }
+
+// MarshalTo implements codec.Message.
+func (m *CheckpointMsg) MarshalTo(w *codec.Writer) {
+	m.marshalBody(w)
+	w.Blob(m.Sig)
+}
+
+func (m *CheckpointMsg) marshalBody(w *codec.Writer) {
+	w.Int32(int32(m.Space))
+	w.Uvarint(m.Slot)
+	w.Bytes32(m.Digest)
+	w.Int32(int32(m.Replica))
+}
+
+// SignedBody returns the bytes the voter signature covers.
+func (m *CheckpointMsg) SignedBody() []byte {
+	w := codec.NewWriter(64)
+	m.marshalBody(w)
+	return w.Bytes()
+}
+
+func decodeCheckpoint(r *codec.Reader) (*CheckpointMsg, error) {
+	m := &CheckpointMsg{
+		Space:   types.ReplicaID(r.Int32()),
+		Slot:    r.Uvarint(),
+		Digest:  r.Bytes32(),
+		Replica: types.ReplicaID(r.Int32()),
+	}
+	m.Sig = r.Blob()
+	return m, r.Err()
+}
+
+// CatchupReq asks a peer for a full state transfer, ⟨CATCHUP-REQ, R⟩σR.
+type CatchupReq struct {
+	Replica types.ReplicaID // requester
+	Sig     []byte
+
+	codec.Verified // transport-side pre-verification marker; never marshaled
+}
+
+// Tag implements codec.Message.
+func (m *CatchupReq) Tag() uint8 { return tagCatchupReq }
+
+// MarshalTo implements codec.Message.
+func (m *CatchupReq) MarshalTo(w *codec.Writer) {
+	m.marshalBody(w)
+	w.Blob(m.Sig)
+}
+
+func (m *CatchupReq) marshalBody(w *codec.Writer) {
+	w.Int32(int32(m.Replica))
+}
+
+// SignedBody returns the bytes the requester signature covers.
+func (m *CatchupReq) SignedBody() []byte {
+	w := codec.NewWriter(16)
+	m.marshalBody(w)
+	return w.Bytes()
+}
+
+func decodeCatchupReq(r *codec.Reader) (*CatchupReq, error) {
+	m := &CatchupReq{Replica: types.ReplicaID(r.Int32())}
+	m.Sig = r.Blob()
+	return m, r.Err()
+}
+
+// SpaceCkpt is one instance space's lifecycle state inside a CATCHUP-RESP.
+type SpaceCkpt struct {
+	Space        types.ReplicaID
+	Owner        types.OwnerNumber
+	Frozen       bool
+	LowWater     uint64       // stable mark (0 = none)
+	StableDigest types.Digest // agreed digest at LowWater
+	Truncated    uint64       // slots ≤ this exist only inside the snapshot
+	MaxSlot      uint64
+	ExecMark     uint64
+	ExecDigest   types.Digest
+	LogHash      types.Digest
+}
+
+func (s *SpaceCkpt) marshalTo(w *codec.Writer) {
+	w.Int32(int32(s.Space))
+	w.Uvarint(uint64(s.Owner))
+	w.Bool(s.Frozen)
+	w.Uvarint(s.LowWater)
+	w.Bytes32(s.StableDigest)
+	w.Uvarint(s.Truncated)
+	w.Uvarint(s.MaxSlot)
+	w.Uvarint(s.ExecMark)
+	w.Bytes32(s.ExecDigest)
+	w.Bytes32(s.LogHash)
+}
+
+func decodeSpaceCkpt(r *codec.Reader) SpaceCkpt {
+	return SpaceCkpt{
+		Space:        types.ReplicaID(r.Int32()),
+		Owner:        types.OwnerNumber(r.Uvarint()),
+		Frozen:       r.Bool(),
+		LowWater:     r.Uvarint(),
+		StableDigest: r.Bytes32(),
+		Truncated:    r.Uvarint(),
+		MaxSlot:      r.Uvarint(),
+		ExecMark:     r.Uvarint(),
+		ExecDigest:   r.Bytes32(),
+		LogHash:      r.Bytes32(),
+	}
+}
+
+// ClientMark records one client's highest finally-executed timestamp at the
+// responder, for exactly-once semantics across a state transfer.
+type ClientMark struct {
+	Client types.ClientID
+	Ts     uint64
+}
+
+// CatchupResp is the state-transfer response, ⟨CATCHUP-RESP⟩σR: per-space
+// lifecycle state, the checkpoint proof, the application snapshot, the
+// per-client executed-timestamp table, and the retained log suffix.
+type CatchupResp struct {
+	Replica  types.ReplicaID
+	Spaces   []SpaceCkpt
+	Clients  []ClientMark
+	Snapshot []byte
+	Suffix   []HistEntry
+	Proof    []*CheckpointMsg // outside the signed body; each vote self-signs
+	Sig      []byte
+
+	codec.Verified // transport-side pre-verification marker; never marshaled
+}
+
+// Tag implements codec.Message.
+func (m *CatchupResp) Tag() uint8 { return tagCatchupResp }
+
+// MarshalTo implements codec.Message.
+func (m *CatchupResp) MarshalTo(w *codec.Writer) {
+	m.marshalBody(w)
+	w.Blob(m.Sig)
+	w.Uvarint(uint64(len(m.Proof)))
+	for _, v := range m.Proof {
+		v.MarshalTo(w)
+	}
+}
+
+func (m *CatchupResp) marshalBody(w *codec.Writer) {
+	w.Int32(int32(m.Replica))
+	w.Uvarint(uint64(len(m.Spaces)))
+	for i := range m.Spaces {
+		m.Spaces[i].marshalTo(w)
+	}
+	w.Uvarint(uint64(len(m.Clients)))
+	for _, cm := range m.Clients {
+		w.Int32(int32(cm.Client))
+		w.Uvarint(cm.Ts)
+	}
+	w.Blob(m.Snapshot)
+	w.Uvarint(uint64(len(m.Suffix)))
+	for i := range m.Suffix {
+		m.Suffix[i].marshalTo(w)
+	}
+}
+
+// SignedBody returns the bytes the responder signature covers.
+func (m *CatchupResp) SignedBody() []byte {
+	w := codec.NewWriter(1024)
+	m.marshalBody(w)
+	return w.Bytes()
+}
+
+func decodeCatchupResp(r *codec.Reader) (*CatchupResp, error) {
+	m := &CatchupResp{Replica: types.ReplicaID(r.Int32())}
+	nSpaces := r.Uvarint()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if nSpaces > 1024 {
+		return nil, codec.ErrOverflow
+	}
+	m.Spaces = make([]SpaceCkpt, 0, nSpaces)
+	for i := uint64(0); i < nSpaces; i++ {
+		m.Spaces = append(m.Spaces, decodeSpaceCkpt(r))
+	}
+	nClients := r.Uvarint()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if nClients > 1<<20 {
+		return nil, codec.ErrOverflow
+	}
+	m.Clients = make([]ClientMark, 0, nClients)
+	for i := uint64(0); i < nClients; i++ {
+		m.Clients = append(m.Clients, ClientMark{
+			Client: types.ClientID(r.Int32()),
+			Ts:     r.Uvarint(),
+		})
+	}
+	m.Snapshot = r.Blob()
+	nSuffix := r.Uvarint()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if nSuffix > 1<<20 {
+		return nil, codec.ErrOverflow
+	}
+	m.Suffix = make([]HistEntry, 0, nSuffix)
+	for i := uint64(0); i < nSuffix; i++ {
+		h, err := decodeHistEntry(r)
+		if err != nil {
+			return nil, err
+		}
+		m.Suffix = append(m.Suffix, h)
+	}
+	m.Sig = r.Blob()
+	nProof := r.Uvarint()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if nProof > 4096 {
+		return nil, codec.ErrOverflow
+	}
+	m.Proof = make([]*CheckpointMsg, 0, nProof)
+	for i := uint64(0); i < nProof; i++ {
+		v, err := decodeCheckpoint(r)
+		if err != nil {
+			return nil, err
+		}
+		m.Proof = append(m.Proof, v)
+	}
+	return m, r.Err()
+}
+
+// SOFetch is a client's fetch-on-conflict request, ⟨SOFETCH, c, I, d⟩σc:
+// hand me the full SPECORDER at instance I whose batch digest is d. It
+// restores universal proof-of-misbehaviour construction under SPECREPLY
+// evidence slimming — a client holding only signed SORef digests for two
+// conflicting proposals fetches the full SPECORDERs behind them and builds
+// the POM any replica accepts.
+type SOFetch struct {
+	Client types.ClientID
+	Inst   types.InstanceID
+	Ref    types.Digest // batch digest of the wanted proposal
+	Sig    []byte
+
+	codec.Verified // transport-side pre-verification marker; never marshaled
+}
+
+// Tag implements codec.Message.
+func (m *SOFetch) Tag() uint8 { return tagSOFetch }
+
+// MarshalTo implements codec.Message.
+func (m *SOFetch) MarshalTo(w *codec.Writer) {
+	m.marshalBody(w)
+	w.Blob(m.Sig)
+}
+
+func (m *SOFetch) marshalBody(w *codec.Writer) {
+	w.Int32(int32(m.Client))
+	w.Instance(m.Inst)
+	w.Bytes32(m.Ref)
+}
+
+// SignedBody returns the bytes the client signature covers.
+func (m *SOFetch) SignedBody() []byte {
+	w := codec.NewWriter(64)
+	m.marshalBody(w)
+	return w.Bytes()
+}
+
+func decodeSOFetch(r *codec.Reader) (*SOFetch, error) {
+	m := &SOFetch{
+		Client: types.ClientID(r.Int32()),
+		Inst:   r.Instance(),
+		Ref:    r.Bytes32(),
+	}
+	m.Sig = r.Blob()
+	return m, r.Err()
+}
+
+func init() {
+	codec.Register(tagCheckpoint, "ezbft.Checkpoint", func(r *codec.Reader) (codec.Message, error) { return decodeCheckpoint(r) })
+	codec.Register(tagCatchupReq, "ezbft.CatchupReq", func(r *codec.Reader) (codec.Message, error) { return decodeCatchupReq(r) })
+	codec.Register(tagCatchupResp, "ezbft.CatchupResp", func(r *codec.Reader) (codec.Message, error) { return decodeCatchupResp(r) })
+	codec.Register(tagSOFetch, "ezbft.SOFetch", func(r *codec.Reader) (codec.Message, error) { return decodeSOFetch(r) })
+}
+
+// --- execution watermark and checkpoint emission ---
+
+// advanceExecMark advances a space's contiguously executed prefix after one
+// of its entries finally executed, chaining the execution digest slot by
+// slot and emitting a CHECKPOINT vote at every interval boundary crossed.
+func (r *Replica) advanceExecMark(ctx proc.Context, spaceID types.ReplicaID) {
+	sp := r.log.space(spaceID)
+	for {
+		e := sp.entries[sp.execMark+1]
+		if e == nil || e.status < StatusExecuted {
+			return
+		}
+		sp.execMark++
+		sp.execDigest = chainExecDigest(sp.execDigest, sp.execMark, e.cmdDigest)
+		if r.ckpt.Boundary(sp.execMark) {
+			r.emitCheckpoint(ctx, spaceID, sp)
+		}
+	}
+}
+
+// chainExecDigest extends a space's execution digest with one slot's
+// committed batch digest.
+func chainExecDigest(prev types.Digest, slot uint64, d types.Digest) types.Digest {
+	h := sha256.New()
+	h.Write(prev[:])
+	var buf [8]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(slot >> (56 - 8*i))
+	}
+	h.Write(buf[:])
+	h.Write(d[:])
+	var out types.Digest
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// emitCheckpoint broadcasts this replica's vote for the space's current
+// execution watermark and tallies it locally.
+func (r *Replica) emitCheckpoint(ctx proc.Context, spaceID types.ReplicaID, sp *space) {
+	m := &CheckpointMsg{
+		Space:   spaceID,
+		Slot:    sp.execMark,
+		Digest:  sp.execDigest,
+		Replica: r.cfg.Self,
+	}
+	r.cfg.Costs.ChargeSign(ctx)
+	m.Sig = signBody(r.cfg.Auth, m)
+	r.broadcastReplicas(ctx, m)
+	if st := r.ckpt.Record(engine.CheckpointSpace(spaceID), m.Slot, r.cfg.Self, m.Digest, m); st != nil {
+		r.applyStableCheckpoint(ctx, st)
+	}
+}
+
+// handleCheckpoint tallies a peer's vote; a completed 2f+1 quorum advances
+// the space's low-water mark and truncates.
+func (r *Replica) handleCheckpoint(ctx proc.Context, m *CheckpointMsg) {
+	if !r.ckpt.Enabled() {
+		return // checkpointing disabled locally; ignore peers' votes
+	}
+	if m.Space < 0 || int(m.Space) >= r.n || m.Replica < 0 || int(m.Replica) >= r.n {
+		r.stats.DroppedInvalid++
+		return
+	}
+	if !m.SigVerified() {
+		r.cfg.Costs.ChargeVerify(ctx, 1)
+		if err := verifyBody(r.cfg.Auth, types.ReplicaNode(m.Replica), m, m.Sig); err != nil {
+			r.stats.DroppedInvalid++
+			return
+		}
+	}
+	if st := r.ckpt.Record(engine.CheckpointSpace(m.Space), m.Slot, m.Replica, m.Digest, m); st != nil {
+		r.applyStableCheckpoint(ctx, st)
+	}
+}
+
+// applyStableCheckpoint reacts to a newly stable checkpoint: advance the
+// space's low-water mark, truncate, surface the checkpoint to the
+// application, and — if this replica's log ends below the mark — start a
+// state transfer (peers may already have truncated the gap).
+func (r *Replica) applyStableCheckpoint(ctx proc.Context, st *engine.StableCheckpoint) {
+	spaceID := types.ReplicaID(st.Space)
+	sp := r.log.space(spaceID)
+	if st.Mark > sp.lowWater {
+		sp.lowWater = st.Mark
+	}
+	r.truncateSpace(spaceID, sp)
+	if ck, ok := types.Application(r.cfg.App).(types.Checkpointer); ok {
+		ck.Checkpoint(st.Mark, st.Digest)
+	}
+	// A replica whose log ends below the stable mark, or whose executed
+	// prefix trails it by two full intervals, has holes it can no longer
+	// fill from retransmissions (peers may have truncated them; SPECORDERs
+	// are not re-broadcast): state transfer is the only way back. A commit
+	// certificate can install entries at high slots over holes, so maxSlot
+	// alone is not evidence of an intact prefix.
+	if sp.maxSlot < st.Mark || sp.execMark+2*r.ckpt.Interval() <= st.Mark {
+		r.requestCatchup(ctx, st)
+	}
+}
+
+// truncateSpace frees log entries the stable low-water mark has made dead
+// weight: slots at or below mark−LogRetention that this replica has itself
+// finally executed. Freed entries take their dependency-index references,
+// parked commit decisions, and out-of-window per-request bookkeeping with
+// them.
+func (r *Replica) truncateSpace(spaceID types.ReplicaID, sp *space) {
+	limit := sp.lowWater
+	if r.cfg.LogRetention >= limit {
+		return
+	}
+	limit -= r.cfg.LogRetention
+	if limit > sp.execMark {
+		limit = sp.execMark
+	}
+	if limit <= sp.truncated {
+		return
+	}
+	for slot := sp.truncated + 1; slot <= limit; slot++ {
+		e := sp.entries[slot]
+		if e == nil {
+			continue
+		}
+		for i := 0; i < e.nCmds(); i++ {
+			cmd := e.cmdAt(i)
+			if cmd.IsNoop() {
+				continue
+			}
+			// Per-request bookkeeping is kept for a recent per-client window
+			// (replyRetention timestamps behind the client's highest) so
+			// retransmissions of in-flight pipelined requests still hit the
+			// cache; anything older is released with the entry.
+			if cmd.Timestamp+replyRetention <= r.highestTs[cmd.Client] {
+				key := cmdKey{cmd.Client, cmd.Timestamp}
+				if inst, ok := r.instByCmd[key]; ok && inst == e.inst {
+					delete(r.instByCmd, key)
+				}
+				delete(r.replyCache, key)
+				delete(r.executed, key)
+			}
+		}
+		delete(sp.entries, slot)
+		delete(r.deferredCommits, e.inst)
+		r.stats.TruncatedEntries++
+	}
+	r.deps.prune(spaceID, limit)
+	sp.truncated = limit
+}
+
+// --- catch-up ---
+
+// requestCatchup asks one of a stable checkpoint's voters for a state
+// transfer. At most one request is in flight; a timer clears the guard so
+// a lost response retries on the next stability signal, and the target
+// rotates across voters attempt by attempt — a Byzantine voter that stays
+// silent (or serves garbage) cannot wedge the rejoin forever.
+func (r *Replica) requestCatchup(ctx proc.Context, st *engine.StableCheckpoint) {
+	if r.catchupPending {
+		return
+	}
+	var voters []types.ReplicaID
+	for _, v := range st.Votes {
+		if cm, ok := v.(*CheckpointMsg); ok && cm.Replica != r.cfg.Self {
+			voters = append(voters, cm.Replica)
+		}
+	}
+	if len(voters) == 0 {
+		return
+	}
+	sort.Slice(voters, func(i, j int) bool { return voters[i] < voters[j] })
+	target := voters[int(r.catchupAttempts)%len(voters)]
+	r.catchupAttempts++
+	r.catchupPending = true
+	req := &CatchupReq{Replica: r.cfg.Self}
+	r.cfg.Costs.ChargeSign(ctx)
+	req.Sig = signBody(r.cfg.Auth, req)
+	r.send(ctx, types.ReplicaNode(target), req)
+	r.afterTimer(ctx, 2*r.cfg.ResendTimeout, func(proc.Context) {
+		r.catchupPending = false
+	})
+}
+
+// handleCatchupReq serves a state transfer from this replica's live state:
+// checkpoint proofs from the tracker, an application snapshot, the
+// executed-timestamp table, and every retained log entry.
+func (r *Replica) handleCatchupReq(ctx proc.Context, m *CatchupReq) {
+	if m.Replica < 0 || int(m.Replica) >= r.n || m.Replica == r.cfg.Self {
+		r.stats.DroppedInvalid++
+		return
+	}
+	if !m.SigVerified() {
+		r.cfg.Costs.ChargeVerify(ctx, 1)
+		if err := verifyBody(r.cfg.Auth, types.ReplicaNode(m.Replica), m, m.Sig); err != nil {
+			r.stats.DroppedInvalid++
+			return
+		}
+	}
+	snap, ok := types.Application(r.cfg.App).(types.Snapshotter)
+	if !ok || !r.ckpt.Enabled() {
+		return // no state transfer without a snapshotting application
+	}
+	resp := &CatchupResp{Replica: r.cfg.Self, Snapshot: snap.Snapshot()}
+	for i := 0; i < r.n; i++ {
+		spaceID := types.ReplicaID(i)
+		sp := r.log.space(spaceID)
+		sc := SpaceCkpt{
+			Space:      spaceID,
+			Owner:      r.owners[i],
+			Frozen:     sp.frozen,
+			LowWater:   sp.lowWater,
+			Truncated:  sp.truncated,
+			MaxSlot:    sp.maxSlot,
+			ExecMark:   sp.execMark,
+			ExecDigest: sp.execDigest,
+			LogHash:    sp.logHash,
+		}
+		if st := r.ckpt.Stable(engine.CheckpointSpace(spaceID)); st != nil {
+			sc.LowWater = st.Mark
+			sc.StableDigest = st.Digest
+			for _, v := range st.Votes {
+				if cm, ok := v.(*CheckpointMsg); ok {
+					resp.Proof = append(resp.Proof, cm)
+				}
+			}
+		}
+		resp.Spaces = append(resp.Spaces, sc)
+		// The retained suffix, in slot order, with each entry's status and
+		// strongest proof.
+		slots := make([]uint64, 0, len(sp.entries))
+		for slot := range sp.entries {
+			slots = append(slots, slot)
+		}
+		sort.Slice(slots, func(a, b int) bool { return slots[a] < slots[b] })
+		for _, slot := range slots {
+			e := sp.entries[slot]
+			h := HistEntry{
+				Inst:  e.inst,
+				Cmd:   e.cmd,
+				Batch: e.extra,
+				Deps:  e.deps.Clone(),
+				Seq:   e.seq,
+				Owner: e.owner,
+				SO:    e.so,
+			}
+			switch {
+			case e.status >= StatusExecuted:
+				h.Status = HistExecuted
+			case e.status >= StatusCommitted:
+				h.Status = HistCommitted
+				h.ClientCommit = e.clientCommit
+			default:
+				h.Status = HistSpecOrdered
+			}
+			resp.Suffix = append(resp.Suffix, h)
+		}
+	}
+	clients := make([]types.ClientID, 0, len(r.executedTs))
+	for c := range r.executedTs {
+		clients = append(clients, c)
+	}
+	sort.Slice(clients, func(a, b int) bool { return clients[a] < clients[b] })
+	for _, c := range clients {
+		resp.Clients = append(resp.Clients, ClientMark{Client: c, Ts: r.executedTs[c]})
+	}
+	r.cfg.Costs.ChargeSign(ctx)
+	resp.Sig = signBody(r.cfg.Auth, resp)
+	r.send(ctx, types.ReplicaNode(m.Replica), resp)
+	r.stats.CatchupsServed++
+}
+
+// handleCatchupResp validates and installs a state transfer.
+func (r *Replica) handleCatchupResp(ctx proc.Context, m *CatchupResp) {
+	if !r.catchupPending {
+		return // unsolicited
+	}
+	if m.Replica < 0 || int(m.Replica) >= r.n || len(m.Spaces) != r.n {
+		r.stats.DroppedInvalid++
+		return
+	}
+	if !m.SigVerified() {
+		r.cfg.Costs.ChargeVerify(ctx, 1)
+		if err := verifyBody(r.cfg.Auth, types.ReplicaNode(m.Replica), m, m.Sig); err != nil {
+			r.stats.DroppedInvalid++
+			return
+		}
+	}
+	snap, ok := types.Application(r.cfg.App).(types.Snapshotter)
+	if !ok {
+		return
+	}
+	// Verify the checkpoint proof: 2f+1 valid, distinct signatures per
+	// claimed stable mark, and internal consistency of the per-space state.
+	r.cfg.Costs.ChargeVerify(ctx, len(m.Proof))
+	ahead := false
+	for i := range m.Spaces {
+		sc := &m.Spaces[i]
+		if sc.Space != types.ReplicaID(i) || sc.Truncated > sc.ExecMark || sc.ExecMark > sc.MaxSlot {
+			r.stats.DroppedInvalid++
+			return
+		}
+		if sc.LowWater > 0 {
+			okProof := engine.VerifyCheckpointProof(r.n, checkpointVotes(m.Proof, sc.Space), sc.LowWater, sc.StableDigest,
+				func(msg codec.Message) (types.ReplicaID, uint64, types.Digest, bool) {
+					cm := msg.(*CheckpointMsg)
+					valid := cm.SigVerified() ||
+						verifyBody(r.cfg.Auth, types.ReplicaNode(cm.Replica), cm, cm.Sig) == nil
+					return cm.Replica, cm.Slot, cm.Digest, valid
+				})
+			if !okProof {
+				r.stats.DroppedInvalid++
+				return
+			}
+		}
+		sp := r.log.space(sc.Space)
+		// Installing replaces this replica's state wholesale, so it is only
+		// sound when the responder is at least as far along everywhere.
+		if sc.ExecMark < sp.execMark || sc.MaxSlot < sp.maxSlot {
+			return
+		}
+		if sc.ExecMark > sp.execMark || sc.MaxSlot > sp.maxSlot {
+			ahead = true
+		}
+	}
+	if !ahead {
+		r.catchupPending = false
+		return // nothing to gain
+	}
+	// Suffix entries must be bound to their leader-signed SPECORDER proofs
+	// (executed entries from truncation-adjacent slots may predate proof
+	// retention; accept them — their effects are checkpoint-covered or will
+	// be re-agreed by the commit machinery).
+	for i := range m.Suffix {
+		h := &m.Suffix[i]
+		if h.Inst.Space < 0 || int(h.Inst.Space) >= r.n {
+			r.stats.DroppedInvalid++
+			return
+		}
+		if h.SO != nil && (h.SO.Inst != h.Inst || !histBoundToSO(h)) {
+			r.stats.DroppedInvalid++
+			return
+		}
+	}
+	r.installCatchup(ctx, m, snap)
+}
+
+// checkpointVotes selects a proof's votes for one space.
+func checkpointVotes(proof []*CheckpointMsg, space types.ReplicaID) []codec.Message {
+	out := make([]codec.Message, 0, len(proof))
+	for _, v := range proof {
+		if v.Space == space {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// installCatchup replaces this replica's application and protocol state
+// with a validated state transfer and resumes normal operation from it.
+func (r *Replica) installCatchup(ctx proc.Context, m *CatchupResp, snap types.Snapshotter) {
+	if err := snap.Restore(m.Snapshot); err != nil {
+		r.stats.DroppedInvalid++
+		return
+	}
+	// The restored final state supersedes any speculative overlay.
+	r.cfg.App.Rollback()
+
+	// Proposals that arrived (validated, out of order) while the transfer
+	// was in flight resume contiguity above the transferred head; keep them
+	// across the log replacement.
+	oldPending := make(map[types.ReplicaID]map[uint64]*SpecOrder, r.n)
+	for i := 0; i < r.n; i++ {
+		sp := r.log.space(types.ReplicaID(i))
+		if len(sp.pending) > 0 {
+			oldPending[types.ReplicaID(i)] = sp.pending
+		}
+	}
+
+	r.log = newCmdLog(r.n)
+	r.deps = newDepIndex()
+	r.instByCmd = make(map[cmdKey]types.InstanceID)
+	r.replyCache = make(map[cmdKey]*SpecReply)
+	r.pendingExec = make(map[types.InstanceID]*entry)
+	r.executed = make(map[cmdKey]types.Result)
+	r.deferredCommits = make(map[types.InstanceID][]deferredCommit)
+	for key, rs := range r.resendWait {
+		delete(r.resendWait, key)
+		delete(r.timerAct, rs.timer)
+	}
+	r.depWait = make(map[types.InstanceID]bool)
+	r.execLog = nil // records post-transfer executions only
+
+	// Exactly-once across the transfer: commands the snapshot already
+	// reflects are identified by the responder's executed-timestamp table;
+	// duplicate instances of them above the marks are skipped at final
+	// execution.
+	r.executedTs = make(map[types.ClientID]uint64, len(m.Clients))
+	r.baseTs = make(map[types.ClientID]uint64, len(m.Clients))
+	for _, cm := range m.Clients {
+		r.executedTs[cm.Client] = cm.Ts
+		r.baseTs[cm.Client] = cm.Ts
+		if cm.Ts > r.highestTs[cm.Client] {
+			r.highestTs[cm.Client] = cm.Ts
+		}
+	}
+
+	for i := range m.Spaces {
+		sc := &m.Spaces[i]
+		sp := r.log.space(sc.Space)
+		sp.frozen = sc.Frozen
+		sp.lowWater = sc.LowWater
+		sp.truncated = sc.Truncated
+		sp.maxSlot = sc.MaxSlot
+		sp.execMark = sc.ExecMark
+		sp.execDigest = sc.ExecDigest
+		sp.logHash = sc.LogHash
+		if sc.Owner > r.owners[sc.Space] {
+			r.owners[sc.Space] = sc.Owner
+		}
+	}
+
+	for i := range m.Suffix {
+		h := &m.Suffix[i]
+		e := &entry{
+			inst:  h.Inst,
+			owner: h.Owner,
+			cmd:   h.Cmd,
+			extra: h.Batch,
+			deps:  h.Deps.Clone(),
+			seq:   h.Seq,
+			so:    h.SO,
+		}
+		if len(h.Batch) > 0 {
+			digests := make([]types.Digest, h.BatchSize())
+			for j := range digests {
+				digests[j] = h.CmdAt(j).Digest()
+			}
+			e.cmdDigests = digests
+			e.cmdDigest = BatchDigest(digests)
+		} else {
+			e.cmdDigest = h.Cmd.Digest()
+		}
+		switch h.Status {
+		case HistExecuted:
+			e.status = StatusExecuted
+		case HistCommitted:
+			e.status = StatusCommitted
+			e.clientCommit = h.ClientCommit
+		default:
+			e.status = StatusSpecOrdered
+		}
+		sp := r.log.space(h.Inst.Space)
+		sp.entries[h.Inst.Slot] = e
+		if h.Inst.Slot > sp.maxSlot {
+			sp.maxSlot = h.Inst.Slot
+		}
+		for j := 0; j < e.nCmds(); j++ {
+			cmd := e.cmdAt(j)
+			if cmd.IsNoop() {
+				continue
+			}
+			r.instByCmd[cmdKey{cmd.Client, cmd.Timestamp}] = e.inst
+			r.deps.update(e.inst, cmd, e.seq)
+			if cmd.Timestamp > r.highestTs[cmd.Client] {
+				r.highestTs[cmd.Client] = cmd.Timestamp
+			}
+			// Executed suffix entries carry no results (HistEntry has none),
+			// so nothing is memoized for them; exactly-once for their
+			// commands is covered by the responder's executed-timestamp
+			// table, which includes everything it executed — suffix included.
+			if e.status >= StatusExecuted && cmd.Timestamp > r.executedTs[cmd.Client] {
+				r.executedTs[cmd.Client] = cmd.Timestamp
+			}
+		}
+		if e.status == StatusCommitted {
+			r.pendingExec[e.inst] = e
+		}
+	}
+
+	// Never reuse a slot of our own space the transfer says is taken.
+	own := r.log.space(r.cfg.Self)
+	if own.maxSlot+1 > r.nextSlot {
+		r.nextSlot = own.maxSlot + 1
+	}
+
+	r.catchupPending = false
+	r.stats.CatchupsInstalled++
+
+	// Re-admit buffered proposals beyond the transferred head and drain
+	// whatever is now contiguous.
+	for spaceID, pend := range oldPending {
+		sp := r.log.space(spaceID)
+		if sp.frozen {
+			continue
+		}
+		for slot, so := range pend {
+			if slot > sp.maxSlot {
+				sp.pending[slot] = so
+			}
+		}
+		for {
+			nxt, ok := sp.pending[sp.maxSlot+1]
+			if !ok {
+				break
+			}
+			delete(sp.pending, sp.maxSlot+1)
+			r.acceptSpecOrder(ctx, nxt, nil)
+		}
+	}
+	r.tryExecute(ctx)
+}
+
+// handleSOFetch serves a client's fetch-on-conflict request with the full
+// leader-signed SPECORDER behind a proposal reference.
+func (r *Replica) handleSOFetch(ctx proc.Context, m *SOFetch) {
+	if !m.SigVerified() {
+		r.cfg.Costs.ChargeVerify(ctx, 1)
+		if err := verifyBody(r.cfg.Auth, types.ClientNode(m.Client), m, m.Sig); err != nil {
+			r.stats.DroppedInvalid++
+			return
+		}
+	}
+	if m.Inst.Space < 0 || int(m.Inst.Space) >= r.n {
+		r.stats.DroppedInvalid++
+		return
+	}
+	e := r.log.get(m.Inst)
+	if e == nil || e.so == nil || e.so.CmdDigest != m.Ref {
+		return // unknown, truncated, or a different proposal — nothing to serve
+	}
+	r.send(ctx, types.ClientNode(m.Client), e.so)
+}
+
+// Lifecycle inspection helpers (tests, experiments, operators).
+
+// LogEntryCount returns the number of retained command-log entries across
+// all instance spaces.
+func (r *Replica) LogEntryCount() int { return r.log.entryCount() }
+
+// DepIndexSize returns the number of live dependency-index references.
+func (r *Replica) DepIndexSize() int { return r.deps.size() }
+
+// LowWaterMark returns a space's stable checkpoint mark.
+func (r *Replica) LowWaterMark(space types.ReplicaID) uint64 { return r.log.space(space).lowWater }
+
+// ExecMark returns a space's contiguously executed prefix length.
+func (r *Replica) ExecMark(space types.ReplicaID) uint64 { return r.log.space(space).execMark }

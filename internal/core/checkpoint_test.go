@@ -1,0 +1,295 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"ezbft/internal/codec"
+	"ezbft/internal/sim"
+	"ezbft/internal/types"
+)
+
+// TestCheckpointTruncationBoundsLog drives sustained load through a
+// checkpointing cluster and asserts the per-replica log and dependency
+// index stay bounded while the replicas still agree.
+func TestCheckpointTruncationBoundsLog(t *testing.T) {
+	opts := defaultOpts()
+	opts.ckptInterval = 8
+	const clients, perClient = 3, 120
+	leaders := []types.ReplicaID{0, 1, 2}
+	tc := newTestCluster(t, opts, leaders, uniqueKeyScripts(clients, perClient))
+	if !tc.run(120 * time.Second) {
+		t.Fatal("workload did not complete")
+	}
+	// Drain in-flight fast-path commits and the checkpoint rounds they
+	// trigger.
+	tc.rt.Run(tc.rt.Kernel().Now() + 5*time.Second)
+
+	total := clients * perClient
+	for i, r := range tc.replicas {
+		st := r.Stats()
+		if st.Checkpoints == 0 {
+			t.Fatalf("replica %d established no stable checkpoints", i)
+		}
+		if st.TruncatedEntries == 0 {
+			t.Fatalf("replica %d truncated nothing", i)
+		}
+		// Retained entries must be bounded by the checkpoint lag (at most
+		// ~2 intervals per active space plus commit stragglers), far below
+		// the total instance count.
+		bound := int(opts.ckptInterval) * 3 * opts.n
+		if got := r.LogEntryCount(); got > bound {
+			t.Fatalf("replica %d retains %d log entries (> %d) of %d instances", i, got, bound, total)
+		}
+		if got := r.DepIndexSize(); got > bound {
+			t.Fatalf("replica %d retains %d dep-index refs (> %d)", i, got, bound)
+		}
+		if st.LowWaterMark == 0 {
+			t.Fatalf("replica %d has no low-water mark", i)
+		}
+	}
+	tc.checkConsistency()
+	tc.checkStateConvergence()
+	tc.checkNontriviality()
+}
+
+// TestCheckpointDisabledKeepsEverything pins the default: with
+// CheckpointInterval 0 no checkpoint traffic flows and no entry is freed.
+func TestCheckpointDisabledKeepsEverything(t *testing.T) {
+	opts := defaultOpts()
+	const clients, perClient = 2, 40
+	tc := newTestCluster(t, opts, []types.ReplicaID{0, 1}, uniqueKeyScripts(clients, perClient))
+	if !tc.run(60 * time.Second) {
+		t.Fatal("workload did not complete")
+	}
+	tc.rt.Run(tc.rt.Kernel().Now() + 2*time.Second)
+	for i, r := range tc.replicas {
+		st := r.Stats()
+		if st.Checkpoints != 0 || st.TruncatedEntries != 0 {
+			t.Fatalf("replica %d checkpointed with the subsystem disabled: %+v", i, st)
+		}
+		if got := r.LogEntryCount(); got < clients*perClient {
+			t.Fatalf("replica %d retains %d entries, want >= %d", i, got, clients*perClient)
+		}
+	}
+}
+
+// TestCatchupRejoin partitions one replica away, advances the cluster far
+// past the retention window (the others truncate), lifts the partition,
+// and verifies the laggard rejoins via state transfer and converges.
+func TestCatchupRejoin(t *testing.T) {
+	opts := defaultOpts()
+	opts.ckptInterval = 4
+	const clients, perClient = 3, 60
+	leaders := []types.ReplicaID{0, 1, 2}
+	tc := newTestCluster(t, opts, leaders, uniqueKeyScripts(clients, perClient))
+
+	// Drop everything inbound at replica 3 for the first half of the
+	// workload.
+	lagging := types.ReplicaNode(3)
+	partitioned := true
+	tc.rt.SetFilter(func(from, to types.NodeID, msg codec.Message) (sim.Verdict, time.Duration) {
+		if partitioned && to == lagging {
+			return sim.Drop, 0
+		}
+		return sim.Deliver, 0
+	})
+
+	tc.rt.Start()
+	half := tc.rt.RunUntil(func() bool {
+		for _, d := range tc.drivers {
+			if len(d.Results) < perClient/2 {
+				return false
+			}
+		}
+		return true
+	}, 120*time.Second)
+	if !half {
+		t.Fatal("first phase did not complete")
+	}
+	// The connected replicas must have truncated below their stable marks
+	// while the laggard saw nothing.
+	if got := tc.replicas[0].Stats().TruncatedEntries; got == 0 {
+		t.Fatal("connected replicas truncated nothing during the partition")
+	}
+	if got := tc.replicas[3].LogEntryCount(); got != 0 {
+		t.Fatalf("partitioned replica has %d entries, want 0", got)
+	}
+
+	partitioned = false
+	done := tc.rt.RunUntil(func() bool {
+		for _, d := range tc.drivers {
+			if len(d.Results) < perClient {
+				return false
+			}
+		}
+		return true
+	}, 240*time.Second)
+	if !done {
+		t.Fatal("second phase did not complete")
+	}
+	tc.rt.Run(tc.rt.Kernel().Now() + 10*time.Second)
+
+	st := tc.replicas[3].Stats()
+	if st.CatchupsInstalled == 0 {
+		t.Fatalf("lagging replica installed no state transfer: %+v", st)
+	}
+	served := uint64(0)
+	for _, r := range tc.replicas[:3] {
+		served += r.Stats().CatchupsServed
+	}
+	if served == 0 {
+		t.Fatal("no replica served a state transfer")
+	}
+	// The rejoined replica must converge on the application state.
+	ref := tc.apps[0].Digest()
+	if got := tc.apps[3].Digest(); got != ref {
+		t.Fatalf("rejoined replica diverged: %v != %v", got, ref)
+	}
+	tc.checkConsistency()
+}
+
+// TestSOFetchRestoresPOM verifies fetch-on-conflict: a client holding two
+// evidence-slimmed replies (signed SORef only) for conflicting proposals
+// fetches the full SPECORDERs and broadcasts a POM a replica accepts.
+func TestSOFetchRestoresPOM(t *testing.T) {
+	opts := defaultOpts()
+	tc := newTestCluster(t, opts, []types.ReplicaID{0}, [][]types.Command{{}})
+	cl := tc.clients[0]
+	leaderAuth := tc.replicas[0].cfg.Auth
+
+	cctx := &captureCtx{}
+	ts := cl.Submit(cctx, putCmd("k", "v"))
+	cmd := types.Command{Client: cl.cfg.ID, Timestamp: ts, Op: types.OpPut, Key: "k", Value: []byte("v")}
+	other := types.Command{Client: 99, Timestamp: 1, Op: types.OpPut, Key: "x", Value: []byte("y")}
+
+	// An equivocating leader (R0) signs two different batches ordering the
+	// command at two instances.
+	mkSO := func(slot uint64) *SpecOrder {
+		digests := []types.Digest{cmd.Digest(), other.Digest()}
+		so := &SpecOrder{
+			Owner:     0,
+			Inst:      types.InstanceID{Space: 0, Slot: slot},
+			Deps:      types.NewInstanceSet(),
+			Seq:       1,
+			CmdDigest: BatchDigest(digests),
+			Req:       Request{Cmd: cmd, Orig: noOrig},
+			Batch:     []Request{{Cmd: other, Orig: noOrig}},
+		}
+		so.Sig = signBody(leaderAuth, so)
+		return so
+	}
+	soA := mkSO(1)
+	soB := mkSO(2)
+
+	// Evidence-slimmed replies (signed SORef, no embedded SPECORDER) from
+	// two replicas, one per conflicting proposal.
+	mkReply := func(rid types.ReplicaID, so *SpecOrder) *SpecReply {
+		sr := &SpecReply{
+			Owner: 0, Inst: so.Inst, Deps: types.NewInstanceSet(), Seq: 1,
+			CmdDigest: cmd.Digest(), Client: cl.cfg.ID, Timestamp: ts, Replica: rid,
+			Result: types.Result{OK: true}, Batched: true, BatchIdx: 0, SORef: so.CmdDigest,
+		}
+		sr.Sig = signBody(tc.replicas[rid].cfg.Auth, sr)
+		return sr
+	}
+	cl.Receive(cctx, types.ReplicaNode(1), mkReply(1, soA))
+	cl.Receive(cctx, types.ReplicaNode(2), mkReply(2, soB))
+
+	// The client must have asked for the full proposals behind both SORefs.
+	fetches := 0
+	for _, msg := range cctx.sends {
+		if _, ok := msg.(*SOFetch); ok {
+			fetches++
+		}
+	}
+	if fetches != 2 {
+		t.Fatalf("client sent %d SOFETCHs, want 2", fetches)
+	}
+
+	// Replicas answer with the full SPECORDERs; the POM must follow.
+	cl.Receive(cctx, types.ReplicaNode(1), soA)
+	cl.Receive(cctx, types.ReplicaNode(2), soB)
+	var pom *POM
+	for _, msg := range cctx.sends {
+		if m, ok := msg.(*POM); ok {
+			pom = m
+		}
+	}
+	if pom == nil {
+		t.Fatal("client built no POM from fetched evidence")
+	}
+	if pom.Suspect != 0 {
+		t.Fatalf("POM accuses %v, want R0", pom.Suspect)
+	}
+	if cl.Stats().POMsSent != 1 {
+		t.Fatalf("POMsSent = %d, want 1", cl.Stats().POMsSent)
+	}
+
+	// A replica receiving the POM must accept it and vote an owner change.
+	repCtx := &captureCtx{}
+	tc.replicas[1].Receive(repCtx, types.ClientNode(cl.cfg.ID), pom)
+	voted := false
+	for _, msg := range repCtx.sends {
+		if _, ok := msg.(*StartOwnerChange); ok {
+			voted = true
+		}
+	}
+	if !voted {
+		t.Fatal("replica did not vote an owner change on the fetched-evidence POM")
+	}
+
+	// And a replica holding the entry must serve SOFETCH with the full
+	// SPECORDER.
+	r2 := tc.replicas[2]
+	r2.handleSpecOrder(&captureCtx{}, types.ReplicaNode(0), soA)
+	fetch := &SOFetch{Client: cl.cfg.ID, Inst: soA.Inst, Ref: soA.CmdDigest}
+	fetch.Sig = signBody(cl.cfg.Auth, fetch)
+	serveCtx := &captureCtx{}
+	r2.Receive(serveCtx, types.ClientNode(cl.cfg.ID), fetch)
+	servedSO := false
+	for _, msg := range serveCtx.sends {
+		if so, ok := msg.(*SpecOrder); ok && so.CmdDigest == soA.CmdDigest {
+			servedSO = true
+		}
+	}
+	if !servedSO {
+		t.Fatal("replica did not serve the fetched SPECORDER")
+	}
+}
+
+// TestCheckpointWireRoundTrip pins the new lifecycle messages' encodings.
+func TestCheckpointWireRoundTrip(t *testing.T) {
+	msgs := []codec.Message{
+		&CheckpointMsg{Space: 2, Slot: 16, Digest: types.DigestBytes([]byte("d")), Replica: 1, Sig: []byte("s")},
+		&CatchupReq{Replica: 3, Sig: []byte("sig")},
+		&SOFetch{Client: 9, Inst: types.InstanceID{Space: 1, Slot: 4}, Ref: types.DigestBytes([]byte("r")), Sig: []byte("q")},
+		&CatchupResp{
+			Replica: 1,
+			Spaces: []SpaceCkpt{{
+				Space: 0, Owner: 4, Frozen: true, LowWater: 8,
+				StableDigest: types.DigestBytes([]byte("sd")), Truncated: 8, MaxSlot: 11,
+				ExecMark: 10, ExecDigest: types.DigestBytes([]byte("ed")), LogHash: types.DigestBytes([]byte("lh")),
+			}},
+			Clients:  []ClientMark{{Client: 2, Ts: 17}},
+			Snapshot: []byte("snapshot-bytes"),
+			Suffix: []HistEntry{{
+				Inst: types.InstanceID{Space: 0, Slot: 9}, Status: HistExecuted,
+				Cmd:  types.Command{Client: 2, Timestamp: 17, Op: types.OpPut, Key: "k", Value: []byte("v")},
+				Deps: types.NewInstanceSet(), Seq: 3, Owner: 4,
+			}},
+			Proof: []*CheckpointMsg{{Space: 0, Slot: 8, Digest: types.DigestBytes([]byte("sd")), Replica: 0, Sig: []byte("p")}},
+			Sig:   []byte("rs"),
+		},
+	}
+	for _, m := range msgs {
+		b := codec.Marshal(m)
+		back, err := codec.Unmarshal(b)
+		if err != nil {
+			t.Fatalf("%T: unmarshal: %v", m, err)
+		}
+		if b2 := codec.Marshal(back); string(b) != string(b2) {
+			t.Fatalf("%T: round trip not stable", m)
+		}
+	}
+}

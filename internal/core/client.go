@@ -127,6 +127,12 @@ type pendingReq struct {
 	retries  int
 	timedOut bool
 
+	// Fetch-on-conflict (evidence slimming): fetched holds full SPECORDERs
+	// retrieved via SOFETCH for proposals whose replies carried only the
+	// signed SORef digest; fetchReqs marks proposals already asked about.
+	fetched   map[replyKey]*SpecOrder
+	fetchReqs map[replyKey]bool
+
 	commitSent    bool
 	commitInst    types.InstanceID
 	commitReplies map[types.ReplicaID]*CommitReply
@@ -231,6 +237,8 @@ func (c *Client) Receive(ctx proc.Context, from types.NodeID, msg codec.Message)
 		c.handleSpecReply(ctx, m)
 	case *CommitReply:
 		c.handleCommitReply(ctx, m)
+	case *SpecOrder:
+		c.handleFetchedSO(ctx, m)
 	}
 }
 
@@ -295,6 +303,13 @@ func (c *Client) handleSpecReply(ctx proc.Context, m *SpecReply) {
 	group[m.Replica] = m
 	p.replied[m.Replica] = true
 
+	// Conflicting proposals for one request are equivocation evidence, but
+	// a POM needs the full SPECORDERs; fetch the ones evidence slimming
+	// withheld (step 4.4 restored for BatchIdx > 0 clients).
+	if !p.pomSent && len(p.replies) > 1 {
+		c.fetchConflictEvidence(ctx, p)
+	}
+
 	// Step 4.1: 3f+1 matching responses constitute a fast decision.
 	if !c.cfg.DisableFastPath && len(group) == FastQuorum(c.n) && c.allMatch(group) {
 		c.finishFast(ctx, m.Timestamp, p, m.Inst, group)
@@ -336,6 +351,121 @@ func (c *Client) checkPOM(ctx proc.Context, p *pendingReq, m *SpecReply) {
 				return
 			}
 			pom := &POM{Suspect: owner, Owner: m.SO.Owner, Client: c.cfg.ID, A: prev.SO, B: m.SO}
+			proc.Broadcast(ctx, c.replicas, pom)
+			p.pomSent = true
+			c.stats.POMsSent++
+			return
+		}
+	}
+}
+
+// fetchConflictEvidence runs when replies for one request reference more
+// than one proposal. Every group's proposal provably orders this request
+// (the reply's signed body binds the command digest, batch position, and
+// SORef), so two groups are equivocation by the same owner — but only full
+// SPECORDERs constitute a POM. Groups whose replies embedded the SPECORDER
+// already have one; for evidence-slimmed groups the client asks a vouching
+// replica for the full proposal behind the signed SORef (SOFETCH), then
+// assembles the POM when both sides are in hand.
+func (c *Client) fetchConflictEvidence(ctx proc.Context, p *pendingReq) {
+	for key, group := range p.replies {
+		if c.soForGroup(p, key) != nil || p.fetchReqs[key] {
+			continue
+		}
+		if p.fetchReqs == nil {
+			p.fetchReqs = make(map[replyKey]bool, 2)
+		}
+		p.fetchReqs[key] = true
+		req := &SOFetch{Client: c.cfg.ID, Inst: key.inst, Ref: key.batch}
+		c.cfg.Costs.ChargeSign(ctx)
+		req.Sig = signBody(c.cfg.Auth, req)
+		// Ask the lowest-id replica that vouched for the proposal; it holds
+		// the SPECORDER (it signed a reply derived from it).
+		ctx.Send(types.ReplicaNode(c.lowestReplica(group)), req)
+	}
+	c.tryPOMFromEvidence(ctx, p)
+}
+
+// soForGroup returns the full SPECORDER known for a proposal group: an
+// embedded one from any reply, or a fetched one.
+func (c *Client) soForGroup(p *pendingReq, key replyKey) *SpecOrder {
+	for _, sr := range p.replies[key] {
+		if sr.SO != nil {
+			return sr.SO
+		}
+	}
+	return p.fetched[key]
+}
+
+// handleFetchedSO processes a replica's answer to an SOFETCH: validate the
+// proposal against the signed SORef it was fetched for, then try to build
+// the proof of misbehaviour.
+func (c *Client) handleFetchedSO(ctx proc.Context, so *SpecOrder) {
+	key := replyKey{inst: so.Inst, batch: so.CmdDigest}
+	var p *pendingReq
+	for _, cand := range c.pending {
+		if cand.fetchReqs[key] {
+			p = cand
+			break
+		}
+	}
+	if p == nil || p.pomSent || p.fetched[key] != nil {
+		return
+	}
+	// The proposal must bind its signed digest to its embedded requests and
+	// actually order this client's command, and the owner signature must
+	// verify — the same checks a replica applies before trusting a
+	// SPECORDER that arrived outside its own frame.
+	if so.CmdDigest != BatchDigest(so.CmdDigests()) || !so.OrdersCommand(p.cmd) {
+		return
+	}
+	if !so.SigVerified() {
+		c.cfg.Costs.ChargeVerify(ctx, 1)
+		if verifyBody(c.cfg.Auth, types.ReplicaNode(so.Owner.OwnerOf(c.n)), so, so.Sig) != nil {
+			return
+		}
+		so.MarkSigVerified()
+	}
+	if p.fetched == nil {
+		p.fetched = make(map[replyKey]*SpecOrder, 2)
+	}
+	p.fetched[key] = so
+	c.tryPOMFromEvidence(ctx, p)
+}
+
+// tryPOMFromEvidence broadcasts a POM once full SPECORDERs are known for
+// two conflicting proposals signed by the same owner.
+func (c *Client) tryPOMFromEvidence(ctx proc.Context, p *pendingReq) {
+	if p.pomSent {
+		return
+	}
+	keys := make([]replyKey, 0, len(p.replies))
+	for key := range p.replies {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].Less(keys[j]) })
+	for i := 0; i < len(keys); i++ {
+		a := c.soForGroup(p, keys[i])
+		if a == nil || !a.OrdersCommand(p.cmd) {
+			continue
+		}
+		for j := i + 1; j < len(keys); j++ {
+			b := c.soForGroup(p, keys[j])
+			if b == nil || a.Owner != b.Owner || !b.OrdersCommand(p.cmd) {
+				continue
+			}
+			if a.Inst == b.Inst && a.CmdDigest == b.CmdDigest {
+				continue // the same proposal
+			}
+			owner := a.Owner.OwnerOf(c.n)
+			c.cfg.Costs.ChargeVerify(ctx, 2)
+			if !a.SigVerified() && verifyBody(c.cfg.Auth, types.ReplicaNode(owner), a, a.Sig) != nil {
+				continue
+			}
+			if !b.SigVerified() && verifyBody(c.cfg.Auth, types.ReplicaNode(owner), b, b.Sig) != nil {
+				continue
+			}
+			pom := &POM{Suspect: owner, Owner: a.Owner, Client: c.cfg.ID, A: a, B: b}
 			proc.Broadcast(ctx, c.replicas, pom)
 			p.pomSent = true
 			c.stats.POMsSent++

@@ -61,6 +61,16 @@ type ReplicaConfig struct {
 	// engine.Batcher.SetAdaptive): idle leaders flush immediately,
 	// saturated ones stretch toward BatchDelay.
 	BatchAdaptive bool
+	// CheckpointInterval enables the log lifecycle subsystem (see
+	// checkpoint.go): every instance space is checkpointed each time a
+	// replica's contiguously executed prefix crosses a multiple of this
+	// many slots, and entries below a 2f+1-stable checkpoint are truncated.
+	// 0 (the default) disables checkpointing entirely — no extra messages,
+	// byte-identical to the pre-checkpointing protocol.
+	CheckpointInterval uint64
+	// LogRetention keeps this many additional slots below the stable
+	// low-water mark when truncating (0 = truncate everything below it).
+	LogRetention uint64
 	// Byzantine, when non-nil, makes this replica misbehave (tests and
 	// fault-injection experiments only).
 	Byzantine *ByzantineBehavior

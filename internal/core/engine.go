@@ -29,9 +29,11 @@ func (ezEngine) NewReplica(o engine.ReplicaOptions) (proc.Process, error) {
 	}
 	cfg := ReplicaConfig{
 		Self: o.Self, N: o.N, App: app, Auth: o.Auth, Costs: o.Costs,
-		BatchSize:     o.BatchSize,
-		BatchDelay:    o.BatchDelay,
-		BatchAdaptive: o.BatchAdaptive,
+		BatchSize:          o.BatchSize,
+		BatchDelay:         o.BatchDelay,
+		BatchAdaptive:      o.BatchAdaptive,
+		CheckpointInterval: o.CheckpointInterval,
+		LogRetention:       o.LogRetention,
 	}
 	if o.LatencyBound > 0 {
 		cfg.ResendTimeout = 2 * o.LatencyBound

@@ -136,8 +136,12 @@ func (r *Replica) depClosure(e *entry, blocked map[types.InstanceID]bool) (closu
 			}
 			de := r.log.get(dep)
 			if de == nil || de.status < StatusCommitted {
-				if r.log.space(dep.Space).frozen {
+				dsp := r.log.space(dep.Space)
+				if dsp.frozen {
 					continue // unrecovered entry in a frozen space: no-op
+				}
+				if dep.Slot <= dsp.truncated {
+					continue // below the truncation point: executed and freed
 				}
 				blockers = append(blockers, dep)
 				continue
@@ -209,10 +213,17 @@ func (r *Replica) finalExecute(ctx proc.Context, e *entry) {
 			res = types.Result{OK: true}
 		} else if memo, done := r.executed[key]; done {
 			res = memo
+		} else if cmd.Timestamp <= r.baseTs[cmd.Client] {
+			// A duplicate instance of a command the installed state-transfer
+			// snapshot already reflects: applying it again would double-execute.
+			res = types.Result{OK: true}
 		} else {
 			r.cfg.Costs.ChargeExecute(ctx)
 			res = r.cfg.App.PromoteFinal(cmd)
 			r.executed[key] = res
+		}
+		if !cmd.IsNoop() && cmd.Timestamp > r.executedTs[cmd.Client] {
+			r.executedTs[cmd.Client] = cmd.Timestamp
 		}
 		e.setFinalResult(i, res)
 		r.execLog = append(r.execLog, ExecRecord{Inst: e.inst, Pos: i, Cmd: cmd, Result: res})
@@ -220,6 +231,7 @@ func (r *Replica) finalExecute(ctx proc.Context, e *entry) {
 	}
 	e.status = StatusExecuted
 	delete(r.pendingExec, e.inst)
+	r.advanceExecMark(ctx, e.inst.Space)
 	if len(e.commitReplyTo) > 0 {
 		// Deterministic send order keeps simulations replayable.
 		idxs := make([]int, 0, len(e.commitReplyTo))

@@ -36,6 +36,8 @@ type clusterOpts struct {
 	resendTimeout time.Duration
 	batchSize     int
 	batchDelay    time.Duration
+	ckptInterval  uint64
+	logRetention  uint64
 	seed          int64
 }
 
@@ -77,14 +79,16 @@ func newTestCluster(t *testing.T, opts clusterOpts, leaders []types.ReplicaID, s
 			t.Fatal(err)
 		}
 		rep, err := NewReplica(ReplicaConfig{
-			Self:          rid,
-			N:             opts.n,
-			App:           app,
-			Auth:          a,
-			ResendTimeout: opts.resendTimeout,
-			BatchSize:     opts.batchSize,
-			BatchDelay:    opts.batchDelay,
-			Byzantine:     opts.byz[rid],
+			Self:               rid,
+			N:                  opts.n,
+			App:                app,
+			Auth:               a,
+			ResendTimeout:      opts.resendTimeout,
+			BatchSize:          opts.batchSize,
+			BatchDelay:         opts.batchDelay,
+			CheckpointInterval: opts.ckptInterval,
+			LogRetention:       opts.logRetention,
+			Byzantine:          opts.byz[rid],
 		})
 		if err != nil {
 			t.Fatal(err)

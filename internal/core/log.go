@@ -124,10 +124,15 @@ func (e *entry) setSpecResult(i int, res types.Result) {
 	e.extraSpec[i-1] = res
 }
 
-// finalResultAt returns the i'th command's final result.
+// finalResultAt returns the i'th command's final result. Batched entries
+// installed by a state transfer carry no per-command results (the suffix
+// ships commands, not results); their positions read as the zero Result.
 func (e *entry) finalResultAt(i int) types.Result {
 	if i == 0 {
 		return e.finalResult
+	}
+	if e.extraFinal == nil {
+		return types.Result{}
 	}
 	return e.extraFinal[i-1]
 }
@@ -166,6 +171,21 @@ type space struct {
 	// message freezes the space for good.
 	suspended bool
 	frozen    bool
+
+	// Log-lifecycle state (checkpointing / garbage collection; see
+	// checkpoint.go). execMark is the contiguously finally-executed prefix:
+	// slots 1..execMark all have status Executed locally. execDigest chains
+	// the committed batch digests of that prefix in slot order — the
+	// deterministic per-space digest CHECKPOINT votes agree on (the
+	// committed content of every slot is agreed, so equal marks imply equal
+	// digests at correct replicas). lowWater is the latest *stable* mark
+	// (2f+1 replicas vouched they executed through it); truncated is how far
+	// entries have actually been freed locally (truncated ≤ lowWater and
+	// ≤ execMark — a replica never frees state it has not executed).
+	execMark   uint64
+	execDigest types.Digest
+	lowWater   uint64
+	truncated  uint64
 }
 
 func newSpace() *space {
@@ -220,6 +240,58 @@ func (l *cmdLog) put(e *entry) {
 	if e.inst.Slot > sp.maxSlot {
 		sp.maxSlot = e.inst.Slot
 	}
+}
+
+// entryCount returns the total number of retained log entries across all
+// spaces (inspection/soak-test helper).
+func (l *cmdLog) entryCount() int {
+	n := 0
+	for _, sp := range l.spaces {
+		n += len(sp.entries)
+	}
+	return n
+}
+
+// prune invalidates every latest-instance reference into `space` at slots
+// ≤ limit. Safe only for slots this replica has finally executed: its own
+// future dependency collection no longer needs them (interfering commands
+// were already ordered after them locally), and other replicas contribute
+// their own views through the per-replica dependency union, so no ordering
+// information is lost cluster-wide.
+func (d *depIndex) prune(space types.ReplicaID, limit uint64) {
+	for key, ki := range d.byKey {
+		cl, ok := ki.perSpace[space]
+		if !ok {
+			continue
+		}
+		for _, ref := range []*latestRef{&cl.get, &cl.put, &cl.incr} {
+			if ref.valid && ref.inst.Space == space && ref.inst.Slot <= limit {
+				*ref = latestRef{}
+			}
+		}
+		if !cl.get.valid && !cl.put.valid && !cl.incr.valid {
+			delete(ki.perSpace, space)
+		}
+		if len(ki.perSpace) == 0 {
+			delete(d.byKey, key)
+		}
+	}
+}
+
+// size returns the number of live latest-instance references (soak-test
+// observable).
+func (d *depIndex) size() int {
+	n := 0
+	for _, ki := range d.byKey {
+		for _, cl := range ki.perSpace {
+			for _, ref := range []latestRef{cl.get, cl.put, cl.incr} {
+				if ref.valid {
+					n++
+				}
+			}
+		}
+	}
+	return n
 }
 
 // depIndex answers "which instances interfere with this command?" in O(1)

@@ -696,6 +696,9 @@ type HistStatus uint8
 const (
 	HistSpecOrdered HistStatus = iota + 1
 	HistCommitted
+	// HistExecuted marks a finally executed entry inside a state-transfer
+	// suffix (see checkpoint.go); it never appears in owner-change traffic.
+	HistExecuted
 )
 
 // histBatchFlag marks a history entry that carries a batch of commands; it

@@ -293,10 +293,16 @@ func (r *Replica) selectSafeHistory(ctx proc.Context, key changeKey, proof []*Ow
 	var committed []HistEntry
 	committedSlots := make(map[uint64]bool)
 	maxSlot := uint64(0)
+	// Recovery clamps to the checkpoint watermark: slots at or below this
+	// replica's truncation point are covered by a 2f+1-stable checkpoint
+	// (every functioning quorum already reflects them), so the owner change
+	// must neither re-finalize them nor fill them with no-ops. Histories
+	// from peers that truncated further simply lack those entries.
+	base := r.log.space(key.suspect).truncated
 
 	for _, oc := range proof {
 		for _, h := range oc.History {
-			if h.Inst.Space != key.suspect || h.Owner != key.owner {
+			if h.Inst.Space != key.suspect || h.Owner != key.owner || h.Inst.Slot <= base {
 				continue
 			}
 			if h.Inst.Slot > maxSlot {
@@ -351,7 +357,7 @@ func (r *Replica) selectSafeHistory(ctx proc.Context, key changeKey, proof []*Ow
 	}
 
 	safe := committed
-	for slot := uint64(1); slot <= maxSlot; slot++ {
+	for slot := base + 1; slot <= maxSlot; slot++ {
 		if committedSlots[slot] {
 			continue
 		}
@@ -448,7 +454,9 @@ func (r *Replica) applyNewOwner(ctx proc.Context, m *NewOwnerMsg) {
 
 	for i := range m.Safe {
 		h := &m.Safe[i]
-		if h.Inst.Space != m.Suspect {
+		if h.Inst.Space != m.Suspect || h.Inst.Slot <= sp.truncated {
+			// Slots below the local truncation point are stable-executed and
+			// freed; a new owner with a lower watermark may still report them.
 			continue
 		}
 		e := r.log.get(h.Inst)

@@ -57,6 +57,21 @@ type Replica struct {
 	// when the SPECORDER arrives.
 	deferredCommits map[types.InstanceID][]deferredCommit
 
+	// ckpt is the engine-level checkpoint tracker (nil-safe; disabled when
+	// CheckpointInterval is 0). See checkpoint.go.
+	ckpt *engine.CheckpointTracker
+	// executedTs tracks the highest finally-executed timestamp per client,
+	// exported in state transfers for cross-transfer exactly-once semantics.
+	executedTs map[types.ClientID]uint64
+	// baseTs marks, after a catch-up install, the per-client timestamps the
+	// installed snapshot already reflects; duplicate instances of those
+	// commands are skipped at final execution.
+	baseTs map[types.ClientID]uint64
+	// catchupPending guards against concurrent state-transfer requests;
+	// catchupAttempts rotates the request target across checkpoint voters.
+	catchupPending  bool
+	catchupAttempts uint64
+
 	// resendWait tracks RESENDREQs we forwarded and are waiting on
 	// (paper step 4.3): cmdKey → armed timer.
 	resendWait map[cmdKey]*resendState
@@ -123,6 +138,13 @@ type ReplicaStats struct {
 	DroppedInvalid  uint64 // messages rejected by validation
 	DeferredCommits uint64 // slim commit certificates parked for their SPECORDER
 
+	// Log-lifecycle observables (checkpointing / GC / state transfer).
+	Checkpoints       uint64 // stable checkpoints established
+	TruncatedEntries  uint64 // log entries freed by truncation
+	LowWaterMark      uint64 // smallest stable mark across spaces with one
+	CatchupsServed    uint64 // state transfers served to lagging peers
+	CatchupsInstalled uint64 // state transfers installed locally
+
 	// Batch-size observables (adaptive sizing): batches this leader
 	// flushed, requests across them (BatchedRequests/Batches = mean batch),
 	// and the largest single batch.
@@ -152,10 +174,12 @@ func NewReplica(cfg ReplicaConfig) (*Replica, error) {
 		pendingExec:     make(map[types.InstanceID]*entry),
 		executed:        make(map[cmdKey]types.Result),
 		deferredCommits: make(map[types.InstanceID][]deferredCommit),
+		executedTs:      make(map[types.ClientID]uint64),
 		resendWait:      make(map[cmdKey]*resendState),
 		depWait:         make(map[types.InstanceID]bool),
 		timerAct:        make(map[proc.TimerID]func(ctx proc.Context)),
 	}
+	r.ckpt = engine.NewCheckpointTracker(cfg.N, cfg.CheckpointInterval)
 	for i := range r.owners {
 		r.owners[i] = types.OwnerNumber(i)
 	}
@@ -182,6 +206,9 @@ func (r *Replica) Stats() ReplicaStats {
 	s.Batches = bs.Flushes
 	s.BatchedRequests = bs.Items
 	s.MaxBatch = bs.MaxBatch
+	cs := r.ckpt.Stats()
+	s.Checkpoints = cs.Checkpoints
+	s.LowWaterMark = cs.LowWaterMark
 	return s
 }
 
@@ -240,6 +267,14 @@ func (r *Replica) Receive(ctx proc.Context, from types.NodeID, msg codec.Message
 		r.handleNewOwner(ctx, m)
 	case *POM:
 		r.handlePOM(ctx, m)
+	case *CheckpointMsg:
+		r.handleCheckpoint(ctx, m)
+	case *CatchupReq:
+		r.handleCatchupReq(ctx, m)
+	case *CatchupResp:
+		r.handleCatchupResp(ctx, m)
+	case *SOFetch:
+		r.handleSOFetch(ctx, m)
 	default:
 		r.stats.DroppedInvalid++
 	}
@@ -836,6 +871,9 @@ const maxDeferredPerInstance = 2 * MaxBatchSize
 // the same client replaces its predecessor rather than accumulating, so a
 // spammed COMMIT can neither grow memory nor apply twice.
 func (r *Replica) deferCommit(inst types.InstanceID, dc deferredCommit) {
+	if inst.Slot <= r.log.space(inst.Space).truncated {
+		return // below the truncation point: stable-executed long ago
+	}
 	dcs := r.deferredCommits[inst]
 	for i := range dcs {
 		if dcs[i].from.Client == dc.from.Client && dcs[i].fast == dc.fast {
@@ -898,6 +936,12 @@ func (r *Replica) validateCert(ctx proc.Context, cert []*SpecReply, inst types.I
 // the certificate's command via its batch index. It returns the entry (nil
 // if the certificate was unusable or the entry is already executed).
 func (r *Replica) commitEntry(ctx proc.Context, inst types.InstanceID, deps types.InstanceSet, seq types.SeqNumber, from *SpecReply, needsReply bool, replyTo types.ClientID) *entry {
+	if inst.Slot <= r.log.space(inst.Space).truncated {
+		// A late duplicate decision for an instance the stable checkpoint
+		// already covers (2f+1 executed it) and truncation freed; nothing
+		// left to do — re-installing it would regrow the log.
+		return nil
+	}
 	e := r.log.get(inst)
 	if e == nil {
 		if from == nil || from.SO == nil {

@@ -113,6 +113,22 @@ func InboundVerifier(a auth.Authenticator, n int) func(msg codec.Message) bool {
 			return true
 		case *POM:
 			return preVerifyPOM(a, n, m)
+		case *CheckpointMsg:
+			return preVerify(a, types.ReplicaNode(m.Replica), m, m.Sig, m)
+		case *CatchupReq:
+			return preVerify(a, types.ReplicaNode(m.Replica), m, m.Sig, m)
+		case *CatchupResp:
+			if !preVerify(a, types.ReplicaNode(m.Replica), m, m.Sig, m) {
+				return false
+			}
+			// Proof votes are counted (2f+1 of them required, not all) in
+			// the loop; mark the valid ones so the count re-verifies nothing.
+			for _, v := range m.Proof {
+				tryMark(a, types.ReplicaNode(v.Replica), v, v.Sig, v)
+			}
+			return true
+		case *SOFetch:
+			return preVerify(a, types.ClientNode(m.Client), m, m.Sig, m)
 		default:
 			return true
 		}

@@ -60,9 +60,18 @@ type ReplicaOptions struct {
 	// LatencyBound tunes protocol timeouts; it should exceed the largest
 	// round trip in the deployment. Zero keeps the protocol defaults.
 	LatencyBound time.Duration
-	// CheckpointInterval overrides the checkpoint distance for protocols
-	// that checkpoint (PBFT); 0 keeps the default.
+	// CheckpointInterval is the distance (in executed sequence numbers for
+	// the baselines, executed slots per instance space for ezBFT) between
+	// checkpoints. PBFT treats 0 as its protocol default (it always
+	// checkpoints); for the other protocols 0 disables checkpointing and
+	// log truncation entirely — the pre-checkpointing behaviour,
+	// byte-identical on the wire.
 	CheckpointInterval uint64
+	// LogRetention keeps this many additional entries below the stable
+	// low-water mark when truncating (0 = truncate everything below the
+	// mark). A small retention window lets slightly-behind peers fetch
+	// recent entries without a full state transfer.
+	LogRetention uint64
 	// BatchSize enables leader-side request batching: the ordering replica
 	// (every command-leader in ezBFT, the primary in the baselines) orders
 	// up to this many client requests per protocol instance. 0 or 1 is

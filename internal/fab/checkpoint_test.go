@@ -1,0 +1,42 @@
+package fab_test
+
+import (
+	"testing"
+	"time"
+
+	"ezbft/internal/bench"
+	"ezbft/internal/types"
+)
+
+// TestCheckpointTruncationBoundsLog drives sustained load through a
+// checkpointing FaB cluster and asserts the log stays bounded while the
+// replicas agree.
+func TestCheckpointTruncationBoundsLog(t *testing.T) {
+	const perClient = 120
+	spec := &bench.Spec{CheckpointInterval: 8}
+	cluster, drivers := harness(t, spec, [][]types.Command{
+		puts("a", perClient), puts("b", perClient), puts("c", perClient),
+	})
+	runUntilDone(t, cluster, drivers, 600*time.Second)
+	cluster.RT.Run(cluster.RT.Kernel().Now() + 5*time.Second)
+
+	for i, r := range cluster.FBReplicas {
+		st := r.Stats()
+		if st.Checkpoints == 0 || st.TruncatedEntries == 0 {
+			t.Fatalf("replica %d did not checkpoint/truncate: %+v", i, st)
+		}
+		if st.LowWaterMark == 0 {
+			t.Fatalf("replica %d has no low-water mark", i)
+		}
+		bound := 3 * 8
+		if got := r.SlotCount(); got > bound {
+			t.Fatalf("replica %d retains %d slots (> %d) of %d", i, got, bound, 3*perClient)
+		}
+	}
+	ref := cluster.Apps[0].Digest()
+	for i, app := range cluster.Apps[1:] {
+		if app.Digest() != ref {
+			t.Fatalf("replica %d state diverged", i+1)
+		}
+	}
+}

@@ -399,6 +399,13 @@ type ReplicaConfig struct {
 	// BatchAdaptive enables adaptive batch sizing (see
 	// engine.Batcher.SetAdaptive).
 	BatchAdaptive bool
+	// CheckpointInterval enables checkpointing and log truncation every
+	// this many executed sequence numbers (see checkpoint.go). 0 (the
+	// default) disables the subsystem — byte-identical original flow.
+	CheckpointInterval uint64
+	// LogRetention keeps this many additional sequence numbers below the
+	// stable checkpoint when truncating.
+	LogRetention uint64
 	// Mute makes the replica silent (fault injection).
 	Mute bool
 }
@@ -444,6 +451,13 @@ type Replica struct {
 
 	suspects map[uint64]map[types.ReplicaID]bool
 
+	// Log lifecycle (see checkpoint.go). truncated is the highest sequence
+	// number freed by truncation; contiguity scans resume above it.
+	ckpt        *engine.CheckpointTracker
+	ckptEmitted uint64
+	truncated   uint64
+	lastTs      map[types.ClientID]uint64
+
 	// peers lists every other replica's address, precomputed for broadcasts.
 	peers []types.NodeID
 
@@ -463,6 +477,11 @@ type ReplicaStats struct {
 	Executed       uint64
 	LeaderChanges  uint64
 	DroppedInvalid uint64
+
+	// Log-lifecycle observables (checkpointing / GC).
+	Checkpoints      uint64 // stable checkpoints established
+	TruncatedEntries uint64 // slots freed by truncation
+	LowWaterMark     uint64 // latest stable checkpoint sequence number
 }
 
 var _ proc.Process = (*Replica)(nil)
@@ -497,7 +516,9 @@ func NewReplica(cfg ReplicaConfig) (*Replica, error) {
 		forwarded:  make(map[cmdKey]proc.TimerID),
 		timerAct:   make(map[proc.TimerID]func(ctx proc.Context)),
 		suspects:   make(map[uint64]map[types.ReplicaID]bool),
+		lastTs:     make(map[types.ClientID]uint64),
 	}
+	r.ckpt = engine.NewCheckpointTracker(cfg.N, cfg.CheckpointInterval)
 	r.batcher = engine.NewBatcher[cmdKey, *Request](cfg.BatchSize, cfg.BatchDelay, r, r.flushBatch)
 	r.batcher.SetAdaptive(cfg.BatchAdaptive)
 	for i := 0; i < cfg.N; i++ {
@@ -512,7 +533,13 @@ func NewReplica(cfg ReplicaConfig) (*Replica, error) {
 func (r *Replica) ID() types.NodeID { return types.ReplicaNode(r.cfg.Self) }
 
 // Stats returns a snapshot of the counters.
-func (r *Replica) Stats() ReplicaStats { return r.stats }
+func (r *Replica) Stats() ReplicaStats {
+	s := r.stats
+	cs := r.ckpt.Stats()
+	s.Checkpoints = cs.Checkpoints
+	s.LowWaterMark = cs.LowWaterMark
+	return s
+}
 
 // BatcherStats returns the leader-side batch-size observables.
 func (r *Replica) BatcherStats() engine.BatcherStats { return r.batcher.Stats() }
@@ -577,6 +604,8 @@ func (r *Replica) Receive(ctx proc.Context, from types.NodeID, msg codec.Message
 		r.handlePropose(ctx, m)
 	case *Accept:
 		r.handleAccept(ctx, m)
+	case *Checkpoint:
+		r.handleCheckpoint(ctx, m)
 	case *Suspect:
 		r.handleSuspect(ctx, m)
 	case *NewLeader:
@@ -729,9 +758,10 @@ func (r *Replica) handlePropose(ctx proc.Context, m *Propose) {
 }
 
 // contiguous returns the highest seq for which a proposal has been
-// accepted contiguously from 1.
+// accepted contiguously from the truncation point (slots at or below it
+// were executed and freed by the log lifecycle).
 func (r *Replica) contiguous() uint64 {
-	seq := uint64(0)
+	seq := r.truncated
 	for {
 		s, ok := r.slots[seq+1]
 		if !ok || !s.havePro {
@@ -826,6 +856,9 @@ func (r *Replica) checkLearned(ctx proc.Context, s *slotState) {
 		for i, cmd := range next.cmds {
 			r.cfg.Costs.ChargeExecute(ctx)
 			next.results[i] = r.cfg.App.Apply(cmd)
+			if cmd.Timestamp > r.lastTs[cmd.Client] {
+				r.lastTs[cmd.Client] = cmd.Timestamp
+			}
 
 			reply := &Reply{
 				View:      r.view,
@@ -842,6 +875,7 @@ func (r *Replica) checkLearned(ctx proc.Context, s *slotState) {
 		next.executed = true
 		r.maxExec = next.seq
 		r.stats.Executed += uint64(len(next.cmds))
+		r.maybeEmitCheckpoint(ctx)
 	}
 }
 
@@ -975,11 +1009,13 @@ func (fabEngine) Protocol() engine.Protocol { return engine.FaB }
 func (fabEngine) NewReplica(o engine.ReplicaOptions) (proc.Process, error) {
 	cfg := ReplicaConfig{
 		Self: o.Self, N: o.N, App: o.App, Auth: o.Auth, Costs: o.Costs,
-		InitialView:   uint64(o.Primary),
-		BatchSize:     o.BatchSize,
-		BatchDelay:    o.BatchDelay,
-		BatchAdaptive: o.BatchAdaptive,
-		Mute:          o.Mute,
+		InitialView:        uint64(o.Primary),
+		BatchSize:          o.BatchSize,
+		BatchDelay:         o.BatchDelay,
+		BatchAdaptive:      o.BatchAdaptive,
+		CheckpointInterval: o.CheckpointInterval,
+		LogRetention:       o.LogRetention,
+		Mute:               o.Mute,
 	}
 	if o.LatencyBound > 0 {
 		cfg.ForwardTimeout = 4 * o.LatencyBound
@@ -1024,6 +1060,8 @@ func PreVerifier(a auth.Authenticator, n int) func(msg codec.Message) bool {
 		case *Propose:
 			return engine.VerifyFrame(a, types.ReplicaNode(leaderOf(m.View, n)), m, maxBatch-1)
 		case *Accept:
+			return engine.VerifySigned(a, types.ReplicaNode(m.Replica), m, m.Sig)
+		case *Checkpoint:
 			return engine.VerifySigned(a, types.ReplicaNode(m.Replica), m, m.Sig)
 		case *Reply:
 			return engine.VerifySigned(a, types.ReplicaNode(m.Replica), m, m.Sig)

@@ -17,6 +17,7 @@ package kvstore
 import (
 	"crypto/sha256"
 	"encoding/binary"
+	"errors"
 	"sort"
 	"sync"
 
@@ -35,7 +36,10 @@ type Store struct {
 	rollbacks  uint64
 }
 
-var _ types.SpeculativeApplication = (*Store)(nil)
+var (
+	_ types.SpeculativeApplication = (*Store)(nil)
+	_ types.Snapshotter            = (*Store)(nil)
+)
 
 // New returns an empty store.
 func New() *Store {
@@ -130,6 +134,82 @@ func (s *Store) Digest() types.Digest {
 	var d types.Digest
 	copy(d[:], h.Sum(nil))
 	return d
+}
+
+// Snapshot implements types.Snapshotter: a deterministic serialization of
+// the final state (sorted keys, length-prefixed), used by checkpoint-based
+// state transfer. The speculative overlay is deliberately excluded — it is
+// replica-local and discarded on Restore anyway.
+func (s *Store) Snapshot() []byte {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	keys := make([]string, 0, len(s.final))
+	size := 8
+	for k := range s.final {
+		keys = append(keys, k)
+		size += 16 + len(k) + len(s.final[k])
+	}
+	sort.Strings(keys)
+	out := make([]byte, 0, size)
+	var lenBuf [8]byte
+	binary.BigEndian.PutUint64(lenBuf[:], uint64(len(keys)))
+	out = append(out, lenBuf[:]...)
+	for _, k := range keys {
+		binary.BigEndian.PutUint64(lenBuf[:], uint64(len(k)))
+		out = append(out, lenBuf[:]...)
+		out = append(out, k...)
+		v := s.final[k]
+		binary.BigEndian.PutUint64(lenBuf[:], uint64(len(v)))
+		out = append(out, lenBuf[:]...)
+		out = append(out, v...)
+	}
+	return out
+}
+
+// Restore implements types.Snapshotter: replace the final state with the
+// snapshot's and clear the speculative overlay.
+func (s *Store) Restore(snap []byte) error {
+	if len(snap) < 8 {
+		return errors.New("kvstore: short snapshot")
+	}
+	n := binary.BigEndian.Uint64(snap)
+	// Every entry needs at least two 8-byte length prefixes, so the claimed
+	// count is bounded by the material actually present — a forged header
+	// cannot force a huge preallocation.
+	if n > uint64(len(snap))/16 {
+		return errors.New("kvstore: snapshot entry count exceeds payload")
+	}
+	off := uint64(8)
+	final := make(map[string][]byte, n)
+	readBlock := func() ([]byte, error) {
+		if uint64(len(snap)) < off+8 {
+			return nil, errors.New("kvstore: truncated snapshot")
+		}
+		l := binary.BigEndian.Uint64(snap[off:])
+		off += 8
+		if uint64(len(snap)) < off+l {
+			return nil, errors.New("kvstore: truncated snapshot")
+		}
+		b := snap[off : off+l]
+		off += l
+		return b, nil
+	}
+	for i := uint64(0); i < n; i++ {
+		k, err := readBlock()
+		if err != nil {
+			return err
+		}
+		v, err := readBlock()
+		if err != nil {
+			return err
+		}
+		final[string(k)] = append([]byte(nil), v...)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.final = final
+	s.spec = make(map[string][]byte)
+	return nil
 }
 
 // --- internals ---

@@ -1,0 +1,372 @@
+package pbft
+
+import (
+	"sort"
+
+	"ezbft/internal/codec"
+	"ezbft/internal/engine"
+	"ezbft/internal/proc"
+	"ezbft/internal/types"
+)
+
+// This file implements PBFT's log lifecycle on the engine-level
+// checkpointing contract (engine.CheckpointTracker): the protocol's
+// existing CHECKPOINT traffic (tag 35, wire-unchanged) now establishes
+// stable checkpoints through the shared tracker, truncation actually frees
+// the per-request bookkeeping (byCmd / replyCache) alongside the slot map,
+// and a replica that falls behind the low-water mark rejoins through
+// checkpoint-based state transfer.
+//
+// Unlike ezBFT (whose replicas pass through no common application states),
+// PBFT executes sequentially: the application state at sequence number n is
+// identical at every correct replica, and the stable checkpoint's agreed
+// digest covers it. The transferred snapshot is therefore fully verifiable:
+// the requester restores it and checks the application digest against the
+// 2f+1-signed checkpoint digest. Only the suffix (executed slots above the
+// checkpoint) rests on the responder's word; a corrupted suffix is caught
+// at the next stable checkpoint.
+const (
+	tagCatchupReq  = 38
+	tagCatchupResp = 39
+)
+
+// replyRetention bounds how far behind a client's highest seen timestamp
+// the reply cache and exactly-once table are retained across truncation;
+// it must exceed any client's pipelining depth.
+const replyRetention = 256
+
+// CatchupReq asks a peer for a state transfer, ⟨CATCHUP-REQ, i⟩σi.
+type CatchupReq struct {
+	Replica types.ReplicaID
+	Sig     []byte
+
+	codec.Verified // transport-side pre-verification marker; never marshaled
+}
+
+// Tag implements codec.Message.
+func (m *CatchupReq) Tag() uint8 { return tagCatchupReq }
+
+// MarshalTo implements codec.Message.
+func (m *CatchupReq) MarshalTo(w *codec.Writer) {
+	m.marshalBody(w)
+	w.Blob(m.Sig)
+}
+
+func (m *CatchupReq) marshalBody(w *codec.Writer) { w.Int32(int32(m.Replica)) }
+
+// SignedBody returns the bytes the requester signature covers.
+func (m *CatchupReq) SignedBody() []byte {
+	w := codec.NewWriter(16)
+	m.marshalBody(w)
+	return w.Bytes()
+}
+
+func decodeCatchupReq(r *codec.Reader) (*CatchupReq, error) {
+	m := &CatchupReq{Replica: types.ReplicaID(r.Int32())}
+	m.Sig = r.Blob()
+	return m, r.Err()
+}
+
+// CatchupSlot is one executed slot above the checkpoint inside a
+// CATCHUP-RESP: the sequence number, the view it executed in, and the
+// ordered request batch.
+type CatchupSlot struct {
+	Seq  uint64
+	View uint64
+	Reqs []Request
+}
+
+// CatchupResp is the state-transfer response: the stable checkpoint
+// (sequence number, agreed digest, 2f+1 signed votes), the application
+// snapshot at exactly that sequence number, and the responder's executed
+// suffix.
+type CatchupResp struct {
+	Replica  types.ReplicaID
+	Seq      uint64
+	Digest   types.Digest
+	Snapshot []byte
+	Suffix   []CatchupSlot
+	Proof    []*Checkpoint // outside the signed body; each vote self-signs
+	Sig      []byte
+
+	codec.Verified // transport-side pre-verification marker; never marshaled
+}
+
+// Tag implements codec.Message.
+func (m *CatchupResp) Tag() uint8 { return tagCatchupResp }
+
+// MarshalTo implements codec.Message.
+func (m *CatchupResp) MarshalTo(w *codec.Writer) {
+	m.marshalBody(w)
+	w.Blob(m.Sig)
+	w.Uvarint(uint64(len(m.Proof)))
+	for _, v := range m.Proof {
+		v.MarshalTo(w)
+	}
+}
+
+func (m *CatchupResp) marshalBody(w *codec.Writer) {
+	w.Int32(int32(m.Replica))
+	w.Uvarint(m.Seq)
+	w.Bytes32(m.Digest)
+	w.Blob(m.Snapshot)
+	w.Uvarint(uint64(len(m.Suffix)))
+	for i := range m.Suffix {
+		s := &m.Suffix[i]
+		w.Uvarint(s.Seq)
+		w.Uvarint(s.View)
+		w.Uvarint(uint64(len(s.Reqs)))
+		for j := range s.Reqs {
+			s.Reqs[j].MarshalTo(w)
+		}
+	}
+}
+
+// SignedBody returns the bytes the responder signature covers.
+func (m *CatchupResp) SignedBody() []byte {
+	w := codec.NewWriter(1024)
+	m.marshalBody(w)
+	return w.Bytes()
+}
+
+func decodeCatchupResp(r *codec.Reader) (*CatchupResp, error) {
+	m := &CatchupResp{
+		Replica: types.ReplicaID(r.Int32()),
+		Seq:     r.Uvarint(),
+		Digest:  r.Bytes32(),
+	}
+	m.Snapshot = r.Blob()
+	nSuffix := r.Uvarint()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if nSuffix > 1<<20 {
+		return nil, codec.ErrOverflow
+	}
+	m.Suffix = make([]CatchupSlot, 0, nSuffix)
+	for i := uint64(0); i < nSuffix; i++ {
+		s := CatchupSlot{Seq: r.Uvarint(), View: r.Uvarint()}
+		nReqs := r.Uvarint()
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		if nReqs == 0 || nReqs > maxBatch {
+			return nil, codec.ErrOverflow
+		}
+		s.Reqs = make([]Request, 0, nReqs)
+		for j := uint64(0); j < nReqs; j++ {
+			req, err := decodeRequest(r)
+			if err != nil {
+				return nil, err
+			}
+			s.Reqs = append(s.Reqs, *req)
+		}
+		m.Suffix = append(m.Suffix, s)
+	}
+	m.Sig = r.Blob()
+	nProof := r.Uvarint()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if nProof > 256 {
+		return nil, codec.ErrOverflow
+	}
+	m.Proof = make([]*Checkpoint, 0, nProof)
+	for i := uint64(0); i < nProof; i++ {
+		v, err := decodeCheckpoint(r)
+		if err != nil {
+			return nil, err
+		}
+		m.Proof = append(m.Proof, v)
+	}
+	return m, r.Err()
+}
+
+func init() {
+	codec.Register(tagCatchupReq, "pbft.CatchupReq", func(r *codec.Reader) (codec.Message, error) { return decodeCatchupReq(r) })
+	codec.Register(tagCatchupResp, "pbft.CatchupResp", func(r *codec.Reader) (codec.Message, error) { return decodeCatchupResp(r) })
+}
+
+// requestCatchup asks one of a stable checkpoint's voters for a state
+// transfer; at most one request is in flight at a time, and the target
+// rotates across voters attempt by attempt so a silent or lying Byzantine
+// voter cannot wedge the rejoin forever.
+func (r *Replica) requestCatchup(ctx proc.Context, st *engine.StableCheckpoint) {
+	if r.catchupPending {
+		return
+	}
+	var voters []types.ReplicaID
+	for _, v := range st.Votes {
+		if ck, ok := v.(*Checkpoint); ok && ck.Replica != r.cfg.Self {
+			voters = append(voters, ck.Replica)
+		}
+	}
+	if len(voters) == 0 {
+		return
+	}
+	sort.Slice(voters, func(i, j int) bool { return voters[i] < voters[j] })
+	target := voters[int(r.catchupAttempts)%len(voters)]
+	r.catchupAttempts++
+	r.catchupPending = true
+	req := &CatchupReq{Replica: r.cfg.Self}
+	r.cfg.Costs.ChargeSign(ctx)
+	req.Sig = r.cfg.Auth.Sign(req.SignedBody())
+	r.send(ctx, types.ReplicaNode(target), req)
+	r.afterTimer(ctx, 2*r.cfg.ForwardTimeout, func(proc.Context) {
+		r.catchupPending = false
+	})
+}
+
+// handleCatchupReq serves a state transfer: the latest stable checkpoint's
+// proof, the snapshot captured at exactly that sequence number, and every
+// retained executed slot above it.
+func (r *Replica) handleCatchupReq(ctx proc.Context, m *CatchupReq) {
+	if m.Replica < 0 || int(m.Replica) >= r.n || m.Replica == r.cfg.Self {
+		r.stats.DroppedInvalid++
+		return
+	}
+	if !m.SigVerified() {
+		r.cfg.Costs.ChargeVerify(ctx, 1)
+		if err := r.cfg.Auth.Verify(types.ReplicaNode(m.Replica), m.SignedBody(), m.Sig); err != nil {
+			r.stats.DroppedInvalid++
+			return
+		}
+	}
+	st := r.ckpt.Stable(0)
+	if st == nil {
+		return
+	}
+	snap, ok := r.snaps[st.Mark]
+	if !ok {
+		return // no retained snapshot for the stable point (non-Snapshotter app)
+	}
+	resp := &CatchupResp{
+		Replica:  r.cfg.Self,
+		Seq:      st.Mark,
+		Digest:   st.Digest,
+		Snapshot: snap,
+	}
+	for _, v := range st.Votes {
+		if ck, ok := v.(*Checkpoint); ok {
+			resp.Proof = append(resp.Proof, ck)
+		}
+	}
+	for seq := st.Mark + 1; seq <= r.maxExec; seq++ {
+		s, ok := r.slots[seq]
+		if !ok || !s.executed {
+			break // suffix must stay contiguous
+		}
+		resp.Suffix = append(resp.Suffix, CatchupSlot{Seq: seq, View: s.view, Reqs: s.reqs})
+	}
+	r.cfg.Costs.ChargeSign(ctx)
+	resp.Sig = r.cfg.Auth.Sign(resp.SignedBody())
+	r.send(ctx, types.ReplicaNode(m.Replica), resp)
+	r.stats.CatchupsServed++
+}
+
+// handleCatchupResp validates and installs a state transfer: the proof must
+// carry 2f+1 valid checkpoint signatures, and the restored application
+// state must digest to the agreed checkpoint digest — the snapshot is fully
+// verified, not trusted.
+func (r *Replica) handleCatchupResp(ctx proc.Context, m *CatchupResp) {
+	if !r.catchupPending || m.Seq <= r.maxExec {
+		return
+	}
+	if !m.SigVerified() {
+		r.cfg.Costs.ChargeVerify(ctx, 1)
+		if err := r.cfg.Auth.Verify(types.ReplicaNode(m.Replica), m.SignedBody(), m.Sig); err != nil {
+			r.stats.DroppedInvalid++
+			return
+		}
+	}
+	snap, ok := r.cfg.App.(types.Snapshotter)
+	if !ok {
+		return
+	}
+	r.cfg.Costs.ChargeVerify(ctx, len(m.Proof))
+	votes := make([]codec.Message, len(m.Proof))
+	for i, v := range m.Proof {
+		votes[i] = v
+	}
+	okProof := engine.VerifyCheckpointProof(r.n, votes, m.Seq, m.Digest,
+		func(msg codec.Message) (types.ReplicaID, uint64, types.Digest, bool) {
+			ck := msg.(*Checkpoint)
+			valid := ck.SigVerified() ||
+				r.cfg.Auth.Verify(types.ReplicaNode(ck.Replica), ck.SignedBody(), ck.Sig) == nil
+			return ck.Replica, ck.Seq, ck.Digest, valid
+		})
+	if !okProof {
+		r.stats.DroppedInvalid++
+		return
+	}
+	// Capture the pre-transfer state so a snapshot that fails digest
+	// verification can be rolled back — a Byzantine responder must not be
+	// able to corrupt a correct replica's state by pairing a valid proof
+	// with bogus snapshot bytes.
+	prev := snap.Snapshot()
+	if err := snap.Restore(m.Snapshot); err != nil {
+		r.stats.DroppedInvalid++
+		return
+	}
+	if r.cfg.App.Digest() != m.Digest {
+		// The snapshot does not match the quorum-agreed state digest: the
+		// responder lied or the transfer was corrupted. Roll back and wait
+		// for a transfer from another voter.
+		_ = snap.Restore(prev)
+		r.catchupPending = false
+		r.stats.DroppedInvalid++
+		return
+	}
+	// Adopt the checkpoint: everything at or below it is executed state.
+	r.maxExec = m.Seq
+	for seq := range r.slots {
+		if seq <= m.Seq {
+			delete(r.slots, seq)
+		}
+	}
+	// Replay the responder's executed suffix in order.
+	for i := range m.Suffix {
+		cs := &m.Suffix[i]
+		if cs.Seq != r.maxExec+1 {
+			break
+		}
+		if _, dup := r.slots[cs.Seq]; dup {
+			delete(r.slots, cs.Seq)
+		}
+		s := r.slot(cs.Seq)
+		s.view = cs.View
+		s.havePre = true
+		s.prepared = true
+		s.committed = true
+		s.reqs = cs.Reqs
+		s.digests = make([]types.Digest, len(cs.Reqs))
+		s.results = make([]types.Result, len(cs.Reqs))
+		for j := range cs.Reqs {
+			cmd := cs.Reqs[j].Cmd
+			s.digests[j] = cmd.Digest()
+			r.cfg.Costs.ChargeExecute(ctx)
+			s.results[j] = r.cfg.App.Apply(cmd)
+			key := cmdKey{cmd.Client, cmd.Timestamp}
+			r.byCmd[key] = cs.Seq
+			if cmd.Timestamp > r.lastTs[cmd.Client] {
+				r.lastTs[cmd.Client] = cmd.Timestamp
+			}
+		}
+		s.cmdDigest = engine.BatchDigest(s.digests)
+		s.executed = true
+		r.maxExec = cs.Seq
+		r.stats.Executed += uint64(len(cs.Reqs))
+	}
+	if cs := r.ckpt.Stable(0); cs == nil || cs.Mark < m.Seq {
+		// Adopt the transferred checkpoint as our stable point so stats and
+		// later truncation reflect it even before we see fresh votes.
+		for _, v := range m.Proof {
+			r.ckpt.Record(0, v.Seq, v.Replica, v.Digest, v)
+		}
+	}
+	r.stableCkpt = m.Seq
+	r.catchupPending = false
+	r.stats.CatchupsInstalled++
+	// Anything newly contiguous (buffered slots above the transfer) executes.
+	r.executeReady(ctx)
+}

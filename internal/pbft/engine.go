@@ -24,6 +24,7 @@ func (pbftEngine) NewReplica(o engine.ReplicaOptions) (proc.Process, error) {
 		Self: o.Self, N: o.N, App: o.App, Auth: o.Auth, Costs: o.Costs,
 		InitialView:        uint64(o.Primary),
 		CheckpointInterval: o.CheckpointInterval,
+		LogRetention:       o.LogRetention,
 		BatchSize:          o.BatchSize,
 		BatchDelay:         o.BatchDelay,
 		BatchAdaptive:      o.BatchAdaptive,
@@ -78,6 +79,18 @@ func PreVerifier(a auth.Authenticator, n int) func(msg codec.Message) bool {
 			return engine.VerifySigned(a, types.ReplicaNode(m.Replica), m, m.Sig)
 		case *Checkpoint:
 			return engine.VerifySigned(a, types.ReplicaNode(m.Replica), m, m.Sig)
+		case *CatchupReq:
+			return engine.VerifySigned(a, types.ReplicaNode(m.Replica), m, m.Sig)
+		case *CatchupResp:
+			if !engine.VerifySigned(a, types.ReplicaNode(m.Replica), m, m.Sig) {
+				return false
+			}
+			// Proof votes are counted (2f+1 required, not all) in-loop; mark
+			// the valid ones so the count re-verifies nothing.
+			for _, v := range m.Proof {
+				engine.TryMarkSigned(a, types.ReplicaNode(v.Replica), v, v.Sig)
+			}
+			return true
 		case *ViewChange:
 			return engine.VerifySigned(a, types.ReplicaNode(m.Replica), m, m.Sig)
 		case *NewView:

@@ -37,6 +37,9 @@ type ReplicaConfig struct {
 	ForwardTimeout time.Duration
 	// CheckpointInterval is the distance between checkpoints (0 = default).
 	CheckpointInterval uint64
+	// LogRetention keeps this many additional sequence numbers below the
+	// stable checkpoint when truncating (0 = truncate everything below it).
+	LogRetention uint64
 	// BatchSize is the maximum number of client requests the primary
 	// orders per sequence number. 0 or 1 disables batching and reproduces
 	// the paper's one-slot-per-request flow exactly.
@@ -95,9 +98,18 @@ type Replica struct {
 	timerSeq  uint64
 	timerAct  map[proc.TimerID]func(ctx proc.Context)
 
-	// checkpoints
-	ckptVotes  map[uint64]map[types.ReplicaID]types.Digest
-	stableCkpt uint64
+	// Log lifecycle (see checkpoint.go): the engine-level checkpoint
+	// tracker, the latest stable checkpoint, application snapshots retained
+	// at recent checkpoint emissions (state-transfer material; nil entries
+	// when the application is not a Snapshotter), the per-client highest
+	// ordered timestamp (bounds reply-cache pruning), and the
+	// state-transfer in-flight guard.
+	ckpt            *engine.CheckpointTracker
+	stableCkpt      uint64
+	snaps           map[uint64][]byte
+	lastTs          map[types.ClientID]uint64
+	catchupPending  bool
+	catchupAttempts uint64
 
 	// view change state
 	vcMsgs map[uint64]map[types.ReplicaID]*ViewChange
@@ -123,6 +135,12 @@ type ReplicaStats struct {
 	Checkpoints    uint64
 	ViewChanges    uint64
 	DroppedInvalid uint64
+
+	// Log-lifecycle observables (checkpointing / GC / state transfer).
+	TruncatedEntries  uint64 // slots freed by truncation
+	LowWaterMark      uint64 // latest stable checkpoint sequence number
+	CatchupsServed    uint64 // state transfers served to lagging peers
+	CatchupsInstalled uint64 // state transfers installed locally
 }
 
 var _ proc.Process = (*Replica)(nil)
@@ -158,9 +176,11 @@ func NewReplica(cfg ReplicaConfig) (*Replica, error) {
 		replyCache: make(map[cmdKey]*Reply),
 		forwarded:  make(map[cmdKey]proc.TimerID),
 		timerAct:   make(map[proc.TimerID]func(ctx proc.Context)),
-		ckptVotes:  make(map[uint64]map[types.ReplicaID]types.Digest),
+		snaps:      make(map[uint64][]byte),
+		lastTs:     make(map[types.ClientID]uint64),
 		vcMsgs:     make(map[uint64]map[types.ReplicaID]*ViewChange),
 	}
+	r.ckpt = engine.NewCheckpointTracker(cfg.N, cfg.CheckpointInterval)
 	r.batcher = engine.NewBatcher[cmdKey, *Request](cfg.BatchSize, cfg.BatchDelay, r, r.flushBatch)
 	r.batcher.SetAdaptive(cfg.BatchAdaptive)
 	for i := 0; i < cfg.N; i++ {
@@ -175,7 +195,20 @@ func NewReplica(cfg ReplicaConfig) (*Replica, error) {
 func (r *Replica) ID() types.NodeID { return types.ReplicaNode(r.cfg.Self) }
 
 // Stats returns a snapshot of counters.
-func (r *Replica) Stats() ReplicaStats { return r.stats }
+func (r *Replica) Stats() ReplicaStats {
+	s := r.stats
+	cs := r.ckpt.Stats()
+	s.Checkpoints = cs.Checkpoints
+	s.LowWaterMark = cs.LowWaterMark
+	return s
+}
+
+// SlotCount returns the number of retained slots (soak-test observable).
+func (r *Replica) SlotCount() int { return len(r.slots) }
+
+// ReplyCacheSize returns the number of cached replies (soak-test
+// observable).
+func (r *Replica) ReplyCacheSize() int { return len(r.replyCache) }
 
 // BatcherStats returns the primary-side batch-size observables.
 func (r *Replica) BatcherStats() engine.BatcherStats { return r.batcher.Stats() }
@@ -247,6 +280,10 @@ func (r *Replica) Receive(ctx proc.Context, from types.NodeID, msg codec.Message
 		r.handleCommit(ctx, m)
 	case *Checkpoint:
 		r.handleCheckpoint(ctx, m)
+	case *CatchupReq:
+		r.handleCatchupReq(ctx, m)
+	case *CatchupResp:
+		r.handleCatchupResp(ctx, m)
 	case *ViewChange:
 		r.handleViewChange(ctx, m)
 	case *NewView:
@@ -423,6 +460,9 @@ func (r *Replica) acceptPrePrepare(ctx proc.Context, m *PrePrepare, digests []ty
 		s.reqs[i] = *req
 		key := cmdKey{req.Cmd.Client, req.Cmd.Timestamp}
 		r.byCmd[key] = m.Seq
+		if req.Cmd.Timestamp > r.lastTs[req.Cmd.Client] {
+			r.lastTs[req.Cmd.Client] = req.Cmd.Timestamp
+		}
 		if id, ok := r.forwarded[key]; ok {
 			delete(r.forwarded, key)
 			delete(r.timerAct, id)
@@ -548,11 +588,23 @@ func (r *Replica) executeReady(ctx proc.Context) {
 
 func (r *Replica) emitCheckpoint(ctx proc.Context, seq uint64) {
 	d := r.stateDigest()
+	// Retain the application snapshot captured at exactly this sequence
+	// number: once the checkpoint becomes stable it is the verifiable
+	// state-transfer payload for lagging replicas. Two generations cover
+	// votes that straggle past the next emission.
+	if snap, ok := r.cfg.App.(types.Snapshotter); ok {
+		r.snaps[seq] = snap.Snapshot()
+		for s := range r.snaps {
+			if s+2*r.cfg.CheckpointInterval <= seq {
+				delete(r.snaps, s)
+			}
+		}
+	}
 	ck := &Checkpoint{Seq: seq, Digest: d, Replica: r.cfg.Self}
 	r.cfg.Costs.ChargeSign(ctx)
 	ck.Sig = r.cfg.Auth.Sign(ck.SignedBody())
 	r.broadcastReplicas(ctx, ck)
-	r.recordCheckpoint(seq, r.cfg.Self, d)
+	r.recordCheckpoint(ctx, ck)
 }
 
 // stateDigest returns the application state digest (part of the
@@ -569,49 +621,54 @@ func (r *Replica) handleCheckpoint(ctx proc.Context, m *Checkpoint) {
 			return
 		}
 	}
-	r.recordCheckpoint(m.Seq, m.Replica, m.Digest)
+	r.recordCheckpoint(ctx, m)
 }
 
-func (r *Replica) recordCheckpoint(seq uint64, from types.ReplicaID, d types.Digest) {
-	votes, ok := r.ckptVotes[seq]
-	if !ok {
-		votes = make(map[types.ReplicaID]types.Digest, r.n)
-		r.ckptVotes[seq] = votes
-	}
-	votes[from] = d
-	if seq <= r.stableCkpt {
+// recordCheckpoint tallies one vote through the engine-level tracker; a
+// newly stable checkpoint truncates the log and, if this replica's
+// execution trails the stable point, starts a state transfer (the gap's
+// PRE-PREPAREs are never retransmitted, so it cannot close on its own).
+func (r *Replica) recordCheckpoint(ctx proc.Context, m *Checkpoint) {
+	st := r.ckpt.Record(0, m.Seq, m.Replica, m.Digest, m)
+	if st == nil {
 		return
 	}
-	// Stable with 2f+1 matching digests.
-	counts := make(map[types.Digest]int, 2)
-	for _, vd := range votes {
-		counts[vd]++
-		if counts[vd] >= quorum(r.n) {
-			r.stableCkpt = seq
-			r.stats.Checkpoints++
-			r.gcBelow(seq)
-			// Applications that opt into the checkpointing hook learn that
-			// a quorum vouched for this state, so they can snapshot or
-			// truncate their own journals.
-			if ck, ok := r.cfg.App.(types.Checkpointer); ok {
-				ck.Checkpoint(seq, vd)
-			}
-			return
-		}
+	r.stableCkpt = st.Mark
+	r.gcBelow(st.Mark)
+	// Applications that opt into the checkpointing hook learn that a quorum
+	// vouched for this state, so they can snapshot or truncate their own
+	// journals.
+	if ck, ok := r.cfg.App.(types.Checkpointer); ok {
+		ck.Checkpoint(st.Mark, st.Digest)
+	}
+	if r.maxExec < st.Mark {
+		r.requestCatchup(ctx, st)
 	}
 }
 
-// gcBelow discards log state at and below the stable checkpoint.
+// gcBelow discards log state at and below the stable checkpoint (keeping
+// LogRetention extra sequence numbers): executed slots are freed, and the
+// per-request bookkeeping they carried — reply cache, exactly-once table —
+// is released outside each client's recent-timestamp window.
 func (r *Replica) gcBelow(seq uint64) {
-	for s := range r.slots {
-		if s <= seq && r.slots[s].executed {
-			delete(r.slots, s)
-		}
+	if r.cfg.LogRetention >= seq {
+		return
 	}
-	for s := range r.ckptVotes {
-		if s < seq {
-			delete(r.ckptVotes, s)
+	seq -= r.cfg.LogRetention
+	for s, slot := range r.slots {
+		if s > seq || !slot.executed {
+			continue
 		}
+		for i := range slot.reqs {
+			cmd := slot.reqs[i].Cmd
+			if cmd.Timestamp+replyRetention <= r.lastTs[cmd.Client] {
+				key := cmdKey{cmd.Client, cmd.Timestamp}
+				delete(r.byCmd, key)
+				delete(r.replyCache, key)
+			}
+		}
+		delete(r.slots, s)
+		r.stats.TruncatedEntries++
 	}
 }
 

@@ -259,6 +259,25 @@ type Checkpointer interface {
 	Checkpoint(seq uint64, digest Digest)
 }
 
+// Snapshotter is the optional state-transfer hook an Application may
+// implement: protocols that catch lagging replicas up past a truncated log
+// (checkpoint-based state transfer) serialize the application state on the
+// serving replica and install it on the rejoining one. Snapshot must cover
+// only the final (non-speculative) state and must be deterministic — two
+// replicas with equal Digests must produce snapshots that Restore to equal
+// Digests. Restore replaces the application state wholesale; speculative
+// overlays are discarded separately (Rollback) by the protocol.
+// Applications that do not implement Snapshotter can still checkpoint and
+// truncate, but replicas that fall behind the low-water mark cannot rejoin
+// via state transfer.
+type Snapshotter interface {
+	// Snapshot serializes the current final application state.
+	Snapshot() []byte
+	// Restore replaces the application state with a previously captured
+	// snapshot.
+	Restore(snap []byte) error
+}
+
 // SpeculativeApplication extends Application with the speculative-execution
 // contract required by ezBFT: speculative results may later be rolled back
 // and the commands re-executed in final order.

@@ -22,11 +22,13 @@ func (zyEngine) Protocol() engine.Protocol { return engine.Zyzzyva }
 func (zyEngine) NewReplica(o engine.ReplicaOptions) (proc.Process, error) {
 	cfg := ReplicaConfig{
 		Self: o.Self, N: o.N, App: o.App, Auth: o.Auth, Costs: o.Costs,
-		InitialView:   uint64(o.Primary),
-		BatchSize:     o.BatchSize,
-		BatchDelay:    o.BatchDelay,
-		BatchAdaptive: o.BatchAdaptive,
-		Mute:          o.Mute,
+		InitialView:        uint64(o.Primary),
+		BatchSize:          o.BatchSize,
+		BatchDelay:         o.BatchDelay,
+		BatchAdaptive:      o.BatchAdaptive,
+		CheckpointInterval: o.CheckpointInterval,
+		LogRetention:       o.LogRetention,
+		Mute:               o.Mute,
 	}
 	if o.LatencyBound > 0 {
 		cfg.ForwardTimeout = 4 * o.LatencyBound
@@ -85,6 +87,8 @@ func PreVerifier(a auth.Authenticator, n int) func(msg codec.Message) bool {
 			}
 			return true
 		case *LocalCommit:
+			return engine.VerifySigned(a, types.ReplicaNode(m.Replica), m, m.Sig)
+		case *Checkpoint:
 			return engine.VerifySigned(a, types.ReplicaNode(m.Replica), m, m.Sig)
 		case *HatePrimary:
 			return engine.VerifySigned(a, types.ReplicaNode(m.Replica), m, m.Sig)

@@ -50,6 +50,13 @@ type ReplicaConfig struct {
 	// BatchAdaptive enables adaptive batch sizing (see
 	// engine.Batcher.SetAdaptive).
 	BatchAdaptive bool
+	// CheckpointInterval enables checkpointing and log truncation every
+	// this many executed sequence numbers (see checkpoint.go). 0 (the
+	// default) disables the subsystem — byte-identical original flow.
+	CheckpointInterval uint64
+	// LogRetention keeps this many additional sequence numbers below the
+	// stable checkpoint when truncating.
+	LogRetention uint64
 	// Mute makes the replica silent (fault injection).
 	Mute bool
 }
@@ -97,6 +104,11 @@ type Replica struct {
 	timerSeq  uint64
 	timerAct  map[proc.TimerID]func(ctx proc.Context)
 
+	// Log lifecycle (see checkpoint.go).
+	ckpt        *engine.CheckpointTracker
+	ckptEmitted uint64
+	lastTs      map[types.ClientID]uint64
+
 	// view change state
 	hateVotes map[uint64]map[types.ReplicaID]bool
 	vcMsgs    map[uint64]map[types.ReplicaID]*ViewChange
@@ -120,6 +132,11 @@ type ReplicaStats struct {
 	LocalCommits   uint64
 	ViewChanges    uint64
 	DroppedInvalid uint64
+
+	// Log-lifecycle observables (checkpointing / GC).
+	Checkpoints      uint64 // stable checkpoints established
+	TruncatedEntries uint64 // slots freed by truncation
+	LowWaterMark     uint64 // latest stable checkpoint sequence number
 }
 
 var _ proc.Process = (*Replica)(nil)
@@ -153,9 +170,11 @@ func NewReplica(cfg ReplicaConfig) (*Replica, error) {
 		replyCache: make(map[cmdKey]*SpecResponse),
 		forwarded:  make(map[cmdKey]proc.TimerID),
 		timerAct:   make(map[proc.TimerID]func(ctx proc.Context)),
+		lastTs:     make(map[types.ClientID]uint64),
 		hateVotes:  make(map[uint64]map[types.ReplicaID]bool),
 		vcMsgs:     make(map[uint64]map[types.ReplicaID]*ViewChange),
 	}
+	r.ckpt = engine.NewCheckpointTracker(cfg.N, cfg.CheckpointInterval)
 	r.batcher = engine.NewBatcher[cmdKey, *Request](cfg.BatchSize, cfg.BatchDelay, r, r.flushBatch)
 	r.batcher.SetAdaptive(cfg.BatchAdaptive)
 	for i := 0; i < cfg.N; i++ {
@@ -170,7 +189,13 @@ func NewReplica(cfg ReplicaConfig) (*Replica, error) {
 func (r *Replica) ID() types.NodeID { return types.ReplicaNode(r.cfg.Self) }
 
 // Stats returns a snapshot of the replica's counters.
-func (r *Replica) Stats() ReplicaStats { return r.stats }
+func (r *Replica) Stats() ReplicaStats {
+	s := r.stats
+	cs := r.ckpt.Stats()
+	s.Checkpoints = cs.Checkpoints
+	s.LowWaterMark = cs.LowWaterMark
+	return s
+}
 
 // BatcherStats returns the primary-side batch-size observables.
 func (r *Replica) BatcherStats() engine.BatcherStats { return r.batcher.Stats() }
@@ -235,6 +260,8 @@ func (r *Replica) Receive(ctx proc.Context, from types.NodeID, msg codec.Message
 		r.handleOrderReq(ctx, m)
 	case *CommitCert:
 		r.handleCommitCert(ctx, m)
+	case *Checkpoint:
+		r.handleCheckpoint(ctx, m)
 	case *HatePrimary:
 		r.handleHatePrimary(ctx, m)
 	case *ViewChange:
@@ -457,6 +484,9 @@ func (r *Replica) acceptOrderReq(ctx proc.Context, m *OrderReq, digests []types.
 		e.cmds[i] = cmd
 		e.results[i] = res
 		r.byCmd[key] = m.Seq
+		if cmd.Timestamp > r.lastTs[cmd.Client] {
+			r.lastTs[cmd.Client] = cmd.Timestamp
+		}
 		r.stats.SpecExecuted++
 
 		sr := &SpecResponse{
@@ -483,6 +513,7 @@ func (r *Replica) acceptOrderReq(ctx proc.Context, m *OrderReq, digests []types.
 		}
 	}
 	e.executed = true
+	r.maybeEmitCheckpoint(ctx)
 }
 
 // handleCommitCert validates the client's 2f+1 certificate and
@@ -697,7 +728,13 @@ func (r *Replica) applyNewView(ctx proc.Context, m *NewView) {
 		r.log[e.Seq] = le
 		r.maxSeq = e.Seq
 		r.histHash = hh
+		for _, cmd := range cmds {
+			if cmd.Timestamp > r.lastTs[cmd.Client] {
+				r.lastTs[cmd.Client] = cmd.Timestamp
+			}
+		}
 	}
+	r.maybeEmitCheckpoint(ctx)
 	if primaryOf(r.view, r.n) == r.cfg.Self {
 		r.nextSeq = r.maxSeq + 1
 	}

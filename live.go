@@ -9,6 +9,7 @@ import (
 	"ezbft/internal/auth"
 	"ezbft/internal/codec"
 	"ezbft/internal/engine"
+	"ezbft/internal/proc"
 	"ezbft/internal/transport"
 	"ezbft/internal/types"
 )
@@ -62,6 +63,15 @@ type LiveConfig struct {
 	// batch-of-one latency, saturated ones stretch toward BatchDelay and
 	// converge on BatchSize automatically.
 	BatchAdaptive bool
+	// CheckpointInterval enables the log lifecycle subsystem: replicas
+	// checkpoint every this many executions, truncate their logs below
+	// 2f+1-stable checkpoints, and catch lagging peers up by state
+	// transfer. 0 keeps each protocol's default (PBFT checkpoints at its
+	// paper interval; the others run without checkpointing).
+	CheckpointInterval uint64
+	// LogRetention keeps this many extra entries below the stable mark
+	// when truncating.
+	LogRetention uint64
 	// VerifyWorkers sizes each node's inbound signature-verification pool
 	// (0 = GOMAXPROCS). Every node — replica and client — pre-verifies
 	// inbound signatures on pool workers before its process loop sees the
@@ -91,13 +101,14 @@ type LiveCluster struct {
 	verifyWorkers int
 	preVerify     bool
 
-	mu      sync.Mutex
-	nodes   []*transport.LiveNode
-	pools   []*transport.VerifyPool
-	clients []*Client
-	nextCID types.ClientID
-	apps    []Application
-	closed  bool
+	mu           sync.Mutex
+	nodes        []*transport.LiveNode
+	replicaProcs []proc.Process
+	pools        []*transport.VerifyPool
+	clients      []*Client
+	nextCID      types.ClientID
+	apps         []Application
+	closed       bool
 }
 
 // NewLiveCluster builds and starts the replicas.
@@ -162,11 +173,13 @@ func NewLiveCluster(cfg LiveConfig) (*LiveCluster, error) {
 		}
 		rep, err := eng.NewReplica(engine.ReplicaOptions{
 			Self: rid, N: cfg.N, App: app, Auth: a,
-			Primary:       cfg.Primary,
-			LatencyBound:  500 * time.Millisecond,
-			BatchSize:     cfg.BatchSize,
-			BatchDelay:    cfg.BatchDelay,
-			BatchAdaptive: cfg.BatchAdaptive,
+			Primary:            cfg.Primary,
+			LatencyBound:       500 * time.Millisecond,
+			BatchSize:          cfg.BatchSize,
+			BatchDelay:         cfg.BatchDelay,
+			BatchAdaptive:      cfg.BatchAdaptive,
+			CheckpointInterval: cfg.CheckpointInterval,
+			LogRetention:       cfg.LogRetention,
 		})
 		if err != nil {
 			return nil, err
@@ -176,6 +189,7 @@ func NewLiveCluster(cfg LiveConfig) (*LiveCluster, error) {
 			lc.pools = append(lc.pools, pool)
 		}
 		lc.nodes = append(lc.nodes, node)
+		lc.replicaProcs = append(lc.replicaProcs, rep)
 		lc.apps = append(lc.apps, app)
 	}
 	for _, node := range lc.nodes {
@@ -224,6 +238,12 @@ func (lc *LiveCluster) Close() {
 
 // App returns replica i's application instance, for inspection.
 func (lc *LiveCluster) App(i int) Application { return lc.apps[i] }
+
+// Replica returns replica i's underlying protocol value (for example
+// *core.Replica under the EZBFT protocol), for stats inspection in tests
+// and experiments. The replica runs on its own goroutine; read its state
+// only through methods documented as inspection-safe, or after Close.
+func (lc *LiveCluster) Replica(i int) any { return engine.Unwrap(lc.replicaProcs[i]) }
 
 // StateDigest returns replica i's application state digest.
 func (lc *LiveCluster) StateDigest(i int) string { return lc.apps[i].Digest().String() }

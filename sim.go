@@ -48,6 +48,15 @@ type SimConfig struct {
 	// BatchDelay bounds how long an incomplete batch waits before flushing
 	// (0 = the protocol default).
 	BatchDelay time.Duration
+	// CheckpointInterval enables the log lifecycle subsystem: replicas
+	// checkpoint every this many executions and truncate their logs below
+	// 2f+1-stable checkpoints. 0 keeps each protocol's default (PBFT
+	// checkpoints at its paper interval; the others run without
+	// checkpointing — the paper-reproduction message flow, byte-identical).
+	CheckpointInterval uint64
+	// LogRetention keeps this many extra entries below the stable mark
+	// when truncating.
+	LogRetention uint64
 }
 
 // SimCluster is a deterministic simulated deployment. It is driven by
@@ -87,14 +96,16 @@ func NewSimCluster(cfg SimConfig) (*SimCluster, error) {
 
 	var collector *metrics.Collector
 	spec := bench.Spec{
-		Protocol:       cfg.Protocol,
-		Topology:       cfg.Topology,
-		ReplicaRegions: cfg.ReplicaRegions,
-		Primary:        cfg.Primary,
-		Seed:           cfg.Seed,
-		Mute:           cfg.Mute,
-		BatchSize:      cfg.BatchSize,
-		BatchDelay:     cfg.BatchDelay,
+		Protocol:           cfg.Protocol,
+		Topology:           cfg.Topology,
+		ReplicaRegions:     cfg.ReplicaRegions,
+		Primary:            cfg.Primary,
+		Seed:               cfg.Seed,
+		Mute:               cfg.Mute,
+		BatchSize:          cfg.BatchSize,
+		BatchDelay:         cfg.BatchDelay,
+		CheckpointInterval: cfg.CheckpointInterval,
+		LogRetention:       cfg.LogRetention,
 	}
 	if cfg.NewApp != nil {
 		spec.NewApp = func() types.Application { return cfg.NewApp() }

@@ -2,6 +2,7 @@ package ezbft
 
 import (
 	"fmt"
+	"os"
 	"time"
 
 	"ezbft/internal/auth"
@@ -12,7 +13,25 @@ import (
 )
 
 // TCPReplicaConfig describes one replica of a TCP deployment. All replicas
-// of a cluster must share N, Secret, Protocol, and batching settings.
+// of a cluster must share N, Protocol, batching and checkpointing settings,
+// and one authentication setup: either the shared HMAC Secret or ECDSA PEM
+// key material (KeyPEM/KeyFile).
+//
+// # Key distribution (ECDSA over TCP)
+//
+// HMAC needs only the one shared Secret, but gives every key holder the
+// power to impersonate every node. For ECDSA, a deployment operator
+// generates one identity per node and hands each process a PEM bundle
+// containing its own private key plus every node's public key:
+//
+//	bundles, _ := ezbft.GenerateTCPKeys(4, 16)   // 4 replicas, 16 clients
+//	// write bundles["R0"] to replica 0's key file, bundles["c3"] to
+//	// client 3's, ... — each bundle can sign only as its own node.
+//
+// Replicas and clients then load their bundle through KeyFile (or pass the
+// bytes in KeyPEM); the Secret is ignored when key material is present.
+// Bundles are produced by a single trusted keygen step; rotating keys means
+// regenerating and redistributing bundles (no online rekeying).
 type TCPReplicaConfig struct {
 	// Protocol selects the consensus protocol (default EZBFT).
 	Protocol Protocol
@@ -29,12 +48,28 @@ type TCPReplicaConfig struct {
 	// registered later with SetPeer (ephemeral-port clusters exchange them
 	// after startup).
 	Peers map[ReplicaID]string
-	// Secret is the cluster's shared HMAC key material (required).
+	// Secret is the cluster's shared HMAC key material (required unless
+	// ECDSA key material is supplied via KeyPEM or KeyFile).
 	Secret []byte
+	// KeyPEM holds this replica's ECDSA key bundle (its private key plus
+	// every node's public key; see GenerateTCPKeys). Non-empty KeyPEM
+	// switches the deployment to ECDSA message authentication.
+	KeyPEM []byte
+	// KeyFile names a file holding the KeyPEM bundle (used when KeyPEM is
+	// empty).
+	KeyFile string
 	// NewApp builds the replica's application (nil = the reference
 	// key-value store). The EZBFT protocol requires the application to
 	// implement SpeculativeApplication.
 	NewApp ApplicationFactory
+	// CheckpointInterval enables the log lifecycle subsystem: replicas
+	// checkpoint every this many executions, truncate their logs below
+	// 2f+1-stable checkpoints, and catch lagging peers up by state
+	// transfer. 0 keeps each protocol's default (PBFT checkpoints at its
+	// paper interval; the others run without checkpointing).
+	CheckpointInterval uint64
+	// LogRetention keeps this many extra entries below the stable mark.
+	LogRetention uint64
 	// BatchSize enables leader-side request batching (0 or 1 = unbatched).
 	BatchSize int
 	// BatchDelay bounds how long an incomplete batch waits before
@@ -70,28 +105,29 @@ func StartTCPReplica(cfg TCPReplicaConfig) (*TCPReplica, error) {
 	if cfg.N == 0 {
 		cfg.N = 4
 	}
-	if len(cfg.Secret) == 0 {
-		return nil, fmt.Errorf("ezbft: TCP deployments require a shared secret")
-	}
 	if cfg.NewApp == nil {
 		cfg.NewApp = NewKVStore
 	}
 	if cfg.Listen == "" {
 		cfg.Listen = "127.0.0.1:0"
 	}
+	a, err := tcpAuthenticator(types.ReplicaNode(cfg.ID), cfg.Secret, cfg.KeyPEM, cfg.KeyFile)
+	if err != nil {
+		return nil, err
+	}
 
 	app := cfg.NewApp()
-	ring := auth.NewHMACKeyring(cfg.Secret)
-	a := ring.ForNode(types.ReplicaNode(cfg.ID))
 	rep, err := eng.NewReplica(engine.ReplicaOptions{
-		Self:          cfg.ID,
-		N:             cfg.N,
-		App:           app,
-		Auth:          a,
-		Primary:       cfg.Primary,
-		BatchSize:     cfg.BatchSize,
-		BatchDelay:    cfg.BatchDelay,
-		BatchAdaptive: cfg.BatchAdaptive,
+		Self:               cfg.ID,
+		N:                  cfg.N,
+		App:                app,
+		Auth:               a,
+		Primary:            cfg.Primary,
+		BatchSize:          cfg.BatchSize,
+		BatchDelay:         cfg.BatchDelay,
+		BatchAdaptive:      cfg.BatchAdaptive,
+		CheckpointInterval: cfg.CheckpointInterval,
+		LogRetention:       cfg.LogRetention,
 	})
 	if err != nil {
 		return nil, err
@@ -159,8 +195,16 @@ type TCPClientConfig struct {
 	Nearest ReplicaID
 	// Replicas maps replica IDs to host:port addresses (required).
 	Replicas map[ReplicaID]string
-	// Secret is the cluster's shared HMAC key material (required).
+	// Secret is the cluster's shared HMAC key material (required unless
+	// ECDSA key material is supplied via KeyPEM or KeyFile).
 	Secret []byte
+	// KeyPEM holds this client's ECDSA key bundle (see GenerateTCPKeys and
+	// the key-distribution notes on TCPReplicaConfig); non-empty switches
+	// the client to ECDSA message authentication.
+	KeyPEM []byte
+	// KeyFile names a file holding the KeyPEM bundle (used when KeyPEM is
+	// empty).
+	KeyFile string
 	// Listen is the client's own listen address (default an ephemeral
 	// loopback port).
 	Listen string
@@ -181,6 +225,63 @@ type TCPClientConfig struct {
 	DisablePreVerify bool
 }
 
+// tcpAuthenticator builds a node's authenticator from a TCP config's key
+// material: ECDSA when a PEM bundle is supplied (bytes or file), the
+// shared-secret HMAC keyring otherwise.
+func tcpAuthenticator(self types.NodeID, secret, keyPEM []byte, keyFile string) (auth.Authenticator, error) {
+	if len(keyPEM) == 0 && keyFile != "" {
+		data, err := os.ReadFile(keyFile)
+		if err != nil {
+			return nil, fmt.Errorf("ezbft: reading key file: %w", err)
+		}
+		keyPEM = data
+	}
+	if len(keyPEM) > 0 {
+		ring, err := auth.ParseECDSAKeyringPEM(keyPEM)
+		if err != nil {
+			return nil, fmt.Errorf("ezbft: %w", err)
+		}
+		a, err := ring.ForNode(self)
+		if err != nil {
+			return nil, fmt.Errorf("ezbft: %w", err)
+		}
+		return a, nil
+	}
+	if len(secret) == 0 {
+		return nil, fmt.Errorf("ezbft: TCP deployments require a shared secret or ECDSA key material")
+	}
+	return auth.NewHMACKeyring(secret).ForNode(self), nil
+}
+
+// GenerateTCPKeys creates fresh ECDSA P-256 identities for a TCP deployment
+// of n replicas and maxClients clients, returning one PEM key bundle per
+// node keyed by node name ("R0".."R<n-1>" for replicas, "c0" onward for
+// clients). Each bundle holds that node's private key plus every node's
+// public key; distribute each bundle to its node only (TCPReplicaConfig /
+// TCPClientConfig KeyPEM or KeyFile).
+func GenerateTCPKeys(n, maxClients int) (map[string][]byte, error) {
+	nodes := make([]types.NodeID, 0, n+maxClients)
+	for i := 0; i < n; i++ {
+		nodes = append(nodes, types.ReplicaNode(ReplicaID(i)))
+	}
+	for i := 0; i < maxClients; i++ {
+		nodes = append(nodes, types.ClientNode(ClientID(i)))
+	}
+	ring, err := auth.NewECDSAKeyring(nil, nodes)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string][]byte, len(nodes))
+	for _, node := range nodes {
+		bundle, err := ring.ExportPEM(node)
+		if err != nil {
+			return nil, err
+		}
+		out[node.String()] = bundle
+	}
+	return out, nil
+}
+
 // NewTCPClient connects a pipelined, context-aware Client to a TCP
 // deployment. It pre-registers with every reachable replica so replies
 // ride the client's own connections (best-effort: up to f replicas may be
@@ -196,9 +297,6 @@ func NewTCPClient(cfg TCPClientConfig) (*Client, error) {
 	if cfg.N == 0 {
 		cfg.N = 4
 	}
-	if len(cfg.Secret) == 0 {
-		return nil, fmt.Errorf("ezbft: TCP deployments require a shared secret")
-	}
 	if len(cfg.Replicas) == 0 {
 		return nil, fmt.Errorf("ezbft: TCP client needs replica addresses")
 	}
@@ -208,9 +306,10 @@ func NewTCPClient(cfg TCPClientConfig) (*Client, error) {
 	if cfg.LatencyBound <= 0 {
 		cfg.LatencyBound = 500 * time.Millisecond
 	}
-
-	ring := auth.NewHMACKeyring(cfg.Secret)
-	a := ring.ForNode(types.ClientNode(cfg.ID))
+	a, err := tcpAuthenticator(types.ClientNode(cfg.ID), cfg.Secret, cfg.KeyPEM, cfg.KeyFile)
+	if err != nil {
+		return nil, err
+	}
 	bridge := newFutureBridge()
 	inner, err := eng.NewClient(engine.ClientOptions{
 		ID: cfg.ID, N: cfg.N,
