@@ -12,9 +12,17 @@
 // simulated artifacts); run it explicitly, optionally with `-json` to
 // write the machine-readable snapshot (BENCH_crypto.json).
 //
+// The `scenarios` experiment runs the adversarial fault matrix (see
+// internal/scenario): every Byzantine strategy and hostile network shape
+// against all four protocols, with invariants checked after every cell.
+// Also not part of `-e all`; it exits nonzero when any cell fails
+// unexpectedly, and every failing cell prints a replay line (cell name +
+// seed). The seed comes from -seed, or EZBFT_SCENARIO_SEED when the flag
+// is not given.
+//
 // Usage:
 //
-//	ezbft-bench [-e table1|table2|fig4|fig5a|fig5b|fig6|fig7|ablation|batch|all|crypto]
+//	ezbft-bench [-e table1|table2|fig4|fig5a|fig5b|fig6|fig7|ablation|batch|all|crypto|scenarios]
 //	            [-duration 30s] [-warmup 2s] [-clients 3] [-seed 1]
 //	            [-json out.json]
 package main
@@ -26,6 +34,7 @@ import (
 	"time"
 
 	"ezbft/internal/bench"
+	"ezbft/internal/scenario"
 )
 
 func main() {
@@ -37,7 +46,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("ezbft-bench", flag.ContinueOnError)
-	experiment := fs.String("e", "all", "experiment: table1, table2, fig4, fig5a, fig5b, fig6, fig7, ablation, batch, crypto, or all (crypto runs only when named)")
+	experiment := fs.String("e", "all", "experiment: table1, table2, fig4, fig5a, fig5b, fig6, fig7, ablation, batch, crypto, scenarios, or all (crypto and scenarios run only when named)")
 	duration := fs.Duration("duration", 30*time.Second, "simulated measurement window (crypto: wall-clock, capped at 5s)")
 	warmup := fs.Duration("warmup", 2*time.Second, "simulated warmup (discarded)")
 	clients := fs.Int("clients", 3, "closed-loop clients per region (latency experiments)")
@@ -51,6 +60,26 @@ func run(args []string) error {
 		Warmup:           *warmup,
 		ClientsPerRegion: *clients,
 		Seed:             *seed,
+	}
+
+	if *experiment == "scenarios" {
+		explicit := map[string]bool{}
+		fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+		matrixSeed := *seed
+		if !explicit["seed"] {
+			matrixSeed = scenario.SeedFromEnv(*seed)
+		}
+		start := time.Now()
+		rep, err := scenario.RunMatrix(scenario.DefaultMatrix(), scenario.Config{Seed: matrixSeed})
+		if err != nil {
+			return fmt.Errorf("scenarios: %w", err)
+		}
+		fmt.Println(rep.Render())
+		fmt.Printf("(scenarios simulated in %.1fs wall time, seed %d)\n\n", time.Since(start).Seconds(), matrixSeed)
+		if n := len(rep.Failures()); n > 0 {
+			return fmt.Errorf("scenarios: %d cell(s) failed unexpectedly", n)
+		}
+		return nil
 	}
 
 	if *experiment == "crypto" {

@@ -139,6 +139,11 @@ type Spec struct {
 	// reference key-value store). ezBFT requires a
 	// types.SpeculativeApplication.
 	NewApp func() types.Application
+	// NewBehavior, when non-nil, builds a Byzantine message-interception
+	// hook per replica (nil return = honest). The authenticator is the
+	// replica's own, so adversarial strategies can re-sign forged
+	// messages (see internal/scenario).
+	NewBehavior func(id types.ReplicaID, a auth.Authenticator) engine.Behavior
 }
 
 // Cluster is a built deployment ready to run.
@@ -233,6 +238,10 @@ func Build(spec Spec) (*Cluster, error) {
 		if err != nil {
 			return nil, err
 		}
+		var behavior engine.Behavior
+		if spec.NewBehavior != nil {
+			behavior = spec.NewBehavior(rid, a)
+		}
 		p, err := eng.NewReplica(engine.ReplicaOptions{
 			Self: rid, N: n, App: app, Auth: a, Costs: spec.Costs,
 			Primary:            spec.Primary,
@@ -243,6 +252,7 @@ func Build(spec Spec) (*Cluster, error) {
 			BatchDelay:         spec.BatchDelay,
 			BatchAdaptive:      spec.BatchAdaptive,
 			Mute:               spec.Mute[rid],
+			Behavior:           behavior,
 		})
 		if err != nil {
 			return nil, err

@@ -484,7 +484,24 @@ func (r *Replica) applyStableCheckpoint(ctx proc.Context, st *engine.StableCheck
 	// are not re-broadcast): state transfer is the only way back. A commit
 	// certificate can install entries at high slots over holes, so maxSlot
 	// alone is not evidence of an intact prefix.
-	if sp.maxSlot < st.Mark || sp.execMark+2*r.ckpt.Interval() <= st.Mark {
+	need := sp.maxSlot < st.Mark || sp.execMark+2*r.ckpt.Interval() <= st.Mark
+	if !need && sp.execMark < st.Mark {
+		// The lag slack above tolerates in-flight execution, but an outright
+		// missing slot below the stable mark is a permanent hole: f+1
+		// replicas executed that prefix and moved on, and its SPECORDER will
+		// never be sent again. Scan the unexecuted window for one.
+		from := sp.execMark
+		if sp.truncated > from {
+			from = sp.truncated
+		}
+		for slot := from + 1; slot <= st.Mark; slot++ {
+			if sp.entries[slot] == nil {
+				need = true
+				break
+			}
+		}
+	}
+	if need {
 		r.requestCatchup(ctx, st)
 	}
 }
@@ -565,8 +582,18 @@ func (r *Replica) requestCatchup(ctx proc.Context, st *engine.StableCheckpoint) 
 	r.cfg.Costs.ChargeSign(ctx)
 	req.Sig = signBody(r.cfg.Auth, req)
 	r.send(ctx, types.ReplicaNode(target), req)
-	r.afterTimer(ctx, 2*r.cfg.ResendTimeout, func(proc.Context) {
+	r.afterTimer(ctx, 2*r.cfg.ResendTimeout, func(ctx proc.Context) {
+		if !r.catchupPending {
+			return // a transfer installed in the meantime
+		}
 		r.catchupPending = false
+		// The request or its response was lost. Re-issue to the next voter
+		// right away: waiting for the next stability signal is not enough —
+		// in a quiesced system it may never come, and the rejoin would
+		// stall within one interval of the frontier forever.
+		if r.log.space(types.ReplicaID(st.Space)).execMark < st.Mark {
+			r.requestCatchup(ctx, st)
+		}
 	})
 }
 
@@ -764,6 +791,12 @@ func (r *Replica) installCatchup(ctx proc.Context, m *CatchupResp, snap types.Sn
 			oldPending[types.ReplicaID(i)] = sp.pending
 		}
 	}
+	// Commit decisions that raced ahead of their SPECORDERs survive the
+	// transfer too: for instances above the transferred head they are the
+	// only commit evidence this replica will ever hold (peers do not
+	// re-broadcast), so dropping them would leave the re-admitted tail
+	// speculative until the next checkpoint.
+	oldDeferred := r.deferredCommits
 
 	r.log = newCmdLog(r.n)
 	r.deps = newDepIndex()
@@ -894,6 +927,15 @@ func (r *Replica) installCatchup(ctx proc.Context, m *CatchupResp, snap types.Sn
 			}
 			delete(sp.pending, sp.maxSlot+1)
 			r.acceptSpecOrder(ctx, nxt, nil)
+		}
+	}
+	for inst, dcs := range oldDeferred {
+		if inst.Slot <= r.log.space(inst.Space).truncated {
+			continue // the transferred state already covers it
+		}
+		r.deferredCommits[inst] = dcs
+		if r.log.get(inst) != nil {
+			r.drainDeferredCommits(ctx, inst)
 		}
 	}
 	r.tryExecute(ctx)

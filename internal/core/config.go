@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"ezbft/internal/auth"
+	"ezbft/internal/engine"
 	"ezbft/internal/proc"
 	"ezbft/internal/types"
 )
@@ -74,6 +75,9 @@ type ReplicaConfig struct {
 	// Byzantine, when non-nil, makes this replica misbehave (tests and
 	// fault-injection experiments only).
 	Byzantine *ByzantineBehavior
+	// Behavior, when non-nil, intercepts every message this replica sends
+	// and receives (adversarial scenario harness; see engine.Behavior).
+	Behavior engine.Behavior
 }
 
 // ByzantineBehavior selects misbehaviours for fault-injection runs.

@@ -42,6 +42,7 @@ func (ezEngine) NewReplica(o engine.ReplicaOptions) (proc.Process, error) {
 	if o.Mute {
 		cfg.Byzantine = &ByzantineBehavior{Mute: true}
 	}
+	cfg.Behavior = o.Behavior
 	return NewReplica(cfg)
 }
 

@@ -258,3 +258,36 @@ type ExecRecord struct {
 	Cmd    types.Command
 	Result types.Result
 }
+
+// CommitCert is one committed instance's agreed ordering attributes.
+// Inspection helper: the scenario harness compares certificates across
+// replicas — two correct replicas committing the same instance with
+// different dependency sets or sequence numbers is a safety violation.
+type CommitCert struct {
+	Inst      types.InstanceID
+	Deps      types.InstanceSet
+	Seq       types.SeqNumber
+	CmdDigest types.Digest
+}
+
+// CommittedCerts returns the certificate of every retained instance that
+// reached committed (or executed) status, in no particular order.
+// Truncated slots are absent; callers intersect across replicas.
+func (r *Replica) CommittedCerts() []CommitCert {
+	var out []CommitCert
+	for i := 0; i < r.n; i++ {
+		sp := r.log.space(types.ReplicaID(i))
+		for _, e := range sp.entries {
+			if e.status < StatusCommitted {
+				continue
+			}
+			out = append(out, CommitCert{
+				Inst:      e.inst,
+				Deps:      e.deps.Clone(),
+				Seq:       e.seq,
+				CmdDigest: e.cmdDigest,
+			})
+		}
+	}
+	return out
+}

@@ -248,6 +248,9 @@ func (r *Replica) DisarmTimer(ctx proc.Context, id proc.TimerID) {
 
 // Receive implements proc.Process.
 func (r *Replica) Receive(ctx proc.Context, from types.NodeID, msg codec.Message) {
+	if r.cfg.Behavior != nil && !r.cfg.Behavior.Inbound(ctx, from, msg) {
+		return
+	}
 	switch m := msg.(type) {
 	case *Request:
 		r.handleRequest(ctx, from, m)
@@ -285,6 +288,9 @@ func (r *Replica) send(ctx proc.Context, to types.NodeID, msg codec.Message) {
 	if r.cfg.Byzantine != nil && r.cfg.Byzantine.Mute {
 		return
 	}
+	if r.cfg.Behavior != nil && !r.cfg.Behavior.Outbound(ctx, to, msg) {
+		return
+	}
 	ctx.Send(to, msg)
 }
 
@@ -292,6 +298,16 @@ func (r *Replica) send(ctx proc.Context, to types.NodeID, msg codec.Message) {
 // destinations on runtimes with an encode-once broadcast transport.
 func (r *Replica) broadcastReplicas(ctx proc.Context, msg codec.Message) {
 	if r.cfg.Byzantine != nil && r.cfg.Byzantine.Mute {
+		return
+	}
+	if r.cfg.Behavior != nil {
+		// Per-destination interception forfeits the encode-once fan-out;
+		// acceptable on the adversarial replica only.
+		for _, p := range r.peers {
+			if r.cfg.Behavior.Outbound(ctx, p, msg) {
+				ctx.Send(p, msg)
+			}
+		}
 		return
 	}
 	proc.Broadcast(ctx, r.peers, msg)

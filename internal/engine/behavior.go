@@ -1,0 +1,31 @@
+package engine
+
+import (
+	"ezbft/internal/codec"
+	"ezbft/internal/proc"
+	"ezbft/internal/types"
+)
+
+// Behavior intercepts one replica's message traffic, turning it Byzantine
+// for fault-injection runs. Every protocol consults the hook at its two
+// send funnels (unicast and replica broadcast, once per destination) and at
+// message delivery, so a single Behavior implementation drives any
+// protocol: it type-switches on the concrete message types it cares about
+// and waves everything else through.
+//
+// Implementations run inside the replica's handler invocation, under the
+// same rules as protocol code: no blocking, no goroutines, determinism via
+// ctx.Rand(). Messages are delivered by pointer and shared between
+// recipients — a Behavior must never mutate a message in place; it
+// constructs altered copies and re-signs them with the compromised
+// replica's own authenticator.
+type Behavior interface {
+	// Outbound is consulted for every message the replica is about to
+	// send to `to`. Returning false suppresses the send; the behavior may
+	// emit substitute or additional messages directly through ctx.Send.
+	Outbound(ctx proc.Context, to types.NodeID, msg codec.Message) bool
+	// Inbound is consulted for every delivered message before the replica
+	// processes it. Returning false drops the message unprocessed; the
+	// behavior may react (e.g. replay stashed traffic) through ctx.Send.
+	Inbound(ctx proc.Context, from types.NodeID, msg codec.Message) bool
+}

@@ -88,6 +88,11 @@ type ReplicaOptions struct {
 	BatchAdaptive bool
 	// Mute makes the replica fail-silent (fault-injection runs).
 	Mute bool
+	// Behavior, when non-nil, makes the replica Byzantine: the hook
+	// intercepts every message the replica sends and receives (see
+	// Behavior). Honest replicas leave it nil — the hot path pays only a
+	// nil check.
+	Behavior Behavior
 }
 
 // ClientOptions configures one workload-driven client.

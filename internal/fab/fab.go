@@ -408,6 +408,9 @@ type ReplicaConfig struct {
 	LogRetention uint64
 	// Mute makes the replica silent (fault injection).
 	Mute bool
+	// Behavior, when non-nil, intercepts every message this replica sends
+	// and receives (adversarial scenario harness; see engine.Behavior).
+	Behavior engine.Behavior
 }
 
 // DefaultBatchDelay is the default wait for an incomplete leader-side
@@ -584,11 +587,24 @@ func (r *Replica) send(ctx proc.Context, to types.NodeID, msg codec.Message) {
 	if r.cfg.Mute {
 		return
 	}
+	if r.cfg.Behavior != nil && !r.cfg.Behavior.Outbound(ctx, to, msg) {
+		return
+	}
 	ctx.Send(to, msg)
 }
 
 func (r *Replica) broadcastReplicas(ctx proc.Context, msg codec.Message) {
 	if r.cfg.Mute {
+		return
+	}
+	if r.cfg.Behavior != nil {
+		// Per-destination interception forfeits the encode-once fan-out;
+		// acceptable on the adversarial replica only.
+		for _, p := range r.peers {
+			if r.cfg.Behavior.Outbound(ctx, p, msg) {
+				ctx.Send(p, msg)
+			}
+		}
 		return
 	}
 	// One encode serves every destination on broadcast-capable transports.
@@ -597,6 +613,9 @@ func (r *Replica) broadcastReplicas(ctx proc.Context, msg codec.Message) {
 
 // Receive implements proc.Process.
 func (r *Replica) Receive(ctx proc.Context, from types.NodeID, msg codec.Message) {
+	if r.cfg.Behavior != nil && !r.cfg.Behavior.Inbound(ctx, from, msg) {
+		return
+	}
 	switch m := msg.(type) {
 	case *Request:
 		r.handleRequest(ctx, m)
@@ -1016,6 +1035,7 @@ func (fabEngine) NewReplica(o engine.ReplicaOptions) (proc.Process, error) {
 		CheckpointInterval: o.CheckpointInterval,
 		LogRetention:       o.LogRetention,
 		Mute:               o.Mute,
+		Behavior:           o.Behavior,
 	}
 	if o.LatencyBound > 0 {
 		cfg.ForwardTimeout = 4 * o.LatencyBound

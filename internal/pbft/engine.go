@@ -29,6 +29,7 @@ func (pbftEngine) NewReplica(o engine.ReplicaOptions) (proc.Process, error) {
 		BatchDelay:         o.BatchDelay,
 		BatchAdaptive:      o.BatchAdaptive,
 		Mute:               o.Mute,
+		Behavior:           o.Behavior,
 	}
 	if o.LatencyBound > 0 {
 		cfg.ForwardTimeout = 4 * o.LatencyBound

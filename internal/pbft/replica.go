@@ -53,6 +53,9 @@ type ReplicaConfig struct {
 	BatchAdaptive bool
 	// Mute makes the replica silent (fault injection).
 	Mute bool
+	// Behavior, when non-nil, intercepts every message this replica sends
+	// and receives (adversarial scenario harness; see engine.Behavior).
+	Behavior engine.Behavior
 }
 
 // DefaultBatchDelay is the default wait for an incomplete primary-side
@@ -256,11 +259,24 @@ func (r *Replica) send(ctx proc.Context, to types.NodeID, msg codec.Message) {
 	if r.cfg.Mute {
 		return
 	}
+	if r.cfg.Behavior != nil && !r.cfg.Behavior.Outbound(ctx, to, msg) {
+		return
+	}
 	ctx.Send(to, msg)
 }
 
 func (r *Replica) broadcastReplicas(ctx proc.Context, msg codec.Message) {
 	if r.cfg.Mute {
+		return
+	}
+	if r.cfg.Behavior != nil {
+		// Per-destination interception forfeits the encode-once fan-out;
+		// acceptable on the adversarial replica only.
+		for _, p := range r.peers {
+			if r.cfg.Behavior.Outbound(ctx, p, msg) {
+				ctx.Send(p, msg)
+			}
+		}
 		return
 	}
 	// One encode serves every destination on broadcast-capable transports.
@@ -269,6 +285,9 @@ func (r *Replica) broadcastReplicas(ctx proc.Context, msg codec.Message) {
 
 // Receive implements proc.Process.
 func (r *Replica) Receive(ctx proc.Context, from types.NodeID, msg codec.Message) {
+	if r.cfg.Behavior != nil && !r.cfg.Behavior.Inbound(ctx, from, msg) {
+		return
+	}
 	switch m := msg.(type) {
 	case *Request:
 		r.handleRequest(ctx, m)

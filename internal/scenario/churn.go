@@ -1,0 +1,47 @@
+package scenario
+
+import (
+	"time"
+
+	"ezbft/internal/proc"
+	"ezbft/internal/workload"
+)
+
+// lateJoinTimer is the driver-range timer id LateJoin reserves for its
+// join delay; inner drivers use ids at DriverTimerBase and the harness
+// keeps this one far above them.
+const lateJoinTimer = workload.DriverTimerBase + 1<<20
+
+// LateJoin delays a driver's start — client join churn. Leaves are the
+// dual and need no wrapper: a closed-loop driver that reaches MaxRequests
+// goes quiet, so staggering Delay across clients produces a population
+// that grows and shrinks over the run.
+type LateJoin struct {
+	Inner workload.Driver
+	Delay time.Duration
+}
+
+var _ workload.Driver = (*LateJoin)(nil)
+
+// Start implements workload.Driver.
+func (d *LateJoin) Start(ctx proc.Context, s workload.Submitter) {
+	if d.Delay <= 0 {
+		d.Inner.Start(ctx, s)
+		return
+	}
+	ctx.SetTimer(lateJoinTimer, d.Delay)
+}
+
+// Completed implements workload.Driver.
+func (d *LateJoin) Completed(ctx proc.Context, s workload.Submitter, c workload.Completion) {
+	d.Inner.Completed(ctx, s, c)
+}
+
+// OnTimer implements workload.Driver.
+func (d *LateJoin) OnTimer(ctx proc.Context, s workload.Submitter, id proc.TimerID) {
+	if id == lateJoinTimer {
+		d.Inner.Start(ctx, s)
+		return
+	}
+	d.Inner.OnTimer(ctx, s, id)
+}

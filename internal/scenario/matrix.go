@@ -1,0 +1,488 @@
+package scenario
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"ezbft/internal/auth"
+	"ezbft/internal/bench"
+	"ezbft/internal/core"
+	"ezbft/internal/engine"
+	"ezbft/internal/proc"
+	"ezbft/internal/types"
+	"ezbft/internal/wan"
+	"ezbft/internal/workload"
+)
+
+// HotKey is the contended counter key the exactly-once invariant reads.
+const HotKey = "hot:ctr"
+
+// Cell is one scenario-matrix configuration: a protocol under one
+// Byzantine strategy (nil = all replicas honest) and one network shape
+// (nil = clean network), with batching and checkpointing toggled.
+type Cell struct {
+	Protocol      engine.Protocol
+	Strategy      *Strategy
+	Shape         *Shape
+	Batching      bool
+	Checkpointing bool
+	// XFail documents a known deficiency: the cell is expected to fail
+	// invariant checking for the stated reason. An expected failure does
+	// not fail the matrix (it renders as "xfail"), but an unexpected PASS
+	// renders as "XPASS" so a fixed deficiency gets noticed and promoted.
+	XFail string
+}
+
+// Name renders the cell's replayable identity.
+func (c Cell) Name() string {
+	strat, shape := "honest", "clean"
+	if c.Strategy != nil {
+		strat = c.Strategy.Name
+	}
+	if c.Shape != nil {
+		shape = c.Shape.Name
+	}
+	variant := "plain"
+	switch {
+	case c.Batching && c.Checkpointing:
+		variant = "batch+ckpt"
+	case c.Batching:
+		variant = "batch"
+	case c.Checkpointing:
+		variant = "ckpt"
+	}
+	return fmt.Sprintf("%s/%s/%s/%s", c.Protocol, strat, shape, variant)
+}
+
+// Config tunes one cell run. Zero values select the defaults.
+type Config struct {
+	// Seed drives the whole simulation; a failure replays from it.
+	Seed int64
+	// Clients is the number of closed-loop clients (round-robin across
+	// the topology's regions).
+	Clients int
+	// Requests per client.
+	Requests uint64
+	// Contention is the fraction of requests doing INCR on HotKey; the
+	// rest put private keys.
+	Contention float64
+	// JoinStagger delays client i's start by i*JoinStagger (join churn).
+	JoinStagger time.Duration
+	// HealAt is when network shapes stop interfering.
+	HealAt time.Duration
+	// Deadline bounds the liveness wait (virtual time).
+	Deadline time.Duration
+	// Settle drains in-flight traffic after the workload completes.
+	Settle time.Duration
+	// ConvergeWait bounds the extra wait for digest convergence.
+	ConvergeWait time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Clients <= 0 {
+		c.Clients = 3
+	}
+	if c.Requests == 0 {
+		c.Requests = 8
+	}
+	if c.Contention == 0 {
+		c.Contention = 0.5
+	}
+	if c.JoinStagger == 0 {
+		c.JoinStagger = 300 * time.Millisecond
+	}
+	if c.HealAt == 0 {
+		// Early enough that a healthy slice of the workload runs after the
+		// heal: post-heal traffic is what drives checkpoint stabilization
+		// and state-transfer catch-up for partition victims.
+		c.HealAt = 3 * time.Second
+	}
+	if c.Deadline == 0 {
+		c.Deadline = 300 * time.Second
+	}
+	if c.Settle == 0 {
+		c.Settle = 5 * time.Second
+	}
+	if c.ConvergeWait == 0 {
+		c.ConvergeWait = 60 * time.Second
+	}
+	return c
+}
+
+// Result is one cell run's outcome.
+type Result struct {
+	Cell        Cell
+	Seed        int64
+	Pass        bool
+	Violations  []string
+	Completed   int
+	Expected    int
+	Mean        time.Duration
+	POMs        uint64
+	VirtualTime time.Duration
+}
+
+// String renders the replay line a failing test prints.
+func (r *Result) String() string {
+	status := "PASS"
+	if !r.Pass {
+		status = "FAIL " + strings.Join(r.Violations, "; ")
+		if r.Cell.XFail != "" {
+			status = "XFAIL (" + r.Cell.XFail + ") " + strings.Join(r.Violations, "; ")
+		}
+	}
+	return fmt.Sprintf("cell %s seed %d: %s", r.Cell.Name(), r.Seed, status)
+}
+
+// hotIncrGen issues INCRs on HotKey with probability Contention and
+// private puts otherwise.
+type hotIncrGen struct {
+	Contention float64
+}
+
+func (g hotIncrGen) Next(ctx proc.Context, client types.ClientID, seq uint64) types.Command {
+	if ctx.Rand().Float64() < g.Contention {
+		return types.Command{Op: types.OpIncr, Key: HotKey}
+	}
+	return types.Command{
+		Op:    types.OpPut,
+		Key:   fmt.Sprintf("c%03d:%04d", uint32(client)%1000, seq%10000),
+		Value: []byte(fmt.Sprintf("v%d", seq)),
+	}
+}
+
+// recorder tallies completions for the latency and exactly-once checks.
+type recorder struct {
+	count int
+	incrs int
+	total time.Duration
+}
+
+func (r *recorder) Record(_ types.ClientID, c workload.Completion) {
+	r.count++
+	if c.Cmd.Op == types.OpIncr {
+		r.incrs++
+	}
+	r.total += c.Latency
+}
+
+// Run executes one cell under cfg's fixed seed and checks every
+// invariant. The Byzantine strategy (if any) compromises replica 0 — the
+// primary of the primary-based protocols, and the command-leader of the
+// clients in its region under ezBFT.
+func Run(cell Cell, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	topo := wan.DeploymentA()
+	regions := topo.Regions()
+	n := len(regions)
+	const byzID = types.ReplicaID(0)
+
+	var journals []*Journal
+	spec := bench.Spec{
+		Protocol:       cell.Protocol,
+		Topology:       topo,
+		ReplicaRegions: regions,
+		Primary:        0,
+		Seed:           cfg.Seed,
+		NewApp: func() types.Application {
+			j := NewJournal()
+			journals = append(journals, j)
+			return j
+		},
+	}
+	if cell.Batching {
+		spec.BatchSize = 4
+	}
+	if cell.Checkpointing {
+		spec.CheckpointInterval = 8
+	}
+	if cell.Strategy != nil {
+		strat := cell.Strategy
+		spec.NewBehavior = func(id types.ReplicaID, a auth.Authenticator) engine.Behavior {
+			if id != byzID {
+				return nil
+			}
+			return strat.New(Env{Self: id, N: n, Auth: a, Protocol: cell.Protocol})
+		}
+	}
+
+	rec := &recorder{}
+	drivers := make([]*workload.ClosedLoop, cfg.Clients)
+	for i := 0; i < cfg.Clients; i++ {
+		i := i
+		drivers[i] = &workload.ClosedLoop{
+			Gen:         hotIncrGen{Contention: cfg.Contention},
+			Recorder:    rec,
+			MaxRequests: cfg.Requests,
+		}
+		spec.Clients = append(spec.Clients, bench.ClientGroup{
+			Region: regions[i%len(regions)],
+			Count:  1,
+			NewDriver: func(int) workload.Driver {
+				return &LateJoin{Inner: drivers[i], Delay: time.Duration(i) * cfg.JoinStagger}
+			},
+		})
+	}
+
+	cl, err := bench.Build(spec)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", cell.Name(), err)
+	}
+	if cell.Shape != nil {
+		env := ShapeEnv{N: n, HealAt: cfg.HealAt, Now: cl.RT.Now, Rand: cl.RT.Kernel().Rand()}
+		cl.RT.SetFilter(Compose(cell.Shape.New(env)))
+	}
+
+	res := &Result{Cell: cell, Seed: cfg.Seed, Expected: cfg.Clients * int(cfg.Requests)}
+	cl.RT.Start()
+	allDone := func() bool {
+		for _, d := range drivers {
+			if d.Done() < cfg.Requests {
+				return false
+			}
+		}
+		return true
+	}
+	live := cl.RT.RunUntil(allDone, cfg.Deadline)
+	cl.RT.Run(cl.RT.Now() + cfg.Settle)
+
+	correct := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if cell.Strategy != nil && types.ReplicaID(i) == byzID {
+			continue
+		}
+		correct = append(correct, i)
+	}
+	// A partition victim can only recover through state transfer, which
+	// requires both a checkpointing cell AND a protocol that implements
+	// catch-up (ezBFT and PBFT; Zyzzyva and FaB truncate logs but have no
+	// state-transfer subsystem). Everywhere else the convergence and
+	// counter checks cover the never-partitioned replicas only — the
+	// victim's recovery is exercised by the ezBFT/PBFT checkpointing
+	// cells of the matrix.
+	convergent := correct
+	if cell.Shape != nil && cell.Shape.Victim && !(cell.Checkpointing && HasStateTransfer(cell.Protocol)) {
+		convergent = convergent[:0:0]
+		for _, i := range correct {
+			if i != n-1 {
+				convergent = append(convergent, i)
+			}
+		}
+	}
+	converged := func() bool {
+		ref := journals[convergent[0]].Digest()
+		for _, i := range convergent[1:] {
+			if journals[i].Digest() != ref {
+				return false
+			}
+		}
+		return true
+	}
+	if !cl.RT.RunUntil(converged, cl.RT.Now()+cfg.ConvergeWait) {
+		digests := make([]string, 0, len(convergent))
+		for _, i := range convergent {
+			digests = append(digests, fmt.Sprintf("r%d=%s", i, journals[i].Digest()))
+		}
+		res.Violations = append(res.Violations, "digest divergence: "+strings.Join(digests, " "))
+	}
+
+	// Liveness: every correct client's workload completed once faults
+	// healed (checked after the convergence wait gave stragglers time).
+	if !live && !allDone() {
+		for i, d := range drivers {
+			if d.Done() < cfg.Requests {
+				res.Violations = append(res.Violations,
+					fmt.Sprintf("liveness: client %d completed %d/%d", i, d.Done(), cfg.Requests))
+			}
+		}
+	}
+
+	// Exactly-once, per replica: the execution journal must hold no
+	// duplicate (client, ts)…
+	for _, i := range correct {
+		for _, d := range journals[i].Duplicates {
+			res.Violations = append(res.Violations, fmt.Sprintf("replica %d: %s", i, d))
+		}
+	}
+	// …and end-to-end: the hot counter must equal the completed INCRs
+	// exactly (meaningful only when the workload fully completed).
+	if allDone() {
+		for _, i := range convergent {
+			if got := journals[i].Counter(HotKey); got != uint64(rec.incrs) {
+				res.Violations = append(res.Violations,
+					fmt.Sprintf("replica %d: hot counter %d != %d completed INCRs", i, got, rec.incrs))
+			}
+		}
+	}
+
+	// No conflicting commit certificates (ezBFT's dependency agreement).
+	if len(cl.EZReplicas) == len(cl.Replicas) {
+		res.Violations = append(res.Violations, conflictingCerts(cl.EZReplicas, correct)...)
+	}
+
+	res.Completed = rec.count
+	if rec.count > 0 {
+		res.Mean = rec.total / time.Duration(rec.count)
+	}
+	for _, c := range cl.Clients {
+		res.POMs += c.ClientStats().POMsSent
+	}
+	res.VirtualTime = cl.RT.Now()
+	res.Pass = len(res.Violations) == 0
+	return res, nil
+}
+
+// conflictingCerts cross-checks committed (deps, seq) certificates: two
+// correct replicas committing the same instance with different dependency
+// sets, sequence numbers, or commands is a safety violation.
+func conflictingCerts(replicas []*core.Replica, correct []int) []string {
+	type owned struct {
+		cert core.CommitCert
+		by   int
+	}
+	var out []string
+	ref := make(map[types.InstanceID]owned)
+	for _, i := range correct {
+		for _, cert := range replicas[i].CommittedCerts() {
+			prev, ok := ref[cert.Inst]
+			if !ok {
+				ref[cert.Inst] = owned{cert: cert, by: i}
+				continue
+			}
+			if prev.cert.Seq != cert.Seq || prev.cert.CmdDigest != cert.CmdDigest ||
+				!prev.cert.Deps.Equal(cert.Deps) {
+				out = append(out, fmt.Sprintf(
+					"conflicting commit at %v: replica %d (deps %v seq %d) vs replica %d (deps %v seq %d)",
+					cert.Inst, prev.by, prev.cert.Deps, prev.cert.Seq, i, cert.Deps, cert.Seq))
+			}
+		}
+	}
+	return out
+}
+
+// HasStateTransfer reports whether a protocol implements a catch-up /
+// state-transfer path (CATCHUP request/response). Only those protocols
+// can bring a partition victim whose missed log prefix was truncated
+// everywhere else back in sync; Zyzzyva and FaB checkpoint and truncate
+// but cannot re-synthesize a lost prefix.
+func HasStateTransfer(p engine.Protocol) bool {
+	return p == engine.EZBFT || p == engine.PBFT
+}
+
+// DefaultMatrix enumerates the full fault matrix: every strategy and
+// every shape (plus the honest/clean baseline and one composed
+// strategy×shape cell) for all four protocols × batching on/off ×
+// checkpointing on/off.
+func DefaultMatrix() []Cell {
+	var cells []Cell
+	for _, p := range bench.Protocols {
+		for _, batch := range []bool{false, true} {
+			for _, ckpt := range []bool{false, true} {
+				cells = append(cells, Cell{Protocol: p, Batching: batch, Checkpointing: ckpt})
+				for _, s := range Strategies() {
+					s := s
+					cells = append(cells, Cell{Protocol: p, Strategy: &s, Batching: batch, Checkpointing: ckpt})
+				}
+				for _, sh := range Shapes() {
+					sh := sh
+					cells = append(cells, Cell{Protocol: p, Shape: &sh, Batching: batch, Checkpointing: ckpt})
+				}
+				cells = append(cells, Cell{
+					Protocol: p, Strategy: StrategyByName("checkpoint-liar"),
+					Shape: ShapeByName("slow-links"), Batching: batch, Checkpointing: ckpt,
+				})
+			}
+		}
+	}
+	for i := range cells {
+		c := &cells[i]
+		// Known deficiency, kept visible: FaB's leader change is a
+		// simplified skeleton, so a backup that accepted an equivocated
+		// proposal is never re-synchronized — it stays diverged even
+		// after the correct majority makes progress.
+		if c.Protocol == engine.FaB && c.Strategy != nil && c.Strategy.Name == "equivocating-owner" {
+			c.XFail = "FaB skeleton leader change cannot re-sync an equivocation victim"
+		}
+	}
+	return cells
+}
+
+// SmokeMatrix is the downsized CI gate: one Byzantine strategy and one
+// network shape per protocol, fixed seeds, cells verified to pass
+// deterministically.
+func SmokeMatrix() []Cell {
+	return []Cell{
+		{Protocol: engine.EZBFT, Strategy: StrategyByName("equivocating-owner"), Batching: true, Checkpointing: true},
+		{Protocol: engine.EZBFT, Shape: ShapeByName("flapping-partition"), Batching: true, Checkpointing: true},
+		{Protocol: engine.PBFT, Strategy: StrategyByName("checkpoint-liar"), Batching: true, Checkpointing: true},
+		{Protocol: engine.PBFT, Shape: ShapeByName("slow-links"), Batching: true, Checkpointing: true},
+		{Protocol: engine.Zyzzyva, Strategy: StrategyByName("stale-order-replay"), Batching: true, Checkpointing: true},
+		{Protocol: engine.Zyzzyva, Strategy: StrategyByName("silent-owner"), Batching: true, Checkpointing: true},
+		{Protocol: engine.Zyzzyva, Shape: ShapeByName("reorder-dup"), Batching: true, Checkpointing: true},
+		{Protocol: engine.FaB, Strategy: StrategyByName("slow-owner"), Batching: true, Checkpointing: true},
+		{Protocol: engine.FaB, Shape: ShapeByName("dup-requests"), Batching: true, Checkpointing: true},
+	}
+}
+
+// MatrixReport is a rendered matrix run.
+type MatrixReport struct {
+	Results []*Result
+}
+
+// RunMatrix executes every cell under the same config.
+func RunMatrix(cells []Cell, cfg Config) (*MatrixReport, error) {
+	rep := &MatrixReport{Results: make([]*Result, 0, len(cells))}
+	for _, cell := range cells {
+		res, err := Run(cell, cfg)
+		if err != nil {
+			return nil, err
+		}
+		rep.Results = append(rep.Results, res)
+	}
+	return rep, nil
+}
+
+// Failures returns the unexpectedly failing cells (expected failures —
+// cells whose XFail documents a known deficiency — are excluded).
+func (r *MatrixReport) Failures() []*Result {
+	var out []*Result
+	for _, res := range r.Results {
+		if !res.Pass && res.Cell.XFail == "" {
+			out = append(out, res)
+		}
+	}
+	return out
+}
+
+// Render implements the bench CLI's renderer contract: a per-cell
+// pass/latency table, with every failing cell's replay line (cell name +
+// seed) below it.
+func (r *MatrixReport) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Scenario matrix: %d cells, %d failing\n", len(r.Results), len(r.Failures()))
+	fmt.Fprintf(&b, "%-48s %-5s %9s %10s %6s %8s\n", "cell", "ok", "done", "mean", "POMs", "vtime")
+	for _, res := range r.Results {
+		ok := "pass"
+		switch {
+		case !res.Pass && res.Cell.XFail != "":
+			ok = "xfail"
+		case !res.Pass:
+			ok = "FAIL"
+		case res.Cell.XFail != "":
+			ok = "XPASS"
+		}
+		fmt.Fprintf(&b, "%-48s %-5s %4d/%-4d %10s %6d %8s\n",
+			res.Cell.Name(), ok, res.Completed, res.Expected,
+			res.Mean.Round(time.Millisecond), res.POMs, res.VirtualTime.Round(time.Second))
+	}
+	for _, res := range r.Results {
+		if !res.Pass {
+			fmt.Fprintf(&b, "replay: %s\n", res)
+		}
+	}
+	return b.String()
+}

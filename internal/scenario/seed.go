@@ -1,0 +1,20 @@
+package scenario
+
+import (
+	"os"
+	"strconv"
+)
+
+// SeedEnv is the environment variable scenario and soak tests read to
+// replay a failure: set it to the seed a failing run printed.
+const SeedEnv = "EZBFT_SCENARIO_SEED"
+
+// SeedFromEnv returns the seed in SeedEnv, or def when unset/invalid.
+func SeedFromEnv(def int64) int64 {
+	if v := os.Getenv(SeedEnv); v != "" {
+		if s, err := strconv.ParseInt(v, 10, 64); err == nil && s != 0 {
+			return s
+		}
+	}
+	return def
+}

@@ -1,0 +1,22 @@
+package scenario
+
+import "testing"
+
+func TestSeedFromEnv(t *testing.T) {
+	t.Setenv(SeedEnv, "")
+	if got := SeedFromEnv(7); got != 7 {
+		t.Errorf("unset env: got %d, want default 7", got)
+	}
+	t.Setenv(SeedEnv, "42")
+	if got := SeedFromEnv(7); got != 42 {
+		t.Errorf("env 42: got %d", got)
+	}
+	t.Setenv(SeedEnv, "bogus")
+	if got := SeedFromEnv(7); got != 7 {
+		t.Errorf("invalid env: got %d, want default 7", got)
+	}
+	t.Setenv(SeedEnv, "0")
+	if got := SeedFromEnv(7); got != 7 {
+		t.Errorf("zero env: got %d, want default 7", got)
+	}
+}

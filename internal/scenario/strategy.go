@@ -1,0 +1,326 @@
+package scenario
+
+import (
+	"time"
+
+	"ezbft/internal/auth"
+	"ezbft/internal/codec"
+	"ezbft/internal/core"
+	"ezbft/internal/engine"
+	"ezbft/internal/fab"
+	"ezbft/internal/pbft"
+	"ezbft/internal/proc"
+	"ezbft/internal/types"
+	"ezbft/internal/zyzzyva"
+)
+
+// Env gives a strategy the facts it needs about the compromised replica.
+type Env struct {
+	// Self is the compromised replica.
+	Self types.ReplicaID
+	// N is the cluster size.
+	N int
+	// Auth is the replica's own authenticator: strategies re-sign the
+	// messages they forge (a Byzantine replica controls its own key, and
+	// nothing else).
+	Auth auth.Authenticator
+	// Protocol names the protocol under attack.
+	Protocol engine.Protocol
+}
+
+// peers returns every other replica's node id in ascending order.
+func (e Env) peers() []types.NodeID {
+	out := make([]types.NodeID, 0, e.N-1)
+	for i := 0; i < e.N; i++ {
+		if types.ReplicaID(i) != e.Self {
+			out = append(out, types.ReplicaNode(types.ReplicaID(i)))
+		}
+	}
+	return out
+}
+
+// Strategy is a named Byzantine strategy: a constructor producing the
+// engine.Behavior that drives one compromised replica.
+type Strategy struct {
+	Name string
+	New  func(env Env) engine.Behavior
+}
+
+// Strategies returns the encoded attack catalogue (see the package doc).
+func Strategies() []Strategy {
+	return []Strategy{
+		{Name: "equivocating-owner", New: newEquivocatingOwner},
+		{Name: "stale-order-replay", New: newStaleReplay},
+		{Name: "checkpoint-liar", New: newCheckpointLiar},
+		{Name: "commit-flood", New: newCommitFlooder},
+		{Name: "silent-owner", New: func(Env) engine.Behavior { return silentOwner{} }},
+		{Name: "slow-owner", New: func(Env) engine.Behavior { return slowOwner{extra: 5 * time.Millisecond} }},
+		{Name: "lying-catchup", New: newLyingCatchup},
+	}
+}
+
+// StrategyByName resolves a catalogue entry (nil when unknown).
+func StrategyByName(name string) *Strategy {
+	for _, s := range Strategies() {
+		if s.Name == name {
+			s := s
+			return &s
+		}
+	}
+	return nil
+}
+
+// isOrdering reports whether msg is a protocol's ordering frame — the
+// message an owner/primary uses to assign a request its slot.
+func isOrdering(msg codec.Message) bool {
+	switch msg.(type) {
+	case *core.SpecOrder, *pbft.PrePrepare, *zyzzyva.OrderReq, *fab.Propose:
+		return true
+	}
+	return false
+}
+
+// passthrough supplies the no-op half of one-sided behaviors.
+type passthrough struct{}
+
+func (passthrough) Outbound(proc.Context, types.NodeID, codec.Message) bool { return true }
+func (passthrough) Inbound(proc.Context, types.NodeID, codec.Message) bool  { return true }
+
+// --- equivocating owner -------------------------------------------------
+
+// equivocatingOwner double-signs conflicting slot assignments — the safety
+// attack of the "Revisiting EZBFT" note.
+//
+// Against ezBFT it shadow-orders: the first SPECORDER in its own space
+// goes out normally to everyone, and half the peers additionally receive a
+// re-signed copy assigning the same batch the next slot too. Both
+// assignments are contiguous, so the duped replicas speculatively execute
+// the batch twice and reply for both instances. The client now holds two
+// SPECORDERs by the same owner ordering the same request at different
+// instances — the exact conflict its POM check must convict on
+// (broadcasting the proof and freezing the owner's spaces), and the
+// duplicate speculative execution must never survive to final state.
+//
+// Against the primary-based baselines it skews: half the peers see every
+// ordering message re-signed one sequence number higher, so neither half
+// can assemble a quorum and the view change must depose the primary.
+type equivocatingOwner struct {
+	passthrough
+	env      Env
+	halfB    map[types.NodeID]bool
+	shadowed bool
+}
+
+func newEquivocatingOwner(env Env) engine.Behavior {
+	peers := env.peers()
+	b := &equivocatingOwner{env: env, halfB: make(map[types.NodeID]bool, len(peers))}
+	for _, p := range peers[len(peers)/2:] {
+		b.halfB[p] = true
+	}
+	return b
+}
+
+func (b *equivocatingOwner) Outbound(ctx proc.Context, to types.NodeID, msg codec.Message) bool {
+	if !b.halfB[to] {
+		return true
+	}
+	switch m := msg.(type) {
+	case *core.SpecOrder:
+		if m.Inst.Space != b.env.Self || b.shadowed {
+			return true
+		}
+		b.shadowed = true
+		cp := *m
+		cp.Inst.Slot = m.Inst.Slot + 1
+		cp.Sig = b.env.Auth.Sign(cp.SignedBody())
+		ctx.Send(to, &cp)
+		return true // the genuine order still goes out — plus the shadow
+	case *pbft.PrePrepare:
+		cp := *m
+		cp.Seq = m.Seq + 1
+		cp.Sig = b.env.Auth.Sign(cp.SignedBody())
+		ctx.Send(to, &cp)
+		return false
+	case *zyzzyva.OrderReq:
+		cp := *m
+		cp.Seq = m.Seq + 1
+		cp.Sig = b.env.Auth.Sign(cp.SignedBody())
+		ctx.Send(to, &cp)
+		return false
+	case *fab.Propose:
+		cp := *m
+		cp.Seq = m.Seq + 1
+		cp.Sig = b.env.Auth.Sign(cp.SignedBody())
+		ctx.Send(to, &cp)
+		return false
+	}
+	return true
+}
+
+// --- stale ordering replay ----------------------------------------------
+
+// staleReplay records this replica's ordering messages and, every few
+// sends, replays an old one verbatim alongside the fresh traffic. The
+// signatures are genuine (they were once valid), so recipients must
+// reject the replay by slot/digest dedup, not by authentication.
+type staleReplay struct {
+	passthrough
+	history []codec.Message
+	count   int
+}
+
+func newStaleReplay(Env) engine.Behavior { return &staleReplay{} }
+
+func (b *staleReplay) Outbound(ctx proc.Context, to types.NodeID, msg codec.Message) bool {
+	if !isOrdering(msg) {
+		return true
+	}
+	b.count++
+	if len(b.history) > 0 && b.count%3 == 0 {
+		ctx.Send(to, b.history[(b.count*7)%len(b.history)])
+	}
+	if len(b.history) < 16 {
+		b.history = append(b.history, msg)
+	} else {
+		b.history[b.count%16] = msg
+	}
+	return true
+}
+
+// --- checkpoint-vote lying ----------------------------------------------
+
+// checkpointLiar corrupts the state digest in every checkpoint vote this
+// replica emits (re-signed, so the signature verifies). Correct replicas
+// must still stabilize checkpoints from the 2f+1 honest voters, and the
+// liar's votes must never contribute to a stable proof.
+type checkpointLiar struct {
+	passthrough
+	env Env
+}
+
+func newCheckpointLiar(env Env) engine.Behavior { return &checkpointLiar{env: env} }
+
+func (b *checkpointLiar) Outbound(ctx proc.Context, to types.NodeID, msg codec.Message) bool {
+	switch m := msg.(type) {
+	case *core.CheckpointMsg:
+		cp := *m
+		cp.Digest[0] ^= 0xff
+		cp.Sig = b.env.Auth.Sign(cp.SignedBody())
+		ctx.Send(to, &cp)
+		return false
+	case *pbft.Checkpoint:
+		cp := *m
+		cp.Digest[0] ^= 0xff
+		cp.Sig = b.env.Auth.Sign(cp.SignedBody())
+		ctx.Send(to, &cp)
+		return false
+	case *zyzzyva.Checkpoint:
+		cp := *m
+		cp.Digest[0] ^= 0xff
+		cp.Sig = b.env.Auth.Sign(cp.SignedBody())
+		ctx.Send(to, &cp)
+		return false
+	case *fab.Checkpoint:
+		cp := *m
+		cp.Digest[0] ^= 0xff
+		cp.Sig = b.env.Auth.Sign(cp.SignedBody())
+		ctx.Send(to, &cp)
+		return false
+	}
+	return true
+}
+
+// --- commit flooding ----------------------------------------------------
+
+// commitFlooder stashes the commit-class messages delivered to this
+// replica and re-broadcasts one (rotating, original signature) to every
+// peer on each delivery — a message-amplification replay attack. Correct
+// replicas must absorb the flood through commit idempotency and the
+// bounded deferred-commit parking, without state divergence or unbounded
+// memory.
+type commitFlooder struct {
+	env   Env
+	stash []codec.Message
+	i     int
+}
+
+func newCommitFlooder(env Env) engine.Behavior { return &commitFlooder{env: env} }
+
+func (b *commitFlooder) Outbound(proc.Context, types.NodeID, codec.Message) bool { return true }
+
+func (b *commitFlooder) Inbound(ctx proc.Context, from types.NodeID, msg codec.Message) bool {
+	switch msg.(type) {
+	case *core.Commit, *core.CommitFast, *pbft.Prepare, *pbft.Commit, *zyzzyva.CommitCert, *fab.Accept:
+		if len(b.stash) < 16 {
+			b.stash = append(b.stash, msg)
+		} else {
+			b.stash[b.i%16] = msg
+		}
+	}
+	if len(b.stash) > 0 {
+		b.i++
+		replay := b.stash[b.i%len(b.stash)]
+		for _, p := range b.env.peers() {
+			ctx.Send(p, replay)
+		}
+	}
+	return true
+}
+
+// --- silent / slow owner ------------------------------------------------
+
+// silentOwner suppresses every ordering message while behaving normally
+// otherwise — a fail-silent owner that still votes. ezBFT clients must
+// route around it via retry + owner rotation; the baselines must depose
+// it by view change.
+type silentOwner struct{ passthrough }
+
+func (silentOwner) Outbound(_ proc.Context, _ types.NodeID, msg codec.Message) bool {
+	return !isOrdering(msg)
+}
+
+// slowOwner charges extra processing time for every ordering message it
+// emits, degrading latency without breaking any protocol rule.
+type slowOwner struct {
+	passthrough
+	extra time.Duration
+}
+
+func (b slowOwner) Outbound(ctx proc.Context, _ types.NodeID, msg codec.Message) bool {
+	if isOrdering(msg) {
+		ctx.Charge(b.extra)
+	}
+	return true
+}
+
+// --- lying catch-up responder -------------------------------------------
+
+// lyingCatchup answers state-transfer requests with garbage snapshot
+// bytes under a valid signature and a valid checkpoint proof. The
+// requester must reject the transfer (parse failure on ezBFT, the
+// quorum-digest check on PBFT) and recover via another voter instead of
+// installing corrupted state.
+type lyingCatchup struct {
+	passthrough
+	env Env
+}
+
+func newLyingCatchup(env Env) engine.Behavior { return &lyingCatchup{env: env} }
+
+func (b *lyingCatchup) Outbound(ctx proc.Context, to types.NodeID, msg codec.Message) bool {
+	switch m := msg.(type) {
+	case *core.CatchupResp:
+		cp := *m
+		cp.Snapshot = []byte("lies")
+		cp.Sig = b.env.Auth.Sign(cp.SignedBody())
+		ctx.Send(to, &cp)
+		return false
+	case *pbft.CatchupResp:
+		cp := *m
+		cp.Snapshot = []byte("lies")
+		cp.Sig = b.env.Auth.Sign(cp.SignedBody())
+		ctx.Send(to, &cp)
+		return false
+	}
+	return true
+}

@@ -51,11 +51,16 @@ type Verdict uint8
 const (
 	Deliver Verdict = iota // deliver normally
 	Drop                   // silently discard
+	// Duplicate delivers the message at its normal delay and schedules a
+	// second, identical delivery extraDelay later. With extraDelay larger
+	// than the typical inter-message gap the copy arrives reordered behind
+	// newer traffic, so one verdict models both duplication and reordering.
+	Duplicate
 )
 
 // Filter inspects every message before transmission; nil extraDelay and
-// Deliver means normal delivery. Used to inject partitions, message loss
-// and targeted delays in tests and experiments.
+// Deliver means normal delivery. Used to inject partitions, message loss,
+// duplication and targeted delays in tests and experiments.
 type Filter func(from, to types.NodeID, msg codec.Message) (Verdict, time.Duration)
 
 // Runtime hosts processes on a kernel.
@@ -243,15 +248,19 @@ func (rt *Runtime) transmit(departs time.Duration, from, to types.NodeID, msg co
 		return // unknown destination: silently dropped, like the network
 	}
 	var extra time.Duration
+	duplicate := false
 	if rt.filter != nil {
 		verdict, d := rt.filter(from, to, msg)
-		if verdict == Drop {
+		switch verdict {
+		case Drop:
 			return
+		case Duplicate:
+			duplicate = true
 		}
 		extra = d
 	}
 	delay := rt.delayer.Delay(from, to, rt.kernel.rng)
-	rt.kernel.At(departs+delay+extra, func() {
+	deliver := func() {
 		if dst.down {
 			return
 		}
@@ -260,7 +269,14 @@ func (rt *Runtime) transmit(departs time.Duration, from, to types.NodeID, msg co
 		dst.invoke(arrive+dst.cost.PerMessage, func(ctx proc.Context) {
 			dst.p.Receive(ctx, from, msg)
 		})
-	})
+	}
+	if duplicate {
+		// Original at the normal delay, the copy extraDelay behind it.
+		rt.kernel.At(departs+delay, deliver)
+		rt.kernel.At(departs+delay+extra, deliver)
+		return
+	}
+	rt.kernel.At(departs+delay+extra, deliver)
 }
 
 // nodeCtx adapts node to proc.Context for the duration of one handler.

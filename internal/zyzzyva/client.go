@@ -46,6 +46,7 @@ type pendingReq struct {
 	responses map[types.ReplicaID]*SpecResponse
 	certSent  bool
 	certSeq   uint64
+	cert      *CommitCert
 	locals    map[types.ReplicaID]*LocalCommit
 	retries   int
 }
@@ -164,9 +165,11 @@ func (c *Client) OnTimer(ctx proc.Context, id proc.TimerID) {
 	}
 	switch uint64(id) % 4 {
 	case timerKindCommit:
-		if !c.tryCommitCert(ctx, p) {
-			ctx.SetTimer(id, c.cfg.CommitTimeout)
-		}
+		// Re-arm regardless of outcome: a certificate (or the
+		// LOCALCOMMITs answering it) can be lost in transit, and only
+		// finish() retires this timer.
+		c.tryCommitCert(ctx, p)
+		ctx.SetTimer(id, c.cfg.CommitTimeout)
 	case timerKindRetry:
 		p.retries++
 		c.stats.Retries++
@@ -234,7 +237,12 @@ func (c *Client) matchingSet(p *pendingReq) []*SpecResponse {
 // broadcast a commit certificate and gather LOCALCOMMITs.
 func (c *Client) tryCommitCert(ctx proc.Context, p *pendingReq) bool {
 	if p.certSent {
-		return true
+		// The certificate — or the LOCALCOMMITs it earned — may have been
+		// lost in transit. Re-drive the slow path: handleCommitCert is
+		// idempotent, so replicas that already acknowledged simply answer
+		// again. Returning false keeps the commit timer armed.
+		proc.Broadcast(ctx, c.replicas, p.cert)
+		return false
 	}
 	matching := c.matchingSet(p)
 	if len(matching) < commQuorum(c.n) {
@@ -251,6 +259,7 @@ func (c *Client) tryCommitCert(ctx proc.Context, p *pendingReq) bool {
 	proc.Broadcast(ctx, c.replicas, cc)
 	p.certSent = true
 	p.certSeq = cc.Seq
+	p.cert = cc
 	c.stats.SlowDecisions++
 	return true
 }

@@ -29,6 +29,7 @@ func (zyEngine) NewReplica(o engine.ReplicaOptions) (proc.Process, error) {
 		CheckpointInterval: o.CheckpointInterval,
 		LogRetention:       o.LogRetention,
 		Mute:               o.Mute,
+		Behavior:           o.Behavior,
 	}
 	if o.LatencyBound > 0 {
 		cfg.ForwardTimeout = 4 * o.LatencyBound

@@ -59,6 +59,9 @@ type ReplicaConfig struct {
 	LogRetention uint64
 	// Mute makes the replica silent (fault injection).
 	Mute bool
+	// Behavior, when non-nil, intercepts every message this replica sends
+	// and receives (adversarial scenario harness; see engine.Behavior).
+	Behavior engine.Behavior
 }
 
 // DefaultBatchDelay is the default wait for an incomplete primary-side
@@ -240,11 +243,24 @@ func (r *Replica) send(ctx proc.Context, to types.NodeID, msg codec.Message) {
 	if r.cfg.Mute {
 		return
 	}
+	if r.cfg.Behavior != nil && !r.cfg.Behavior.Outbound(ctx, to, msg) {
+		return
+	}
 	ctx.Send(to, msg)
 }
 
 func (r *Replica) broadcastReplicas(ctx proc.Context, msg codec.Message) {
 	if r.cfg.Mute {
+		return
+	}
+	if r.cfg.Behavior != nil {
+		// Per-destination interception forfeits the encode-once fan-out;
+		// acceptable on the adversarial replica only.
+		for _, p := range r.peers {
+			if r.cfg.Behavior.Outbound(ctx, p, msg) {
+				ctx.Send(p, msg)
+			}
+		}
 		return
 	}
 	// One encode serves every destination on broadcast-capable transports.
@@ -253,6 +269,9 @@ func (r *Replica) broadcastReplicas(ctx proc.Context, msg codec.Message) {
 
 // Receive implements proc.Process.
 func (r *Replica) Receive(ctx proc.Context, from types.NodeID, msg codec.Message) {
+	if r.cfg.Behavior != nil && !r.cfg.Behavior.Inbound(ctx, from, msg) {
+		return
+	}
 	switch m := msg.(type) {
 	case *Request:
 		r.handleRequest(ctx, from, m)
@@ -290,9 +309,18 @@ func (r *Replica) handleRequest(ctx proc.Context, from types.NodeID, m *Request)
 		}
 	}
 	key := cmdKey{m.Cmd.Client, m.Cmd.Timestamp}
-	if cached, ok := r.replyCache[key]; ok {
+	if cached, ok := r.replyCache[key]; ok && cached.View == r.view {
 		r.cfg.Costs.ChargeSign(ctx)
 		r.send(ctx, types.ClientNode(m.Cmd.Client), cached)
+		return
+	}
+	// Either the cached response predates a view change (SPECRESPONSEs
+	// only match within one view, so a stale copy can never complete the
+	// client's quorum) or the entry was adopted from a NEW-VIEW without
+	// ever being answered. Rebuild the response from the log at the
+	// current view so every honest replica serves a matching copy.
+	if sr := r.rebuildReply(ctx, key); sr != nil {
+		r.send(ctx, types.ClientNode(m.Cmd.Client), sr)
 		return
 	}
 	if primaryOf(r.view, r.n) != r.cfg.Self {
@@ -516,6 +544,45 @@ func (r *Replica) acceptOrderReq(ctx proc.Context, m *OrderReq, digests []types.
 	r.maybeEmitCheckpoint(ctx)
 }
 
+// rebuildReply re-signs a SPECRESPONSE for an already-executed command at
+// the current view. Entries adopted from a NEW-VIEW were executed without
+// answering their clients, and responses cached before a view change carry
+// the old view number — in both cases the log entry holds everything
+// needed to serve a fresh, current-view response. Returns nil when the
+// command is unknown or its entry has been truncated.
+func (r *Replica) rebuildReply(ctx proc.Context, key cmdKey) *SpecResponse {
+	seq, ok := r.byCmd[key]
+	if !ok {
+		return nil
+	}
+	e := r.log[seq]
+	if e == nil || !e.executed {
+		return nil
+	}
+	for i, cmd := range e.cmds {
+		if cmd.Client != key.client || cmd.Timestamp != key.ts {
+			continue
+		}
+		sr := &SpecResponse{
+			View:      r.view,
+			Seq:       e.seq,
+			HistHash:  e.histHash,
+			CmdDigest: e.digests[i],
+			Client:    cmd.Client,
+			Timestamp: cmd.Timestamp,
+			Replica:   r.cfg.Self,
+			Result:    e.results[i],
+			Batched:   len(e.cmds) > 1,
+			BatchIdx:  uint32(i),
+		}
+		r.cfg.Costs.ChargeSign(ctx)
+		sr.Sig = r.cfg.Auth.Sign(sr.SignedBody())
+		r.replyCache[key] = sr
+		return sr
+	}
+	return nil
+}
+
 // handleCommitCert validates the client's 2f+1 certificate and
 // acknowledges with a LOCALCOMMIT.
 func (r *Replica) handleCommitCert(ctx proc.Context, m *CommitCert) {
@@ -541,6 +608,26 @@ func (r *Replica) handleCommitCert(ctx proc.Context, m *CommitCert) {
 	}
 	e, ok := r.log[m.Seq]
 	if !ok {
+		if m.Seq <= r.ckpt.Stats().LowWaterMark {
+			// The slot was truncated — meaning it executed under a stable
+			// checkpoint, a strictly stronger durability guarantee than a
+			// local commit. Acknowledge from the reply cache so a client
+			// whose certificate raced log truncation can still finish.
+			if sr, ok := r.replyCache[cmdKey{m.Client, m.Timestamp}]; ok && sr.CmdDigest == m.CmdDigest {
+				lc := &LocalCommit{
+					View:      r.view,
+					Seq:       m.Seq,
+					CmdDigest: m.CmdDigest,
+					Replica:   r.cfg.Self,
+					Result:    sr.Result,
+				}
+				r.cfg.Costs.ChargeSign(ctx)
+				lc.Sig = r.cfg.Auth.Sign(lc.SignedBody())
+				r.stats.LocalCommits++
+				r.send(ctx, types.ClientNode(m.Client), lc)
+			}
+			return
+		}
 		// We have not executed this sequence number yet; the certificate
 		// proves the order, but without the ORDERREQ we cannot execute.
 		// The client's retransmission machinery will re-drive it.

@@ -10,6 +10,7 @@ import (
 	"ezbft/internal/fab"
 	"ezbft/internal/kvstore"
 	"ezbft/internal/pbft"
+	"ezbft/internal/scenario"
 	"ezbft/internal/zyzzyva"
 )
 
@@ -25,7 +26,7 @@ type lifecycleStats struct {
 // live cluster of one protocol and returns per-replica lifecycle stats
 // plus the converged state digest. The cluster is closed before stats are
 // read, so replica state is quiescent.
-func soakProtocol(t *testing.T, proto Protocol, perClient int) ([]lifecycleStats, string) {
+func soakProtocol(t *testing.T, proto Protocol, perClient int, seed int64) ([]lifecycleStats, string) {
 	t.Helper()
 	lc, err := NewLiveCluster(LiveConfig{
 		Protocol:           proto,
@@ -50,7 +51,7 @@ func soakProtocol(t *testing.T, proto Protocol, perClient int) ([]lifecycleStats
 		go func(c int, client *LiveClient) {
 			defer wg.Done()
 			for i := 0; i < perClient; i++ {
-				cmd := Put(fmt.Sprintf("c%d-k%d", c, i%16), []byte(fmt.Sprintf("v%d", i)))
+				cmd := Put(fmt.Sprintf("c%d-k%d", c, i%16), []byte(fmt.Sprintf("v%d.%d", seed, i)))
 				if _, err := client.Execute(t.Context(), cmd); err != nil {
 					errs <- fmt.Errorf("client %d: %w", c, err)
 					return
@@ -71,7 +72,7 @@ func soakProtocol(t *testing.T, proto Protocol, perClient int) ([]lifecycleStats
 	want := make(map[string]string, clients*16)
 	for c := 0; c < clients; c++ {
 		for i := 0; i < perClient; i++ {
-			want[fmt.Sprintf("c%d-k%d", c, i%16)] = fmt.Sprintf("v%d", i)
+			want[fmt.Sprintf("c%d-k%d", c, i%16)] = fmt.Sprintf("v%d.%d", seed, i)
 		}
 	}
 	store := lc.App(0).(*kvstore.Store)
@@ -131,9 +132,15 @@ func soakProtocol(t *testing.T, proto Protocol, perClient int) ([]lifecycleStats
 // all four protocols converge on the same application state.
 func TestSoakBoundedMemoryAllProtocols(t *testing.T) {
 	const perClient = 150 // 450 commands per protocol
+	seed := scenario.SeedFromEnv(1)
+	defer func() {
+		if t.Failed() {
+			t.Logf("replay with EZBFT_SCENARIO_SEED=%d", seed)
+		}
+	}()
 	digests := make(map[Protocol]string)
 	for _, proto := range []Protocol{EZBFT, PBFT, Zyzzyva, FaB} {
-		stats, digest := soakProtocol(t, proto, perClient)
+		stats, digest := soakProtocol(t, proto, perClient, seed)
 		digests[proto] = digest
 		for i, st := range stats {
 			if st.checkpoints == 0 {
