@@ -52,6 +52,7 @@ func run(args []string) error {
 	ckpt := fs.Uint64("checkpoint", 0, "checkpoint interval in executed entries (0 = protocol default)")
 	retention := fs.Uint64("retention", 0, "extra log entries retained below the stable checkpoint")
 	verifyWorkers := fs.Int("verify-workers", 0, "signature-verification workers (0 = GOMAXPROCS)")
+	execWorkers := fs.Int("exec-workers", 0, "parallel-execution workers over the dependency DAG, ezbft only (0 or 1 = serial)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -77,6 +78,7 @@ func run(args []string) error {
 		CheckpointInterval: *ckpt,
 		LogRetention:       *retention,
 		VerifyWorkers:      *verifyWorkers,
+		ExecWorkers:        *execWorkers,
 	})
 	if err != nil {
 		return err

@@ -135,6 +135,11 @@ type Spec struct {
 	BatchDelay time.Duration
 	// BatchAdaptive enables adaptive batch sizing at the ordering replicas.
 	BatchAdaptive bool
+	// ExecWorkers sizes the deterministic parallel executor on protocols
+	// that support it (ezBFT): committed closures execute across this many
+	// workers, scheduled over the dependency DAG. 0 or 1 keeps the serial
+	// path; results are byte-identical at any setting.
+	ExecWorkers int
 	// NewApp builds one application instance per replica (nil = the
 	// reference key-value store). ezBFT requires a
 	// types.SpeculativeApplication.
@@ -251,6 +256,7 @@ func Build(spec Spec) (*Cluster, error) {
 			BatchSize:          spec.BatchSize,
 			BatchDelay:         spec.BatchDelay,
 			BatchAdaptive:      spec.BatchAdaptive,
+			ExecWorkers:        spec.ExecWorkers,
 			Mute:               spec.Mute[rid],
 			Behavior:           behavior,
 		})

@@ -1,0 +1,257 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"strings"
+	"time"
+
+	"ezbft/internal/auth"
+	"ezbft/internal/core"
+	"ezbft/internal/kvstore"
+	"ezbft/internal/metrics"
+	"ezbft/internal/types"
+)
+
+// The exec sweep measures the deterministic parallel executor in isolation:
+// commands are pre-committed through core.ExecHarness (no protocol, no
+// crypto, no transport) and a single execution pass is timed, so the number
+// is pure dependency-DAG scheduling plus application work.
+const (
+	execSweepCommands = 16384
+	execSweepBatch    = 16
+	execSweepValue    = 4096 // bytes per PUT, so level execution moves real memory
+	execSweepKeySpace = 4096
+	execSweepSpaces   = 4
+	execSweepReps     = 3 // best-of repetitions per cell
+)
+
+// ExecWorkerCounts is the worker-count sweep order.
+var ExecWorkerCounts = []int{1, 2, 4, 8}
+
+// ExecContentions is the hot-key-fraction sweep order.
+var ExecContentions = []float64{0.0, 0.5, 0.9}
+
+// ExecCell is one measured configuration of the exec sweep.
+type ExecCell struct {
+	// Throughput is executed commands per second (best of repetitions).
+	Throughput float64 `json:"throughput_cmd_per_s"`
+	// ParallelFraction is the share of executed commands that ran on a
+	// level holding more than one schedulable unit — the workload's
+	// exploitable parallelism under this contention.
+	ParallelFraction float64 `json:"parallel_fraction"`
+	// Levels is the number of dependency levels the pass was scheduled
+	// into (serial path: 0).
+	Levels uint64 `json:"levels"`
+}
+
+// ExecSweepResult holds the executor sweep: throughput per contention ×
+// worker count, plus the determinism cross-check.
+type ExecSweepResult struct {
+	// Commands is the number of commands executed per run.
+	Commands int `json:"commands"`
+	// Batch is the commands per committed instance.
+	Batch int `json:"batch"`
+	// ValueBytes is the PUT payload size.
+	ValueBytes int `json:"value_bytes"`
+	// GOMAXPROCS records the host parallelism the numbers were taken at:
+	// worker counts above it cannot show wall-clock speedup, only
+	// scheduling overhead.
+	GOMAXPROCS int `json:"gomaxprocs"`
+	// Cells[contention][workers], keys formatted as "0.50" and "4".
+	Cells map[string]map[string]ExecCell `json:"cells"`
+	// DigestsMatch records the cross-check: for every contention, the
+	// application state digest and execution log were byte-identical
+	// across all worker counts.
+	DigestsMatch bool `json:"digests_match"`
+}
+
+// ExecSweep measures the deterministic parallel executor: for every hot-key
+// contention level it replays an identical pre-committed workload through
+// one execution pass at each worker count, and cross-checks that state
+// digests and execution logs are byte-identical across counts (the
+// determinism contract). Throughput is executed commands per second.
+func ExecSweep() (*ExecSweepResult, error) {
+	return execSweep(execSweepCommands, execSweepReps)
+}
+
+// execSweep is ExecSweep at a configurable scale (the smoke tests shrink it).
+func execSweep(commands, reps int) (*ExecSweepResult, error) {
+	res := &ExecSweepResult{
+		Commands:     commands,
+		Batch:        execSweepBatch,
+		ValueBytes:   execSweepValue,
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		Cells:        make(map[string]map[string]ExecCell, len(ExecContentions)),
+		DigestsMatch: true,
+	}
+	for _, contention := range ExecContentions {
+		script := genExecWorkload(contention, commands)
+		ckey := contentionKey(contention)
+		res.Cells[ckey] = make(map[string]ExecCell, len(ExecWorkerCounts))
+		var refDigest types.Digest
+		var refLog []core.ExecRecord
+		for wi, workers := range ExecWorkerCounts {
+			cell, digest, log, err := execSweepCell(script, workers, reps)
+			if err != nil {
+				return nil, fmt.Errorf("exec c=%s w=%d: %w", ckey, workers, err)
+			}
+			if wi == 0 {
+				refDigest, refLog = digest, log
+			} else if digest != refDigest || !execLogsEqual(log, refLog) {
+				res.DigestsMatch = false
+			}
+			res.Cells[ckey][fmt.Sprintf("%d", workers)] = cell
+		}
+	}
+	if !res.DigestsMatch {
+		return res, fmt.Errorf("exec sweep: execution diverged across worker counts — determinism violated")
+	}
+	return res, nil
+}
+
+// contentionKey formats a contention level as a Cells key ("0.50").
+func contentionKey(c float64) string { return fmt.Sprintf("%.2f", c) }
+
+// execWorkloadStep is one committed instance of the replayed workload.
+type execWorkloadStep struct {
+	space types.ReplicaID
+	cmds  []types.Command
+}
+
+// genExecWorkload builds the committed-instance stream for one contention
+// level: PUTs with execSweepValue-byte payloads, a `contention` fraction of
+// them on one shared hot key (those form a serial dependency chain), the
+// rest spread over execSweepKeySpace keys. Deterministic per contention, so
+// every worker count replays identical bytes.
+func genExecWorkload(contention float64, commands int) []execWorkloadStep {
+	rng := rand.New(rand.NewSource(int64(contention*100) + 7))
+	value := make([]byte, execSweepValue)
+	rng.Read(value)
+	steps := make([]execWorkloadStep, 0, commands/execSweepBatch)
+	ts := uint64(0)
+	for len(steps)*execSweepBatch < commands {
+		cmds := make([]types.Command, execSweepBatch)
+		for i := range cmds {
+			ts++
+			key := fmt.Sprintf("key-%d", rng.Intn(execSweepKeySpace))
+			if rng.Float64() < contention {
+				key = "hot"
+			}
+			cmds[i] = types.Command{
+				Client:    types.ClientID(ts % 64),
+				Timestamp: ts,
+				Op:        types.OpPut,
+				Key:       key,
+				Value:     value,
+			}
+		}
+		steps = append(steps, execWorkloadStep{
+			space: types.ReplicaID(len(steps) % execSweepSpaces),
+			cmds:  cmds,
+		})
+	}
+	return steps
+}
+
+// execSweepCell replays the workload at one worker count: commit everything
+// (untimed), then time one execution pass over the full backlog. Best of
+// execSweepReps repetitions.
+func execSweepCell(script []execWorkloadStep, workers, reps int) (ExecCell, types.Digest, []core.ExecRecord, error) {
+	var cell ExecCell
+	var digest types.Digest
+	var log []core.ExecRecord
+	for rep := 0; rep < reps; rep++ {
+		h, err := core.NewExecHarness(core.ReplicaConfig{
+			Self: 0, N: execSweepSpaces, App: kvstore.New(), Auth: auth.Noop{},
+			ExecWorkers: workers,
+		})
+		if err != nil {
+			return cell, digest, nil, err
+		}
+		for _, step := range script {
+			h.Commit(step.space, step.cmds...)
+		}
+		start := time.Now()
+		h.Execute()
+		elapsed := time.Since(start)
+		if h.Pending() != 0 {
+			return cell, digest, nil, fmt.Errorf("%d instances left pending", h.Pending())
+		}
+		stats := h.Stats()
+		if tp := float64(stats.FinalExecutions) / elapsed.Seconds(); tp > cell.Throughput {
+			cell.Throughput = tp
+			cell.ParallelFraction = float64(stats.ParallelCmds) / float64(stats.FinalExecutions)
+			cell.Levels = stats.ExecLevels
+		}
+		if rep == 0 {
+			digest = h.Digest()
+			log = h.ExecutedLog()
+		}
+	}
+	return cell, digest, log, nil
+}
+
+// execLogsEqual compares two execution logs record by record.
+func execLogsEqual(a, b []core.ExecRecord) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Inst != b[i].Inst || a[i].Pos != b[i].Pos ||
+			!a[i].Cmd.Equal(b[i].Cmd) || !a[i].Result.Equal(b[i].Result) {
+			return false
+		}
+	}
+	return true
+}
+
+// Render formats the sweep: one section per contention level with speedup
+// against the serial walk.
+func (r *ExecSweepResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b,
+		"Parallel executor — executed commands/s vs worker count (%d cmds, batch=%d, %dB PUTs, GOMAXPROCS=%d)\n",
+		r.Commands, r.Batch, r.ValueBytes, r.GOMAXPROCS)
+	if r.GOMAXPROCS < 2 {
+		b.WriteString("note: single-CPU host — expect scheduling overhead, not wall-clock speedup; parallel_fraction still shows the exploitable concurrency\n")
+	}
+	header := []string{"workers", "throughput (cmd/s)", "speedup vs 1", "parallel fraction", "levels"}
+	for _, contention := range ExecContentions {
+		ckey := contentionKey(contention)
+		byWorkers := r.Cells[ckey]
+		if byWorkers == nil {
+			continue
+		}
+		fmt.Fprintf(&b, "\n[contention %s]\n", ckey)
+		base := byWorkers["1"].Throughput
+		var rows [][]string
+		for _, w := range ExecWorkerCounts {
+			cell, ok := byWorkers[fmt.Sprintf("%d", w)]
+			if !ok {
+				continue
+			}
+			speedup := "-"
+			if base > 0 {
+				speedup = fmt.Sprintf("%.2fx", cell.Throughput/base)
+			}
+			rows = append(rows, []string{
+				fmt.Sprintf("%d", w),
+				fmt.Sprintf("%8.0f", cell.Throughput),
+				speedup,
+				fmt.Sprintf("%.2f", cell.ParallelFraction),
+				fmt.Sprintf("%d", cell.Levels),
+			})
+		}
+		b.WriteString(metrics.Table(header, rows))
+	}
+	fmt.Fprintf(&b, "\ndeterminism cross-check (digest + exec log across worker counts): match=%v\n", r.DigestsMatch)
+	return b.String()
+}
+
+// WriteJSON serializes the result for the checked-in benchmark snapshot.
+func (r *ExecSweepResult) WriteJSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}

@@ -1,0 +1,48 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestExecSweepSmoke runs the executor sweep at a reduced scale: the
+// determinism cross-check (digests and execution logs byte-identical across
+// worker counts) is the assertion that matters; throughput numbers are
+// incidental at this size.
+func TestExecSweepSmoke(t *testing.T) {
+	res, err := execSweep(1024, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.DigestsMatch {
+		t.Fatal("execution diverged across worker counts")
+	}
+	for _, contention := range ExecContentions {
+		ckey := contentionKey(contention)
+		byWorkers := res.Cells[ckey]
+		if len(byWorkers) != len(ExecWorkerCounts) {
+			t.Fatalf("contention %s: %d cells, want %d", ckey, len(byWorkers), len(ExecWorkerCounts))
+		}
+		for w, cell := range byWorkers {
+			if cell.Throughput <= 0 {
+				t.Errorf("contention %s workers %s: zero throughput", ckey, w)
+			}
+		}
+	}
+	// Low contention must expose parallelism; the serial walk none.
+	if got := res.Cells["0.00"]["8"].ParallelFraction; got < 0.5 {
+		t.Errorf("contention 0 workers 8: parallel fraction %.2f, want >= 0.5", got)
+	}
+	if got := res.Cells["0.00"]["1"].ParallelFraction; got != 0 {
+		t.Errorf("serial walk reported parallel fraction %.2f", got)
+	}
+	out := res.Render()
+	for _, want := range []string{"[contention 0.00]", "[contention 0.90]", "match=true"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render missing %q:\n%s", want, out)
+		}
+	}
+	if _, err := res.WriteJSON(); err != nil {
+		t.Fatal(err)
+	}
+}

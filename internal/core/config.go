@@ -72,6 +72,14 @@ type ReplicaConfig struct {
 	// LogRetention keeps this many additional slots below the stable
 	// low-water mark when truncating (0 = truncate everything below it).
 	LogRetention uint64
+	// ExecWorkers sizes the deterministic parallel executor: final
+	// execution of each linearized closure is scheduled as a level-ordered
+	// DAG across this many goroutines when the application implements
+	// types.ConcurrentApplication (see executor.go). 0 or 1 — or an
+	// application without the contract — keeps the exact serial execution
+	// path; every observable (results, execution log, reply order,
+	// simulated timings) is byte-identical at any setting.
+	ExecWorkers int
 	// Byzantine, when non-nil, makes this replica misbehave (tests and
 	// fault-injection experiments only).
 	Byzantine *ByzantineBehavior
@@ -122,6 +130,9 @@ func (c *ReplicaConfig) validate() error {
 	}
 	if c.BatchDelay <= 0 {
 		c.BatchDelay = DefaultBatchDelay
+	}
+	if c.ExecWorkers < 0 {
+		return fmt.Errorf("core: exec workers must be >= 0, got %d", c.ExecWorkers)
 	}
 	return nil
 }

@@ -34,6 +34,7 @@ func (ezEngine) NewReplica(o engine.ReplicaOptions) (proc.Process, error) {
 		BatchAdaptive:      o.BatchAdaptive,
 		CheckpointInterval: o.CheckpointInterval,
 		LogRetention:       o.LogRetention,
+		ExecWorkers:        o.ExecWorkers,
 	}
 	if o.LatencyBound > 0 {
 		cfg.ResendTimeout = 2 * o.LatencyBound

@@ -2,9 +2,7 @@ package core
 
 import (
 	"slices"
-	"sort"
 
-	"ezbft/internal/graph"
 	"ezbft/internal/proc"
 	"ezbft/internal/types"
 )
@@ -66,6 +64,9 @@ func (r *Replica) tryExecute(ctx proc.Context) {
 		if !ok {
 			continue // executed as part of an earlier closure this round
 		}
+		if r.exec != nil && r.exec.claimedInst(inst) {
+			continue // scheduled by an earlier closure of the current batch
+		}
 		if blocked[inst] {
 			continue
 		}
@@ -77,7 +78,22 @@ func (r *Replica) tryExecute(ctx proc.Context) {
 			// (which either restores the entry via Condition 1/2 or
 			// finalizes it as a no-op) — arm the dependency-wait timers.
 			// Every closure member is equally stuck this pass.
+			if r.exec != nil {
+				// Arming timers touches the Context: flush the accumulated
+				// batch first so charges, sends, and timers happen in the
+				// exact sequence the serial walk would produce.
+				r.exec.flush(ctx, r)
+			}
 			for _, ce := range closure {
+				// The status guard matters only on the batched path: this
+				// closure may share entries with the just-flushed batch
+				// (the serial walk would never have pulled those in — it
+				// sees shared dependencies StatusExecuted), and marking
+				// them blocked would spuriously block later roots that
+				// depend on them.
+				if ce.status != StatusCommitted {
+					continue
+				}
 				blocked[ce.inst] = true
 			}
 			slices.SortFunc(blockers, cmpInstance)
@@ -86,6 +102,9 @@ func (r *Replica) tryExecute(ctx proc.Context) {
 		}
 		r.executeClosure(ctx, closure)
 		executedAny = true
+	}
+	if r.exec != nil {
+		r.exec.flush(ctx, r)
 	}
 	if executedAny {
 		// The final state advanced; speculative effects layered on the old
@@ -184,13 +203,40 @@ func (r *Replica) armDepWait(ctx proc.Context, blockers []types.InstanceID) {
 	}
 }
 
-// executeClosure linearizes one complete closure and executes it.
+// executeClosure linearizes one complete closure and executes it. The
+// dependency graph is replica-owned scratch, Reset and refilled per closure
+// (building a fresh graph per closure used to dominate the execution path's
+// allocations); it borrows the entries' committed dependency sets, which are
+// not mutated while the closure executes. When the parallel executor is
+// enabled (ExecWorkers > 1 and the application implements
+// types.ConcurrentApplication) the linearized closure is scheduled as a
+// level-ordered DAG instead of the serial walk — appended to the pass's
+// accumulating batch, which tryExecute flushes; both paths produce
+// byte-identical results, logs, and reply order (see executor.go).
+//
+// Entries the current batch already scheduled are excluded from the graph:
+// the serial walk would see them StatusExecuted (a shared dependency of two
+// roots executes with the first), and excluding them keeps this closure's
+// linearization identical to the serial walk's.
 func (r *Replica) executeClosure(ctx proc.Context, closure []*entry) {
-	g := graph.NewDepGraph()
+	g := r.execGraph
+	g.Reset()
+	if r.exec != nil {
+		for _, e := range closure {
+			if r.exec.claimedInst(e.inst) {
+				continue
+			}
+			g.Add(e.inst, e.seq, e.deps)
+		}
+		order, spans := g.Linearize()
+		r.exec.addClosure(r, order, spans)
+		return
+	}
 	for _, e := range closure {
 		g.Add(e.inst, e.seq, e.deps)
 	}
-	for _, inst := range g.ExecutionOrder() {
+	order, _ := g.Linearize()
+	for _, inst := range order {
 		e := r.log.get(inst)
 		if e == nil || e.status != StatusCommitted {
 			continue
@@ -222,26 +268,44 @@ func (r *Replica) finalExecute(ctx proc.Context, e *entry) {
 			res = r.cfg.App.PromoteFinal(cmd)
 			r.executed[key] = res
 		}
-		if !cmd.IsNoop() && cmd.Timestamp > r.executedTs[cmd.Client] {
-			r.executedTs[cmd.Client] = cmd.Timestamp
-		}
-		e.setFinalResult(i, res)
-		r.execLog = append(r.execLog, ExecRecord{Inst: e.inst, Pos: i, Cmd: cmd, Result: res})
-		r.stats.FinalExecutions++
+		r.recordFinal(e, i, cmd, res)
 	}
+	r.finishEntry(ctx, e)
+}
+
+// recordFinal is the per-command bookkeeping both execution paths share:
+// executed-timestamp watermark, the entry's final result slot, the
+// replica-wide execution log, and the execution counter. Single-sourced so
+// the serial and parallel paths cannot drift.
+func (r *Replica) recordFinal(e *entry, i int, cmd types.Command, res types.Result) {
+	if !cmd.IsNoop() && cmd.Timestamp > r.executedTs[cmd.Client] {
+		r.executedTs[cmd.Client] = cmd.Timestamp
+	}
+	e.setFinalResult(i, res)
+	r.execLog = append(r.execLog, ExecRecord{Inst: e.inst, Pos: i, Cmd: cmd, Result: res})
+	r.stats.FinalExecutions++
+}
+
+// finishEntry is the per-entry completion bookkeeping both execution paths
+// share: status, the pending-execution set, the checkpoint execution mark,
+// and the slow-path commit replies.
+func (r *Replica) finishEntry(ctx proc.Context, e *entry) {
 	e.status = StatusExecuted
 	delete(r.pendingExec, e.inst)
 	r.advanceExecMark(ctx, e.inst.Space)
 	if len(e.commitReplyTo) > 0 {
-		// Deterministic send order keeps simulations replayable.
-		idxs := make([]int, 0, len(e.commitReplyTo))
+		// Deterministic send order keeps simulations replayable. The index
+		// buffer is replica-owned scratch (commit-reply fan-outs run once per
+		// slow-committed entry on the hot path).
+		idxs := r.execIdxs[:0]
 		for idx := range e.commitReplyTo {
 			idxs = append(idxs, idx)
 		}
-		sort.Ints(idxs)
+		slices.Sort(idxs)
 		for _, idx := range idxs {
 			r.sendCommitReply(ctx, e, idx, e.commitReplyTo[idx])
 		}
+		r.execIdxs = idxs[:0]
 		e.commitReplyTo = nil
 	}
 }
@@ -272,18 +336,37 @@ type CommitCert struct {
 
 // CommittedCerts returns the certificate of every retained instance that
 // reached committed (or executed) status, in no particular order.
-// Truncated slots are absent; callers intersect across replicas.
-func (r *Replica) CommittedCerts() []CommitCert {
-	var out []CommitCert
+// Truncated slots are absent; callers intersect across replicas. Each
+// certificate's dependency set is an independent copy, safe to hold across
+// further protocol activity.
+func (r *Replica) CommittedCerts() []CommitCert { return r.committedCerts(true) }
+
+// CommittedCertsShared is CommittedCerts without the per-certificate
+// dependency-set clones: Deps alias the live log and must only be read, and
+// only before the replica processes further messages. The scenario matrix
+// compares certificates across every replica of every cell each run, where
+// the clones dominated the check's cost.
+func (r *Replica) CommittedCertsShared() []CommitCert { return r.committedCerts(false) }
+
+func (r *Replica) committedCerts(cloneDeps bool) []CommitCert {
+	total := 0
+	for i := 0; i < r.n; i++ {
+		total += len(r.log.space(types.ReplicaID(i)).entries)
+	}
+	out := make([]CommitCert, 0, total)
 	for i := 0; i < r.n; i++ {
 		sp := r.log.space(types.ReplicaID(i))
 		for _, e := range sp.entries {
 			if e.status < StatusCommitted {
 				continue
 			}
+			deps := e.deps
+			if cloneDeps {
+				deps = deps.Clone()
+			}
 			out = append(out, CommitCert{
 				Inst:      e.inst,
-				Deps:      e.deps.Clone(),
+				Deps:      deps,
 				Seq:       e.seq,
 				CmdDigest: e.cmdDigest,
 			})

@@ -13,9 +13,9 @@ import (
 // behind one uncommitted dependency — the shape a contended workload
 // produces, where every commit arrival re-runs the tryExecute pass over
 // the whole backlog without executing anything.
-func stuckReplica(tb testing.TB, backlog int) *Replica {
+func stuckReplica(tb testing.TB, backlog, workers int) *Replica {
 	tb.Helper()
-	rep, err := NewReplica(ReplicaConfig{Self: 0, N: 4, App: kvstore.New(), Auth: auth.Noop{}})
+	rep, err := NewReplica(ReplicaConfig{Self: 0, N: 4, App: kvstore.New(), Auth: auth.Noop{}, ExecWorkers: workers})
 	if err != nil {
 		tb.Fatal(err)
 	}
@@ -45,13 +45,23 @@ func stuckReplica(tb testing.TB, backlog int) *Replica {
 // traversal) is replica-owned and recycled, so steady-state passes stay
 // allocation-free; the benchmark's allocs/op guards that.
 func BenchmarkTryExecuteContended(b *testing.B) {
-	rep := stuckReplica(b, 256)
-	ctx := noopCtx{}
-	rep.tryExecute(ctx) // warm the scratch to steady-state capacity
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		rep.tryExecute(ctx)
+	// The parallel variant pins the executor's overhead on the no-progress
+	// path: a stuck pass schedules nothing, so claimedInst checks and the
+	// empty flush must cost (and allocate) essentially nothing extra.
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{{"serial", 0}, {"par8", 8}} {
+		b.Run(bc.name, func(b *testing.B) {
+			rep := stuckReplica(b, 256, bc.workers)
+			ctx := noopCtx{}
+			rep.tryExecute(ctx) // warm the scratch to steady-state capacity
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rep.tryExecute(ctx)
+			}
+		})
 	}
 }
 
@@ -61,11 +71,117 @@ func BenchmarkTryExecuteContended(b *testing.B) {
 // failing loudly if the per-pass pending slice, blocked set, or closure
 // traversal are ever rebuilt per pass again (hundreds of allocations).
 func TestTryExecuteScratchReuse(t *testing.T) {
-	rep := stuckReplica(t, 256)
-	ctx := noopCtx{}
-	rep.tryExecute(ctx)
-	allocs := testing.AllocsPerRun(20, func() { rep.tryExecute(ctx) })
-	if allocs > 4 {
-		t.Fatalf("steady-state tryExecute pass allocates %.0f times, want <= 4", allocs)
+	for _, tc := range []struct {
+		name    string
+		workers int
+	}{{"serial", 0}, {"par8", 8}} {
+		t.Run(tc.name, func(t *testing.T) {
+			rep := stuckReplica(t, 256, tc.workers)
+			ctx := noopCtx{}
+			rep.tryExecute(ctx)
+			allocs := testing.AllocsPerRun(20, func() { rep.tryExecute(ctx) })
+			if allocs > 4 {
+				t.Fatalf("steady-state tryExecute pass allocates %.0f times, want <= 4", allocs)
+			}
+		})
+	}
+}
+
+// executableReplica builds a replica with n committed, mutually independent
+// entries (distinct keys, empty dependency sets) at slots >= 2 of space 0.
+// Slot 1 is deliberately absent, so the execution mark never advances and
+// the per-slot digest chain (a sha256 each) stays out of the measurement.
+func executableReplica(tb testing.TB, n, workers int) (*Replica, []*entry) {
+	tb.Helper()
+	rep, err := NewReplica(ReplicaConfig{Self: 0, N: 4, App: kvstore.New(), Auth: auth.Noop{}, ExecWorkers: workers})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	entries := make([]*entry, n)
+	for i := 0; i < n; i++ {
+		inst := types.InstanceID{Space: 0, Slot: uint64(i + 2)}
+		e := &entry{
+			inst:   inst,
+			cmd:    types.Command{Client: 1, Timestamp: uint64(i + 1), Op: types.OpPut, Key: fmt.Sprint(i)},
+			deps:   types.NewInstanceSet(),
+			seq:    1,
+			status: StatusCommitted,
+		}
+		rep.log.put(e)
+		rep.pendingExec[inst] = e
+		entries[i] = e
+	}
+	return rep, entries
+}
+
+// rearm resets an executed backlog to committed so the same pass can run
+// again: statuses back, pending set refilled, execution log truncated, and
+// the exactly-once memo cleared (its contents would otherwise turn every
+// re-run into pure memo hits). All of it is in-place map/slice reuse — no
+// allocations — so it can sit inside an AllocsPerRun body.
+func rearm(rep *Replica, entries []*entry) {
+	for _, e := range entries {
+		e.status = StatusCommitted
+		rep.pendingExec[e.inst] = e
+	}
+	rep.execLog = rep.execLog[:0]
+	clear(rep.executed)
+}
+
+// TestExecutePassScratchReuse pins the executing path: with the dependency
+// graph, linearization scratch, and (for the parallel executor) the item
+// and unit buffers all replica-owned and recycled, executing a 256-entry
+// backlog of independent PUTs allocates almost nothing in steady state.
+// nil PUT values keep the store's value copies out of the measurement. The
+// parallel bound is per-command: the ConcurrentApplication contract has the
+// application allocate one footprint slice per scheduled command (256
+// here), plus headroom for the level-bucket goroutine machinery — the
+// executor's own scratch must contribute nothing beyond that.
+func TestExecutePassScratchReuse(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		workers int
+		bound   float64
+	}{{"serial", 0, 4}, {"par8", 8, 256 + 64}} {
+		t.Run(tc.name, func(t *testing.T) {
+			rep, entries := executableReplica(t, 256, tc.workers)
+			ctx := noopCtx{}
+			rep.tryExecute(ctx) // warm scratch, memo, and log capacity
+			allocs := testing.AllocsPerRun(20, func() {
+				rearm(rep, entries)
+				rep.tryExecute(ctx)
+			})
+			if len(rep.execLog) != 256 {
+				t.Fatalf("pass executed %d entries, want 256", len(rep.execLog))
+			}
+			if allocs > tc.bound {
+				t.Fatalf("steady-state executing pass allocates %.0f times, want <= %.0f", allocs, tc.bound)
+			}
+		})
+	}
+}
+
+// BenchmarkExecutePass measures a full execution pass over a 256-entry
+// backlog of independent commands — the throughput case the parallel
+// executor targets. Each iteration re-arms the backlog in place; the re-arm
+// is identical across variants, so serial-vs-parallel deltas isolate the
+// executor. (On a single-CPU host the parallel variant only measures
+// scheduling overhead; speedups need GOMAXPROCS > 1.)
+func BenchmarkExecutePass(b *testing.B) {
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{{"serial", 0}, {"par2", 2}, {"par8", 8}} {
+		b.Run(bc.name, func(b *testing.B) {
+			rep, entries := executableReplica(b, 256, bc.workers)
+			ctx := noopCtx{}
+			rep.tryExecute(ctx)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rearm(rep, entries)
+				rep.tryExecute(ctx)
+			}
+		})
 	}
 }

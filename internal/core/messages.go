@@ -14,6 +14,24 @@
 // internal/graph). Faulty command-leaders are handled by the owner-change
 // protocol: their instance space is handed to the next replica and frozen.
 //
+// # Execution determinism
+//
+// Final execution is deterministic on every replica regardless of the
+// ExecWorkers setting. The serial path (exec.go) walks each committed
+// closure's linearization directly. The parallel executor (executor.go,
+// enabled by ExecWorkers > 1 with a types.ConcurrentApplication) schedules
+// the same linearization as a level-ordered DAG: scheduling decisions —
+// exactly-once memo hits, state-transfer base-timestamp skips, dependency
+// levels, footprint conflicts — are all resolved serially in linear order
+// before any worker runs; workers only compute PromoteFinal results for
+// commands whose levels make them non-interfering (disjoint footprints or
+// commutative per types.Command.Interferes); and all replica bookkeeping —
+// the executed memo, executedTs watermarks, the execution log, entry
+// statuses, checkpoint marks, commit-reply sends, and simulated cost
+// charges — replays serially in linear order afterwards. Results, logs,
+// reply order, and simulated timings are therefore byte-identical at any
+// worker count; the full argument is in executor.go.
+//
 // This file defines the wire messages (codec tags 10–25). Signed messages
 // carry their signature separately from the body; the signature covers the
 // deterministic codec encoding of the body (signedBody).

@@ -5,6 +5,7 @@ import (
 
 	"ezbft/internal/codec"
 	"ezbft/internal/engine"
+	"ezbft/internal/graph"
 	"ezbft/internal/proc"
 	"ezbft/internal/types"
 )
@@ -99,13 +100,22 @@ type Replica struct {
 	// execSeen / execStack / execClosure / execBlockers per-call scratch for
 	// depClosure — reused across commits so contended workloads (which
 	// re-run the pass over a large stuck backlog on every commit arrival)
-	// do not rebuild them each time.
+	// do not rebuild them each time. execGraph and execIdxs extend the same
+	// idea to the closure's dependency graph and the commit-reply index sort.
 	execPending  []types.InstanceID
 	execBlocked  map[types.InstanceID]bool
 	execSeen     map[types.InstanceID]bool
 	execStack    []*entry
 	execClosure  []*entry
 	execBlockers []types.InstanceID
+	execGraph    *graph.DepGraph
+	execIdxs     []int
+
+	// exec is the deterministic parallel executor, non-nil only when
+	// ExecWorkers > 1 and the application implements
+	// types.ConcurrentApplication; nil keeps the serial path (see
+	// executor.go).
+	exec *parExecutor
 
 	stats ReplicaStats
 }
@@ -151,6 +161,15 @@ type ReplicaStats struct {
 	Batches         uint64
 	BatchedRequests uint64
 	MaxBatch        int
+
+	// Parallel-executor observables (ExecWorkers > 1 with a
+	// ConcurrentApplication; all zero on the serial path): closures
+	// scheduled as level-ordered DAGs, dependency levels executed across
+	// them, and commands that ran on a level shared with at least one other
+	// command (the actually-parallel work).
+	ParallelClosures uint64
+	ExecLevels       uint64
+	ParallelCmds     uint64
 }
 
 var _ proc.Process = (*Replica)(nil)
@@ -189,6 +208,12 @@ func NewReplica(cfg ReplicaConfig) (*Replica, error) {
 		}
 	}
 	r.execBlocked = make(map[types.InstanceID]bool)
+	r.execGraph = graph.NewDepGraph()
+	if cfg.ExecWorkers > 1 {
+		if capp, ok := cfg.App.(types.ConcurrentApplication); ok {
+			r.exec = newParExecutor(cfg.ExecWorkers, capp)
+		}
+	}
 	r.batcher = engine.NewBatcher[cmdKey, *Request](cfg.BatchSize, cfg.BatchDelay, r, r.flushBatch)
 	r.batcher.SetAdaptive(cfg.BatchAdaptive)
 	r.oc.init()

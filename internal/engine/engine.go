@@ -86,6 +86,14 @@ type ReplicaOptions struct {
 	// window, converging on BatchSize under saturation. Ignored when
 	// BatchSize <= 1.
 	BatchAdaptive bool
+	// ExecWorkers sizes the deterministic parallel executor on protocols
+	// that support it (ezBFT): final execution of each committed dependency
+	// closure is scheduled as a level-ordered DAG across this many
+	// goroutines when the application implements
+	// types.ConcurrentApplication. 0 or 1 keeps the serial execution path;
+	// every observable is byte-identical at any setting. Protocols without
+	// a parallel executor ignore it.
+	ExecWorkers int
 	// Mute makes the replica fail-silent (fault-injection runs).
 	Mute bool
 	// Behavior, when non-nil, makes the replica Byzantine: the hook

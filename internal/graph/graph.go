@@ -8,22 +8,66 @@
 // All orderings produced here are deterministic functions of the graph
 // contents — never of map iteration order — because every correct replica
 // must execute interfering commands identically.
+//
+// A DepGraph is reusable: Reset empties it without releasing its internal
+// scratch, so a replica can keep one graph per execution path and linearize
+// closure after closure without allocating (see Linearize).
 package graph
 
 import (
-	"sort"
+	"slices"
 
 	"ezbft/internal/types"
 )
 
+// cmpID orders instances for the allocation-free generic sorts (sort.Slice
+// boxes its argument and builds a reflect.Swapper on every call, which would
+// put per-closure garbage back on the execution hot path).
+func cmpID(a, b types.InstanceID) int {
+	switch {
+	case a.Less(b):
+		return -1
+	case b.Less(a):
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Span marks one strongly connected component inside a linearization: the
+// half-open index range [Start, End) of the order slice returned alongside
+// it. Spans appear in inverse topological order of the condensation.
+type Span struct {
+	Start, End int
+}
+
 // DepGraph is a dependency graph over command instances. Add every instance
-// participating in execution, then call ExecutionOrder. Edges to instances
-// that were never added (dependencies already executed, or not yet ready)
-// are ignored; the caller decides which instances participate.
+// participating in execution, then call ExecutionOrder or Linearize. Edges
+// to instances that were never added (dependencies already executed, or not
+// yet ready) are ignored; the caller decides which instances participate.
 type DepGraph struct {
 	seq   map[types.InstanceID]types.SeqNumber
 	deps  map[types.InstanceID]types.InstanceSet
 	order []types.InstanceID // insertion order (deduplicated), for determinism
+
+	// Reusable scratch for Linearize/Levels; grown once, kept across Reset.
+	nodes   []types.InstanceID
+	index   map[types.InstanceID]int
+	csr     []int // concatenated adjacency lists (node indices)
+	csrOff  []int // per-node offsets into csr (len = n+1)
+	idx     []int
+	low     []int
+	onStack []bool
+	stack   []int
+	frames  []frame
+	lin     []types.InstanceID
+	spans   []Span
+	unit    []int
+	levels  []int
+}
+
+type frame struct {
+	v, ei int
 }
 
 // NewDepGraph returns an empty graph.
@@ -32,6 +76,14 @@ func NewDepGraph() *DepGraph {
 		seq:  make(map[types.InstanceID]types.SeqNumber),
 		deps: make(map[types.InstanceID]types.InstanceSet),
 	}
+}
+
+// Reset empties the graph for reuse, keeping all internal capacity. Borrowed
+// dependency sets (see Add) are released.
+func (g *DepGraph) Reset() {
+	clear(g.seq)
+	clear(g.deps)
+	g.order = g.order[:0]
 }
 
 // Len returns the number of nodes.
@@ -45,134 +97,228 @@ func (g *DepGraph) Has(id types.InstanceID) bool {
 
 // Add inserts an instance with its committed sequence number and dependency
 // set. Re-adding an instance overwrites its attributes (last write wins).
+// The graph borrows deps rather than copying it: the caller must not mutate
+// the set until the graph is Reset or discarded. (Execution closures pass
+// the committed, immutable dependency sets straight from the log, so the
+// borrow is free.)
 func (g *DepGraph) Add(id types.InstanceID, seq types.SeqNumber, deps types.InstanceSet) {
 	if _, exists := g.seq[id]; !exists {
 		g.order = append(g.order, id)
 	}
 	g.seq[id] = seq
-	g.deps[id] = deps.Clone()
+	g.deps[id] = deps
 }
 
-// SCCs returns the strongly connected components in inverse topological
-// order of the condensation: every component appears after the components
-// it depends on. This is exactly the paper's execution order over
-// components. The algorithm is an iterative Tarjan (recursion would
-// overflow on the long dependency chains contended workloads create).
-func (g *DepGraph) SCCs() [][]types.InstanceID {
+// grow readies the scratch arrays for n nodes.
+func (g *DepGraph) grow(n int) {
+	if cap(g.nodes) < n {
+		g.nodes = make([]types.InstanceID, n)
+		g.idx = make([]int, n)
+		g.low = make([]int, n)
+		g.onStack = make([]bool, n)
+		g.unit = make([]int, n)
+		g.csrOff = make([]int, n+1)
+	}
+	g.nodes = g.nodes[:n]
+	g.idx = g.idx[:n]
+	g.low = g.low[:n]
+	g.onStack = g.onStack[:n]
+	g.unit = g.unit[:n]
+	g.csrOff = g.csrOff[:n+1]
+	if g.index == nil {
+		g.index = make(map[types.InstanceID]int, n)
+	} else {
+		clear(g.index)
+	}
+}
+
+// Linearize computes the paper's execution order in one pass: the returned
+// order lists every instance — SCCs in inverse topological order of the
+// condensation, members of each SCC sorted by sequence number (ties broken
+// by space, then slot) — and spans marks each SCC's range within it.
+//
+// Both returned slices are graph-owned scratch: they are valid until the
+// next Linearize, Levels, SCCs, or Reset call, and must be copied to
+// outlive it.
+func (g *DepGraph) Linearize() (order []types.InstanceID, spans []Span) {
 	n := len(g.order)
+	g.lin = g.lin[:0]
+	g.spans = g.spans[:0]
 	if n == 0 {
-		return nil
+		return g.lin, g.spans
 	}
+	g.grow(n)
 	// Deterministic node indexing: sorted instance order.
-	nodes := make([]types.InstanceID, n)
-	copy(nodes, g.order)
-	sort.Slice(nodes, func(i, j int) bool { return nodes[i].Less(nodes[j]) })
-	index := make(map[types.InstanceID]int, n)
-	for i, id := range nodes {
-		index[id] = i
+	copy(g.nodes, g.order)
+	slices.SortFunc(g.nodes, cmpID)
+	for i, id := range g.nodes {
+		g.index[id] = i
 	}
-	// Deterministic adjacency: sorted dependency lists, edges only to
-	// present nodes.
-	adj := make([][]int, n)
-	for i, id := range nodes {
-		for _, dep := range g.deps[id].Sorted() {
-			if j, ok := index[dep]; ok && j != i {
-				adj[i] = append(adj[i], j)
+	// Deterministic adjacency in CSR form: per-node edge lists sorted by
+	// target index — node indices follow instance order, so int-sorted
+	// adjacency is instance-sorted adjacency. Edges only to present nodes.
+	g.csr = g.csr[:0]
+	for i, id := range g.nodes {
+		g.csrOff[i] = len(g.csr)
+		for dep := range g.deps[id] {
+			if j, ok := g.index[dep]; ok && j != i {
+				g.csr = append(g.csr, j)
 			}
 		}
+		slices.Sort(g.csr[g.csrOff[i]:])
 	}
+	g.csrOff[n] = len(g.csr)
 
 	const unvisited = -1
-	idx := make([]int, n)
-	low := make([]int, n)
-	onStack := make([]bool, n)
-	for i := range idx {
-		idx[i] = unvisited
+	for i := range g.idx {
+		g.idx[i] = unvisited
 	}
-	var (
-		stack   []int // Tarjan stack
-		counter int
-		out     [][]types.InstanceID
-	)
+	g.stack = g.stack[:0]
+	g.frames = g.frames[:0]
+	counter := 0
 
-	// Iterative DFS frames.
-	type frame struct {
-		v, ei int
-	}
+	// Iterative Tarjan (recursion would overflow on the long dependency
+	// chains contended workloads create).
 	for root := 0; root < n; root++ {
-		if idx[root] != unvisited {
+		if g.idx[root] != unvisited {
 			continue
 		}
-		frames := []frame{{v: root}}
-		idx[root] = counter
-		low[root] = counter
+		g.frames = append(g.frames, frame{v: root})
+		g.idx[root] = counter
+		g.low[root] = counter
 		counter++
-		stack = append(stack, root)
-		onStack[root] = true
+		g.stack = append(g.stack, root)
+		g.onStack[root] = true
 
-		for len(frames) > 0 {
-			f := &frames[len(frames)-1]
-			if f.ei < len(adj[f.v]) {
-				w := adj[f.v][f.ei]
+		for len(g.frames) > 0 {
+			f := &g.frames[len(g.frames)-1]
+			if adjEnd := g.csrOff[f.v+1]; g.csrOff[f.v]+f.ei < adjEnd {
+				w := g.csr[g.csrOff[f.v]+f.ei]
 				f.ei++
-				if idx[w] == unvisited {
-					idx[w] = counter
-					low[w] = counter
+				if g.idx[w] == unvisited {
+					g.idx[w] = counter
+					g.low[w] = counter
 					counter++
-					stack = append(stack, w)
-					onStack[w] = true
-					frames = append(frames, frame{v: w})
-				} else if onStack[w] && idx[w] < low[f.v] {
-					low[f.v] = idx[w]
+					g.stack = append(g.stack, w)
+					g.onStack[w] = true
+					g.frames = append(g.frames, frame{v: w})
+				} else if g.onStack[w] && g.idx[w] < g.low[f.v] {
+					g.low[f.v] = g.idx[w]
 				}
 				continue
 			}
 			// Post-order: pop frame, maybe emit SCC.
 			v := f.v
-			frames = frames[:len(frames)-1]
-			if len(frames) > 0 {
-				p := frames[len(frames)-1].v
-				if low[v] < low[p] {
-					low[p] = low[v]
+			g.frames = g.frames[:len(g.frames)-1]
+			if len(g.frames) > 0 {
+				p := g.frames[len(g.frames)-1].v
+				if g.low[v] < g.low[p] {
+					g.low[p] = g.low[v]
 				}
 			}
-			if low[v] == idx[v] {
-				var comp []types.InstanceID
+			if g.low[v] == g.idx[v] {
+				start := len(g.lin)
 				for {
-					w := stack[len(stack)-1]
-					stack = stack[:len(stack)-1]
-					onStack[w] = false
-					comp = append(comp, nodes[w])
+					w := g.stack[len(g.stack)-1]
+					g.stack = g.stack[:len(g.stack)-1]
+					g.onStack[w] = false
+					g.lin = append(g.lin, g.nodes[w])
 					if w == v {
 						break
 					}
 				}
-				out = append(out, comp)
+				g.spans = append(g.spans, Span{Start: start, End: len(g.lin)})
 			}
 		}
+	}
+	// Within each SCC: sequence-number order, ties broken by space then slot.
+	for _, sp := range g.spans {
+		comp := g.lin[sp.Start:sp.End]
+		slices.SortFunc(comp, func(a, b types.InstanceID) int {
+			sa, sb := g.seq[a], g.seq[b]
+			switch {
+			case sa < sb:
+				return -1
+			case sa > sb:
+				return 1
+			}
+			return cmpID(a, b)
+		})
+	}
+	return g.lin, g.spans
+}
+
+// Levels assigns each span from a Linearize call its dependency depth: a
+// span with no in-graph dependencies outside itself is level 1, and every
+// other span sits one level above the deepest span it depends on. Spans
+// sharing a level form an antichain of the condensation — no dependency
+// path connects them — which is what makes them safe to execute
+// concurrently when their commands also have disjoint footprints.
+//
+// The (order, spans) arguments must come from the immediately preceding
+// Linearize call on this graph. The returned slice is graph-owned scratch
+// with one entry per span, valid until the next Linearize/Levels/Reset.
+func (g *DepGraph) Levels(order []types.InstanceID, spans []Span) []int {
+	// Remap index/unit scratch onto linearized positions.
+	clear(g.index)
+	for pos, id := range order {
+		g.index[id] = pos
+	}
+	g.unit = g.unit[:len(order)]
+	for si, sp := range spans {
+		for k := sp.Start; k < sp.End; k++ {
+			g.unit[k] = si
+		}
+	}
+	g.levels = g.levels[:0]
+	for si, sp := range spans {
+		lvl := 1
+		for k := sp.Start; k < sp.End; k++ {
+			for dep := range g.deps[order[k]] {
+				pos, ok := g.index[dep]
+				if !ok {
+					continue // dependency outside the graph: already executed
+				}
+				du := g.unit[pos]
+				// Inverse topological order guarantees cross-span
+				// dependencies point backwards (du < si); same-span edges
+				// don't raise the level.
+				if du != si && du < si && g.levels[du] >= lvl {
+					lvl = g.levels[du] + 1
+				}
+			}
+		}
+		g.levels = append(g.levels, lvl)
+	}
+	return g.levels
+}
+
+// SCCs returns the strongly connected components in inverse topological
+// order of the condensation: every component appears after the components
+// it depends on. This is exactly the paper's execution order over
+// components. Each returned component is freshly allocated; members appear
+// in sequence-number order (see Linearize).
+func (g *DepGraph) SCCs() [][]types.InstanceID {
+	order, spans := g.Linearize()
+	if len(spans) == 0 {
+		return nil
+	}
+	out := make([][]types.InstanceID, len(spans))
+	for i, sp := range spans {
+		comp := make([]types.InstanceID, sp.End-sp.Start)
+		copy(comp, order[sp.Start:sp.End])
+		out[i] = comp
 	}
 	return out
 }
 
 // ExecutionOrder linearizes the graph per the paper: SCCs in inverse
 // topological order; within each SCC, commands sorted by sequence number,
-// ties broken by replica identifier (then slot, for full determinism).
+// ties broken by replica identifier (then slot, for full determinism). The
+// returned slice is freshly allocated and the caller's to keep.
 func (g *DepGraph) ExecutionOrder() []types.InstanceID {
-	comps := g.SCCs()
-	out := make([]types.InstanceID, 0, len(g.seq))
-	for _, comp := range comps {
-		sort.Slice(comp, func(i, j int) bool {
-			a, b := comp[i], comp[j]
-			sa, sb := g.seq[a], g.seq[b]
-			if sa != sb {
-				return sa < sb
-			}
-			if a.Space != b.Space {
-				return a.Space < b.Space
-			}
-			return a.Slot < b.Slot
-		})
-		out = append(out, comp...)
-	}
+	order, _ := g.Linearize()
+	out := make([]types.InstanceID, len(order))
+	copy(out, order)
 	return out
 }

@@ -8,10 +8,14 @@
 // the overlay can be rolled back wholesale and commands re-executed in
 // final order on the base state.
 //
-// A store belongs to exactly one protocol process, and processes are
-// single-threaded (see internal/proc) — but on the live substrates other
-// goroutines observe the store (state digests, inspection reads) while the
-// replica executes, so all operations are guarded by a read-write mutex.
+// The store also implements types.ConcurrentApplication for the
+// deterministic parallel executor: each command's footprint is exactly its
+// key, and state is partitioned into lock stripes by key hash so
+// PromoteFinal calls on different keys proceed concurrently instead of
+// serializing on one store-wide mutex. Whole-store operations (Digest,
+// Snapshot, Restore, Rollback, Len) take every stripe in index order, so
+// they remain atomic with respect to in-flight per-key operations and their
+// output stays byte-identical to the single-mutex implementation.
 package kvstore
 
 import (
@@ -20,32 +24,87 @@ import (
 	"errors"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"ezbft/internal/types"
 )
 
-// Store is a speculative key-value store, safe for one writer (the owning
-// replica process) with any number of concurrent observers.
-type Store struct {
+// numStripes is the lock-stripe count; a power of two so the hash reduces
+// with a mask. 32 stripes keep the collision probability low for the worker
+// counts the executor runs (≤ GOMAXPROCS in practice).
+const numStripes = 32
+
+// stripe is one lock-partition of the store: final state plus the
+// speculative overlay for the keys that hash here.
+type stripe struct {
 	mu    sync.RWMutex
 	final map[string][]byte
 	spec  map[string][]byte // overlay; reads fall through to final
+}
 
-	finalExecs uint64
-	specExecs  uint64
-	rollbacks  uint64
+// Store is a speculative key-value store, safe for one writer (the owning
+// replica process) with any number of concurrent observers — and, under the
+// types.ConcurrentApplication contract, safe for concurrent PromoteFinal
+// calls on non-interfering commands.
+type Store struct {
+	stripes [numStripes]stripe
+
+	finalExecs atomic.Uint64
+	specExecs  atomic.Uint64
+	rollbacks  atomic.Uint64
 }
 
 var (
 	_ types.SpeculativeApplication = (*Store)(nil)
+	_ types.ConcurrentApplication  = (*Store)(nil)
 	_ types.Snapshotter            = (*Store)(nil)
 )
 
 // New returns an empty store.
 func New() *Store {
-	return &Store{
-		final: make(map[string][]byte),
-		spec:  make(map[string][]byte),
+	s := &Store{}
+	for i := range s.stripes {
+		s.stripes[i].final = make(map[string][]byte)
+		s.stripes[i].spec = make(map[string][]byte)
+	}
+	return s
+}
+
+// stripeIndex hashes a key onto its lock stripe (FNV-1a, masked).
+func stripeIndex(key string) int {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return int(h & (numStripes - 1))
+}
+
+func (s *Store) stripeOf(key string) *stripe { return &s.stripes[stripeIndex(key)] }
+
+// lockAll takes every stripe in index order (deadlock-free against the
+// per-key paths, which hold at most one stripe).
+func (s *Store) lockAll() {
+	for i := range s.stripes {
+		s.stripes[i].mu.Lock()
+	}
+}
+
+func (s *Store) unlockAll() {
+	for i := range s.stripes {
+		s.stripes[i].mu.Unlock()
+	}
+}
+
+func (s *Store) rlockAll() {
+	for i := range s.stripes {
+		s.stripes[i].mu.RLock()
+	}
+}
+
+func (s *Store) runlockAll() {
+	for i := range s.stripes {
+		s.stripes[i].mu.RUnlock()
 	}
 }
 
@@ -60,43 +119,65 @@ func (s *Store) Apply(cmd types.Command) types.Result {
 // §IV-B ("speculative execution can happen in either the speculative state
 // or in the final version of the state, whichever is the latest").
 func (s *Store) SpecExecute(cmd types.Command) types.Result {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.specExecs++
-	return s.apply(cmd, s.specRead, s.specWrite)
+	s.specExecs.Add(1)
+	if cmd.Op == types.OpNoop {
+		return types.Result{OK: true}
+	}
+	st := s.stripeOf(cmd.Key)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return apply(cmd, st.specRead, st.specWrite)
 }
 
 // Rollback implements types.SpeculativeApplication: discard the overlay.
 func (s *Store) Rollback() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if len(s.spec) > 0 {
-		s.spec = make(map[string][]byte)
+	s.lockAll()
+	defer s.unlockAll()
+	for i := range s.stripes {
+		if len(s.stripes[i].spec) > 0 {
+			s.stripes[i].spec = make(map[string][]byte)
+		}
 	}
-	s.rollbacks++
+	s.rollbacks.Add(1)
 }
 
 // PromoteFinal implements types.SpeculativeApplication: execute on the
-// previous final version of the state only.
+// previous final version of the state only. Under the
+// types.ConcurrentApplication contract it may be called from multiple
+// goroutines at once for non-interfering commands; each call holds only its
+// key's stripe lock.
 func (s *Store) PromoteFinal(cmd types.Command) types.Result {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.finalExecs++
-	return s.apply(cmd, s.finalRead, s.finalWrite)
+	s.finalExecs.Add(1)
+	if cmd.Op == types.OpNoop {
+		return types.Result{OK: true}
+	}
+	st := s.stripeOf(cmd.Key)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return apply(cmd, st.finalRead, st.finalWrite)
+}
+
+// Footprint implements types.ConcurrentApplication: a command touches
+// exactly its key (no-ops touch nothing; they never reach the application
+// during final execution anyway).
+func (s *Store) Footprint(cmd types.Command) []types.Key {
+	if cmd.Op == types.OpNoop {
+		return nil
+	}
+	return []types.Key{types.Key(cmd.Key)}
 }
 
 // Stats returns execution counters (final, speculative, rollbacks).
 func (s *Store) Stats() (finalExecs, specExecs, rollbacks uint64) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.finalExecs, s.specExecs, s.rollbacks
+	return s.finalExecs.Load(), s.specExecs.Load(), s.rollbacks.Load()
 }
 
 // Get reads a key from the final state (test/inspection helper).
 func (s *Store) Get(key string) ([]byte, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	v, ok := s.final[key]
+	st := s.stripeOf(key)
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	v, ok := st.final[key]
 	if !ok {
 		return nil, false
 	}
@@ -105,19 +186,27 @@ func (s *Store) Get(key string) ([]byte, bool) {
 
 // Len returns the number of keys in the final state.
 func (s *Store) Len() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.final)
+	s.rlockAll()
+	defer s.runlockAll()
+	n := 0
+	for i := range s.stripes {
+		n += len(s.stripes[i].final)
+	}
+	return n
 }
 
 // Digest returns a deterministic digest of the final state, used for
-// checkpoint certificates and state cross-checks between replicas.
+// checkpoint certificates and state cross-checks between replicas. The
+// output is a function of the key-value contents only — independent of the
+// stripe layout, and byte-identical to the pre-striping implementation.
 func (s *Store) Digest() types.Digest {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	keys := make([]string, 0, len(s.final))
-	for k := range s.final {
-		keys = append(keys, k)
+	s.rlockAll()
+	defer s.runlockAll()
+	keys := make([]string, 0, s.lenLocked())
+	for i := range s.stripes {
+		for k := range s.stripes[i].final {
+			keys = append(keys, k)
+		}
 	}
 	sort.Strings(keys)
 	h := sha256.New()
@@ -126,7 +215,7 @@ func (s *Store) Digest() types.Digest {
 		binary.BigEndian.PutUint64(lenBuf[:], uint64(len(k)))
 		h.Write(lenBuf[:])
 		h.Write([]byte(k))
-		v := s.final[k]
+		v := s.stripes[stripeIndex(k)].final[k]
 		binary.BigEndian.PutUint64(lenBuf[:], uint64(len(v)))
 		h.Write(lenBuf[:])
 		h.Write(v)
@@ -136,18 +225,28 @@ func (s *Store) Digest() types.Digest {
 	return d
 }
 
+func (s *Store) lenLocked() int {
+	n := 0
+	for i := range s.stripes {
+		n += len(s.stripes[i].final)
+	}
+	return n
+}
+
 // Snapshot implements types.Snapshotter: a deterministic serialization of
 // the final state (sorted keys, length-prefixed), used by checkpoint-based
 // state transfer. The speculative overlay is deliberately excluded — it is
 // replica-local and discarded on Restore anyway.
 func (s *Store) Snapshot() []byte {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	keys := make([]string, 0, len(s.final))
+	s.rlockAll()
+	defer s.runlockAll()
+	keys := make([]string, 0, s.lenLocked())
 	size := 8
-	for k := range s.final {
-		keys = append(keys, k)
-		size += 16 + len(k) + len(s.final[k])
+	for i := range s.stripes {
+		for k, v := range s.stripes[i].final {
+			keys = append(keys, k)
+			size += 16 + len(k) + len(v)
+		}
 	}
 	sort.Strings(keys)
 	out := make([]byte, 0, size)
@@ -158,7 +257,7 @@ func (s *Store) Snapshot() []byte {
 		binary.BigEndian.PutUint64(lenBuf[:], uint64(len(k)))
 		out = append(out, lenBuf[:]...)
 		out = append(out, k...)
-		v := s.final[k]
+		v := s.stripes[stripeIndex(k)].final[k]
 		binary.BigEndian.PutUint64(lenBuf[:], uint64(len(v)))
 		out = append(out, lenBuf[:]...)
 		out = append(out, v...)
@@ -205,37 +304,42 @@ func (s *Store) Restore(snap []byte) error {
 		}
 		final[string(k)] = append([]byte(nil), v...)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.final = final
-	s.spec = make(map[string][]byte)
+	s.lockAll()
+	defer s.unlockAll()
+	for i := range s.stripes {
+		s.stripes[i].final = make(map[string][]byte)
+		s.stripes[i].spec = make(map[string][]byte)
+	}
+	for k, v := range final {
+		s.stripes[stripeIndex(k)].final[k] = v
+	}
 	return nil
 }
 
 // --- internals ---
 
-func (s *Store) finalRead(key string) ([]byte, bool) {
-	v, ok := s.final[key]
+func (st *stripe) finalRead(key string) ([]byte, bool) {
+	v, ok := st.final[key]
 	return v, ok
 }
 
-func (s *Store) finalWrite(key string, v []byte) { s.final[key] = v }
+func (st *stripe) finalWrite(key string, v []byte) { st.final[key] = v }
 
-func (s *Store) specRead(key string) ([]byte, bool) {
-	if v, ok := s.spec[key]; ok {
+func (st *stripe) specRead(key string) ([]byte, bool) {
+	if v, ok := st.spec[key]; ok {
 		return v, ok
 	}
-	v, ok := s.final[key]
+	v, ok := st.final[key]
 	return v, ok
 }
 
-func (s *Store) specWrite(key string, v []byte) { s.spec[key] = v }
+func (st *stripe) specWrite(key string, v []byte) { st.spec[key] = v }
 
 // apply executes one command against the given read/write accessors.
 // Results are deterministic functions of (state, command); INCR returns no
 // value so that commuting increments produce identical replies regardless
 // of order (see types.Command.Interferes).
-func (s *Store) apply(cmd types.Command, read func(string) ([]byte, bool), write func(string, []byte)) types.Result {
+func apply(cmd types.Command, read func(string) ([]byte, bool), write func(string, []byte)) types.Result {
 	switch cmd.Op {
 	case types.OpGet:
 		v, ok := read(cmd.Key)

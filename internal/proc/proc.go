@@ -12,7 +12,11 @@
 //   - the real-time runtime (internal/transport), where Send goes over an
 //     in-process or TCP transport and timers are wall-clock.
 //
-// Handlers must never block and must not start goroutines; all concurrency
+// Handlers must never block on external events, and any goroutines they
+// start internally (e.g. the parallel executor's per-level workers in
+// internal/core) must be fully joined before the handler returns and must
+// never touch the Context — from the runtime's point of view a handler is
+// still one atomic, single-threaded step; all cross-handler concurrency
 // belongs to the runtime.
 package proc
 

@@ -27,6 +27,11 @@ type Cell struct {
 	Shape         *Shape
 	Batching      bool
 	Checkpointing bool
+	// ExecWorkers > 1 runs the cell with the deterministic parallel
+	// executor (ezBFT only; other protocols ignore it). Every invariant —
+	// exactly-once, digest convergence, certificate agreement — must hold
+	// identically, since parallel execution is byte-identical to serial.
+	ExecWorkers int
 	// XFail documents a known deficiency: the cell is expected to fail
 	// invariant checking for the stated reason. An expected failure does
 	// not fail the matrix (it renders as "xfail"), but an unexpected PASS
@@ -51,6 +56,9 @@ func (c Cell) Name() string {
 		variant = "batch"
 	case c.Checkpointing:
 		variant = "ckpt"
+	}
+	if c.ExecWorkers > 1 {
+		variant += fmt.Sprintf("+par%d", c.ExecWorkers)
 	}
 	return fmt.Sprintf("%s/%s/%s/%s", c.Protocol, strat, shape, variant)
 }
@@ -197,6 +205,7 @@ func Run(cell Cell, cfg Config) (*Result, error) {
 	if cell.Batching {
 		spec.BatchSize = 4
 	}
+	spec.ExecWorkers = cell.ExecWorkers
 	if cell.Checkpointing {
 		spec.CheckpointInterval = 8
 	}
@@ -338,7 +347,10 @@ func Run(cell Cell, cfg Config) (*Result, error) {
 
 // conflictingCerts cross-checks committed (deps, seq) certificates: two
 // correct replicas committing the same instance with different dependency
-// sets, sequence numbers, or commands is a safety violation.
+// sets, sequence numbers, or commands is a safety violation. The shared
+// (non-cloning) certificate accessor is safe here: the run is over, the
+// certificates are only read, and nothing touches the replicas while the
+// comparison holds them.
 func conflictingCerts(replicas []*core.Replica, correct []int) []string {
 	type owned struct {
 		cert core.CommitCert
@@ -347,7 +359,7 @@ func conflictingCerts(replicas []*core.Replica, correct []int) []string {
 	var out []string
 	ref := make(map[types.InstanceID]owned)
 	for _, i := range correct {
-		for _, cert := range replicas[i].CommittedCerts() {
+		for _, cert := range replicas[i].CommittedCertsShared() {
 			prev, ok := ref[cert.Inst]
 			if !ok {
 				ref[cert.Inst] = owned{cert: cert, by: i}
@@ -376,7 +388,9 @@ func HasStateTransfer(p engine.Protocol) bool {
 // DefaultMatrix enumerates the full fault matrix: every strategy and
 // every shape (plus the honest/clean baseline and one composed
 // strategy×shape cell) for all four protocols × batching on/off ×
-// checkpointing on/off.
+// checkpointing on/off — and, for ezBFT, every cell again with the
+// deterministic parallel executor enabled (ExecWorkers 4), which must be
+// indistinguishable from serial execution under every fault.
 func DefaultMatrix() []Cell {
 	var cells []Cell
 	for _, p := range bench.Protocols {
@@ -408,6 +422,18 @@ func DefaultMatrix() []Cell {
 			c.XFail = "FaB skeleton leader change cannot re-sync an equivocation victim"
 		}
 	}
+	// The parallel-executor dimension: every ezBFT cell re-run at
+	// ExecWorkers 4. Appended as a block so the serial matrix's cell order
+	// (and so its per-cell seeds-of-record) stays stable.
+	base := len(cells)
+	for i := 0; i < base; i++ {
+		if cells[i].Protocol != engine.EZBFT {
+			continue
+		}
+		par := cells[i]
+		par.ExecWorkers = 4
+		cells = append(cells, par)
+	}
 	return cells
 }
 
@@ -418,6 +444,8 @@ func SmokeMatrix() []Cell {
 	return []Cell{
 		{Protocol: engine.EZBFT, Strategy: StrategyByName("equivocating-owner"), Batching: true, Checkpointing: true},
 		{Protocol: engine.EZBFT, Shape: ShapeByName("flapping-partition"), Batching: true, Checkpointing: true},
+		{Protocol: engine.EZBFT, Strategy: StrategyByName("equivocating-owner"), Batching: true, Checkpointing: true, ExecWorkers: 4},
+		{Protocol: engine.EZBFT, Shape: ShapeByName("flapping-partition"), Batching: true, Checkpointing: true, ExecWorkers: 4},
 		{Protocol: engine.PBFT, Strategy: StrategyByName("checkpoint-liar"), Batching: true, Checkpointing: true},
 		{Protocol: engine.PBFT, Shape: ShapeByName("slow-links"), Batching: true, Checkpointing: true},
 		{Protocol: engine.Zyzzyva, Strategy: StrategyByName("stale-order-replay"), Batching: true, Checkpointing: true},

@@ -25,11 +25,12 @@ func TestSmokeMatrix(t *testing.T) {
 
 // TestFullMatrix runs every cell of the fault matrix — all four
 // protocols × batching × checkpointing × the strategy and shape
-// catalogues. Known deficiencies are encoded as XFail on their cells; an
-// unexpected failure prints its replay line.
+// catalogues, plus every ezBFT cell again under the parallel executor.
+// Known deficiencies are encoded as XFail on their cells; an unexpected
+// failure prints its replay line.
 func TestFullMatrix(t *testing.T) {
 	if testing.Short() {
-		t.Skip("full 224-cell matrix (not short)")
+		t.Skip("full 280-cell matrix (not short)")
 	}
 	seed := SeedFromEnv(1)
 	rep, err := RunMatrix(DefaultMatrix(), Config{Seed: seed})
@@ -49,6 +50,38 @@ func TestFullMatrix(t *testing.T) {
 	}
 	if t.Failed() {
 		t.Log("\n" + rep.Render())
+	}
+}
+
+// TestParallelExecutorCellIdentical pins the executor's determinism at the
+// whole-simulation level: an ezBFT cell run with the parallel executor must
+// produce the same completions, mean latency, and virtual end time as its
+// serial twin — simulated time advances identically because execution costs
+// are charged at the same points regardless of worker count.
+func TestParallelExecutorCellIdentical(t *testing.T) {
+	seed := SeedFromEnv(1)
+	serialCell := Cell{Protocol: engine.EZBFT, Batching: true, Checkpointing: true}
+	parCell := serialCell
+	parCell.ExecWorkers = 8
+	serial, err := Run(serialCell, Config{Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Run(parCell, Config{Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !serial.Pass {
+		t.Fatalf("serial cell failed: %v", serial.Violations)
+	}
+	if !par.Pass {
+		t.Fatalf("parallel cell failed: %v", par.Violations)
+	}
+	if serial.Completed != par.Completed || serial.Mean != par.Mean ||
+		serial.VirtualTime != par.VirtualTime || serial.POMs != par.POMs {
+		t.Errorf("parallel cell diverged from serial: serial {done %d mean %v vtime %v poms %d} vs parallel {done %d mean %v vtime %v poms %d}",
+			serial.Completed, serial.Mean, serial.VirtualTime, serial.POMs,
+			par.Completed, par.Mean, par.VirtualTime, par.POMs)
 	}
 }
 

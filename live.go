@@ -77,6 +77,13 @@ type LiveConfig struct {
 	// inbound signatures on pool workers before its process loop sees the
 	// message; DisablePreVerify turns the pools off.
 	VerifyWorkers int
+	// ExecWorkers sizes the deterministic parallel executor (EZBFT only;
+	// the other protocols ignore it): each replica executes committed
+	// closures across this many workers, scheduled over the dependency DAG
+	// so only non-interfering commands run concurrently. 0 or 1 keeps the
+	// serial path; execution results and reply order are byte-identical at
+	// any setting.
+	ExecWorkers int
 	// DisablePreVerify delivers inbound messages straight to the process
 	// loops, which then verify signatures inline (the pre-PR-4 behaviour;
 	// ablation studies use it).
@@ -180,6 +187,7 @@ func NewLiveCluster(cfg LiveConfig) (*LiveCluster, error) {
 			BatchAdaptive:      cfg.BatchAdaptive,
 			CheckpointInterval: cfg.CheckpointInterval,
 			LogRetention:       cfg.LogRetention,
+			ExecWorkers:        cfg.ExecWorkers,
 		})
 		if err != nil {
 			return nil, err

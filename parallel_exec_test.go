@@ -1,0 +1,51 @@
+package ezbft
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestSimClusterParallelExecByteIdentical pins the parallel executor's
+// determinism contract at the public-API level: a simulated ezBFT cluster
+// configured with ExecWorkers=8 must be indistinguishable from the serial
+// one — same completions, same per-region latency summaries, and the same
+// replica state digests — because execution costs are charged in serial
+// order regardless of worker count, so virtual time never diverges.
+func TestSimClusterParallelExecByteIdentical(t *testing.T) {
+	run := func(workers int) (int, []RegionSummary, []string) {
+		cluster, err := NewSimCluster(SimConfig{
+			Protocol:             EZBFT,
+			ClientsPerRegion:     2,
+			Seed:                 11,
+			MaxRequestsPerClient: 16,
+			ExecWorkers:          workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cluster.Run(60 * time.Second)
+		return cluster.Completed(), cluster.Summaries(), cluster.StateDigests()
+	}
+
+	serialDone, serialSums, serialDigests := run(1)
+	parDone, parSums, parDigests := run(8)
+
+	if serialDone == 0 {
+		t.Fatal("serial run completed no requests")
+	}
+	if serialDone != parDone {
+		t.Errorf("completed: serial %d, parallel %d", serialDone, parDone)
+	}
+	if !reflect.DeepEqual(serialSums, parSums) {
+		t.Errorf("summaries diverged:\nserial:   %+v\nparallel: %+v", serialSums, parSums)
+	}
+	if !reflect.DeepEqual(serialDigests, parDigests) {
+		t.Errorf("state digests diverged:\nserial:   %v\nparallel: %v", serialDigests, parDigests)
+	}
+	for _, d := range parDigests[1:] {
+		if d != parDigests[0] {
+			t.Fatalf("parallel replicas diverged among themselves: %v", parDigests)
+		}
+	}
+}

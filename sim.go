@@ -57,6 +57,14 @@ type SimConfig struct {
 	// LogRetention keeps this many extra entries below the stable mark
 	// when truncating.
 	LogRetention uint64
+	// ExecWorkers sizes the deterministic parallel executor (EZBFT only;
+	// the other protocols ignore it): committed closures execute across
+	// this many workers, scheduled over the dependency DAG so only
+	// non-interfering commands run concurrently. 0 or 1 keeps the serial
+	// path. Simulated results — latencies, digests, execution logs — are
+	// byte-identical at any setting; the knob exists so the simulator can
+	// exercise the exact code paths the live runtimes parallelize.
+	ExecWorkers int
 }
 
 // SimCluster is a deterministic simulated deployment. It is driven by
@@ -106,6 +114,7 @@ func NewSimCluster(cfg SimConfig) (*SimCluster, error) {
 		BatchDelay:         cfg.BatchDelay,
 		CheckpointInterval: cfg.CheckpointInterval,
 		LogRetention:       cfg.LogRetention,
+		ExecWorkers:        cfg.ExecWorkers,
 	}
 	if cfg.NewApp != nil {
 		spec.NewApp = func() types.Application { return cfg.NewApp() }

@@ -81,6 +81,12 @@ type TCPReplicaConfig struct {
 	// VerifyWorkers sizes the inbound signature-verification worker pool
 	// (0 = GOMAXPROCS).
 	VerifyWorkers int
+	// ExecWorkers sizes the deterministic parallel executor (EZBFT only):
+	// committed closures execute across this many workers, scheduled over
+	// the dependency DAG so only non-interfering commands run concurrently.
+	// 0 or 1 keeps the serial path; results are byte-identical at any
+	// setting.
+	ExecWorkers int
 }
 
 // TCPReplica is one running replica of a TCP deployment.
@@ -128,6 +134,7 @@ func StartTCPReplica(cfg TCPReplicaConfig) (*TCPReplica, error) {
 		BatchAdaptive:      cfg.BatchAdaptive,
 		CheckpointInterval: cfg.CheckpointInterval,
 		LogRetention:       cfg.LogRetention,
+		ExecWorkers:        cfg.ExecWorkers,
 	})
 	if err != nil {
 		return nil, err
