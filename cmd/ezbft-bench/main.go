@@ -19,6 +19,13 @@
 // Wall-clock, not part of `-e all`; `-json` writes the snapshot
 // (BENCH_exec.json).
 //
+// The `durability` experiment measures the durable-store subsystem
+// wall-clock on the live mesh: committed throughput for ezBFT and PBFT
+// with durability off, the in-memory store, the disk store, and the disk
+// store fsyncing at every group commit — then reopens a replica's store
+// directory cold and times crash recovery from it. `-json` writes the
+// snapshot (BENCH_durability.json).
+//
 // The `scenarios` experiment runs the adversarial fault matrix (see
 // internal/scenario): every Byzantine strategy and hostile network shape
 // against all four protocols, with invariants checked after every cell.
@@ -53,7 +60,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("ezbft-bench", flag.ContinueOnError)
-	experiment := fs.String("e", "all", "experiment: table1, table2, fig4, fig5a, fig5b, fig6, fig7, ablation, batch, crypto, exec, scenarios, or all (crypto, exec, and scenarios run only when named)")
+	experiment := fs.String("e", "all", "experiment: table1, table2, fig4, fig5a, fig5b, fig6, fig7, ablation, batch, crypto, exec, durability, scenarios, or all (crypto, exec, durability, and scenarios run only when named)")
 	duration := fs.Duration("duration", 30*time.Second, "simulated measurement window (crypto: wall-clock, capped at 5s)")
 	warmup := fs.Duration("warmup", 2*time.Second, "simulated warmup (discarded)")
 	clients := fs.Int("clients", 3, "closed-loop clients per region (latency experiments)")
@@ -109,10 +116,10 @@ func run(args []string) error {
 		return nil
 	}
 
-	if *experiment == "crypto" {
-		// The crypto sweep runs wall-clock; only explicitly set windows
-		// override its own (much shorter) defaults — the simulated
-		// experiments' 30s/2s flag defaults would stretch it to minutes.
+	if *experiment == "crypto" || *experiment == "durability" {
+		// These sweeps run wall-clock; only explicitly set windows
+		// override their own (much shorter) defaults — the simulated
+		// experiments' 30s/2s flag defaults would stretch them to minutes.
 		pc := p
 		explicit := map[string]bool{}
 		fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
@@ -122,13 +129,25 @@ func run(args []string) error {
 		if !explicit["warmup"] {
 			pc.Warmup = 0
 		}
+		type jsonRenderer interface {
+			Render() string
+			WriteJSON() ([]byte, error)
+		}
+		var (
+			res jsonRenderer
+			err error
+		)
 		start := time.Now()
-		res, err := bench.CryptoSweep(pc)
+		if *experiment == "crypto" {
+			res, err = bench.CryptoSweep(pc)
+		} else {
+			res, err = bench.DurabilitySweep(pc)
+		}
 		if err != nil {
-			return fmt.Errorf("crypto: %w", err)
+			return fmt.Errorf("%s: %w", *experiment, err)
 		}
 		fmt.Println(res.Render())
-		fmt.Printf("(crypto measured in %.1fs wall time)\n\n", time.Since(start).Seconds())
+		fmt.Printf("(%s measured in %.1fs wall time)\n\n", *experiment, time.Since(start).Seconds())
 		if *jsonOut != "" {
 			blob, err := res.WriteJSON()
 			if err != nil {

@@ -15,7 +15,10 @@
 // then drive it with ezbft-client (pass the same -p). All nodes must share
 // -secret (HMAC key material) and -p; unknown protocol names are rejected
 // with the registered ones listed. -batch enables leader-side request
-// batching on any protocol.
+// batching on any protocol. -store-dir gives the replica a disk-backed
+// WAL + snapshot store: killed and restarted over the same directory, it
+// recovers its pre-crash state instead of state-transferring it from
+// peers (-fsync makes the store power-failure-safe at a latency cost).
 package main
 
 import (
@@ -53,6 +56,8 @@ func run(args []string) error {
 	retention := fs.Uint64("retention", 0, "extra log entries retained below the stable checkpoint")
 	verifyWorkers := fs.Int("verify-workers", 0, "signature-verification workers (0 = GOMAXPROCS)")
 	execWorkers := fs.Int("exec-workers", 0, "parallel-execution workers over the dependency DAG, ezbft only (0 or 1 = serial)")
+	storeDir := fs.String("store-dir", "", "durable-store directory: persist the WAL+snapshot there and recover state when restarted over it (empty = no durability)")
+	fsync := fs.Bool("fsync", false, "fsync the durable store at every group-commit point (crash-safe; requires -store-dir)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -79,6 +84,8 @@ func run(args []string) error {
 		LogRetention:       *retention,
 		VerifyWorkers:      *verifyWorkers,
 		ExecWorkers:        *execWorkers,
+		StoreDir:           *storeDir,
+		Fsync:              *fsync,
 	})
 	if err != nil {
 		return err

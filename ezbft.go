@@ -121,6 +121,30 @@
 // exposed through each protocol's ReplicaStats. With the interval at 0,
 // PBFT keeps its paper-default checkpointing and the other protocols run
 // exactly their original message flow.
+//
+// # Durable replica state: WAL, snapshots, crash recovery
+//
+// By default replica state lives in memory: a restarted replica is a new
+// replica, and rejoining costs a full state transfer. The durability
+// subsystem (internal/store, plumbed through every substrate config as
+// Durability/StoreDir/Fsync and the -store-dir/-fsync flags of
+// ezbft-server) gives ezBFT and PBFT replicas a pluggable durable store:
+// ordering-critical state — accepted SPECORDERs and PRE-PREPAREs, commit
+// decisions, checkpoint votes, per-client executed timestamps — is
+// write-ahead-logged before the replica acts on it, group-fsynced once
+// per handler invocation, and pruned whenever a stable checkpoint
+// persists the application snapshot (so the durable footprint stays
+// bounded alongside the in-memory log). A replica restarted over its
+// store directory recovers locally — snapshot restore, WAL replay,
+// re-execution of the committed prefix — and then catch-up transfers
+// only the tail of instances it missed while down, as an incremental
+// log-suffix merge rather than a wholesale snapshot install. The memory
+// backend exists for harnesses that tear replicas down in-process; off
+// (the default) keeps every paper-reproduction figure byte-identical.
+// Recovery statistics (WALRecords, Recoveries, TailsInstalled) are
+// exposed through ReplicaStats; the `durability` experiment of
+// cmd/ezbft-bench measures what each backend costs and how fast a cold
+// restart recovers.
 package ezbft
 
 import (
@@ -128,6 +152,7 @@ import (
 
 	"ezbft/internal/bench"
 	"ezbft/internal/kvstore"
+	"ezbft/internal/store"
 	"ezbft/internal/types"
 	"ezbft/internal/wan"
 )
@@ -150,6 +175,21 @@ type (
 	Topology = wan.Topology
 	// Protocol selects a consensus protocol.
 	Protocol = bench.Protocol
+	// Durability selects a replica durability backend (internal/store):
+	// DurabilityOff, DurabilityMemory, or DurabilityDisk.
+	Durability = store.Backend
+)
+
+// Durability backends. Off (the default) persists nothing — the
+// paper-reproduction behaviour. Memory write-ahead-logs in process memory
+// (torn-down replicas restart from a retained handle; the scenario
+// harness uses it). Disk persists the WAL and snapshots under a
+// directory, so a crashed replica process recovers its pre-crash state
+// on restart instead of state-transferring it from peers.
+const (
+	DurabilityOff    = store.BackendOff
+	DurabilityMemory = store.BackendMemory
+	DurabilityDisk   = store.BackendDisk
 )
 
 // Application is the replicated state machine the cluster serves: a

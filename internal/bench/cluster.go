@@ -16,6 +16,7 @@ package bench
 
 import (
 	"fmt"
+	"path/filepath"
 	"time"
 
 	"ezbft/internal/auth"
@@ -27,6 +28,7 @@ import (
 	"ezbft/internal/pbft"
 	"ezbft/internal/proc"
 	"ezbft/internal/sim"
+	"ezbft/internal/store"
 	"ezbft/internal/types"
 	"ezbft/internal/wan"
 	"ezbft/internal/workload"
@@ -140,6 +142,15 @@ type Spec struct {
 	// workers, scheduled over the dependency DAG. 0 or 1 keeps the serial
 	// path; results are byte-identical at any setting.
 	ExecWorkers int
+	// Durability selects the replicas' durable-store backend ("", "off",
+	// "memory", "disk" — see internal/store). Off (the default) keeps
+	// replicas memoryless and every existing figure byte-identical.
+	Durability store.Backend
+	// StoreDir is the root directory for disk-backed stores; each replica
+	// uses the subdirectory r<id>. Required when Durability is "disk".
+	StoreDir string
+	// Fsync makes the disk backend fsync at every group-commit point.
+	Fsync bool
 	// NewApp builds one application instance per replica (nil = the
 	// reference key-value store). ezBFT requires a
 	// types.SpeculativeApplication.
@@ -171,6 +182,17 @@ type Cluster struct {
 	FBReplicas  []*fab.Replica
 	Apps        []types.Application
 	ClientCount int
+
+	// Stores holds each replica's durable store (nil entries when the spec
+	// ran without durability); a restart hands the same store back to the
+	// replica's next incarnation.
+	Stores []store.Store
+
+	// auth provider and per-replica construction inputs, retained so
+	// RestartReplica can rebuild a replica's next incarnation exactly as
+	// Build made the first.
+	provider *auth.Provider
+	eng      engine.Engine
 }
 
 // Build constructs the cluster through the protocol-agnostic engine
@@ -230,6 +252,8 @@ func Build(spec Spec) (*Cluster, error) {
 	if err != nil {
 		return nil, err
 	}
+	cl.provider = provider
+	cl.eng = eng
 
 	// Replicas.
 	for i := 0; i < n; i++ {
@@ -247,32 +271,14 @@ func Build(spec Spec) (*Cluster, error) {
 		if spec.NewBehavior != nil {
 			behavior = spec.NewBehavior(rid, a)
 		}
-		p, err := eng.NewReplica(engine.ReplicaOptions{
-			Self: rid, N: n, App: app, Auth: a, Costs: spec.Costs,
-			Primary:            spec.Primary,
-			LatencyBound:       spec.LatencyBound,
-			CheckpointInterval: spec.CheckpointInterval,
-			LogRetention:       spec.LogRetention,
-			BatchSize:          spec.BatchSize,
-			BatchDelay:         spec.BatchDelay,
-			BatchAdaptive:      spec.BatchAdaptive,
-			ExecWorkers:        spec.ExecWorkers,
-			Mute:               spec.Mute[rid],
-			Behavior:           behavior,
-		})
+		st, err := store.Open(spec.Durability, filepath.Join(spec.StoreDir, fmt.Sprintf("r%d", i)), spec.Fsync)
+		if err != nil {
+			return nil, fmt.Errorf("bench: replica %d store: %w", i, err)
+		}
+		cl.Stores = append(cl.Stores, st)
+		p, err := cl.buildReplica(rid, app, a, behavior, st)
 		if err != nil {
 			return nil, err
-		}
-		cl.Replicas = append(cl.Replicas, p)
-		switch rep := engine.Unwrap(p).(type) {
-		case *core.Replica:
-			cl.EZReplicas = append(cl.EZReplicas, rep)
-		case *pbft.Replica:
-			cl.PBReplicas = append(cl.PBReplicas, rep)
-		case *zyzzyva.Replica:
-			cl.ZYReplicas = append(cl.ZYReplicas, rep)
-		case *fab.Replica:
-			cl.FBReplicas = append(cl.FBReplicas, rep)
 		}
 		if err := rt.AddNode(p, *spec.ReplicaCost); err != nil {
 			return nil, err
@@ -318,6 +324,97 @@ func Build(spec Spec) (*Cluster, error) {
 		}
 	}
 	return cl, nil
+}
+
+// buildReplica constructs one replica through the engine contract and
+// records it — and its protocol-specific handle — at its slot, replacing
+// a previous incarnation on restart.
+func (c *Cluster) buildReplica(rid types.ReplicaID, app types.Application, a auth.Authenticator, behavior engine.Behavior, st store.Store) (proc.Process, error) {
+	spec := &c.Spec
+	p, err := c.eng.NewReplica(engine.ReplicaOptions{
+		Self: rid, N: c.N, App: app, Auth: a, Costs: spec.Costs,
+		Primary:            spec.Primary,
+		LatencyBound:       spec.LatencyBound,
+		CheckpointInterval: spec.CheckpointInterval,
+		LogRetention:       spec.LogRetention,
+		BatchSize:          spec.BatchSize,
+		BatchDelay:         spec.BatchDelay,
+		BatchAdaptive:      spec.BatchAdaptive,
+		ExecWorkers:        spec.ExecWorkers,
+		Store:              st,
+		Mute:               spec.Mute[rid],
+		Behavior:           behavior,
+	})
+	if err != nil {
+		return nil, err
+	}
+	i := int(rid)
+	if i < len(c.Replicas) {
+		c.Replicas[i] = p
+	} else {
+		c.Replicas = append(c.Replicas, p)
+	}
+	switch rep := engine.Unwrap(p).(type) {
+	case *core.Replica:
+		c.EZReplicas = placeAt(c.EZReplicas, i, rep)
+	case *pbft.Replica:
+		c.PBReplicas = placeAt(c.PBReplicas, i, rep)
+	case *zyzzyva.Replica:
+		c.ZYReplicas = placeAt(c.ZYReplicas, i, rep)
+	case *fab.Replica:
+		c.FBReplicas = placeAt(c.FBReplicas, i, rep)
+	}
+	return p, nil
+}
+
+// placeAt overwrites index i when it exists (a restart) and appends
+// otherwise (initial build; replicas are built in id order, so i is always
+// the next slot).
+func placeAt[T any](s []T, i int, v T) []T {
+	if i < len(s) {
+		s[i] = v
+		return s
+	}
+	return append(s, v)
+}
+
+// RestartReplica crash-restarts replica i: the running incarnation is
+// killed, a fresh process is built over the SAME durable store with a
+// FRESH application instance, and the simulator reboots it at the current
+// virtual time. The new application starts empty — recovery must rebuild
+// it from the store (plus tail catch-up), which is exactly what the
+// restart scenarios assert. With no durability configured the replica
+// comes back amnesiac, rejoining through state transfer alone.
+func (c *Cluster) RestartReplica(i int) error {
+	if i < 0 || i >= c.N {
+		return fmt.Errorf("bench: restart of replica %d outside [0,%d)", i, c.N)
+	}
+	rid := types.ReplicaID(i)
+	c.RT.Crash(types.ReplicaNode(rid))
+	app := c.Spec.NewApp()
+	c.Apps[i] = app
+	a, err := c.provider.ForNode(types.ReplicaNode(rid))
+	if err != nil {
+		return err
+	}
+	var behavior engine.Behavior
+	if c.Spec.NewBehavior != nil {
+		behavior = c.Spec.NewBehavior(rid, a)
+	}
+	p, err := c.buildReplica(rid, app, a, behavior, c.Stores[i])
+	if err != nil {
+		return err
+	}
+	return c.RT.Restart(p, *c.Spec.ReplicaCost)
+}
+
+// CloseStores closes every durable store (disk-backed runs).
+func (c *Cluster) CloseStores() {
+	for _, st := range c.Stores {
+		if st != nil {
+			_ = st.Close()
+		}
+	}
 }
 
 // Run starts the cluster (if needed) and advances virtual time to `until`.

@@ -1,0 +1,391 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"time"
+
+	"ezbft/internal/auth"
+	"ezbft/internal/codec"
+	"ezbft/internal/core"
+	"ezbft/internal/engine"
+	"ezbft/internal/kvstore"
+	"ezbft/internal/metrics"
+	"ezbft/internal/pbft"
+	"ezbft/internal/proc"
+	"ezbft/internal/store"
+	"ezbft/internal/transport"
+	"ezbft/internal/types"
+	"ezbft/internal/workload"
+)
+
+// The durability sweep runs wall-clock on the live in-process mesh, like
+// the crypto ablation: real goroutines, real fsyncs.
+const (
+	defaultDurabilityDuration = 1200 * time.Millisecond
+	defaultDurabilityWarmup   = 300 * time.Millisecond
+	// durabilityCheckpointInterval keeps the durable footprint bounded
+	// during the run: replicas snapshot their store at every stable
+	// checkpoint and truncate the WAL below it, so the recovery probe
+	// replays a snapshot plus a short WAL tail — the steady-state shape,
+	// not an unbounded log.
+	durabilityCheckpointInterval = 64
+)
+
+// DurabilityVariant names one point of the backend × fsync plane.
+type DurabilityVariant string
+
+// The four variants: no durability (the paper-reproduction default), the
+// in-memory store (buffer-copy cost only), the disk store with the OS
+// page cache absorbing writes, and the disk store fsyncing at every
+// group-commit point (the crash-safe setting).
+const (
+	DurabilityOff       DurabilityVariant = "off"
+	DurabilityMemory    DurabilityVariant = "memory"
+	DurabilityDisk      DurabilityVariant = "disk"
+	DurabilityDiskFsync DurabilityVariant = "disk+fsync"
+)
+
+// DurabilityVariants is the sweep order.
+var DurabilityVariants = []DurabilityVariant{
+	DurabilityOff, DurabilityMemory, DurabilityDisk, DurabilityDiskFsync,
+}
+
+// DurabilityProtocols is the protocol sweep order: the two protocols with
+// a durable write-ahead path (ezBFT and the PBFT baseline).
+var DurabilityProtocols = []Protocol{EZBFT, PBFT}
+
+// RecoveryResult reports the crash-recovery probe run after the disk
+// variant's measurement window: replica 0's store directory is reopened
+// cold and a fresh replica recovers from it, with no peer contact.
+type RecoveryResult struct {
+	// WALRecords is the number of records replayed from the reopened WAL
+	// (the tail above the durable snapshot).
+	WALRecords int `json:"wal_records"`
+	// Snapshot reports whether a durable snapshot was present.
+	Snapshot bool `json:"snapshot"`
+	// Recoveries is the recovered replica's self-reported recovery count
+	// (1 on success).
+	Recoveries uint64 `json:"recoveries"`
+	// Elapsed is the wall-clock time from reopening the store to the
+	// replica answering its first post-recovery event — snapshot restore,
+	// WAL replay, and re-execution of the committed prefix included.
+	Elapsed time.Duration `json:"recovery_ns"`
+}
+
+// DurabilitySweepResult holds committed throughput (requests/second) per
+// protocol × durability variant, plus the disk recovery probes.
+type DurabilitySweepResult struct {
+	// Duration is the per-configuration measurement window.
+	Duration time.Duration `json:"duration_ns"`
+	// Clients is the total closed-loop client count per run.
+	Clients int `json:"clients"`
+	// GOMAXPROCS records the host parallelism the numbers were taken at.
+	GOMAXPROCS int `json:"gomaxprocs"`
+	// CheckpointInterval is the checkpoint interval every run used.
+	CheckpointInterval uint64 `json:"checkpoint_interval"`
+	// Throughput[protocol][variant] in requests/second.
+	Throughput map[Protocol]map[DurabilityVariant]float64 `json:"throughput_req_per_s"`
+	// Recovery[protocol] is the disk variant's crash-recovery probe.
+	Recovery map[Protocol]*RecoveryResult `json:"recovery"`
+}
+
+// DurabilitySweep measures what replica durability costs and buys on the
+// live substrate: for ezBFT and PBFT it compares committed throughput
+// with durability off, the in-memory store, the disk store, and the disk
+// store with per-group-commit fsync — checkpointing on throughout, so
+// snapshot cuts and WAL truncation are in the measured path. After the
+// plain-disk run it tears the cluster down and recovers a fresh replica
+// from replica 0's store directory, reporting how long the cold restart
+// took and what it replayed. p.Duration/p.Warmup override the wall-clock
+// windows (zero keeps the durability defaults); values above 5s are
+// capped there.
+func DurabilitySweep(p Params) (*DurabilitySweepResult, error) {
+	const maxWindow = 5 * time.Second
+	duration, warmup := defaultDurabilityDuration, defaultDurabilityWarmup
+	if p.Duration > 0 {
+		duration = min(p.Duration, maxWindow)
+	}
+	if p.Warmup > 0 {
+		warmup = min(p.Warmup, maxWindow)
+	}
+	const n = 4
+	res := &DurabilitySweepResult{
+		Duration:           duration,
+		Clients:            n * cryptoClientsPerSite,
+		GOMAXPROCS:         runtime.GOMAXPROCS(0),
+		CheckpointInterval: durabilityCheckpointInterval,
+		Throughput:         make(map[Protocol]map[DurabilityVariant]float64, len(DurabilityProtocols)),
+		Recovery:           make(map[Protocol]*RecoveryResult, len(DurabilityProtocols)),
+	}
+	for _, proto := range DurabilityProtocols {
+		byVariant := make(map[DurabilityVariant]float64, len(DurabilityVariants))
+		for _, variant := range DurabilityVariants {
+			tp, rec, err := durabilityRun(proto, variant, n, duration, warmup)
+			if err != nil {
+				return nil, fmt.Errorf("durability %s/%s: %w", proto, variant, err)
+			}
+			byVariant[variant] = tp
+			if rec != nil {
+				res.Recovery[proto] = rec
+			}
+		}
+		res.Throughput[proto] = byVariant
+	}
+	return res, nil
+}
+
+// variantStore maps a variant to its store backend and fsync setting.
+func variantStore(v DurabilityVariant) (store.Backend, bool) {
+	switch v {
+	case DurabilityMemory:
+		return store.BackendMemory, false
+	case DurabilityDisk:
+		return store.BackendDisk, false
+	case DurabilityDiskFsync:
+		return store.BackendDisk, true
+	default:
+		return store.BackendOff, false
+	}
+}
+
+// durabilityRun runs one live-mesh configuration and returns committed
+// requests/second over the measurement window; for the plain-disk
+// variant it also runs the cold-restart recovery probe.
+func durabilityRun(proto Protocol, variant DurabilityVariant, n int, duration, warmup time.Duration) (float64, *RecoveryResult, error) {
+	eng, err := engine.Lookup(proto)
+	if err != nil {
+		return 0, nil, err
+	}
+	backend, fsync := variantStore(variant)
+	var dir string
+	if backend == store.BackendDisk {
+		dir, err = os.MkdirTemp("", "ezbft-durability-")
+		if err != nil {
+			return 0, nil, err
+		}
+		defer os.RemoveAll(dir)
+	}
+
+	nClients := n * cryptoClientsPerSite
+	ids := make([]types.NodeID, 0, n+nClients)
+	for i := 0; i < n; i++ {
+		ids = append(ids, types.ReplicaNode(types.ReplicaID(i)))
+	}
+	for i := 0; i < nClients; i++ {
+		ids = append(ids, types.ClientNode(types.ClientID(i)))
+	}
+	provider, err := auth.NewProvider(auth.SchemeHMAC, ids)
+	if err != nil {
+		return 0, nil, err
+	}
+	provider.UseCache(0)
+
+	mesh := transport.NewMesh(0)
+	var (
+		nodes  []*transport.LiveNode
+		pools  []*transport.VerifyPool
+		stores []store.Store
+	)
+	defer func() {
+		for _, st := range stores {
+			if st != nil {
+				_ = st.Close()
+			}
+		}
+	}()
+	attach := func(node *transport.LiveNode, a auth.Authenticator) {
+		pool := transport.NewVerifyPool(0, eng.InboundVerifier(a, n),
+			func(from types.NodeID, msg codec.Message) { node.Deliver(from, msg) })
+		mesh.AttachPool(node, pool)
+		pools = append(pools, pool)
+	}
+
+	for i := 0; i < n; i++ {
+		rid := types.ReplicaID(i)
+		a, err := provider.ForNode(types.ReplicaNode(rid))
+		if err != nil {
+			return 0, nil, err
+		}
+		st, err := store.Open(backend, filepath.Join(dir, fmt.Sprintf("r%d", i)), fsync)
+		if err != nil {
+			return 0, nil, err
+		}
+		stores = append(stores, st)
+		rep, err := eng.NewReplica(engine.ReplicaOptions{
+			Self: rid, N: n, App: kvstore.New(), Auth: a,
+			Primary:            0,
+			LatencyBound:       200 * time.Millisecond,
+			CheckpointInterval: durabilityCheckpointInterval,
+			Store:              st,
+		})
+		if err != nil {
+			return 0, nil, err
+		}
+		node := transport.NewLiveNode(rep, mesh, int64(i)+1)
+		attach(node, a)
+		nodes = append(nodes, node)
+	}
+
+	counter := &countRecorder{}
+	for i := 0; i < nClients; i++ {
+		cid := types.ClientID(i)
+		a, err := provider.ForNode(types.ClientNode(cid))
+		if err != nil {
+			return 0, nil, err
+		}
+		c, err := eng.NewClient(engine.ClientOptions{
+			ID: cid, N: n,
+			Nearest: types.ReplicaID(i % n), Primary: 0,
+			Auth: a,
+			Driver: &workload.ClosedLoop{
+				Gen:      &workload.KVGenerator{Contention: 0},
+				Recorder: counter,
+			},
+			LatencyBound: 200 * time.Millisecond,
+		})
+		if err != nil {
+			return 0, nil, err
+		}
+		node := transport.NewLiveNode(c, mesh, int64(i)+1000)
+		attach(node, a)
+		nodes = append(nodes, node)
+	}
+
+	for _, node := range nodes {
+		node.Start()
+	}
+	time.Sleep(warmup)
+	before := counter.n.Load()
+	time.Sleep(duration)
+	completed := counter.n.Load() - before
+	for _, node := range nodes {
+		node.Stop()
+	}
+	for _, pool := range pools {
+		pool.Close()
+	}
+	tp := float64(completed) / duration.Seconds()
+
+	if variant != DurabilityDisk {
+		return tp, nil, nil
+	}
+	// Cold-restart probe: replica 0's store handle is closed (the hard
+	// teardown) and its directory reopened as a crashed process would
+	// reopen it; a fresh replica recovers from it with no peer contact.
+	_ = stores[0].Close()
+	stores[0] = nil
+	rec, err := recoverProbe(eng, provider, filepath.Join(dir, "r0"), n)
+	if err != nil {
+		return 0, nil, err
+	}
+	return tp, rec, nil
+}
+
+// recoverProbe reopens a replica store directory cold and times a fresh
+// replica's recovery from it: open, snapshot restore, WAL replay, and
+// re-execution of the committed prefix, measured up to the replica
+// answering its first post-recovery event.
+func recoverProbe(eng engine.Engine, provider *auth.Provider, dir string, n int) (*RecoveryResult, error) {
+	a, err := provider.ForNode(types.ReplicaNode(0))
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	st, err := store.OpenDisk(dir, false)
+	if err != nil {
+		return nil, err
+	}
+	defer st.Close()
+	rep, err := eng.NewReplica(engine.ReplicaOptions{
+		Self: 0, N: n, App: kvstore.New(), Auth: a,
+		Primary:            0,
+		LatencyBound:       200 * time.Millisecond,
+		CheckpointInterval: durabilityCheckpointInterval,
+		Store:              st,
+	})
+	if err != nil {
+		return nil, err
+	}
+	// The replica runs on an otherwise-empty mesh: recovery is local, and
+	// any post-recovery catch-up request it sends is dropped like the
+	// network would drop it.
+	node := transport.NewLiveNode(rep, transport.NewMesh(0), 1)
+	node.Start()
+	// Init (which performs recovery) runs first on the process loop; an
+	// injected call is answered only after it completes.
+	ready := make(chan struct{})
+	if err := node.Inject(func(proc.Context) { close(ready) }); err != nil {
+		node.Stop()
+		return nil, err
+	}
+	<-ready
+	elapsed := time.Since(start)
+	node.Stop()
+
+	res := &RecoveryResult{Elapsed: elapsed}
+	snap, _, err := st.LoadSnapshot()
+	if err != nil {
+		return nil, err
+	}
+	res.Snapshot = snap != nil
+	if err := st.Replay(func(store.Record) error { res.WALRecords++; return nil }); err != nil {
+		return nil, err
+	}
+	switch r := engine.Unwrap(rep).(type) {
+	case *core.Replica:
+		res.Recoveries = r.Stats().Recoveries
+	case *pbft.Replica:
+		res.Recoveries = r.Stats().Recoveries
+	}
+	if res.Recoveries == 0 {
+		return nil, fmt.Errorf("recovered replica reports 0 recoveries")
+	}
+	return res, nil
+}
+
+// Render formats the sweep: one throughput section per protocol with
+// slowdowns relative to durability-off, then the recovery probes.
+func (r *DurabilitySweepResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b,
+		"Durability — committed throughput vs durable-store configuration (live mesh, checkpoint interval %d, %d closed-loop clients, GOMAXPROCS=%d)\n",
+		r.CheckpointInterval, r.Clients, r.GOMAXPROCS)
+	header := []string{"variant", "throughput (req/s)", "vs off"}
+	for _, proto := range DurabilityProtocols {
+		byVariant := r.Throughput[proto]
+		if byVariant == nil {
+			continue
+		}
+		fmt.Fprintf(&b, "\n[%s]\n", proto)
+		base := byVariant[DurabilityOff]
+		var rows [][]string
+		for _, variant := range DurabilityVariants {
+			tp := byVariant[variant]
+			rel := "-"
+			if base > 0 {
+				rel = fmt.Sprintf("%.2fx", tp/base)
+			}
+			rows = append(rows, []string{string(variant), fmt.Sprintf("%8.0f", tp), rel})
+		}
+		b.WriteString(metrics.Table(header, rows))
+		if rec := r.Recovery[proto]; rec != nil {
+			snap := "no snapshot"
+			if rec.Snapshot {
+				snap = "snapshot"
+			}
+			fmt.Fprintf(&b, "cold restart from disk: %v (%s + %d WAL records replayed)\n",
+				rec.Elapsed.Round(time.Microsecond), snap, rec.WALRecords)
+		}
+	}
+	return b.String()
+}
+
+// WriteJSON serializes the result for the checked-in benchmark snapshot.
+func (r *DurabilitySweepResult) WriteJSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}

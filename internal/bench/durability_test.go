@@ -1,0 +1,34 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+// TestDurabilityDiskRecoveryProbe runs one disk-variant configuration of
+// the durability experiment end to end: live-mesh load over disk-backed
+// stores, hard teardown, and the cold-restart recovery probe against
+// replica 0's reopened directory.
+func TestDurabilityDiskRecoveryProbe(t *testing.T) {
+	for _, proto := range DurabilityProtocols {
+		tp, rec, err := durabilityRun(proto, DurabilityDisk, 4, 400*time.Millisecond, 100*time.Millisecond)
+		if err != nil {
+			t.Fatalf("%s: %v", proto, err)
+		}
+		if tp <= 0 {
+			t.Errorf("%s: no committed throughput over disk stores", proto)
+		}
+		if rec == nil {
+			t.Fatalf("%s: disk variant returned no recovery probe", proto)
+		}
+		if rec.Recoveries != 1 {
+			t.Errorf("%s: recovered replica reports %d recoveries, want 1", proto, rec.Recoveries)
+		}
+		if !rec.Snapshot && rec.WALRecords == 0 {
+			t.Errorf("%s: reopened store was empty (no snapshot, no WAL records)", proto)
+		}
+		if rec.Elapsed <= 0 {
+			t.Errorf("%s: recovery elapsed %v", proto, rec.Elapsed)
+		}
+	}
+}

@@ -137,9 +137,23 @@ func decodeCheckpoint(r *codec.Reader) (*CheckpointMsg, error) {
 	return m, r.Err()
 }
 
-// CatchupReq asks a peer for a full state transfer, ⟨CATCHUP-REQ, R⟩σR.
+// SpaceMark is the requester's position in one instance space, attached to
+// a CATCHUP-REQ so the responder can serve a tail instead of a wholesale
+// transfer.
+type SpaceMark struct {
+	ExecMark uint64 // requester's contiguously executed prefix
+	MaxSlot  uint64 // requester's log high-water mark
+}
+
+// CatchupReq asks a peer for a state transfer, ⟨CATCHUP-REQ, R, marks⟩σR.
+// Marks (one per space, in space order) advertises how far the requester
+// already got: when its executed prefix covers everything the responder has
+// truncated, the responder answers with only the missing tail — no
+// application snapshot, no executed-timestamp table — and the requester
+// re-executes the tail itself. Empty marks request the wholesale transfer.
 type CatchupReq struct {
 	Replica types.ReplicaID // requester
+	Marks   []SpaceMark     // requester's per-space positions (len N or empty)
 	Sig     []byte
 
 	codec.Verified // transport-side pre-verification marker; never marshaled
@@ -156,17 +170,33 @@ func (m *CatchupReq) MarshalTo(w *codec.Writer) {
 
 func (m *CatchupReq) marshalBody(w *codec.Writer) {
 	w.Int32(int32(m.Replica))
+	w.Uvarint(uint64(len(m.Marks)))
+	for _, sm := range m.Marks {
+		w.Uvarint(sm.ExecMark)
+		w.Uvarint(sm.MaxSlot)
+	}
 }
 
 // SignedBody returns the bytes the requester signature covers.
 func (m *CatchupReq) SignedBody() []byte {
-	w := codec.NewWriter(16)
+	w := codec.NewWriter(64)
 	m.marshalBody(w)
 	return w.Bytes()
 }
 
 func decodeCatchupReq(r *codec.Reader) (*CatchupReq, error) {
 	m := &CatchupReq{Replica: types.ReplicaID(r.Int32())}
+	n := r.Uvarint()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if n > 1024 {
+		return nil, codec.ErrOverflow
+	}
+	m.Marks = make([]SpaceMark, 0, n)
+	for i := uint64(0); i < n; i++ {
+		m.Marks = append(m.Marks, SpaceMark{ExecMark: r.Uvarint(), MaxSlot: r.Uvarint()})
+	}
 	m.Sig = r.Blob()
 	return m, r.Err()
 }
@@ -222,9 +252,14 @@ type ClientMark struct {
 
 // CatchupResp is the state-transfer response, ⟨CATCHUP-RESP⟩σR: per-space
 // lifecycle state, the checkpoint proof, the application snapshot, the
-// per-client executed-timestamp table, and the retained log suffix.
+// per-client executed-timestamp table, and the retained log suffix. A
+// *tail* response (Tail set, served when the requester's own marks showed
+// it close enough) carries only the lifecycle state, proof, and the suffix
+// above the requester's executed prefix: the requester keeps its state and
+// re-executes the tail itself instead of installing wholesale.
 type CatchupResp struct {
 	Replica  types.ReplicaID
+	Tail     bool
 	Spaces   []SpaceCkpt
 	Clients  []ClientMark
 	Snapshot []byte
@@ -250,6 +285,7 @@ func (m *CatchupResp) MarshalTo(w *codec.Writer) {
 
 func (m *CatchupResp) marshalBody(w *codec.Writer) {
 	w.Int32(int32(m.Replica))
+	w.Bool(m.Tail)
 	w.Uvarint(uint64(len(m.Spaces)))
 	for i := range m.Spaces {
 		m.Spaces[i].marshalTo(w)
@@ -274,7 +310,7 @@ func (m *CatchupResp) SignedBody() []byte {
 }
 
 func decodeCatchupResp(r *codec.Reader) (*CatchupResp, error) {
-	m := &CatchupResp{Replica: types.ReplicaID(r.Int32())}
+	m := &CatchupResp{Replica: types.ReplicaID(r.Int32()), Tail: r.Bool()}
 	nSpaces := r.Uvarint()
 	if err := r.Err(); err != nil {
 		return nil, err
@@ -436,6 +472,8 @@ func (r *Replica) emitCheckpoint(ctx proc.Context, spaceID types.ReplicaID, sp *
 	}
 	r.cfg.Costs.ChargeSign(ctx)
 	m.Sig = signBody(r.cfg.Auth, m)
+	// Durability point: the vote must survive a crash before peers tally it.
+	r.walVote(m)
 	r.broadcastReplicas(ctx, m)
 	if st := r.ckpt.Record(engine.CheckpointSpace(spaceID), m.Slot, r.cfg.Self, m.Digest, m); st != nil {
 		r.applyStableCheckpoint(ctx, st)
@@ -459,6 +497,9 @@ func (r *Replica) handleCheckpoint(ctx proc.Context, m *CheckpointMsg) {
 			return
 		}
 	}
+	// Durability point: the validated vote is quorum state a restart must
+	// be able to re-tally.
+	r.walVote(m)
 	if st := r.ckpt.Record(engine.CheckpointSpace(m.Space), m.Slot, m.Replica, m.Digest, m); st != nil {
 		r.applyStableCheckpoint(ctx, st)
 	}
@@ -501,9 +542,14 @@ func (r *Replica) applyStableCheckpoint(ctx proc.Context, st *engine.StableCheck
 			}
 		}
 	}
-	if need {
+	if need && !r.recovering {
+		// During recovery the gap is expected mid-replay; the post-replay
+		// sweep in recoverFromStore issues the (tail) catch-up instead.
 		r.requestCatchup(ctx, st)
 	}
+	// Durability point: a newly stable checkpoint cuts the store snapshot,
+	// letting the store discard the WAL prefix it subsumes (see durable.go).
+	r.persistSnapshot()
 }
 
 // truncateSpace frees log entries the stable low-water mark has made dead
@@ -578,15 +624,26 @@ func (r *Replica) requestCatchup(ctx proc.Context, st *engine.StableCheckpoint) 
 	target := voters[int(r.catchupAttempts)%len(voters)]
 	r.catchupAttempts++
 	r.catchupPending = true
-	req := &CatchupReq{Replica: r.cfg.Self}
+	// Advertise our per-space positions so the responder can serve only the
+	// tail when our executed prefix already covers its truncation point.
+	req := &CatchupReq{Replica: r.cfg.Self, Marks: make([]SpaceMark, r.n)}
+	for i := 0; i < r.n; i++ {
+		sp := r.log.space(types.ReplicaID(i))
+		req.Marks[i] = SpaceMark{ExecMark: sp.execMark, MaxSlot: sp.maxSlot}
+	}
 	r.cfg.Costs.ChargeSign(ctx)
 	req.Sig = signBody(r.cfg.Auth, req)
 	r.send(ctx, types.ReplicaNode(target), req)
-	r.afterTimer(ctx, 2*r.cfg.ResendTimeout, func(ctx proc.Context) {
+	// The retry delay backs off with jitter (the shared helper the client's
+	// request retry uses): a healed partition releasing many laggards at
+	// once must not have them re-request — and re-storm — in lockstep.
+	retry := proc.Backoff(ctx, 2*r.cfg.ResendTimeout, r.catchupRetries)
+	r.afterTimer(ctx, retry, func(ctx proc.Context) {
 		if !r.catchupPending {
 			return // a transfer installed in the meantime
 		}
 		r.catchupPending = false
+		r.catchupRetries++
 		// The request or its response was lost. Re-issue to the next voter
 		// right away: waiting for the next stability signal is not enough —
 		// in a quiesced system it may never come, and the rejoin would
@@ -616,7 +673,40 @@ func (r *Replica) handleCatchupReq(ctx proc.Context, m *CatchupReq) {
 	if !ok || !r.ckpt.Enabled() {
 		return // no state transfer without a snapshotting application
 	}
-	resp := &CatchupResp{Replica: r.cfg.Self, Snapshot: snap.Snapshot()}
+	// Serve a tail when the requester advertised its positions and its
+	// executed prefix covers everything we have truncated in every space:
+	// our retained entries alone then close its gap, and it keeps its own
+	// application state instead of installing ours wholesale.
+	marks := m.Marks
+	if len(marks) != r.n {
+		marks = nil
+	} else {
+		for i := 0; i < r.n; i++ {
+			if marks[i].ExecMark < r.log.space(types.ReplicaID(i)).truncated {
+				marks = nil // its gap dips below our suffix: wholesale transfer
+				break
+			}
+		}
+	}
+	resp := r.buildTransferState(snap, marks)
+	r.cfg.Costs.ChargeSign(ctx)
+	resp.Sig = signBody(r.cfg.Auth, resp)
+	r.send(ctx, types.ReplicaNode(m.Replica), resp)
+	r.stats.CatchupsServed++
+}
+
+// buildTransferState assembles this replica's transferable state. With
+// marks == nil it is the wholesale CATCHUP-RESP payload (also what
+// persistSnapshot cuts the store snapshot at): per-space lifecycle state
+// and proofs, the application snapshot, the executed-timestamp table, and
+// every retained entry. With the requester's marks it is a tail response:
+// no snapshot, no timestamp table, and only the entries above the
+// requester's executed prefix.
+func (r *Replica) buildTransferState(snap types.Snapshotter, marks []SpaceMark) *CatchupResp {
+	resp := &CatchupResp{Replica: r.cfg.Self, Tail: marks != nil}
+	if marks == nil {
+		resp.Snapshot = snap.Snapshot()
+	}
 	for i := 0; i < r.n; i++ {
 		spaceID := types.ReplicaID(i)
 		sp := r.log.space(spaceID)
@@ -642,10 +732,17 @@ func (r *Replica) handleCatchupReq(ctx proc.Context, m *CatchupReq) {
 		}
 		resp.Spaces = append(resp.Spaces, sc)
 		// The retained suffix, in slot order, with each entry's status and
-		// strongest proof.
+		// strongest proof; a tail response starts above the requester's
+		// executed prefix instead of our truncation point.
+		floor := sp.truncated
+		if marks != nil && marks[i].ExecMark > floor {
+			floor = marks[i].ExecMark
+		}
 		slots := make([]uint64, 0, len(sp.entries))
 		for slot := range sp.entries {
-			slots = append(slots, slot)
+			if slot > floor {
+				slots = append(slots, slot)
+			}
 		}
 		sort.Slice(slots, func(a, b int) bool { return slots[a] < slots[b] })
 		for _, slot := range slots {
@@ -671,18 +768,17 @@ func (r *Replica) handleCatchupReq(ctx proc.Context, m *CatchupReq) {
 			resp.Suffix = append(resp.Suffix, h)
 		}
 	}
-	clients := make([]types.ClientID, 0, len(r.executedTs))
-	for c := range r.executedTs {
-		clients = append(clients, c)
+	if marks == nil {
+		clients := make([]types.ClientID, 0, len(r.executedTs))
+		for c := range r.executedTs {
+			clients = append(clients, c)
+		}
+		sort.Slice(clients, func(a, b int) bool { return clients[a] < clients[b] })
+		for _, c := range clients {
+			resp.Clients = append(resp.Clients, ClientMark{Client: c, Ts: r.executedTs[c]})
+		}
 	}
-	sort.Slice(clients, func(a, b int) bool { return clients[a] < clients[b] })
-	for _, c := range clients {
-		resp.Clients = append(resp.Clients, ClientMark{Client: c, Ts: r.executedTs[c]})
-	}
-	r.cfg.Costs.ChargeSign(ctx)
-	resp.Sig = signBody(r.cfg.Auth, resp)
-	r.send(ctx, types.ReplicaNode(m.Replica), resp)
-	r.stats.CatchupsServed++
+	return resp
 }
 
 // handleCatchupResp validates and installs a state transfer.
@@ -702,8 +798,8 @@ func (r *Replica) handleCatchupResp(ctx proc.Context, m *CatchupResp) {
 		}
 	}
 	snap, ok := types.Application(r.cfg.App).(types.Snapshotter)
-	if !ok {
-		return
+	if !ok && !m.Tail {
+		return // a wholesale install needs a snapshot-restoring application
 	}
 	// Verify the checkpoint proof: 2f+1 valid, distinct signatures per
 	// claimed stable mark, and internal consistency of the per-space state.
@@ -728,6 +824,9 @@ func (r *Replica) handleCatchupResp(ctx proc.Context, m *CatchupResp) {
 				return
 			}
 		}
+		if m.Tail {
+			continue // a tail merges incrementally; no wholesale soundness bar
+		}
 		sp := r.log.space(sc.Space)
 		// Installing replaces this replica's state wholesale, so it is only
 		// sound when the responder is at least as far along everywhere.
@@ -738,7 +837,7 @@ func (r *Replica) handleCatchupResp(ctx proc.Context, m *CatchupResp) {
 			ahead = true
 		}
 	}
-	if !ahead {
+	if !m.Tail && !ahead {
 		r.catchupPending = false
 		return // nothing to gain
 	}
@@ -757,7 +856,57 @@ func (r *Replica) handleCatchupResp(ctx proc.Context, m *CatchupResp) {
 			return
 		}
 	}
+	if m.Tail {
+		r.installTail(ctx, m)
+		return
+	}
 	r.installCatchup(ctx, m, snap)
+}
+
+// installTail merges a tail response into the live state: adopt the
+// proof-backed low-water marks, install (or deterministically merge) each
+// suffix entry through the same adoption path recovery replay uses, and
+// let the ordinary execution machinery run the recovered tail — the
+// executed prefix below it is never transferred, which is the point.
+func (r *Replica) installTail(ctx proc.Context, m *CatchupResp) {
+	r.catchupPending = false
+	r.catchupRetries = 0
+	for i := range m.Spaces {
+		sc := &m.Spaces[i]
+		sp := r.log.space(sc.Space)
+		if sc.LowWater > sp.lowWater {
+			sp.lowWater = sc.LowWater
+		}
+		if sc.Owner > r.owners[sc.Space] {
+			r.owners[sc.Space] = sc.Owner
+		}
+	}
+	for i := range m.Suffix {
+		r.adoptHist(ctx, &m.Suffix[i], false)
+	}
+	// Never reuse a slot of our own space the tail says is taken.
+	if own := r.log.space(r.cfg.Self); own.maxSlot+1 > r.nextSlot {
+		r.nextSlot = own.maxSlot + 1
+	}
+	// Proposals buffered out of order may have become contiguous with the
+	// merged tail.
+	for i := 0; i < r.n; i++ {
+		sp := r.log.space(types.ReplicaID(i))
+		if sp.frozen {
+			continue
+		}
+		for {
+			nxt, ok := sp.pending[sp.maxSlot+1]
+			if !ok {
+				break
+			}
+			delete(sp.pending, sp.maxSlot+1)
+			r.acceptSpecOrder(ctx, nxt, nil)
+		}
+	}
+	r.stats.CatchupsInstalled++
+	r.stats.TailsInstalled++
+	r.tryExecute(ctx)
 }
 
 // checkpointVotes selects a proof's votes for one space.
@@ -774,9 +923,21 @@ func checkpointVotes(proof []*CheckpointMsg, space types.ReplicaID) []codec.Mess
 // installCatchup replaces this replica's application and protocol state
 // with a validated state transfer and resumes normal operation from it.
 func (r *Replica) installCatchup(ctx proc.Context, m *CatchupResp, snap types.Snapshotter) {
+	if !r.installTransfer(ctx, m, snap) {
+		return
+	}
+	r.catchupPending = false
+	r.catchupRetries = 0
+	r.stats.CatchupsInstalled++
+}
+
+// installTransfer is the wholesale state-install shared by the network
+// catch-up path and crash recovery (durable.go replays the persisted
+// snapshot through it). It reports whether the transfer was applied.
+func (r *Replica) installTransfer(ctx proc.Context, m *CatchupResp, snap types.Snapshotter) bool {
 	if err := snap.Restore(m.Snapshot); err != nil {
 		r.stats.DroppedInvalid++
-		return
+		return false
 	}
 	// The restored final state supersedes any speculative overlay.
 	r.cfg.App.Rollback()
@@ -905,9 +1066,6 @@ func (r *Replica) installCatchup(ctx proc.Context, m *CatchupResp, snap types.Sn
 		r.nextSlot = own.maxSlot + 1
 	}
 
-	r.catchupPending = false
-	r.stats.CatchupsInstalled++
-
 	// Re-admit buffered proposals beyond the transferred head and drain
 	// whatever is now contiguous.
 	for spaceID, pend := range oldPending {
@@ -939,6 +1097,7 @@ func (r *Replica) installCatchup(ctx proc.Context, m *CatchupResp, snap types.Sn
 		}
 	}
 	r.tryExecute(ctx)
+	return true
 }
 
 // handleSOFetch serves a client's fetch-on-conflict request with the full

@@ -710,22 +710,10 @@ func (c *Client) retry(ctx proc.Context, ts uint64, p *pendingReq) {
 	ctx.Send(types.ReplicaNode(rotated), direct)
 
 	// Capped exponential backoff with deterministic jitter on subsequent
-	// retries. The jitter desynchronizes clients whose timers a healed
-	// partition releases simultaneously — without it every timed-out
-	// client re-broadcasts in the same instant, and the retry storm
-	// repeats in lockstep each round. The first retry timer (armed at
-	// Submit) is un-jittered, so default behavior up to and including the
-	// first retry is byte-identical.
-	shift := p.retries
-	if shift > 6 {
-		shift = 6
-	}
-	backoff := c.cfg.RetryTimeout << uint(shift)
-	if half := int64(backoff) / 2; half > 0 {
-		// Uniform in [-backoff/4, +backoff/4), from the deterministic RNG.
-		backoff += time.Duration(ctx.Rand().Int63n(half)) - backoff/4
-	}
-	ctx.SetTimer(proc.TimerID(ts*4+timerKindRetry), backoff)
+	// retries (proc.Backoff). The first retry timer (armed at Submit) is
+	// un-jittered, so default behavior up to and including the first
+	// retry is byte-identical.
+	ctx.SetTimer(proc.TimerID(ts*4+timerKindRetry), proc.Backoff(ctx, c.cfg.RetryTimeout, p.retries))
 	ctx.SetTimer(proc.TimerID(ts*4+timerKindSlow), c.cfg.SlowPathTimeout)
 }
 

@@ -8,6 +8,7 @@ import (
 	"ezbft/internal/auth"
 	"ezbft/internal/engine"
 	"ezbft/internal/proc"
+	"ezbft/internal/store"
 	"ezbft/internal/types"
 )
 
@@ -80,6 +81,13 @@ type ReplicaConfig struct {
 	// path; every observable (results, execution log, reply order,
 	// simulated timings) is byte-identical at any setting.
 	ExecWorkers int
+	// Store, when non-nil, is the replica's durability layer (see
+	// internal/store and durable.go): ordering-critical state is
+	// write-ahead-logged through it before the replica acts, stable
+	// checkpoints cut its snapshot, and a restart rebuilds the replica
+	// from it. Nil (the default) keeps the replica memoryless across
+	// restarts — byte-identical to the pre-durability behaviour.
+	Store store.Store
 	// Byzantine, when non-nil, makes this replica misbehave (tests and
 	// fault-injection experiments only).
 	Byzantine *ByzantineBehavior

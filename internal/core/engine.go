@@ -35,6 +35,7 @@ func (ezEngine) NewReplica(o engine.ReplicaOptions) (proc.Process, error) {
 		CheckpointInterval: o.CheckpointInterval,
 		LogRetention:       o.LogRetention,
 		ExecWorkers:        o.ExecWorkers,
+		Store:              o.Store,
 	}
 	if o.LatencyBound > 0 {
 		cfg.ResendTimeout = 2 * o.LatencyBound

@@ -292,6 +292,9 @@ func (r *Replica) recordFinal(e *entry, i int, cmd types.Command, res types.Resu
 func (r *Replica) finishEntry(ctx proc.Context, e *entry) {
 	e.status = StatusExecuted
 	delete(r.pendingExec, e.inst)
+	// Durability point: the execution (and its executed-timestamp
+	// increments) must survive a crash before replies reveal it.
+	r.walExec(e)
 	r.advanceExecMark(ctx, e.inst.Space)
 	if len(e.commitReplyTo) > 0 {
 		// Deterministic send order keeps simulations replayable. The index

@@ -69,9 +69,21 @@ type Replica struct {
 	// commands are skipped at final execution.
 	baseTs map[types.ClientID]uint64
 	// catchupPending guards against concurrent state-transfer requests;
-	// catchupAttempts rotates the request target across checkpoint voters.
+	// catchupAttempts rotates the request target across checkpoint voters;
+	// catchupRetries counts timer-driven re-issues of the current episode
+	// (reset on install) and drives the retry backoff.
 	catchupPending  bool
 	catchupAttempts uint64
+	catchupRetries  int
+
+	// Durability state (see durable.go). recovering is set while Init
+	// rebuilds the replica from its store: it suppresses outbound messages,
+	// WAL re-appends, and snapshot cuts. walDirty marks appends awaiting
+	// the handler-end group sync; the first store error is retained in
+	// walErr and permanently degrades the replica to non-durable.
+	recovering bool
+	walDirty   bool
+	walErr     error
 
 	// resendWait tracks RESENDREQs we forwarded and are waiting on
 	// (paper step 4.3): cmdKey → armed timer.
@@ -153,7 +165,13 @@ type ReplicaStats struct {
 	TruncatedEntries  uint64 // log entries freed by truncation
 	LowWaterMark      uint64 // smallest stable mark across spaces with one
 	CatchupsServed    uint64 // state transfers served to lagging peers
-	CatchupsInstalled uint64 // state transfers installed locally
+	CatchupsInstalled uint64 // state transfers installed locally (incl. tails)
+	TailsInstalled    uint64 // of those, incremental tail merges (no snapshot)
+
+	// Durability observables (nonzero only with a configured store).
+	WALRecords uint64 // records appended to the write-ahead log
+	Recoveries uint64 // restarts that rebuilt state from the store
+	WALFailed  bool   // a store error degraded the replica to non-durable
 
 	// Batch-size observables (adaptive sizing): batches this leader
 	// flushed, requests across them (BatchedRequests/Batches = mean batch),
@@ -234,14 +252,21 @@ func (r *Replica) Stats() ReplicaStats {
 	cs := r.ckpt.Stats()
 	s.Checkpoints = cs.Checkpoints
 	s.LowWaterMark = cs.LowWaterMark
+	s.WALFailed = r.walErr != nil
 	return s
 }
 
 // BatcherStats returns the leader-side batch-size observables.
 func (r *Replica) BatcherStats() engine.BatcherStats { return r.batcher.Stats() }
 
-// Init implements proc.Process.
-func (r *Replica) Init(proc.Context) {}
+// Init implements proc.Process. A replica whose store holds state from a
+// previous incarnation rebuilds itself from it before any delivery (see
+// durable.go).
+func (r *Replica) Init(ctx proc.Context) {
+	if r.cfg.Store != nil && !r.cfg.Store.Empty() {
+		r.recoverFromStore(ctx)
+	}
+}
 
 // OnTimer implements proc.Process.
 func (r *Replica) OnTimer(ctx proc.Context, id proc.TimerID) {
@@ -249,6 +274,7 @@ func (r *Replica) OnTimer(ctx proc.Context, id proc.TimerID) {
 		delete(r.timerAct, id)
 		fn(ctx)
 	}
+	r.walSync()
 }
 
 // afterTimer arms a one-shot timer bound to fn.
@@ -306,10 +332,16 @@ func (r *Replica) Receive(ctx proc.Context, from types.NodeID, msg codec.Message
 	default:
 		r.stats.DroppedInvalid++
 	}
+	r.walSync()
 }
 
-// send transmits a message unless the replica is byzantine-muted.
+// send transmits a message unless the replica is byzantine-muted or
+// rebuilding itself from its durable store (recovery re-runs handlers
+// whose messages already went out in a previous incarnation).
 func (r *Replica) send(ctx proc.Context, to types.NodeID, msg codec.Message) {
+	if r.recovering {
+		return
+	}
 	if r.cfg.Byzantine != nil && r.cfg.Byzantine.Mute {
 		return
 	}
@@ -322,6 +354,9 @@ func (r *Replica) send(ctx proc.Context, to types.NodeID, msg codec.Message) {
 // broadcastReplicas sends to every other replica — one encode for all
 // destinations on runtimes with an encode-once broadcast transport.
 func (r *Replica) broadcastReplicas(ctx proc.Context, msg codec.Message) {
+	if r.recovering {
+		return
+	}
 	if r.cfg.Byzantine != nil && r.cfg.Byzantine.Mute {
 		return
 	}
@@ -476,6 +511,9 @@ func (r *Replica) leadBatch(ctx proc.Context, reqs []*Request, spaceID types.Rep
 		r.instByCmd[cmdKey{m.Cmd.Client, m.Cmd.Timestamp}] = inst
 	}
 	r.stats.Ordered += uint64(len(reqs))
+	// Durability point: the proposal must survive a crash before any peer
+	// or client can act on it.
+	r.walHist(walOrderKind, e)
 
 	if byz := r.cfg.Byzantine; byz != nil && byz.EquivocateInstances {
 		r.equivocate(ctx, so)
@@ -748,6 +786,9 @@ func (r *Replica) acceptSpecOrder(ctx proc.Context, m *SpecOrder, digests []type
 			r.highestTs[cmd.Client] = cmd.Timestamp
 		}
 	}
+	// Durability point: the acceptance must survive a crash before the
+	// SPECREPLY vouches for it to the client.
+	r.walHist(walOrderKind, e)
 	r.specExecuteAndReply(ctx, e, m)
 	for i := 0; i < m.BatchSize(); i++ {
 		cmd := m.ReqAt(i).Cmd
@@ -1085,6 +1126,9 @@ func (r *Replica) commitEntry(ctx proc.Context, inst types.InstanceID, deps type
 	for i := 0; i < e.nCmds(); i++ {
 		r.deps.update(inst, e.cmdAt(i), seq)
 	}
+	// Durability point: the final (possibly merged) decision must survive a
+	// crash before execution acts on it.
+	r.walHist(walCommitKind, e)
 	r.pendingExec[inst] = e
 	return e
 }

@@ -25,6 +25,7 @@ import (
 	"ezbft/internal/auth"
 	"ezbft/internal/codec"
 	"ezbft/internal/proc"
+	"ezbft/internal/store"
 	"ezbft/internal/types"
 	"ezbft/internal/workload"
 )
@@ -94,6 +95,14 @@ type ReplicaOptions struct {
 	// every observable is byte-identical at any setting. Protocols without
 	// a parallel executor ignore it.
 	ExecWorkers int
+	// Store, when non-nil, is the replica's durability layer (see
+	// internal/store): ordering-critical protocol state is
+	// write-ahead-logged through it before the replica acts on it, stable
+	// checkpoints cut durable snapshots, and a replica rebuilt with the
+	// same store recovers its state on Init instead of starting empty.
+	// Nil (the default) keeps replicas memoryless across restarts —
+	// byte-identical to the pre-durability behaviour.
+	Store store.Store
 	// Mute makes the replica fail-silent (fault-injection runs).
 	Mute bool
 	// Behavior, when non-nil, makes the replica Byzantine: the hook

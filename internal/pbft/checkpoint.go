@@ -212,8 +212,17 @@ func (r *Replica) requestCatchup(ctx proc.Context, st *engine.StableCheckpoint) 
 	r.cfg.Costs.ChargeSign(ctx)
 	req.Sig = r.cfg.Auth.Sign(req.SignedBody())
 	r.send(ctx, types.ReplicaNode(target), req)
-	r.afterTimer(ctx, 2*r.cfg.ForwardTimeout, func(proc.Context) {
+	// Re-issue on silence with jittered exponential backoff (the shared
+	// client-retry discipline, proc.Backoff) at the next voter in rotation.
+	r.afterTimer(ctx, proc.Backoff(ctx, 2*r.cfg.ForwardTimeout, r.catchupRetries), func(ctx proc.Context) {
+		if !r.catchupPending {
+			return
+		}
 		r.catchupPending = false
+		r.catchupRetries++
+		if st := r.ckpt.Stable(0); st != nil && r.maxExec < st.Mark {
+			r.requestCatchup(ctx, st)
+		}
 	})
 }
 
@@ -366,7 +375,13 @@ func (r *Replica) handleCatchupResp(ctx proc.Context, m *CatchupResp) {
 	}
 	r.stableCkpt = m.Seq
 	r.catchupPending = false
+	r.catchupRetries = 0
 	r.stats.CatchupsInstalled++
 	// Anything newly contiguous (buffered slots above the transfer) executes.
 	r.executeReady(ctx)
+	// The installed state supersedes the WAL below it.
+	if _, ok := r.snaps[m.Seq]; !ok {
+		r.snaps[m.Seq] = m.Snapshot
+	}
+	r.persistSnapshot()
 }

@@ -1,0 +1,398 @@
+package pbft
+
+import (
+	"sort"
+
+	"ezbft/internal/codec"
+	"ezbft/internal/engine"
+	"ezbft/internal/proc"
+	"ezbft/internal/store"
+	"ezbft/internal/types"
+)
+
+// Durability integration (PBFT mirror of internal/core/durable.go): when
+// ReplicaConfig.Store is set, the replica write-ahead-logs every
+// ordering-critical step before acting on it and can rebuild itself from
+// the store after a crash.
+//
+// What gets logged:
+//
+//   - walPreKind — an accepted PRE-PREPARE (sequence number, view, and the
+//     full request batch), appended in acceptPrePrepare before the backup
+//     broadcasts its PREPARE. A restarted replica must remember what it
+//     prepared in a view or it could countersign an equivocating primary.
+//   - walCommitKind — a slot reaching committed-local (sequence number and
+//     view), appended in checkCommitted before execution. Execution itself
+//     is not logged: PBFT executes sequentially, so re-executing committed
+//     slots in order during replay deterministically reproduces results
+//     and the reply cache.
+//   - walVoteKind — every CHECKPOINT vote this replica signs or accepts,
+//     so the stable low-water mark is re-established on restart.
+//   - walViewKind — the view adopted by a NEW-VIEW, so a restarted backup
+//     does not regress to an old primary.
+//
+// The snapshot cut: each newly stable checkpoint persists a self-describing
+// snapshot — adopted view, the stable mark with its agreed digest and 2f+1
+// vote proof, the application snapshot captured at exactly that mark, and
+// every retained slot above the mark with its agreement flags. Saving it
+// truncates all WAL segments below it (bounded disk).
+//
+// Recovery (Init): restore the snapshot, re-seed the checkpoint tracker
+// from the persisted proof, replay the WAL in LSN order (later records win;
+// duplicate replay after a crash-during-recovery is idempotent), re-execute
+// the committed contiguous prefix with sends suppressed to rebuild the
+// reply cache and application state, and finally request a checkpoint
+// state transfer if the stable mark still exceeds what was recovered.
+//
+// A store error permanently disables logging for the process (fail-open:
+// availability over durability) and is surfaced as ReplicaStats.WALFailed.
+const (
+	walPreKind uint8 = iota + 1
+	walCommitKind
+	walVoteKind
+	walViewKind
+)
+
+// walAppend appends one record; the write is made durable by the next
+// walSync (group commit at the end of the current handler).
+func (r *Replica) walAppend(kind uint8, data []byte) {
+	if r.cfg.Store == nil || r.recovering || r.walErr != nil {
+		return
+	}
+	if _, err := r.cfg.Store.Append(kind, data); err != nil {
+		r.walErr = err
+		return
+	}
+	r.walDirty = true
+	r.stats.WALRecords++
+}
+
+// walSync is the group-commit point: one fsync covers every record the
+// current message or timer appended.
+func (r *Replica) walSync() {
+	if r.cfg.Store == nil || !r.walDirty || r.walErr != nil {
+		return
+	}
+	if err := r.cfg.Store.Sync(); err != nil {
+		r.walErr = err
+		return
+	}
+	r.walDirty = false
+}
+
+// walPre logs an accepted proposal: seq, view, and the ordered batch.
+func (r *Replica) walPre(s *slotState) {
+	if r.cfg.Store == nil || r.recovering || r.walErr != nil {
+		return
+	}
+	w := codec.GetWriter()
+	w.Uvarint(s.seq)
+	w.Uvarint(s.view)
+	w.Uvarint(uint64(len(s.reqs)))
+	for i := range s.reqs {
+		s.reqs[i].MarshalTo(w)
+	}
+	r.walAppend(walPreKind, w.Bytes())
+	codec.PutWriter(w)
+}
+
+// walCommit logs a slot reaching committed-local.
+func (r *Replica) walCommit(s *slotState) {
+	if r.cfg.Store == nil || r.recovering || r.walErr != nil {
+		return
+	}
+	w := codec.GetWriter()
+	w.Uvarint(s.seq)
+	w.Uvarint(s.view)
+	r.walAppend(walCommitKind, w.Bytes())
+	codec.PutWriter(w)
+}
+
+// walVote logs one checkpoint vote (self-signed wire message, verbatim).
+func (r *Replica) walVote(m *Checkpoint) {
+	if r.cfg.Store == nil || r.recovering || r.walErr != nil {
+		return
+	}
+	r.walAppend(walVoteKind, codec.Marshal(m))
+}
+
+// walView logs the adopted view.
+func (r *Replica) walView(view uint64) {
+	if r.cfg.Store == nil || r.recovering || r.walErr != nil {
+		return
+	}
+	w := codec.GetWriter()
+	w.Uvarint(view)
+	r.walAppend(walViewKind, w.Bytes())
+	codec.PutWriter(w)
+}
+
+// persistSnapshot cuts a durable snapshot at the current stable checkpoint
+// and truncates the WAL below it. Suppressed during recovery: cutting a
+// snapshot over partially rebuilt state would delete the WAL it is being
+// rebuilt from.
+func (r *Replica) persistSnapshot() {
+	if r.cfg.Store == nil || r.recovering || r.walErr != nil {
+		return
+	}
+	st := r.ckpt.Stable(0)
+	if st == nil {
+		return
+	}
+	appSnap, ok := r.snaps[st.Mark]
+	if !ok {
+		return // non-Snapshotter application: WAL-only durability
+	}
+	w := codec.GetWriter()
+	w.Uvarint(r.view)
+	w.Uvarint(st.Mark)
+	w.Bytes32(st.Digest)
+	w.Blob(appSnap)
+	votes := make([]*Checkpoint, 0, len(st.Votes))
+	for _, v := range st.Votes {
+		if ck, ok := v.(*Checkpoint); ok {
+			votes = append(votes, ck)
+		}
+	}
+	w.Uvarint(uint64(len(votes)))
+	for _, ck := range votes {
+		ck.MarshalTo(w)
+	}
+	// Every retained slot above the mark, with its agreement flags: the
+	// snapshot replaces the WAL records below the cut, so it must carry
+	// everything they proved.
+	seqs := make([]uint64, 0, len(r.slots))
+	for seq, s := range r.slots {
+		if seq > st.Mark && s.havePre {
+			seqs = append(seqs, seq)
+		}
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	w.Uvarint(uint64(len(seqs)))
+	for _, seq := range seqs {
+		s := r.slots[seq]
+		w.Uvarint(s.seq)
+		w.Uvarint(s.view)
+		var flags uint8
+		if s.prepared {
+			flags |= 1
+		}
+		if s.committed || s.executed {
+			flags |= 2
+		}
+		w.Uint8(flags)
+		w.Uvarint(uint64(len(s.reqs)))
+		for i := range s.reqs {
+			s.reqs[i].MarshalTo(w)
+		}
+	}
+	data := append([]byte(nil), w.Bytes()...)
+	codec.PutWriter(w)
+	if err := r.cfg.Store.SaveSnapshot(data); err != nil {
+		r.walErr = err
+		return
+	}
+	r.walDirty = false
+}
+
+// recoverFromStore rebuilds the replica from its durable state. Runs from
+// Init with r.recovering set, which suppresses every outbound message, WAL
+// re-append, and snapshot cut.
+func (r *Replica) recoverFromStore(ctx proc.Context) {
+	r.recovering = true
+	if data, _, err := r.cfg.Store.LoadSnapshot(); err == nil && len(data) > 0 {
+		r.restoreSnapshot(data)
+	}
+	_ = r.cfg.Store.Replay(func(rec store.Record) error {
+		r.replayRecord(ctx, rec)
+		return nil
+	})
+	// Re-execute the committed contiguous prefix above the snapshot cut:
+	// deterministic sequential execution rebuilds the application state and
+	// the reply cache (replies are re-signed so cached retransmit answers
+	// stay servable); sends are suppressed.
+	r.executeReady(ctx)
+	if r.nextSeq <= r.maxExec {
+		r.nextSeq = r.maxExec + 1
+	}
+	for seq := range r.slots {
+		if seq >= r.nextSeq {
+			r.nextSeq = seq + 1
+		}
+	}
+	r.recovering = false
+	r.stats.Recoveries++
+	// Anything between our recovered execution head and the cluster's
+	// stable mark is unrecoverable locally (peers do not retransmit old
+	// PRE-PREPAREs); fetch it through the ordinary state transfer.
+	if st := r.ckpt.Stable(0); st != nil && st.Mark > r.maxExec {
+		r.requestCatchup(ctx, st)
+	}
+}
+
+// restoreSnapshot installs a persisted snapshot: view, stable mark and
+// proof, application state, and the retained slots above the mark.
+func (r *Replica) restoreSnapshot(data []byte) {
+	rd := codec.NewReader(data)
+	view := rd.Uvarint()
+	mark := rd.Uvarint()
+	digest := rd.Bytes32()
+	appSnap := rd.Blob()
+	nVotes := rd.Uvarint()
+	if rd.Err() != nil || nVotes > 256 {
+		return
+	}
+	votes := make([]*Checkpoint, 0, nVotes)
+	for i := uint64(0); i < nVotes; i++ {
+		ck, err := decodeCheckpoint(rd)
+		if err != nil {
+			return
+		}
+		votes = append(votes, ck)
+	}
+	type snapSlot struct {
+		seq, view uint64
+		flags     uint8
+		reqs      []Request
+	}
+	nSlots := rd.Uvarint()
+	if rd.Err() != nil || nSlots > 1<<20 {
+		return
+	}
+	slots := make([]snapSlot, 0, nSlots)
+	for i := uint64(0); i < nSlots; i++ {
+		ss := snapSlot{seq: rd.Uvarint(), view: rd.Uvarint(), flags: rd.Uint8()}
+		nReqs := rd.Uvarint()
+		if rd.Err() != nil || nReqs == 0 || nReqs > maxBatch {
+			return
+		}
+		for j := uint64(0); j < nReqs; j++ {
+			req, err := decodeRequest(rd)
+			if err != nil {
+				return
+			}
+			ss.reqs = append(ss.reqs, *req)
+		}
+		slots = append(slots, ss)
+	}
+	if rd.Err() != nil {
+		return
+	}
+	// Decoded clean — install. Own bytes: the digest is recorded for the
+	// proof but the snapshot is not re-verified against it.
+	if snap, ok := r.cfg.App.(types.Snapshotter); ok && len(appSnap) > 0 {
+		if err := snap.Restore(appSnap); err != nil {
+			return
+		}
+	}
+	r.view = view
+	r.maxExec = mark
+	r.stableCkpt = mark
+	_ = digest
+	for _, ck := range votes {
+		r.ckpt.Record(0, ck.Seq, ck.Replica, ck.Digest, ck)
+	}
+	r.snaps[mark] = appSnap
+	for _, ss := range slots {
+		r.installRecoveredSlot(ss.seq, ss.view, ss.reqs, ss.flags&1 != 0, ss.flags&2 != 0)
+	}
+}
+
+// installRecoveredSlot rebuilds one slot (and its per-request bookkeeping)
+// from durable state. Committed slots above the execution head re-execute
+// through executeReady at the end of recovery.
+func (r *Replica) installRecoveredSlot(seq, view uint64, reqs []Request, prepared, committed bool) {
+	if seq <= r.maxExec {
+		return // covered by the restored application snapshot
+	}
+	s := &slotState{
+		seq:      seq,
+		view:     view,
+		havePre:  true,
+		prepares: make(map[types.ReplicaID]bool, r.n),
+		commits:  make(map[types.ReplicaID]bool, r.n),
+		reqs:     reqs,
+	}
+	s.digests = make([]types.Digest, len(reqs))
+	for i := range reqs {
+		s.digests[i] = reqs[i].Cmd.Digest()
+	}
+	s.cmdDigest = engine.BatchDigest(s.digests)
+	s.prepared = prepared
+	s.committed = committed
+	if committed {
+		s.prepared = true
+	}
+	r.slots[seq] = s
+	for i := range reqs {
+		cmd := reqs[i].Cmd
+		key := cmdKey{cmd.Client, cmd.Timestamp}
+		r.byCmd[key] = seq
+		if cmd.Timestamp > r.lastTs[cmd.Client] {
+			r.lastTs[cmd.Client] = cmd.Timestamp
+		}
+	}
+}
+
+// replayRecord applies one WAL record. Records replay in LSN order, so a
+// later record for the same slot supersedes an earlier one (the view-change
+// re-proposal path); duplicate replay is idempotent.
+func (r *Replica) replayRecord(ctx proc.Context, rec store.Record) {
+	rd := codec.NewReader(rec.Data)
+	switch rec.Kind {
+	case walPreKind:
+		seq := rd.Uvarint()
+		view := rd.Uvarint()
+		nReqs := rd.Uvarint()
+		if rd.Err() != nil || nReqs == 0 || nReqs > maxBatch {
+			return
+		}
+		reqs := make([]Request, 0, nReqs)
+		for i := uint64(0); i < nReqs; i++ {
+			req, err := decodeRequest(rd)
+			if err != nil {
+				return
+			}
+			reqs = append(reqs, *req)
+		}
+		if s, ok := r.slots[seq]; ok && s.view > view {
+			return // a later view superseded this proposal
+		}
+		r.installRecoveredSlot(seq, view, reqs, false, false)
+	case walCommitKind:
+		seq := rd.Uvarint()
+		view := rd.Uvarint()
+		if rd.Err() != nil {
+			return
+		}
+		s, ok := r.slots[seq]
+		if !ok || s.view != view {
+			return // slot truncated below the cut, or re-proposed since
+		}
+		s.prepared = true
+		s.committed = true
+	case walVoteKind:
+		msg, err := codec.Unmarshal(rec.Data)
+		if err != nil {
+			return
+		}
+		if ck, ok := msg.(*Checkpoint); ok {
+			// Re-tally through the normal path: a re-established stable mark
+			// truncates below it; catch-up requests are suppressed until
+			// recovery ends.
+			r.recordCheckpoint(ctx, ck)
+		}
+	case walViewKind:
+		if v := rd.Uvarint(); rd.Err() == nil && v > r.view {
+			r.view = v
+			// Mirror applyNewView's backup reset: uncommitted slots from
+			// older views are the new primary's to re-drive. Committed slots
+			// are final and stay.
+			for seq, s := range r.slots {
+				if s.view < v && !s.committed {
+					delete(r.slots, seq)
+				}
+			}
+		}
+	}
+}

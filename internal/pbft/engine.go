@@ -28,6 +28,7 @@ func (pbftEngine) NewReplica(o engine.ReplicaOptions) (proc.Process, error) {
 		BatchSize:          o.BatchSize,
 		BatchDelay:         o.BatchDelay,
 		BatchAdaptive:      o.BatchAdaptive,
+		Store:              o.Store,
 		Mute:               o.Mute,
 		Behavior:           o.Behavior,
 	}

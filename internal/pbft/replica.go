@@ -9,6 +9,7 @@ import (
 	"ezbft/internal/codec"
 	"ezbft/internal/engine"
 	"ezbft/internal/proc"
+	"ezbft/internal/store"
 	"ezbft/internal/types"
 )
 
@@ -51,6 +52,11 @@ type ReplicaConfig struct {
 	// BatchAdaptive enables adaptive batch sizing (see
 	// engine.Batcher.SetAdaptive).
 	BatchAdaptive bool
+	// Store, when non-nil, is the replica's durability layer (see
+	// internal/store and durable.go). Nil (the default) keeps the replica
+	// memoryless across restarts — byte-identical to the pre-durability
+	// behaviour.
+	Store store.Store
 	// Mute makes the replica silent (fault injection).
 	Mute bool
 	// Behavior, when non-nil, intercepts every message this replica sends
@@ -113,6 +119,15 @@ type Replica struct {
 	lastTs          map[types.ClientID]uint64
 	catchupPending  bool
 	catchupAttempts uint64
+	catchupRetries  int
+
+	// Durability (see durable.go): recovering suppresses sends and WAL
+	// writes while the replica rebuilds from its store; walDirty marks
+	// appended-but-unsynced records (group commit); the first store error
+	// latches walErr and disables logging for the process.
+	recovering bool
+	walDirty   bool
+	walErr     error
 
 	// view change state
 	vcMsgs map[uint64]map[types.ReplicaID]*ViewChange
@@ -144,6 +159,11 @@ type ReplicaStats struct {
 	LowWaterMark      uint64 // latest stable checkpoint sequence number
 	CatchupsServed    uint64 // state transfers served to lagging peers
 	CatchupsInstalled uint64 // state transfers installed locally
+
+	// Durability observables (see durable.go).
+	WALRecords uint64 // records appended to the write-ahead log
+	Recoveries uint64 // restarts recovered from the durable store
+	WALFailed  bool   // the store errored; logging is disabled
 }
 
 var _ proc.Process = (*Replica)(nil)
@@ -203,6 +223,7 @@ func (r *Replica) Stats() ReplicaStats {
 	cs := r.ckpt.Stats()
 	s.Checkpoints = cs.Checkpoints
 	s.LowWaterMark = cs.LowWaterMark
+	s.WALFailed = r.walErr != nil
 	return s
 }
 
@@ -225,8 +246,13 @@ func (r *Replica) MaxExecuted() uint64 { return r.maxExec }
 // StableCheckpoint returns the latest stable checkpoint sequence number.
 func (r *Replica) StableCheckpoint() uint64 { return r.stableCkpt }
 
-// Init implements proc.Process.
-func (r *Replica) Init(proc.Context) {}
+// Init implements proc.Process. A replica handed a non-empty store
+// rebuilds itself from it (see durable.go).
+func (r *Replica) Init(ctx proc.Context) {
+	if r.cfg.Store != nil && !r.cfg.Store.Empty() {
+		r.recoverFromStore(ctx)
+	}
+}
 
 // OnTimer implements proc.Process.
 func (r *Replica) OnTimer(ctx proc.Context, id proc.TimerID) {
@@ -234,6 +260,7 @@ func (r *Replica) OnTimer(ctx proc.Context, id proc.TimerID) {
 		delete(r.timerAct, id)
 		fn(ctx)
 	}
+	r.walSync()
 }
 
 func (r *Replica) afterTimer(ctx proc.Context, d time.Duration, fn func(ctx proc.Context)) proc.TimerID {
@@ -256,7 +283,7 @@ func (r *Replica) DisarmTimer(ctx proc.Context, id proc.TimerID) {
 }
 
 func (r *Replica) send(ctx proc.Context, to types.NodeID, msg codec.Message) {
-	if r.cfg.Mute {
+	if r.cfg.Mute || r.recovering {
 		return
 	}
 	if r.cfg.Behavior != nil && !r.cfg.Behavior.Outbound(ctx, to, msg) {
@@ -266,7 +293,7 @@ func (r *Replica) send(ctx proc.Context, to types.NodeID, msg codec.Message) {
 }
 
 func (r *Replica) broadcastReplicas(ctx proc.Context, msg codec.Message) {
-	if r.cfg.Mute {
+	if r.cfg.Mute || r.recovering {
 		return
 	}
 	if r.cfg.Behavior != nil {
@@ -310,6 +337,7 @@ func (r *Replica) Receive(ctx proc.Context, from types.NodeID, msg codec.Message
 	default:
 		r.stats.DroppedInvalid++
 	}
+	r.walSync()
 }
 
 func (r *Replica) handleRequest(ctx proc.Context, m *Request) {
@@ -393,8 +421,10 @@ func (r *Replica) flushBatch(ctx proc.Context, reqs []*Request) {
 	r.cfg.Costs.ChargeSign(ctx)
 	pp.Sig = r.cfg.Auth.Sign(pp.SignedBody())
 	r.stats.PrePrepares++
-	r.broadcastReplicas(ctx, pp)
+	// Accept (and WAL, see durable.go) before the broadcast: the primary
+	// must not propose an assignment it could forget across a crash.
 	r.acceptPrePrepare(ctx, pp, digests)
+	r.broadcastReplicas(ctx, pp)
 }
 
 func (r *Replica) slot(seq uint64) *slotState {
@@ -487,6 +517,9 @@ func (r *Replica) acceptPrePrepare(ctx proc.Context, m *PrePrepare, digests []ty
 			delete(r.timerAct, id)
 		}
 	}
+	// A restarted replica must remember what it accepted in this view
+	// before its PREPARE leaves the building.
+	r.walPre(s)
 
 	// The primary's PRE-PREPARE counts as its prepare; backups broadcast
 	// their own PREPARE.
@@ -564,6 +597,7 @@ func (r *Replica) checkCommitted(ctx proc.Context, s *slotState) {
 	}
 	s.committed = true
 	r.stats.Committed++
+	r.walCommit(s)
 	r.executeReady(ctx)
 }
 
@@ -622,6 +656,7 @@ func (r *Replica) emitCheckpoint(ctx proc.Context, seq uint64) {
 	ck := &Checkpoint{Seq: seq, Digest: d, Replica: r.cfg.Self}
 	r.cfg.Costs.ChargeSign(ctx)
 	ck.Sig = r.cfg.Auth.Sign(ck.SignedBody())
+	r.walVote(ck)
 	r.broadcastReplicas(ctx, ck)
 	r.recordCheckpoint(ctx, ck)
 }
@@ -640,6 +675,7 @@ func (r *Replica) handleCheckpoint(ctx proc.Context, m *Checkpoint) {
 			return
 		}
 	}
+	r.walVote(m)
 	r.recordCheckpoint(ctx, m)
 }
 
@@ -660,9 +696,12 @@ func (r *Replica) recordCheckpoint(ctx proc.Context, m *Checkpoint) {
 	if ck, ok := r.cfg.App.(types.Checkpointer); ok {
 		ck.Checkpoint(st.Mark, st.Digest)
 	}
-	if r.maxExec < st.Mark {
+	if r.maxExec < st.Mark && !r.recovering {
 		r.requestCatchup(ctx, st)
 	}
+	// Durable cut: a fresh stable checkpoint supersedes everything the WAL
+	// proved below it.
+	r.persistSnapshot()
 }
 
 // gcBelow discards log state at and below the stable checkpoint (keeping
@@ -792,6 +831,7 @@ func (r *Replica) applyNewView(ctx proc.Context, m *NewView) {
 	r.view = m.View
 	r.inVC = false
 	r.stats.ViewChanges++
+	r.walView(m.View)
 	// Requests still queued for the deposed primary's next batch are the
 	// old view's business; the clients' retransmits re-drive them.
 	r.batcher.Drop()

@@ -91,6 +91,27 @@ func Broadcast(ctx Context, tos []types.NodeID, msg codec.Message) {
 	}
 }
 
+// Backoff computes a capped-exponential retry delay with deterministic
+// jitter: base doubled per retry (capped at 64x), then skewed by a
+// uniform offset in [-base'/4, +base'/4) drawn from the context's
+// deterministic RNG. The jitter desynchronizes processes whose timers a
+// healed fault releases simultaneously — without it every waiter
+// re-fires in the same instant and the retry storm repeats in lockstep
+// each round. Shared by the client's request retry and the replicas'
+// CATCHUP-REQ retry.
+func Backoff(ctx Context, base time.Duration, retries int) time.Duration {
+	shift := retries
+	if shift > 6 {
+		shift = 6
+	}
+	d := base << uint(shift)
+	if half := int64(d) / 2; half > 0 {
+		// Uniform in [-d/4, +d/4), from the deterministic RNG.
+		d += time.Duration(ctx.Rand().Int63n(half)) - d/4
+	}
+	return d
+}
+
 // Process is a protocol node.
 type Process interface {
 	// ID returns the node's transport address.

@@ -10,6 +10,7 @@ import (
 	"ezbft/internal/core"
 	"ezbft/internal/engine"
 	"ezbft/internal/proc"
+	"ezbft/internal/store"
 	"ezbft/internal/types"
 	"ezbft/internal/wan"
 	"ezbft/internal/workload"
@@ -32,6 +33,13 @@ type Cell struct {
 	// exactly-once, digest convergence, certificate agreement — must hold
 	// identically, since parallel execution is byte-identical to serial.
 	ExecWorkers int
+	// Restart enables the crash-restart fault: replicas run over a durable
+	// store (memory backend), one replica is hard-killed mid-workload,
+	// stays down for Config.Downtime, and is rebuilt from its store with a
+	// fresh application. Every invariant must still hold, and for ezBFT
+	// the restarted replica must recover its executed prefix locally —
+	// wholesale state transfers after the restart are a violation.
+	Restart bool
 	// XFail documents a known deficiency: the cell is expected to fail
 	// invariant checking for the stated reason. An expected failure does
 	// not fail the matrix (it renders as "xfail"), but an unexpected PASS
@@ -60,6 +68,9 @@ func (c Cell) Name() string {
 	if c.ExecWorkers > 1 {
 		variant += fmt.Sprintf("+par%d", c.ExecWorkers)
 	}
+	if c.Restart {
+		variant += "+restart"
+	}
 	return fmt.Sprintf("%s/%s/%s/%s", c.Protocol, strat, shape, variant)
 }
 
@@ -85,6 +96,9 @@ type Config struct {
 	Settle time.Duration
 	// ConvergeWait bounds the extra wait for digest convergence.
 	ConvergeWait time.Duration
+	// Downtime is how long a Restart cell's victim stays crashed before it
+	// is rebuilt from its durable store.
+	Downtime time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -117,6 +131,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ConvergeWait == 0 {
 		c.ConvergeWait = 60 * time.Second
+	}
+	if c.Downtime == 0 {
+		c.Downtime = 2 * time.Second
 	}
 	return c
 }
@@ -189,18 +206,23 @@ func Run(cell Cell, cfg Config) (*Result, error) {
 	n := len(regions)
 	const byzID = types.ReplicaID(0)
 
-	var journals []*Journal
 	spec := bench.Spec{
 		Protocol:       cell.Protocol,
 		Topology:       topo,
 		ReplicaRegions: regions,
 		Primary:        0,
 		Seed:           cfg.Seed,
-		NewApp: func() types.Application {
-			j := NewJournal()
-			journals = append(journals, j)
-			return j
-		},
+		NewApp:         func() types.Application { return NewJournal() },
+	}
+	if cell.Restart {
+		// A crash-restart is only meaningful over a durable store; the
+		// memory backend has the exact record/snapshot semantics of disk
+		// without I/O in the hot loop of a 300-cell matrix. The retention
+		// window keeps peers' suffixes fetchable across the victim's
+		// downtime, so its rejoin can ride the incremental tail path
+		// instead of falling back to a wholesale transfer.
+		spec.Durability = store.BackendMemory
+		spec.LogRetention = 64
 	}
 	if cell.Batching {
 		spec.BatchSize = 4
@@ -247,6 +269,10 @@ func Run(cell Cell, cfg Config) (*Result, error) {
 	}
 
 	res := &Result{Cell: cell, Seed: cfg.Seed, Expected: cfg.Clients * int(cfg.Requests)}
+	// journal reads replica i's current application — restarts swap in a
+	// fresh Journal, so the lookup must go through cl.Apps, not a slice
+	// captured at build time.
+	journal := func(i int) *Journal { return cl.Apps[i].(*Journal) }
 	cl.RT.Start()
 	allDone := func() bool {
 		for _, d := range drivers {
@@ -255,6 +281,26 @@ func Run(cell Cell, cfg Config) (*Result, error) {
 			}
 		}
 		return true
+	}
+	// The crash-restart fault: once half the workload is through, replica 1
+	// (honest even in Byzantine cells) is hard-killed, sits out Downtime of
+	// virtual time while the cluster progresses without it, and is rebuilt
+	// from its durable store with a brand-new application instance.
+	const restartID = 1
+	if cell.Restart {
+		halfDone := func() bool {
+			var done uint64
+			for _, d := range drivers {
+				done += d.Done()
+			}
+			return 2*done >= uint64(cfg.Clients)*cfg.Requests
+		}
+		cl.RT.RunUntil(halfDone, cfg.Deadline)
+		cl.RT.Crash(types.ReplicaNode(restartID))
+		cl.RT.Run(cl.RT.Now() + cfg.Downtime)
+		if err := cl.RestartReplica(restartID); err != nil {
+			return nil, fmt.Errorf("scenario %s: restart: %w", cell.Name(), err)
+		}
 	}
 	live := cl.RT.RunUntil(allDone, cfg.Deadline)
 	cl.RT.Run(cl.RT.Now() + cfg.Settle)
@@ -282,10 +328,23 @@ func Run(cell Cell, cfg Config) (*Result, error) {
 			}
 		}
 	}
+	// The same reasoning covers a restart victim: it recovers everything it
+	// executed before the crash from its store, but the instances decided
+	// during its downtime are only re-obtainable through state transfer —
+	// without checkpointing it stays (correctly, safely) behind.
+	if cell.Restart && !(cell.Checkpointing && HasStateTransfer(cell.Protocol)) {
+		trimmed := convergent[:0:0]
+		for _, i := range convergent {
+			if i != restartID {
+				trimmed = append(trimmed, i)
+			}
+		}
+		convergent = trimmed
+	}
 	converged := func() bool {
-		ref := journals[convergent[0]].Digest()
+		ref := journal(convergent[0]).Digest()
 		for _, i := range convergent[1:] {
-			if journals[i].Digest() != ref {
+			if journal(i).Digest() != ref {
 				return false
 			}
 		}
@@ -294,7 +353,7 @@ func Run(cell Cell, cfg Config) (*Result, error) {
 	if !cl.RT.RunUntil(converged, cl.RT.Now()+cfg.ConvergeWait) {
 		digests := make([]string, 0, len(convergent))
 		for _, i := range convergent {
-			digests = append(digests, fmt.Sprintf("r%d=%s", i, journals[i].Digest()))
+			digests = append(digests, fmt.Sprintf("r%d=%s", i, journal(i).Digest()))
 		}
 		res.Violations = append(res.Violations, "digest divergence: "+strings.Join(digests, " "))
 	}
@@ -313,7 +372,7 @@ func Run(cell Cell, cfg Config) (*Result, error) {
 	// Exactly-once, per replica: the execution journal must hold no
 	// duplicate (client, ts)…
 	for _, i := range correct {
-		for _, d := range journals[i].Duplicates {
+		for _, d := range journal(i).Duplicates {
 			res.Violations = append(res.Violations, fmt.Sprintf("replica %d: %s", i, d))
 		}
 	}
@@ -321,9 +380,32 @@ func Run(cell Cell, cfg Config) (*Result, error) {
 	// exactly (meaningful only when the workload fully completed).
 	if allDone() {
 		for _, i := range convergent {
-			if got := journals[i].Counter(HotKey); got != uint64(rec.incrs) {
+			if got := journal(i).Counter(HotKey); got != uint64(rec.incrs) {
 				res.Violations = append(res.Violations,
 					fmt.Sprintf("replica %d: hot counter %d != %d completed INCRs", i, got, rec.incrs))
+			}
+		}
+	}
+
+	// Restart-specific invariants: the victim must actually have rebuilt
+	// itself from its store, and under ezBFT it must have recovered its
+	// executed prefix locally — any wholesale state transfer after the
+	// restart means recovery failed and the replica re-fetched state it
+	// already held durable.
+	if cell.Restart {
+		switch {
+		case len(cl.EZReplicas) == n:
+			st := cl.EZReplicas[restartID].Stats()
+			if st.Recoveries == 0 {
+				res.Violations = append(res.Violations, "restart: replica came back without recovering from its store")
+			}
+			if wholesale := st.CatchupsInstalled - st.TailsInstalled; wholesale > 0 {
+				res.Violations = append(res.Violations,
+					fmt.Sprintf("restart: %d wholesale state transfer(s) after recovery (tail-only expected)", wholesale))
+			}
+		case len(cl.PBReplicas) == n:
+			if st := cl.PBReplicas[restartID].Stats(); st.Recoveries == 0 {
+				res.Violations = append(res.Violations, "restart: replica came back without recovering from its store")
 			}
 		}
 	}
@@ -434,6 +516,18 @@ func DefaultMatrix() []Cell {
 		par.ExecWorkers = 4
 		cells = append(cells, par)
 	}
+	// The durability dimension: crash-restart cells for the two protocols
+	// with a recovery path, appended (again) so every earlier cell keeps
+	// its seed-of-record. Checkpointing variants exercise snapshot-cut
+	// recovery plus tail catch-up; the checkpointing-off ezBFT cell
+	// recovers by full WAL replay from genesis.
+	for _, p := range []engine.Protocol{engine.EZBFT, engine.PBFT} {
+		cells = append(cells,
+			Cell{Protocol: p, Restart: true, Checkpointing: true},
+			Cell{Protocol: p, Restart: true, Batching: true, Checkpointing: true},
+		)
+	}
+	cells = append(cells, Cell{Protocol: engine.EZBFT, Restart: true})
 	return cells
 }
 
@@ -453,6 +547,8 @@ func SmokeMatrix() []Cell {
 		{Protocol: engine.Zyzzyva, Shape: ShapeByName("reorder-dup"), Batching: true, Checkpointing: true},
 		{Protocol: engine.FaB, Strategy: StrategyByName("slow-owner"), Batching: true, Checkpointing: true},
 		{Protocol: engine.FaB, Shape: ShapeByName("dup-requests"), Batching: true, Checkpointing: true},
+		{Protocol: engine.EZBFT, Restart: true, Batching: true, Checkpointing: true},
+		{Protocol: engine.PBFT, Restart: true, Batching: true, Checkpointing: true},
 	}
 }
 

@@ -155,6 +155,40 @@ func (rt *Runtime) Crash(id types.NodeID) {
 	}
 }
 
+// Restart replaces a crashed node with a freshly constructed process (same
+// ID) and invokes its Init at the current virtual time — the simulation's
+// model of a process rebooting on the same machine. The old process's
+// in-flight deliveries and timers stay dead (they belong to the crashed
+// incarnation); messages sent after the restart reach the new one. The
+// node must have been Crashed first.
+func (rt *Runtime) Restart(p proc.Process, cost CostModel) error {
+	id := p.ID()
+	old, ok := rt.nodes[id]
+	if !ok {
+		return fmt.Errorf("sim: restart of unknown node %s", id)
+	}
+	if !old.down {
+		return fmt.Errorf("sim: restart of node %s that is still up", id)
+	}
+	n := &node{
+		rt:     rt,
+		p:      p,
+		cost:   cost,
+		timers: make(map[proc.TimerID]uint64),
+	}
+	if cost.Cores > 0 {
+		n.cores = make([]time.Duration, cost.Cores)
+		for i := range n.cores {
+			n.cores[i] = rt.kernel.Now() // no time travel for the new incarnation
+		}
+	}
+	rt.nodes[id] = n
+	if rt.started {
+		n.invoke(rt.kernel.Now(), func(ctx proc.Context) { n.p.Init(ctx) })
+	}
+	return nil
+}
+
 // Start initializes every node (in registration order) and must be called
 // exactly once before running the kernel.
 func (rt *Runtime) Start() {

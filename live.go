@@ -3,6 +3,7 @@ package ezbft
 import (
 	"errors"
 	"fmt"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -10,6 +11,7 @@ import (
 	"ezbft/internal/codec"
 	"ezbft/internal/engine"
 	"ezbft/internal/proc"
+	"ezbft/internal/store"
 	"ezbft/internal/transport"
 	"ezbft/internal/types"
 )
@@ -92,6 +94,15 @@ type LiveConfig struct {
 	// cache (auth.VerifyCache); every signature is then re-verified at
 	// every arrival (ablation studies use it).
 	DisableVerifyCache bool
+	// Durability selects the replica durability backend: off (the
+	// default — nothing persisted), memory, or disk. A non-empty
+	// StoreDir with no explicit backend implies disk.
+	Durability Durability
+	// StoreDir is the root directory for disk-backed replica stores;
+	// replica i writes under StoreDir/r<i>.
+	StoreDir string
+	// Fsync makes the disk backend fsync at every group-commit point.
+	Fsync bool
 }
 
 // LiveCluster is a real-time in-process deployment: N replica goroutines
@@ -115,6 +126,7 @@ type LiveCluster struct {
 	clients      []*Client
 	nextCID      types.ClientID
 	apps         []Application
+	stores       []store.Store
 	closed       bool
 }
 
@@ -171,6 +183,10 @@ func NewLiveCluster(cfg LiveConfig) (*LiveCluster, error) {
 		verifyWorkers: cfg.VerifyWorkers,
 		preVerify:     !cfg.DisablePreVerify,
 	}
+	durability := cfg.Durability
+	if durability == "" && cfg.StoreDir != "" {
+		durability = DurabilityDisk
+	}
 	for i := 0; i < cfg.N; i++ {
 		rid := types.ReplicaID(i)
 		app := cfg.NewApp()
@@ -178,6 +194,12 @@ func NewLiveCluster(cfg LiveConfig) (*LiveCluster, error) {
 		if err != nil {
 			return nil, err
 		}
+		st, err := store.Open(durability, filepath.Join(cfg.StoreDir, fmt.Sprintf("r%d", i)), cfg.Fsync)
+		if err != nil {
+			lc.closeStores()
+			return nil, err
+		}
+		lc.stores = append(lc.stores, st)
 		rep, err := eng.NewReplica(engine.ReplicaOptions{
 			Self: rid, N: cfg.N, App: app, Auth: a,
 			Primary:            cfg.Primary,
@@ -188,8 +210,10 @@ func NewLiveCluster(cfg LiveConfig) (*LiveCluster, error) {
 			CheckpointInterval: cfg.CheckpointInterval,
 			LogRetention:       cfg.LogRetention,
 			ExecWorkers:        cfg.ExecWorkers,
+			Store:              st,
 		})
 		if err != nil {
+			lc.closeStores()
 			return nil, err
 		}
 		node := transport.NewLiveNode(rep, lc.mesh, int64(i)+1)
@@ -242,6 +266,18 @@ func (lc *LiveCluster) Close() {
 	for _, p := range pools {
 		p.Close()
 	}
+	lc.closeStores()
+}
+
+// closeStores releases the replicas' durable stores (nil entries are
+// the durability-off default).
+func (lc *LiveCluster) closeStores() {
+	for _, st := range lc.stores {
+		if st != nil {
+			_ = st.Close()
+		}
+	}
+	lc.stores = nil
 }
 
 // App returns replica i's application instance, for inspection.

@@ -65,6 +65,16 @@ type SimConfig struct {
 	// byte-identical at any setting; the knob exists so the simulator can
 	// exercise the exact code paths the live runtimes parallelize.
 	ExecWorkers int
+	// Durability selects the replica durability backend: off (the
+	// default — nothing persisted, byte-identical to the paper figures),
+	// memory, or disk. A non-empty StoreDir with no explicit backend
+	// implies disk.
+	Durability Durability
+	// StoreDir is the root directory for disk-backed replica stores;
+	// replica i writes under StoreDir/r<i>.
+	StoreDir string
+	// Fsync makes the disk backend fsync at every group-commit point.
+	Fsync bool
 }
 
 // SimCluster is a deterministic simulated deployment. It is driven by
@@ -115,6 +125,12 @@ func NewSimCluster(cfg SimConfig) (*SimCluster, error) {
 		CheckpointInterval: cfg.CheckpointInterval,
 		LogRetention:       cfg.LogRetention,
 		ExecWorkers:        cfg.ExecWorkers,
+		Durability:         cfg.Durability,
+		StoreDir:           cfg.StoreDir,
+		Fsync:              cfg.Fsync,
+	}
+	if spec.Durability == "" && spec.StoreDir != "" {
+		spec.Durability = DurabilityDisk
 	}
 	if cfg.NewApp != nil {
 		spec.NewApp = func() types.Application { return cfg.NewApp() }
@@ -158,6 +174,10 @@ func (s *SimCluster) SetWarmup(d time.Duration) {
 
 // Run advances virtual time to `until`.
 func (s *SimCluster) Run(until time.Duration) { s.cluster.Run(until) }
+
+// Close releases the replicas' durable stores (a no-op when durability
+// is off).
+func (s *SimCluster) Close() { s.cluster.CloseStores() }
 
 // Summaries returns per-region latency summaries.
 func (s *SimCluster) Summaries() []RegionSummary {

@@ -8,6 +8,8 @@ import (
 	"ezbft/internal/auth"
 	"ezbft/internal/codec"
 	"ezbft/internal/engine"
+	"ezbft/internal/proc"
+	"ezbft/internal/store"
 	"ezbft/internal/transport"
 	"ezbft/internal/types"
 )
@@ -87,15 +89,33 @@ type TCPReplicaConfig struct {
 	// 0 or 1 keeps the serial path; results are byte-identical at any
 	// setting.
 	ExecWorkers int
+	// Durability selects the replica durability backend: off (the
+	// default — nothing persisted), memory, or disk. A non-empty
+	// StoreDir with no explicit backend implies disk.
+	Durability Durability
+	// StoreDir is this replica's durable-store directory (one replica
+	// per process, so the directory is used as-is — deployments give
+	// every replica its own, the -store-dir flag of ezbft-server). A
+	// replica restarted over the same directory recovers its pre-crash
+	// ordering state and executed prefix from the WAL and snapshot, then
+	// catches up only the tail it missed while down instead of
+	// state-transferring wholesale.
+	StoreDir string
+	// Fsync makes the disk backend fsync at every group-commit point —
+	// the crash-safe setting; without it a kernel or power failure can
+	// lose the tail of the WAL (process crashes alone cannot).
+	Fsync bool
 }
 
 // TCPReplica is one running replica of a TCP deployment.
 type TCPReplica struct {
-	eng  engine.Engine
-	app  Application
-	node *transport.LiveNode
-	peer *transport.TCPPeer
-	pool *transport.VerifyPool
+	eng   engine.Engine
+	app   Application
+	rep   proc.Process
+	node  *transport.LiveNode
+	peer  *transport.TCPPeer
+	pool  *transport.VerifyPool
+	store store.Store
 }
 
 // StartTCPReplica builds and starts one replica serving its application
@@ -122,6 +142,13 @@ func StartTCPReplica(cfg TCPReplicaConfig) (*TCPReplica, error) {
 		return nil, err
 	}
 
+	if cfg.Durability == "" && cfg.StoreDir != "" {
+		cfg.Durability = DurabilityDisk
+	}
+	st, err := store.Open(cfg.Durability, cfg.StoreDir, cfg.Fsync)
+	if err != nil {
+		return nil, err
+	}
 	app := cfg.NewApp()
 	rep, err := eng.NewReplica(engine.ReplicaOptions{
 		Self:               cfg.ID,
@@ -135,8 +162,12 @@ func StartTCPReplica(cfg TCPReplicaConfig) (*TCPReplica, error) {
 		CheckpointInterval: cfg.CheckpointInterval,
 		LogRetention:       cfg.LogRetention,
 		ExecWorkers:        cfg.ExecWorkers,
+		Store:              st,
 	})
 	if err != nil {
+		if st != nil {
+			_ = st.Close()
+		}
 		return nil, err
 	}
 
@@ -154,11 +185,14 @@ func StartTCPReplica(cfg TCPReplicaConfig) (*TCPReplica, error) {
 	peer, err := transport.NewTCPPeer(types.ReplicaNode(cfg.ID), cfg.Listen, addrs, pool.Submit)
 	if err != nil {
 		pool.Close()
+		if st != nil {
+			_ = st.Close()
+		}
 		return nil, err
 	}
 	node.SetSender(peer)
 	node.Start()
-	return &TCPReplica{eng: eng, app: app, node: node, peer: peer, pool: pool}, nil
+	return &TCPReplica{eng: eng, app: app, rep: rep, node: node, peer: peer, pool: pool, store: st}, nil
 }
 
 // Addr returns the replica's listener address (useful with ":0" listeners).
@@ -176,14 +210,26 @@ func (r *TCPReplica) SetPeer(id ReplicaID, addr string) {
 // App returns the replica's application instance, for inspection.
 func (r *TCPReplica) App() Application { return r.app }
 
+// Replica returns the replica's underlying protocol value (for example
+// *core.Replica under the EZBFT protocol), for stats inspection in tests
+// and experiments. The replica runs on its own goroutine; read its state
+// only through methods documented as inspection-safe, or after Close.
+func (r *TCPReplica) Replica() any { return engine.Unwrap(r.rep) }
+
 // StateDigest returns the replica's application state digest.
 func (r *TCPReplica) StateDigest() string { return r.app.Digest().String() }
 
-// Close stops the replica and its transport.
+// Close stops the replica, its transport, and its durable store. The
+// store directory survives; a replica restarted over it recovers.
 func (r *TCPReplica) Close() error {
 	r.node.Stop()
 	err := r.peer.Close()
 	r.pool.Close()
+	if r.store != nil {
+		if cerr := r.store.Close(); err == nil {
+			err = cerr
+		}
+	}
 	return err
 }
 
