@@ -825,7 +825,11 @@ func (r *Replica) handleCatchupResp(ctx proc.Context, m *CatchupResp) {
 			}
 		}
 		if m.Tail {
-			continue // a tail merges incrementally; no wholesale soundness bar
+			// A tail merges incrementally, so the wholesale ahead-ness bar
+			// does not apply; soundness instead rests on the per-entry
+			// evidence check below — every adopted entry is either covered
+			// by the proof verified above or leader-signed.
+			continue
 		}
 		sp := r.log.space(sc.Space)
 		// Installing replaces this replica's state wholesale, so it is only
@@ -857,6 +861,39 @@ func (r *Replica) handleCatchupResp(ctx proc.Context, m *CatchupResp) {
 		}
 	}
 	if m.Tail {
+		// A tail merges into the live log without the wholesale path's
+		// snapshot install and strict ahead-ness gate, so each suffix entry
+		// must carry its own evidence before adoptHist may touch live state:
+		// either coverage by the checkpoint proof verified above (slot at or
+		// below a space's proven low-water mark) or a leader-signed
+		// SPECORDER — signature-verified here, not merely digest-bound. An
+		// entry with neither (a lying responder's fabricated "committed"
+		// entry, or a legitimate SO-less owner-change no-op fill whose
+		// provenance a single responder cannot prove) is dropped, not
+		// adopted: the owner-change protocol arbitrates such slots, never a
+		// state transfer.
+		kept := m.Suffix[:0]
+		for i := range m.Suffix {
+			h := &m.Suffix[i]
+			sc := &m.Spaces[h.Inst.Space]
+			if sc.LowWater > 0 && h.Inst.Slot <= sc.LowWater {
+				kept = append(kept, m.Suffix[i])
+				continue
+			}
+			if h.SO == nil {
+				r.stats.DroppedInvalid++
+				continue
+			}
+			if !h.SO.SigVerified() {
+				r.cfg.Costs.ChargeVerify(ctx, 1)
+				if verifyBody(r.cfg.Auth, types.ReplicaNode(h.SO.Owner.OwnerOf(r.n)), h.SO, h.SO.Sig) != nil {
+					r.stats.DroppedInvalid++
+					continue
+				}
+			}
+			kept = append(kept, m.Suffix[i])
+		}
+		m.Suffix = kept
 		r.installTail(ctx, m)
 		return
 	}

@@ -42,13 +42,18 @@ import (
 //
 // # Group commit
 //
-// Appends buffer; the replica syncs once at the end of each handler
-// invocation that logged something (see Receive/OnTimer), so a handler's
-// whole record burst costs one fsync. The crash window this leaves open is
-// the final handler before the crash: its records — and only its — may be
-// lost. Recovery tolerates that tail loss by design: the replica rejoins
-// one handler behind and fetches the difference through the ordinary
-// CATCHUP path (served as a tail transfer, not a wholesale install).
+// Appends buffer; the sync point is the *first outbound send* after the
+// appends (send/broadcastReplicas trigger the pending sync before the
+// message reaches the wire), with an end-of-handler sweep (Receive/OnTimer)
+// covering handlers that log without sending. Records precede the messages
+// derived from them, so a handler's whole record burst still normally costs
+// one fsync — but nothing a peer or client can act on ever escapes before
+// the state backing it is stable. The crash window this leaves open is the
+// final handler before the crash: records whose derived messages had not
+// been sent yet — and only those — may be lost. Recovery tolerates that
+// tail loss by design: the replica rejoins one handler behind and fetches
+// the difference through the ordinary CATCHUP path (served as a tail
+// transfer, not a wholesale install).
 //
 // # Recovery
 //
@@ -167,6 +172,13 @@ func (r *Replica) walVote(m *CheckpointMsg) {
 // checkpoint becomes stable; suppressed during recovery (the state is
 // still partial there, and the surviving WAL must not be discarded under
 // it).
+//
+// Known cost: the cut runs synchronously inside the message handler, so on
+// large application state the replica loop stalls for one serialize (+
+// fsync when enabled) per checkpoint interval — visible as a periodic
+// latency spike in the durability experiment. Moving the write off the
+// critical path needs a completion barrier before the store may delete the
+// WAL below the cut; see ROADMAP.md.
 func (r *Replica) persistSnapshot() {
 	if r.cfg.Store == nil || r.recovering || r.walErr != nil {
 		return
@@ -206,10 +218,16 @@ func (r *Replica) recoverFromStore(ctx proc.Context) {
 			}
 		}
 	}
-	_ = r.cfg.Store.Replay(func(rec store.Record) error {
+	if err := r.cfg.Store.Replay(func(rec store.Record) error {
 		r.replayRecord(ctx, rec)
 		return nil
-	})
+	}); err != nil {
+		// A read error mid-replay leaves the replica only partially
+		// recovered; latch it so the degradation is observable (WALFailed)
+		// and no new records are appended on top of a prefix that was never
+		// applied. The catch-up sweep below still closes the gap.
+		r.walErr = err
+	}
 	// Never reuse an own-space slot the replayed log says is taken.
 	if own := r.log.space(r.cfg.Self); own.maxSlot+1 > r.nextSlot {
 		r.nextSlot = own.maxSlot + 1

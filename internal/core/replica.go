@@ -348,6 +348,12 @@ func (r *Replica) send(ctx proc.Context, to types.NodeID, msg codec.Message) {
 	if r.cfg.Behavior != nil && !r.cfg.Behavior.Outbound(ctx, to, msg) {
 		return
 	}
+	// Durability before dispatch: every record this handler appended so far
+	// must be stable before a message derived from it reaches the wire — on
+	// the live substrate ctx.Send writes the socket immediately, so syncing
+	// only at handler end would let a SPECORDER/SPECREPLY/vote escape that a
+	// power loss could then make this replica forget (see durable.go).
+	r.walSync()
 	ctx.Send(to, msg)
 }
 
@@ -360,6 +366,8 @@ func (r *Replica) broadcastReplicas(ctx proc.Context, msg codec.Message) {
 	if r.cfg.Byzantine != nil && r.cfg.Byzantine.Mute {
 		return
 	}
+	// Durability before dispatch — see send.
+	r.walSync()
 	if r.cfg.Behavior != nil {
 		// Per-destination interception forfeits the encode-once fan-out;
 		// acceptable on the adversarial replica only.

@@ -54,7 +54,10 @@ const (
 )
 
 // walAppend appends one record; the write is made durable by the next
-// walSync (group commit at the end of the current handler).
+// walSync — triggered by the first outbound send after the append, with an
+// end-of-handler sweep for handlers that log without sending — so no
+// message derived from a record can reach the wire before the record is
+// stable.
 func (r *Replica) walAppend(kind uint8, data []byte) {
 	if r.cfg.Store == nil || r.recovering || r.walErr != nil {
 		return
@@ -130,7 +133,8 @@ func (r *Replica) walView(view uint64) {
 // persistSnapshot cuts a durable snapshot at the current stable checkpoint
 // and truncates the WAL below it. Suppressed during recovery: cutting a
 // snapshot over partially rebuilt state would delete the WAL it is being
-// rebuilt from.
+// rebuilt from. Like the ezBFT mirror, the cut runs synchronously in the
+// handler — a periodic stall proportional to the application state size.
 func (r *Replica) persistSnapshot() {
 	if r.cfg.Store == nil || r.recovering || r.walErr != nil {
 		return
@@ -203,10 +207,16 @@ func (r *Replica) recoverFromStore(ctx proc.Context) {
 	if data, _, err := r.cfg.Store.LoadSnapshot(); err == nil && len(data) > 0 {
 		r.restoreSnapshot(data)
 	}
-	_ = r.cfg.Store.Replay(func(rec store.Record) error {
+	if err := r.cfg.Store.Replay(func(rec store.Record) error {
 		r.replayRecord(ctx, rec)
 		return nil
-	})
+	}); err != nil {
+		// A read error mid-replay leaves the replica only partially
+		// recovered; latch it so the degradation is observable (WALFailed)
+		// and no new records are appended on top of a prefix that was never
+		// applied. The catch-up request below still closes the gap.
+		r.walErr = err
+	}
 	// Re-execute the committed contiguous prefix above the snapshot cut:
 	// deterministic sequential execution rebuilds the application state and
 	// the reply cache (replies are re-signed so cached retransmit answers

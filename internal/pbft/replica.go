@@ -289,6 +289,10 @@ func (r *Replica) send(ctx proc.Context, to types.NodeID, msg codec.Message) {
 	if r.cfg.Behavior != nil && !r.cfg.Behavior.Outbound(ctx, to, msg) {
 		return
 	}
+	// Durability before dispatch: records appended by this handler must be
+	// stable before any message derived from them reaches the wire (the live
+	// substrate sends immediately; see durable.go).
+	r.walSync()
 	ctx.Send(to, msg)
 }
 
@@ -296,6 +300,8 @@ func (r *Replica) broadcastReplicas(ctx proc.Context, msg codec.Message) {
 	if r.cfg.Mute || r.recovering {
 		return
 	}
+	// Durability before dispatch — see send.
+	r.walSync()
 	if r.cfg.Behavior != nil {
 		// Per-destination interception forfeits the encode-once fan-out;
 		// acceptable on the adversarial replica only.

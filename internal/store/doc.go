@@ -16,18 +16,23 @@
 //
 // # Durability guarantees (group fsync)
 //
-// Append buffers; Sync is the commit point. A replica calls Sync once
-// at the end of each handler invocation that appended, so one fsync
-// covers every record the handler produced — group commit, keeping the
-// hot path at one fsync per message rather than one per record. The
-// window this opens is explicit: state changed and messages sent within
-// the very last handler before a crash may not be durable. Recovery
-// tolerates that tail loss — the replica rejoins slightly behind and
-// fetches the missing suffix through the ordinary CATCHUP path; no
-// safety property rests on the final handler's records surviving.
-// With fsync disabled (the default off the -fsync flag), Sync only
-// flushes to the OS: the WAL survives process crashes but not power
-// loss.
+// Append buffers; Sync is the commit point. A replica calls Sync before
+// the first message it sends after appending (durability before
+// dispatch: nothing derived from a record reaches the wire before the
+// record is stable) and once more at the end of any handler that
+// appended without sending, so one fsync still covers a handler's whole
+// record burst — group commit, keeping the hot path at one fsync per
+// message rather than one per record. The window this opens is
+// explicit: records whose derived messages were not yet sent when the
+// crash hit may be lost, but nothing another node could have acted on
+// is. Recovery tolerates that tail loss — the replica rejoins slightly
+// behind and fetches the missing suffix through the ordinary CATCHUP
+// path; no safety property rests on the final handler's records
+// surviving. With fsync disabled (the default off the -fsync flag),
+// Sync only flushes to the OS: the WAL survives process crashes but not
+// power loss. SaveSnapshot runs synchronously in the checkpoint
+// handler; on large application state expect a periodic latency spike
+// per checkpoint interval (fsync on makes it a stable-storage barrier).
 //
 // # On-disk format
 //
