@@ -151,6 +151,11 @@ type Spec struct {
 	StoreDir string
 	// Fsync makes the disk backend fsync at every group-commit point.
 	Fsync bool
+	// NewStore, when non-nil, overrides the store factory entirely
+	// (Durability/StoreDir/Fsync are ignored): fault-injection harnesses
+	// use it to wrap a backend and exercise WAL degradation. A nil return
+	// leaves that replica memoryless.
+	NewStore func(replica int) (store.Store, error)
 	// NewApp builds one application instance per replica (nil = the
 	// reference key-value store). ezBFT requires a
 	// types.SpeculativeApplication.
@@ -271,7 +276,12 @@ func Build(spec Spec) (*Cluster, error) {
 		if spec.NewBehavior != nil {
 			behavior = spec.NewBehavior(rid, a)
 		}
-		st, err := store.Open(spec.Durability, filepath.Join(spec.StoreDir, fmt.Sprintf("r%d", i)), spec.Fsync)
+		var st store.Store
+		if spec.NewStore != nil {
+			st, err = spec.NewStore(i)
+		} else {
+			st, err = store.Open(spec.Durability, filepath.Join(spec.StoreDir, fmt.Sprintf("r%d", i)), spec.Fsync)
+		}
 		if err != nil {
 			return nil, fmt.Errorf("bench: replica %d store: %w", i, err)
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"sort"
 
@@ -67,16 +68,26 @@ import (
 // digests), installs the snapshot, rebuilds its protocol state from the
 // suffix, and rejoins.
 //
-// Trust model (documented limitation): the checkpoint proof is verified
-// against 2f+1 signatures, and suffix entries are checked against their
-// embedded leader-signed SPECORDERs, but the snapshot bytes themselves are
-// vouched for only by the responding replica. ezBFT replicas execute
-// non-interfering commands in different orders, so no common sequence of
-// application states exists for a quorum to have co-signed (unlike the
-// sequenced baselines, where PBFT's snapshot digest is checked against the
-// stable checkpoint digest). A production deployment would cross-validate
-// snapshots from f+1 responders at quiescent cuts or Merkle-ize application
-// state; see ROADMAP.md.
+// Trust model: the checkpoint proof is verified against 2f+1 signatures,
+// and suffix entries are checked against their embedded leader-signed
+// SPECORDERs, but the snapshot bytes themselves are vouched for only by
+// the responders. ezBFT replicas execute non-interfering commands in
+// different orders, so no common sequence of application states exists for
+// a quorum to have co-signed (unlike the sequenced baselines, where PBFT's
+// snapshot digest is checked against the stable checkpoint digest). A
+// wholesale transfer is therefore installed only once f+1 distinct
+// responders agree byte-for-byte on the transferred state — per-space
+// checkpoint structs, the per-client executed-timestamp table, and the
+// snapshot itself (the quorum-anchored proofs pin the marks; the f+1
+// agreement pins the bytes behind them). With at most f Byzantine
+// replicas, any f+1 group contains a correct one, so a lying responder —
+// even one colluding with a checkpoint-forging voter — can neither corrupt
+// the rejoining replica nor wedge it: requests rotate through the voter
+// set, disagreeing minorities are discarded and counted
+// (CatchupMismatches), and responses accumulate across rounds until an
+// honest majority forms. Tail transfers carry per-entry evidence (proof
+// coverage or a verified SPECORDER signature) and merge incrementally, so
+// they remain single-responder.
 const (
 	tagCheckpoint  = 26
 	tagCatchupReq  = 27
@@ -602,11 +613,13 @@ func (r *Replica) truncateSpace(spaceID types.ReplicaID, sp *space) {
 
 // --- catch-up ---
 
-// requestCatchup asks one of a stable checkpoint's voters for a state
-// transfer. At most one request is in flight; a timer clears the guard so
-// a lost response retries on the next stability signal, and the target
-// rotates across voters attempt by attempt — a Byzantine voter that stays
-// silent (or serves garbage) cannot wedge the rejoin forever.
+// requestCatchup asks a window of a stable checkpoint's voters for a state
+// transfer. Wholesale installs require f+1 byte-identical responses (see
+// handleCatchupResp), so each round solicits f+1 distinct voters; the
+// window slides across the sorted voter set attempt by attempt, and a
+// timer clears the in-flight guard so lost responses retry — a Byzantine
+// voter that stays silent (or serves garbage) cannot wedge the rejoin
+// forever, and its divergent responses can never seat an f+1 group alone.
 func (r *Replica) requestCatchup(ctx proc.Context, st *engine.StableCheckpoint) {
 	if r.catchupPending {
 		return
@@ -621,7 +634,7 @@ func (r *Replica) requestCatchup(ctx proc.Context, st *engine.StableCheckpoint) 
 		return
 	}
 	sort.Slice(voters, func(i, j int) bool { return voters[i] < voters[j] })
-	target := voters[int(r.catchupAttempts)%len(voters)]
+	base := int(r.catchupAttempts) % len(voters)
 	r.catchupAttempts++
 	r.catchupPending = true
 	// Advertise our per-space positions so the responder can serve only the
@@ -633,7 +646,13 @@ func (r *Replica) requestCatchup(ctx proc.Context, st *engine.StableCheckpoint) 
 	}
 	r.cfg.Costs.ChargeSign(ctx)
 	req.Sig = signBody(r.cfg.Auth, req)
-	r.send(ctx, types.ReplicaNode(target), req)
+	want := r.f + 1
+	if want > len(voters) {
+		want = len(voters)
+	}
+	for k := 0; k < want; k++ {
+		r.send(ctx, types.ReplicaNode(voters[(base+k)%len(voters)]), req)
+	}
 	// The retry delay backs off with jitter (the shared helper the client's
 	// request retry uses): a healed partition releasing many laggards at
 	// once must not have them re-request — and re-storm — in lockstep.
@@ -643,7 +662,14 @@ func (r *Replica) requestCatchup(ctx proc.Context, st *engine.StableCheckpoint) 
 			return // a transfer installed in the meantime
 		}
 		r.catchupPending = false
-		r.catchupRetries++
+		if r.catchupHeard {
+			// Responders answered but no f+1 group formed yet — keep the
+			// cadence tight rather than backing off; the skew resolves as
+			// soon as honest responders serve from the same state.
+			r.catchupHeard = false
+		} else {
+			r.catchupRetries++
+		}
 		// The request or its response was lost. Re-issue to the next voter
 		// right away: waiting for the next stability signal is not enough —
 		// in a quiesced system it may never come, and the rejoin would
@@ -843,6 +869,9 @@ func (r *Replica) handleCatchupResp(ctx proc.Context, m *CatchupResp) {
 	}
 	if !m.Tail && !ahead {
 		r.catchupPending = false
+		// Caught up by other means: buffered responses describe a state we
+		// have reached and can only go stale from here.
+		r.catchupResps = make(map[types.ReplicaID]*CatchupResp)
 		return // nothing to gain
 	}
 	// Suffix entries must be bound to their leader-signed SPECORDER proofs
@@ -897,7 +926,74 @@ func (r *Replica) handleCatchupResp(ctx proc.Context, m *CatchupResp) {
 		r.installTail(ctx, m)
 		return
 	}
+	// f+1 cross-validation: a wholesale response replaces this replica's
+	// state with bytes only the responders vouch for, so buffer it and
+	// install only once f+1 distinct responders agree byte-for-byte on the
+	// whole transfer (per-space checkpoint state, timestamp table, snapshot,
+	// suffix). At most f replicas are Byzantine, so an agreeing f+1 group
+	// contains a correct one and its transfer is the real state; responders
+	// outside the group are the discarded — and counted — minority. The
+	// buffer survives retry rounds so agreement can form across voter-window
+	// rotations even when single responses trickle in.
+	r.catchupResps[m.Replica] = m
+	agreeing := 0
+	for _, o := range r.catchupResps {
+		if catchupAgrees(m, o) {
+			agreeing++
+		}
+	}
+	if agreeing < r.f+1 {
+		r.catchupHeard = true
+		return
+	}
+	r.stats.CatchupMismatches += uint64(len(r.catchupResps) - agreeing)
+	r.catchupResps = make(map[types.ReplicaID]*CatchupResp)
 	r.installCatchup(ctx, m, snap)
+}
+
+// catchupAgrees reports whether two validated wholesale responses describe
+// the same transfer: identical per-space checkpoint structs, per-client
+// executed-timestamp tables, snapshot bytes, and suffix entries (compared
+// by canonical encoding — both responders serve their suffix in (space,
+// slot) order, so honest replicas at the same marks produce identical
+// sequences). Everything that install touches is inside the key; nothing a
+// single liar controls escapes cross-validation.
+func catchupAgrees(a, b *CatchupResp) bool {
+	if len(a.Spaces) != len(b.Spaces) || len(a.Clients) != len(b.Clients) ||
+		len(a.Suffix) != len(b.Suffix) || !bytes.Equal(a.Snapshot, b.Snapshot) {
+		return false
+	}
+	for i := range a.Spaces {
+		// LogHash is the owner's local proposal-chain commitment — only a
+		// space's owner maintains it (acceptors leave it zero), so honest
+		// responders in different roles legitimately differ there. It is
+		// advisory local state, not transferred truth: exclude it.
+		ac, bc := a.Spaces[i], b.Spaces[i]
+		ac.LogHash, bc.LogHash = types.Digest{}, types.Digest{}
+		if ac != bc {
+			return false
+		}
+	}
+	for i := range a.Clients {
+		if a.Clients[i] != b.Clients[i] {
+			return false
+		}
+	}
+	for i := range a.Suffix {
+		if !histEntryEqual(&a.Suffix[i], &b.Suffix[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// histEntryEqual compares suffix entries by their canonical wire encoding.
+func histEntryEqual(a, b *HistEntry) bool {
+	wa := codec.NewWriter(256)
+	a.marshalTo(wa)
+	wb := codec.NewWriter(256)
+	b.marshalTo(wb)
+	return bytes.Equal(wa.Bytes(), wb.Bytes())
 }
 
 // installTail merges a tail response into the live state: adopt the
@@ -908,6 +1004,9 @@ func (r *Replica) handleCatchupResp(ctx proc.Context, m *CatchupResp) {
 func (r *Replica) installTail(ctx proc.Context, m *CatchupResp) {
 	r.catchupPending = false
 	r.catchupRetries = 0
+	// Any buffered wholesale responses predate this merge; left around they
+	// could later seat an f+1 group and regress the state the tail advanced.
+	r.catchupResps = make(map[types.ReplicaID]*CatchupResp)
 	for i := range m.Spaces {
 		sc := &m.Spaces[i]
 		sp := r.log.space(sc.Space)

@@ -75,6 +75,17 @@ type Replica struct {
 	catchupPending  bool
 	catchupAttempts uint64
 	catchupRetries  int
+	// catchupResps buffers validated wholesale CATCHUP-RESPs per responder
+	// until f+1 distinct responders agree on the transfer (see
+	// handleCatchupResp); it survives retry rounds so agreement can form
+	// across voter-window rotations, and clears on every install.
+	catchupResps map[types.ReplicaID]*CatchupResp
+	// catchupHeard notes that the current round produced responses that
+	// merely failed to agree (live-state skew between honest responders
+	// under load) rather than silence; such rounds retry at the base delay
+	// instead of growing the backoff, so agreement lands promptly once the
+	// system quiesces.
+	catchupHeard bool
 
 	// Durability state (see durable.go). recovering is set while Init
 	// rebuilds the replica from its store: it suppresses outbound messages,
@@ -167,6 +178,7 @@ type ReplicaStats struct {
 	CatchupsServed    uint64 // state transfers served to lagging peers
 	CatchupsInstalled uint64 // state transfers installed locally (incl. tails)
 	TailsInstalled    uint64 // of those, incremental tail merges (no snapshot)
+	CatchupMismatches uint64 // responders disagreeing with the installed f+1 majority
 
 	// Durability observables (nonzero only with a configured store).
 	WALRecords uint64 // records appended to the write-ahead log
@@ -215,6 +227,7 @@ func NewReplica(cfg ReplicaConfig) (*Replica, error) {
 		resendWait:      make(map[cmdKey]*resendState),
 		depWait:         make(map[types.InstanceID]bool),
 		timerAct:        make(map[proc.TimerID]func(ctx proc.Context)),
+		catchupResps:    make(map[types.ReplicaID]*CatchupResp),
 	}
 	r.ckpt = engine.NewCheckpointTracker(cfg.N, cfg.CheckpointInterval)
 	for i := range r.owners {

@@ -74,11 +74,23 @@ func (r *Replica) maybeEmitCheckpoint(ctx proc.Context) {
 		return
 	}
 	r.ckptEmitted = r.maxExec
+	// Retain the application snapshot captured at exactly this sequence
+	// number: once the checkpoint becomes stable it is the verifiable
+	// state-transfer payload for lagging replicas (catchup.go). Two
+	// generations cover votes that straggle past the next emission.
+	if snap, ok := r.cfg.App.(types.Snapshotter); ok {
+		r.snaps[r.maxExec] = snap.Snapshot()
+		for s := range r.snaps {
+			if s+2*r.ckpt.Interval() <= r.maxExec {
+				delete(r.snaps, s)
+			}
+		}
+	}
 	ck := &Checkpoint{Seq: r.maxExec, Digest: r.cfg.App.Digest(), Replica: r.cfg.Self}
 	r.cfg.Costs.ChargeSign(ctx)
 	ck.Sig = r.cfg.Auth.Sign(ck.SignedBody())
 	r.broadcastReplicas(ctx, ck)
-	r.recordCheckpoint(ck)
+	r.recordCheckpoint(ctx, ck)
 }
 
 func (r *Replica) handleCheckpoint(ctx proc.Context, m *Checkpoint) {
@@ -96,12 +108,14 @@ func (r *Replica) handleCheckpoint(ctx proc.Context, m *Checkpoint) {
 			return
 		}
 	}
-	r.recordCheckpoint(m)
+	r.recordCheckpoint(ctx, m)
 }
 
 // recordCheckpoint tallies one vote; a newly stable checkpoint truncates
-// the log and surfaces to the application's Checkpointer hook.
-func (r *Replica) recordCheckpoint(m *Checkpoint) {
+// the log, surfaces to the application's Checkpointer hook, and — when this
+// replica's executed watermark is behind the agreed mark — triggers
+// checkpoint-based state transfer (catchup.go).
+func (r *Replica) recordCheckpoint(ctx proc.Context, m *Checkpoint) {
 	st := r.ckpt.Record(0, m.Seq, m.Replica, m.Digest, m)
 	if st == nil {
 		return
@@ -109,6 +123,9 @@ func (r *Replica) recordCheckpoint(m *Checkpoint) {
 	r.gcBelow(st.Mark)
 	if ck, ok := r.cfg.App.(types.Checkpointer); ok {
 		ck.Checkpoint(st.Mark, st.Digest)
+	}
+	if r.maxExec < st.Mark {
+		r.requestCatchup(ctx, st)
 	}
 }
 

@@ -120,6 +120,11 @@ type Replica struct {
 	catchupPending  bool
 	catchupAttempts uint64
 	catchupRetries  int
+	// catchupResps buffers validated CATCHUP-RESP messages per responder
+	// until f+1 distinct responders agree on the transfer (see
+	// handleCatchupResp); it survives retry rounds so agreement can form
+	// across rotations.
+	catchupResps map[types.ReplicaID]*CatchupResp
 
 	// Durability (see durable.go): recovering suppresses sends and WAL
 	// writes while the replica rebuilds from its store; walDirty marks
@@ -159,6 +164,7 @@ type ReplicaStats struct {
 	LowWaterMark      uint64 // latest stable checkpoint sequence number
 	CatchupsServed    uint64 // state transfers served to lagging peers
 	CatchupsInstalled uint64 // state transfers installed locally
+	CatchupMismatches uint64 // responders disagreeing with the installed f+1 majority
 
 	// Durability observables (see durable.go).
 	WALRecords uint64 // records appended to the write-ahead log
@@ -189,19 +195,20 @@ func NewReplica(cfg ReplicaConfig) (*Replica, error) {
 		cfg.BatchDelay = DefaultBatchDelay
 	}
 	r := &Replica{
-		cfg:        cfg,
-		n:          cfg.N,
-		f:          faults(cfg.N),
-		view:       cfg.InitialView,
-		nextSeq:    1,
-		slots:      make(map[uint64]*slotState),
-		byCmd:      make(map[cmdKey]uint64),
-		replyCache: make(map[cmdKey]*Reply),
-		forwarded:  make(map[cmdKey]proc.TimerID),
-		timerAct:   make(map[proc.TimerID]func(ctx proc.Context)),
-		snaps:      make(map[uint64][]byte),
-		lastTs:     make(map[types.ClientID]uint64),
-		vcMsgs:     make(map[uint64]map[types.ReplicaID]*ViewChange),
+		cfg:          cfg,
+		n:            cfg.N,
+		f:            faults(cfg.N),
+		view:         cfg.InitialView,
+		nextSeq:      1,
+		slots:        make(map[uint64]*slotState),
+		byCmd:        make(map[cmdKey]uint64),
+		replyCache:   make(map[cmdKey]*Reply),
+		forwarded:    make(map[cmdKey]proc.TimerID),
+		timerAct:     make(map[proc.TimerID]func(ctx proc.Context)),
+		snaps:        make(map[uint64][]byte),
+		lastTs:       make(map[types.ClientID]uint64),
+		catchupResps: make(map[types.ReplicaID]*CatchupResp),
+		vcMsgs:       make(map[uint64]map[types.ReplicaID]*ViewChange),
 	}
 	r.ckpt = engine.NewCheckpointTracker(cfg.N, cfg.CheckpointInterval)
 	r.batcher = engine.NewBatcher[cmdKey, *Request](cfg.BatchSize, cfg.BatchDelay, r, r.flushBatch)

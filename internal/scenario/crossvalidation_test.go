@@ -1,0 +1,64 @@
+package scenario
+
+import (
+	"testing"
+
+	"ezbft/internal/engine"
+)
+
+// TestCrossValidationConviction drives the forged-proof-chain cell: the
+// flapping victim is forced into catch-up while the compromised replica
+// serves it the real response with forged snapshot bytes under a genuine
+// checkpoint proof and a valid signature. For ezBFT and PBFT every
+// per-message check passes, so only f+1 cross-validation stands between
+// the victim and corrupted state: the cell must converge AND the liar
+// must show up in CatchupMismatches — a zero count would mean the forgery
+// was never solicited and the cell proves nothing.
+func TestCrossValidationConviction(t *testing.T) {
+	for _, p := range []engine.Protocol{engine.EZBFT, engine.PBFT} {
+		for _, seed := range []int64{1, 2, 3} {
+			cell := Cell{
+				Protocol: p, Strategy: StrategyByName("lying-snapshot-responder"),
+				Shape: ShapeByName("flapping-partition"), Batching: true, Checkpointing: true,
+			}
+			res, err := Run(cell, Config{Seed: seed})
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", cell.Name(), seed, err)
+			}
+			if !res.Pass {
+				t.Errorf("%s seed %d: %v", cell.Name(), seed, res.Violations)
+			}
+			if res.CatchupInstalls == 0 {
+				t.Errorf("%s seed %d: no state transfer installed — the victim never exercised catch-up", cell.Name(), seed)
+			}
+			if res.CatchupMismatches == 0 {
+				t.Errorf("%s seed %d: forged responder never convicted (CatchupMismatches == 0)", cell.Name(), seed)
+			}
+		}
+	}
+}
+
+// TestCrossValidationRejection covers the single-responder protocols:
+// Zyzzyva and FaB pin snapshot bytes to the quorum checkpoint digest at
+// install time, so the forgery is rejected outright and responder
+// rotation must still land an honest transfer.
+func TestCrossValidationRejection(t *testing.T) {
+	for _, p := range []engine.Protocol{engine.Zyzzyva, engine.FaB} {
+		for _, seed := range []int64{1, 2, 3} {
+			cell := Cell{
+				Protocol: p, Strategy: StrategyByName("lying-snapshot-responder"),
+				Shape: ShapeByName("flapping-partition"), Batching: true, Checkpointing: true,
+			}
+			res, err := Run(cell, Config{Seed: seed})
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", cell.Name(), seed, err)
+			}
+			if !res.Pass {
+				t.Errorf("%s seed %d: %v", cell.Name(), seed, res.Violations)
+			}
+			if res.CatchupInstalls == 0 {
+				t.Errorf("%s seed %d: no state transfer installed — the victim never exercised catch-up", cell.Name(), seed)
+			}
+		}
+	}
+}

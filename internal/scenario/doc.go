@@ -57,8 +57,21 @@
 // instance-skew double-signing attack of the "Revisiting EZBFT" note —
 // detected on ezBFT by the client's POM check, deposed by view change on
 // the baselines), stale ordering replay, checkpoint-vote lying,
-// commit flooding, silent owner, slow owner, and lying catch-up
-// responder. DefaultMatrix crosses the catalogue and Shapes() with all
-// four protocols × batching × checkpointing; `ezbft-bench -e scenarios`
-// runs it and renders the per-cell pass/latency report.
+// commit flooding, silent owner, slow owner, lying catch-up responder
+// (garbage snapshot bytes — rejected by parse/digest checks), and lying
+// snapshot responder (the stealthy variant: the real catch-up response
+// with one flipped snapshot byte under a genuine checkpoint proof and a
+// valid signature, so every per-message check passes and only f+1
+// cross-validation of independent responders convicts the forgery on
+// ezBFT and PBFT, while Zyzzyva's and FaB's digest-pinned snapshots
+// reject it at install time).
+//
+// Shapes() adds the hostile network catalogue, including the
+// view-change-storm shape: repeated isolate/heal cycles that chase the
+// advancing leadership (cut the primary, let the view change elect a
+// successor, cut the successor), forcing back-to-back view changes while
+// each deposed primary returns with a log gap only state transfer can
+// close. DefaultMatrix crosses both catalogues with all four protocols ×
+// batching × checkpointing; `ezbft-bench -e scenarios` runs it and
+// renders the per-cell pass/latency report.
 package scenario

@@ -149,6 +149,12 @@ type Result struct {
 	Mean        time.Duration
 	POMs        uint64
 	VirtualTime time.Duration
+	// CatchupInstalls and CatchupMismatches sum the correct replicas'
+	// state-transfer telemetry: transfers installed, and responders
+	// convicted of disagreeing with the installed f+1 majority
+	// (cross-validation's lie detector; ezBFT and PBFT only).
+	CatchupInstalls   uint64
+	CatchupMismatches uint64
 }
 
 // String renders the replay line a failing test prints.
@@ -313,17 +319,21 @@ func Run(cell Cell, cfg Config) (*Result, error) {
 		correct = append(correct, i)
 	}
 	// A partition victim can only recover through state transfer, which
-	// requires both a checkpointing cell AND a protocol that implements
-	// catch-up (ezBFT and PBFT; Zyzzyva and FaB truncate logs but have no
-	// state-transfer subsystem). Everywhere else the convergence and
-	// counter checks cover the never-partitioned replicas only — the
-	// victim's recovery is exercised by the ezBFT/PBFT checkpointing
-	// cells of the matrix.
+	// requires a checkpointing cell: without checkpoints nothing anchors a
+	// transfer, peers retain their full logs, and the victims (correctly,
+	// safely) stay behind until retransmission closes the gap — so the
+	// convergence and counter checks cover the never-partitioned replicas
+	// only. With checkpointing on, every protocol implements catch-up and
+	// each victim's recovery is enforced.
 	convergent := correct
-	if cell.Shape != nil && cell.Shape.Victim && !(cell.Checkpointing && HasStateTransfer(cell.Protocol)) {
+	if cell.Shape != nil && cell.Shape.Victims != nil && !cell.Checkpointing {
+		cut := make(map[int]bool)
+		for _, v := range cell.Shape.Victims(n) {
+			cut[v] = true
+		}
 		convergent = convergent[:0:0]
 		for _, i := range correct {
-			if i != n-1 {
+			if !cut[i] {
 				convergent = append(convergent, i)
 			}
 		}
@@ -332,7 +342,7 @@ func Run(cell Cell, cfg Config) (*Result, error) {
 	// executed before the crash from its store, but the instances decided
 	// during its downtime are only re-obtainable through state transfer —
 	// without checkpointing it stays (correctly, safely) behind.
-	if cell.Restart && !(cell.Checkpointing && HasStateTransfer(cell.Protocol)) {
+	if cell.Restart && !cell.Checkpointing {
 		trimmed := convergent[:0:0]
 		for _, i := range convergent {
 			if i != restartID {
@@ -410,6 +420,24 @@ func Run(cell Cell, cfg Config) (*Result, error) {
 		}
 	}
 
+	// Catch-up telemetry, summed over the correct replicas.
+	for _, i := range correct {
+		switch {
+		case len(cl.EZReplicas) == n:
+			st := cl.EZReplicas[i].Stats()
+			res.CatchupInstalls += st.CatchupsInstalled
+			res.CatchupMismatches += st.CatchupMismatches
+		case len(cl.PBReplicas) == n:
+			st := cl.PBReplicas[i].Stats()
+			res.CatchupInstalls += st.CatchupsInstalled
+			res.CatchupMismatches += st.CatchupMismatches
+		case len(cl.ZYReplicas) == n:
+			res.CatchupInstalls += cl.ZYReplicas[i].Stats().CatchupsInstalled
+		case len(cl.FBReplicas) == n:
+			res.CatchupInstalls += cl.FBReplicas[i].Stats().CatchupsInstalled
+		}
+	}
+
 	// No conflicting commit certificates (ezBFT's dependency agreement).
 	if len(cl.EZReplicas) == len(cl.Replicas) {
 		res.Violations = append(res.Violations, conflictingCerts(cl.EZReplicas, correct)...)
@@ -459,17 +487,22 @@ func conflictingCerts(replicas []*core.Replica, correct []int) []string {
 }
 
 // HasStateTransfer reports whether a protocol implements a catch-up /
-// state-transfer path (CATCHUP request/response). Only those protocols
-// can bring a partition victim whose missed log prefix was truncated
-// everywhere else back in sync; Zyzzyva and FaB checkpoint and truncate
-// but cannot re-synthesize a lost prefix.
+// state-transfer path (CATCHUP request/response). All four protocols do:
+// ezBFT and PBFT since the original catch-up subsystem (with f+1
+// cross-validated wholesale transfers), Zyzzyva and FaB via the same
+// snapshot + executed-suffix replay pattern ported onto their
+// checkpointing contracts.
 func HasStateTransfer(p engine.Protocol) bool {
-	return p == engine.EZBFT || p == engine.PBFT
+	switch p {
+	case engine.EZBFT, engine.PBFT, engine.Zyzzyva, engine.FaB:
+		return true
+	}
+	return false
 }
 
 // DefaultMatrix enumerates the full fault matrix: every strategy and
-// every shape (plus the honest/clean baseline and one composed
-// strategy×shape cell) for all four protocols × batching on/off ×
+// every shape (plus the honest/clean baseline and two composed
+// strategy×shape cells) for all four protocols × batching on/off ×
 // checkpointing on/off — and, for ezBFT, every cell again with the
 // deterministic parallel executor enabled (ExecWorkers 4), which must be
 // indistinguishable from serial execution under every fault.
@@ -491,6 +524,14 @@ func DefaultMatrix() []Cell {
 					Protocol: p, Strategy: StrategyByName("checkpoint-liar"),
 					Shape: ShapeByName("slow-links"), Batching: batch, Checkpointing: ckpt,
 				})
+				// The forged-proof-chain composition: the flapping victim is
+				// forced into catch-up while the compromised replica serves
+				// it forged snapshots under genuine checkpoint proofs — the
+				// cell that makes f+1 cross-validation load-bearing.
+				cells = append(cells, Cell{
+					Protocol: p, Strategy: StrategyByName("lying-snapshot-responder"),
+					Shape: ShapeByName("flapping-partition"), Batching: batch, Checkpointing: ckpt,
+				})
 			}
 		}
 	}
@@ -498,10 +539,13 @@ func DefaultMatrix() []Cell {
 		c := &cells[i]
 		// Known deficiency, kept visible: FaB's leader change is a
 		// simplified skeleton, so a backup that accepted an equivocated
-		// proposal is never re-synchronized — it stays diverged even
-		// after the correct majority makes progress.
-		if c.Protocol == engine.FaB && c.Strategy != nil && c.Strategy.Name == "equivocating-owner" {
-			c.XFail = "FaB skeleton leader change cannot re-sync an equivocation victim"
+		// proposal is never re-synchronized by the agreement path. With
+		// checkpointing on, checkpoint-anchored state transfer re-syncs the
+		// victim and the cells are enforced; without checkpoints nothing
+		// anchors a transfer and the victim stays diverged.
+		if c.Protocol == engine.FaB && !c.Checkpointing &&
+			c.Strategy != nil && c.Strategy.Name == "equivocating-owner" {
+			c.XFail = "FaB skeleton leader change cannot re-sync an equivocation victim without checkpointed state transfer"
 		}
 	}
 	// The parallel-executor dimension: every ezBFT cell re-run at
@@ -549,6 +593,11 @@ func SmokeMatrix() []Cell {
 		{Protocol: engine.FaB, Shape: ShapeByName("dup-requests"), Batching: true, Checkpointing: true},
 		{Protocol: engine.EZBFT, Restart: true, Batching: true, Checkpointing: true},
 		{Protocol: engine.PBFT, Restart: true, Batching: true, Checkpointing: true},
+		{Protocol: engine.EZBFT, Strategy: StrategyByName("lying-snapshot-responder"),
+			Shape: ShapeByName("flapping-partition"), Batching: true, Checkpointing: true},
+		{Protocol: engine.PBFT, Strategy: StrategyByName("lying-snapshot-responder"),
+			Shape: ShapeByName("flapping-partition"), Batching: true, Checkpointing: true},
+		{Protocol: engine.FaB, Shape: ShapeByName("view-change-storm"), Batching: true, Checkpointing: true},
 	}
 }
 

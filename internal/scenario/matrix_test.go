@@ -30,7 +30,7 @@ func TestSmokeMatrix(t *testing.T) {
 // failure prints its replay line.
 func TestFullMatrix(t *testing.T) {
 	if testing.Short() {
-		t.Skip("full 285-cell matrix (not short)")
+		t.Skip("full 345-cell matrix (not short)")
 	}
 	seed := SeedFromEnv(1)
 	rep, err := RunMatrix(DefaultMatrix(), Config{Seed: seed})

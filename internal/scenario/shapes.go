@@ -23,22 +23,34 @@ type ShapeEnv struct {
 type Shape struct {
 	Name string
 	New  func(env ShapeEnv) sim.Filter
-	// Victim marks shapes that cut replica N-1 off entirely for whole
-	// flapping windows. Recovering from that requires state transfer, so
-	// the harness demands the victim's convergence only in cells where
-	// checkpointing (and with it the catch-up protocol) is enabled.
-	Victim bool
+	// Victims lists the replicas the shape cuts off entirely for whole
+	// windows (nil when it never fully isolates anyone). Recovering from
+	// such a cut requires state transfer, so the harness demands the
+	// victims' convergence only in cells where checkpointing (and with it
+	// the catch-up protocol) is enabled.
+	Victims func(n int) []int
 }
 
 // Shapes returns the catalogue of network shapes.
 func Shapes() []Shape {
 	return []Shape{
-		{Name: "flapping-partition", New: flappingPartition, Victim: true},
+		{Name: "flapping-partition", New: flappingPartition, Victims: lastReplica},
+		{Name: "view-change-storm", New: viewChangeStorm, Victims: allButLast},
 		{Name: "asym-delay", New: asymmetricDelay},
 		{Name: "reorder-dup", New: reorderDuplicate},
 		{Name: "slow-links", New: slowLinks},
 		{Name: "dup-requests", New: duplicateRequests},
 	}
+}
+
+func lastReplica(n int) []int { return []int{n - 1} }
+
+func allButLast(n int) []int {
+	vs := make([]int, 0, n-1)
+	for i := 0; i < n-1; i++ {
+		vs = append(vs, i)
+	}
+	return vs
 }
 
 // ShapeByName resolves a catalogue entry (nil when unknown).
@@ -89,6 +101,30 @@ func flappingPartition(env ShapeEnv) sim.Filter {
 			return sim.Deliver, 0
 		}
 		if (from == victim || to == victim) && (now/(period/2))%2 == 0 {
+			return sim.Drop, 0
+		}
+		return sim.Deliver, 0
+	}
+}
+
+// viewChangeStorm repeatedly decapitates the cluster: on a 4s cycle it
+// isolates replica (cycle mod N-1) for the first 2s, then reconnects it
+// for 2s. The rotation chases the advancing leadership — cutting the
+// view-0 primary forces a view change, the next cycle cuts the replica
+// that just inherited the role, and so on — so the cluster must absorb
+// back-to-back view changes while each deposed primary returns with a
+// log gap only state transfer can close. Replica N-1 is never cut,
+// keeping at least one replica with guaranteed full state.
+func viewChangeStorm(env ShapeEnv) sim.Filter {
+	const period = 4 * time.Second
+	rotation := env.N - 1
+	return func(from, to types.NodeID, msg codec.Message) (sim.Verdict, time.Duration) {
+		now := env.Now()
+		if now >= env.HealAt || now%period >= period/2 {
+			return sim.Deliver, 0
+		}
+		target := types.ReplicaNode(types.ReplicaID(int(now/period) % rotation))
+		if from == target || to == target {
 			return sim.Drop, 0
 		}
 		return sim.Deliver, 0

@@ -56,6 +56,7 @@ func Strategies() []Strategy {
 		{Name: "silent-owner", New: func(Env) engine.Behavior { return silentOwner{} }},
 		{Name: "slow-owner", New: func(Env) engine.Behavior { return slowOwner{extra: 5 * time.Millisecond} }},
 		{Name: "lying-catchup", New: newLyingCatchup},
+		{Name: "lying-snapshot-responder", New: newLyingSnapshotResponder},
 	}
 }
 
@@ -318,6 +319,76 @@ func (b *lyingCatchup) Outbound(ctx proc.Context, to types.NodeID, msg codec.Mes
 	case *pbft.CatchupResp:
 		cp := *m
 		cp.Snapshot = []byte("lies")
+		cp.Sig = b.env.Auth.Sign(cp.SignedBody())
+		ctx.Send(to, &cp)
+		return false
+	}
+	return true
+}
+
+// --- lying snapshot responder -------------------------------------------
+
+// lyingSnapshotResponder is the stealthy upgrade of lyingCatchup: instead
+// of garbage it serves the requester the real catch-up response with one
+// flipped snapshot byte, wrapped in the genuine stable-checkpoint proof,
+// consistent marks, an untouched suffix, and a fresh valid signature.
+// Every per-message check passes — the proof chain is real; only the
+// state bytes the proof does not pin are forged. ezBFT and PBFT must
+// convict the forgery through f+1 cross-validation: it disagrees with
+// every honest responder, so it is excluded from the installing group and
+// counted in CatchupMismatches. Zyzzyva and FaB, whose snapshots are
+// digest-pinned per response, must reject it at install time and recover
+// through responder rotation.
+type lyingSnapshotResponder struct {
+	passthrough
+	env Env
+}
+
+func newLyingSnapshotResponder(env Env) engine.Behavior {
+	return &lyingSnapshotResponder{env: env}
+}
+
+// flipSnapshot returns a copy of the snapshot with its first byte
+// inverted (or a spurious byte when the snapshot is empty) — the smallest
+// forgery that still parses as plausible state.
+func flipSnapshot(s []byte) []byte {
+	if len(s) == 0 {
+		return []byte{1}
+	}
+	cp := append([]byte(nil), s...)
+	cp[0] ^= 0xff
+	return cp
+}
+
+func (b *lyingSnapshotResponder) Outbound(ctx proc.Context, to types.NodeID, msg codec.Message) bool {
+	switch m := msg.(type) {
+	case *core.CatchupResp:
+		if m.Tail {
+			// Tail responses carry per-entry evidence, not snapshots —
+			// forging them is lyingCatchup's job. The wholesale response
+			// is where the unpinned bytes live.
+			return true
+		}
+		cp := *m
+		cp.Snapshot = flipSnapshot(m.Snapshot)
+		cp.Sig = b.env.Auth.Sign(cp.SignedBody())
+		ctx.Send(to, &cp)
+		return false
+	case *pbft.CatchupResp:
+		cp := *m
+		cp.Snapshot = flipSnapshot(m.Snapshot)
+		cp.Sig = b.env.Auth.Sign(cp.SignedBody())
+		ctx.Send(to, &cp)
+		return false
+	case *zyzzyva.CatchupResp:
+		cp := *m
+		cp.Snapshot = flipSnapshot(m.Snapshot)
+		cp.Sig = b.env.Auth.Sign(cp.SignedBody())
+		ctx.Send(to, &cp)
+		return false
+	case *fab.CatchupResp:
+		cp := *m
+		cp.Snapshot = flipSnapshot(m.Snapshot)
 		cp.Sig = b.env.Auth.Sign(cp.SignedBody())
 		ctx.Send(to, &cp)
 		return false

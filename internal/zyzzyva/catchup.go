@@ -1,7 +1,6 @@
-package pbft
+package zyzzyva
 
 import (
-	"bytes"
 	"sort"
 
 	"ezbft/internal/codec"
@@ -10,48 +9,28 @@ import (
 	"ezbft/internal/types"
 )
 
-// sortedResponders returns the buffered responders in ID order, so group
-// formation and install-source choice are deterministic.
-func sortedResponders(resps map[types.ReplicaID]*CatchupResp) []types.ReplicaID {
-	ids := make([]types.ReplicaID, 0, len(resps))
-	for id := range resps {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	return ids
-}
-
-// This file implements PBFT's log lifecycle on the engine-level
-// checkpointing contract (engine.CheckpointTracker): the protocol's
-// existing CHECKPOINT traffic (tag 35, wire-unchanged) now establishes
-// stable checkpoints through the shared tracker, truncation actually frees
-// the per-request bookkeeping (byCmd / replyCache) alongside the slot map,
-// and a replica that falls behind the low-water mark rejoins through
-// checkpoint-based state transfer.
+// This file ports the checkpoint-anchored state transfer of ezBFT/PBFT
+// (PR 5) to Zyzzyva: a replica whose executed watermark falls behind a
+// stable checkpoint — a partition victim whose missed prefix was truncated
+// everywhere else — requests a transfer from the checkpoint's voters,
+// restores the application snapshot captured at exactly the checkpoint
+// sequence number, verifies it against the 2f+1-signed digest, and replays
+// the responder's executed suffix.
 //
-// Unlike ezBFT (whose replicas pass through no common application states),
-// PBFT executes sequentially: the application state at sequence number n is
-// identical at every correct replica, and the stable checkpoint's agreed
-// digest covers it. The transferred snapshot is therefore fully verifiable:
-// the requester restores it and checks the application digest against the
-// 2f+1-signed checkpoint digest. The suffix (executed slots above the
-// checkpoint) has no quorum digest to check against, so it is
-// cross-validated instead: the requester solicits f+1 distinct responders,
-// installs only once f+1 of them agree on the transfer, and replays only
-// the suffix prefix every agreeing responder vouches for — at least one of
-// any f+1 is correct, so a single liar (even one that also voted the
-// checkpoint) can neither corrupt the install nor wedge it (rotation
-// reaches f+1 correct responders). Disagreeing responders are flagged in
-// CatchupMismatches and their responses discarded.
+// Zyzzyva executes speculatively but sequentially, so like PBFT the
+// application state at sequence number n is identical at every correct
+// replica and the quorum digest fully verifies the snapshot. Two pieces of
+// responder word remain: the history-chain hash at the checkpoint (needed
+// to validate subsequent ORDERREQs) and the suffix. A lie in either cannot
+// corrupt agreed state — the snapshot is digest-checked — it only leaves
+// the victim unable to accept further assignments, which the next stable
+// checkpoint repairs through another (rotated) responder.
 const (
-	tagCatchupReq  = 38
-	tagCatchupResp = 39
+	tagCatchupReq = 49
+	// Zyzzyva's own block (40-49) is full; the response extends into the
+	// shared expansion block (60-69, see messages.go).
+	tagCatchupResp = 65
 )
-
-// replyRetention bounds how far behind a client's highest seen timestamp
-// the reply cache and exactly-once table are retained across truncation;
-// it must exceed any client's pipelining depth.
-const replyRetention = 256
 
 // CatchupReq asks a peer for a state transfer, ⟨CATCHUP-REQ, i⟩σi.
 type CatchupReq struct {
@@ -87,7 +66,8 @@ func decodeCatchupReq(r *codec.Reader) (*CatchupReq, error) {
 
 // CatchupSlot is one executed slot above the checkpoint inside a
 // CATCHUP-RESP: the sequence number, the view it executed in, and the
-// ordered request batch.
+// ordered request batch. The history-chain hash is recomputed by the
+// installer, so it is not carried.
 type CatchupSlot struct {
 	Seq  uint64
 	View uint64
@@ -96,12 +76,14 @@ type CatchupSlot struct {
 
 // CatchupResp is the state-transfer response: the stable checkpoint
 // (sequence number, agreed digest, 2f+1 signed votes), the application
-// snapshot at exactly that sequence number, and the responder's executed
-// suffix.
+// snapshot and history-chain hash at exactly that sequence number, the
+// responder's current view, and its executed suffix.
 type CatchupResp struct {
 	Replica  types.ReplicaID
+	View     uint64
 	Seq      uint64
 	Digest   types.Digest
+	HistHash types.Digest
 	Snapshot []byte
 	Suffix   []CatchupSlot
 	Proof    []*Checkpoint // outside the signed body; each vote self-signs
@@ -125,8 +107,10 @@ func (m *CatchupResp) MarshalTo(w *codec.Writer) {
 
 func (m *CatchupResp) marshalBody(w *codec.Writer) {
 	w.Int32(int32(m.Replica))
+	w.Uvarint(m.View)
 	w.Uvarint(m.Seq)
 	w.Bytes32(m.Digest)
+	w.Bytes32(m.HistHash)
 	w.Blob(m.Snapshot)
 	w.Uvarint(uint64(len(m.Suffix)))
 	for i := range m.Suffix {
@@ -150,9 +134,11 @@ func (m *CatchupResp) SignedBody() []byte {
 func decodeCatchupResp(r *codec.Reader) (*CatchupResp, error) {
 	m := &CatchupResp{
 		Replica: types.ReplicaID(r.Int32()),
+		View:    r.Uvarint(),
 		Seq:     r.Uvarint(),
 		Digest:  r.Bytes32(),
 	}
+	m.HistHash = r.Bytes32()
 	m.Snapshot = r.Blob()
 	nSuffix := r.Uvarint()
 	if err := r.Err(); err != nil {
@@ -201,16 +187,14 @@ func decodeCatchupResp(r *codec.Reader) (*CatchupResp, error) {
 }
 
 func init() {
-	codec.Register(tagCatchupReq, "pbft.CatchupReq", func(r *codec.Reader) (codec.Message, error) { return decodeCatchupReq(r) })
-	codec.Register(tagCatchupResp, "pbft.CatchupResp", func(r *codec.Reader) (codec.Message, error) { return decodeCatchupResp(r) })
+	codec.Register(tagCatchupReq, "zyzzyva.CatchupReq", func(r *codec.Reader) (codec.Message, error) { return decodeCatchupReq(r) })
+	codec.Register(tagCatchupResp, "zyzzyva.CatchupResp", func(r *codec.Reader) (codec.Message, error) { return decodeCatchupResp(r) })
 }
 
-// requestCatchup solicits a state transfer from f+1 distinct voters of a
-// stable checkpoint — enough that at least one is correct — so the
-// responses can cross-validate each other (see handleCatchupResp). At most
-// one solicitation round is in flight at a time, and the voter window
-// rotates attempt by attempt so silent or lying Byzantine voters cannot
-// wedge the rejoin forever.
+// requestCatchup asks one of a stable checkpoint's voters for a state
+// transfer; at most one request is in flight at a time, and the target
+// rotates across voters attempt by attempt so a silent or lying Byzantine
+// voter cannot wedge the rejoin forever.
 func (r *Replica) requestCatchup(ctx proc.Context, st *engine.StableCheckpoint) {
 	if r.catchupPending {
 		return
@@ -225,19 +209,13 @@ func (r *Replica) requestCatchup(ctx proc.Context, st *engine.StableCheckpoint) 
 		return
 	}
 	sort.Slice(voters, func(i, j int) bool { return voters[i] < voters[j] })
-	base := int(r.catchupAttempts) % len(voters)
+	target := voters[int(r.catchupAttempts)%len(voters)]
 	r.catchupAttempts++
 	r.catchupPending = true
 	req := &CatchupReq{Replica: r.cfg.Self}
 	r.cfg.Costs.ChargeSign(ctx)
 	req.Sig = r.cfg.Auth.Sign(req.SignedBody())
-	want := r.f + 1
-	if want > len(voters) {
-		want = len(voters)
-	}
-	for k := 0; k < want; k++ {
-		r.send(ctx, types.ReplicaNode(voters[(base+k)%len(voters)]), req)
-	}
+	r.send(ctx, types.ReplicaNode(target), req)
 	// Re-issue on silence with jittered exponential backoff (the shared
 	// client-retry discipline, proc.Backoff) at the next voter in rotation.
 	r.afterTimer(ctx, proc.Backoff(ctx, 2*r.cfg.ForwardTimeout, r.catchupRetries), func(ctx proc.Context) {
@@ -246,15 +224,15 @@ func (r *Replica) requestCatchup(ctx proc.Context, st *engine.StableCheckpoint) 
 		}
 		r.catchupPending = false
 		r.catchupRetries++
-		if st := r.ckpt.Stable(0); st != nil && r.maxExec < st.Mark {
+		if st := r.ckpt.Stable(0); st != nil && r.maxSeq < st.Mark {
 			r.requestCatchup(ctx, st)
 		}
 	})
 }
 
 // handleCatchupReq serves a state transfer: the latest stable checkpoint's
-// proof, the snapshot captured at exactly that sequence number, and every
-// retained executed slot above it.
+// proof, the snapshot and history hash captured at exactly that sequence
+// number, and every retained executed slot above it.
 func (r *Replica) handleCatchupReq(ctx proc.Context, m *CatchupReq) {
 	if m.Replica < 0 || int(m.Replica) >= r.n || m.Replica == r.cfg.Self {
 		r.stats.DroppedInvalid++
@@ -277,21 +255,27 @@ func (r *Replica) handleCatchupReq(ctx proc.Context, m *CatchupReq) {
 	}
 	resp := &CatchupResp{
 		Replica:  r.cfg.Self,
+		View:     r.view,
 		Seq:      st.Mark,
 		Digest:   st.Digest,
-		Snapshot: snap,
+		HistHash: snap.histHash,
+		Snapshot: snap.data,
 	}
 	for _, v := range st.Votes {
 		if ck, ok := v.(*Checkpoint); ok {
 			resp.Proof = append(resp.Proof, ck)
 		}
 	}
-	for seq := st.Mark + 1; seq <= r.maxExec; seq++ {
-		s, ok := r.slots[seq]
-		if !ok || !s.executed {
+	for seq := st.Mark + 1; seq <= r.maxSeq; seq++ {
+		e, ok := r.log[seq]
+		if !ok || !e.executed {
 			break // suffix must stay contiguous
 		}
-		resp.Suffix = append(resp.Suffix, CatchupSlot{Seq: seq, View: s.view, Reqs: s.reqs})
+		reqs := make([]Request, len(e.cmds))
+		for i, cmd := range e.cmds {
+			reqs[i] = Request{Cmd: cmd}
+		}
+		resp.Suffix = append(resp.Suffix, CatchupSlot{Seq: seq, View: r.view, Reqs: reqs})
 	}
 	r.cfg.Costs.ChargeSign(ctx)
 	resp.Sig = r.cfg.Auth.Sign(resp.SignedBody())
@@ -299,41 +283,12 @@ func (r *Replica) handleCatchupReq(ctx proc.Context, m *CatchupReq) {
 	r.stats.CatchupsServed++
 }
 
-// catchupAgrees reports whether two validated state transfers describe the
-// same install: same checkpoint anchor and byte-identical snapshot.
-func catchupAgrees(a, b *CatchupResp) bool {
-	return a.Seq == b.Seq && a.Digest == b.Digest && bytes.Equal(a.Snapshot, b.Snapshot)
-}
-
-// catchupSlotsAgree reports whether two responders vouch for the same
-// executed slot: same sequence number ordering the same command batch.
-// The view is advisory (a replica that itself rejoined via transfer records
-// the view it learned the slot in) and excluded from agreement.
-func catchupSlotsAgree(a, b *CatchupSlot) bool {
-	if a.Seq != b.Seq || len(a.Reqs) != len(b.Reqs) {
-		return false
-	}
-	for i := range a.Reqs {
-		if a.Reqs[i].Cmd.Digest() != b.Reqs[i].Cmd.Digest() {
-			return false
-		}
-	}
-	return true
-}
-
-// handleCatchupResp validates a state transfer and buffers it until f+1
-// distinct responders agree: the proof must carry 2f+1 valid checkpoint
-// signatures, the restored application state must digest to the agreed
-// checkpoint digest, and — because the suffix above the checkpoint has no
-// quorum digest of its own — only the suffix prefix every agreeing
-// responder vouches for is replayed. At least one of any f+1 responders is
-// correct, so nothing installs on a single replica's word.
+// handleCatchupResp validates and installs a state transfer: the proof must
+// carry 2f+1 valid checkpoint signatures, and the restored application
+// state must digest to the agreed checkpoint digest — the snapshot is fully
+// verified, not trusted.
 func (r *Replica) handleCatchupResp(ctx proc.Context, m *CatchupResp) {
-	if !r.catchupPending || m.Seq <= r.maxExec {
-		return
-	}
-	if m.Replica < 0 || int(m.Replica) >= r.n {
-		r.stats.DroppedInvalid++
+	if !r.catchupPending || m.Seq <= r.maxSeq {
 		return
 	}
 	if !m.SigVerified() {
@@ -363,23 +318,6 @@ func (r *Replica) handleCatchupResp(ctx proc.Context, m *CatchupResp) {
 		r.stats.DroppedInvalid++
 		return
 	}
-	// Buffer the validated response; the buffer survives retry rounds so
-	// agreement can form across voter-window rotations.
-	r.catchupResps[m.Replica] = m
-	var group []*CatchupResp
-	for _, id := range sortedResponders(r.catchupResps) {
-		if o := r.catchupResps[id]; catchupAgrees(o, m) {
-			group = append(group, o)
-		}
-	}
-	if len(group) < r.f+1 {
-		return // keep soliciting; the retry timer rotates to more voters
-	}
-	// f+1 distinct responders agree on this transfer. Responders whose
-	// buffered response disagrees are in the minority against a set that
-	// provably contains a correct replica: flag and discard them.
-	r.stats.CatchupMismatches += uint64(len(r.catchupResps) - len(group))
-	r.catchupResps = make(map[types.ReplicaID]*CatchupResp)
 	// Capture the pre-transfer state so a snapshot that fails digest
 	// verification can be rolled back — a Byzantine responder must not be
 	// able to corrupt a correct replica's state by pairing a valid proof
@@ -399,61 +337,68 @@ func (r *Replica) handleCatchupResp(ctx proc.Context, m *CatchupResp) {
 		return
 	}
 	// Adopt the checkpoint: everything at or below it is executed state.
-	r.maxExec = m.Seq
-	for seq := range r.slots {
+	r.maxSeq = m.Seq
+	r.histHash = m.HistHash
+	for seq := range r.log {
 		if seq <= m.Seq {
-			delete(r.slots, seq)
+			delete(r.log, seq)
 		}
 	}
-	// Replay only the suffix prefix the whole agreeing group vouches for:
-	// a liar inside the group (colluding on the anchor) cannot smuggle in
-	// forged slots, and whatever honest tail is cut off re-arrives through
-	// the ordinary protocol or the next checkpoint's transfer.
-	agreed := len(m.Suffix)
-	for _, o := range group {
-		if len(o.Suffix) < agreed {
-			agreed = len(o.Suffix)
+	for seq := range r.pending {
+		if seq <= m.Seq {
+			delete(r.pending, seq)
 		}
 	}
-	for i := 0; i < agreed; i++ {
-		for _, o := range group {
-			if !catchupSlotsAgree(&m.Suffix[i], &o.Suffix[i]) {
-				agreed = i
-				break
-			}
+	// Adopt the responder's view: a victim that missed view changes while
+	// partitioned would otherwise drop every ORDERREQ of the new view. A
+	// lying view can only delay the victim (it keeps catching up at each
+	// stable checkpoint through rotated responders), never corrupt state.
+	if m.View > r.view {
+		r.view = m.View
+		r.inVC = false
+		r.batcher.Drop()
+		for key, id := range r.forwarded {
+			delete(r.forwarded, key)
+			delete(r.timerAct, id)
 		}
 	}
-	for i := 0; i < agreed; i++ {
+	// Replay the responder's executed suffix in order, re-deriving the
+	// history chain from the verified checkpoint hash.
+	for i := range m.Suffix {
 		cs := &m.Suffix[i]
-		if cs.Seq != r.maxExec+1 {
+		if cs.Seq != r.maxSeq+1 {
 			break
 		}
-		if _, dup := r.slots[cs.Seq]; dup {
-			delete(r.slots, cs.Seq)
+		digests := make([]types.Digest, len(cs.Reqs))
+		for j := range cs.Reqs {
+			digests[j] = cs.Reqs[j].Cmd.Digest()
 		}
-		s := r.slot(cs.Seq)
-		s.view = cs.View
-		s.havePre = true
-		s.prepared = true
-		s.committed = true
-		s.reqs = cs.Reqs
-		s.digests = make([]types.Digest, len(cs.Reqs))
-		s.results = make([]types.Result, len(cs.Reqs))
+		batchDigest := engine.BatchDigest(digests)
+		hh := chainHash(r.histHash, batchDigest)
+		e := &logEntry{
+			seq:       cs.Seq,
+			cmds:      make([]types.Command, len(cs.Reqs)),
+			digests:   digests,
+			cmdDigest: batchDigest,
+			histHash:  hh,
+			results:   make([]types.Result, len(cs.Reqs)),
+			executed:  true,
+		}
 		for j := range cs.Reqs {
 			cmd := cs.Reqs[j].Cmd
-			s.digests[j] = cmd.Digest()
 			r.cfg.Costs.ChargeExecute(ctx)
-			s.results[j] = r.cfg.App.Apply(cmd)
+			e.cmds[j] = cmd
+			e.results[j] = r.cfg.App.Apply(cmd)
 			key := cmdKey{cmd.Client, cmd.Timestamp}
 			r.byCmd[key] = cs.Seq
 			if cmd.Timestamp > r.lastTs[cmd.Client] {
 				r.lastTs[cmd.Client] = cmd.Timestamp
 			}
+			r.stats.SpecExecuted++
 		}
-		s.cmdDigest = engine.BatchDigest(s.digests)
-		s.executed = true
-		r.maxExec = cs.Seq
-		r.stats.Executed += uint64(len(cs.Reqs))
+		r.log[cs.Seq] = e
+		r.maxSeq = cs.Seq
+		r.histHash = hh
 	}
 	if cs := r.ckpt.Stable(0); cs == nil || cs.Mark < m.Seq {
 		// Adopt the transferred checkpoint as our stable point so stats and
@@ -462,15 +407,23 @@ func (r *Replica) handleCatchupResp(ctx proc.Context, m *CatchupResp) {
 			r.ckpt.Record(0, v.Seq, v.Replica, v.Digest, v)
 		}
 	}
-	r.stableCkpt = m.Seq
+	if primaryOf(r.view, r.n) == r.cfg.Self {
+		r.nextSeq = r.maxSeq + 1
+	}
 	r.catchupPending = false
 	r.catchupRetries = 0
 	r.stats.CatchupsInstalled++
-	// Anything newly contiguous (buffered slots above the transfer) executes.
-	r.executeReady(ctx)
-	// The installed state supersedes the WAL below it.
-	if _, ok := r.snaps[m.Seq]; !ok {
-		r.snaps[m.Seq] = m.Snapshot
+	// Retain the verified snapshot so this replica can serve transfers too.
+	r.snaps[m.Seq] = ckptSnap{data: m.Snapshot, histHash: m.HistHash}
+	// Anything newly contiguous (buffered assignments above the transfer)
+	// executes through the regular drain.
+	for {
+		next, ok := r.pending[r.maxSeq+1]
+		if !ok {
+			break
+		}
+		delete(r.pending, r.maxSeq+1)
+		r.acceptOrderReq(ctx, next, nil)
 	}
-	r.persistSnapshot()
+	r.maybeEmitCheckpoint(ctx)
 }

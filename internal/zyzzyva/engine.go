@@ -91,6 +91,18 @@ func PreVerifier(a auth.Authenticator, n int) func(msg codec.Message) bool {
 			return engine.VerifySigned(a, types.ReplicaNode(m.Replica), m, m.Sig)
 		case *Checkpoint:
 			return engine.VerifySigned(a, types.ReplicaNode(m.Replica), m, m.Sig)
+		case *CatchupReq:
+			return engine.VerifySigned(a, types.ReplicaNode(m.Replica), m, m.Sig)
+		case *CatchupResp:
+			if !engine.VerifySigned(a, types.ReplicaNode(m.Replica), m, m.Sig) {
+				return false
+			}
+			// Proof votes are counted (2f+1 required, not all) in-loop; mark
+			// the valid ones so the count re-verifies nothing.
+			for _, v := range m.Proof {
+				engine.TryMarkSigned(a, types.ReplicaNode(v.Replica), v, v.Sig)
+			}
+			return true
 		case *HatePrimary:
 			return engine.VerifySigned(a, types.ReplicaNode(m.Replica), m, m.Sig)
 		case *ViewChange:

@@ -18,8 +18,9 @@ import (
 	"ezbft/internal/types"
 )
 
-// Message tags reserved by Zyzzyva (40-49, plus 61-63 from the shared
-// batched-baseline block 60-69).
+// Message tags reserved by Zyzzyva (40-49, plus 61-63 and 65 from the
+// shared expansion block 60-69; 49 and 65 are the state-transfer pair in
+// catchup.go).
 const (
 	tagRequest      = 40
 	tagOrderReq     = 41

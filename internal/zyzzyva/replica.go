@@ -112,6 +112,13 @@ type Replica struct {
 	ckptEmitted uint64
 	lastTs      map[types.ClientID]uint64
 
+	// State transfer (see catchup.go): snapshots retained per checkpoint
+	// boundary and the single-flight request state.
+	snaps           map[uint64]ckptSnap
+	catchupPending  bool
+	catchupAttempts uint64
+	catchupRetries  int
+
 	// view change state
 	hateVotes map[uint64]map[types.ReplicaID]bool
 	vcMsgs    map[uint64]map[types.ReplicaID]*ViewChange
@@ -128,6 +135,14 @@ type cmdKey struct {
 	ts     uint64
 }
 
+// ckptSnap is the state-transfer payload retained at one checkpoint
+// boundary: the application snapshot and the history-chain hash at exactly
+// that sequence number.
+type ckptSnap struct {
+	data     []byte
+	histHash types.Digest
+}
+
 // ReplicaStats exposes protocol counters.
 type ReplicaStats struct {
 	Ordered        uint64
@@ -140,6 +155,10 @@ type ReplicaStats struct {
 	Checkpoints      uint64 // stable checkpoints established
 	TruncatedEntries uint64 // slots freed by truncation
 	LowWaterMark     uint64 // latest stable checkpoint sequence number
+
+	// State-transfer observables (see catchup.go).
+	CatchupsServed    uint64 // CATCHUP-RESPs served to lagging peers
+	CatchupsInstalled uint64 // state transfers verified and installed
 }
 
 var _ proc.Process = (*Replica)(nil)
@@ -176,6 +195,7 @@ func NewReplica(cfg ReplicaConfig) (*Replica, error) {
 		lastTs:     make(map[types.ClientID]uint64),
 		hateVotes:  make(map[uint64]map[types.ReplicaID]bool),
 		vcMsgs:     make(map[uint64]map[types.ReplicaID]*ViewChange),
+		snaps:      make(map[uint64]ckptSnap),
 	}
 	r.ckpt = engine.NewCheckpointTracker(cfg.N, cfg.CheckpointInterval)
 	r.batcher = engine.NewBatcher[cmdKey, *Request](cfg.BatchSize, cfg.BatchDelay, r, r.flushBatch)
@@ -281,6 +301,10 @@ func (r *Replica) Receive(ctx proc.Context, from types.NodeID, msg codec.Message
 		r.handleCommitCert(ctx, m)
 	case *Checkpoint:
 		r.handleCheckpoint(ctx, m)
+	case *CatchupReq:
+		r.handleCatchupReq(ctx, m)
+	case *CatchupResp:
+		r.handleCatchupResp(ctx, m)
 	case *HatePrimary:
 		r.handleHatePrimary(ctx, m)
 	case *ViewChange:
