@@ -1,0 +1,355 @@
+package bench
+
+import (
+	"fmt"
+	"path/filepath"
+	"time"
+
+	"ezbft/internal/kvstore"
+	"ezbft/internal/metrics"
+	"ezbft/internal/proc"
+	"ezbft/internal/shard"
+	"ezbft/internal/types"
+	"ezbft/internal/wan"
+	"ezbft/internal/workload"
+)
+
+// defaultNewApp is the sharded builder's inner-application default; Build's
+// own default cannot be reused because the wrapper must see the inner
+// factory, not the wrapped one.
+func defaultNewApp() types.Application { return kvstore.New() }
+
+// ShardClientGroup places Count clients in Region on EVERY shard group,
+// each driven by NewDriver(shardIdx, i) — the shard index lets drivers
+// restrict their keys to the shard they load (see ShardKeyGen).
+type ShardClientGroup struct {
+	Region    wan.Region
+	Count     int
+	NewDriver func(shardIdx, i int) workload.Driver
+}
+
+// ShardSpec describes a sharded simulated deployment: Shards independent
+// consensus groups, each built from the Base template (protocol, regions,
+// batching, durability — everything but Clients, which come from the
+// sharded groups so drivers know their shard).
+type ShardSpec struct {
+	// Base is the per-shard deployment template; Base.Clients must be
+	// empty. Base.Topology is cloned per shard (each group places the same
+	// node ids); Base.StoreDir, when set, gains a per-shard subdirectory.
+	Base Spec
+	// Shards is the number of consensus groups (default 1).
+	Shards int
+	// Clients places client fleets on every shard.
+	Clients []ShardClientGroup
+	// Quantum is the lockstep step at which the groups' virtual clocks
+	// advance together and the transaction pump runs (default 1ms).
+	Quantum time.Duration
+	// PhaseTimeout is the virtual-time bound on one transaction phase
+	// command; an overdue phase counts as failed and the coordinator aborts
+	// or retries (default 2s).
+	PhaseTimeout time.Duration
+}
+
+// ShardedCluster is a sharded simulated deployment: Shards independent
+// bench Clusters — no message ever crosses groups — advanced in lockstep
+// quanta, plus the cross-shard transaction pump. Between quanta the pump
+// drives every active transaction's commit Machine: phase commands enter a
+// shard through its Feeder client (submitted at the feeder's next virtual
+// poll tick) and completions return as machine events at the following
+// quantum boundary. All pump state transitions happen at quantum boundaries
+// in submission order, so a sharded run is as deterministic as its seeds.
+type ShardedCluster struct {
+	Spec   ShardSpec
+	Router *shard.Router
+	// Groups holds one independent cluster per shard.
+	Groups []*Cluster
+	// Feeders holds each shard's transaction feeder client (the last client
+	// of each group).
+	Feeders []*shard.Feeder
+	// Apps holds each shard's wrapped applications, [shard][replica].
+	Apps [][]*shard.App
+
+	now         time.Duration
+	txnSeq      uint64
+	active      []*Txn
+	pending     []pendingEvent
+	outstanding []*phaseCall
+}
+
+type pendingEvent struct {
+	t  *Txn
+	ev shard.Event
+}
+
+// phaseCall tracks one issued phase command until its completion or virtual
+// timeout; settled flips exactly once, so a late completion after a
+// synthesized failure is dropped.
+type phaseCall struct {
+	t       *Txn
+	act     shard.Action
+	due     time.Duration
+	settled bool
+}
+
+// Txn is the pump-side handle of one cross-shard transaction.
+type Txn struct {
+	m        *shard.Machine
+	deadline time.Duration
+	timedOut bool
+	doneAt   time.Duration
+}
+
+// ID returns the transaction id.
+func (t *Txn) ID() string { return t.m.ID() }
+
+// Done reports whether the commit protocol finished.
+func (t *Txn) Done() bool { return t.m.Done() }
+
+// Outcome returns nil (committed) or the abort reason; valid once Done.
+func (t *Txn) Outcome() error { return t.m.Outcome() }
+
+// DoneAt returns the virtual time the protocol finished (valid once Done).
+func (t *Txn) DoneAt() time.Duration { return t.doneAt }
+
+// BuildSharded constructs a sharded deployment: one Cluster per shard from
+// the Base template, each with its own simulation kernel seeded Base.Seed+s,
+// its own clone of the topology, and one appended Feeder client for
+// transaction phases. Every shard's application is wrapped with the
+// transaction layer (shard.Wrap).
+func BuildSharded(ss ShardSpec) (*ShardedCluster, error) {
+	if ss.Shards < 1 {
+		ss.Shards = 1
+	}
+	if ss.Quantum <= 0 {
+		ss.Quantum = time.Millisecond
+	}
+	if ss.PhaseTimeout <= 0 {
+		ss.PhaseTimeout = 2 * time.Second
+	}
+	if len(ss.Base.Clients) != 0 {
+		return nil, fmt.Errorf("bench: ShardSpec.Base.Clients must be empty; use ShardSpec.Clients")
+	}
+	if ss.Base.Topology == nil {
+		return nil, fmt.Errorf("bench: ShardSpec.Base.Topology is required")
+	}
+	if len(ss.Base.ReplicaRegions) == 0 {
+		return nil, fmt.Errorf("bench: ShardSpec.Base.ReplicaRegions is required")
+	}
+	sc := &ShardedCluster{Spec: ss, Router: shard.NewRouter(ss.Shards)}
+	innerApp := ss.Base.NewApp
+	if innerApp == nil {
+		innerApp = defaultNewApp
+	}
+	for s := 0; s < ss.Shards; s++ {
+		s := s
+		spec := ss.Base
+		spec.Topology = ss.Base.Topology.Clone()
+		spec.Seed = ss.Base.Seed + int64(s)
+		spec.NewApp = func() types.Application { return shard.Wrap(innerApp()) }
+		if spec.StoreDir != "" {
+			spec.StoreDir = filepath.Join(spec.StoreDir, fmt.Sprintf("s%d", s))
+		}
+		spec.Clients = nil
+		for _, g := range ss.Clients {
+			g := g
+			spec.Clients = append(spec.Clients, ClientGroup{
+				Region: g.Region,
+				Count:  g.Count,
+				NewDriver: func(i int) workload.Driver {
+					return g.NewDriver(s, i)
+				},
+			})
+		}
+		feeder := &shard.Feeder{}
+		spec.Clients = append(spec.Clients, ClientGroup{
+			Region:    spec.ReplicaRegions[0],
+			Count:     1,
+			NewDriver: func(int) workload.Driver { return feeder },
+		})
+		g, err := Build(spec)
+		if err != nil {
+			return nil, fmt.Errorf("bench: shard %d: %w", s, err)
+		}
+		apps := make([]*shard.App, 0, len(g.Apps))
+		for _, app := range g.Apps {
+			wrapped, ok := app.(*shard.App)
+			if !ok {
+				return nil, fmt.Errorf("bench: shard %d application is not shard-wrapped", s)
+			}
+			apps = append(apps, wrapped)
+		}
+		sc.Groups = append(sc.Groups, g)
+		sc.Feeders = append(sc.Feeders, feeder)
+		sc.Apps = append(sc.Apps, apps)
+	}
+	return sc, nil
+}
+
+// Now returns the lockstep virtual time.
+func (sc *ShardedCluster) Now() time.Duration { return sc.now }
+
+// SubmitTxn starts a cross-shard transaction with an auto-assigned id; it
+// progresses as the cluster steps. timeout bounds the lock phase on the
+// virtual clock; past it the coordinator aborts.
+func (sc *ShardedCluster) SubmitTxn(ops []shard.Op, timeout time.Duration) (*Txn, error) {
+	sc.txnSeq++
+	return sc.SubmitTxnID(fmt.Sprintf("txn:%d", sc.txnSeq), ops, timeout)
+}
+
+// SubmitTxnID starts a transaction under an explicit id. Tests inject
+// duplicates by submitting the same id (and ops) twice: both coordinators
+// run the full protocol and the shards' idempotent phase handlers apply the
+// staged writes exactly once.
+func (sc *ShardedCluster) SubmitTxnID(id string, ops []shard.Op, timeout time.Duration) (*Txn, error) {
+	m, err := shard.NewMachine(sc.Router, id, ops)
+	if err != nil {
+		return nil, err
+	}
+	t := &Txn{m: m, deadline: sc.now + timeout}
+	sc.active = append(sc.active, t)
+	sc.issue(t, m.Start())
+	return t, nil
+}
+
+func (sc *ShardedCluster) issue(t *Txn, acts []shard.Action) {
+	for _, a := range acts {
+		call := &phaseCall{t: t, act: a, due: sc.now + sc.Spec.PhaseTimeout}
+		sc.outstanding = append(sc.outstanding, call)
+		sc.Feeders[a.Shard].Enqueue(a.Cmd, func(c workload.Completion) {
+			if call.settled {
+				return // superseded by a synthesized timeout failure
+			}
+			call.settled = true
+			sc.pending = append(sc.pending, pendingEvent{t, shard.Event{
+				Shard: call.act.Shard, Op: call.act.Cmd.Op, Result: c.Result,
+			}})
+		})
+	}
+}
+
+// Step advances every group one quantum, then runs the transaction pump:
+// overdue phases fail, expired transactions abort, and completed phases
+// drive their machines to the next actions.
+func (sc *ShardedCluster) Step() {
+	sc.now += sc.Spec.Quantum
+	for _, g := range sc.Groups {
+		g.Run(sc.now)
+	}
+	keep := sc.outstanding[:0]
+	for _, call := range sc.outstanding {
+		switch {
+		case call.settled:
+		case sc.now >= call.due:
+			call.settled = true
+			sc.pending = append(sc.pending, pendingEvent{call.t, shard.Event{
+				Shard: call.act.Shard, Op: call.act.Cmd.Op, Failed: true,
+			}})
+		default:
+			keep = append(keep, call)
+		}
+	}
+	sc.outstanding = keep
+	for _, t := range sc.active {
+		if !t.m.Done() && !t.timedOut && sc.now >= t.deadline {
+			t.timedOut = true
+			sc.issue(t, t.m.Timeout())
+		}
+	}
+	for len(sc.pending) > 0 {
+		evs := sc.pending
+		sc.pending = nil
+		for _, pe := range evs {
+			wasDone := pe.t.m.Done()
+			sc.issue(pe.t, pe.t.m.Step(pe.ev))
+			if !wasDone && pe.t.m.Done() {
+				pe.t.doneAt = sc.now
+			}
+		}
+	}
+	live := sc.active[:0]
+	for _, t := range sc.active {
+		if !t.m.Done() {
+			live = append(live, t)
+		}
+	}
+	sc.active = live
+}
+
+// Run advances lockstep virtual time to `until`.
+func (sc *ShardedCluster) Run(until time.Duration) {
+	for sc.now < until {
+		sc.Step()
+	}
+}
+
+// RunUntil steps until pred holds or the virtual deadline passes, reporting
+// whether pred held.
+func (sc *ShardedCluster) RunUntil(pred func() bool, deadline time.Duration) bool {
+	for sc.now < deadline {
+		if pred() {
+			return true
+		}
+		sc.Step()
+	}
+	return pred()
+}
+
+// ActiveTxns returns the number of transactions still in flight.
+func (sc *ShardedCluster) ActiveTxns() int { return len(sc.active) }
+
+// ReplicaRollup aggregates replica stats across shards with the per-shard
+// breakdown (and per-counter min/max shard, the straggler check).
+func (sc *ShardedCluster) ReplicaRollup() metrics.ShardRollup {
+	per := make([]map[string]uint64, 0, len(sc.Groups))
+	for _, g := range sc.Groups {
+		per = append(per, g.ReplicaCounters())
+	}
+	return metrics.RollupShards(per)
+}
+
+// BatcherRollup aggregates batcher stats across shards like ReplicaRollup.
+func (sc *ShardedCluster) BatcherRollup() metrics.ShardRollup {
+	per := make([]map[string]uint64, 0, len(sc.Groups))
+	for _, g := range sc.Groups {
+		per = append(per, g.BatcherCounters())
+	}
+	return metrics.RollupShards(per)
+}
+
+// CloseStores closes every group's durable stores.
+func (sc *ShardedCluster) CloseStores() {
+	for _, g := range sc.Groups {
+		g.CloseStores()
+	}
+}
+
+// ShardKeyGen restricts a generator's keys to one shard: it redraws from the
+// inner generator until the key routes to Shard (deterministically — the
+// redraws consume the client's seeded RNG), falling back to a deterministic
+// suffix probe if the redraw budget runs out. Sharded workloads use it so
+// every generated command genuinely belongs to the group that orders it.
+type ShardKeyGen struct {
+	Inner  workload.Generator
+	Router *shard.Router
+	Shard  int
+}
+
+var _ workload.Generator = (*ShardKeyGen)(nil)
+
+// Next implements workload.Generator.
+func (g *ShardKeyGen) Next(ctx proc.Context, client types.ClientID, seq uint64) types.Command {
+	var cmd types.Command
+	for try := 0; try < 64; try++ {
+		cmd = g.Inner.Next(ctx, client, seq)
+		if g.Router.ShardOf(cmd.Key) == g.Shard {
+			return cmd
+		}
+	}
+	for probe := 0; ; probe++ {
+		key := fmt.Sprintf("%s#%d", cmd.Key, probe)
+		if g.Router.ShardOf(key) == g.Shard {
+			cmd.Key = key
+			return cmd
+		}
+	}
+}

@@ -1,0 +1,282 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"runtime"
+	"strings"
+	"time"
+
+	"ezbft/internal/metrics"
+	"ezbft/internal/shard"
+	"ezbft/internal/types"
+	"ezbft/internal/wan"
+	"ezbft/internal/workload"
+)
+
+// --- shard scaling sweep (-e shard) ---
+
+// ShardSweepCell is one configuration's measurement.
+type ShardSweepCell struct {
+	Protocol   string  `json:"protocol"`
+	Shards     int     `json:"shards"`
+	CrossRatio float64 `json:"cross_ratio"`
+	// Throughput is the aggregate committed operations per second across
+	// all shards in the measurement window (single-key completions plus
+	// cross-shard transaction sub-operations).
+	Throughput float64 `json:"throughput"`
+	// PerShard is each shard's single-key completion rate — near-equal
+	// values show the aggregate isn't hiding a straggler group.
+	PerShard []float64 `json:"per_shard"`
+	// Speedup is Throughput relative to the shards=1 cell of the same
+	// protocol and cross-ratio.
+	Speedup       float64 `json:"speedup"`
+	TxnsCommitted int     `json:"txns_committed"`
+	TxnsAborted   int     `json:"txns_aborted"`
+	// Replica and Batcher roll the per-protocol stats up across shards with
+	// the per-shard breakdown.
+	Replica metrics.ShardRollup `json:"replica"`
+	Batcher metrics.ShardRollup `json:"batcher"`
+}
+
+// ShardSweepResult is the full sweep: shards × cross-shard ratio × protocol.
+type ShardSweepResult struct {
+	Duration         time.Duration `json:"duration_ns"`
+	Warmup           time.Duration `json:"warmup_ns"`
+	ClientsPerRegion int           `json:"clients_per_region"`
+	Seed             int64         `json:"seed"`
+	GOMAXPROCS       int           `json:"gomaxprocs"`
+	// Note records the measurement model.
+	Note        string           `json:"note"`
+	ShardCounts []int            `json:"shard_counts"`
+	Ratios      []float64        `json:"ratios"`
+	Cells       []ShardSweepCell `json:"cells"`
+}
+
+// ShardSweep measures aggregate throughput versus shard count: for every
+// protocol, shard counts 1/2/4/8 and cross-shard transaction ratios
+// 0/0.05/0.2. Each shard is an independent consensus group saturated by its
+// own open-loop clients (Fig 7's workload shape restricted to the shard's
+// keyspace); cross-shard load comes from closed-loop coordinators issuing
+// two-key transactions spanning two shards. The measurement runs on the
+// deterministic simulator in virtual time: each group's saturation point
+// comes from the calibrated 8-core replica cost model, so the reported
+// scaling is what a deployment with a core budget per shard achieves,
+// independent of how many host cores this process happened to get (recorded
+// in GOMAXPROCS).
+func ShardSweep(p Params) (*ShardSweepResult, error) {
+	if p.Duration <= 0 {
+		p.Duration = 4 * time.Second
+	}
+	if p.Warmup <= 0 {
+		p.Warmup = time.Second
+	}
+	if p.ClientsPerRegion <= 0 {
+		p.ClientsPerRegion = 2
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	res := &ShardSweepResult{
+		Duration:         p.Duration,
+		Warmup:           p.Warmup,
+		ClientsPerRegion: p.ClientsPerRegion,
+		Seed:             p.Seed,
+		GOMAXPROCS:       runtime.GOMAXPROCS(0),
+		Note: "virtual-time simulation; per-shard capacity from the calibrated 8-core replica cost model, " +
+			"so scaling reflects a deployment provisioning one replica set per shard",
+		ShardCounts: []int{1, 2, 4, 8},
+		Ratios:      []float64{0, 0.05, 0.2},
+	}
+	baseline := make(map[string]float64)
+	for _, proto := range Protocols {
+		for _, ratio := range res.Ratios {
+			for _, shards := range res.ShardCounts {
+				cell, err := runShardCell(p, proto, shards, ratio)
+				if err != nil {
+					return nil, err
+				}
+				key := fmt.Sprintf("%s@%g", proto, ratio)
+				if shards == 1 {
+					baseline[key] = cell.Throughput
+				}
+				if base := baseline[key]; base > 0 {
+					cell.Speedup = cell.Throughput / base
+				}
+				res.Cells = append(res.Cells, cell)
+			}
+		}
+	}
+	return res, nil
+}
+
+func runShardCell(p Params, proto Protocol, shards int, ratio float64) (ShardSweepCell, error) {
+	router := shard.NewRouter(shards)
+	topo := wan.DeploymentA()
+	regions := topo.Regions()
+	collectors := make([]*metrics.Collector, shards)
+	ss := ShardSpec{
+		Base: Spec{
+			Protocol:       proto,
+			Topology:       topo,
+			ReplicaRegions: regions,
+			Primary:        0,
+			Seed:           p.Seed,
+		},
+		Shards: shards,
+	}
+	for _, region := range regions {
+		region := region
+		ss.Clients = append(ss.Clients, ShardClientGroup{
+			Region: region,
+			Count:  p.ClientsPerRegion,
+			NewDriver: func(s, _ int) workload.Driver {
+				return &workload.OpenLoop{
+					Gen:         &ShardKeyGen{Inner: &workload.KVGenerator{}, Router: router, Shard: s},
+					Recorder:    shardRecorder{collectors: &collectors, shard: s},
+					Interval:    time.Millisecond, // saturating offered load, as in Fig 7
+					MaxInFlight: 64,
+				}
+			},
+		})
+	}
+	sc, err := BuildSharded(ss)
+	if err != nil {
+		return ShardSweepCell{}, err
+	}
+	for s, g := range sc.Groups {
+		collectors[s] = g.Collector
+	}
+
+	// Cross-shard load: closed-loop coordinators, scaled so roughly `ratio`
+	// of the deployment's clients drive two-key transactions spanning two
+	// shards (the same shard twice when shards=1, exercising the one-phase
+	// path).
+	pumps := int(math.Round(ratio * float64(p.ClientsPerRegion*len(regions)*shards)))
+	if ratio > 0 && pumps == 0 {
+		pumps = 1
+	}
+	end := p.Warmup + p.Duration
+	const txnTimeout = 2 * time.Second
+	val := []byte("shard-sweep-txn")
+	handles := make([]*Txn, pumps)
+	seqs := make([]uint64, pumps)
+	cell := ShardSweepCell{Protocol: string(proto), Shards: shards, CrossRatio: ratio}
+	var txnOpsInWindow int
+	launch := func(i int) {
+		seqs[i]++
+		a, b := i%shards, (i+1)%shards
+		ops := []shard.Op{
+			{Op: types.OpPut, Key: keyOnShard(router, a, fmt.Sprintf("t%02d:%06d:a", i, seqs[i])), Value: val},
+			{Op: types.OpPut, Key: keyOnShard(router, b, fmt.Sprintf("t%02d:%06d:b", i, seqs[i])), Value: val},
+		}
+		t, err := sc.SubmitTxn(ops, txnTimeout)
+		if err != nil {
+			return
+		}
+		handles[i] = t
+	}
+	for i := range handles {
+		launch(i)
+	}
+	for sc.Now() < end {
+		sc.Step()
+		for i, t := range handles {
+			if t == nil || !t.Done() {
+				continue
+			}
+			inWindow := t.DoneAt() > p.Warmup && t.DoneAt() <= end
+			if t.Outcome() == nil {
+				cell.TxnsCommitted++
+				if inWindow {
+					txnOpsInWindow += 2
+				}
+			} else {
+				cell.TxnsAborted++
+			}
+			launch(i)
+		}
+	}
+
+	plain := 0
+	cell.PerShard = make([]float64, shards)
+	for s, g := range sc.Groups {
+		n := g.Collector.CompletedIn(p.Warmup, end)
+		cell.PerShard[s] = float64(n) / p.Duration.Seconds()
+		plain += n
+	}
+	cell.Throughput = (float64(plain) + float64(txnOpsInWindow)) / p.Duration.Seconds()
+	cell.Replica = sc.ReplicaRollup()
+	cell.Batcher = sc.BatcherRollup()
+	return cell, nil
+}
+
+// keyOnShard probes deterministically for a key the router places on the
+// target shard.
+func keyOnShard(r *shard.Router, target int, base string) string {
+	for probe := 0; ; probe++ {
+		k := fmt.Sprintf("%s#%d", base, probe)
+		if r.ShardOf(k) == target {
+			return k
+		}
+	}
+}
+
+// shardRecorder routes completions to the shard's collector, resolved at
+// record time (the collectors do not exist when drivers are built).
+type shardRecorder struct {
+	collectors *[]*metrics.Collector
+	shard      int
+}
+
+func (r shardRecorder) Record(client types.ClientID, c workload.Completion) {
+	if cs := *r.collectors; r.shard < len(cs) && cs[r.shard] != nil {
+		cs[r.shard].Record(client, c)
+	}
+}
+
+// Render formats the sweep: one block per cross-shard ratio, protocols ×
+// shard counts with aggregate throughput and speedup over one shard.
+func (r *ShardSweepResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Shard scaling — aggregate throughput (ops/s), %v window, %d clients/region/shard (GOMAXPROCS=%d)\n",
+		r.Duration, r.ClientsPerRegion, r.GOMAXPROCS)
+	for _, ratio := range r.Ratios {
+		fmt.Fprintf(&b, "\ncross-shard ratio %g:\n", ratio)
+		header := []string{"protocol"}
+		for _, n := range r.ShardCounts {
+			header = append(header, fmt.Sprintf("%d shard(s)", n))
+		}
+		var rows [][]string
+		for _, proto := range Protocols {
+			row := []string{string(proto)}
+			for _, n := range r.ShardCounts {
+				if cell := r.find(string(proto), n, ratio); cell != nil {
+					row = append(row, fmt.Sprintf("%8.0f (%.2fx)", cell.Throughput, cell.Speedup))
+				} else {
+					row = append(row, "-")
+				}
+			}
+			rows = append(rows, row)
+		}
+		b.WriteString(metrics.Table(header, rows))
+	}
+	return b.String()
+}
+
+// WriteJSON serializes the sweep for the committed snapshot
+// (BENCH_shard.json).
+func (r *ShardSweepResult) WriteJSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+func (r *ShardSweepResult) find(proto string, shards int, ratio float64) *ShardSweepCell {
+	for i := range r.Cells {
+		c := &r.Cells[i]
+		if c.Protocol == proto && c.Shards == shards && c.CrossRatio == ratio {
+			return c
+		}
+	}
+	return nil
+}

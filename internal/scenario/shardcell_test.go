@@ -1,0 +1,27 @@
+package scenario
+
+import "testing"
+
+// TestShardSmokeCells is the sharded slice of the CI gate: a flapping
+// partition inside one shard's consensus group must leave the other shard
+// unimpeded, keep cross-shard transactions atomic (post-heal ones must
+// commit), and the victim shard must rejoin convergence through state
+// transfer once the shape heals.
+func TestShardSmokeCells(t *testing.T) {
+	seed := SeedFromEnv(1)
+	for _, cell := range ShardSmokeCells() {
+		cell := cell
+		t.Run(cell.Name(), func(t *testing.T) {
+			res, err := RunShard(cell, Config{Seed: seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Pass {
+				t.Fatalf("replay: %s (EZBFT_SCENARIO_SEED=%d)", res, seed)
+			}
+			if res.TxnsCommitted == 0 {
+				t.Fatalf("no cross-shard transaction committed (EZBFT_SCENARIO_SEED=%d)", seed)
+			}
+		})
+	}
+}

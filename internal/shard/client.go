@@ -1,0 +1,159 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"ezbft/internal/types"
+)
+
+// Conn is one shard's submission endpoint: a protocol client bound to that
+// shard's consensus group. The root package's live and TCP clients satisfy
+// it directly.
+type Conn interface {
+	Execute(ctx context.Context, cmd types.Command) (types.Result, error)
+}
+
+// Options tunes the coordinator client.
+type Options struct {
+	// PhaseTimeout bounds each phase command (lock/apply/abort) on one
+	// shard; an expired phase counts as failed and the machine aborts or
+	// retries it (default 2s).
+	PhaseTimeout time.Duration
+	// RetryDelay paces re-emitted apply/abort phases toward an unreachable
+	// shard (default 50ms).
+	RetryDelay time.Duration
+	// Grace bounds how long past the caller's deadline the client keeps
+	// driving aborts (or post-commit applies) before giving up (default
+	// 3×PhaseTimeout).
+	Grace time.Duration
+	// IDPrefix distinguishes this coordinator's transaction ids; it must be
+	// unique among concurrent coordinators (default "txn").
+	IDPrefix string
+}
+
+func (o *Options) defaults() {
+	if o.PhaseTimeout <= 0 {
+		o.PhaseTimeout = 2 * time.Second
+	}
+	if o.RetryDelay <= 0 {
+		o.RetryDelay = 50 * time.Millisecond
+	}
+	if o.Grace <= 0 {
+		o.Grace = 3 * o.PhaseTimeout
+	}
+	if o.IDPrefix == "" {
+		o.IDPrefix = "txn"
+	}
+}
+
+// Client routes single-key commands to their owning shard and coordinates
+// multi-shard transactions through the commit Machine. It fans out over one
+// Conn per shard; the Conns themselves pipeline, so concurrent Execute and
+// Txn calls proceed in parallel.
+type Client struct {
+	router *Router
+	conns  []Conn
+	opts   Options
+	seq    atomic.Uint64
+}
+
+// NewClient builds a sharded client over one connection per shard (conns[i]
+// serves shard i).
+func NewClient(router *Router, conns []Conn, opts Options) (*Client, error) {
+	if len(conns) != router.Shards() {
+		return nil, fmt.Errorf("shard: %d conns for %d shards", len(conns), router.Shards())
+	}
+	opts.defaults()
+	return &Client{router: router, conns: conns, opts: opts}, nil
+}
+
+// Router returns the client's routing table.
+func (c *Client) Router() *Router { return c.router }
+
+// Execute routes one single-key command to its owning shard and blocks until
+// that shard's protocol commits it.
+func (c *Client) Execute(ctx context.Context, cmd types.Command) (types.Result, error) {
+	s, err := c.router.ShardOfCommand(cmd)
+	if err != nil {
+		return types.Result{}, err
+	}
+	return c.conns[s].Execute(ctx, cmd)
+}
+
+// Txn atomically applies a multi-key transaction: every sub-operation's
+// write lands in the final state of its owning shard, or none does. Returns
+// nil on commit and ErrTxnAborted (wrapped with the reason) on a clean
+// abort; any other error means the outcome could not be resolved within the
+// deadline plus grace.
+func (c *Client) Txn(ctx context.Context, ops []Op) error {
+	id := fmt.Sprintf("%s:%d", c.opts.IDPrefix, c.seq.Add(1))
+	m, err := NewMachine(c.router, id, ops)
+	if err != nil {
+		return err
+	}
+	return c.drive(ctx, m)
+}
+
+// drive executes the machine's actions against the shard connections. Phase
+// commands run on a background context bounded by PhaseTimeout — once the
+// caller's deadline expires the machine is told to time out (aborting a
+// still-locking transaction), and the remaining phases get Grace to land so
+// no shard is left holding locks when the partition that stalled a phase
+// heals within the grace window.
+func (c *Client) drive(ctx context.Context, m *Machine) error {
+	phaseCtx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	events := make(chan Event, 4*len(m.Shards())+4)
+	issue := func(a Action, delay time.Duration) {
+		go func() {
+			if delay > 0 {
+				t := time.NewTimer(delay)
+				select {
+				case <-t.C:
+				case <-phaseCtx.Done():
+					t.Stop()
+					return
+				}
+			}
+			pctx, pcancel := context.WithTimeout(phaseCtx, c.opts.PhaseTimeout)
+			res, err := c.conns[a.Shard].Execute(pctx, a.Cmd)
+			pcancel()
+			ev := Event{Shard: a.Shard, Op: a.Cmd.Op, Result: res, Failed: err != nil}
+			select {
+			case events <- ev:
+			case <-phaseCtx.Done():
+			}
+		}()
+	}
+	for _, a := range m.Start() {
+		issue(a, 0)
+	}
+	deadline := ctx.Done()
+	grace := time.NewTimer(time.Hour)
+	grace.Stop()
+	defer grace.Stop()
+	for !m.Done() {
+		select {
+		case ev := <-events:
+			delay := time.Duration(0)
+			if ev.Failed {
+				delay = c.opts.RetryDelay
+			}
+			for _, a := range m.Step(ev) {
+				issue(a, delay)
+			}
+		case <-deadline:
+			deadline = nil // fire once; finish within the grace window
+			grace.Reset(c.opts.Grace)
+			for _, a := range m.Timeout() {
+				issue(a, 0)
+			}
+		case <-grace.C:
+			return fmt.Errorf("shard: transaction %s unresolved past deadline and grace", m.ID())
+		}
+	}
+	return m.Outcome()
+}

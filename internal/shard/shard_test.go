@@ -1,0 +1,417 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"ezbft/internal/kvstore"
+	"ezbft/internal/types"
+)
+
+// keyOn probes deterministically for a key the router places on the target
+// shard.
+func keyOn(t *testing.T, r *Router, target int, base string) string {
+	t.Helper()
+	for probe := 0; probe < 10000; probe++ {
+		k := fmt.Sprintf("%s#%d", base, probe)
+		if r.ShardOf(k) == target {
+			return k
+		}
+	}
+	t.Fatalf("no key for shard %d", target)
+	return ""
+}
+
+func TestRouterDeterministicAndIdentityAtOne(t *testing.T) {
+	one := NewRouter(1)
+	a, b := NewRouter(4), NewRouter(4)
+	for i := 0; i < 2000; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		if one.ShardOf(k) != 0 {
+			t.Fatalf("single-shard router sent %q to shard %d", k, one.ShardOf(k))
+		}
+		if sa, sb := a.ShardOf(k), b.ShardOf(k); sa != sb {
+			t.Fatalf("routers disagree on %q: %d vs %d", k, sa, sb)
+		}
+	}
+	if len(one.ring) != 0 {
+		t.Fatalf("single-shard router built a %d-point ring", len(one.ring))
+	}
+}
+
+func TestRouterBalance(t *testing.T) {
+	const shards, keys = 8, 20000
+	r := NewRouter(shards)
+	counts := make([]int, shards)
+	for i := 0; i < keys; i++ {
+		counts[r.ShardOf(fmt.Sprintf("balance-key-%d", i))]++
+	}
+	mean := keys / shards
+	for s, n := range counts {
+		if n < mean*3/4 || n > mean*5/4 {
+			t.Fatalf("shard %d owns %d of %d keys (mean %d): beyond ±25%%", s, n, keys, mean)
+		}
+	}
+}
+
+func TestRouterShardsOfSortedDedup(t *testing.T) {
+	r := NewRouter(4)
+	keys := []string{
+		keyOn(t, r, 3, "c"), keyOn(t, r, 1, "a"), keyOn(t, r, 3, "d"), keyOn(t, r, 1, "b"),
+	}
+	got := r.ShardsOf(keys)
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("ShardsOf = %v, want [1 3]", got)
+	}
+	if _, err := r.ShardOfCommand(types.Command{Op: types.OpTxnApply, Key: "x"}); err == nil {
+		t.Fatal("ShardOfCommand accepted a transaction phase")
+	}
+}
+
+func TestLockPayloadRoundtrip(t *testing.T) {
+	ops := []Op{
+		{Op: types.OpPut, Key: "k1", Value: []byte("v1")},
+		{Op: types.OpIncr, Key: "k2"},
+	}
+	cmd := LockCommand("txn:42", ops, true)
+	p, err := decodeLockPayload(cmd.Value)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.ID != "txn:42" || !p.OnePhase || len(p.Ops) != 2 {
+		t.Fatalf("decoded %+v", p)
+	}
+	if p.Ops[0].Key != "k1" || string(p.Ops[0].Value) != "v1" || p.Ops[1].Op != types.OpIncr {
+		t.Fatalf("ops roundtrip mismatch: %+v", p.Ops)
+	}
+	id, err := decodeIDPayload(ApplyCommand("txn:7").Value)
+	if err != nil || id != "txn:7" {
+		t.Fatalf("id roundtrip: %q, %v", id, err)
+	}
+	if _, err := decodeLockPayload([]byte{9, 9}); err == nil {
+		t.Fatal("bad version accepted")
+	}
+}
+
+// grant/refuse build the app-level results the machine consumes.
+func grant() types.Result   { return statusResult(true, StatusGranted) }
+func applied() types.Result { return statusResult(true, StatusApplied) }
+func refuse() types.Result  { return statusResult(false, StatusConflict) }
+
+func twoShardMachine(t *testing.T) (*Machine, *Router) {
+	t.Helper()
+	r := NewRouter(2)
+	ops := []Op{
+		{Op: types.OpPut, Key: keyOn(t, r, 0, "m0"), Value: []byte("a")},
+		{Op: types.OpPut, Key: keyOn(t, r, 1, "m1"), Value: []byte("b")},
+	}
+	m, err := NewMachine(r, "t1", ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, r
+}
+
+func TestMachineTwoPhaseCommit(t *testing.T) {
+	m, _ := twoShardMachine(t)
+	if got := m.Shards(); len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Fatalf("shards %v", got)
+	}
+	acts := m.Start()
+	if len(acts) != 1 || acts[0].Shard != 0 || acts[0].Cmd.Op != types.OpTxnLock {
+		t.Fatalf("start actions %+v", acts)
+	}
+	acts = m.Step(Event{Shard: 0, Op: types.OpTxnLock, Result: grant()})
+	if len(acts) != 1 || acts[0].Shard != 1 || acts[0].Cmd.Op != types.OpTxnLock {
+		t.Fatalf("second lock %+v", acts)
+	}
+	acts = m.Step(Event{Shard: 1, Op: types.OpTxnLock, Result: grant()})
+	if len(acts) != 2 || acts[0].Cmd.Op != types.OpTxnApply || acts[1].Cmd.Op != types.OpTxnApply {
+		t.Fatalf("apply fan-out %+v", acts)
+	}
+	m.Step(Event{Shard: 0, Op: types.OpTxnApply, Result: applied()})
+	if m.Done() {
+		t.Fatal("done before every apply landed")
+	}
+	m.Step(Event{Shard: 1, Op: types.OpTxnApply, Result: applied()})
+	if !m.Done() || m.Outcome() != nil {
+		t.Fatalf("done=%v outcome=%v", m.Done(), m.Outcome())
+	}
+}
+
+func TestMachineRefusedLockAbortsEverywhere(t *testing.T) {
+	m, _ := twoShardMachine(t)
+	m.Start()
+	m.Step(Event{Shard: 0, Op: types.OpTxnLock, Result: grant()})
+	acts := m.Step(Event{Shard: 1, Op: types.OpTxnLock, Result: refuse()})
+	if len(acts) != 2 || acts[0].Cmd.Op != types.OpTxnAbort || acts[1].Cmd.Op != types.OpTxnAbort {
+		t.Fatalf("abort fan-out %+v", acts)
+	}
+	m.Step(Event{Shard: 0, Op: types.OpTxnAbort, Result: statusResult(true, StatusAborted)})
+	m.Step(Event{Shard: 1, Op: types.OpTxnAbort, Result: statusResult(true, StatusAborted)})
+	if !m.Done() || !errors.Is(m.Outcome(), ErrTxnAborted) {
+		t.Fatalf("done=%v outcome=%v", m.Done(), m.Outcome())
+	}
+}
+
+func TestMachineFailedLockAndRetriedAbort(t *testing.T) {
+	m, _ := twoShardMachine(t)
+	m.Start()
+	acts := m.Step(Event{Shard: 0, Op: types.OpTxnLock, Failed: true})
+	if len(acts) != 2 {
+		t.Fatalf("abort fan-out %+v", acts)
+	}
+	// A failed abort re-emits until it lands; exactly-once holds through the
+	// shard's tombstones.
+	acts = m.Step(Event{Shard: 1, Op: types.OpTxnAbort, Failed: true})
+	if len(acts) != 1 || acts[0].Shard != 1 || acts[0].Cmd.Op != types.OpTxnAbort {
+		t.Fatalf("abort retry %+v", acts)
+	}
+	m.Step(Event{Shard: 0, Op: types.OpTxnAbort, Result: statusResult(true, StatusAborted)})
+	m.Step(Event{Shard: 1, Op: types.OpTxnAbort, Result: statusResult(true, StatusAborted)})
+	if !m.Done() || !errors.Is(m.Outcome(), ErrTxnAborted) {
+		t.Fatalf("outcome %v", m.Outcome())
+	}
+}
+
+func TestMachineRetriedLockFindsCommit(t *testing.T) {
+	m, _ := twoShardMachine(t)
+	m.Start()
+	m.Step(Event{Shard: 0, Op: types.OpTxnLock, Result: applied()})
+	if !m.Done() || m.Outcome() != nil {
+		t.Fatalf("retried lock of committed txn: done=%v outcome=%v", m.Done(), m.Outcome())
+	}
+}
+
+func TestMachineTimeoutOnlyWhileLocking(t *testing.T) {
+	m, _ := twoShardMachine(t)
+	m.Start()
+	m.Step(Event{Shard: 0, Op: types.OpTxnLock, Result: grant()})
+	m.Step(Event{Shard: 1, Op: types.OpTxnLock, Result: grant()}) // commit point
+	if acts := m.Timeout(); acts != nil {
+		t.Fatalf("timeout past commit point emitted %+v", acts)
+	}
+
+	m2, _ := twoShardMachine(t)
+	m2.Start()
+	acts := m2.Timeout()
+	if len(acts) != 2 || acts[0].Cmd.Op != types.OpTxnAbort {
+		t.Fatalf("timeout while locking %+v", acts)
+	}
+}
+
+func TestMachineOnePhase(t *testing.T) {
+	r := NewRouter(2)
+	k1 := keyOn(t, r, 1, "p")
+	k2 := keyOn(t, r, 1, "q")
+	m, err := NewMachine(r, "t-one", []Op{
+		{Op: types.OpPut, Key: k1, Value: []byte("x")},
+		{Op: types.OpPut, Key: k2, Value: []byte("y")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acts := m.Start()
+	if len(acts) != 1 || acts[0].Shard != 1 {
+		t.Fatalf("start %+v", acts)
+	}
+	p, err := decodeLockPayload(acts[0].Cmd.Value)
+	if err != nil || !p.OnePhase || len(p.Ops) != 2 {
+		t.Fatalf("one-phase payload %+v err=%v", p, err)
+	}
+	m.Step(Event{Shard: 1, Op: types.OpTxnLock, Result: applied()})
+	if !m.Done() || m.Outcome() != nil {
+		t.Fatalf("one-phase outcome %v", m.Outcome())
+	}
+}
+
+func TestMachineRejectsBadOps(t *testing.T) {
+	r := NewRouter(2)
+	if _, err := NewMachine(r, "e", nil); err == nil {
+		t.Fatal("empty transaction accepted")
+	}
+	if _, err := NewMachine(r, "e", []Op{{Op: types.OpTxnApply, Key: "k"}}); err == nil {
+		t.Fatal("nested txn op accepted")
+	}
+}
+
+func TestAppPlainPassthroughAndDigest(t *testing.T) {
+	inner := kvstore.New()
+	plain := kvstore.New()
+	app := Wrap(inner)
+	cmd := types.Command{Client: 1, Timestamp: 1, Op: types.OpPut, Key: "k", Value: []byte("v")}
+	app.Apply(cmd)
+	plain.Apply(cmd)
+	if app.Digest() != plain.Digest() {
+		t.Fatal("empty transaction tables must leave the digest byte-identical")
+	}
+	if v, ok := inner.Get("k"); !ok || string(v) != "v" {
+		t.Fatalf("passthrough write missing: %q %v", v, ok)
+	}
+}
+
+func TestAppLockApplyIdempotent(t *testing.T) {
+	inner := kvstore.New()
+	app := Wrap(inner)
+	ops := []Op{{Op: types.OpPut, Key: "a", Value: []byte("1")}}
+	lock := LockCommand("t1", ops, false)
+	lock.Client, lock.Timestamp = 5, 1
+
+	res := app.Apply(lock)
+	if !res.OK || ResultStatus(res) != StatusGranted {
+		t.Fatalf("lock: %+v (%v)", res, ResultStatus(res))
+	}
+	if _, ok := inner.Get("a"); ok {
+		t.Fatal("staged write leaked into the store before apply")
+	}
+	if got := app.LockedKeys(); len(got) != 1 || got[0] != "a" {
+		t.Fatalf("locked keys %v", got)
+	}
+	// Re-lock by the holder is an idempotent grant (retried phase command).
+	if res := app.Apply(lock); !res.OK || ResultStatus(res) != StatusGranted {
+		t.Fatalf("re-lock: %+v", res)
+	}
+
+	apply := ApplyCommand("t1")
+	apply.Client, apply.Timestamp = 5, 2
+	if res := app.Apply(apply); !res.OK || ResultStatus(res) != StatusApplied {
+		t.Fatalf("apply: %+v", res)
+	}
+	if v, ok := inner.Get("a"); !ok || string(v) != "1" {
+		t.Fatalf("committed write missing: %q %v", v, ok)
+	}
+	if got := app.LockedKeys(); len(got) != 0 {
+		t.Fatalf("locks not released: %v", got)
+	}
+	// Re-apply and a late lock retry both answer from the applied tombstone
+	// without re-executing — exactly-once at the application layer.
+	if res := app.Apply(apply); !res.OK || ResultStatus(res) != StatusApplied {
+		t.Fatalf("re-apply: %+v", res)
+	}
+	if res := app.Apply(lock); !res.OK || ResultStatus(res) != StatusApplied {
+		t.Fatalf("late lock after commit: %+v", res)
+	}
+	if v, _ := inner.Get("a"); string(v) != "1" {
+		t.Fatalf("duplicate phases re-executed the write: %q", v)
+	}
+}
+
+func TestAppConflictAndAbort(t *testing.T) {
+	inner := kvstore.New()
+	app := Wrap(inner)
+	l1 := LockCommand("t1", []Op{{Op: types.OpPut, Key: "k", Value: []byte("1")}}, false)
+	l2 := LockCommand("t2", []Op{{Op: types.OpPut, Key: "k", Value: []byte("2")}}, false)
+	if res := app.Apply(l1); ResultStatus(res) != StatusGranted {
+		t.Fatalf("t1 lock %+v", res)
+	}
+	if res := app.Apply(l2); res.OK || ResultStatus(res) != StatusConflict {
+		t.Fatalf("t2 lock should conflict: %+v", res)
+	}
+	if res := app.Apply(AbortCommand("t1")); !res.OK || ResultStatus(res) != StatusAborted {
+		t.Fatalf("abort %+v", res)
+	}
+	if _, ok := inner.Get("k"); ok {
+		t.Fatal("aborted transaction's staged write reached the store")
+	}
+	if len(app.LockedKeys()) != 0 {
+		t.Fatalf("abort left locks: %v", app.LockedKeys())
+	}
+	// The abort tombstone refuses a late lock retry of t1...
+	if res := app.Apply(l1); res.OK || ResultStatus(res) != StatusAborted {
+		t.Fatalf("late lock after abort: %+v", res)
+	}
+	// ...and an apply of the aborted id.
+	if res := app.Apply(ApplyCommand("t1")); res.OK || ResultStatus(res) != StatusAborted {
+		t.Fatalf("apply after abort: %+v", res)
+	}
+	// t2 can now lock.
+	if res := app.Apply(l2); ResultStatus(res) != StatusGranted {
+		t.Fatalf("t2 after release: %+v", res)
+	}
+}
+
+func TestAppAbortBeforeLockTombstones(t *testing.T) {
+	app := Wrap(kvstore.New())
+	// Abort ordered before the (delayed) lock: the tombstone must refuse the
+	// lock so no shard strands a lock for a decided transaction.
+	if res := app.Apply(AbortCommand("ghost")); !res.OK {
+		t.Fatalf("abort of unknown txn: %+v", res)
+	}
+	lock := LockCommand("ghost", []Op{{Op: types.OpPut, Key: "g", Value: []byte("x")}}, false)
+	if res := app.Apply(lock); res.OK || ResultStatus(res) != StatusAborted {
+		t.Fatalf("late lock not refused: %+v", res)
+	}
+	// Apply of a never-locked transaction is unknown, not a silent commit.
+	if res := app.Apply(ApplyCommand("never")); res.OK || ResultStatus(res) != StatusUnknown {
+		t.Fatalf("apply of unknown txn: %+v", res)
+	}
+}
+
+func TestAppSpeculationRollback(t *testing.T) {
+	inner := kvstore.New()
+	app := Wrap(inner)
+	lock := LockCommand("spec1", []Op{{Op: types.OpPut, Key: "s", Value: []byte("v")}}, false)
+	if res := app.SpecExecute(lock); ResultStatus(res) != StatusGranted {
+		t.Fatalf("spec lock %+v", res)
+	}
+	// The speculative overlay must not touch the final tables.
+	if len(app.LockedKeys()) != 0 {
+		t.Fatalf("speculative lock reached final state: %v", app.LockedKeys())
+	}
+	app.Rollback()
+	if res := app.Apply(ApplyCommand("spec1")); ResultStatus(res) != StatusUnknown {
+		t.Fatalf("rolled-back lock still visible: %+v", res)
+	}
+	// PromoteFinal lands the lock in the final tables.
+	if res := app.PromoteFinal(lock); ResultStatus(res) != StatusGranted {
+		t.Fatalf("promote lock %+v", res)
+	}
+	if got := app.LockedKeys(); len(got) != 1 {
+		t.Fatalf("promoted lock missing: %v", got)
+	}
+}
+
+func TestAppSnapshotRestoreRoundtrip(t *testing.T) {
+	inner := kvstore.New()
+	app := Wrap(inner)
+	app.Apply(types.Command{Client: 1, Timestamp: 1, Op: types.OpPut, Key: "base", Value: []byte("b")})
+	app.Apply(LockCommand("t-snap", []Op{{Op: types.OpPut, Key: "locked", Value: []byte("v")}}, false))
+	one := LockCommand("t-done", []Op{{Op: types.OpPut, Key: "done", Value: []byte("d")}}, true)
+	one.Client, one.Timestamp = 2, 1
+	app.Apply(one)
+
+	snap := app.Snapshot()
+	restored := Wrap(kvstore.New())
+	if err := restored.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Digest() != app.Digest() {
+		t.Fatal("digest mismatch after snapshot/restore")
+	}
+	// The restored replica enforces the same locks and tombstones.
+	steal := LockCommand("thief", []Op{{Op: types.OpPut, Key: "locked", Value: []byte("x")}}, false)
+	if res := restored.Apply(steal); ResultStatus(res) != StatusConflict {
+		t.Fatalf("restored lock table not enforced: %+v", res)
+	}
+	redo := LockCommand("t-done", []Op{{Op: types.OpPut, Key: "done", Value: []byte("d")}}, true)
+	if res := restored.Apply(redo); ResultStatus(res) != StatusApplied {
+		t.Fatalf("restored tombstones not enforced: %+v", res)
+	}
+}
+
+func TestTombstoneFIFOEviction(t *testing.T) {
+	ts := newTombstones()
+	for i := 0; i < TombstoneCap+10; i++ {
+		ts.add(fmt.Sprintf("t%d", i))
+	}
+	if ts.len() != TombstoneCap {
+		t.Fatalf("len %d, want %d", ts.len(), TombstoneCap)
+	}
+	if ts.has("t0") || ts.has("t9") {
+		t.Fatal("oldest tombstones not evicted")
+	}
+	if !ts.has(fmt.Sprintf("t%d", TombstoneCap+9)) {
+		t.Fatal("newest tombstone missing")
+	}
+}

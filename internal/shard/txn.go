@@ -1,0 +1,430 @@
+package shard
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"ezbft/internal/types"
+)
+
+// TxnKey is the reserved Command.Key carried by every transaction phase.
+// The leading NUL keeps it out of any realistic application keyspace; the
+// interference relation already orders txn phases against everything, so the
+// key only needs to be recognizable, not unique per transaction.
+const TxnKey = "\x00txn"
+
+// Op is one sub-operation of a multi-key transaction: a plain key-value
+// operation staged on whichever shard owns its key.
+type Op struct {
+	Op    types.Op
+	Key   string
+	Value []byte
+}
+
+// Status is the application-level outcome of a transaction phase, carried in
+// the first byte of the phase command's Result.Value.
+type Status uint8
+
+// Phase outcomes.
+const (
+	StatusGranted  Status = iota + 1 // lock acquired (and writes staged)
+	StatusConflict                   // refused: a key is locked by another transaction
+	StatusApplied                    // staged writes are in the final state
+	StatusAborted                    // transaction tombstoned; locks released
+	StatusUnknown                    // apply/abort for a transaction never locked here
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case StatusGranted:
+		return "granted"
+	case StatusConflict:
+		return "conflict"
+	case StatusApplied:
+		return "applied"
+	case StatusAborted:
+		return "aborted"
+	case StatusUnknown:
+		return "unknown"
+	default:
+		return fmt.Sprintf("Status(%d)", uint8(s))
+	}
+}
+
+// statusResult encodes a phase outcome as an application Result.
+func statusResult(ok bool, s Status) types.Result {
+	return types.Result{OK: ok, Value: []byte{byte(s)}}
+}
+
+// ResultStatus decodes the Status from a phase command's result; 0 if the
+// result carries none.
+func ResultStatus(r types.Result) Status {
+	if len(r.Value) == 0 {
+		return 0
+	}
+	return Status(r.Value[0])
+}
+
+const (
+	payloadVersion   = 1
+	flagOnePhase     = 1 << 0 // lock and apply in one command (single-shard fast path)
+	maxPayloadString = 1 << 16
+)
+
+// lockPayload is the body of an OpTxnLock command: the transaction identity
+// plus the sub-operations this shard must stage.
+type lockPayload struct {
+	ID       string
+	OnePhase bool
+	Ops      []Op
+}
+
+// LockCommand builds the phase-1 command for one shard. onePhase collapses
+// lock and apply into a single atomic command — the fast path for
+// transactions whose footprint lands on one shard.
+func LockCommand(id string, ops []Op, onePhase bool) types.Command {
+	var flags byte
+	if onePhase {
+		flags |= flagOnePhase
+	}
+	buf := []byte{payloadVersion, flags}
+	buf = appendString(buf, id)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(ops)))
+	for _, op := range ops {
+		buf = append(buf, byte(op.Op))
+		buf = appendString(buf, op.Key)
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(op.Value)))
+		buf = append(buf, op.Value...)
+	}
+	return types.Command{Op: types.OpTxnLock, Key: TxnKey, Value: buf}
+}
+
+// ApplyCommand builds the phase-2 command releasing a shard's staged writes
+// into the final state.
+func ApplyCommand(id string) types.Command {
+	return types.Command{Op: types.OpTxnApply, Key: TxnKey, Value: idPayload(id)}
+}
+
+// AbortCommand builds the abort command: release locks, drop staged writes,
+// and tombstone the transaction so a late lock cannot resurrect it.
+func AbortCommand(id string) types.Command {
+	return types.Command{Op: types.OpTxnAbort, Key: TxnKey, Value: idPayload(id)}
+}
+
+func idPayload(id string) []byte {
+	buf := []byte{payloadVersion, 0}
+	return appendString(buf, id)
+}
+
+func appendString(buf []byte, s string) []byte {
+	if len(s) >= maxPayloadString {
+		s = s[:maxPayloadString-1]
+	}
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(s)))
+	return append(buf, s...)
+}
+
+var errTruncated = errors.New("shard: truncated transaction payload")
+
+func decodeLockPayload(b []byte) (lockPayload, error) {
+	var p lockPayload
+	if len(b) < 2 || b[0] != payloadVersion {
+		return p, fmt.Errorf("shard: bad lock payload header")
+	}
+	p.OnePhase = b[1]&flagOnePhase != 0
+	b = b[2:]
+	var err error
+	if p.ID, b, err = takeString(b); err != nil {
+		return p, err
+	}
+	if len(b) < 2 {
+		return p, errTruncated
+	}
+	n := int(binary.BigEndian.Uint16(b))
+	b = b[2:]
+	p.Ops = make([]Op, 0, n)
+	for i := 0; i < n; i++ {
+		if len(b) < 1 {
+			return p, errTruncated
+		}
+		op := Op{Op: types.Op(b[0])}
+		b = b[1:]
+		if op.Key, b, err = takeString(b); err != nil {
+			return p, err
+		}
+		if len(b) < 4 {
+			return p, errTruncated
+		}
+		vn := int(binary.BigEndian.Uint32(b))
+		b = b[4:]
+		if len(b) < vn {
+			return p, errTruncated
+		}
+		if vn > 0 {
+			op.Value = append([]byte(nil), b[:vn]...)
+		}
+		b = b[vn:]
+		p.Ops = append(p.Ops, op)
+	}
+	return p, nil
+}
+
+func decodeIDPayload(b []byte) (string, error) {
+	if len(b) < 2 || b[0] != payloadVersion {
+		return "", fmt.Errorf("shard: bad transaction payload header")
+	}
+	id, _, err := takeString(b[2:])
+	return id, err
+}
+
+func takeString(b []byte) (string, []byte, error) {
+	if len(b) < 2 {
+		return "", nil, errTruncated
+	}
+	n := int(binary.BigEndian.Uint16(b))
+	b = b[2:]
+	if len(b) < n {
+		return "", nil, errTruncated
+	}
+	return string(b[:n]), b[n:], nil
+}
+
+// ErrTxnAborted reports a transaction that was cleanly aborted (lock
+// conflict or timeout before the commit point); no shard applied any of its
+// writes.
+var ErrTxnAborted = errors.New("shard: transaction aborted")
+
+// machinePhase tracks the coordinator state machine through the commit
+// protocol.
+type machinePhase uint8
+
+const (
+	phaseLocking machinePhase = iota + 1
+	phaseApplying
+	phaseAborting
+	phaseDone
+)
+
+// Action is one command the coordinator must order through one shard's
+// consensus group. The driver (blocking client or sim pump) submits it and
+// feeds the completion back as an Event.
+type Action struct {
+	Shard int
+	Cmd   types.Command
+}
+
+// Event is the completion of a previously emitted Action. Failed reports a
+// transport-level failure or per-phase timeout (no Result available); the
+// machine responds by aborting (lock phase) or re-emitting the action
+// (apply/abort phases, which must eventually land).
+type Event struct {
+	Shard  int
+	Op     types.Op
+	Result types.Result
+	Failed bool
+}
+
+// Machine is the pure coordinator state machine for one multi-shard
+// transaction: feed it completions, execute the actions it returns. It holds
+// no clocks, channels, or I/O, so the blocking live client and the
+// deterministic simulator pump drive the identical commit logic — the
+// determinism argument for cross-shard commits reduces to the determinism of
+// each shard's consensus group plus this machine's pure transitions.
+//
+// Protocol: locks are acquired sequentially in ascending shard order (the
+// lowest touched shard is the coordinator), so two transactions with
+// overlapping footprints never deadlock — the one that reaches the common
+// shard second is refused and aborts. Only after every shard granted its
+// lock does the machine fan out applies; aborts fan out on any refusal or on
+// Timeout. A single-shard footprint takes the one-phase fast path: one
+// command locks and applies atomically.
+type Machine struct {
+	id       string
+	shards   []int        // ascending; shards[0] is the coordinator
+	perShard map[int][]Op // sub-ops per touched shard
+
+	phase   machinePhase
+	lockIdx int          // next shard to lock (phaseLocking)
+	pending map[int]bool // shards with an outstanding apply/abort
+	outcome error        // nil = committed (valid once Done)
+}
+
+// NewMachine plans a transaction over the router: groups the sub-ops by
+// owning shard and fixes the lock order. Transactions must carry at least
+// one sub-op.
+func NewMachine(r *Router, id string, ops []Op) (*Machine, error) {
+	if len(ops) == 0 {
+		return nil, fmt.Errorf("shard: empty transaction %q", id)
+	}
+	perShard := make(map[int][]Op)
+	for _, op := range ops {
+		if op.Op.IsTxn() || op.Op == types.OpNoop {
+			return nil, fmt.Errorf("shard: transaction %q carries non-application op %v", id, op.Op)
+		}
+		s := r.ShardOf(op.Key)
+		perShard[s] = append(perShard[s], op)
+	}
+	keys := make([]string, 0, len(ops))
+	for _, op := range ops {
+		keys = append(keys, op.Key)
+	}
+	m := &Machine{
+		id:       id,
+		shards:   r.ShardsOf(keys),
+		perShard: perShard,
+		phase:    phaseLocking,
+		pending:  make(map[int]bool),
+	}
+	return m, nil
+}
+
+// ID returns the transaction identity.
+func (m *Machine) ID() string { return m.id }
+
+// Shards returns the touched shards in lock order.
+func (m *Machine) Shards() []int { return m.shards }
+
+// Done reports whether the protocol finished; Outcome is then valid.
+func (m *Machine) Done() bool { return m.phase == phaseDone }
+
+// Outcome returns nil if the transaction committed, ErrTxnAborted if it
+// aborted cleanly, or a descriptive error otherwise. Valid only once Done.
+func (m *Machine) Outcome() error { return m.outcome }
+
+// Start returns the first action(s). Single-shard transactions emit one
+// one-phase command; multi-shard transactions emit the coordinator's lock.
+func (m *Machine) Start() []Action {
+	if len(m.shards) == 1 {
+		s := m.shards[0]
+		m.phase = phaseApplying // one-phase: the lock command is also the apply
+		m.pending[s] = true
+		return []Action{{Shard: s, Cmd: LockCommand(m.id, m.perShard[s], true)}}
+	}
+	return []Action{m.lockAction()}
+}
+
+func (m *Machine) lockAction() Action {
+	s := m.shards[m.lockIdx]
+	return Action{Shard: s, Cmd: LockCommand(m.id, m.perShard[s], false)}
+}
+
+// Step consumes one completion and returns the next actions (possibly
+// none). Events for shards with nothing outstanding — late duplicates from
+// a retried phase — are ignored.
+func (m *Machine) Step(ev Event) []Action {
+	switch m.phase {
+	case phaseLocking:
+		return m.stepLock(ev)
+	case phaseApplying, phaseAborting:
+		return m.stepFanout(ev)
+	default:
+		return nil
+	}
+}
+
+func (m *Machine) stepLock(ev Event) []Action {
+	if ev.Op != types.OpTxnLock || ev.Shard != m.shards[m.lockIdx] {
+		return nil
+	}
+	status := ResultStatus(ev.Result)
+	switch {
+	case ev.Failed:
+		// The lock may or may not have been ordered; abort everywhere so
+		// either interleaving (lock-then-abort, abort-tombstone-then-lock)
+		// releases it.
+		return m.abortAll(fmt.Errorf("%w: lock on shard %d failed", ErrTxnAborted, ev.Shard))
+	case ev.Result.OK && status == StatusApplied:
+		// A retried lock found the transaction already committed.
+		m.phase = phaseDone
+		m.outcome = nil
+		return nil
+	case ev.Result.OK:
+		m.lockIdx++
+		if m.lockIdx < len(m.shards) {
+			return []Action{m.lockAction()}
+		}
+		// Commit point: every shard holds the locks. Fan out applies.
+		m.phase = phaseApplying
+		actions := make([]Action, 0, len(m.shards))
+		for _, s := range m.shards {
+			m.pending[s] = true
+			actions = append(actions, Action{Shard: s, Cmd: ApplyCommand(m.id)})
+		}
+		return actions
+	default:
+		return m.abortAll(fmt.Errorf("%w: shard %d refused lock (%v)", ErrTxnAborted, ev.Shard, status))
+	}
+}
+
+// abortAll transitions to the abort fan-out covering every touched shard —
+// including shards never locked, whose abort tombstone refuses any late
+// lock delivery.
+func (m *Machine) abortAll(reason error) []Action {
+	m.phase = phaseAborting
+	m.outcome = reason
+	actions := make([]Action, 0, len(m.shards))
+	for _, s := range m.shards {
+		m.pending[s] = true
+		actions = append(actions, Action{Shard: s, Cmd: AbortCommand(m.id)})
+	}
+	return actions
+}
+
+func (m *Machine) stepFanout(ev Event) []Action {
+	wantOp := types.OpTxnApply
+	if m.phase == phaseAborting {
+		wantOp = types.OpTxnAbort
+	}
+	oneShot := len(m.shards) == 1 && m.phase == phaseApplying
+	if oneShot {
+		wantOp = types.OpTxnLock
+	}
+	if ev.Op != wantOp || !m.pending[ev.Shard] {
+		return nil
+	}
+	if ev.Failed {
+		// Past the commit point (or mid-abort) the phase must land; re-emit
+		// and let the driver pace the retry. Exactly-once holds because the
+		// shard tombstones the transaction on first execution.
+		cmd := AbortCommand(m.id)
+		if m.phase == phaseApplying {
+			if oneShot {
+				cmd = LockCommand(m.id, m.perShard[ev.Shard], true)
+			} else {
+				cmd = ApplyCommand(m.id)
+			}
+		}
+		return []Action{{Shard: ev.Shard, Cmd: cmd}}
+	}
+	status := ResultStatus(ev.Result)
+	if oneShot && !ev.Result.OK {
+		// One-phase lock refused: nothing was held, nothing to undo.
+		delete(m.pending, ev.Shard)
+		m.phase = phaseDone
+		m.outcome = fmt.Errorf("%w: shard %d refused one-phase commit (%v)", ErrTxnAborted, ev.Shard, status)
+		return nil
+	}
+	if m.phase == phaseApplying && !ev.Result.OK {
+		// Unreachable by construction: only this coordinator aborts its own
+		// transaction, and it never aborts after the commit point. Surface
+		// loudly rather than mask a torn apply.
+		m.outcome = fmt.Errorf("shard: apply refused on shard %d (%v) after commit point", ev.Shard, status)
+	}
+	delete(m.pending, ev.Shard)
+	if len(m.pending) == 0 {
+		m.phase = phaseDone
+	}
+	return nil
+}
+
+// Timeout aborts a transaction still in its lock phase (the overall
+// transaction deadline expired). Past the commit point it returns nil: the
+// outcome is decided and the pending applies must still land.
+func (m *Machine) Timeout() []Action {
+	if m.phase != phaseLocking {
+		return nil
+	}
+	return m.abortAll(fmt.Errorf("%w: transaction deadline expired", ErrTxnAborted))
+}

@@ -103,6 +103,18 @@ type LiveConfig struct {
 	StoreDir string
 	// Fsync makes the disk backend fsync at every group-commit point.
 	Fsync bool
+	// Shards partitions the deployment into this many independent consensus
+	// groups behind a consistent-hash router (0 or 1 = the unsharded
+	// cluster, byte-identical to previous behaviour). Values above 1 are
+	// only valid through NewShardedLiveCluster; NewLiveCluster rejects them.
+	Shards int
+
+	// provider carries a pre-built authentication provider into the
+	// cluster, so a sharded deployment's groups share one keyring and one
+	// verified-signature cache instead of provisioning one per shard. Nil
+	// (the only state reachable from outside the package) provisions a
+	// fresh provider from AuthScheme.
+	provider *auth.Provider
 }
 
 // LiveCluster is a real-time in-process deployment: N replica goroutines
@@ -145,6 +157,9 @@ func NewLiveCluster(cfg LiveConfig) (*LiveCluster, error) {
 	if cfg.N < 4 || (cfg.N-1)%3 != 0 {
 		return nil, fmt.Errorf("ezbft: cluster size must be 3f+1, got %d", cfg.N)
 	}
+	if cfg.Shards > 1 {
+		return nil, fmt.Errorf("ezbft: LiveConfig.Shards=%d: use NewShardedLiveCluster", cfg.Shards)
+	}
 	if cfg.AuthScheme == 0 {
 		cfg.AuthScheme = auth.SchemeHMAC
 	}
@@ -154,23 +169,12 @@ func NewLiveCluster(cfg LiveConfig) (*LiveCluster, error) {
 	if cfg.MaxClients <= 0 {
 		cfg.MaxClients = DefaultMaxClients
 	}
-	// Provision identities for replicas plus the configured client space.
-	nodes := make([]types.NodeID, 0, cfg.N+cfg.MaxClients)
-	for i := 0; i < cfg.N; i++ {
-		nodes = append(nodes, types.ReplicaNode(types.ReplicaID(i)))
-	}
-	for i := 0; i < cfg.MaxClients; i++ {
-		nodes = append(nodes, types.ClientNode(types.ClientID(i)))
-	}
-	provider, err := auth.NewProvider(cfg.AuthScheme, nodes)
-	if err != nil {
-		return nil, err
-	}
-	if !cfg.DisableVerifyCache {
-		// One shared verified-signature memo for the whole in-process
-		// cluster: every node shares the provider's key material already, so
-		// each broadcast frame costs one real verification cluster-wide.
-		provider.UseCache(0)
+	provider := cfg.provider
+	if provider == nil {
+		provider, err = newLiveProvider(cfg)
+		if err != nil {
+			return nil, err
+		}
 	}
 
 	lc := &LiveCluster{
@@ -228,6 +232,30 @@ func NewLiveCluster(cfg LiveConfig) (*LiveCluster, error) {
 		node.Start()
 	}
 	return lc, nil
+}
+
+// newLiveProvider provisions a live deployment's authentication provider:
+// identities for the replicas plus the configured client space, behind one
+// shared verified-signature memo — every node shares the provider's key
+// material already, so each broadcast frame costs one real verification
+// cluster-wide (and, when a sharded deployment passes the provider to all
+// of its groups, deployment-wide).
+func newLiveProvider(cfg LiveConfig) (*auth.Provider, error) {
+	nodes := make([]types.NodeID, 0, cfg.N+cfg.MaxClients)
+	for i := 0; i < cfg.N; i++ {
+		nodes = append(nodes, types.ReplicaNode(types.ReplicaID(i)))
+	}
+	for i := 0; i < cfg.MaxClients; i++ {
+		nodes = append(nodes, types.ClientNode(types.ClientID(i)))
+	}
+	provider, err := auth.NewProvider(cfg.AuthScheme, nodes)
+	if err != nil {
+		return nil, err
+	}
+	if !cfg.DisableVerifyCache {
+		provider.UseCache(0)
+	}
+	return provider, nil
 }
 
 // attach registers a node on the mesh, behind an inbound verification pool

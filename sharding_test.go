@@ -1,0 +1,397 @@
+package ezbft
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"ezbft/internal/codec"
+	"ezbft/internal/kvstore"
+	"ezbft/internal/sim"
+	"ezbft/internal/types"
+)
+
+// shardKey probes for a key with the given base name that the router places
+// on the target shard.
+func shardKey(t *testing.T, r *ShardRouter, target int, base string) string {
+	t.Helper()
+	if r.ShardOf(base) == target {
+		return base
+	}
+	for i := 0; i < 1024; i++ {
+		k := fmt.Sprintf("%s#%d", base, i)
+		if r.ShardOf(k) == target {
+			return k
+		}
+	}
+	t.Fatalf("no key with base %q maps to shard %d", base, target)
+	return ""
+}
+
+// counterAt reads key's counter value from shard s, replica i's inner store;
+// 0 when absent.
+func counterAt(t *testing.T, c *ShardedSimCluster, s, i int, key string) uint64 {
+	t.Helper()
+	store, ok := c.App(s, i).Inner().(*kvstore.Store)
+	if !ok {
+		t.Fatalf("shard %d replica %d: inner application is %T, not *kvstore.Store", s, i, c.App(s, i).Inner())
+	}
+	v, ok := store.Get(key)
+	if !ok {
+		return 0
+	}
+	return kvstore.Counter(v)
+}
+
+// assertShardConverged asserts every replica of shard s reports the same
+// state digest.
+func assertShardConverged(t *testing.T, c *ShardedSimCluster, s int) {
+	t.Helper()
+	digests := c.StateDigests(s)
+	for i, d := range digests {
+		if d != digests[0] {
+			t.Fatalf("shard %d diverged: replica 0 %s vs replica %d %s", s, digests[0], i, d)
+		}
+	}
+}
+
+// TestShardedSimExactlyOnce injects duplicate cross-shard transactions —
+// the same transaction id submitted twice, racing a closed-loop single-key
+// workload — on every registered protocol, and requires each sub-operation
+// to land exactly once: OpIncr counters read 1 (a double apply would read
+// 2), both duplicate coordinators resolve committed, and every shard's
+// replicas converge on one digest.
+func TestShardedSimExactlyOnce(t *testing.T) {
+	for _, p := range []Protocol{EZBFT, PBFT, Zyzzyva, FaB} {
+		t.Run(string(p), func(t *testing.T) {
+			c, err := NewShardedSimCluster(SimConfig{
+				Protocol:             p,
+				Shards:               2,
+				ClientsPerRegion:     1,
+				MaxRequestsPerClient: 10,
+				Seed:                 1,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+
+			keyA := shardKey(t, c.Router(), 0, "xonce-a")
+			keyB := shardKey(t, c.Router(), 1, "xonce-b")
+			ops := []TxnOp{
+				{Op: OpIncr, Key: keyA},
+				{Op: OpIncr, Key: keyB},
+			}
+			// Two coordinators drive the same transaction id concurrently:
+			// a duplicated client retry in miniature. The shards' idempotent
+			// phase handlers must collapse them into one logical commit.
+			t1, err := c.SubmitTxnID("dup-txn", ops, 2*time.Second)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t2, err := c.SubmitTxnID("dup-txn", ops, 2*time.Second)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			wantPlain := 4 * 10 * 2 // regions x requests/client x shards
+			done := c.RunUntil(func() bool {
+				return t1.Done() && t2.Done() && c.ActiveTxns() == 0 && c.Completed() >= wantPlain
+			}, 300*time.Second)
+			if !done {
+				t.Fatalf("cluster did not drain: txn1 done=%v txn2 done=%v active=%d completed=%d/%d",
+					t1.Done(), t2.Done(), c.ActiveTxns(), c.Completed(), wantPlain)
+			}
+			// A settling window past the last completion lets commit
+			// certificates reach every replica before digests are compared.
+			c.Run(c.Now() + 5*time.Second)
+
+			if err := t1.Outcome(); err != nil {
+				t.Fatalf("first coordinator: %v", err)
+			}
+			if err := t2.Outcome(); err != nil {
+				t.Fatalf("duplicate coordinator: %v", err)
+			}
+			for s, key := range map[int]string{0: keyA, 1: keyB} {
+				for i := 0; i < 4; i++ {
+					if got := counterAt(t, c, s, i, key); got != 1 {
+						t.Fatalf("shard %d replica %d: %s = %d, want exactly 1 increment", s, i, key, got)
+					}
+					if locked := c.App(s, i).LockedKeys(); len(locked) != 0 {
+						t.Fatalf("shard %d replica %d: stale locks %v", s, i, locked)
+					}
+				}
+				assertShardConverged(t, c, s)
+			}
+		})
+	}
+}
+
+// TestShardedSimAbortPath partitions the coordinator shard's replicas from
+// their clients mid-transaction: the LOCK executes server-side (the lock is
+// genuinely held on shard 0) but its completion never reaches the
+// coordinator, which must time out, abort on every touched shard, and keep
+// re-sending the abort until the partition heals. Afterwards no shard may
+// hold the lock or any staged write (no torn apply), and both groups must
+// converge.
+func TestShardedSimAbortPath(t *testing.T) {
+	c, err := NewShardedSimCluster(SimConfig{
+		Protocol:             EZBFT,
+		Shards:               2,
+		ClientsPerRegion:     1,
+		MaxRequestsPerClient: 5,
+		Seed:                 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	keyA := shardKey(t, c.Router(), 0, "abort-a")
+	keyB := shardKey(t, c.Router(), 1, "abort-b")
+
+	// Cut replica->client delivery in the coordinator shard's group. Client
+	// submissions still reach the replicas, so phase commands execute; only
+	// the completions vanish — the worst case for a 2PC coordinator, which
+	// cannot tell "never executed" from "executed, reply lost".
+	c.cluster.Groups[0].RT.SetFilter(func(from, to types.NodeID, _ codec.Message) (sim.Verdict, time.Duration) {
+		if from.IsReplica() && to.IsClient() {
+			return sim.Drop, 0
+		}
+		return sim.Deliver, 0
+	})
+
+	txn, err := c.SubmitTxn([]TxnOp{
+		{Op: OpPut, Key: keyA, Value: []byte("torn?")},
+		{Op: OpPut, Key: keyB, Value: []byte("torn?")},
+	}, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Let the lock phase time out and the abort fan-out start bouncing off
+	// the partition, then heal.
+	c.Run(c.Now() + 6*time.Second)
+	if txn.Done() {
+		t.Fatalf("transaction resolved through a replica->client partition: outcome %v", txn.Outcome())
+	}
+	c.cluster.Groups[0].RT.SetFilter(nil)
+
+	wantPlain := 4 * 5 * 2
+	done := c.RunUntil(func() bool {
+		return txn.Done() && c.ActiveTxns() == 0 && c.Completed() >= wantPlain
+	}, c.Now()+300*time.Second)
+	if !done {
+		t.Fatalf("cluster did not drain after heal: done=%v active=%d completed=%d/%d",
+			txn.Done(), c.ActiveTxns(), c.Completed(), wantPlain)
+	}
+	c.Run(c.Now() + 5*time.Second)
+
+	if err := txn.Outcome(); !errors.Is(err, ErrTxnAborted) {
+		t.Fatalf("outcome = %v, want ErrTxnAborted", err)
+	}
+	for s, key := range map[int]string{0: keyA, 1: keyB} {
+		for i := 0; i < 4; i++ {
+			app := c.App(s, i)
+			if locked := app.LockedKeys(); len(locked) != 0 {
+				t.Fatalf("shard %d replica %d: locks not released after abort: %v", s, i, locked)
+			}
+			if pending := app.PendingTxns(); len(pending) != 0 {
+				t.Fatalf("shard %d replica %d: pending transactions after abort: %v", s, i, pending)
+			}
+			store := app.Inner().(*kvstore.Store)
+			if v, ok := store.Get(key); ok {
+				t.Fatalf("shard %d replica %d: torn apply — aborted write %s=%q landed", s, i, key, v)
+			}
+		}
+		assertShardConverged(t, c, s)
+	}
+}
+
+// TestShardedSimParityAtOneShard runs the identical workload through the
+// plain simulator and through the sharded simulator at Shards=1 and
+// requires byte-identical final state: one shard must cost nothing — same
+// keys (the identity router never redraws), same application digests (the
+// transaction wrapper passes through untouched while its tables are empty).
+func TestShardedSimParityAtOneShard(t *testing.T) {
+	cfg := SimConfig{
+		Protocol:             EZBFT,
+		ClientsPerRegion:     1,
+		MaxRequestsPerClient: 8,
+		Seed:                 7,
+	}
+
+	plain, err := NewSimCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plain.Close()
+
+	scfg := cfg
+	scfg.Shards = 1
+	sharded, err := NewShardedSimCluster(scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sharded.Close()
+
+	want := 4 * 8
+	plain.Run(120 * time.Second)
+	if got := plain.Completed(); got != want {
+		t.Fatalf("plain sim completed %d/%d", got, want)
+	}
+	if ok := sharded.RunUntil(func() bool { return sharded.Completed() >= want }, 120*time.Second); !ok {
+		t.Fatalf("sharded sim completed %d/%d", sharded.Completed(), want)
+	}
+	sharded.Run(sharded.Now() + 5*time.Second)
+
+	pd := plain.StateDigests()
+	sd := sharded.StateDigests(0)
+	if len(pd) != len(sd) {
+		t.Fatalf("replica counts differ: plain %d, sharded %d", len(pd), len(sd))
+	}
+	for _, d := range pd[1:] {
+		if d != pd[0] {
+			t.Fatalf("plain sim diverged: %v", pd)
+		}
+	}
+	for i := range pd {
+		if pd[i] != sd[i] {
+			t.Fatalf("shards=1 is not byte-identical to the plain deployment: replica %d plain %s vs sharded %s", i, pd[i], sd[i])
+		}
+	}
+}
+
+// TestShardedLiveClusterTxn exercises the live in-process sharded
+// deployment end to end: single-key commands route to their owning shard,
+// a cross-shard transaction lands atomically, and a one-phase (single
+// shard) transaction takes the collapsed fast path. All shard groups share
+// one auth provider, so this also covers the shared-keyring client wiring.
+func TestShardedLiveClusterTxn(t *testing.T) {
+	lc, err := NewShardedLiveCluster(LiveConfig{Shards: 2, MaxClients: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lc.Close()
+
+	client, err := lc.NewClient(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	keyA := shardKey(t, lc.Router(), 0, "live-a")
+	keyB := shardKey(t, lc.Router(), 1, "live-b")
+	keyB2 := shardKey(t, lc.Router(), 1, "live-b2")
+
+	// Plain single-key commands through the router.
+	if _, err := client.Execute(ctx, Put(keyA, []byte("v0"))); err != nil {
+		t.Fatalf("routed put: %v", err)
+	}
+	res, err := client.Execute(ctx, Get(keyA))
+	if err != nil || !res.OK || string(res.Value) != "v0" {
+		t.Fatalf("routed get = (%v, %q, %v), want v0", res.OK, res.Value, err)
+	}
+
+	// Cross-shard transaction: both writes or neither.
+	if err := client.Txn(ctx, []TxnOp{
+		{Op: OpPut, Key: keyA, Value: []byte("t1")},
+		{Op: OpPut, Key: keyB, Value: []byte("t1")},
+	}); err != nil {
+		t.Fatalf("cross-shard txn: %v", err)
+	}
+	// Single-shard transaction: the one-phase fast path.
+	if err := client.Txn(ctx, []TxnOp{
+		{Op: OpPut, Key: keyB, Value: []byte("t2")},
+		{Op: OpPut, Key: keyB2, Value: []byte("t2")},
+	}); err != nil {
+		t.Fatalf("one-phase txn: %v", err)
+	}
+
+	for key, want := range map[string]string{keyA: "t1", keyB: "t2", keyB2: "t2"} {
+		res, err := client.Execute(ctx, Get(key))
+		if err != nil || !res.OK || string(res.Value) != want {
+			t.Fatalf("get %s = (%v, %q, %v), want %q", key, res.OK, res.Value, err, want)
+		}
+	}
+}
+
+// TestShardedTCPClientTxn runs a 2-shard deployment over real TCP — every
+// replica process hosting one consensus group per shard with the
+// transaction-wrapped application, exactly as ezbft-server -shards does —
+// and commits a cross-shard transaction through NewShardedTCPClient's
+// shared-keyring connections.
+func TestShardedTCPClientTxn(t *testing.T) {
+	secret := []byte("sharded-tcp")
+	const n, shards = 4, 2
+
+	reps := make([][]*TCPReplica, shards)
+	addrs := make([]map[ReplicaID]string, shards)
+	defer func() {
+		for _, group := range reps {
+			for _, rep := range group {
+				if rep != nil {
+					rep.Close()
+				}
+			}
+		}
+	}()
+	for s := 0; s < shards; s++ {
+		addrs[s] = make(map[ReplicaID]string, n)
+		for i := 0; i < n; i++ {
+			rep, err := StartTCPReplica(TCPReplicaConfig{
+				ID:     ReplicaID(i),
+				N:      n,
+				Listen: "127.0.0.1:0",
+				Secret: secret,
+				NewApp: ShardedApp(nil),
+			})
+			if err != nil {
+				t.Fatalf("shard %d replica %d: %v", s, i, err)
+			}
+			reps[s] = append(reps[s], rep)
+			addrs[s][ReplicaID(i)] = rep.Addr()
+		}
+		for i, rep := range reps[s] {
+			for j := 0; j < n; j++ {
+				if i != j {
+					rep.SetPeer(ReplicaID(j), addrs[s][ReplicaID(j)])
+				}
+			}
+		}
+	}
+
+	client, err := NewShardedTCPClient(TCPClientConfig{
+		ID:           0,
+		N:            n,
+		Secret:       secret,
+		LatencyBound: 200 * time.Millisecond,
+	}, addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	keyA := shardKey(t, client.Router(), 0, "tcp-a")
+	keyB := shardKey(t, client.Router(), 1, "tcp-b")
+	if err := client.Txn(ctx, []TxnOp{
+		{Op: OpPut, Key: keyA, Value: []byte("wire")},
+		{Op: OpPut, Key: keyB, Value: []byte("wire")},
+	}); err != nil {
+		t.Fatalf("cross-shard txn over TCP: %v", err)
+	}
+	for _, key := range []string{keyA, keyB} {
+		res, err := client.Execute(ctx, Get(key))
+		if err != nil || !res.OK || string(res.Value) != "wire" {
+			t.Fatalf("get %s = (%v, %q, %v), want \"wire\"", key, res.OK, res.Value, err)
+		}
+	}
+}

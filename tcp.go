@@ -278,10 +278,20 @@ type TCPClientConfig struct {
 	DisablePreVerify bool
 }
 
-// tcpAuthenticator builds a node's authenticator from a TCP config's key
-// material: ECDSA when a PEM bundle is supplied (bytes or file), the
-// shared-secret HMAC keyring otherwise.
-func tcpAuthenticator(self types.NodeID, secret, keyPEM []byte, keyFile string) (auth.Authenticator, error) {
+// tcpKeyring is a TCP deployment's key material parsed exactly once —
+// either the ECDSA keyring from a PEM bundle or the shared-secret HMAC
+// keyring — from which per-node authenticators derive without re-parsing.
+// The sharded TCP client hands one parsed keyring to all of its per-shard
+// connections.
+type tcpKeyring struct {
+	ecdsa *auth.ECDSAKeyring
+	hmac  *auth.HMACKeyring
+}
+
+// parseTCPKeyring parses a TCP config's key material: ECDSA when a PEM
+// bundle is supplied (bytes or file), the shared-secret HMAC keyring
+// otherwise.
+func parseTCPKeyring(secret, keyPEM []byte, keyFile string) (*tcpKeyring, error) {
 	if len(keyPEM) == 0 && keyFile != "" {
 		data, err := os.ReadFile(keyFile)
 		if err != nil {
@@ -294,16 +304,34 @@ func tcpAuthenticator(self types.NodeID, secret, keyPEM []byte, keyFile string) 
 		if err != nil {
 			return nil, fmt.Errorf("ezbft: %w", err)
 		}
-		a, err := ring.ForNode(self)
+		return &tcpKeyring{ecdsa: ring}, nil
+	}
+	if len(secret) == 0 {
+		return nil, fmt.Errorf("ezbft: TCP deployments require a shared secret or ECDSA key material")
+	}
+	return &tcpKeyring{hmac: auth.NewHMACKeyring(secret)}, nil
+}
+
+// forNode derives one node's authenticator from the parsed keyring.
+func (k *tcpKeyring) forNode(self types.NodeID) (auth.Authenticator, error) {
+	if k.ecdsa != nil {
+		a, err := k.ecdsa.ForNode(self)
 		if err != nil {
 			return nil, fmt.Errorf("ezbft: %w", err)
 		}
 		return a, nil
 	}
-	if len(secret) == 0 {
-		return nil, fmt.Errorf("ezbft: TCP deployments require a shared secret or ECDSA key material")
+	return k.hmac.ForNode(self), nil
+}
+
+// tcpAuthenticator builds a node's authenticator from a TCP config's key
+// material.
+func tcpAuthenticator(self types.NodeID, secret, keyPEM []byte, keyFile string) (auth.Authenticator, error) {
+	ring, err := parseTCPKeyring(secret, keyPEM, keyFile)
+	if err != nil {
+		return nil, err
 	}
-	return auth.NewHMACKeyring(secret).ForNode(self), nil
+	return ring.forNode(self)
 }
 
 // GenerateTCPKeys creates fresh ECDSA P-256 identities for a TCP deployment
@@ -340,6 +368,18 @@ func GenerateTCPKeys(n, maxClients int) (map[string][]byte, error) {
 // ride the client's own connections (best-effort: up to f replicas may be
 // down). Close releases the client's connections; replicas stay up.
 func NewTCPClient(cfg TCPClientConfig) (*Client, error) {
+	a, err := tcpAuthenticator(types.ClientNode(cfg.ID), cfg.Secret, cfg.KeyPEM, cfg.KeyFile)
+	if err != nil {
+		return nil, err
+	}
+	return newTCPClientAuthed(cfg, a)
+}
+
+// newTCPClientAuthed builds a TCP client around an already-derived
+// authenticator; the sharded client derives one authenticator from one
+// parsed keyring (wrapped around one shared verify cache) and reuses it
+// across all of its shard connections.
+func newTCPClientAuthed(cfg TCPClientConfig, a auth.Authenticator) (*Client, error) {
 	if cfg.Protocol == "" {
 		cfg.Protocol = EZBFT
 	}
@@ -358,10 +398,6 @@ func NewTCPClient(cfg TCPClientConfig) (*Client, error) {
 	}
 	if cfg.LatencyBound <= 0 {
 		cfg.LatencyBound = 500 * time.Millisecond
-	}
-	a, err := tcpAuthenticator(types.ClientNode(cfg.ID), cfg.Secret, cfg.KeyPEM, cfg.KeyFile)
-	if err != nil {
-		return nil, err
 	}
 	bridge := newFutureBridge()
 	inner, err := eng.NewClient(engine.ClientOptions{
